@@ -1,0 +1,61 @@
+//! # dynastar-amcast
+//!
+//! A genuine atomic multicast built from per-group Multi-Paxos instances,
+//! in the style of BaseCast/FastCast (Coelho, Schiper, Pedone — DSN'17),
+//! which the DynaStar paper uses as its ordering substrate.
+//!
+//! ## Protocol
+//!
+//! Processes are organised into disjoint *groups*, each running one
+//! [`dynastar_paxos`] instance. To atomically multicast a message `m` to a
+//! set of destination groups γ:
+//!
+//! 1. The sender submits `m` to (the replicas of) every group in γ.
+//! 2. Each group `g ∈ γ` orders an `Assign(m)` entry in its Paxos log.
+//!    Replaying the log, every replica of `g` deterministically assigns the
+//!    group's logical timestamp `ts_g(m)` (a per-group Lamport clock).
+//! 3. Groups in γ exchange their timestamps; each received timestamp is
+//!    itself ordered in the receiving group's log (a `Remote` entry), so all
+//!    replicas of a group observe the identical interleaving.
+//! 4. The final timestamp is `max` over γ. Message delivery follows the
+//!    total order of `(final_ts, msg id)`; a message is delivered once no
+//!    undecided message could obtain a smaller final timestamp.
+//!
+//! Only the sender and the destination groups exchange messages — the
+//! multicast is *genuine* — and a single-group multicast costs exactly one
+//! consensus instance (the atomic broadcast fast path).
+//!
+//! The implementation is sans-io, mirroring `dynastar-paxos`:
+//! [`McastMember`] consumes wire messages and ticks, and produces outgoing
+//! wire messages plus ordered deliveries.
+//!
+//! # Example
+//!
+//! ```
+//! use dynastar_amcast::{GroupId, McastMember, MemberId, MsgId, Topology};
+//!
+//! // Two groups of one replica each.
+//! let topo = Topology::new(vec![1, 1]);
+//! let mut m0: McastMember<&'static str> = McastMember::new(MemberId::new(GroupId(0), 0), topo.clone());
+//! let mut m1: McastMember<&'static str> = McastMember::new(MemberId::new(GroupId(1), 0), topo);
+//!
+//! // Multicast to both groups, shuttling wire messages by hand.
+//! let mid = MsgId::new(7, 0);
+//! let mut queue: Vec<(MemberId, dynastar_amcast::McastWire<&'static str>)> =
+//!     m0.submit(mid, vec![GroupId(0), GroupId(1)], "hello").outgoing;
+//! let mut delivered = Vec::new();
+//! while let Some((to, wire)) = queue.pop() {
+//!     let member = if to.group == GroupId(0) { &mut m0 } else { &mut m1 };
+//!     let out = member.on_message(wire);
+//!     queue.extend(out.outgoing);
+//!     delivered.extend(out.delivered.into_iter().map(|d| (to, d.payload)));
+//! }
+//! assert!(delivered.contains(&(MemberId::new(GroupId(0), 0), "hello")));
+//! assert!(delivered.contains(&(MemberId::new(GroupId(1), 0), "hello")));
+//! ```
+
+mod member;
+mod types;
+
+pub use member::{McastMember, McastOutput};
+pub use types::{Delivery, GroupId, LogEntry, McastWire, MemberId, MsgId, Topology};

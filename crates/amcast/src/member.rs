@@ -1,0 +1,460 @@
+//! The per-replica atomic multicast state machine.
+
+use std::collections::BTreeMap;
+
+use dynastar_paxos::{GroupConfig, PaxosReplica};
+use dynastar_runtime::dedup::RotatingSet;
+
+use crate::types::{Delivery, GroupId, LogEntry, McastWire, MemberId, MsgId, Topology};
+
+/// Ticks between retransmissions of unacknowledged protocol steps.
+const RETRY_TICKS: u64 = 8;
+
+/// Effects of feeding one input to a [`McastMember`].
+#[derive(Debug, Clone)]
+pub struct McastOutput<V> {
+    /// Wire messages to transmit.
+    pub outgoing: Vec<(MemberId, McastWire<V>)>,
+    /// Messages newly delivered, in final-timestamp order.
+    pub delivered: Vec<Delivery<V>>,
+}
+
+impl<V> McastOutput<V> {
+    fn new() -> Self {
+        McastOutput { outgoing: Vec::new(), delivered: Vec::new() }
+    }
+
+    /// True when nothing needs to be sent or delivered.
+    pub fn is_empty(&self) -> bool {
+        self.outgoing.is_empty() && self.delivered.is_empty()
+    }
+}
+
+/// Multicast bookkeeping for one message not yet delivered locally.
+#[derive(Debug)]
+struct Pending<V> {
+    payload: Option<V>,
+    dests: Vec<GroupId>,
+    local_ts: Option<u64>,
+    remote: BTreeMap<GroupId, u64>,
+    final_ts: Option<u64>,
+}
+
+impl<V> Pending<V> {
+    fn empty() -> Self {
+        Pending { payload: None, dests: Vec::new(), local_ts: None, remote: BTreeMap::new(), final_ts: None }
+    }
+}
+
+/// One replica's view of the atomic multicast protocol.
+///
+/// A member owns its group's [`PaxosReplica`] and replays its log to build
+/// deterministic multicast state. Drive it with
+/// [`McastMember::on_message`], [`McastMember::tick`] and
+/// [`McastMember::submit`]; see the [crate docs](crate) for the protocol.
+#[derive(Debug)]
+pub struct McastMember<V> {
+    me: MemberId,
+    topo: Topology,
+    paxos: PaxosReplica<LogEntry<V>>,
+    /// The group's logical clock (deterministic from the log).
+    clock: u64,
+    pending: BTreeMap<MsgId, Pending<V>>,
+    /// Messages whose `Assign` entry has been applied (bounded memory:
+    /// duplicates older than the rotation window would reorder, but such
+    /// duplicates cannot occur within protocol timescales).
+    assigned: RotatingSet<MsgId>,
+    /// `(mid, group)` pairs whose `Remote` entry has been applied.
+    remote_seen: RotatingSet<(MsgId, GroupId)>,
+    /// Submits seen but not yet assigned, kept so a replica that becomes
+    /// leader can (re-)propose them.
+    seen_submits: BTreeMap<MsgId, (Vec<GroupId>, V)>,
+    /// Remote timestamps seen but not yet ordered in our log.
+    seen_remote_ts: BTreeMap<(MsgId, GroupId), u64>,
+    /// Tick at which we last proposed an `Assign` for a message.
+    proposed_assign: BTreeMap<MsgId, u64>,
+    /// Tick at which we last proposed a `Remote` entry.
+    proposed_remote: BTreeMap<(MsgId, GroupId), u64>,
+    /// Our group's timestamps that other groups still need: value is
+    /// `(ts, last retransmission tick)`.
+    ts_out: BTreeMap<(MsgId, GroupId), (u64, u64)>,
+    /// Payloads of locally delivered messages whose timestamps other
+    /// groups have not yet acknowledged (needed for retransmission).
+    delivered_payloads: BTreeMap<MsgId, (Vec<GroupId>, V)>,
+    ticks: u64,
+    delivered_count: u64,
+}
+
+impl<V: Clone> McastMember<V> {
+    /// Creates the member `me` of `topo` with deployment timing: the
+    /// election timeout (600 ticks ≈ 0.6 s at a 1 ms tick) sits well above
+    /// the transport's retransmission delay so message loss does not
+    /// depose healthy leaders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not an address within `topo`.
+    pub fn new(me: MemberId, topo: Topology) -> Self {
+        let size = topo.size_of(me.group);
+        Self::with_group_config(me, topo, GroupConfig::with_timing(size, 600, 2))
+    }
+
+    /// Creates the member with an explicit consensus timing configuration
+    /// (tests drive ticks directly and want fast elections).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not an address within `topo` or the config size
+    /// does not match the group.
+    pub fn with_group_config(me: MemberId, topo: Topology, cfg: GroupConfig) -> Self {
+        assert!(
+            (me.group.0 as usize) < topo.group_count() && me.index < topo.size_of(me.group),
+            "member {me} is not part of the topology"
+        );
+        assert_eq!(cfg.size, topo.size_of(me.group), "group config size mismatch");
+        McastMember {
+            me,
+            topo,
+            paxos: PaxosReplica::new(me.index, cfg),
+            clock: 0,
+            pending: BTreeMap::new(),
+            assigned: RotatingSet::new(1 << 16),
+            remote_seen: RotatingSet::new(1 << 16),
+            seen_submits: BTreeMap::new(),
+            seen_remote_ts: BTreeMap::new(),
+            proposed_assign: BTreeMap::new(),
+            proposed_remote: BTreeMap::new(),
+            ts_out: BTreeMap::new(),
+            delivered_payloads: BTreeMap::new(),
+            ticks: 0,
+            delivered_count: 0,
+        }
+    }
+
+    /// This member's address.
+    pub fn member_id(&self) -> MemberId {
+        self.me
+    }
+
+    /// Whether this member currently leads its group's consensus.
+    pub fn is_leader(&self) -> bool {
+        self.paxos.is_leader()
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+
+    /// The group's current logical clock value.
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Atomically multicasts `payload` to `dests` from this member.
+    ///
+    /// The id must be globally unique (or deterministically equal across
+    /// replicas of a replicated sender, in which case duplicates merge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dests` is empty.
+    pub fn submit(&mut self, mid: MsgId, mut dests: Vec<GroupId>, payload: V) -> McastOutput<V> {
+        assert!(!dests.is_empty(), "a multicast needs at least one destination group");
+        dests.sort_unstable();
+        dests.dedup();
+        let mut out = McastOutput::new();
+        // Fan the submit out to every replica of every destination group
+        // (including our own group, so every replica's `seen_submits` can
+        // back up the leader).
+        for g in dests.clone() {
+            for m in self.topo.members_of(g) {
+                if m != self.me {
+                    out.outgoing.push((
+                        m,
+                        McastWire::Submit { mid, dests: dests.clone(), payload: payload.clone() },
+                    ));
+                }
+            }
+        }
+        if dests.contains(&self.me.group) {
+            self.note_submit(mid, dests, payload, &mut out);
+        }
+        out
+    }
+
+    /// Records a submit addressed to our group and proposes it if leading.
+    fn note_submit(&mut self, mid: MsgId, dests: Vec<GroupId>, payload: V, out: &mut McastOutput<V>) {
+        if self.assigned.contains(&mid) {
+            return;
+        }
+        self.seen_submits.entry(mid).or_insert((dests, payload));
+        self.maybe_propose_assign(mid, out);
+    }
+
+    fn maybe_propose_assign(&mut self, mid: MsgId, out: &mut McastOutput<V>) {
+        if !self.paxos.is_leader() || self.assigned.contains(&mid) {
+            return;
+        }
+        let stale = match self.proposed_assign.get(&mid) {
+            None => true,
+            Some(&t) => self.ticks.saturating_sub(t) >= RETRY_TICKS,
+        };
+        if !stale {
+            return;
+        }
+        if let Some((dests, payload)) = self.seen_submits.get(&mid) {
+            self.proposed_assign.insert(mid, self.ticks);
+            let entry = LogEntry::Assign { mid, dests: dests.clone(), payload: payload.clone() };
+            let pout = self.paxos.propose(entry);
+            self.absorb_paxos(pout, out);
+        }
+    }
+
+    fn maybe_propose_remote(&mut self, mid: MsgId, from_group: GroupId, out: &mut McastOutput<V>) {
+        if !self.paxos.is_leader() || self.remote_seen.contains(&(mid, from_group)) {
+            return;
+        }
+        let key = (mid, from_group);
+        let stale = match self.proposed_remote.get(&key) {
+            None => true,
+            Some(&t) => self.ticks.saturating_sub(t) >= RETRY_TICKS,
+        };
+        if !stale {
+            return;
+        }
+        if let Some(&ts) = self.seen_remote_ts.get(&key) {
+            self.proposed_remote.insert(key, self.ticks);
+            let pout = self.paxos.propose(LogEntry::Remote { mid, from_group, ts });
+            self.absorb_paxos(pout, out);
+        }
+    }
+
+    /// Routes a Paxos output's messages and applies its decided entries.
+    fn absorb_paxos(&mut self, pout: dynastar_paxos::Output<LogEntry<V>>, out: &mut McastOutput<V>) {
+        for (to_index, msg) in pout.outgoing {
+            out.outgoing.push((
+                MemberId::new(self.me.group, to_index),
+                McastWire::Paxos { from_index: self.me.index, msg },
+            ));
+        }
+        for (_slot, entry) in pout.decided {
+            self.apply(entry, out);
+        }
+    }
+
+    /// Applies one decided log entry (deterministic across the group).
+    fn apply(&mut self, entry: LogEntry<V>, out: &mut McastOutput<V>) {
+        match entry {
+            LogEntry::Assign { mid, dests, payload } => {
+                if !self.assigned.insert(mid) {
+                    return; // duplicate Assign from leader churn
+                }
+                self.seen_submits.remove(&mid);
+                self.proposed_assign.remove(&mid);
+                self.clock += 1;
+                let ts = self.clock;
+                let p = self.pending.entry(mid).or_insert_with(Pending::empty);
+                p.payload = Some(payload);
+                p.dests = dests;
+                p.local_ts = Some(ts);
+                // Other destination groups need our timestamp.
+                let others: Vec<GroupId> =
+                    p.dests.iter().copied().filter(|&g| g != self.me.group).collect();
+                for g in others {
+                    self.ts_out.insert((mid, g), (ts, 0));
+                }
+                self.refresh_final(mid);
+                self.flush_ts_out(out);
+                self.try_deliver(out);
+            }
+            LogEntry::Remote { mid, from_group, ts } => {
+                if !self.remote_seen.insert((mid, from_group)) {
+                    return;
+                }
+                self.seen_remote_ts.remove(&(mid, from_group));
+                self.proposed_remote.remove(&(mid, from_group));
+                // Acknowledge so the sending group stops retransmitting.
+                if self.paxos.is_leader() {
+                    for m in self.topo.members_of(from_group) {
+                        out.outgoing.push((
+                            m,
+                            McastWire::TsAck { mid, from_group, by_group: self.me.group },
+                        ));
+                    }
+                }
+                let p = self.pending.entry(mid).or_insert_with(Pending::empty);
+                p.remote.insert(from_group, ts);
+                self.refresh_final(mid);
+                self.try_deliver(out);
+            }
+        }
+    }
+
+    /// Recomputes the final timestamp of `mid` if all inputs are present.
+    fn refresh_final(&mut self, mid: MsgId) {
+        let me = self.me.group;
+        let Some(p) = self.pending.get_mut(&mid) else { return };
+        if p.final_ts.is_some() || p.local_ts.is_none() {
+            return;
+        }
+        let others = p.dests.iter().filter(|&&g| g != me);
+        let mut final_ts = p.local_ts.unwrap();
+        for g in others {
+            match p.remote.get(g) {
+                Some(&ts) => final_ts = final_ts.max(ts),
+                None => return, // still waiting for a group
+            }
+        }
+        p.final_ts = Some(final_ts);
+        // Skeen clock rule: never assign a new local timestamp at or below
+        // a known final timestamp.
+        self.clock = self.clock.max(final_ts);
+    }
+
+    /// Delivers every message whose final timestamp can no longer be
+    /// preceded by an undecided message.
+    fn try_deliver(&mut self, out: &mut McastOutput<V>) {
+        loop {
+            // Smallest undecided key: a message with an assigned local
+            // timestamp could still end up anywhere at or above it.
+            let blocker: Option<(u64, MsgId)> = self
+                .pending
+                .iter()
+                .filter(|(_, p)| p.final_ts.is_none())
+                .filter_map(|(&mid, p)| p.local_ts.map(|ts| (ts, mid)))
+                .min();
+            // Smallest decided key.
+            let candidate: Option<(u64, MsgId)> = self
+                .pending
+                .iter()
+                .filter_map(|(&mid, p)| p.final_ts.map(|ts| (ts, mid)))
+                .min();
+            let Some((fts, mid)) = candidate else { return };
+            if let Some(blk) = blocker {
+                if blk < (fts, mid) {
+                    return;
+                }
+            }
+            let p = self.pending.remove(&mid).expect("candidate pending entry");
+            self.delivered_count += 1;
+            let payload = p.payload.expect("finalized message has a payload");
+            // Keep the payload around while other groups still need our
+            // timestamp retransmitted.
+            if self.ts_out.keys().any(|&(m, _)| m == mid) {
+                self.delivered_payloads.insert(mid, (p.dests.clone(), payload.clone()));
+            }
+            out.delivered.push(Delivery { mid, final_ts: fts, dests: p.dests, payload });
+        }
+    }
+
+    /// Sends (or re-sends) our group's timestamps to groups that have not
+    /// acknowledged them. Only the leader transmits, to bound traffic.
+    fn flush_ts_out(&mut self, out: &mut McastOutput<V>) {
+        if !self.paxos.is_leader() {
+            return;
+        }
+        let ticks = self.ticks;
+        let mut sends: Vec<(MsgId, GroupId, u64)> = Vec::new();
+        for (&(mid, to_group), &mut (ts, ref mut last)) in self.ts_out.iter_mut() {
+            if *last == 0 || ticks.saturating_sub(*last) >= RETRY_TICKS {
+                *last = ticks.max(1);
+                sends.push((mid, to_group, ts));
+            }
+        }
+        for (mid, to_group, ts) in sends {
+            // Payload travels with the timestamp so the destination can
+            // order the message even if it never saw the Submit. After
+            // local delivery the pending entry is gone; fall back to a
+            // payload-free... — never needed: ts_out entries for delivered
+            // messages keep their payload in `delivered_payloads` below.
+            let (dests, payload) = match self.pending.get(&mid) {
+                Some(p) => (p.dests.clone(), p.payload.clone()),
+                None => match self.delivered_payloads.get(&mid) {
+                    Some((d, v)) => (d.clone(), Some(v.clone())),
+                    None => continue,
+                },
+            };
+            let Some(payload) = payload else { continue };
+            for m in self.topo.members_of(to_group) {
+                out.outgoing.push((
+                    m,
+                    McastWire::GroupTs {
+                        mid,
+                        from_group: self.me.group,
+                        ts,
+                        dests: dests.clone(),
+                        payload: payload.clone(),
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Feeds one wire message into the member.
+    pub fn on_message(&mut self, wire: McastWire<V>) -> McastOutput<V> {
+        let mut out = McastOutput::new();
+        match wire {
+            McastWire::Submit { mid, dests, payload } => {
+                if dests.contains(&self.me.group) {
+                    self.note_submit(mid, dests, payload, &mut out);
+                }
+            }
+            McastWire::GroupTs { mid, from_group, ts, dests, payload } => {
+                if !dests.contains(&self.me.group) {
+                    return out;
+                }
+                // The timestamp doubles as a submit (see wire docs).
+                self.note_submit(mid, dests, payload, &mut out);
+                if self.remote_seen.contains(&(mid, from_group)) {
+                    // Already ordered: the ack may have been lost, resend it.
+                    if self.paxos.is_leader() {
+                        for m in self.topo.members_of(from_group) {
+                            out.outgoing.push((
+                                m,
+                                McastWire::TsAck { mid, from_group, by_group: self.me.group },
+                            ));
+                        }
+                    }
+                } else {
+                    self.seen_remote_ts.insert((mid, from_group), ts);
+                    self.maybe_propose_remote(mid, from_group, &mut out);
+                }
+            }
+            McastWire::TsAck { mid, from_group, by_group } => {
+                if from_group == self.me.group {
+                    self.ts_out.remove(&(mid, by_group));
+                    if !self.ts_out.keys().any(|&(m, _)| m == mid) {
+                        self.delivered_payloads.remove(&mid);
+                    }
+                }
+            }
+            McastWire::Paxos { from_index, msg } => {
+                let pout = self.paxos.on_message(from_index, msg);
+                self.absorb_paxos(pout, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Advances time: drives the consensus clock and retransmissions.
+    pub fn tick(&mut self) -> McastOutput<V> {
+        self.ticks += 1;
+        let mut out = McastOutput::new();
+        let pout = self.paxos.tick();
+        self.absorb_paxos(pout, &mut out);
+        if self.paxos.is_leader() {
+            // A replica that just became leader adopts outstanding work.
+            let submit_mids: Vec<MsgId> = self.seen_submits.keys().copied().collect();
+            for mid in submit_mids {
+                self.maybe_propose_assign(mid, &mut out);
+            }
+            let remote_keys: Vec<(MsgId, GroupId)> = self.seen_remote_ts.keys().copied().collect();
+            for (mid, g) in remote_keys {
+                self.maybe_propose_remote(mid, g, &mut out);
+            }
+            self.flush_ts_out(&mut out);
+        }
+        out
+    }
+}

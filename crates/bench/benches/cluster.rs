@@ -1,0 +1,70 @@
+//! Criterion macro-benchmark: full simulated cluster runs (events/second
+//! of the simulator itself, and end-to-end command throughput per mode).
+//!
+//! This is the ablation harness for DESIGN.md's mode comparison: identical
+//! workload, three replication schemes.
+
+use std::sync::{Arc, Mutex};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynastar_core::metric_names as mn;
+use dynastar_core::{ClusterBuilder, ClusterConfig, Mode, PartitionId};
+use dynastar_runtime::SimDuration;
+use dynastar_workloads::chirper::{Chirper, ChirperMix, ChirperUser, ChirperWorkload};
+use dynastar_workloads::placement;
+use dynastar_workloads::socialgraph::SocialGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn run_mode(mode: Mode) -> u64 {
+    let mut rng = StdRng::seed_from_u64(11);
+    let graph = SocialGraph::barabasi_albert(300, 4, &mut rng);
+    let config = ClusterConfig {
+        partitions: 2,
+        replicas: 2,
+        mode,
+        seed: 11,
+        repartition_threshold: u64::MAX,
+        warm_client_caches: true,
+        ..ClusterConfig::default()
+    };
+    let keys = (0..graph.users() as u64).map(Chirper::key);
+    let map = placement::random(keys, 2, &mut rng);
+    let mut b = ClusterBuilder::new(config);
+    for (k, p) in map {
+        b.place(k, PartitionId(p.0));
+    }
+    b.with_vars((0..graph.users() as u64).map(|u| {
+        let user = ChirperUser {
+            timeline: Default::default(),
+            follows: graph.follows_of(u).to_vec(),
+            followers: graph.followers_of(u).to_vec(),
+        };
+        (Chirper::var(u), std::sync::Arc::new(user))
+    }));
+    let mut cluster = b.build();
+    let shared = Arc::new(Mutex::new(graph));
+    for _ in 0..4 {
+        cluster.add_client(ChirperWorkload::new(Arc::clone(&shared), 0.95, ChirperMix::MIX));
+    }
+    cluster.run_for(SimDuration::from_secs(5));
+    cluster.metrics().counter(mn::CMD_COMPLETED)
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_5s_chirper");
+    group.sample_size(10);
+    for mode in [Mode::Dynastar, Mode::SSmr, Mode::DsSmr] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            b.iter(|| {
+                let done = run_mode(mode);
+                assert!(done > 0);
+                done
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion micro-benchmarks for the ordering substrate: Multi-Paxos
+//! command throughput and atomic multicast (single- and multi-group).
+//!
+//! These quantify the per-command protocol overhead that underlies every
+//! figure's absolute numbers.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynastar_amcast::{GroupId, McastMember, McastWire, MemberId, MsgId, Topology};
+use dynastar_paxos::{GroupConfig, PaxosMsg, PaxosReplica};
+
+/// Drives a 3-replica Paxos group through `n` commands, message by
+/// message, and returns the total number delivered at the leader.
+fn paxos_run(n: u64) -> u64 {
+    let cfg = GroupConfig::new(3);
+    let mut replicas: Vec<PaxosReplica<u64>> =
+        (0..3).map(|i| PaxosReplica::new(i, cfg.clone())).collect();
+    let mut queue: VecDeque<(usize, usize, PaxosMsg<u64>)> = VecDeque::new();
+    let mut delivered = 0;
+    for v in 0..n {
+        let out = replicas[0].propose(v);
+        for (to, m) in out.outgoing {
+            queue.push_back((0, to, m));
+        }
+        delivered += out.decided.len() as u64;
+        while let Some((from, to, m)) = queue.pop_front() {
+            let out = replicas[to].on_message(from, m);
+            for (t, m) in out.outgoing {
+                queue.push_back((to, t, m));
+            }
+            if to == 0 {
+                delivered += out.decided.len() as u64;
+            }
+        }
+    }
+    delivered
+}
+
+/// Runs `n` atomic multicasts to `dest_groups` groups (of 2 replicas each)
+/// and returns deliveries at member (0,0).
+fn amcast_run(n: u32, dest_groups: u32) -> u64 {
+    let topo = Topology::uniform(dest_groups as usize, 2);
+    let mut members: BTreeMap<MemberId, McastMember<u64>> = topo
+        .groups()
+        .flat_map(|g| topo.members_of(g).collect::<Vec<_>>())
+        .map(|m| (m, McastMember::new(m, topo.clone())))
+        .collect();
+    let mut queue: VecDeque<(MemberId, McastWire<u64>)> = VecDeque::new();
+    let sender = MemberId::new(GroupId(0), 0);
+    let dests: Vec<GroupId> = (0..dest_groups).map(GroupId).collect();
+    for i in 0..n {
+        let out = members.get_mut(&sender).unwrap().submit(
+            MsgId::new(1, i),
+            dests.clone(),
+            i as u64,
+        );
+        queue.extend(out.outgoing);
+        while let Some((to, wire)) = queue.pop_front() {
+            let out = members.get_mut(&to).unwrap().on_message(wire);
+            queue.extend(out.outgoing);
+        }
+    }
+    members[&sender].delivered_count()
+}
+
+fn bench_paxos(c: &mut Criterion) {
+    let mut c = c.benchmark_group("paxos");
+    c.sample_size(10);
+    c.bench_function("paxos_1k_commands_n3", |b| {
+        b.iter(|| {
+            let d = paxos_run(1_000);
+            assert_eq!(d, 1_000);
+        })
+    });
+}
+
+fn bench_amcast(c: &mut Criterion) {
+    let mut c = c.benchmark_group("amcast");
+    c.sample_size(10);
+    c.bench_function("amcast_500_single_group", |b| {
+        b.iter(|| {
+            let d = amcast_run(500, 1);
+            assert_eq!(d, 500);
+        })
+    });
+    c.bench_function("amcast_500_two_groups", |b| {
+        b.iter(|| {
+            let d = amcast_run(500, 2);
+            assert_eq!(d, 500);
+        })
+    });
+}
+
+criterion_group!(benches, bench_paxos, bench_amcast);
+criterion_main!(benches);

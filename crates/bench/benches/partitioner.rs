@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the multilevel graph partitioner — the
+//! oracle's hot computational path (backs Figure 7's scaling claim at
+//! micro scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynastar_partitioner::{hash_partition, partition, GraphBuilder, PartitionConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn power_law_graph(n: u32, seed: u64) -> dynastar_partitioner::Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new();
+    b.add_vertex(n - 1);
+    for v in 1..n {
+        for _ in 0..4 {
+            let exp: f64 = rng.gen::<f64>();
+            let u = ((v as f64) * exp * exp) as u32;
+            if u != v {
+                b.add_edge(v, u.min(v - 1), 1 + rng.gen_range(0..4));
+            }
+        }
+    }
+    b.build()
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_partition_k8");
+    group.sample_size(10);
+    for &n in &[1_000u32, 10_000] {
+        let g = power_law_graph(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| partition(g, 8, &PartitionConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_edge_cut(c: &mut Criterion) {
+    let g = power_law_graph(50_000, 7);
+    let p = hash_partition(g.vertex_count(), 8);
+    c.bench_function("edge_cut_50k", |b| b.iter(|| p.edge_cut(&g)));
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    c.bench_function("graph_build_10k", |b| b.iter(|| power_law_graph(10_000, 7)));
+}
+
+criterion_group!(benches, bench_partition, bench_edge_cut, bench_graph_build);
+criterion_main!(benches);

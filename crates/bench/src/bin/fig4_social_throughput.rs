@@ -1,0 +1,76 @@
+//! Figure 4: social-network throughput and latency vs partition count.
+//!
+//! Peak throughput (saturating clients) and latency at ~75% of peak
+//! (fewer clients), for the timeline-only and the mix (85% timeline / 15%
+//! post) workloads, DynaStar vs S-SMR\*. Partitions ∈ {1, 2, 4, 8}.
+//!
+//! The paper's shape: timeline-only scales near-linearly for both; the
+//! mix scales up to 8 partitions then flattens as edge cuts grow; DynaStar
+//! and S-SMR\* stay comparable.
+
+use std::sync::Arc;
+
+use dynastar_bench::report::print_table;
+use dynastar_bench::setup::{chirper_cluster, ChirperSetup};
+use dynastar_core::metric_names as mn;
+use dynastar_core::Mode;
+use dynastar_runtime::{SimDuration, SimTime};
+use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
+
+const WARMUP_SECS: u64 = 3;
+const MEASURE_SECS: u64 = 6;
+const SATURATING_CLIENTS: usize = 12;
+
+struct Point {
+    tput: f64,
+    avg_ms: f64,
+    p95_ms: f64,
+}
+
+fn run(partitions: u32, mode: Mode, mix: ChirperMix, clients: usize) -> Point {
+    let setup = ChirperSetup::new(partitions, mode);
+    let (mut cluster, graph) = chirper_cluster(&setup);
+    for _ in 0..clients {
+        cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, mix));
+    }
+    cluster.run_until(SimTime::from_secs(WARMUP_SECS));
+    cluster.metrics_mut().reset();
+    cluster.run_for(SimDuration::from_secs(MEASURE_SECS));
+    let m = cluster.metrics();
+    let tput = m.counter(mn::CMD_COMPLETED) as f64 / MEASURE_SECS as f64;
+    let (avg_ms, p95_ms) = m
+        .histogram(mn::CMD_LATENCY)
+        .map(|h| (h.mean().as_millis_f64(), h.quantile(0.95).as_millis_f64()))
+        .unwrap_or((0.0, 0.0));
+    Point { tput, avg_ms, p95_ms }
+}
+
+fn main() {
+    println!("Figure 4 — Chirper throughput and latency vs partitions\n");
+    for (label, mix) in [("timeline-only", ChirperMix::TIMELINE_ONLY), ("mix 85/15", ChirperMix::MIX)] {
+        println!("== workload: {label} ==");
+        let mut rows = Vec::new();
+        for &k in &[1u32, 2, 4] {
+            eprintln!("fig4 [{label}]: {k} partition(s)...");
+            let peak_dyn = run(k, Mode::Dynastar, mix, SATURATING_CLIENTS);
+            let peak_ssmr = run(k, Mode::SSmr, mix, SATURATING_CLIENTS);
+            // ~75% of peak load for the latency measurement.
+            let lat_clients = (SATURATING_CLIENTS * 3 / 4).max(1);
+            let lat_dyn = run(k, Mode::Dynastar, mix, lat_clients);
+            let lat_ssmr = run(k, Mode::SSmr, mix, lat_clients);
+            rows.push(vec![
+                format!("{k}"),
+                format!("{:.0}", peak_dyn.tput),
+                format!("{:.0}", peak_ssmr.tput),
+                format!("{:.1}/{:.1}", lat_dyn.avg_ms, lat_dyn.p95_ms),
+                format!("{:.1}/{:.1}", lat_ssmr.avg_ms, lat_ssmr.p95_ms),
+            ]);
+        }
+        print_table(
+            &["partitions", "DynaStar cps", "S-SMR* cps", "DynaStar ms avg/p95", "S-SMR* ms avg/p95"],
+            &rows,
+        );
+        println!();
+    }
+    println!("paper shape: timeline-only scales for both; mix flattens at high partition counts.");
+}

@@ -1,0 +1,67 @@
+//! Figure 5: latency CDFs for the mix workload.
+//!
+//! Cumulative latency distributions of DynaStar and S-SMR\* at a moderate
+//! load for 2, 4 and 8 partitions. The paper's shape: S-SMR\* sits left of
+//! (below) DynaStar for ~80% of the mass, because DynaStar's multi-
+//! partition commands pay for returning borrowed objects.
+
+use std::sync::Arc;
+
+use dynastar_bench::setup::{chirper_cluster, ChirperSetup};
+use dynastar_core::metric_names as mn;
+use dynastar_core::Mode;
+use dynastar_runtime::{SimDuration, SimTime};
+use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
+
+const WARMUP_SECS: u64 = 3;
+const MEASURE_SECS: u64 = 8;
+const CLIENTS: usize = 10;
+
+fn cdf(partitions: u32, mode: Mode) -> Vec<(f64, f64)> {
+    let setup = ChirperSetup::new(partitions, mode);
+    let (mut cluster, graph) = chirper_cluster(&setup);
+    for _ in 0..CLIENTS {
+        cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, ChirperMix::MIX));
+    }
+    cluster.run_until(SimTime::from_secs(WARMUP_SECS));
+    cluster.metrics_mut().reset();
+    cluster.run_for(SimDuration::from_secs(MEASURE_SECS));
+    cluster
+        .metrics()
+        .histogram(mn::CMD_LATENCY)
+        .map(|h| {
+            h.cdf()
+                .points()
+                .iter()
+                .map(|&(lat, f)| (lat.as_millis_f64(), f))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn main() {
+    println!("Figure 5 — latency CDFs, Chirper mix workload\n");
+    for &k in &[2u32, 4] {
+        eprintln!("fig5: {k} partitions...");
+        let dynastar = cdf(k, Mode::Dynastar);
+        let ssmr = cdf(k, Mode::SSmr);
+        println!("== {k} partitions ==");
+        println!("{:>10}  {:>8}   |  {:>10}  {:>8}", "DynaStar ms", "CDF", "S-SMR* ms", "CDF");
+        let n = dynastar.len().max(ssmr.len());
+        for i in 0..n {
+            let d = dynastar.get(i).map(|&(l, f)| format!("{l:>10.2}  {f:>8.3}")).unwrap_or_else(|| " ".repeat(20));
+            let s = ssmr.get(i).map(|&(l, f)| format!("{l:>10.2}  {f:>8.3}")).unwrap_or_else(|| " ".repeat(20));
+            println!("{d}   |  {s}");
+        }
+        // The paper's headline comparison point: latency at the 80th pct.
+        let pct80 = |cdf: &[(f64, f64)]| {
+            cdf.iter().find(|&&(_, f)| f >= 0.8).map(|&(l, _)| l).unwrap_or(f64::NAN)
+        };
+        println!(
+            "p80: DynaStar {:.2} ms vs S-SMR* {:.2} ms\n",
+            pct80(&dynastar),
+            pct80(&ssmr)
+        );
+    }
+    println!("paper shape: S-SMR* lower latency for ~80% of the distribution.");
+}

@@ -1,0 +1,51 @@
+//! Figure 8: throughput at the oracle over time.
+//!
+//! Clients start with fully warm location caches, so the oracle initially
+//! answers zero queries. A repartitioning (~t = 80 s in the paper)
+//! invalidates cached entries; queries spike as clients re-resolve, then
+//! decay back to zero as caches refill.
+
+use std::sync::Arc;
+
+use dynastar_bench::report::print_table;
+use dynastar_bench::setup::{chirper_cluster, ChirperSetup, Placement};
+use dynastar_core::metric_names as mn;
+use dynastar_core::Mode;
+use dynastar_runtime::SimDuration;
+use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
+
+const RUN_SECS: u64 = 90;
+const CLIENTS: usize = 6;
+
+fn main() {
+    let mut setup = ChirperSetup::new(4, Mode::Dynastar);
+    // Warm caches + a random start that the first repartitioning will fix:
+    // the repartition is what invalidates the caches.
+    setup.placement = Placement::Random;
+    setup.repartition_threshold = 10_000;
+    // One repartitioning, at ~80 s as in the paper's plot.
+    setup.min_plan_interval = dynastar_runtime::SimDuration::from_secs(40);
+    let (mut cluster, graph) = chirper_cluster(&setup);
+    for _ in 0..CLIENTS {
+        cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, ChirperMix::MIX));
+    }
+    eprintln!("fig8: running {RUN_SECS}s (oracle queries over time)...");
+    cluster.run_for(SimDuration::from_secs(RUN_SECS));
+
+    let m = cluster.metrics();
+    let queries = m.series(mn::ORACLE_QUERIES).map(|s| s.rates_per_sec()).unwrap_or_default();
+    let moves = m.series(mn::PLAN_MOVES).map(|s| s.bucket_sums().to_vec()).unwrap_or_default();
+
+    println!("\nFigure 8 — oracle query throughput (social network, warm caches)");
+    println!("plans published: {}\n", m.counter(mn::PLANS_PUBLISHED));
+    let mut rows = Vec::new();
+    for t in 0..RUN_SECS as usize {
+        let q = queries.get(t).copied().unwrap_or(0.0);
+        let mv = moves.get(t).copied().unwrap_or(0.0);
+        let marker = if mv > 0.0 { format!("<= plan ({mv:.0} keys moved)") } else { String::new() };
+        rows.push(vec![format!("{t}"), format!("{q:.0}"), marker]);
+    }
+    print_table(&["t(s)", "oracle queries/s", ""], &rows);
+    println!("\npaper shape: ~zero before the repartitioning, a spike right after");
+    println!("(cache invalidations), rapid decay back toward zero.");
+}

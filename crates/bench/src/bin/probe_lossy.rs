@@ -1,0 +1,109 @@
+//! Diagnostic probe for the lossy-network scenario (not a paper
+//! experiment): prints counters every 10 simulated seconds.
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dynastar_core::metric_names as mn;
+use dynastar_core::{
+    Application, ClusterBuilder, ClusterConfig, Command, CommandKind, LocKey, Mode, PartitionId,
+    VarId, Workload,
+};
+use dynastar_runtime::{LatencyModel, NetConfig, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+struct Counters;
+impl Application for Counters {
+    type Op = i64;
+    type Value = i64;
+    type Reply = i64;
+    fn locality(var: VarId) -> LocKey {
+        LocKey(var.0)
+    }
+    fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> i64 {
+        let mut last = 0;
+        for v in vars.values_mut() {
+            last = v.unwrap_or(0) + op;
+            *v = Some(last);
+        }
+        last
+    }
+}
+
+struct Load {
+    vars: u64,
+    remaining: u32,
+    multi_pct: u32,
+    completed: Arc<Mutex<u32>>,
+}
+
+impl Workload<Counters> for Load {
+    fn next_command(&mut self, _now: SimTime, rng: &mut StdRng) -> Option<CommandKind<Counters>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let a = rng.gen_range(0..self.vars);
+        let mut vars = vec![VarId(a)];
+        if rng.gen_range(0..100) < self.multi_pct {
+            let b = (a + 1 + rng.gen_range(0..self.vars - 1)) % self.vars;
+            vars.push(VarId(b));
+        }
+        Some(CommandKind::Access { op: 1, vars })
+    }
+
+    fn on_completed(&mut self, _now: SimTime, _cmd: &Command<Counters>, reply: Option<&i64>) {
+        if reply.is_some() {
+            *self.completed.lock().unwrap() += 1;
+        }
+    }
+}
+
+fn main() {
+    let net = NetConfig::default()
+        .latency(LatencyModel::Uniform {
+            min: SimDuration::from_micros(200),
+            max: SimDuration::from_micros(900),
+        })
+        .loss_probability(0.02);
+    let config = ClusterConfig {
+        partitions: 2,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed: 5,
+        net,
+        repartition_threshold: u64::MAX,
+        warm_client_caches: true,
+        client_timeout: SimDuration::from_secs(3),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    for v in 0..20u64 {
+        b.place(LocKey(v), PartitionId((v % 2) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    let completed = Arc::new(Mutex::new(0));
+    for _ in 0..3 {
+        cluster.add_client(Load {
+            vars: 20,
+            remaining: 40,
+            multi_pct: 30,
+            completed: Arc::clone(&completed),
+        });
+    }
+    for slice in 0..12 {
+        cluster.run_for(SimDuration::from_secs(10));
+        let m = cluster.metrics();
+        println!(
+            "t={:>3}s done={:>3} retries={} timeouts={} oracle_q={} single={} multi={}",
+            (slice + 1) * 10,
+            *completed.lock().unwrap(),
+            m.counter(mn::CMD_RETRY),
+            m.counter(mn::CMD_TIMEOUT),
+            m.counter(mn::ORACLE_QUERIES),
+            m.counter(mn::CMD_SINGLE),
+            m.counter(mn::CMD_MULTI),
+        );
+    }
+}

@@ -1,0 +1,26 @@
+use std::sync::Arc;
+use dynastar_bench::setup::{tpcc_cluster, Placement, TpccSetup};
+use dynastar_core::Mode;
+use dynastar_runtime::SimDuration;
+use dynastar_workloads::tpcc::{self, TpccWorkload};
+use dynastar_core::metric_names as mn;
+
+fn main() {
+    let mut setup = TpccSetup::new(4, Mode::Dynastar);
+    setup.placement = Placement::Random;
+    setup.repartition_threshold = u64::MAX;
+    let mut cluster = tpcc_cluster(&setup);
+    let tracker = tpcc::order_tracker();
+    for w in 0..setup.scale.warehouses {
+        for _ in 0..6 {
+            cluster.add_client(TpccWorkload::new(setup.scale, w, Arc::clone(&tracker)));
+        }
+    }
+    let t0 = std::time::Instant::now();
+    cluster.run_for(SimDuration::from_secs(10));
+    let wall = t0.elapsed().as_secs_f64();
+    println!("10 sim-s took {:.1} wall-s; events={} ({:.0}/s); completed={}",
+        wall, cluster.sim.events_processed(),
+        cluster.sim.events_processed() as f64 / wall,
+        cluster.metrics().counter(mn::CMD_COMPLETED));
+}

@@ -1,0 +1,17 @@
+//! # dynastar-bench
+//!
+//! Shared harness code for the experiment binaries that regenerate every
+//! table and figure of the paper's evaluation (§6). Each figure has a
+//! `src/bin/figN_*.rs` binary; run them with
+//! `cargo run --release -p dynastar-bench --bin <name>`.
+//!
+//! The binaries print the same rows/series the paper plots. Absolute
+//! numbers differ from the paper (simulated network vs. EC2), but the
+//! shapes — who wins, by what factor, where crossovers fall — are the
+//! reproduction targets; see EXPERIMENTS.md for the side-by-side record.
+
+pub mod report;
+pub mod setup;
+
+pub use report::{print_series, print_table};
+pub use setup::{chirper_cluster, tpcc_cluster, ChirperSetup, TpccSetup};

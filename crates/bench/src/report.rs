@@ -1,0 +1,72 @@
+//! Plain-text result rendering for the experiment binaries.
+
+/// Prints an aligned table: `headers` then one row per entry.
+///
+/// # Example
+///
+/// ```
+/// dynastar_bench::print_table(
+///     &["partitions", "tput"],
+///     &[vec!["2".into(), "1000".into()], vec!["4".into(), "1900".into()]],
+/// );
+/// ```
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line: Vec<String> =
+        headers.iter().zip(&widths).map(|(h, w)| format!("{h:>w$}")).collect();
+    println!("{}", line.join("  "));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", sep.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Prints a time series as `t  value` pairs, one per bucket.
+pub fn print_series(name: &str, bucket_secs: f64, values: &[f64]) {
+    println!("# series: {name} (bucket = {bucket_secs}s)");
+    for (i, v) in values.iter().enumerate() {
+        println!("{:>8.1}  {v:.1}", i as f64 * bucket_secs);
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_scales_precision() {
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.34), "42.3");
+        assert_eq!(fmt(1.234), "1.23");
+    }
+
+    #[test]
+    fn print_table_handles_ragged_rows() {
+        // Smoke test: must not panic.
+        print_table(&["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+    }
+}

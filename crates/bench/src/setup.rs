@@ -1,0 +1,213 @@
+//! Cluster construction shared by the experiment binaries.
+
+use std::sync::{Arc, Mutex};
+
+use dynastar_core::{Cluster, ClusterBuilder, ClusterConfig, Mode, PartitionId};
+use dynastar_runtime::SimDuration;
+use dynastar_workloads::chirper::{Chirper, ChirperUser};
+use dynastar_workloads::placement;
+use dynastar_workloads::socialgraph::SocialGraph;
+use dynastar_workloads::tpcc::{self, schema, Tpcc, TpccScale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How benchmark state is initially placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Uniformly random (DynaStar's t=0 in Figures 2 and 6).
+    Random,
+    /// Warehouse-aligned (TPC-C's natural static placement; what S-SMR\*
+    /// uses for Figure 3).
+    Aligned,
+    /// Partitioner-optimized from the co-access graph (S-SMR\* for the
+    /// social network).
+    Optimized,
+}
+
+/// Parameters for a TPC-C deployment.
+#[derive(Debug, Clone)]
+pub struct TpccSetup {
+    /// Minimum time between repartitionings.
+    pub min_plan_interval: SimDuration,
+    /// Scale (warehouses, customers, items).
+    pub scale: TpccScale,
+    /// Number of partitions.
+    pub partitions: u32,
+    /// Replication scheme.
+    pub mode: Mode,
+    /// Initial placement of districts/warehouses.
+    pub placement: Placement,
+    /// Master seed.
+    pub seed: u64,
+    /// Repartitioning threshold (`u64::MAX` disables).
+    pub repartition_threshold: u64,
+}
+
+impl TpccSetup {
+    /// A default setup: `partitions` partitions, one warehouse each.
+    pub fn new(partitions: u32, mode: Mode) -> Self {
+        TpccSetup {
+            min_plan_interval: SimDuration::from_secs(40),
+            scale: TpccScale {
+                warehouses: partitions,
+                customers_per_district: 30,
+                items: 200,
+            },
+            partitions,
+            mode,
+            placement: Placement::Aligned,
+            seed: 1,
+            repartition_threshold: if mode == Mode::Dynastar { 3_000 } else { u64::MAX },
+        }
+    }
+}
+
+/// Builds a TPC-C cluster per `setup` (state preloaded, no clients yet).
+pub fn tpcc_cluster(setup: &TpccSetup) -> Cluster<Tpcc> {
+    let config = ClusterConfig {
+        partitions: setup.partitions,
+        replicas: 3,
+        mode: setup.mode,
+        seed: setup.seed,
+        repartition_threshold: setup.repartition_threshold,
+        min_plan_interval: setup.min_plan_interval,
+        warm_client_caches: true,
+        compute_base: SimDuration::from_millis(100),
+        service_time: SimDuration::from_micros(150),
+        ..ClusterConfig::default()
+    };
+    let keys = tpcc::keys(&setup.scale);
+    let map: Vec<(dynastar_core::LocKey, PartitionId)> = match setup.placement {
+        Placement::Random => {
+            let mut rng = StdRng::seed_from_u64(setup.seed ^ 0xBEEF);
+            placement::random(keys, setup.partitions, &mut rng).into_iter().collect()
+        }
+        Placement::Aligned | Placement::Optimized => keys
+            .into_iter()
+            .map(|k| {
+                let w = if k.0 >= (1 << 40) {
+                    (k.0 - (1 << 40)) as u32
+                } else {
+                    (k.0 / schema::DISTRICTS_PER_WAREHOUSE as u64) as u32
+                };
+                (k, PartitionId(w % setup.partitions))
+            })
+            .collect(),
+    };
+    let mut b = ClusterBuilder::new(config);
+    for (k, p) in map {
+        b.place(k, p);
+    }
+    b.with_vars(tpcc::rows(&setup.scale));
+    b.build()
+}
+
+/// Parameters for a Chirper deployment.
+#[derive(Debug, Clone)]
+pub struct ChirperSetup {
+    /// Minimum time between repartitionings.
+    pub min_plan_interval: SimDuration,
+    /// Number of users in the synthetic social graph.
+    pub users: usize,
+    /// Follows per user in the Barabási–Albert generator.
+    pub follows_per_user: usize,
+    /// Number of partitions.
+    pub partitions: u32,
+    /// Replication scheme.
+    pub mode: Mode,
+    /// Initial placement of users.
+    pub placement: Placement,
+    /// Master seed.
+    pub seed: u64,
+    /// Repartitioning threshold (`u64::MAX` disables).
+    pub repartition_threshold: u64,
+}
+
+impl ChirperSetup {
+    /// A default setup scaled for simulation speed (the Higgs dataset's
+    /// qualitative shape at 1/100 size; see DESIGN.md).
+    pub fn new(partitions: u32, mode: Mode) -> Self {
+        ChirperSetup {
+            min_plan_interval: SimDuration::from_secs(40),
+            users: 2_000,
+            follows_per_user: 6,
+            partitions,
+            mode,
+            placement: if mode == Mode::Dynastar { Placement::Random } else { Placement::Optimized },
+            seed: 1,
+            repartition_threshold: if mode == Mode::Dynastar { 4_000 } else { u64::MAX },
+        }
+    }
+}
+
+/// Builds a Chirper cluster and its shared social graph (state preloaded,
+/// no clients yet). The returned graph handle feeds the workload
+/// generators so declared variable sets stay coherent.
+pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<SocialGraph>>) {
+    let mut rng = StdRng::seed_from_u64(setup.seed ^ 0x5AFE);
+    let graph = SocialGraph::barabasi_albert(setup.users, setup.follows_per_user, &mut rng);
+    let config = ClusterConfig {
+        partitions: setup.partitions,
+        replicas: 3,
+        mode: setup.mode,
+        seed: setup.seed,
+        repartition_threshold: setup.repartition_threshold,
+        min_plan_interval: setup.min_plan_interval,
+        warm_client_caches: true,
+        compute_base: SimDuration::from_millis(100),
+        service_time: SimDuration::from_micros(150),
+        ..ClusterConfig::default()
+    };
+    let keys = (0..graph.users() as u64).map(Chirper::key);
+    let map: Vec<(dynastar_core::LocKey, PartitionId)> = match setup.placement {
+        Placement::Random => {
+            placement::random(keys, setup.partitions, &mut rng).into_iter().collect()
+        }
+        Placement::Aligned => placement::round_robin(keys, setup.partitions).into_iter().collect(),
+        Placement::Optimized => placement::optimized(
+            keys,
+            graph.coaccess_edges().map(|(a, b)| (Chirper::key(a), Chirper::key(b), 1)),
+            setup.partitions,
+            setup.seed,
+        )
+        .into_iter()
+        .collect(),
+    };
+    let mut b = ClusterBuilder::new(config);
+    for (k, p) in map {
+        b.place(k, p);
+    }
+    b.with_vars((0..graph.users() as u64).map(|u| {
+        let user = ChirperUser {
+            timeline: Default::default(),
+            follows: graph.follows_of(u).to_vec(),
+            followers: graph.followers_of(u).to_vec(),
+        };
+        (Chirper::var(u), std::sync::Arc::new(user))
+    }));
+    (b.build(), Arc::new(Mutex::new(graph)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpcc_setup_builds() {
+        let mut setup = TpccSetup::new(2, Mode::Dynastar);
+        setup.scale = TpccScale { warehouses: 2, customers_per_district: 5, items: 20 };
+        let cluster = tpcc_cluster(&setup);
+        assert_eq!(cluster.config.partitions, 2);
+    }
+
+    #[test]
+    fn chirper_setup_builds_both_placements() {
+        for mode in [Mode::Dynastar, Mode::SSmr] {
+            let mut setup = ChirperSetup::new(2, mode);
+            setup.users = 100;
+            let (cluster, graph) = chirper_cluster(&setup);
+            assert_eq!(cluster.config.partitions, 2);
+            assert_eq!(graph.lock().unwrap().users(), 100);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Minimal flag parsing (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags plus the leading subcommand.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The first positional token (subcommand), if any.
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses a raw argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a dangling `--flag` with no value or an
+    /// unexpected extra positional.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                out.flags.insert(name.to_string(), value);
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(format!("unexpected positional argument {tok:?}"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string flag, or `default` when absent.
+    pub fn str_or(&self, name: &str, default: &str) -> String {
+        self.flags.get(name).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// A numeric flag, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value does not parse.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name} {v:?}: {e}")),
+        }
+    }
+
+    /// Whether a flag was supplied at all.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let a = parse(&["chirper", "--partitions", "4", "--mode", "ssmr"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("chirper"));
+        assert_eq!(a.num_or("partitions", 1u32).unwrap(), 4);
+        assert_eq!(a.str_or("mode", "dynastar"), "ssmr");
+        assert_eq!(a.num_or("seed", 7u64).unwrap(), 7);
+        assert!(a.has("mode"));
+        assert!(!a.has("seed"));
+    }
+
+    #[test]
+    fn rejects_dangling_flag() {
+        assert!(parse(&["tpcc", "--partitions"]).is_err());
+    }
+
+    #[test]
+    fn rejects_extra_positional() {
+        assert!(parse(&["tpcc", "extra"]).is_err());
+    }
+
+    #[test]
+    fn reports_bad_numbers() {
+        let a = parse(&["tpcc", "--partitions", "many"]).unwrap();
+        assert!(a.num_or("partitions", 1u32).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! `dynastar` — run DynaStar simulation scenarios from the command line.
+//!
+//! ```text
+//! dynastar chirper --partitions 4 --mode dynastar --users 2000 --clients 8 --secs 60
+//! dynastar tpcc    --partitions 4 --mode ssmr     --clients 8 --secs 60
+//! ```
+//!
+//! Modes: `dynastar` (default), `ssmr` (S-SMR\* with optimized static
+//! placement), `dssmr`. All runs are deterministic in `--seed`.
+
+mod args;
+
+use std::sync::Arc;
+
+use args::Args;
+use dynastar_bench::setup::{chirper_cluster, tpcc_cluster, ChirperSetup, Placement, TpccSetup};
+use dynastar_core::metric_names as mn;
+use dynastar_core::Mode;
+use dynastar_runtime::{Metrics, SimDuration};
+use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
+use dynastar_workloads::tpcc::{self, TpccWorkload};
+
+const USAGE: &str = "\
+usage: dynastar <chirper|tpcc> [flags]
+
+common flags:
+  --mode <dynastar|ssmr|dssmr>   replication scheme        [dynastar]
+  --partitions <k>               number of partitions      [4]
+  --clients <n>                  closed-loop clients       [8]
+  --secs <s>                     simulated seconds to run  [60]
+  --seed <n>                     master seed               [1]
+
+chirper flags:
+  --users <n>                    social graph size         [2000]
+  --posts <pct>                  post percentage (rest timeline) [15]
+
+tpcc flags:
+  --warehouses <n>               warehouses (default = partitions)
+";
+
+fn parse_mode(s: &str) -> Result<Mode, String> {
+    match s {
+        "dynastar" => Ok(Mode::Dynastar),
+        "ssmr" => Ok(Mode::SSmr),
+        "dssmr" => Ok(Mode::DsSmr),
+        other => Err(format!("unknown mode {other:?} (dynastar|ssmr|dssmr)")),
+    }
+}
+
+fn print_summary(metrics: &Metrics, secs: u64) {
+    let done = metrics.counter(mn::CMD_COMPLETED);
+    let multi = metrics.counter(mn::CMD_MULTI);
+    let single = metrics.counter(mn::CMD_SINGLE);
+    println!("commands completed : {done} ({:.0}/s)", done as f64 / secs as f64);
+    println!(
+        "multi-partition    : {multi} ({:.1}%)",
+        100.0 * multi as f64 / (multi + single).max(1) as f64
+    );
+    println!("objects exchanged  : {}", metrics.counter(mn::OBJECTS_EXCHANGED));
+    println!("client retries     : {}", metrics.counter(mn::CMD_RETRY));
+    println!("oracle queries     : {}", metrics.counter(mn::ORACLE_QUERIES));
+    println!("repartitionings    : {}", metrics.counter(mn::PLANS_PUBLISHED));
+    if let Some(h) = metrics.histogram(mn::CMD_LATENCY) {
+        println!(
+            "latency            : mean {}  p50 {}  p95 {}  p99 {}",
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.quantile(0.99)
+        );
+    }
+}
+
+fn run_chirper(a: &Args) -> Result<(), String> {
+    let mode = parse_mode(&a.str_or("mode", "dynastar"))?;
+    let partitions: u32 = a.num_or("partitions", 4)?;
+    let clients: usize = a.num_or("clients", 8)?;
+    let secs: u64 = a.num_or("secs", 60)?;
+    let seed: u64 = a.num_or("seed", 1)?;
+    let users: usize = a.num_or("users", 2000)?;
+    let posts: u32 = a.num_or("posts", 15)?;
+    if posts > 100 {
+        return Err("--posts must be <= 100".into());
+    }
+
+    let mut setup = ChirperSetup::new(partitions, mode);
+    setup.users = users;
+    setup.seed = seed;
+    let (mut cluster, graph) = chirper_cluster(&setup);
+    let mix = ChirperMix { timeline: 100 - posts, post: posts, follow: 0, unfollow: 0 };
+    for _ in 0..clients {
+        cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, mix));
+    }
+    eprintln!(
+        "chirper: {users} users, {partitions} partitions, mode {mode}, {clients} clients, {secs}s..."
+    );
+    cluster.run_for(SimDuration::from_secs(secs));
+    print_summary(cluster.metrics(), secs);
+    Ok(())
+}
+
+fn run_tpcc(a: &Args) -> Result<(), String> {
+    let mode = parse_mode(&a.str_or("mode", "dynastar"))?;
+    let partitions: u32 = a.num_or("partitions", 4)?;
+    let clients: usize = a.num_or("clients", 8)?;
+    let secs: u64 = a.num_or("secs", 60)?;
+    let seed: u64 = a.num_or("seed", 1)?;
+
+    let mut setup = TpccSetup::new(partitions, mode);
+    setup.scale.warehouses = a.num_or("warehouses", partitions)?;
+    setup.seed = seed;
+    if mode == Mode::Dynastar && a.has("warehouses") {
+        setup.placement = Placement::Random; // interesting starting point
+    }
+    let mut cluster = tpcc_cluster(&setup);
+    let tracker = tpcc::order_tracker();
+    for i in 0..clients {
+        let w = (i as u32) % setup.scale.warehouses;
+        cluster.add_client(TpccWorkload::new(setup.scale, w, Arc::clone(&tracker)));
+    }
+    eprintln!(
+        "tpcc: {} warehouses, {partitions} partitions, mode {mode}, {clients} clients, {secs}s...",
+        setup.scale.warehouses
+    );
+    cluster.run_for(SimDuration::from_secs(secs));
+    print_summary(cluster.metrics(), secs);
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("chirper") => run_chirper(&parsed),
+        Some("tpcc") => run_tpcc(&parsed),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".to_string()),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,241 @@
+//! The client protocol core (paper Algorithm 1 and the §4.3 location
+//! cache) and the workload-driver abstraction.
+
+use std::collections::HashMap;
+
+use dynastar_amcast::MsgId;
+use dynastar_runtime::{Metrics, NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use crate::command::{Application, Command, CommandKind, LocKey, Mode, PartitionId};
+use crate::metric_names as mn;
+use crate::payload::{Direct, Effect, Payload};
+use crate::routing::compute_route;
+
+/// Generates the stream of commands a closed-loop client issues.
+///
+/// Implementations may keep state (e.g. the social graph for Chirper, the
+/// warehouse layout for TPC-C); `next_command` is called once per completed
+/// command.
+pub trait Workload<A: Application>: 'static {
+    /// The next command to issue at simulated time `now`, or `None` when
+    /// the workload is done.
+    fn next_command(&mut self, now: SimTime, rng: &mut StdRng) -> Option<CommandKind<A>>;
+
+    /// Observes a completed command at time `now` (default: ignore).
+    fn on_completed(&mut self, now: SimTime, cmd: &Command<A>, reply: Option<&A::Reply>) {
+        let _ = (now, cmd, reply);
+    }
+}
+
+/// Completion notification surfaced to the driving actor.
+#[derive(Debug, Clone)]
+pub enum ClientEvent<A: Application> {
+    /// The outstanding command finished.
+    Completed {
+        /// The finished command.
+        cmd: Command<A>,
+        /// The application reply (`None` for create/delete acks).
+        reply: Option<A::Reply>,
+        /// End-to-end latency.
+        latency: SimDuration,
+        /// Whether the command ultimately failed (`nok` prophecy).
+        ok: bool,
+    },
+}
+
+#[derive(Debug)]
+struct Outstanding<A: Application> {
+    cmd: Command<A>,
+    attempt: u32,
+    issued_at: SimTime,
+}
+
+/// Client-side protocol logic: location cache, oracle fallback, retry.
+///
+/// Drive it with [`ClientCore::issue`], [`ClientCore::on_direct`] and
+/// [`ClientCore::on_timeout`]; a closed-loop client issues the next
+/// command when [`ClientEvent::Completed`] surfaces.
+pub struct ClientCore<A: Application> {
+    id: NodeId,
+    mode: Mode,
+    seq: u32,
+    cache: HashMap<LocKey, PartitionId>,
+    outstanding: Option<Outstanding<A>>,
+}
+
+impl<A: Application> ClientCore<A> {
+    /// Creates a client core. `id` doubles as the message-id origin.
+    pub fn new(id: NodeId, mode: Mode) -> Self {
+        ClientCore { id, mode, seq: 0, cache: HashMap::new(), outstanding: None }
+    }
+
+    /// Pre-populates the location cache (S-SMR's static map, or warm-start
+    /// experiments).
+    pub fn preload_cache(&mut self, entries: impl IntoIterator<Item = (LocKey, PartitionId)>) {
+        self.cache.extend(entries);
+    }
+
+    /// Number of cached locations (test/debug aid).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether a command is in flight.
+    pub fn is_busy(&self) -> bool {
+        self.outstanding.is_some()
+    }
+
+    /// The in-flight command id, if any.
+    pub fn outstanding_cmd(&self) -> Option<MsgId> {
+        self.outstanding.as_ref().map(|o| o.cmd.id)
+    }
+
+    /// Issues a new command (closed loop: at most one outstanding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a command is already outstanding.
+    pub fn issue(&mut self, kind: CommandKind<A>, now: SimTime) -> Vec<Effect<A>> {
+        assert!(self.outstanding.is_none(), "client is closed-loop: command already in flight");
+        let cmd = Command {
+            id: MsgId::new(self.id.as_raw() as u64, self.seq),
+            client: self.id,
+            kind,
+        };
+        self.seq += 1;
+        self.outstanding = Some(Outstanding { cmd: cmd.clone(), attempt: 0, issued_at: now });
+        self.dispatch(cmd, 0)
+    }
+
+    /// Dispatches (or re-dispatches) the outstanding command: straight to
+    /// the partitions when the cache can route it, through the oracle
+    /// otherwise.
+    fn dispatch(&mut self, cmd: Command<A>, attempt: u32) -> Vec<Effect<A>> {
+        if let CommandKind::Access { .. } = cmd.kind {
+            if let Some(route) = compute_route(&cmd, |k| self.cache.get(&k).copied()) {
+                let keep = self.mode.keeps_moved_state() && route.is_multi_partition();
+                return vec![Effect::Multicast {
+                    mid: cmd.id.derived(10 + attempt),
+                    partitions: route.dests.clone(),
+                    include_oracle: keep,
+                    payload: Payload::Access {
+                        cmd,
+                        attempt,
+                        expected: route.expected,
+                        target: route.target,
+                        keep,
+                    },
+                }];
+            }
+        }
+        // Cold cache, stale cache, or create/delete: involve the oracle.
+        vec![Effect::Multicast {
+            mid: cmd.id.derived(100 + attempt),
+            partitions: Vec::new(),
+            include_oracle: true,
+            payload: Payload::Exec { cmd, attempt },
+        }]
+    }
+
+    /// Handles a direct message from a server or the oracle.
+    pub fn on_direct(
+        &mut self,
+        msg: Direct<A>,
+        now: SimTime,
+        metrics: &mut Metrics,
+    ) -> (Vec<Effect<A>>, Option<ClientEvent<A>>) {
+        match msg {
+            Direct::Prophecy { cmd, ok, locations, .. } => {
+                for (k, p) in locations {
+                    self.cache.insert(k, p);
+                }
+                let matches = self.outstanding.as_ref().map(|o| o.cmd.id) == Some(cmd);
+                if matches && !ok {
+                    // Command cannot execute (unknown variable, duplicate
+                    // create): complete unsuccessfully.
+                    let out = self.outstanding.take().expect("matched outstanding");
+                    let latency = now.saturating_duration_since(out.issued_at);
+                    return (
+                        Vec::new(),
+                        Some(ClientEvent::Completed { cmd: out.cmd, reply: None, latency, ok: false }),
+                    );
+                }
+                (Vec::new(), None)
+            }
+            Direct::Reply { cmd, reply, .. } => self.complete(cmd, Some(reply), now, metrics),
+            Direct::Ack { cmd } => self.complete(cmd, None, now, metrics),
+            Direct::Retry { cmd, attempt } => {
+                let matches = self
+                    .outstanding
+                    .as_ref()
+                    .map(|o| o.cmd.id == cmd && o.attempt == attempt)
+                    .unwrap_or(false);
+                if !matches {
+                    return (Vec::new(), None);
+                }
+                metrics.incr_counter(mn::CMD_RETRY, 1);
+                metrics.record_series(mn::CMD_RETRY, now, 1.0);
+                // Our cached locations for this command were stale.
+                let out = self.outstanding.as_mut().expect("matched outstanding");
+                for k in out.cmd.keys() {
+                    self.cache.remove(&k);
+                }
+                let out = self.outstanding.as_mut().expect("matched outstanding");
+                out.attempt += 1;
+                let (cmd, attempt) = (out.cmd.clone(), out.attempt);
+                (self.dispatch(cmd, attempt), None)
+            }
+            _ => (Vec::new(), None),
+        }
+    }
+
+    fn complete(
+        &mut self,
+        cmd: MsgId,
+        reply: Option<A::Reply>,
+        now: SimTime,
+        metrics: &mut Metrics,
+    ) -> (Vec<Effect<A>>, Option<ClientEvent<A>>) {
+        let matches = self.outstanding.as_ref().map(|o| o.cmd.id) == Some(cmd);
+        if !matches {
+            return (Vec::new(), None); // late duplicate from an old attempt
+        }
+        let out = self.outstanding.take().expect("matched outstanding");
+        let latency = now.saturating_duration_since(out.issued_at);
+        metrics.incr_counter(mn::CMD_COMPLETED, 1);
+        metrics.record_series(mn::CMD_COMPLETED, now, 1.0);
+        metrics.record_histogram(mn::CMD_LATENCY, latency);
+        (
+            Vec::new(),
+            Some(ClientEvent::Completed { cmd: out.cmd, reply, latency, ok: true }),
+        )
+    }
+
+    /// Re-dispatches the outstanding command through the oracle after a
+    /// response timeout (lost messages / leader churn).
+    pub fn on_timeout(&mut self, _now: SimTime, metrics: &mut Metrics) -> Vec<Effect<A>> {
+        let Some(out) = self.outstanding.as_mut() else {
+            return Vec::new();
+        };
+        metrics.incr_counter(mn::CMD_TIMEOUT, 1);
+        out.attempt += 1;
+        for k in out.cmd.keys() {
+            self.cache.remove(&k);
+        }
+        let out = self.outstanding.as_ref().expect("outstanding");
+        let (cmd, attempt) = (out.cmd.clone(), out.attempt);
+        self.dispatch(cmd, attempt)
+    }
+}
+
+impl<A: Application> std::fmt::Debug for ClientCore<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientCore")
+            .field("id", &self.id)
+            .field("seq", &self.seq)
+            .field("cache", &self.cache.len())
+            .field("busy", &self.outstanding.is_some())
+            .finish()
+    }
+}

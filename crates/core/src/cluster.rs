@@ -1,0 +1,915 @@
+//! Cluster assembly: actors that wire the protocol cores to the
+//! simulation runtime, and a builder for complete deployments.
+//!
+//! Topology convention: partitions `0..k` are multicast groups `0..k`; the
+//! oracle is group `k`. Every group has the same replica count (the paper
+//! gives the oracle the same resources as every partition).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dynastar_amcast::{GroupId, McastMember, McastOutput, McastWire, MemberId, MsgId, Topology};
+use dynastar_runtime::fifo::{FifoLinks, Frame};
+use dynastar_runtime::{
+    Actor, Ctx, Metrics, NetConfig, NodeId, SimConfig, SimDuration, SimTime, Simulation,
+};
+
+use crate::client::{ClientCore, ClientEvent, Workload};
+use crate::command::{Application, LocKey, Mode, PartitionId, VarId};
+use crate::oracle::{OracleConfig, OracleCore};
+use crate::payload::{Destination, Direct, Effect, Payload};
+use crate::server::{ServerConfig, ServerCore};
+
+/// Timer tags used by the actors.
+mod timer {
+    /// Periodic multicast/consensus tick.
+    pub const TICK: u64 = 1;
+    /// Oracle plan-compute completion.
+    pub const PLAN: u64 = 2;
+    /// Client response timeout.
+    pub const TIMEOUT: u64 = 3;
+    /// Client initial-issue stagger.
+    pub const START: u64 = 4;
+    /// Partition modelled-CPU wake-up.
+    pub const WAKE: u64 = 5;
+    /// Transport retransmission check (clients; servers piggyback on TICK).
+    pub const RETX: u64 = 6;
+}
+
+/// Everything that travels between nodes: FIFO-framed wire messages plus
+/// transport-level cumulative acks (the ARQ layer that makes links
+/// reliable under message loss, as the paper's §2.1 channel model
+/// assumes).
+#[derive(Debug)]
+pub enum Msg<A: Application> {
+    /// A sequenced protocol frame.
+    Frame(Frame<Inner<A>>),
+    /// Selective ack: every frame with `seq < up_to` was received, and the
+    /// listed later frames are missing (retransmit them now).
+    Ack {
+        /// The receiver's next expected sequence number.
+        up_to: u64,
+        /// Holes above `up_to` the receiver is waiting for.
+        missing: Vec<u64>,
+    },
+}
+
+impl<A: Application> Clone for Msg<A> {
+    fn clone(&self) -> Self {
+        match self {
+            Msg::Frame(f) => Msg::Frame(Frame { seq: f.seq, inner: f.inner.clone() }),
+            Msg::Ack { up_to, missing } => {
+                Msg::Ack { up_to: *up_to, missing: missing.clone() }
+            }
+        }
+    }
+}
+
+/// The unframed message body.
+#[derive(Debug)]
+pub enum Inner<A: Application> {
+    /// Atomic multicast traffic. Payloads travel behind an `Arc` so the
+    /// many per-replica copies share one allocation.
+    Wire(McastWire<Arc<Payload<A>>>),
+    /// Direct protocol messages.
+    Direct(Direct<A>),
+}
+
+impl<A: Application> Clone for Inner<A> {
+    fn clone(&self) -> Self {
+        match self {
+            Inner::Wire(w) => Inner::Wire(w.clone()),
+            Inner::Direct(d) => Inner::Direct(d.clone()),
+        }
+    }
+}
+
+/// Node addressing shared by every actor.
+#[derive(Debug)]
+struct RouteTable {
+    /// `groups[g][replica]` = node id.
+    groups: Vec<Vec<NodeId>>,
+    oracle_group: GroupId,
+}
+
+impl RouteTable {
+    fn node_of(&self, m: MemberId) -> NodeId {
+        self.groups[m.group.0 as usize][m.index]
+    }
+
+    fn group_nodes(&self, g: GroupId) -> &[NodeId] {
+        &self.groups[g.0 as usize]
+    }
+
+    fn partition_group(&self, p: PartitionId) -> GroupId {
+        GroupId(p.0)
+    }
+}
+
+/// Retransmission timeout for unacknowledged frames.
+const RETX_AFTER: SimDuration = SimDuration::from_millis(300);
+/// Give up on a peer's unacked frames after this long (crashed peer).
+const RETX_GIVE_UP: SimDuration = SimDuration::from_secs(30);
+/// Ack after this many unacknowledged received frames (or lazily on the
+/// periodic ack flush) — batching keeps ack traffic a small fraction of
+/// data traffic.
+const ACK_EVERY: u64 = 64;
+/// Retransmit at most this many frames per peer per timeout-driven scan.
+/// Timeout retransmission is only the fallback for stream *tails* (frames
+/// with nothing after them); holes inside the stream are healed precisely
+/// by the selective-repeat NACKs in [`Msg::Ack`].
+const RETX_WINDOW: usize = 32;
+/// Maximum holes reported per ack.
+const NACK_LIMIT: usize = 64;
+/// Minimum spacing of lazy ack flushes.
+const ACK_FLUSH_EVERY: SimDuration = SimDuration::from_millis(100);
+
+/// Shared actor plumbing: FIFO links + a simple ARQ (cumulative acks,
+/// timeout retransmission) + message fan-out.
+struct Wiring<A: Application> {
+    routes: Arc<RouteTable>,
+    fifo: FifoLinks<NodeId, Inner<A>>,
+    /// Sent frames not yet acknowledged: per peer, seq → (frame, sent at).
+    unacked: std::collections::HashMap<NodeId, std::collections::BTreeMap<u64, (Frame<Inner<A>>, SimTime)>>,
+    /// Last cumulative ack value sent to each peer.
+    acked_to_peer: std::collections::HashMap<NodeId, u64>,
+    /// Last time lazy acks were flushed.
+    last_ack_flush: SimTime,
+}
+
+impl<A: Application> Wiring<A> {
+    fn new(routes: Arc<RouteTable>) -> Self {
+        Wiring {
+            routes,
+            fifo: FifoLinks::new(),
+            unacked: std::collections::HashMap::new(),
+            acked_to_peer: std::collections::HashMap::new(),
+            last_ack_flush: SimTime::ZERO,
+        }
+    }
+
+    fn send(&mut self, ctx: &mut Ctx<'_, Msg<A>>, to: NodeId, inner: Inner<A>) {
+        let frame = self.fifo.wrap(to, inner);
+        self.unacked
+            .entry(to)
+            .or_default()
+            .insert(frame.seq, (frame.clone(), ctx.now()));
+        ctx.send(to, Msg::Frame(frame));
+    }
+
+    /// Accepts an incoming message; returns the in-order released inner
+    /// messages (empty for acks/out-of-order frames).
+    fn receive(&mut self, ctx: &mut Ctx<'_, Msg<A>>, from: NodeId, msg: Msg<A>) -> Vec<Inner<A>> {
+        match msg {
+            Msg::Frame(frame) => {
+                let ready = self.fifo.accept(from, frame);
+                if std::env::var_os("DYNASTAR_TRACE_ARQ").is_some() {
+                    let buffered = self.fifo.buffered_count();
+                    if buffered > 200 && buffered % 100 == 0 {
+                        eprintln!(
+                            "[arq] t={} node has {buffered} frames buffered behind gaps (from {from})",
+                            ctx.now()
+                        );
+                    }
+                }
+                // Ack in batches: promptly once enough progress piles up,
+                // otherwise lazily from the periodic flush. This keeps ack
+                // traffic a small fraction of data traffic while bounding
+                // the sender's retransmission buffer.
+                let expected = self.fifo.expected_from(&from);
+                let acked = self.acked_to_peer.get(&from).copied().unwrap_or(0);
+                let missing = self.fifo.missing_from(&from, NACK_LIMIT);
+                if expected >= acked + ACK_EVERY || !missing.is_empty() {
+                    self.acked_to_peer.insert(from, expected);
+                    ctx.send(from, Msg::Ack { up_to: expected, missing });
+                }
+                ready
+            }
+            Msg::Ack { up_to, missing } => {
+                let now = ctx.now();
+                let mut resends = Vec::new();
+                if let Some(buf) = self.unacked.get_mut(&from) {
+                    *buf = buf.split_off(&up_to);
+                    // Selective repeat: resend exactly the reported holes.
+                    for seq in missing {
+                        if let Some((frame, sent_at)) = buf.get_mut(&seq) {
+                            // Rate-limit per frame: a hole may be reported
+                            // by several acks before the resend lands.
+                            if now.saturating_duration_since(*sent_at)
+                                >= SimDuration::from_millis(20)
+                            {
+                                *sent_at = now;
+                                resends.push(frame.clone());
+                            }
+                        }
+                    }
+                    if buf.is_empty() {
+                        self.unacked.remove(&from);
+                    }
+                }
+                for frame in resends {
+                    ctx.send(from, Msg::Frame(frame));
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Transport maintenance: lazy ack flush + retransmission scan, rate
+    /// limited to once per [`ACK_FLUSH_EVERY`] regardless of how often the
+    /// hosting actor ticks.
+    fn maintain(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        let now = ctx.now();
+        if now.saturating_duration_since(self.last_ack_flush) < ACK_FLUSH_EVERY {
+            return;
+        }
+        self.last_ack_flush = now;
+        self.flush_acks(ctx);
+        self.retransmit_due(ctx);
+    }
+
+    /// Flushes lazy acks for peers with unacknowledged receive progress.
+    fn flush_acks(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        let peers: Vec<NodeId> = self.fifo.receive_peers().copied().collect();
+        for peer in peers {
+            let expected = self.fifo.expected_from(&peer);
+            let acked = self.acked_to_peer.get(&peer).copied().unwrap_or(0);
+            let missing = self.fifo.missing_from(&peer, NACK_LIMIT);
+            if expected > acked || !missing.is_empty() {
+                self.acked_to_peer.insert(peer, expected);
+                ctx.send(peer, Msg::Ack { up_to: expected, missing });
+            }
+        }
+    }
+
+    /// Retransmits frames unacknowledged past the timeout.
+    fn retransmit_due(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        let now = ctx.now();
+        let mut dead_peers = Vec::new();
+        for (&peer, buf) in self.unacked.iter_mut() {
+            let mut resends = Vec::new();
+            let mut expired = false;
+            for (frame, sent_at) in buf.values_mut() {
+                let age = now.saturating_duration_since(*sent_at);
+                if age >= RETX_GIVE_UP {
+                    expired = true;
+                    break;
+                }
+                if age >= RETX_AFTER {
+                    *sent_at = now;
+                    resends.push(frame.clone());
+                    if resends.len() >= RETX_WINDOW {
+                        // Pace the recovery: the receiver's cumulative ack
+                        // will advance once the head of the stream heals,
+                        // releasing the rest without retransmission.
+                        break;
+                    }
+                } else {
+                    // Frames are buffered in send order, so once one is
+                    // too young the rest (sent later) are too. A refreshed
+                    // prefix can hide an older suffix for at most one scan
+                    // interval — an acceptable retransmission delay.
+                    break;
+                }
+            }
+            if expired {
+                if std::env::var_os("DYNASTAR_TRACE_ARQ").is_some() {
+                    eprintln!(
+                        "[arq] t={} giving up on peer {peer}: dropping {} unacked frames",
+                        now,
+                        buf.len()
+                    );
+                }
+                dead_peers.push(peer);
+                continue;
+            }
+            for frame in resends {
+                ctx.send(peer, Msg::Frame(frame));
+            }
+        }
+        for peer in dead_peers {
+            self.unacked.remove(&peer);
+        }
+    }
+
+    fn send_direct_to(&mut self, ctx: &mut Ctx<'_, Msg<A>>, dest: Destination, msg: Direct<A>) {
+        match dest {
+            Destination::Partition(p) => {
+                let g = self.routes.partition_group(p);
+                for node in self.routes.group_nodes(g).to_vec() {
+                    self.send(ctx, node, Inner::Direct(msg.clone()));
+                }
+            }
+            Destination::Oracle => {
+                for node in self.routes.group_nodes(self.routes.oracle_group).to_vec() {
+                    self.send(ctx, node, Inner::Direct(msg.clone()));
+                }
+            }
+            Destination::Client(node) => {
+                self.send(ctx, node, Inner::Direct(msg));
+            }
+        }
+    }
+
+    /// Resolves a core's multicast effect into destination group ids.
+    fn mcast_groups(&self, partitions: &[PartitionId], include_oracle: bool) -> Vec<GroupId> {
+        let mut gs: Vec<GroupId> =
+            partitions.iter().map(|&p| self.routes.partition_group(p)).collect();
+        if include_oracle {
+            gs.push(self.routes.oracle_group);
+        }
+        gs.sort_unstable();
+        gs.dedup();
+        gs
+    }
+
+    /// Client-side multicast: clients are not group members, they submit
+    /// directly to every replica of every destination group.
+    fn submit_as_client(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<A>>,
+        mid: MsgId,
+        groups: Vec<GroupId>,
+        payload: Payload<A>,
+    ) {
+        let payload = Arc::new(payload);
+        for &g in &groups {
+            for node in self.routes.group_nodes(g).to_vec() {
+                self.send(
+                    ctx,
+                    node,
+                    Inner::Wire(McastWire::Submit {
+                        mid,
+                        dests: groups.clone(),
+                        payload: Arc::clone(&payload),
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// The protocol core a server actor hosts.
+enum Role<A: Application> {
+    Partition(ServerCore<A>),
+    Oracle(OracleCore<A>),
+}
+
+/// A replica actor: one multicast member plus a partition or oracle core.
+pub struct ServerActor<A: Application> {
+    member: McastMember<Arc<Payload<A>>>,
+    role: Role<A>,
+    wiring: Wiring<A>,
+    tick: SimDuration,
+}
+
+impl<A: Application> ServerActor<A> {
+    /// Routes a multicast-layer output: sends wires, feeds deliveries to
+    /// the core, and recursively handles the effects.
+    fn absorb(&mut self, ctx: &mut Ctx<'_, Msg<A>>, out: McastOutput<Arc<Payload<A>>>) {
+        // Deliveries are in total order — process FIFO.
+        let mut deliveries: std::collections::VecDeque<_> = out.delivered.into();
+        for (to, wire) in out.outgoing {
+            let node = self.wiring.routes.node_of(to);
+            self.wiring.send(ctx, node, Inner::Wire(wire));
+        }
+        while let Some(d) = deliveries.pop_front() {
+            let now = ctx.now();
+            let payload = Arc::try_unwrap(d.payload).unwrap_or_else(|a| (*a).clone());
+            let effects = {
+                let metrics = ctx.metrics_mut();
+                match &mut self.role {
+                    Role::Partition(core) => core.on_deliver(payload, now, metrics),
+                    Role::Oracle(core) => core.on_deliver(payload, now, metrics),
+                }
+            };
+            self.apply_effects(ctx, effects, &mut deliveries);
+        }
+    }
+
+    fn apply_effects(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<A>>,
+        effects: Vec<Effect<A>>,
+        deliveries: &mut std::collections::VecDeque<dynastar_amcast::Delivery<Arc<Payload<A>>>>,
+    ) {
+        for eff in effects {
+            match eff {
+                Effect::Multicast { mid, partitions, include_oracle, payload } => {
+                    let groups = self.wiring.mcast_groups(&partitions, include_oracle);
+                    let out = self.member.submit(mid, groups, Arc::new(payload));
+                    for (to, wire) in out.outgoing {
+                        let node = self.wiring.routes.node_of(to);
+                        self.wiring.send(ctx, node, Inner::Wire(wire));
+                    }
+                    deliveries.extend(out.delivered);
+                }
+                Effect::Send { to, msg } => self.wiring.send_direct_to(ctx, to, msg),
+                Effect::SchedulePlan { after } => ctx.set_timer(after, timer::PLAN),
+                Effect::Wake { at } => {
+                    let delay = at.saturating_duration_since(ctx.now());
+                    ctx.set_timer(delay, timer::WAKE);
+                }
+            }
+        }
+    }
+
+    fn handle_direct(&mut self, ctx: &mut Ctx<'_, Msg<A>>, msg: Direct<A>) {
+        let now = ctx.now();
+        let effects = {
+            let metrics = ctx.metrics_mut();
+            match &mut self.role {
+                Role::Partition(core) => core.on_direct(msg, now, metrics),
+                Role::Oracle(core) => core.on_direct(msg, now, metrics),
+            }
+        };
+        let mut deliveries = std::collections::VecDeque::new();
+        self.apply_effects(ctx, effects, &mut deliveries);
+        while let Some(d) = deliveries.pop_front() {
+            let now = ctx.now();
+            let payload = Arc::try_unwrap(d.payload).unwrap_or_else(|a| (*a).clone());
+            let effects = {
+                let metrics = ctx.metrics_mut();
+                match &mut self.role {
+                    Role::Partition(core) => core.on_deliver(payload, now, metrics),
+                    Role::Oracle(core) => core.on_deliver(payload, now, metrics),
+                }
+            };
+            self.apply_effects(ctx, effects, &mut deliveries);
+        }
+    }
+}
+
+impl<A: Application> Actor<Msg<A>> for ServerActor<A> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        ctx.set_timer(self.tick, timer::TICK);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<A>>, from: NodeId, msg: Msg<A>) {
+        let ready = self.wiring.receive(ctx, from, msg);
+        for inner in ready {
+            match inner {
+                Inner::Wire(wire) => {
+                    let out = self.member.on_message(wire);
+                    self.absorb(ctx, out);
+                }
+                Inner::Direct(d) => self.handle_direct(ctx, d),
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<A>>, tag: u64) {
+        match tag {
+            timer::TICK => {
+                let out = self.member.tick();
+                self.absorb(ctx, out);
+                let now = ctx.now();
+                let effects = {
+                    let metrics = ctx.metrics_mut();
+                    match &mut self.role {
+                        Role::Oracle(core) => core.on_tick(now, metrics),
+                        Role::Partition(_) => Vec::new(),
+                    }
+                };
+                if !effects.is_empty() {
+                    let mut deliveries = std::collections::VecDeque::new();
+                    self.apply_effects(ctx, effects, &mut deliveries);
+                    debug_assert!(deliveries.is_empty());
+                }
+                self.wiring.maintain(ctx);
+                ctx.set_timer(self.tick, timer::TICK);
+            }
+            timer::PLAN => {
+                let now = ctx.now();
+                let effects = {
+                    let metrics = ctx.metrics_mut();
+                    match &mut self.role {
+                        Role::Oracle(core) => core.on_plan_timer(now, metrics),
+                        Role::Partition(_) => Vec::new(),
+                    }
+                };
+                let mut deliveries = std::collections::VecDeque::new();
+                self.apply_effects(ctx, effects, &mut deliveries);
+                while let Some(d) = deliveries.pop_front() {
+                    let now = ctx.now();
+                    let payload = Arc::try_unwrap(d.payload).unwrap_or_else(|a| (*a).clone());
+                    let effects = {
+                        let metrics = ctx.metrics_mut();
+                        match &mut self.role {
+                            Role::Partition(core) => core.on_deliver(payload, now, metrics),
+                            Role::Oracle(core) => core.on_deliver(payload, now, metrics),
+                        }
+                    };
+                    self.apply_effects(ctx, effects, &mut deliveries);
+                }
+            }
+            timer::WAKE => {
+                let now = ctx.now();
+                let effects = {
+                    let metrics = ctx.metrics_mut();
+                    match &mut self.role {
+                        Role::Partition(core) => core.on_wake(now, metrics),
+                        Role::Oracle(_) => Vec::new(),
+                    }
+                };
+                let mut deliveries = std::collections::VecDeque::new();
+                self.apply_effects(ctx, effects, &mut deliveries);
+                while let Some(d) = deliveries.pop_front() {
+                    let now = ctx.now();
+                    let payload = Arc::try_unwrap(d.payload).unwrap_or_else(|a| (*a).clone());
+                    let effects = {
+                        let metrics = ctx.metrics_mut();
+                        match &mut self.role {
+                            Role::Partition(core) => core.on_deliver(payload, now, metrics),
+                            Role::Oracle(core) => core.on_deliver(payload, now, metrics),
+                        }
+                    };
+                    self.apply_effects(ctx, effects, &mut deliveries);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A closed-loop client actor driving a [`Workload`].
+pub struct ClientActor<A: Application, W: Workload<A>> {
+    core: ClientCore<A>,
+    workload: W,
+    wiring: Wiring<A>,
+    timeout: SimDuration,
+    /// Uniform random delay before the first command, to de-synchronize
+    /// client start-up.
+    start_jitter: SimDuration,
+    /// Set when the workload returns `None`.
+    done: bool,
+}
+
+impl<A: Application, W: Workload<A>> ClientActor<A, W> {
+    fn apply_effects(&mut self, ctx: &mut Ctx<'_, Msg<A>>, effects: Vec<Effect<A>>) {
+        for eff in effects {
+            match eff {
+                Effect::Multicast { mid, partitions, include_oracle, payload } => {
+                    let groups = self.wiring.mcast_groups(&partitions, include_oracle);
+                    self.wiring.submit_as_client(ctx, mid, groups, payload);
+                }
+                Effect::Send { to, msg } => self.wiring.send_direct_to(ctx, to, msg),
+                Effect::SchedulePlan { .. } | Effect::Wake { .. } => {}
+            }
+        }
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        if self.done || self.core.is_busy() {
+            return;
+        }
+        let now = ctx.now();
+        match self.workload.next_command(now, ctx.rng()) {
+            Some(kind) => {
+                let now = ctx.now();
+                let effects = self.core.issue(kind, now);
+                self.apply_effects(ctx, effects);
+                ctx.set_timer(self.timeout, timer::TIMEOUT);
+            }
+            None => {
+                self.done = true;
+                ctx.cancel_timer(timer::TIMEOUT);
+            }
+        }
+    }
+}
+
+impl<A: Application, W: Workload<A>> Actor<Msg<A>> for ClientActor<A, W> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        ctx.set_timer(self.start_jitter, timer::START);
+        ctx.set_timer(SimDuration::from_millis(100), timer::RETX);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<A>>, from: NodeId, msg: Msg<A>) {
+        let ready = self.wiring.receive(ctx, from, msg);
+        for inner in ready {
+            let Inner::Direct(d) = inner else { continue };
+            let now = ctx.now();
+            let (effects, event) = {
+                let metrics = ctx.metrics_mut();
+                self.core.on_direct(d, now, metrics)
+            };
+            self.apply_effects(ctx, effects);
+            if let Some(ClientEvent::Completed { cmd, reply, ok, .. }) = event {
+                ctx.cancel_timer(timer::TIMEOUT);
+                let now = ctx.now();
+                self.workload.on_completed(now, &cmd, if ok { reply.as_ref() } else { None });
+                self.issue_next(ctx);
+            } else if self.core.is_busy() {
+                // Retry dispatched: refresh the response timeout.
+                ctx.set_timer(self.timeout, timer::TIMEOUT);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<A>>, tag: u64) {
+        match tag {
+            timer::START => self.issue_next(ctx),
+            timer::TIMEOUT => {
+                if self.core.is_busy() {
+                    let now = ctx.now();
+                    let effects = {
+                        let metrics = ctx.metrics_mut();
+                        self.core.on_timeout(now, metrics)
+                    };
+                    self.apply_effects(ctx, effects);
+                    ctx.set_timer(self.timeout, timer::TIMEOUT);
+                }
+            }
+            timer::RETX => {
+                self.wiring.maintain(ctx);
+                ctx.set_timer(SimDuration::from_millis(100), timer::RETX);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Deployment parameters for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of state partitions.
+    pub partitions: u32,
+    /// Replicas per group (partitions and oracle alike).
+    pub replicas: usize,
+    /// Execution mode (DynaStar / S-SMR / DS-SMR).
+    pub mode: Mode,
+    /// Master seed for the simulation.
+    pub seed: u64,
+    /// Network model.
+    pub net: NetConfig,
+    /// Multicast/consensus tick interval.
+    pub tick: SimDuration,
+    /// Partition server tunables.
+    pub server: ServerConfig,
+    /// Workload-graph change count that triggers repartitioning.
+    pub repartition_threshold: u64,
+    /// Minimum time between repartitionings.
+    pub min_plan_interval: SimDuration,
+    /// Modelled partitioner latency: base + per-element.
+    pub compute_base: SimDuration,
+    /// Modelled partitioner latency per graph element.
+    pub compute_per_element: SimDuration,
+    /// Modelled CPU time per command execution at partition replicas
+    /// (zero = infinite-speed servers; set to get saturation behaviour).
+    pub service_time: SimDuration,
+    /// Client response timeout before re-dispatch through the oracle.
+    pub client_timeout: SimDuration,
+    /// Seed client caches with the initial placement (always done for
+    /// S-SMR, whose map is static).
+    pub warm_client_caches: bool,
+    /// Metrics time-series bucket.
+    pub metrics_bucket: SimDuration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            partitions: 2,
+            replicas: 3,
+            mode: Mode::Dynastar,
+            seed: 1,
+            net: NetConfig::default(),
+            tick: SimDuration::from_millis(1),
+            server: ServerConfig::default(),
+            repartition_threshold: 2_000,
+            min_plan_interval: SimDuration::from_secs(30),
+            compute_base: SimDuration::from_millis(50),
+            compute_per_element: SimDuration::from_micros(1),
+            service_time: SimDuration::ZERO,
+            client_timeout: SimDuration::from_secs(10),
+            warm_client_caches: false,
+            metrics_bucket: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// Builder for a complete simulated deployment.
+///
+/// # Example
+///
+/// See `examples/quickstart.rs`, or the crate-level docs.
+pub struct ClusterBuilder<A: Application> {
+    config: ClusterConfig,
+    placement: BTreeMap<LocKey, PartitionId>,
+    initial_vars: Vec<(VarId, A::Value)>,
+}
+
+impl<A: Application> ClusterBuilder<A> {
+    /// Starts a builder from a config.
+    pub fn new(config: ClusterConfig) -> Self {
+        ClusterBuilder { config, placement: BTreeMap::new(), initial_vars: Vec::new() }
+    }
+
+    /// Places `key` on `partition` at time zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn place(&mut self, key: LocKey, partition: PartitionId) -> &mut Self {
+        assert!(partition.0 < self.config.partitions, "partition {partition} out of range");
+        self.placement.insert(key, partition);
+        self
+    }
+
+    /// Adds an initial variable (its key must have been [placed](Self::place)).
+    pub fn with_var(&mut self, var: VarId, value: A::Value) -> &mut Self {
+        self.initial_vars.push((var, value));
+        self
+    }
+
+    /// Bulk variant of [`Self::with_var`].
+    pub fn with_vars(&mut self, vars: impl IntoIterator<Item = (VarId, A::Value)>) -> &mut Self {
+        self.initial_vars.extend(vars);
+        self
+    }
+
+    /// Assembles the cluster: spawns oracle and partition replicas,
+    /// preloads state, and returns the handle clients are added to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an initial variable's key has no placement.
+    pub fn build(&mut self) -> Cluster<A> {
+        let cfg = self.config.clone();
+        let k = cfg.partitions as usize;
+        let sim_cfg = SimConfig::default()
+            .seed(cfg.seed)
+            .net(cfg.net.clone())
+            .metrics_bucket(cfg.metrics_bucket);
+        let mut sim: Simulation<Msg<A>> = Simulation::new(sim_cfg);
+
+        let topo = Topology::uniform(k + 1, cfg.replicas);
+        let oracle_group = GroupId(k as u32);
+
+        // Reserve node ids first so the route table is complete before any
+        // actor is constructed.
+        let mut groups: Vec<Vec<NodeId>> = Vec::with_capacity(k + 1);
+        // Node ids are assigned sequentially by add_node; precompute them.
+        let mut next = 0u32;
+        for _ in 0..=k {
+            let mut g = Vec::with_capacity(cfg.replicas);
+            for _ in 0..cfg.replicas {
+                g.push(NodeId::from_raw(next));
+                next += 1;
+            }
+            groups.push(g);
+        }
+        let routes = Arc::new(RouteTable { groups, oracle_group });
+
+        // Group initial variables by partition.
+        let mut vars_by_part: Vec<Vec<(VarId, A::Value)>> = vec![Vec::new(); k];
+        for (v, val) in self.initial_vars.drain(..) {
+            let key = A::locality(v);
+            let p = *self
+                .placement
+                .get(&key)
+                .unwrap_or_else(|| panic!("initial var {v} has unplaced key {key}"));
+            vars_by_part[p.0 as usize].push((v, val));
+        }
+        let mut keys_by_part: Vec<Vec<LocKey>> = vec![Vec::new(); k];
+        for (&key, &p) in &self.placement {
+            keys_by_part[p.0 as usize].push(key);
+        }
+
+        // Partition replicas.
+        for p in 0..k {
+            for r in 0..cfg.replicas {
+                let mut core = ServerCore::<A>::new(
+                    PartitionId(p as u32),
+                    cfg.mode,
+                    ServerConfig {
+                        collect_hints: cfg.mode.optimizes() && cfg.server.collect_hints,
+                        record_metrics: r == 0,
+                        service_time: cfg.service_time,
+                        ..cfg.server.clone()
+                    },
+                );
+                core.preload(keys_by_part[p].iter().copied(), vars_by_part[p].iter().cloned());
+                let actor = ServerActor {
+                    member: McastMember::new(MemberId::new(GroupId(p as u32), r), topo.clone()),
+                    role: Role::Partition(core),
+                    wiring: Wiring::new(Arc::clone(&routes)),
+                    tick: cfg.tick,
+                };
+                let id = sim.add_node(format!("p{p}r{r}"), actor);
+                debug_assert_eq!(id, routes.groups[p][r]);
+            }
+        }
+        // Oracle replicas.
+        for r in 0..cfg.replicas {
+            let mut core = OracleCore::<A>::new(OracleConfig {
+                partitions: cfg.partitions,
+                mode: cfg.mode,
+                repartition_threshold: cfg.repartition_threshold,
+                compute_base: cfg.compute_base,
+                compute_per_element: cfg.compute_per_element,
+                balance_factor: 1.2,
+                decay_hints: true,
+                min_plan_interval: cfg.min_plan_interval,
+                record_metrics: r == 0,
+            });
+            core.preload_map(self.placement.iter().map(|(&kk, &p)| (kk, p)));
+            let actor = ServerActor {
+                member: McastMember::new(MemberId::new(oracle_group, r), topo.clone()),
+                role: Role::Oracle(core),
+                wiring: Wiring::new(Arc::clone(&routes)),
+                tick: cfg.tick,
+            };
+            let id = sim.add_node(format!("oracle-r{r}"), actor);
+            debug_assert_eq!(id, routes.groups[k][r]);
+        }
+
+        Cluster {
+            sim,
+            routes,
+            config: cfg,
+            placement: self.placement.clone(),
+            clients: Vec::new(),
+        }
+    }
+}
+
+/// A running simulated deployment: the simulation, its replicas, and the
+/// clients added so far.
+pub struct Cluster<A: Application> {
+    /// The underlying simulation (exposed for metrics and time control).
+    pub sim: Simulation<Msg<A>>,
+    routes: Arc<RouteTable>,
+    /// The configuration the cluster was built with.
+    pub config: ClusterConfig,
+    placement: BTreeMap<LocKey, PartitionId>,
+    clients: Vec<NodeId>,
+}
+
+impl<A: Application> Cluster<A> {
+    /// Starts a builder.
+    pub fn builder(config: ClusterConfig) -> ClusterBuilder<A> {
+        ClusterBuilder::new(config)
+    }
+
+    /// Adds a closed-loop client driving `workload`. Returns its node id.
+    pub fn add_client(&mut self, workload: impl Workload<A>) -> NodeId {
+        let idx = self.clients.len();
+        // Pre-compute the id the simulation will assign.
+        let id = NodeId::from_raw(self.sim.node_count() as u32);
+        let mut core = ClientCore::new(id, self.config.mode);
+        if self.config.warm_client_caches || self.config.mode == Mode::SSmr {
+            core.preload_cache(self.placement.iter().map(|(&k, &p)| (k, p)));
+        }
+        let jitter_us = 1 + (idx as u64 * 137) % 5_000;
+        let actor = ClientActor {
+            core,
+            workload,
+            wiring: Wiring::new(Arc::clone(&self.routes)),
+            timeout: self.config.client_timeout,
+            start_jitter: SimDuration::from_micros(jitter_us),
+            done: false,
+        };
+        let assigned = self.sim.add_node(format!("client{idx}"), actor);
+        debug_assert_eq!(assigned, id);
+        self.clients.push(assigned);
+        assigned
+    }
+
+    /// Node ids of all clients.
+    pub fn clients(&self) -> &[NodeId] {
+        &self.clients
+    }
+
+    /// Runs the simulation for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.sim.run_for(d);
+    }
+
+    /// Runs the simulation until absolute time `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.sim.run_until(t);
+    }
+
+    /// Collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Mutable metrics (e.g. reset after warm-up).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        self.sim.metrics_mut()
+    }
+}
+
+impl<A: Application> std::fmt::Debug for Cluster<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("partitions", &self.config.partitions)
+            .field("replicas", &self.config.replicas)
+            .field("mode", &self.config.mode)
+            .field("clients", &self.clients.len())
+            .finish()
+    }
+}

@@ -1,0 +1,273 @@
+//! The application model: variables, locality keys, commands.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dynastar_amcast::MsgId;
+use dynastar_runtime::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of one state variable (the unit of storage and of on-demand
+/// movement — a TPC-C row, a Chirper user record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub u64);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a locality key (the unit of *location*: a vertex of the
+/// oracle's workload graph — a TPC-C district or warehouse, a Chirper
+/// user). Every variable belongs to exactly one key via
+/// [`Application::locality`]; all variables of a key live in the same
+/// partition and migrate together on repartitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LocKey(pub u64);
+
+impl fmt::Display for LocKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// Identifier of a state partition (a replicated server group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub u32);
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A replicated application: deterministic command execution over declared
+/// variables.
+///
+/// Implementations are pure — `execute` must be a deterministic function of
+/// its inputs, because every replica of a partition executes the same
+/// commands independently (the state-machine-replication contract).
+///
+/// # Example
+///
+/// ```
+/// use std::collections::BTreeMap;
+/// use dynastar_core::{Application, LocKey, VarId};
+///
+/// /// A bank of counters: one counter per variable, one key per variable.
+/// struct Counters;
+/// impl Application for Counters {
+///     type Op = i64; // add this amount to every declared variable
+///     type Value = i64;
+///     type Reply = i64; // sum after the update
+///
+///     fn locality(var: VarId) -> LocKey {
+///         LocKey(var.0)
+///     }
+///
+///     fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> i64 {
+///         let mut sum = 0;
+///         for v in vars.values_mut() {
+///             let cur = v.unwrap_or(0) + op;
+///             *v = Some(cur);
+///             sum += cur;
+///         }
+///         sum
+///     }
+/// }
+/// ```
+pub trait Application: Sized + Send + Sync + 'static {
+    /// Operation descriptor carried by [`CommandKind::Access`].
+    type Op: Clone + fmt::Debug + Send + Sync + 'static;
+    /// The value of one variable.
+    type Value: Clone + fmt::Debug + Send + Sync + 'static;
+    /// The reply returned to the client.
+    type Reply: Clone + fmt::Debug + Send + Sync + 'static;
+
+    /// The locality key of a variable. Must be a pure function: every
+    /// process derives locations from it.
+    fn locality(var: VarId) -> LocKey;
+
+    /// Executes `op` over exactly the declared variables.
+    ///
+    /// Entries are `None` when the variable does not currently exist;
+    /// writing `Some` creates or updates it, writing `None` deletes it.
+    /// Must be deterministic.
+    fn execute(op: &Self::Op, vars: &mut BTreeMap<VarId, Option<Self::Value>>) -> Self::Reply;
+}
+
+/// What a command does.
+#[derive(Debug)]
+pub enum CommandKind<A: Application> {
+    /// Creates a new locality key (a new workload-graph vertex) with
+    /// initial variables. Routed through the oracle, which picks the
+    /// partition (paper: `create(v)`).
+    CreateKey {
+        /// The new key.
+        key: LocKey,
+        /// Initial variables (all must belong to `key`).
+        vars: Vec<(VarId, A::Value)>,
+    },
+    /// Reads and/or writes existing variables (paper: `access(ω)`).
+    Access {
+        /// The operation to execute.
+        op: A::Op,
+        /// Every variable the operation may touch.
+        vars: Vec<VarId>,
+    },
+    /// Removes a locality key and all its variables (paper: `delete(v)`).
+    DeleteKey {
+        /// The key to remove.
+        key: LocKey,
+    },
+}
+
+/// A client command: identity, reply address and payload.
+#[derive(Debug)]
+pub struct Command<A: Application> {
+    /// Globally unique command id (`origin` = client id, `tag` = 0).
+    pub id: MsgId,
+    /// Where to send the reply.
+    pub client: NodeId,
+    /// The command body.
+    pub kind: CommandKind<A>,
+}
+
+impl<A: Application> Clone for CommandKind<A> {
+    fn clone(&self) -> Self {
+        match self {
+            CommandKind::CreateKey { key, vars } => {
+                CommandKind::CreateKey { key: *key, vars: vars.clone() }
+            }
+            CommandKind::Access { op, vars } => {
+                CommandKind::Access { op: op.clone(), vars: vars.clone() }
+            }
+            CommandKind::DeleteKey { key } => CommandKind::DeleteKey { key: *key },
+        }
+    }
+}
+
+impl<A: Application> Clone for Command<A> {
+    fn clone(&self) -> Self {
+        Command { id: self.id, client: self.client, kind: self.kind.clone() }
+    }
+}
+
+impl<A: Application> Command<A> {
+    /// The variables this command accesses.
+    pub fn vars(&self) -> Vec<VarId> {
+        match &self.kind {
+            CommandKind::CreateKey { vars, .. } => vars.iter().map(|&(v, _)| v).collect(),
+            CommandKind::Access { vars, .. } => vars.clone(),
+            CommandKind::DeleteKey { .. } => Vec::new(),
+        }
+    }
+
+    /// The distinct locality keys this command touches, sorted.
+    pub fn keys(&self) -> Vec<LocKey> {
+        match &self.kind {
+            CommandKind::CreateKey { key, .. } | CommandKind::DeleteKey { key } => vec![*key],
+            CommandKind::Access { vars, .. } => {
+                let mut keys: Vec<LocKey> = vars.iter().map(|&v| A::locality(v)).collect();
+                keys.sort_unstable();
+                keys.dedup();
+                keys
+            }
+        }
+    }
+}
+
+/// The replication scheme a cluster runs (see the paper's §5.5, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// DynaStar: dynamic partitioning, borrow-execute-return multi-partition
+    /// commands, oracle-driven graph repartitioning.
+    Dynastar,
+    /// S-SMR (Bezerra et al.): static partitioning; multi-partition commands
+    /// execute at *every* involved partition after a state exchange. With a
+    /// partitioner-optimized initial placement this is the paper's S-SMR\*.
+    SSmr,
+    /// DS-SMR (Le et al., DSN'16): dynamic but naive — variables migrate
+    /// permanently to wherever they were last used, no workload-graph
+    /// optimization.
+    DsSmr,
+}
+
+impl Mode {
+    /// Whether multi-partition commands move state to the target (DynaStar
+    /// and DS-SMR) or exchange-and-execute-everywhere (S-SMR).
+    pub fn moves_state(self) -> bool {
+        !matches!(self, Mode::SSmr)
+    }
+
+    /// Whether moved variables stay at the target (DS-SMR) instead of
+    /// returning home (DynaStar).
+    pub fn keeps_moved_state(self) -> bool {
+        matches!(self, Mode::DsSmr)
+    }
+
+    /// Whether the oracle runs graph-partitioning optimization.
+    pub fn optimizes(self) -> bool {
+        matches!(self, Mode::Dynastar)
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mode::Dynastar => write!(f, "DynaStar"),
+            Mode::SSmr => write!(f, "S-SMR"),
+            Mode::DsSmr => write!(f, "DS-SMR"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestApp;
+    impl Application for TestApp {
+        type Op = ();
+        type Value = u64;
+        type Reply = ();
+        fn locality(var: VarId) -> LocKey {
+            LocKey(var.0 / 10)
+        }
+        fn execute(_: &(), _: &mut BTreeMap<VarId, Option<u64>>) {}
+    }
+
+    fn cmd(kind: CommandKind<TestApp>) -> Command<TestApp> {
+        Command { id: MsgId::new(1, 0), client: NodeId::from_raw(0), kind }
+    }
+
+    #[test]
+    fn access_keys_are_sorted_and_deduped() {
+        let c = cmd(CommandKind::Access { op: (), vars: vec![VarId(25), VarId(3), VarId(21)] });
+        assert_eq!(c.keys(), vec![LocKey(0), LocKey(2)]);
+        assert_eq!(c.vars(), vec![VarId(25), VarId(3), VarId(21)]);
+    }
+
+    #[test]
+    fn create_and_delete_have_one_key() {
+        let c = cmd(CommandKind::CreateKey { key: LocKey(4), vars: vec![(VarId(40), 1)] });
+        assert_eq!(c.keys(), vec![LocKey(4)]);
+        assert_eq!(c.vars(), vec![VarId(40)]);
+        let d = cmd(CommandKind::DeleteKey { key: LocKey(4) });
+        assert_eq!(d.keys(), vec![LocKey(4)]);
+        assert!(d.vars().is_empty());
+    }
+
+    #[test]
+    fn mode_flags() {
+        assert!(Mode::Dynastar.moves_state());
+        assert!(!Mode::Dynastar.keeps_moved_state());
+        assert!(Mode::Dynastar.optimizes());
+        assert!(!Mode::SSmr.moves_state());
+        assert!(Mode::DsSmr.moves_state());
+        assert!(Mode::DsSmr.keeps_moved_state());
+        assert!(!Mode::DsSmr.optimizes());
+        assert_eq!(Mode::Dynastar.to_string(), "DynaStar");
+    }
+}

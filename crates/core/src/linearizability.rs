@@ -1,0 +1,189 @@
+//! A Wing–Gong linearizability checker for test histories.
+//!
+//! DynaStar's correctness criterion (§2.3) is linearizability. Integration
+//! tests record per-command `(invoke, response, op, return)` tuples from
+//! concurrent simulated clients and verify that some legal sequential order
+//! exists that respects real-time precedence.
+//!
+//! The checker does exhaustive search with memoization over
+//! `(linearized-set, state)`, which is exponential in the worst case but
+//! fast for the test-sized histories (≤ 64 operations) it accepts.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use dynastar_runtime::SimTime;
+
+/// A sequential specification of the service.
+pub trait Spec {
+    /// Abstract state.
+    type State: Clone + Eq + Hash;
+    /// Operations.
+    type Op: Clone;
+    /// Operation results.
+    type Ret: PartialEq;
+
+    /// Applies `op` to `state`, returning the next state and the result.
+    fn apply(state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+/// One completed operation in a concurrent history.
+#[derive(Debug, Clone)]
+pub struct OpRecord<O, R> {
+    /// When the client issued the operation.
+    pub invoke: SimTime,
+    /// When the client observed the response.
+    pub response: SimTime,
+    /// The operation.
+    pub op: O,
+    /// The observed result.
+    pub ret: R,
+}
+
+/// Checks whether `history` is linearizable with respect to `S` starting
+/// from `initial`.
+///
+/// # Panics
+///
+/// Panics if the history has more than 64 operations (the search uses a
+/// bitmask; keep test histories small).
+pub fn check<S: Spec>(history: &[OpRecord<S::Op, S::Ret>], initial: S::State) -> bool {
+    assert!(history.len() <= 64, "checker supports at most 64 operations");
+    if history.is_empty() {
+        return true;
+    }
+    let n = history.len();
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut seen: HashSet<(u64, S::State)> = HashSet::new();
+    dfs::<S>(history, 0, &initial, full, &mut seen)
+}
+
+fn dfs<S: Spec>(
+    history: &[OpRecord<S::Op, S::Ret>],
+    done: u64,
+    state: &S::State,
+    full: u64,
+    seen: &mut HashSet<(u64, S::State)>,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if !seen.insert((done, state.clone())) {
+        return false;
+    }
+    // An op is a candidate if it is not yet linearized and no other
+    // unlinearized op finished before it started (real-time order).
+    let min_response = history
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| done & (1 << i) == 0)
+        .map(|(_, r)| r.response)
+        .min()
+        .expect("not all done");
+    for (i, rec) in history.iter().enumerate() {
+        if done & (1 << i) != 0 || rec.invoke > min_response {
+            continue;
+        }
+        let (next, ret) = S::apply(state, &rec.op);
+        if ret == rec.ret && dfs::<S>(history, done | (1 << i), &next, full, seen) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single register with read/write ops.
+    struct Register;
+    #[derive(Debug, Clone)]
+    enum RegOp {
+        Read,
+        Write(u64),
+    }
+    impl Spec for Register {
+        type State = u64;
+        type Op = RegOp;
+        type Ret = u64;
+        fn apply(state: &u64, op: &RegOp) -> (u64, u64) {
+            match op {
+                RegOp::Read => (*state, *state),
+                RegOp::Write(v) => (*v, *v),
+            }
+        }
+    }
+
+    fn rec(invoke: u64, response: u64, op: RegOp, ret: u64) -> OpRecord<RegOp, u64> {
+        OpRecord {
+            invoke: SimTime::from_micros(invoke),
+            response: SimTime::from_micros(response),
+            op,
+            ret,
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(check::<Register>(&[], 0));
+    }
+
+    #[test]
+    fn sequential_history_checks() {
+        let h = vec![
+            rec(0, 1, RegOp::Write(5), 5),
+            rec(2, 3, RegOp::Read, 5),
+            rec(4, 5, RegOp::Write(7), 7),
+            rec(6, 7, RegOp::Read, 7),
+        ];
+        assert!(check::<Register>(&h, 0));
+    }
+
+    #[test]
+    fn stale_read_after_write_is_rejected() {
+        let h = vec![
+            rec(0, 1, RegOp::Write(5), 5),
+            // Read starts strictly after the write completed but returns
+            // the old value: not linearizable.
+            rec(2, 3, RegOp::Read, 0),
+        ];
+        assert!(!check::<Register>(&h, 0));
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_value() {
+        // Write(5) overlaps a read; the read may return 0 or 5.
+        for ret in [0u64, 5] {
+            let h = vec![rec(0, 10, RegOp::Write(5), 5), rec(1, 9, RegOp::Read, ret)];
+            assert!(check::<Register>(&h, 0), "ret={ret}");
+        }
+        // But never anything else.
+        let h = vec![rec(0, 10, RegOp::Write(5), 5), rec(1, 9, RegOp::Read, 3)];
+        assert!(!check::<Register>(&h, 0));
+    }
+
+    #[test]
+    fn real_time_order_must_hold_between_writes() {
+        // Two sequential writes, then a read returning the first value:
+        // the second write must be ordered after the first, so 5 is stale.
+        let h = vec![
+            rec(0, 1, RegOp::Write(5), 5),
+            rec(2, 3, RegOp::Write(9), 9),
+            rec(4, 5, RegOp::Read, 5),
+        ];
+        assert!(!check::<Register>(&h, 0));
+    }
+
+    #[test]
+    fn interleaving_search_finds_valid_order() {
+        // Three overlapping ops where only one interleaving works.
+        let h = vec![
+            rec(0, 10, RegOp::Write(1), 1),
+            rec(0, 10, RegOp::Write(2), 2),
+            rec(0, 10, RegOp::Read, 1),
+        ];
+        // Read=1 works if order is Write(2), Write(1), Read (or W1, Read, W2).
+        assert!(check::<Register>(&h, 0));
+    }
+}

@@ -1,0 +1,43 @@
+//! Canonical metric names recorded by the protocol cores.
+//!
+//! Experiment binaries read these from the simulation's
+//! [`Metrics`](dynastar_runtime::Metrics) registry; keeping the names in
+//! one place keeps the cores and the harness in sync.
+
+/// Counter + per-second series: commands completed (client side).
+pub const CMD_COMPLETED: &str = "cmd.completed";
+/// Histogram: end-to-end command latency (client side).
+pub const CMD_LATENCY: &str = "cmd.latency";
+/// Counter + series: commands that involved multiple partitions.
+pub const CMD_MULTI: &str = "cmd.multi_partition";
+/// Counter + series: single-partition commands.
+pub const CMD_SINGLE: &str = "cmd.single_partition";
+/// Counter + series: client retries caused by stale routing.
+pub const CMD_RETRY: &str = "cmd.retry";
+/// Counter: client response timeouts (re-dispatch through the oracle).
+pub const CMD_TIMEOUT: &str = "cmd.timeout";
+/// Counter + series: variables shipped between partitions (borrows,
+/// returns and migrations) — the paper's "objects exchanged".
+pub const OBJECTS_EXCHANGED: &str = "objects.exchanged";
+/// Counter + series: queries answered by the oracle (`Exec` deliveries).
+pub const ORACLE_QUERIES: &str = "oracle.queries";
+/// Counter: repartitioning plans published.
+pub const PLANS_PUBLISHED: &str = "oracle.plans";
+/// Series: locality keys moved by plans.
+pub const PLAN_MOVES: &str = "oracle.plan_moves";
+
+/// Per-partition series: commands executed by partition `p`.
+pub fn partition_executed(p: u32) -> String {
+    format!("part.{p}.executed")
+}
+
+/// Per-partition series: multi-partition commands executed by partition `p`
+/// (as target or contributor).
+pub fn partition_multi(p: u32) -> String {
+    format!("part.{p}.multi_partition")
+}
+
+/// Per-partition series: objects sent or received by partition `p`.
+pub fn partition_objects(p: u32) -> String {
+    format!("part.{p}.objects_exchanged")
+}

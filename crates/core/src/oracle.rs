@@ -1,0 +1,693 @@
+//! The location oracle state machine (paper Algorithm 2 and §5.2).
+//!
+//! The oracle is a replicated partition: every replica runs an identical
+//! `OracleCore` fed by the same atomic multicast deliveries, so replicas
+//! stay in lock-step without extra coordination. Duplicate effects
+//! (prophecies, follow-up multicasts) are deduplicated downstream —
+//! multicasts by deterministic message ids, direct messages by receiver-
+//! side dedup keys or client-side outstanding-command state.
+//!
+//! Responsibilities:
+//!
+//! * answer `Exec` requests with a *prophecy* and dispatch the command to
+//!   the involved partitions (Task 1);
+//! * coordinate create/delete of locality keys (Tasks 2–3);
+//! * accumulate the workload graph from hints and, past a change
+//!   threshold, compute an optimized repartitioning with the multilevel
+//!   partitioner and multicast the plan (Tasks 4–5). Computation cost is
+//!   modelled as a configurable delay so the simulated oracle "computes
+//!   concurrently" as in §5.2 while replicas stay deterministic.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use dynastar_amcast::MsgId;
+use dynastar_partitioner::{align_labels, partition as ml_partition, GraphBuilder, PartitionConfig, Partitioning};
+use dynastar_runtime::{Metrics, SimDuration, SimTime};
+
+use crate::command::{Application, CommandKind, LocKey, Mode, PartitionId};
+use crate::metric_names as mn;
+use crate::payload::{Destination, Direct, Effect, Payload};
+use crate::routing::compute_route;
+
+/// Derivation tags for oracle-originated multicasts (see
+/// [`MsgId::derived`]).
+mod tag {
+    /// Access dispatch for attempt `a` uses `ACCESS_BASE + a`.
+    pub const ACCESS_BASE: u32 = 10;
+    /// Create coordination multicast.
+    pub const CREATE: u32 = 200;
+    /// Delete coordination multicast.
+    pub const DELETE: u32 = 210;
+    /// Plan publication (derived from the triggering hint).
+    pub const PLAN: u32 = 300;
+}
+
+/// Tunables for the oracle.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Number of state partitions.
+    pub partitions: u32,
+    /// Execution mode (drives routing-side behaviour differences).
+    pub mode: Mode,
+    /// Workload-graph change count that triggers a repartitioning.
+    pub repartition_threshold: u64,
+    /// Modelled partitioner base latency.
+    pub compute_base: SimDuration,
+    /// Modelled additional latency per graph element (vertex or edge).
+    pub compute_per_element: SimDuration,
+    /// Allowed partition imbalance (paper: 1.2).
+    pub balance_factor: f64,
+    /// Halve hint weights at every recompute so the graph tracks the
+    /// *recent* workload (needed for the paper's dynamic experiment).
+    pub decay_hints: bool,
+    /// Minimum time between repartitionings. Even past the change
+    /// threshold, the oracle waits this long after the previous plan —
+    /// repartitioning is rare and deliberate in the paper (§4.3: "it is
+    /// expected to happen rarely").
+    pub min_plan_interval: SimDuration,
+    /// Whether this replica records oracle-side metrics (only one replica
+    /// per oracle group should, or counters multiply by the replication
+    /// factor).
+    pub record_metrics: bool,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            partitions: 1,
+            mode: Mode::Dynastar,
+            repartition_threshold: 2_000,
+            compute_base: SimDuration::from_millis(50),
+            compute_per_element: SimDuration::from_micros(1),
+            balance_factor: 1.2,
+            decay_hints: true,
+            min_plan_interval: SimDuration::from_secs(30),
+            record_metrics: true,
+        }
+    }
+}
+
+/// One oracle replica's protocol core. See the [module docs](self).
+pub struct OracleCore<A: Application> {
+    config: OracleConfig,
+    /// The authoritative key → partition map.
+    map: BTreeMap<LocKey, PartitionId>,
+    /// Workload graph: vertex access counts and co-access edge weights.
+    vertices: BTreeMap<LocKey, u64>,
+    edges: BTreeMap<(LocKey, LocKey), u64>,
+    /// Changes accumulated since the last plan.
+    changes: u64,
+    /// A plan is being "computed" (timer pending).
+    computing: bool,
+    /// The computed plan awaiting its publication timer.
+    pending_plan: Option<(MsgId, Payload<A>)>,
+    /// Version of the last *applied* plan.
+    plan_version: u64,
+    /// When the last plan was applied (gates the next recompute).
+    last_plan_at: SimTime,
+    _marker: std::marker::PhantomData<A>,
+}
+
+impl<A: Application> OracleCore<A> {
+    /// Creates an oracle replica core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.partitions` is zero.
+    pub fn new(config: OracleConfig) -> Self {
+        assert!(config.partitions > 0, "oracle needs at least one partition");
+        OracleCore {
+            config,
+            map: BTreeMap::new(),
+            vertices: BTreeMap::new(),
+            edges: BTreeMap::new(),
+            changes: 0,
+            computing: false,
+            pending_plan: None,
+            plan_version: 0,
+            last_plan_at: SimTime::ZERO,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Seeds the location map before the simulation starts.
+    pub fn preload_map(&mut self, entries: impl IntoIterator<Item = (LocKey, PartitionId)>) {
+        self.map.extend(entries);
+    }
+
+    /// Current location of a key (test/debug aid).
+    pub fn location_of(&self, key: LocKey) -> Option<PartitionId> {
+        self.map.get(&key).copied()
+    }
+
+    /// Number of keys tracked.
+    pub fn tracked_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Version of the last applied plan.
+    pub fn plan_version(&self) -> u64 {
+        self.plan_version
+    }
+
+    /// Number of vertices currently in the workload graph.
+    pub fn graph_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Handles an atomic multicast delivery addressed to the oracle.
+    pub fn on_deliver(
+        &mut self,
+        payload: Payload<A>,
+        now: SimTime,
+        metrics: &mut Metrics,
+    ) -> Vec<Effect<A>> {
+        let mut eff = Vec::new();
+        match payload {
+            Payload::Exec { cmd, attempt } => {
+                if self.config.record_metrics {
+                    metrics.incr_counter(mn::ORACLE_QUERIES, 1);
+                    metrics.record_series(mn::ORACLE_QUERIES, now, 1.0);
+                }
+                self.handle_exec(cmd, attempt, &mut eff);
+            }
+            Payload::CreateKey { cmd, dest } => {
+                let key = match &cmd.kind {
+                    CommandKind::CreateKey { key, .. } => *key,
+                    _ => unreachable!("CreateKey payload without CreateKey command"),
+                };
+                let ok = !self.map.contains_key(&key);
+                if ok {
+                    self.map.insert(key, dest);
+                }
+                // Rendezvous signal towards the partition (Task 2); `ok`
+                // is encoded in `from_partition: None` + the separate nok
+                // channel below.
+                eff.push(Effect::Send {
+                    to: Destination::Partition(dest),
+                    msg: Direct::Signal { cmd: cmd.id, from_partition: None },
+                });
+                if !ok {
+                    // Late duplicate: the partition will install nothing
+                    // because the client already got `nok` from Exec of the
+                    // loser; nothing more to do (map unchanged).
+                }
+            }
+            Payload::DeleteKey { cmd, dest } => {
+                let key = match &cmd.kind {
+                    CommandKind::DeleteKey { key } => *key,
+                    _ => unreachable!("DeleteKey payload without DeleteKey command"),
+                };
+                // Only delete if the key still lives where we routed the
+                // delete; both oracle and partition observe the same order,
+                // so their decisions agree.
+                if self.map.get(&key) == Some(&dest) {
+                    self.map.remove(&key);
+                    self.vertices.remove(&key);
+                }
+                eff.push(Effect::Send {
+                    to: Destination::Partition(dest),
+                    msg: Direct::Signal { cmd: cmd.id, from_partition: None },
+                });
+            }
+            Payload::Hint { vertices, edges } => {
+                self.changes += vertices.len() as u64 + edges.len() as u64;
+                for (k, w) in vertices {
+                    *self.vertices.entry(k).or_insert(0) += w;
+                }
+                for (a, b, w) in edges {
+                    let key = if a <= b { (a, b) } else { (b, a) };
+                    *self.edges.entry(key).or_insert(0) += w;
+                }
+                if self.should_recompute(now) {
+                    self.start_recompute(&mut eff);
+                }
+            }
+            Payload::Plan { version, moves } => {
+                for &(key, _, to) in &moves {
+                    self.map.insert(key, to);
+                }
+                self.plan_version = version;
+                self.computing = false;
+                self.changes = 0;
+                self.last_plan_at = now;
+                if self.config.record_metrics {
+                    metrics.incr_counter(mn::PLANS_PUBLISHED, 1);
+                    metrics.record_series(mn::PLAN_MOVES, now, moves.len() as f64);
+                }
+            }
+            Payload::Access { cmd, target, expected, .. } => {
+                // DS-SMR: the oracle co-delivers multi-partition accesses
+                // and moves the touched keys to the target in its map.
+                if self.config.mode.keeps_moved_state() {
+                    let keys = cmd.keys();
+                    let multi = {
+                        let mut ps: Vec<PartitionId> = expected.iter().map(|&(_, p)| p).collect();
+                        ps.sort_unstable();
+                        ps.dedup();
+                        ps.len() > 1
+                    };
+                    if multi {
+                        for key in keys {
+                            self.map.insert(key, target);
+                        }
+                    }
+                }
+            }
+        }
+        eff
+    }
+
+    /// Handles direct messages (partition rendezvous signals — the oracle
+    /// does not block on them, so they are consumed silently).
+    pub fn on_direct(&mut self, msg: Direct<A>, _now: SimTime, _metrics: &mut Metrics) -> Vec<Effect<A>> {
+        let _ = msg;
+        Vec::new()
+    }
+
+    /// Periodic check (driven by the hosting actor's tick): starts a
+    /// recompute if the change threshold was crossed while the
+    /// minimum-interval gate was still closed.
+    pub fn on_tick(&mut self, now: SimTime, _metrics: &mut Metrics) -> Vec<Effect<A>> {
+        let mut eff = Vec::new();
+        if self.should_recompute(now) {
+            self.start_recompute(&mut eff);
+        }
+        eff
+    }
+
+    /// Task 1: route a command, reply with a prophecy, dispatch.
+    fn handle_exec(&mut self, cmd: crate::command::Command<A>, attempt: u32, eff: &mut Vec<Effect<A>>) {
+        let client = cmd.client;
+        match &cmd.kind {
+            CommandKind::CreateKey { key, .. } => {
+                let key = *key;
+                if self.map.contains_key(&key) {
+                    eff.push(Effect::Send {
+                        to: Destination::Client(client),
+                        msg: Direct::Prophecy {
+                            cmd: cmd.id,
+                            ok: false,
+                            locations: vec![(key, self.map[&key])],
+                            version: self.plan_version,
+                        },
+                    });
+                    return;
+                }
+                // Deterministic "random" partition pick: every oracle
+                // replica derives the same choice from the command id.
+                let dest = PartitionId(
+                    ((cmd.id.origin.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ cmd.id.seq as u64)
+                        % self.config.partitions as u64) as u32,
+                );
+                eff.push(Effect::Send {
+                    to: Destination::Client(client),
+                    msg: Direct::Prophecy {
+                        cmd: cmd.id,
+                        ok: true,
+                        locations: vec![(key, dest)],
+                        version: self.plan_version,
+                    },
+                });
+                eff.push(Effect::Multicast {
+                    mid: cmd.id.derived(tag::CREATE),
+                    partitions: vec![dest],
+                    include_oracle: true,
+                    payload: Payload::CreateKey { cmd, dest },
+                });
+            }
+            CommandKind::DeleteKey { key } => {
+                let key = *key;
+                match self.map.get(&key).copied() {
+                    None => eff.push(Effect::Send {
+                        to: Destination::Client(client),
+                        msg: Direct::Prophecy {
+                            cmd: cmd.id,
+                            ok: false,
+                            locations: Vec::new(),
+                            version: self.plan_version,
+                        },
+                    }),
+                    Some(dest) => {
+                        eff.push(Effect::Send {
+                            to: Destination::Client(client),
+                            msg: Direct::Prophecy {
+                                cmd: cmd.id,
+                                ok: true,
+                                locations: vec![(key, dest)],
+                                version: self.plan_version,
+                            },
+                        });
+                        eff.push(Effect::Multicast {
+                            mid: cmd.id.derived(tag::DELETE),
+                            partitions: vec![dest],
+                            include_oracle: true,
+                            payload: Payload::DeleteKey { cmd, dest },
+                        });
+                    }
+                }
+            }
+            CommandKind::Access { .. } => {
+                let route = compute_route(&cmd, |k| self.map.get(&k).copied());
+                let Some(route) = route else {
+                    eff.push(Effect::Send {
+                        to: Destination::Client(client),
+                        msg: Direct::Prophecy {
+                            cmd: cmd.id,
+                            ok: false,
+                            locations: Vec::new(),
+                            version: self.plan_version,
+                        },
+                    });
+                    return;
+                };
+                let locations: Vec<(LocKey, PartitionId)> = cmd
+                    .keys()
+                    .into_iter()
+                    .filter_map(|k| self.map.get(&k).map(|&p| (k, p)))
+                    .collect();
+                eff.push(Effect::Send {
+                    to: Destination::Client(client),
+                    msg: Direct::Prophecy {
+                        cmd: cmd.id,
+                        ok: true,
+                        locations,
+                        version: self.plan_version,
+                    },
+                });
+                let keep = self.config.mode.keeps_moved_state() && route.is_multi_partition();
+                eff.push(Effect::Multicast {
+                    mid: cmd.id.derived(tag::ACCESS_BASE + attempt),
+                    partitions: route.dests.clone(),
+                    include_oracle: keep,
+                    payload: Payload::Access {
+                        cmd,
+                        attempt,
+                        expected: route.expected,
+                        target: route.target,
+                        keep,
+                    },
+                });
+            }
+        }
+    }
+
+    fn should_recompute(&self, now: SimTime) -> bool {
+        self.config.mode.optimizes()
+            && !self.computing
+            && self.config.partitions > 1
+            && self.changes >= self.config.repartition_threshold
+            && !self.map.is_empty()
+            && now.saturating_duration_since(self.last_plan_at) >= self.config.min_plan_interval
+    }
+
+    /// Computes a plan from the current graph snapshot and schedules its
+    /// publication after the modelled compute time (§5.2's concurrent
+    /// repartitioning).
+    fn start_recompute(&mut self, eff: &mut Vec<Effect<A>>) {
+        self.computing = true;
+        let (plan_mid, payload, elements) = self.compute_plan();
+        let after = self.config.compute_base
+            + self.config.compute_per_element.saturating_mul(elements as u64);
+        self.pending_plan = Some((plan_mid, payload));
+        eff.push(Effect::SchedulePlan { after });
+        if self.config.decay_hints {
+            for w in self.vertices.values_mut() {
+                *w /= 2;
+            }
+            self.edges.retain(|_, w| {
+                *w /= 2;
+                *w > 0
+            });
+        }
+    }
+
+    /// Builds the dense graph, runs the multilevel partitioner, aligns
+    /// labels with the current map and produces the Plan payload.
+    fn compute_plan(&self) -> (MsgId, Payload<A>, usize) {
+        let keys: Vec<LocKey> = {
+            let mut ks: Vec<LocKey> = self.map.keys().copied().collect();
+            ks.sort_unstable();
+            ks
+        };
+        let index: HashMap<LocKey, u32> =
+            keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let mut b = GraphBuilder::new();
+        if !keys.is_empty() {
+            b.add_vertex(keys.len() as u32 - 1);
+        }
+        for (i, k) in keys.iter().enumerate() {
+            let w = 1 + self.vertices.get(k).copied().unwrap_or(0);
+            b.set_vertex_weight(i as u32, w);
+        }
+        for (&(a, bk), &w) in &self.edges {
+            if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&bk)) {
+                if w > 0 {
+                    b.add_edge(ia, ib, w);
+                }
+            }
+        }
+        let g = b.build();
+        let k = self.config.partitions;
+        let cfg = PartitionConfig::default()
+            .seed(self.plan_version + 1)
+            .balance_factor(self.config.balance_factor);
+        let fresh = ml_partition(&g, k, &cfg);
+        let prev = Partitioning::new(
+            k,
+            keys.iter().map(|kk| self.map[kk].0).collect(),
+        );
+        let aligned = align_labels(&prev, &fresh);
+        let moves: Vec<(LocKey, PartitionId, PartitionId)> = keys
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &key)| {
+                let from = prev.part_of(i as u32);
+                let to = aligned.part_of(i as u32);
+                (from != to).then_some((key, PartitionId(from), PartitionId(to)))
+            })
+            .collect();
+        let version = self.plan_version + 1;
+        // Deterministic plan id: every oracle replica derives the same.
+        let mid = MsgId { origin: u64::MAX - 1, seq: version as u32, tag: tag::PLAN };
+        let elements = g.vertex_count() + g.edge_count();
+        (mid, Payload::Plan { version, moves }, elements)
+    }
+
+    /// Fires when the modelled compute time elapses: publish the plan to
+    /// every partition and the oracle itself.
+    pub fn on_plan_timer(&mut self, _now: SimTime, _metrics: &mut Metrics) -> Vec<Effect<A>> {
+        let Some((mid, payload)) = self.pending_plan.take() else {
+            return Vec::new();
+        };
+        vec![Effect::Multicast {
+            mid,
+            partitions: (0..self.config.partitions).map(PartitionId).collect(),
+            include_oracle: true,
+            payload,
+        }]
+    }
+}
+
+impl<A: Application> std::fmt::Debug for OracleCore<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OracleCore")
+            .field("keys", &self.map.len())
+            .field("graph_vertices", &self.vertices.len())
+            .field("graph_edges", &self.edges.len())
+            .field("changes", &self.changes)
+            .field("plan_version", &self.plan_version)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{Command, CommandKind};
+    use dynastar_runtime::NodeId;
+    use std::collections::BTreeMap as Map;
+
+    struct App;
+    impl Application for App {
+        type Op = ();
+        type Value = u64;
+        type Reply = ();
+        fn locality(var: crate::command::VarId) -> LocKey {
+            LocKey(var.0 / 10)
+        }
+        fn execute(_: &(), _: &mut Map<crate::command::VarId, Option<u64>>) {}
+    }
+
+    fn oracle(partitions: u32) -> OracleCore<App> {
+        let mut o = OracleCore::new(OracleConfig {
+            partitions,
+            repartition_threshold: 5,
+            min_plan_interval: SimDuration::from_millis(1),
+            ..OracleConfig::default()
+        });
+        o.preload_map((0..4).map(|k| (LocKey(k), PartitionId((k % partitions as u64) as u32))));
+        o
+    }
+
+    fn cmd(kind: CommandKind<App>) -> Command<App> {
+        Command { id: MsgId::new(7, 0), client: NodeId::from_raw(9), kind }
+    }
+
+    fn access(vars: Vec<u64>) -> Command<App> {
+        cmd(CommandKind::Access { op: (), vars: vars.into_iter().map(crate::command::VarId).collect() })
+    }
+
+    fn now() -> SimTime {
+        SimTime::from_secs(10)
+    }
+
+    #[test]
+    fn exec_routes_single_partition_access() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        let eff = o.on_deliver(Payload::Exec { cmd: access(vec![0, 5]), attempt: 0 }, now(), &mut m);
+        // Prophecy to the client + an Access multicast to partition 0.
+        let has_prophecy = eff.iter().any(|e| matches!(e,
+            Effect::Send { to: Destination::Client(_), msg: Direct::Prophecy { ok: true, .. } }));
+        assert!(has_prophecy);
+        let mcast = eff.iter().find_map(|e| match e {
+            Effect::Multicast { partitions, include_oracle, payload: Payload::Access { target, .. }, .. } =>
+                Some((partitions.clone(), *include_oracle, *target)),
+            _ => None,
+        }).expect("access dispatched");
+        assert_eq!(mcast.0, vec![PartitionId(0)]);
+        assert!(!mcast.1, "oracle not a destination in DynaStar mode");
+        assert_eq!(mcast.2, PartitionId(0));
+        assert_eq!(m.counter(crate::metric_names::ORACLE_QUERIES), 1);
+    }
+
+    #[test]
+    fn exec_unknown_key_is_nok() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        let eff = o.on_deliver(Payload::Exec { cmd: access(vec![999]), attempt: 0 }, now(), &mut m);
+        assert!(eff.iter().any(|e| matches!(e,
+            Effect::Send { msg: Direct::Prophecy { ok: false, .. }, .. })));
+        assert!(!eff.iter().any(|e| matches!(e, Effect::Multicast { .. })));
+    }
+
+    #[test]
+    fn create_picks_partition_and_coordinates() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        let c = cmd(CommandKind::CreateKey { key: LocKey(77), vars: vec![] });
+        let eff = o.on_deliver(Payload::Exec { cmd: c.clone(), attempt: 0 }, now(), &mut m);
+        let dest = eff.iter().find_map(|e| match e {
+            Effect::Multicast { include_oracle: true, payload: Payload::CreateKey { dest, .. }, .. } => Some(*dest),
+            _ => None,
+        }).expect("create coordinated");
+        // Map updates at CreateKey *delivery*, not dispatch.
+        assert_eq!(o.location_of(LocKey(77)), None);
+        let _ = o.on_deliver(Payload::CreateKey { cmd: c, dest }, now(), &mut m);
+        assert_eq!(o.location_of(LocKey(77)), Some(dest));
+    }
+
+    #[test]
+    fn duplicate_create_is_nok() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        let c = cmd(CommandKind::CreateKey { key: LocKey(0), vars: vec![] });
+        let eff = o.on_deliver(Payload::Exec { cmd: c, attempt: 0 }, now(), &mut m);
+        assert!(eff.iter().any(|e| matches!(e,
+            Effect::Send { msg: Direct::Prophecy { ok: false, .. }, .. })));
+    }
+
+    #[test]
+    fn delete_applies_only_if_location_unchanged() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        let c = cmd(CommandKind::DeleteKey { key: LocKey(0) });
+        // Stale delete routed to the wrong (old) partition is ignored.
+        let _ = o.on_deliver(
+            Payload::DeleteKey { cmd: c.clone(), dest: PartitionId(1) },
+            now(),
+            &mut m,
+        );
+        assert!(o.location_of(LocKey(0)).is_some());
+        let _ = o.on_deliver(Payload::DeleteKey { cmd: c, dest: PartitionId(0) }, now(), &mut m);
+        assert_eq!(o.location_of(LocKey(0)), None);
+    }
+
+    #[test]
+    fn hints_trigger_plan_after_threshold_and_interval() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        // Below threshold: nothing.
+        let eff = o.on_deliver(
+            Payload::Hint { vertices: vec![(LocKey(0), 1)], edges: vec![] },
+            SimTime::from_millis(0),
+            &mut m,
+        );
+        assert!(eff.is_empty());
+        // Past threshold but before min interval: still nothing (interval
+        // is 1ms, so deliver at t=0).
+        let eff = o.on_deliver(
+            Payload::Hint {
+                vertices: (0..4).map(|k| (LocKey(k), 5)).collect(),
+                edges: vec![(LocKey(0), LocKey(1), 20), (LocKey(2), LocKey(3), 20)],
+            },
+            SimTime::from_millis(2),
+            &mut m,
+        );
+        let schedule = eff.iter().any(|e| matches!(e, Effect::SchedulePlan { .. }));
+        assert!(schedule, "plan compute should be scheduled");
+        // The timer fires → the plan is multicast to all partitions + self.
+        let eff = o.on_plan_timer(SimTime::from_millis(200), &mut m);
+        let plan = eff.iter().find_map(|e| match e {
+            Effect::Multicast { partitions, include_oracle: true, payload: Payload::Plan { version, .. }, .. } =>
+                Some((partitions.len(), *version)),
+            _ => None,
+        });
+        let (nparts, version) = plan.expect("plan published");
+        assert_eq!(nparts, 2);
+        assert_eq!(version, 1);
+    }
+
+    #[test]
+    fn plan_delivery_updates_map_and_version() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        let _ = o.on_deliver(
+            Payload::Plan { version: 3, moves: vec![(LocKey(0), PartitionId(0), PartitionId(1))] },
+            now(),
+            &mut m,
+        );
+        assert_eq!(o.location_of(LocKey(0)), Some(PartitionId(1)));
+        assert_eq!(o.plan_version(), 3);
+    }
+
+    #[test]
+    fn dssmr_access_migrates_keys_in_map() {
+        let mut o: OracleCore<App> = OracleCore::new(OracleConfig {
+            partitions: 2,
+            mode: Mode::DsSmr,
+            ..OracleConfig::default()
+        });
+        o.preload_map([(LocKey(0), PartitionId(0)), (LocKey(1), PartitionId(1))]);
+        let mut m = Metrics::new();
+        let c = access(vec![0, 10]); // keys 0 and 1
+        let _ = o.on_deliver(
+            Payload::Access {
+                cmd: c,
+                attempt: 0,
+                expected: vec![
+                    (crate::command::VarId(0), PartitionId(0)),
+                    (crate::command::VarId(10), PartitionId(1)),
+                ],
+                target: PartitionId(1),
+                keep: true,
+            },
+            now(),
+            &mut m,
+        );
+        assert_eq!(o.location_of(LocKey(0)), Some(PartitionId(1)), "key migrated to target");
+        assert_eq!(o.location_of(LocKey(1)), Some(PartitionId(1)));
+    }
+}

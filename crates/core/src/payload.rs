@@ -1,0 +1,370 @@
+//! Wire payloads: atomically multicast messages and direct (unordered)
+//! messages.
+
+use dynastar_amcast::MsgId;
+use dynastar_runtime::NodeId;
+
+use crate::command::{Application, Command, LocKey, PartitionId, VarId};
+
+/// Payloads carried by the atomic multicast layer (everything whose
+/// relative order matters).
+#[derive(Debug)]
+pub enum Payload<A: Application> {
+    /// Client → oracle: request routing (and dispatch) of a command
+    /// (Algorithm 1 line 2).
+    Exec {
+        /// The command.
+        cmd: Command<A>,
+        /// Dispatch attempt number (0 = first try); bumped on retries so
+        /// every dispatch multicast has a fresh message id.
+        attempt: u32,
+    },
+    /// Oracle or cached client → involved partitions: execute an access
+    /// command. Carries the sender's routing decision so all destinations
+    /// agree without consulting their own (possibly differing) maps.
+    Access {
+        /// The command.
+        cmd: Command<A>,
+        /// Dispatch attempt number.
+        attempt: u32,
+        /// For every accessed variable, the partition expected to hold it.
+        expected: Vec<(VarId, PartitionId)>,
+        /// The partition chosen to execute (most variables, ties by id).
+        target: PartitionId,
+        /// DS-SMR mode: borrowed keys stay at the target (permanent
+        /// migration) instead of returning.
+        keep: bool,
+    },
+    /// Oracle → {oracle, partition}: coordinate creation of a new key
+    /// (Algorithm 2 Task 1 / Algorithm 3 Task 2).
+    CreateKey {
+        /// The create command.
+        cmd: Command<A>,
+        /// The partition chosen for the new key.
+        dest: PartitionId,
+    },
+    /// Oracle → {oracle, partition}: coordinate removal of a key.
+    DeleteKey {
+        /// The delete command.
+        cmd: Command<A>,
+        /// The partition currently owning the key.
+        dest: PartitionId,
+    },
+    /// Partition → oracle: workload-graph hints (Algorithm 2 Task 4).
+    Hint {
+        /// `(key, access count)` vertex increments.
+        vertices: Vec<(LocKey, u64)>,
+        /// `(key a, key b, weight)` co-access edge increments.
+        edges: Vec<(LocKey, LocKey, u64)>,
+    },
+    /// Oracle → all partitions + oracle: a new partitioning plan
+    /// (Algorithm 2 Task 5 / Algorithm 3 Task 3).
+    Plan {
+        /// Monotone plan version.
+        version: u64,
+        /// Key movements: `(key, from, to)`.
+        moves: Vec<(LocKey, PartitionId, PartitionId)>,
+    },
+}
+
+/// Direct point-to-point messages (reliable, unordered across sources;
+/// made per-link FIFO by the transport). Sent replica→replica or
+/// replica→client; receivers deduplicate since every replica of a group
+/// sends a copy.
+#[derive(Debug)]
+pub enum Direct<A: Application> {
+    /// Oracle → client: the prophecy (Algorithm 1 line 3).
+    Prophecy {
+        /// The command this answers.
+        cmd: MsgId,
+        /// `false` when the command cannot execute (unknown/duplicate key).
+        ok: bool,
+        /// Fresh `key → partition` facts for the client's cache.
+        locations: Vec<(LocKey, PartitionId)>,
+        /// The oracle's current plan version (cache stamping).
+        version: u64,
+    },
+    /// Executing partition → client: the command's result.
+    Reply {
+        /// The command this answers.
+        cmd: MsgId,
+        /// Attempt being answered.
+        attempt: u32,
+        /// The application-level reply.
+        reply: A::Reply,
+    },
+    /// Partition → client: routing was stale; re-resolve via the oracle
+    /// (§4.3).
+    Retry {
+        /// The command to retry.
+        cmd: MsgId,
+        /// Attempt that failed.
+        attempt: u32,
+    },
+    /// Partition → client: a create/delete completed ("ok", Algorithm 3
+    /// line 22).
+    Ack {
+        /// The completed command.
+        cmd: MsgId,
+    },
+    /// Non-target partition → target: the variables the target borrows
+    /// (Algorithm 3 line 16). `None` values mean "the variable does not
+    /// exist here" — still an authoritative answer.
+    VarsForCmd {
+        /// The command being served.
+        cmd: MsgId,
+        /// Attempt being served.
+        attempt: u32,
+        /// The sending partition.
+        from: PartitionId,
+        /// The borrowed variables.
+        vars: Vec<(VarId, Option<A::Value>)>,
+    },
+    /// Target → non-target partitions: borrowed variables going home with
+    /// their post-execution values (Algorithm 3 line 13).
+    VarsReturn {
+        /// The command that borrowed.
+        cmd: MsgId,
+        /// Attempt that borrowed.
+        attempt: u32,
+        /// The returned variables (post-execution).
+        vars: Vec<(VarId, Option<A::Value>)>,
+    },
+    /// Any involved partition → target: the command cannot execute here
+    /// (stale routing); abandon it.
+    Abort {
+        /// The doomed command.
+        cmd: MsgId,
+        /// Attempt that failed.
+        attempt: u32,
+        /// Partition that detected the mismatch.
+        missing_at: PartitionId,
+    },
+    /// Oracle ⇄ partition rendezvous for create/delete coordination
+    /// (Algorithm 2 Task 2/3, Algorithm 3 Task 2).
+    Signal {
+        /// The create/delete command.
+        cmd: MsgId,
+        /// Sending side's group: `None` = oracle, `Some(p)` = partition.
+        from_partition: Option<PartitionId>,
+    },
+    /// Old owner → new owner: a migrating key's variables (plan
+    /// application, Algorithm 3 Task 3).
+    PlanVars {
+        /// The plan version that triggered the migration.
+        version: u64,
+        /// The migrating key.
+        key: LocKey,
+        /// The sending (old owner) partition.
+        from: PartitionId,
+        /// The key's variables present at the old owner (`None` entries in
+        /// supplements mean the variable was deleted while lent).
+        vars: Vec<(VarId, Option<A::Value>)>,
+        /// Variables of the key currently lent out; they follow in a
+        /// supplement once returned. Commands touching them must wait.
+        pending: Vec<VarId>,
+        /// `false` for supplements delivering previously-pending variables.
+        primary: bool,
+    },
+    /// S-SMR state exchange: each involved partition sends its variables to
+    /// every other involved partition, then all execute.
+    SsmrExchange {
+        /// The command being exchanged for.
+        cmd: MsgId,
+        /// Attempt number.
+        attempt: u32,
+        /// The sending partition.
+        from: PartitionId,
+        /// Its variables (authoritative `None` = absent).
+        vars: Vec<(VarId, Option<A::Value>)>,
+    },
+}
+
+/// Deduplication key for direct messages: every replica of a group sends
+/// its own copy of group-originated messages, so receivers drop all but
+/// the first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DedupKey {
+    /// Key for [`Direct::VarsForCmd`].
+    VarsForCmd(MsgId, u32, PartitionId),
+    /// Key for [`Direct::VarsReturn`].
+    VarsReturn(MsgId, u32),
+    /// Key for [`Direct::Abort`].
+    Abort(MsgId, u32, PartitionId),
+    /// Key for [`Direct::Signal`].
+    Signal(MsgId, Option<PartitionId>),
+    /// Key for [`Direct::PlanVars`]; the bool is `primary`.
+    PlanVars(u64, LocKey, PartitionId, bool),
+    /// Key for [`Direct::SsmrExchange`].
+    SsmrExchange(MsgId, u32, PartitionId),
+}
+
+impl<A: Application> Direct<A> {
+    /// The receiver-side dedup key, when the message type needs one.
+    /// Client-addressed messages return `None`: clients dedup against
+    /// their single outstanding command instead.
+    pub fn dedup_key(&self) -> Option<DedupKey> {
+        match self {
+            Direct::Prophecy { .. }
+            | Direct::Reply { .. }
+            | Direct::Retry { .. }
+            | Direct::Ack { .. } => None,
+            Direct::VarsForCmd { cmd, attempt, from, .. } => {
+                Some(DedupKey::VarsForCmd(*cmd, *attempt, *from))
+            }
+            Direct::VarsReturn { cmd, attempt, .. } => Some(DedupKey::VarsReturn(*cmd, *attempt)),
+            Direct::Abort { cmd, attempt, missing_at } => {
+                Some(DedupKey::Abort(*cmd, *attempt, *missing_at))
+            }
+            Direct::Signal { cmd, from_partition } => {
+                Some(DedupKey::Signal(*cmd, *from_partition))
+            }
+            Direct::PlanVars { version, key, from, primary, .. } => {
+                Some(DedupKey::PlanVars(*version, *key, *from, *primary))
+            }
+            Direct::SsmrExchange { cmd, attempt, from, .. } => {
+                Some(DedupKey::SsmrExchange(*cmd, *attempt, *from))
+            }
+        }
+    }
+}
+
+/// Where a core wants a direct message sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Destination {
+    /// Every replica of a partition group.
+    Partition(PartitionId),
+    /// Every replica of the oracle group.
+    Oracle,
+    /// A single client process.
+    Client(NodeId),
+}
+
+/// An effect requested by a protocol core (oracle/server/client logic),
+/// turned into actual I/O by the hosting actor.
+#[derive(Debug)]
+pub enum Effect<A: Application> {
+    /// Atomically multicast `payload` to `groups` with message id `mid`.
+    /// Group ids follow the cluster convention: partition `i` = group `i`,
+    /// oracle = last group.
+    Multicast {
+        /// Unique (or deterministically shared) message id.
+        mid: MsgId,
+        /// Destination partition groups; `true` adds the oracle group.
+        partitions: Vec<PartitionId>,
+        /// Whether the oracle group is also a destination.
+        include_oracle: bool,
+        /// The payload.
+        payload: Payload<A>,
+    },
+    /// Send a direct message.
+    Send {
+        /// The destination.
+        to: Destination,
+        /// The message.
+        msg: Direct<A>,
+    },
+    /// Oracle only: schedule plan publication after the modelled
+    /// partitioner compute time.
+    SchedulePlan {
+        /// Modelled compute duration.
+        after: dynastar_runtime::SimDuration,
+    },
+    /// Partition only: wake the core at the given time (modelled CPU
+    /// becomes free).
+    Wake {
+        /// Absolute wake-up time.
+        at: dynastar_runtime::SimTime,
+    },
+}
+
+
+impl<A: Application> Clone for Payload<A> {
+    fn clone(&self) -> Self {
+        match self {
+            Payload::Exec { cmd, attempt } => Payload::Exec { cmd: cmd.clone(), attempt: *attempt },
+            Payload::Access { cmd, attempt, expected, target, keep } => Payload::Access {
+                cmd: cmd.clone(),
+                attempt: *attempt,
+                expected: expected.clone(),
+                target: *target,
+                keep: *keep,
+            },
+            Payload::CreateKey { cmd, dest } => {
+                Payload::CreateKey { cmd: cmd.clone(), dest: *dest }
+            }
+            Payload::DeleteKey { cmd, dest } => {
+                Payload::DeleteKey { cmd: cmd.clone(), dest: *dest }
+            }
+            Payload::Hint { vertices, edges } => {
+                Payload::Hint { vertices: vertices.clone(), edges: edges.clone() }
+            }
+            Payload::Plan { version, moves } => {
+                Payload::Plan { version: *version, moves: moves.clone() }
+            }
+        }
+    }
+}
+
+impl<A: Application> Clone for Direct<A> {
+    fn clone(&self) -> Self {
+        match self {
+            Direct::Prophecy { cmd, ok, locations, version } => Direct::Prophecy {
+                cmd: *cmd,
+                ok: *ok,
+                locations: locations.clone(),
+                version: *version,
+            },
+            Direct::Reply { cmd, attempt, reply } => {
+                Direct::Reply { cmd: *cmd, attempt: *attempt, reply: reply.clone() }
+            }
+            Direct::Retry { cmd, attempt } => Direct::Retry { cmd: *cmd, attempt: *attempt },
+            Direct::Ack { cmd } => Direct::Ack { cmd: *cmd },
+            Direct::VarsForCmd { cmd, attempt, from, vars } => Direct::VarsForCmd {
+                cmd: *cmd,
+                attempt: *attempt,
+                from: *from,
+                vars: vars.clone(),
+            },
+            Direct::VarsReturn { cmd, attempt, vars } => {
+                Direct::VarsReturn { cmd: *cmd, attempt: *attempt, vars: vars.clone() }
+            }
+            Direct::Abort { cmd, attempt, missing_at } => {
+                Direct::Abort { cmd: *cmd, attempt: *attempt, missing_at: *missing_at }
+            }
+            Direct::Signal { cmd, from_partition } => {
+                Direct::Signal { cmd: *cmd, from_partition: *from_partition }
+            }
+            Direct::PlanVars { version, key, from, vars, pending, primary } => Direct::PlanVars {
+                version: *version,
+                key: *key,
+                from: *from,
+                vars: vars.clone(),
+                pending: pending.clone(),
+                primary: *primary,
+            },
+            Direct::SsmrExchange { cmd, attempt, from, vars } => Direct::SsmrExchange {
+                cmd: *cmd,
+                attempt: *attempt,
+                from: *from,
+                vars: vars.clone(),
+            },
+        }
+    }
+}
+
+impl<A: Application> Clone for Effect<A> {
+    fn clone(&self) -> Self {
+        match self {
+            Effect::Multicast { mid, partitions, include_oracle, payload } => Effect::Multicast {
+                mid: *mid,
+                partitions: partitions.clone(),
+                include_oracle: *include_oracle,
+                payload: payload.clone(),
+            },
+            Effect::Send { to, msg } => Effect::Send { to: *to, msg: msg.clone() },
+            Effect::SchedulePlan { after } => Effect::SchedulePlan { after: *after },
+            Effect::Wake { at } => Effect::Wake { at: *at },
+        }
+    }
+}

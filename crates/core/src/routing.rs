@@ -1,0 +1,140 @@
+//! Routing decisions: which partitions a command involves and which one
+//! executes it.
+//!
+//! The same pure function runs at the oracle (authoritative map) and at
+//! clients (cached map) so that both derive identical routes from identical
+//! location facts — the determinism Algorithm 2/3's `target()` requires.
+
+use std::collections::BTreeMap;
+
+use crate::command::{Application, Command, LocKey, PartitionId, VarId};
+
+/// A fully resolved routing decision for an access command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Route {
+    /// For every accessed variable, the partition expected to hold it.
+    pub expected: Vec<(VarId, PartitionId)>,
+    /// The distinct involved partitions, sorted.
+    pub dests: Vec<PartitionId>,
+    /// The partition chosen to execute the command: the one holding the
+    /// most accessed variables, ties broken by the lowest partition id
+    /// (the paper's deterministic `target()`).
+    pub target: PartitionId,
+}
+
+impl Route {
+    /// Whether the command involves more than one partition.
+    pub fn is_multi_partition(&self) -> bool {
+        self.dests.len() > 1
+    }
+}
+
+/// Computes the route of `cmd` under the location facts in `lookup`.
+///
+/// Returns `None` if any accessed key has no known location (the caller
+/// must consult the oracle / report `nok`).
+pub fn compute_route<A: Application>(
+    cmd: &Command<A>,
+    mut lookup: impl FnMut(LocKey) -> Option<PartitionId>,
+) -> Option<Route> {
+    let vars = cmd.vars();
+    let mut expected = Vec::with_capacity(vars.len());
+    let mut var_count: BTreeMap<PartitionId, usize> = BTreeMap::new();
+    for v in vars {
+        let p = lookup(A::locality(v))?;
+        expected.push((v, p));
+        *var_count.entry(p).or_insert(0) += 1;
+    }
+    let mut dests: Vec<PartitionId> = var_count.keys().copied().collect();
+    dests.sort_unstable();
+    // Most variables wins; BTreeMap iteration order makes the lowest id win
+    // ties because `>` is strict.
+    let target = var_count
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(&p, _)| p)?;
+    Some(Route { expected, dests, target })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynastar_amcast::MsgId;
+    use dynastar_runtime::NodeId;
+
+    struct App;
+    impl Application for App {
+        type Op = ();
+        type Value = u64;
+        type Reply = ();
+        fn locality(var: VarId) -> LocKey {
+            LocKey(var.0)
+        }
+        fn execute(_: &(), _: &mut std::collections::BTreeMap<VarId, Option<u64>>) {}
+    }
+
+    fn access(vars: Vec<u64>) -> Command<App> {
+        Command {
+            id: MsgId::new(1, 0),
+            client: NodeId::from_raw(0),
+            kind: crate::command::CommandKind::Access {
+                op: (),
+                vars: vars.into_iter().map(VarId).collect(),
+            },
+        }
+    }
+
+    /// Locations: var v lives in partition v % 3.
+    fn mod3(key: LocKey) -> Option<PartitionId> {
+        Some(PartitionId((key.0 % 3) as u32))
+    }
+
+    #[test]
+    fn single_partition_route() {
+        let r = compute_route(&access(vec![0, 3, 6]), mod3).unwrap();
+        assert_eq!(r.dests, vec![PartitionId(0)]);
+        assert_eq!(r.target, PartitionId(0));
+        assert!(!r.is_multi_partition());
+    }
+
+    #[test]
+    fn target_is_partition_with_most_vars() {
+        let r = compute_route(&access(vec![0, 3, 1]), mod3).unwrap();
+        assert_eq!(r.dests, vec![PartitionId(0), PartitionId(1)]);
+        assert_eq!(r.target, PartitionId(0));
+        assert!(r.is_multi_partition());
+    }
+
+    #[test]
+    fn ties_break_to_lowest_partition_id() {
+        let r = compute_route(&access(vec![1, 2]), mod3).unwrap();
+        assert_eq!(r.target, PartitionId(1));
+        let r = compute_route(&access(vec![2, 1]), mod3).unwrap();
+        assert_eq!(r.target, PartitionId(1), "order of vars must not matter");
+    }
+
+    #[test]
+    fn unknown_key_yields_none() {
+        let r = compute_route(&access(vec![0, 5]), |k| {
+            if k.0 == 5 {
+                None
+            } else {
+                mod3(k)
+            }
+        });
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn expected_lists_every_var() {
+        let r = compute_route(&access(vec![4, 2, 4]), mod3).unwrap();
+        assert_eq!(
+            r.expected,
+            vec![
+                (VarId(4), PartitionId(1)),
+                (VarId(2), PartitionId(2)),
+                (VarId(4), PartitionId(1)),
+            ]
+        );
+    }
+}

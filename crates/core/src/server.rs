@@ -1,0 +1,1507 @@
+//! The partition server state machine (paper Algorithm 3, plus the S-SMR
+//! and DS-SMR baseline behaviours).
+//!
+//! A `ServerCore` is driven by two inputs — atomic multicast deliveries
+//! ([`ServerCore::on_deliver`]) and direct messages
+//! ([`ServerCore::on_direct`]) — and produces [`Effect`]s. Every replica of
+//! a partition runs an identical core; effects that would duplicate
+//! (replies, variable shipments) carry dedup keys and are dropped by
+//! receivers.
+//!
+//! Commands execute strictly in delivery order: the head of the queue may
+//! *wait* (for borrowed variables, for migrating keys, for a create/delete
+//! rendezvous) but nothing overtakes it. Atomic multicast's pairwise
+//! consistent delivery order across partitions makes this deadlock-free.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+
+use dynastar_amcast::MsgId;
+use dynastar_runtime::dedup::{RotatingMap, RotatingSet};
+use dynastar_runtime::{Metrics, SimTime};
+
+use crate::command::{Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId};
+use crate::metric_names as mn;
+use crate::payload::{DedupKey, Destination, Direct, Effect, Payload};
+
+/// Emits protocol-stall diagnostics to stderr when the
+/// `DYNASTAR_TRACE_BLOCKED` environment variable is set.
+fn trace_blocked(args: std::fmt::Arguments<'_>) {
+    if std::env::var_os("DYNASTAR_TRACE_BLOCKED").is_some() {
+        eprintln!("{args}");
+    }
+}
+
+/// Message-id origin space for partition-originated multicasts (hints);
+/// clients use their node id as origin, which stays far below this.
+pub const PARTITION_ORIGIN_BASE: u64 = 1_000_000_000;
+
+/// Tunables for a partition server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Executed commands per workload-hint batch sent to the oracle.
+    pub hint_batch: u32,
+    /// Whether to collect hints at all (DynaStar mode only).
+    pub collect_hints: bool,
+    /// Whether this replica records server-side metrics. Every replica of
+    /// a partition executes every command, so exactly one replica (index
+    /// 0) records, or counters would multiply by the replication factor.
+    pub record_metrics: bool,
+    /// Modelled CPU time per command execution. The replica is busy for
+    /// this long after executing; queued commands wait. Zero disables the
+    /// model (commands execute instantaneously). This is what bounds a
+    /// partition's throughput and produces saturation behaviour.
+    pub service_time: dynastar_runtime::SimDuration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            hint_batch: 64,
+            collect_hints: true,
+            record_metrics: true,
+            service_time: dynastar_runtime::SimDuration::ZERO,
+        }
+    }
+}
+
+/// A command queued for in-order execution.
+#[derive(Debug)]
+struct Queued<A: Application> {
+    cmd: Command<A>,
+    attempt: u32,
+    body: QueuedBody,
+}
+
+#[derive(Debug)]
+enum QueuedBody {
+    Access {
+        expected: Vec<(VarId, PartitionId)>,
+        target: PartitionId,
+        keep: bool,
+        /// Multi-partition non-target: we shipped our vars and await return.
+        sent_vars: bool,
+        /// S-SMR: we broadcast our exchange share.
+        sent_exchange: bool,
+    },
+    Create { key: LocKey, signalled: bool },
+    Delete { key: LocKey, signalled: bool },
+    Plan { version: u64, moves: Vec<(LocKey, PartitionId, PartitionId)> },
+}
+
+/// The partition server protocol core. See the [module docs](self).
+pub struct ServerCore<A: Application> {
+    partition: PartitionId,
+    mode: Mode,
+    config: ServerConfig,
+    /// Locality keys this partition owns.
+    owned: BTreeSet<LocKey>,
+    /// Values physically present.
+    store: BTreeMap<VarId, A::Value>,
+    queue: VecDeque<Queued<A>>,
+    /// Receiver-side dedup of direct messages (bounded memory).
+    seen: RotatingSet<DedupKey>,
+    /// Borrowed variables received per (cmd, attempt), per source partition.
+    vars_in: BTreeMap<(MsgId, u32), BTreeMap<PartitionId, Vec<(VarId, Option<A::Value>)>>>,
+    /// Returns received for (cmd, attempt).
+    returns_in: BTreeMap<(MsgId, u32), Vec<(VarId, Option<A::Value>)>>,
+    /// Commands known aborted (stale routing at some partition).
+    aborted: RotatingSet<(MsgId, u32)>,
+    /// S-SMR exchange shares received.
+    ssmr_in: BTreeMap<(MsgId, u32), BTreeMap<PartitionId, Vec<(VarId, Option<A::Value>)>>>,
+    /// Create/delete rendezvous signals received from the oracle.
+    oracle_signals: HashSet<MsgId>,
+    /// Current plan version.
+    plan_version: u64,
+    /// Keys owned whose primary shipment has not arrived: key → old owner.
+    awaiting_keys: BTreeMap<LocKey, PartitionId>,
+    /// Individual variables still in flight (lent out during migration).
+    awaiting_vars: BTreeSet<VarId>,
+    /// Where keys this partition used to own have gone.
+    outmigrated: BTreeMap<LocKey, PartitionId>,
+    /// Variables currently lent to a target: var → (cmd, attempt).
+    lent: BTreeMap<VarId, (MsgId, u32)>,
+    /// Reply cache: executed commands and their replies (exactly-once
+    /// within the rotation window).
+    executed: RotatingMap<MsgId, A::Reply>,
+    /// Workload-hint accumulators.
+    hint_vertices: BTreeMap<LocKey, u64>,
+    hint_edges: BTreeMap<(LocKey, LocKey), u64>,
+    hint_execs: u32,
+    hint_seq: u32,
+    /// Key-migration shipments that arrived before the plan they belong
+    /// to was processed here: `(version, key, from, vars, pending, primary)`.
+    #[allow(clippy::type_complexity)]
+    planvars_buffer: Vec<(u64, LocKey, PartitionId, Vec<(VarId, Option<A::Value>)>, Vec<VarId>, bool)>,
+    /// The replica's modelled CPU is busy until this time.
+    busy_until: SimTime,
+    /// Pre-rendered per-partition metric names (hot path).
+    name_executed: String,
+    name_multi: String,
+    name_objects: String,
+}
+
+impl<A: Application> ServerCore<A> {
+    /// Creates the core of one replica of `partition`.
+    pub fn new(partition: PartitionId, mode: Mode, config: ServerConfig) -> Self {
+        ServerCore {
+            partition,
+            mode,
+            config,
+            owned: BTreeSet::new(),
+            store: BTreeMap::new(),
+            queue: VecDeque::new(),
+            seen: RotatingSet::new(1 << 16),
+            vars_in: BTreeMap::new(),
+            returns_in: BTreeMap::new(),
+            aborted: RotatingSet::new(1 << 14),
+            ssmr_in: BTreeMap::new(),
+            oracle_signals: HashSet::new(),
+            plan_version: 0,
+            awaiting_keys: BTreeMap::new(),
+            awaiting_vars: BTreeSet::new(),
+            outmigrated: BTreeMap::new(),
+            lent: BTreeMap::new(),
+            executed: RotatingMap::new(1 << 15),
+            hint_vertices: BTreeMap::new(),
+            hint_edges: BTreeMap::new(),
+            hint_execs: 0,
+            hint_seq: 0,
+            planvars_buffer: Vec::new(),
+            busy_until: SimTime::ZERO,
+            name_executed: mn::partition_executed(partition.0),
+            name_multi: mn::partition_multi(partition.0),
+            name_objects: mn::partition_objects(partition.0),
+        }
+    }
+
+    /// Seeds initial state before the simulation starts (avoids issuing
+    /// millions of create commands for benchmark datasets).
+    pub fn preload(&mut self, keys: impl IntoIterator<Item = LocKey>, vars: impl IntoIterator<Item = (VarId, A::Value)>) {
+        self.owned.extend(keys);
+        self.store.extend(vars);
+    }
+
+    /// This partition's id.
+    pub fn partition(&self) -> PartitionId {
+        self.partition
+    }
+
+    /// Number of locality keys currently owned.
+    pub fn owned_keys(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Whether `key` is currently owned here.
+    pub fn owns(&self, key: LocKey) -> bool {
+        self.owned.contains(&key)
+    }
+
+    /// Read access to a stored variable (test/debug aid).
+    pub fn value_of(&self, var: VarId) -> Option<&A::Value> {
+        self.store.get(&var)
+    }
+
+    /// Depth of the execution queue (test/debug aid).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Handles an atomic multicast delivery addressed to this partition.
+    pub fn on_deliver(
+        &mut self,
+        payload: Payload<A>,
+        now: SimTime,
+        metrics: &mut Metrics,
+    ) -> Vec<Effect<A>> {
+        let mut eff = Vec::new();
+        match payload {
+            Payload::Access { cmd, attempt, expected, target, keep } => {
+                self.queue.push_back(Queued {
+                    cmd,
+                    attempt,
+                    body: QueuedBody::Access {
+                        expected,
+                        target,
+                        keep,
+                        sent_vars: false,
+                        sent_exchange: false,
+                    },
+                });
+            }
+            Payload::CreateKey { cmd, dest } => {
+                if dest == self.partition {
+                    let key = match &cmd.kind {
+                        CommandKind::CreateKey { key, .. } => *key,
+                        _ => unreachable!("CreateKey payload without CreateKey command"),
+                    };
+                    self.queue.push_back(Queued {
+                        cmd,
+                        attempt: 0,
+                        body: QueuedBody::Create { key, signalled: false },
+                    });
+                }
+            }
+            Payload::DeleteKey { cmd, dest } => {
+                if dest == self.partition {
+                    let key = match &cmd.kind {
+                        CommandKind::DeleteKey { key } => *key,
+                        _ => unreachable!("DeleteKey payload without DeleteKey command"),
+                    };
+                    self.queue.push_back(Queued {
+                        cmd,
+                        attempt: 0,
+                        body: QueuedBody::Delete { key, signalled: false },
+                    });
+                }
+            }
+            Payload::Plan { version, moves } => {
+                // Dummy command for queue uniformity.
+                self.queue.push_back(Queued {
+                    cmd: Command {
+                        id: MsgId::new(u64::MAX, 0),
+                        client: dynastar_runtime::NodeId::EXTERNAL,
+                        kind: CommandKind::DeleteKey { key: LocKey(u64::MAX) },
+                    },
+                    attempt: 0,
+                    body: QueuedBody::Plan { version, moves },
+                });
+            }
+            Payload::Exec { .. } | Payload::Hint { .. } => {
+                // Oracle-only payloads; partitions are never destinations.
+            }
+        }
+        self.pump(now, metrics, &mut eff);
+        eff
+    }
+
+    /// Called by the hosting actor when the modelled CPU frees up.
+    pub fn on_wake(&mut self, now: SimTime, metrics: &mut Metrics) -> Vec<Effect<A>> {
+        let mut eff = Vec::new();
+        self.pump(now, metrics, &mut eff);
+        eff
+    }
+
+    /// Handles a direct message.
+    pub fn on_direct(
+        &mut self,
+        msg: Direct<A>,
+        now: SimTime,
+        metrics: &mut Metrics,
+    ) -> Vec<Effect<A>> {
+        let mut eff = Vec::new();
+        if let Some(key) = msg.dedup_key() {
+            if !self.seen.insert(key) {
+                return eff;
+            }
+        }
+        match msg {
+            Direct::VarsForCmd { cmd, attempt, from, vars } => {
+                if self.aborted.contains(&(cmd, attempt)) || self.executed.contains_key(&cmd) {
+                    // Command will not execute here (aborted or duplicate):
+                    // bounce the variables straight back unchanged.
+                    eff.push(Effect::Send {
+                        to: Destination::Partition(from),
+                        msg: Direct::VarsReturn { cmd, attempt, vars },
+                    });
+                } else {
+                    self.vars_in.entry((cmd, attempt)).or_default().insert(from, vars);
+                }
+            }
+            Direct::VarsReturn { cmd, attempt, vars } => {
+                self.returns_in.insert((cmd, attempt), vars);
+            }
+            Direct::Abort { cmd, attempt, .. } => {
+                self.aborted.insert((cmd, attempt));
+                // Bounce anything already received for it.
+                if let Some(received) = self.vars_in.remove(&(cmd, attempt)) {
+                    for (from, vars) in received {
+                        eff.push(Effect::Send {
+                            to: Destination::Partition(from),
+                            msg: Direct::VarsReturn { cmd, attempt, vars },
+                        });
+                    }
+                }
+            }
+            Direct::Signal { cmd, from_partition } => {
+                if from_partition.is_none() {
+                    self.oracle_signals.insert(cmd);
+                }
+            }
+            Direct::PlanVars { version, key, from, vars, pending, primary } => {
+                self.on_plan_vars(version, key, from, vars, pending, primary, metrics, &mut eff);
+            }
+            Direct::SsmrExchange { cmd, attempt, from, vars } => {
+                self.ssmr_in.entry((cmd, attempt)).or_default().insert(from, vars);
+            }
+            Direct::Prophecy { .. }
+            | Direct::Reply { .. }
+            | Direct::Retry { .. }
+            | Direct::Ack { .. } => {
+                // Client-addressed; a server never receives these.
+            }
+        }
+        self.pump(now, metrics, &mut eff);
+        eff
+    }
+
+    /// Applies a (primary or supplement) key migration shipment.
+    ///
+    /// Shipments can arrive while this partition has not yet processed the
+    /// plan that makes it the owner (buffer until then), or after a later
+    /// plan moved the key away again (forward along the migration chain).
+    /// The carried plan version disambiguates the two, which keeps the
+    /// forwarding chain loop-free: forwards only follow plans this replica
+    /// has already applied.
+    #[allow(clippy::too_many_arguments)]
+    fn on_plan_vars(
+        &mut self,
+        version: u64,
+        key: LocKey,
+        from: PartitionId,
+        vars: Vec<(VarId, Option<A::Value>)>,
+        pending: Vec<VarId>,
+        primary: bool,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) {
+        if !self.owned.contains(&key) && !self.awaiting_keys.contains_key(&key) {
+            if version > self.plan_version {
+                // We have not applied the plan that concerns this shipment
+                // yet; hold it until pump_plan catches up.
+                self.planvars_buffer.push((version, key, from, vars, pending, primary));
+            } else if let Some(&next) = self.outmigrated.get(&key) {
+                // The key has already moved on; forward toward its current
+                // home. `from` is preserved so the receiver's dedup key
+                // still identifies the original shipment.
+                eff.push(Effect::Send {
+                    to: Destination::Partition(next),
+                    msg: Direct::PlanVars { version, key, from, vars, pending, primary },
+                });
+            }
+            return;
+        }
+        let received = vars.len() as u64;
+        let _ = received;
+        for (v, val) in vars {
+            match val {
+                Some(val) => {
+                    self.store.insert(v, val);
+                }
+                None => {
+                    self.store.remove(&v);
+                }
+            }
+            self.awaiting_vars.remove(&v);
+        }
+        if primary {
+            self.awaiting_keys.remove(&key);
+            self.awaiting_vars.extend(pending);
+        }
+        if self.config.record_metrics {
+            metrics.incr_counter(mn::OBJECTS_EXCHANGED, received);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queue processing
+    // ------------------------------------------------------------------
+
+    /// Processes the queue head for as long as it can make progress. The
+    /// head is popped while being worked on and pushed back if it must
+    /// wait, keeping borrows of `self` free for the handlers.
+    fn pump(&mut self, now: SimTime, metrics: &mut Metrics, eff: &mut Vec<Effect<A>>) {
+        loop {
+            if now < self.busy_until {
+                // Modelled CPU still busy with the previous execution: ask
+                // the hosting actor to wake us when it frees up.
+                if !self.queue.is_empty() {
+                    eff.push(Effect::Wake { at: self.busy_until });
+                }
+                return;
+            }
+            let Some(mut entry) = self.queue.pop_front() else { return };
+            let done = match &entry.body {
+                QueuedBody::Access { .. } => self.pump_access(&mut entry, now, metrics, eff),
+                QueuedBody::Create { .. } => self.pump_create(&mut entry, now, metrics, eff),
+                QueuedBody::Delete { .. } => self.pump_delete(&mut entry, now, metrics, eff),
+                QueuedBody::Plan { .. } => self.pump_plan(&mut entry, now, metrics, eff),
+            };
+            if !done {
+                self.queue.push_front(entry);
+                return;
+            }
+        }
+    }
+
+    /// Whether every variable this partition must provide is resolvable:
+    /// `Err(())` = stale routing, `Ok(false)` = wait, `Ok(true)` = ready.
+    fn my_vars_ready(&self, expected: &[(VarId, PartitionId)]) -> Result<bool, ()> {
+        for &(v, p) in expected {
+            if p != self.partition {
+                continue;
+            }
+            let key = A::locality(v);
+            if !self.owned.contains(&key) {
+                return Err(()); // routing was stale
+            }
+            if self.awaiting_keys.contains_key(&key) || self.awaiting_vars.contains(&v) {
+                return Ok(false); // migration in flight
+            }
+        }
+        Ok(true)
+    }
+
+    /// Collects this partition's (authoritative) values for its expected
+    /// variables.
+    fn my_var_values(&self, expected: &[(VarId, PartitionId)]) -> Vec<(VarId, Option<A::Value>)> {
+        expected
+            .iter()
+            .filter(|&&(_, p)| p == self.partition)
+            .map(|&(v, _)| (v, self.store.get(&v).cloned()))
+            .collect()
+    }
+
+    fn pump_access(
+        &mut self,
+        entry: &mut Queued<A>,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) -> bool {
+        let (cmd_id, attempt, client) = (entry.cmd.id, entry.attempt, entry.cmd.client);
+        let cmd = entry.cmd.clone();
+        let QueuedBody::Access { expected, target, keep, sent_vars, sent_exchange } =
+            &mut entry.body
+        else {
+            unreachable!()
+        };
+        let target = *target;
+        let keep = *keep;
+        let mut dests: Vec<PartitionId> = expected.iter().map(|&(_, p)| p).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        let multi = dests.len() > 1;
+
+        // Duplicate dispatch of an already-executed command: answer from
+        // the reply cache, bounce any borrowed vars.
+        if let Some(reply) = self.executed.get(&cmd_id) {
+            if target == self.partition {
+                eff.push(Effect::Send {
+                    to: Destination::Client(client),
+                    msg: Direct::Reply { cmd: cmd_id, attempt, reply: reply.clone() },
+                });
+                if let Some(received) = self.vars_in.remove(&(cmd_id, attempt)) {
+                    for (from, vars) in received {
+                        eff.push(Effect::Send {
+                            to: Destination::Partition(from),
+                            msg: Direct::VarsReturn { cmd: cmd_id, attempt, vars },
+                        });
+                    }
+                }
+            }
+            return true;
+        }
+
+        // Known aborted: nothing to do (vars already bounced on arrival).
+        if self.aborted.contains(&(cmd_id, attempt)) {
+            if let Some(received) = self.vars_in.remove(&(cmd_id, attempt)) {
+                for (from, vars) in received {
+                    eff.push(Effect::Send {
+                        to: Destination::Partition(from),
+                        msg: Direct::VarsReturn { cmd: cmd_id, attempt, vars },
+                    });
+                }
+            }
+            return true;
+        }
+
+        // Staleness check for the variables expected of us.
+        match self.my_vars_ready(expected) {
+            Err(()) => {
+                // Tell the client to retry via the oracle; tell the target
+                // to abandon the command.
+                eff.push(Effect::Send {
+                    to: Destination::Client(client),
+                    msg: Direct::Retry { cmd: cmd_id, attempt },
+                });
+                if target != self.partition {
+                    eff.push(Effect::Send {
+                        to: Destination::Partition(target),
+                        msg: Direct::Abort { cmd: cmd_id, attempt, missing_at: self.partition },
+                    });
+                } else if let Some(received) = self.vars_in.remove(&(cmd_id, attempt)) {
+                    // We are the target: lenders that already shipped their
+                    // variables block until they come back — bounce them.
+                    for (from, vars) in received {
+                        eff.push(Effect::Send {
+                            to: Destination::Partition(from),
+                            msg: Direct::VarsReturn { cmd: cmd_id, attempt, vars },
+                        });
+                    }
+                }
+                self.aborted.insert((cmd_id, attempt));
+                if self.config.record_metrics {
+                    metrics.incr_counter(mn::CMD_RETRY, 1);
+                }
+                return true;
+            }
+            Ok(false) => {
+                trace_blocked(format_args!(
+                    "[{}] t={} cmd={} att={} waits for in-flight migration: keys={:?} vars={:?}",
+                    self.partition,
+                    now,
+                    cmd_id,
+                    attempt,
+                    self.awaiting_keys,
+                    self.awaiting_vars
+                ));
+                return false; // wait for in-flight migration
+            }
+            Ok(true) => {}
+        }
+
+        if !multi {
+            // Single-partition fast path (Algorithm 3 Task 1a).
+            let expected = expected.clone();
+            self.execute_here(&cmd, attempt, &expected, now, metrics, eff);
+            return true;
+        }
+
+        if self.mode == Mode::SSmr {
+            // S-SMR: exchange shares, then everyone executes.
+            if !*sent_exchange {
+                *sent_exchange = true;
+                let mine = self.my_var_values(expected);
+                if self.config.record_metrics {
+                    metrics.incr_counter(
+                        mn::OBJECTS_EXCHANGED,
+                        mine.iter().filter(|(_, v)| v.is_some()).count() as u64,
+                    );
+                }
+                for &p in dests.iter().filter(|&&p| p != self.partition) {
+                    eff.push(Effect::Send {
+                        to: Destination::Partition(p),
+                        msg: Direct::SsmrExchange {
+                            cmd: cmd_id,
+                            attempt,
+                            from: self.partition,
+                            vars: mine.clone(),
+                        },
+                    });
+                }
+            }
+            let have = self.ssmr_in.get(&(cmd_id, attempt)).map(|m| m.len()).unwrap_or(0);
+            if have + 1 < dests.len() {
+                return false; // waiting for other partitions' shares
+            }
+            // Assemble the full variable map and execute.
+            let expected = expected.clone();
+            let shares = self.ssmr_in.remove(&(cmd_id, attempt)).unwrap_or_default();
+            let mut borrowed = BTreeMap::new();
+            for (_, vars) in shares {
+                for (v, val) in vars {
+                    borrowed.insert(v, val);
+                }
+            }
+            let replies_here = self.partition == dests[0]; // lowest id replies
+            self.execute_ssmr(&cmd, attempt, &expected, borrowed, now, metrics, eff, replies_here);
+            return true;
+        }
+
+        // DynaStar / DS-SMR path.
+        if target == self.partition {
+            // Target: wait until every other involved partition shipped.
+            let have = self.vars_in.get(&(cmd_id, attempt)).map(|m| m.len()).unwrap_or(0);
+            if have + 1 < dests.len() {
+                trace_blocked(format_args!(
+                    "[{}] t={} target cmd={} att={} waits for vars: {have}/{} received",
+                    self.partition,
+                    now,
+                    cmd_id,
+                    attempt,
+                    dests.len() - 1
+                ));
+                return false;
+            }
+            let expected = expected.clone();
+            let shipments = self.vars_in.remove(&(cmd_id, attempt)).unwrap_or_default();
+            let mut borrowed: BTreeMap<VarId, Option<A::Value>> = BTreeMap::new();
+            let mut sources: BTreeMap<VarId, PartitionId> = BTreeMap::new();
+            for (from, vars) in shipments {
+                for (v, val) in vars {
+                    sources.insert(v, from);
+                    borrowed.insert(v, val);
+                }
+            }
+            self.execute_target(&cmd, attempt, &expected, borrowed, sources, keep, now, metrics, eff);
+            true
+        } else {
+            // Non-target: ship our variables, then (DynaStar) await return.
+            if !*sent_vars {
+                *sent_vars = true;
+                let mine = self.my_var_values(expected);
+                if self.config.record_metrics {
+                    metrics.incr_counter(
+                        mn::OBJECTS_EXCHANGED,
+                        mine.iter().filter(|(_, v)| v.is_some()).count() as u64,
+                    );
+                    metrics.record_series(
+                        &self.name_objects,
+                        now,
+                        mine.iter().filter(|(_, v)| v.is_some()).count() as f64,
+                    );
+                    metrics.record_series(&self.name_multi, now, 1.0);
+                }
+                for (v, _) in &mine {
+                    self.lent.insert(*v, (cmd_id, attempt));
+                }
+                // Values leave this partition while borrowed.
+                for (v, _) in &mine {
+                    self.store.remove(v);
+                }
+                eff.push(Effect::Send {
+                    to: Destination::Partition(target),
+                    msg: Direct::VarsForCmd {
+                        cmd: cmd_id,
+                        attempt,
+                        from: self.partition,
+                        vars: mine,
+                    },
+                });
+                if keep {
+                    // DS-SMR: ownership transfers; nothing comes back.
+                    let my_keys: Vec<LocKey> = expected
+                        .iter()
+                        .filter(|&&(_, p)| p == self.partition)
+                        .map(|&(v, _)| A::locality(v))
+                        .collect();
+                    for key in my_keys {
+                        if self.owned.remove(&key) {
+                            self.outmigrated.insert(key, target);
+                        }
+                    }
+                    // Lent entries are moot: clear them.
+                    self.lent.retain(|_, &mut (c, a)| !(c == cmd_id && a == attempt));
+                    return true;
+                }
+            }
+            // DynaStar: block until the variables come home (line 17).
+            let Some(returned) = self.returns_in.remove(&(cmd_id, attempt)) else {
+                trace_blocked(format_args!(
+                    "[{}] t={} lender cmd={} att={} waits for return from {}",
+                    self.partition, now, cmd_id, attempt, target
+                ));
+                return false;
+            };
+            for (v, val) in returned {
+                self.lent.remove(&v);
+                self.apply_returned_var(v, val, eff);
+            }
+            true
+        }
+    }
+
+    /// Stores or forwards one returned variable, depending on whether its
+    /// key still lives here.
+    fn apply_returned_var(&mut self, v: VarId, val: Option<A::Value>, eff: &mut Vec<Effect<A>>) {
+        let key = A::locality(v);
+        if self.owned.contains(&key) {
+            match val {
+                Some(val) => {
+                    self.store.insert(v, val);
+                }
+                None => {
+                    self.store.remove(&v);
+                }
+            }
+        } else if let Some(&next) = self.outmigrated.get(&key) {
+            // The key migrated while the variable was lent: forward it as a
+            // supplement so the new owner can clear its pending marker.
+            eff.push(Effect::Send {
+                to: Destination::Partition(next),
+                msg: Direct::PlanVars {
+                    version: self.plan_version,
+                    key,
+                    from: self.partition,
+                    vars: vec![(v, val)],
+                    pending: Vec::new(),
+                    primary: false,
+                },
+            });
+        }
+    }
+
+    /// Executes a single-partition command at this partition.
+    fn execute_here(
+        &mut self,
+        cmd: &Command<A>,
+        attempt: u32,
+        expected: &[(VarId, PartitionId)],
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) {
+        let op = match &cmd.kind {
+            CommandKind::Access { op, .. } => op.clone(),
+            _ => unreachable!("execute_here on non-access"),
+        };
+        let mut vars: BTreeMap<VarId, Option<A::Value>> = BTreeMap::new();
+        for &(v, p) in expected {
+            if p == self.partition {
+                vars.insert(v, self.store.get(&v).cloned());
+            }
+        }
+        let reply = A::execute(&op, &mut vars);
+        for &(v, p) in expected {
+            if p == self.partition {
+                match vars.get(&v).cloned().flatten() {
+                    Some(val) => {
+                        self.store.insert(v, val);
+                    }
+                    None => {
+                        self.store.remove(&v);
+                    }
+                }
+            }
+        }
+        self.finish_execution(cmd, attempt, reply, false, now, metrics, eff);
+    }
+
+    /// Executes a multi-partition command at the target with borrowed
+    /// variables, then returns (or keeps) them.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_target(
+        &mut self,
+        cmd: &Command<A>,
+        attempt: u32,
+        expected: &[(VarId, PartitionId)],
+        mut borrowed: BTreeMap<VarId, Option<A::Value>>,
+        sources: BTreeMap<VarId, PartitionId>,
+        keep: bool,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) {
+        let op = match &cmd.kind {
+            CommandKind::Access { op, .. } => op.clone(),
+            _ => unreachable!("execute_target on non-access"),
+        };
+        for &(v, p) in expected {
+            if p == self.partition {
+                borrowed.insert(v, self.store.get(&v).cloned());
+            }
+        }
+        let reply = A::execute(&op, &mut borrowed);
+
+        // Local variables: apply in place.
+        for &(v, p) in expected {
+            if p == self.partition {
+                match borrowed.get(&v).cloned().flatten() {
+                    Some(val) => {
+                        self.store.insert(v, val);
+                    }
+                    None => {
+                        self.store.remove(&v);
+                    }
+                }
+            }
+        }
+        // Borrowed variables: return home (DynaStar) or absorb (DS-SMR).
+        let mut by_source: BTreeMap<PartitionId, Vec<(VarId, Option<A::Value>)>> = BTreeMap::new();
+        for (v, from) in &sources {
+            by_source.entry(*from).or_default().push((*v, borrowed.get(v).cloned().flatten()));
+        }
+        if keep {
+            for (_, vars) in by_source {
+                for (v, val) in vars {
+                    let key = A::locality(v);
+                    self.owned.insert(key);
+                    match val {
+                        Some(val) => {
+                            self.store.insert(v, val);
+                        }
+                        None => {
+                            self.store.remove(&v);
+                        }
+                    }
+                }
+            }
+        } else {
+            let mut returned_objects = 0u64;
+            for (from, vars) in by_source {
+                returned_objects += vars.iter().filter(|(_, v)| v.is_some()).count() as u64;
+                eff.push(Effect::Send {
+                    to: Destination::Partition(from),
+                    msg: Direct::VarsReturn { cmd: cmd.id, attempt, vars },
+                });
+            }
+            if self.config.record_metrics {
+                metrics.incr_counter(mn::OBJECTS_EXCHANGED, returned_objects);
+                metrics.record_series(&self.name_objects, now, returned_objects as f64);
+            }
+        }
+        self.finish_execution(cmd, attempt, reply, true, now, metrics, eff);
+    }
+
+    /// S-SMR execution: full variable map available, apply only our own
+    /// variables, reply only if we are the designated replier.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_ssmr(
+        &mut self,
+        cmd: &Command<A>,
+        attempt: u32,
+        expected: &[(VarId, PartitionId)],
+        mut vars: BTreeMap<VarId, Option<A::Value>>,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+        replies_here: bool,
+    ) {
+        let op = match &cmd.kind {
+            CommandKind::Access { op, .. } => op.clone(),
+            _ => unreachable!("execute_ssmr on non-access"),
+        };
+        for &(v, p) in expected {
+            if p == self.partition {
+                vars.insert(v, self.store.get(&v).cloned());
+            }
+        }
+        let reply = A::execute(&op, &mut vars);
+        for &(v, p) in expected {
+            if p == self.partition {
+                match vars.get(&v).cloned().flatten() {
+                    Some(val) => {
+                        self.store.insert(v, val);
+                    }
+                    None => {
+                        self.store.remove(&v);
+                    }
+                }
+            }
+        }
+        if self.config.record_metrics {
+            metrics.record_series(&self.name_multi, now, 1.0);
+        }
+        if replies_here {
+            self.finish_execution(cmd, attempt, reply, true, now, metrics, eff);
+        } else {
+            // Record execution without replying (dedup for retries).
+            self.consume_service_time(now);
+            self.executed.insert(cmd.id, reply);
+            if self.config.record_metrics {
+                metrics.record_series(&self.name_executed, now, 1.0);
+            }
+        }
+    }
+
+    /// Accounts the modelled CPU cost of one execution.
+    fn consume_service_time(&mut self, now: SimTime) {
+        if !self.config.service_time.is_zero() {
+            self.busy_until = now + self.config.service_time;
+        }
+    }
+
+    /// Reply, reply-cache, metrics and hint bookkeeping after execution.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_execution(
+        &mut self,
+        cmd: &Command<A>,
+        attempt: u32,
+        reply: A::Reply,
+        multi: bool,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) {
+        self.consume_service_time(now);
+        eff.push(Effect::Send {
+            to: Destination::Client(cmd.client),
+            msg: Direct::Reply { cmd: cmd.id, attempt, reply: reply.clone() },
+        });
+        self.executed.insert(cmd.id, reply);
+        if self.config.record_metrics {
+            metrics.record_series(&self.name_executed, now, 1.0);
+            if multi {
+                metrics.incr_counter(mn::CMD_MULTI, 1);
+                metrics.record_series(mn::CMD_MULTI, now, 1.0);
+                metrics.record_series(&self.name_multi, now, 1.0);
+            } else {
+                metrics.incr_counter(mn::CMD_SINGLE, 1);
+                metrics.record_series(mn::CMD_SINGLE, now, 1.0);
+            }
+        }
+        if self.config.collect_hints && self.mode.optimizes() {
+            self.record_hint(cmd, eff);
+        }
+    }
+
+    /// Accumulates workload-graph hints and flushes a batch when due
+    /// (Algorithm 2 Task 4, partition side).
+    fn record_hint(&mut self, cmd: &Command<A>, eff: &mut Vec<Effect<A>>) {
+        let keys = cmd.keys();
+        for &k in &keys {
+            *self.hint_vertices.entry(k).or_insert(0) += 1;
+        }
+        for i in 0..keys.len() {
+            for j in (i + 1)..keys.len() {
+                *self.hint_edges.entry((keys[i], keys[j])).or_insert(0) += 1;
+            }
+        }
+        self.hint_execs += 1;
+        if self.hint_execs >= self.config.hint_batch {
+            self.hint_execs = 0;
+            let vertices: Vec<(LocKey, u64)> =
+                self.hint_vertices.iter().map(|(&k, &w)| (k, w)).collect();
+            let edges: Vec<(LocKey, LocKey, u64)> =
+                self.hint_edges.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+            self.hint_vertices.clear();
+            self.hint_edges.clear();
+            let mid = MsgId::new(PARTITION_ORIGIN_BASE + self.partition.0 as u64, self.hint_seq);
+            self.hint_seq += 1;
+            eff.push(Effect::Multicast {
+                mid,
+                partitions: Vec::new(),
+                include_oracle: true,
+                payload: Payload::Hint { vertices, edges },
+            });
+        }
+    }
+
+    fn pump_create(
+        &mut self,
+        entry: &mut Queued<A>,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) -> bool {
+        let (cmd_id, client) = (entry.cmd.id, entry.cmd.client);
+        let QueuedBody::Create { key, signalled } = &mut entry.body else { unreachable!() };
+        let key = *key;
+        if !*signalled {
+            *signalled = true;
+            eff.push(Effect::Send {
+                to: Destination::Oracle,
+                msg: Direct::Signal { cmd: cmd_id, from_partition: Some(self.partition) },
+            });
+        }
+        // Rendezvous: wait for the oracle's signal (Algorithm 3 Task 2).
+        if !self.oracle_signals.contains(&cmd_id) {
+            return false;
+        }
+        if let CommandKind::CreateKey { vars, .. } = &entry.cmd.kind {
+            self.owned.insert(key);
+            for (v, val) in vars {
+                self.store.insert(*v, val.clone());
+            }
+        }
+        if self.config.record_metrics {
+            metrics.record_series(&self.name_executed, now, 1.0);
+        }
+        eff.push(Effect::Send {
+            to: Destination::Client(client),
+            msg: Direct::Ack { cmd: cmd_id },
+        });
+        true
+    }
+
+    fn pump_delete(
+        &mut self,
+        entry: &mut Queued<A>,
+        _now: SimTime,
+        _metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) -> bool {
+        let (cmd_id, client) = (entry.cmd.id, entry.cmd.client);
+        let QueuedBody::Delete { key, signalled } = &mut entry.body else { unreachable!() };
+        let key = *key;
+        if self.awaiting_keys.contains_key(&key) {
+            return false; // migration inbound; wait for the state first
+        }
+        if !self.owned.contains(&key) {
+            // Stale: the key moved away after the oracle routed the delete.
+            eff.push(Effect::Send {
+                to: Destination::Client(client),
+                msg: Direct::Retry { cmd: cmd_id, attempt: 0 },
+            });
+            return true;
+        }
+        if !*signalled {
+            *signalled = true;
+            eff.push(Effect::Send {
+                to: Destination::Oracle,
+                msg: Direct::Signal { cmd: cmd_id, from_partition: Some(self.partition) },
+            });
+        }
+        if !self.oracle_signals.contains(&cmd_id) {
+            return false;
+        }
+        self.owned.remove(&key);
+        let dead: Vec<VarId> =
+            self.store.keys().copied().filter(|&v| A::locality(v) == key).collect();
+        for v in dead {
+            self.store.remove(&v);
+        }
+        eff.push(Effect::Send {
+            to: Destination::Client(client),
+            msg: Direct::Ack { cmd: cmd_id },
+        });
+        true
+    }
+
+    fn pump_plan(
+        &mut self,
+        entry: &mut Queued<A>,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) -> bool {
+        let QueuedBody::Plan { version, moves } = &entry.body else { unreachable!() };
+        let (version, moves) = (*version, moves.clone());
+        self.plan_version = version;
+        for (key, from, to) in moves {
+            if from == self.partition && to != self.partition {
+                // Chained migration: the key may still be in flight toward
+                // us from an earlier plan. We then ship what we have as a
+                // supplement and let the in-flight primary be forwarded
+                // through us (see on_plan_vars) once it lands.
+                let was_awaiting = self.awaiting_keys.remove(&key).is_some();
+                if !self.owned.remove(&key) {
+                    continue; // already gone (e.g. DS-SMR moved it earlier)
+                }
+                self.outmigrated.insert(key, to);
+                let vars: Vec<(VarId, Option<A::Value>)> = self
+                    .store
+                    .iter()
+                    .filter(|(&v, _)| A::locality(v) == key)
+                    .map(|(&v, val)| (v, Some(val.clone())))
+                    .collect();
+                for (v, _) in &vars {
+                    self.store.remove(v);
+                }
+                // Stale in-flight markers move with the key.
+                self.awaiting_vars.retain(|&v| A::locality(v) != key);
+                let pending: Vec<VarId> = self
+                    .lent
+                    .keys()
+                    .copied()
+                    .filter(|&v| A::locality(v) == key)
+                    .collect();
+                if self.config.record_metrics {
+                    metrics.incr_counter(mn::OBJECTS_EXCHANGED, vars.len() as u64);
+                    metrics.record_series(&self.name_objects, now, vars.len() as f64);
+                }
+                if was_awaiting {
+                    // Not authoritative yet: send only what we hold.
+                    if !vars.is_empty() {
+                        eff.push(Effect::Send {
+                            to: Destination::Partition(to),
+                            msg: Direct::PlanVars {
+                                version,
+                                key,
+                                from: self.partition,
+                                vars,
+                                pending,
+                                primary: false,
+                            },
+                        });
+                    }
+                } else {
+                    eff.push(Effect::Send {
+                        to: Destination::Partition(to),
+                        msg: Direct::PlanVars {
+                            version,
+                            key,
+                            from: self.partition,
+                            vars,
+                            pending,
+                            primary: true,
+                        },
+                    });
+                }
+            } else if to == self.partition && from != self.partition {
+                self.owned.insert(key);
+                self.outmigrated.remove(&key);
+                self.awaiting_keys.insert(key, from);
+            }
+        }
+        // Re-process shipments that arrived before this plan.
+        let ready: Vec<_> = {
+            let (ready, later): (Vec<_>, Vec<_>) = self
+                .planvars_buffer
+                .drain(..)
+                .partition(|&(v, ..)| v <= version);
+            self.planvars_buffer = later;
+            ready
+        };
+        for (v, key, from, vars, pending, primary) in ready {
+            self.on_plan_vars(v, key, from, vars, pending, primary, metrics, eff);
+        }
+        true
+    }
+}
+
+impl<A: Application> std::fmt::Debug for ServerCore<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerCore")
+            .field("partition", &self.partition)
+            .field("mode", &self.mode)
+            .field("owned_keys", &self.owned.len())
+            .field("stored_vars", &self.store.len())
+            .field("queue", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandKind;
+    use dynastar_runtime::NodeId;
+
+    struct App;
+    impl Application for App {
+        type Op = i64; // add to every declared var
+        type Value = i64;
+        type Reply = Vec<(VarId, i64)>;
+        fn locality(var: VarId) -> LocKey {
+            LocKey(var.0 / 10)
+        }
+        fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> Self::Reply {
+            vars.iter_mut()
+                .map(|(&v, val)| {
+                    let next = val.unwrap_or(0) + op;
+                    *val = Some(next);
+                    (v, next)
+                })
+                .collect()
+        }
+    }
+
+    fn server(p: u32, keys: &[u64], vars: &[(u64, i64)]) -> ServerCore<App> {
+        let mut s = ServerCore::new(PartitionId(p), Mode::Dynastar, ServerConfig::default());
+        s.preload(keys.iter().map(|&k| LocKey(k)), vars.iter().map(|&(v, x)| (VarId(v), x)));
+        s
+    }
+
+    fn access_payload(
+        seq: u32,
+        vars: &[(u64, u32)],
+        target: u32,
+        attempt: u32,
+    ) -> Payload<App> {
+        let expected: Vec<(VarId, PartitionId)> =
+            vars.iter().map(|&(v, p)| (VarId(v), PartitionId(p))).collect();
+        Payload::Access {
+            cmd: Command {
+                id: MsgId::new(42, seq),
+                client: NodeId::from_raw(99),
+                kind: CommandKind::Access {
+                    op: 1,
+                    vars: vars.iter().map(|&(v, _)| VarId(v)).collect(),
+                },
+            },
+            attempt,
+            expected,
+            target: PartitionId(target),
+            keep: false,
+        }
+    }
+
+    fn now() -> SimTime {
+        SimTime::from_millis(5)
+    }
+
+    /// Extracts the Reply effect, if any.
+    fn reply_of(eff: &[Effect<App>]) -> Option<Vec<(VarId, i64)>> {
+        eff.iter().find_map(|e| match e {
+            Effect::Send { msg: Direct::Reply { reply, .. }, .. } => Some(reply.clone()),
+            _ => None,
+        })
+    }
+
+    #[test]
+    fn single_partition_access_executes_immediately() {
+        let mut s = server(0, &[0], &[(0, 10)]);
+        let mut m = Metrics::new();
+        let eff = s.on_deliver(access_payload(0, &[(0, 0)], 0, 0), now(), &mut m);
+        assert_eq!(reply_of(&eff), Some(vec![(VarId(0), 11)]));
+        assert_eq!(s.value_of(VarId(0)), Some(&11));
+        assert_eq!(m.counter(mn::CMD_SINGLE), 1);
+    }
+
+    #[test]
+    fn borrow_execute_return_roundtrip() {
+        // Partition 0 is target and owns var 0; partition 1 lends var 10.
+        let mut target = server(0, &[0], &[(0, 100)]);
+        let mut lender = server(1, &[1], &[(10, 200)]);
+        let mut m = Metrics::new();
+        let payload = access_payload(0, &[(0, 0), (10, 1)], 0, 0);
+
+        // Target delivers first: it must wait for the lender's vars.
+        let eff_t = target.on_deliver(payload.clone(), now(), &mut m);
+        assert!(reply_of(&eff_t).is_none());
+        assert_eq!(target.queue_len(), 1);
+
+        // Lender delivers: ships its vars and blocks awaiting return.
+        let eff_l = lender.on_deliver(payload, now(), &mut m);
+        let ship = eff_l
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send { to: Destination::Partition(p), msg: m2 @ Direct::VarsForCmd { .. } } => {
+                    Some((*p, m2.clone()))
+                }
+                _ => None,
+            })
+            .expect("lender ships vars");
+        assert_eq!(ship.0, PartitionId(0));
+        assert_eq!(lender.value_of(VarId(10)), None, "value left the lender");
+        assert_eq!(lender.queue_len(), 1, "lender blocks until return");
+
+        // Target receives the vars → executes → replies and returns.
+        let eff_t = target.on_direct(ship.1, now(), &mut m);
+        assert_eq!(reply_of(&eff_t), Some(vec![(VarId(0), 101), (VarId(10), 201)]));
+        let ret = eff_t
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send { to: Destination::Partition(p), msg: m2 @ Direct::VarsReturn { .. } } => {
+                    Some((*p, m2.clone()))
+                }
+                _ => None,
+            })
+            .expect("vars returned");
+        assert_eq!(ret.0, PartitionId(1));
+        assert_eq!(target.value_of(VarId(10)), None, "borrowed value not kept");
+
+        // Lender stores the updated value and unblocks.
+        let _ = lender.on_direct(ret.1, now(), &mut m);
+        assert_eq!(lender.value_of(VarId(10)), Some(&201));
+        assert_eq!(lender.queue_len(), 0);
+    }
+
+    #[test]
+    fn stale_routing_at_non_target_aborts_and_retries() {
+        // Partition 1 no longer owns key 1 (expected var 10): Retry+Abort.
+        let mut s = server(1, &[], &[]);
+        let mut m = Metrics::new();
+        let eff = s.on_deliver(access_payload(0, &[(0, 0), (10, 1)], 0, 0), now(), &mut m);
+        assert!(eff.iter().any(|e| matches!(e,
+            Effect::Send { to: Destination::Client(_), msg: Direct::Retry { .. } })));
+        assert!(eff.iter().any(|e| matches!(e,
+            Effect::Send { to: Destination::Partition(PartitionId(0)), msg: Direct::Abort { .. } })));
+        assert_eq!(s.queue_len(), 0, "stale command must not block the queue");
+    }
+
+    #[test]
+    fn stale_routing_at_target_bounces_received_vars() {
+        // Target does not own its expected key; a lender already shipped.
+        let mut s = server(0, &[], &[]);
+        let mut m = Metrics::new();
+        let _ = s.on_direct(
+            Direct::VarsForCmd {
+                cmd: MsgId::new(42, 0),
+                attempt: 0,
+                from: PartitionId(1),
+                vars: vec![(VarId(10), Some(5))],
+            },
+            now(),
+            &mut m,
+        );
+        let eff = s.on_deliver(access_payload(0, &[(0, 0), (10, 1)], 0, 0), now(), &mut m);
+        let bounced = eff.iter().any(|e| matches!(e,
+            Effect::Send { to: Destination::Partition(PartitionId(1)), msg: Direct::VarsReturn { .. } }));
+        assert!(bounced, "lender's vars must bounce back on target-side abort");
+    }
+
+    #[test]
+    fn duplicate_dispatch_answers_from_reply_cache() {
+        let mut s = server(0, &[0], &[(0, 0)]);
+        let mut m = Metrics::new();
+        let eff1 = s.on_deliver(access_payload(3, &[(0, 0)], 0, 0), now(), &mut m);
+        assert_eq!(reply_of(&eff1), Some(vec![(VarId(0), 1)]));
+        // Same command id re-dispatched (attempt 1): no re-execution.
+        let eff2 = s.on_deliver(access_payload(3, &[(0, 0)], 0, 1), now(), &mut m);
+        assert_eq!(reply_of(&eff2), Some(vec![(VarId(0), 1)]), "cached reply");
+        assert_eq!(s.value_of(VarId(0)), Some(&1), "no double execution");
+    }
+
+    #[test]
+    fn plan_migrates_key_out_and_in() {
+        let mut from = server(0, &[0], &[(0, 7), (1, 8)]);
+        let mut to = server(1, &[], &[]);
+        let mut m = Metrics::new();
+        let plan = Payload::Plan {
+            version: 1,
+            moves: vec![(LocKey(0), PartitionId(0), PartitionId(1))],
+        };
+        let eff = from.on_deliver(plan.clone(), now(), &mut m);
+        assert!(!from.owns(LocKey(0)));
+        assert_eq!(from.value_of(VarId(0)), None);
+        let ship = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send { msg: m2 @ Direct::PlanVars { .. }, .. } => Some(m2.clone()),
+                _ => None,
+            })
+            .expect("primary shipment");
+        let _ = to.on_deliver(plan, now(), &mut m);
+        assert!(to.owns(LocKey(0)));
+        let _ = to.on_direct(ship, now(), &mut m);
+        assert_eq!(to.value_of(VarId(0)), Some(&7));
+        assert_eq!(to.value_of(VarId(1)), Some(&8));
+    }
+
+    #[test]
+    fn early_planvars_is_buffered_until_plan_applies() {
+        let mut to = server(1, &[], &[]);
+        let mut m = Metrics::new();
+        // Shipment for plan v1 arrives before the plan itself.
+        let _ = to.on_direct(
+            Direct::PlanVars {
+                version: 1,
+                key: LocKey(0),
+                from: PartitionId(0),
+                vars: vec![(VarId(0), Some(7))],
+                pending: vec![],
+                primary: true,
+            },
+            now(),
+            &mut m,
+        );
+        assert_eq!(to.value_of(VarId(0)), None, "must not apply before ownership");
+        let _ = to.on_deliver(
+            Payload::Plan { version: 1, moves: vec![(LocKey(0), PartitionId(0), PartitionId(1))] },
+            now(),
+            &mut m,
+        );
+        assert_eq!(to.value_of(VarId(0)), Some(&7), "buffered shipment applied");
+        assert!(to.owns(LocKey(0)));
+    }
+
+    #[test]
+    fn command_waits_for_inflight_migration() {
+        let mut s = server(1, &[], &[]);
+        let mut m = Metrics::new();
+        // Plan makes us owner of key 0; data still in flight.
+        let _ = s.on_deliver(
+            Payload::Plan { version: 1, moves: vec![(LocKey(0), PartitionId(0), PartitionId(1))] },
+            now(),
+            &mut m,
+        );
+        let eff = s.on_deliver(access_payload(0, &[(0, 1)], 1, 0), now(), &mut m);
+        assert!(reply_of(&eff).is_none(), "must wait for PlanVars");
+        assert_eq!(s.queue_len(), 1);
+        // Data arrives → the queued command executes.
+        let eff = s.on_direct(
+            Direct::PlanVars {
+                version: 1,
+                key: LocKey(0),
+                from: PartitionId(0),
+                vars: vec![(VarId(0), Some(5))],
+                pending: vec![],
+                primary: true,
+            },
+            now(),
+            &mut m,
+        );
+        assert_eq!(reply_of(&eff), Some(vec![(VarId(0), 6)]));
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn create_waits_for_oracle_signal() {
+        let mut s = server(0, &[], &[]);
+        let mut m = Metrics::new();
+        let cmd = Command::<App> {
+            id: MsgId::new(5, 0),
+            client: NodeId::from_raw(9),
+            kind: CommandKind::CreateKey { key: LocKey(4), vars: vec![(VarId(40), 1)] },
+        };
+        let eff = s.on_deliver(
+            Payload::CreateKey { cmd: cmd.clone(), dest: PartitionId(0) },
+            now(),
+            &mut m,
+        );
+        // Signals the oracle, but does not install yet.
+        assert!(eff.iter().any(|e| matches!(e,
+            Effect::Send { to: Destination::Oracle, msg: Direct::Signal { .. } })));
+        assert!(!s.owns(LocKey(4)));
+        // Oracle's signal arrives → install + ack.
+        let eff = s.on_direct(
+            Direct::Signal { cmd: cmd.id, from_partition: None },
+            now(),
+            &mut m,
+        );
+        assert!(s.owns(LocKey(4)));
+        assert_eq!(s.value_of(VarId(40)), Some(&1));
+        assert!(eff.iter().any(|e| matches!(e,
+            Effect::Send { to: Destination::Client(_), msg: Direct::Ack { .. } })));
+    }
+
+    #[test]
+    fn dssmr_keep_transfers_ownership() {
+        let mut lender = ServerCore::<App>::new(PartitionId(1), Mode::DsSmr, ServerConfig::default());
+        lender.preload([LocKey(1)], [(VarId(10), 50)]);
+        let mut target = ServerCore::<App>::new(PartitionId(0), Mode::DsSmr, ServerConfig::default());
+        target.preload([LocKey(0)], [(VarId(0), 1)]);
+        let mut m = Metrics::new();
+        let payload = Payload::Access {
+            cmd: Command {
+                id: MsgId::new(8, 0),
+                client: NodeId::from_raw(9),
+                kind: CommandKind::Access { op: 1, vars: vec![VarId(0), VarId(10)] },
+            },
+            attempt: 0,
+            expected: vec![(VarId(0), PartitionId(0)), (VarId(10), PartitionId(1))],
+            target: PartitionId(0),
+            keep: true,
+        };
+        let eff_l = lender.on_deliver(payload.clone(), now(), &mut m);
+        assert_eq!(lender.queue_len(), 0, "keep-mode lender does not block");
+        assert!(!lender.owns(LocKey(1)), "ownership transferred away");
+        let ship = eff_l
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send { msg: m2 @ Direct::VarsForCmd { .. }, .. } => Some(m2.clone()),
+                _ => None,
+            })
+            .expect("vars shipped");
+        let _ = target.on_deliver(payload, now(), &mut m);
+        let eff_t = target.on_direct(ship, now(), &mut m);
+        assert!(reply_of(&eff_t).is_some());
+        assert!(target.owns(LocKey(1)), "target keeps the key");
+        assert_eq!(target.value_of(VarId(10)), Some(&51));
+    }
+
+    #[test]
+    fn ssmr_exchange_and_execute_everywhere() {
+        let mk = |p: u32, keys: &[u64], vars: &[(u64, i64)]| {
+            let mut s = ServerCore::<App>::new(PartitionId(p), Mode::SSmr, ServerConfig::default());
+            s.preload(keys.iter().map(|&k| LocKey(k)), vars.iter().map(|&(v, x)| (VarId(v), x)));
+            s
+        };
+        let mut a = mk(0, &[0], &[(0, 1)]);
+        let mut b = mk(1, &[1], &[(10, 2)]);
+        let mut m = Metrics::new();
+        let payload = access_payload(0, &[(0, 0), (10, 1)], 0, 0);
+        let eff_a = a.on_deliver(payload.clone(), now(), &mut m);
+        let eff_b = b.on_deliver(payload, now(), &mut m);
+        let ex_a = eff_a.iter().find_map(|e| match e {
+            Effect::Send { msg: m2 @ Direct::SsmrExchange { .. }, .. } => Some(m2.clone()),
+            _ => None,
+        }).expect("a exchanges");
+        let ex_b = eff_b.iter().find_map(|e| match e {
+            Effect::Send { msg: m2 @ Direct::SsmrExchange { .. }, .. } => Some(m2.clone()),
+            _ => None,
+        }).expect("b exchanges");
+        // Feed each the other's share: both execute; only partition 0
+        // (lowest id) replies.
+        let eff_a = a.on_direct(ex_b, now(), &mut m);
+        let eff_b = b.on_direct(ex_a, now(), &mut m);
+        assert!(reply_of(&eff_a).is_some(), "lowest-id partition replies");
+        assert!(reply_of(&eff_b).is_none());
+        // Each kept only its own variable's update.
+        assert_eq!(a.value_of(VarId(0)), Some(&2));
+        assert_eq!(a.value_of(VarId(10)), None);
+        assert_eq!(b.value_of(VarId(10)), Some(&3));
+    }
+}

@@ -1,0 +1,330 @@
+//! End-to-end tests of the full DynaStar stack: clients → atomic multicast
+//! → Paxos groups → partition servers/oracle, over the simulated network.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dynastar_core::{
+    Application, ClusterBuilder, ClusterConfig, Command, CommandKind, LocKey, Mode, PartitionId,
+    VarId, Workload,
+};
+use dynastar_core::metric_names as mn;
+use dynastar_runtime::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+/// A bank of counters: `Op = Add(n)` adds `n` to every declared variable
+/// and returns the resulting values.
+struct Counters;
+
+impl Application for Counters {
+    type Op = i64;
+    type Value = i64;
+    type Reply = Vec<(VarId, i64)>;
+
+    fn locality(var: VarId) -> LocKey {
+        LocKey(var.0 / 10)
+    }
+
+    fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> Self::Reply {
+        let mut out = Vec::new();
+        for (&v, val) in vars.iter_mut() {
+            let next = val.unwrap_or(0) + op;
+            *val = Some(next);
+            out.push((v, next));
+        }
+        out
+    }
+}
+
+type Event = (Command<Counters>, Option<Vec<(VarId, i64)>>, SimTime);
+
+/// Scripted workload: issues a fixed list of commands, records completions.
+struct Script {
+    cmds: std::vec::IntoIter<CommandKind<Counters>>,
+    log: Arc<Mutex<Vec<Event>>>,
+}
+
+impl Script {
+    fn new(cmds: Vec<CommandKind<Counters>>) -> (Self, Arc<Mutex<Vec<Event>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        (Script { cmds: cmds.into_iter(), log: Arc::clone(&log) }, log)
+    }
+}
+
+impl Workload<Counters> for Script {
+    fn next_command(&mut self, _now: SimTime, _rng: &mut StdRng) -> Option<CommandKind<Counters>> {
+        self.cmds.next()
+    }
+
+    fn on_completed(&mut self, now: SimTime, cmd: &Command<Counters>, reply: Option<&Vec<(VarId, i64)>>) {
+        self.log.lock().unwrap().push((cmd.clone(), reply.cloned(), now));
+    }
+}
+
+fn add(vars: Vec<u64>) -> CommandKind<Counters> {
+    CommandKind::Access { op: 1, vars: vars.into_iter().map(VarId).collect() }
+}
+
+fn base_config(mode: Mode, partitions: u32, seed: u64) -> ClusterConfig {
+    ClusterConfig {
+        partitions,
+        replicas: 2,
+        mode,
+        seed,
+        repartition_threshold: u64::MAX, // no repartitioning unless asked
+        ..ClusterConfig::default()
+    }
+}
+
+/// Two keys on two partitions with one var each.
+fn two_partition_cluster(mode: Mode, seed: u64) -> dynastar_core::Cluster<Counters> {
+    let mut b = ClusterBuilder::new(base_config(mode, 2, seed));
+    b.place(LocKey(0), PartitionId(0))
+        .place(LocKey(1), PartitionId(1))
+        .with_var(VarId(0), 0)
+        .with_var(VarId(10), 0);
+    b.build()
+}
+
+#[test]
+fn single_partition_command_executes() {
+    let mut cluster = two_partition_cluster(Mode::Dynastar, 1);
+    let (script, log) = Script::new(vec![add(vec![0])]);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(5));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 1, "command did not complete");
+    assert_eq!(log[0].1, Some(vec![(VarId(0), 1)]));
+    assert_eq!(cluster.metrics().counter(mn::CMD_SINGLE), 1);
+    assert_eq!(cluster.metrics().counter(mn::CMD_MULTI), 0);
+}
+
+#[test]
+fn sequential_commands_accumulate_state() {
+    let mut cluster = two_partition_cluster(Mode::Dynastar, 2);
+    let (script, log) = Script::new(vec![add(vec![0]), add(vec![0]), add(vec![0])]);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(10));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 3);
+    assert_eq!(log[2].1, Some(vec![(VarId(0), 3)]));
+}
+
+#[test]
+fn multi_partition_command_borrows_and_returns() {
+    let mut cluster = two_partition_cluster(Mode::Dynastar, 3);
+    // Touch vars on both partitions, then each separately: values must
+    // have returned to their homes.
+    let (script, log) = Script::new(vec![add(vec![0, 10]), add(vec![0]), add(vec![10])]);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(15));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 3, "only {} commands completed", log.len());
+    assert_eq!(log[0].1, Some(vec![(VarId(0), 1), (VarId(10), 1)]));
+    assert_eq!(log[1].1, Some(vec![(VarId(0), 2)]));
+    assert_eq!(log[2].1, Some(vec![(VarId(10), 2)]));
+    assert!(cluster.metrics().counter(mn::CMD_MULTI) >= 1);
+    assert!(cluster.metrics().counter(mn::OBJECTS_EXCHANGED) >= 2, "borrow + return");
+}
+
+#[test]
+fn concurrent_clients_on_disjoint_keys_progress() {
+    let mut cluster = two_partition_cluster(Mode::Dynastar, 4);
+    let (s1, l1) = Script::new(vec![add(vec![0]); 10]);
+    let (s2, l2) = Script::new(vec![add(vec![10]); 10]);
+    cluster.add_client(s1);
+    cluster.add_client(s2);
+    cluster.run_for(SimDuration::from_secs(30));
+    assert_eq!(l1.lock().unwrap().len(), 10);
+    assert_eq!(l2.lock().unwrap().len(), 10);
+    let last1 = l1.lock().unwrap().last().unwrap().1.clone();
+    assert_eq!(last1, Some(vec![(VarId(0), 10)]));
+}
+
+#[test]
+fn contended_multi_partition_commands_serialize_correctly() {
+    // Two clients hammer the same cross-partition pair; final values must
+    // equal the total number of adds.
+    let mut cluster = two_partition_cluster(Mode::Dynastar, 5);
+    let (s1, l1) = Script::new(vec![add(vec![0, 10]); 8]);
+    let (s2, l2) = Script::new(vec![add(vec![10, 0]); 8]);
+    cluster.add_client(s1);
+    cluster.add_client(s2);
+    cluster.run_for(SimDuration::from_secs(60));
+    let (l1, l2) = (l1.lock().unwrap(), l2.lock().unwrap());
+    assert_eq!(l1.len(), 8, "client 1 stalled at {}", l1.len());
+    assert_eq!(l2.len(), 8, "client 2 stalled at {}", l2.len());
+    // Both counters saw all 16 increments.
+    let max0 = l1.iter().chain(l2.iter()).filter_map(|e| e.1.as_ref()).flat_map(|r| r.iter())
+        .filter(|(v, _)| *v == VarId(0)).map(|&(_, n)| n).max().unwrap();
+    assert_eq!(max0, 16);
+}
+
+#[test]
+fn create_and_delete_key_roundtrip() {
+    let mut cluster = two_partition_cluster(Mode::Dynastar, 6);
+    let (script, log) = Script::new(vec![
+        CommandKind::CreateKey { key: LocKey(7), vars: vec![(VarId(70), 5)] },
+        add(vec![70]),
+        CommandKind::DeleteKey { key: LocKey(7) },
+    ]);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(15));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 3, "only {} commands completed", log.len());
+    // The access after create sees the initial value 5 + 1.
+    assert_eq!(log[1].1, Some(vec![(VarId(70), 6)]));
+}
+
+#[test]
+fn access_to_unknown_key_fails_cleanly() {
+    let mut cluster = two_partition_cluster(Mode::Dynastar, 7);
+    let (script, log) = Script::new(vec![add(vec![999]), add(vec![0])]);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(10));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].1, None, "unknown key must complete unsuccessfully");
+    assert_eq!(log[1].1, Some(vec![(VarId(0), 1)]), "client must keep working");
+}
+
+#[test]
+fn duplicate_create_is_rejected() {
+    let mut cluster = two_partition_cluster(Mode::Dynastar, 8);
+    let (script, log) = Script::new(vec![
+        CommandKind::CreateKey { key: LocKey(9), vars: vec![(VarId(90), 1)] },
+        CommandKind::CreateKey { key: LocKey(9), vars: vec![(VarId(90), 2)] },
+    ]);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(10));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 2);
+    assert!(log[0].1.is_none()); // creates complete via Ack (no reply body)
+}
+
+#[test]
+fn ssmr_mode_executes_multi_partition_commands() {
+    let mut cluster = two_partition_cluster(Mode::SSmr, 9);
+    let (script, log) = Script::new(vec![add(vec![0, 10]), add(vec![0]), add(vec![10])]);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(15));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 3, "only {} commands completed", log.len());
+    assert_eq!(log[0].1, Some(vec![(VarId(0), 1), (VarId(10), 1)]));
+    assert_eq!(log[1].1, Some(vec![(VarId(0), 2)]));
+    assert_eq!(log[2].1, Some(vec![(VarId(10), 2)]));
+}
+
+#[test]
+fn dssmr_mode_migrates_state_to_target() {
+    let mut cluster = two_partition_cluster(Mode::DsSmr, 10);
+    // First command pulls both vars to one partition; follow-ups keep
+    // working (the oracle re-routes after migration).
+    let (script, log) = Script::new(vec![add(vec![0, 10]), add(vec![0, 10]), add(vec![10])]);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(20));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 3, "only {} commands completed", log.len());
+    assert_eq!(log[1].1, Some(vec![(VarId(0), 2), (VarId(10), 2)]));
+    assert_eq!(log[2].1, Some(vec![(VarId(10), 3)]));
+}
+
+#[test]
+fn repartitioning_plan_keeps_cluster_consistent() {
+    // Low threshold and small hint batches force a repartition mid-run.
+    let mut config = base_config(Mode::Dynastar, 2, 11);
+    config.repartition_threshold = 10;
+    config.min_plan_interval = SimDuration::from_secs(2);
+    config.server.hint_batch = 4;
+    config.compute_base = SimDuration::from_millis(10);
+    let mut b = ClusterBuilder::new(config);
+    // 6 keys spread over 2 partitions; co-access pattern pairs keys across
+    // partitions so the optimizer has something to improve.
+    for k in 0..6u64 {
+        b.place(LocKey(k), PartitionId((k % 2) as u32));
+        b.with_var(VarId(k * 10), 0);
+    }
+    let mut cluster = b.build();
+    // Client repeatedly co-accesses (0,10), (20,30), (40,50): pairs that
+    // straddle partitions under the initial placement.
+    let mut cmds = Vec::new();
+    for _ in 0..400 {
+        cmds.push(add(vec![0, 10]));
+        cmds.push(add(vec![20, 30]));
+        cmds.push(add(vec![40, 50]));
+    }
+    let (script, log) = Script::new(cmds);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(120));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 1200, "only {} of 1200 commands completed", log.len());
+    // Every command's reply must reflect a consistent counter sequence.
+    let final0 = log
+        .iter()
+        .filter_map(|e| e.1.as_ref())
+        .flat_map(|r| r.iter())
+        .filter(|(v, _)| *v == VarId(0))
+        .map(|&(_, n)| n)
+        .max()
+        .unwrap();
+    assert_eq!(final0, 400);
+    // A plan was actually published and applied.
+    assert!(
+        cluster.metrics().counter(mn::PLANS_PUBLISHED) >= 1,
+        "expected at least one repartitioning"
+    );
+    // After the plan, co-accessed pairs should be colocated: late commands
+    // should be single-partition.
+    let single = cluster.metrics().counter(mn::CMD_SINGLE);
+    assert!(single > 0, "repartitioning should colocate co-accessed keys");
+}
+
+#[test]
+fn stale_cache_triggers_retry_and_recovers() {
+    // Warm client caches + forced repartition = stale routing on purpose.
+    let mut config = base_config(Mode::Dynastar, 2, 12);
+    config.repartition_threshold = 6;
+    config.min_plan_interval = SimDuration::from_secs(1);
+    config.server.hint_batch = 2;
+    config.warm_client_caches = true;
+    config.compute_base = SimDuration::from_millis(5);
+    let mut b = ClusterBuilder::new(config);
+    for k in 0..4u64 {
+        b.place(LocKey(k), PartitionId((k % 2) as u32));
+        b.with_var(VarId(k * 10), 0);
+    }
+    let mut cluster = b.build();
+    let mut cmds = Vec::new();
+    for _ in 0..40 {
+        cmds.push(add(vec![0, 10]));
+        cmds.push(add(vec![20, 30]));
+    }
+    let (script, log) = Script::new(cmds);
+    cluster.add_client(script);
+    cluster.run_for(SimDuration::from_secs(120));
+    let log = log.lock().unwrap();
+    assert_eq!(log.len(), 80, "only {} of 80 commands completed", log.len());
+    let final0 = log
+        .iter()
+        .filter_map(|e| e.1.as_ref())
+        .flat_map(|r| r.iter())
+        .filter(|(v, _)| *v == VarId(0))
+        .map(|&(_, n)| n)
+        .max()
+        .unwrap();
+    assert_eq!(final0, 40, "every increment must execute exactly once");
+}
+
+#[test]
+fn deterministic_runs_for_same_seed() {
+    let run = |seed: u64| {
+        let mut cluster = two_partition_cluster(Mode::Dynastar, seed);
+        let (script, log) = Script::new(vec![add(vec![0, 10]); 5]);
+        cluster.add_client(script);
+        cluster.run_for(SimDuration::from_secs(20));
+        let events = cluster.sim.events_processed();
+        let completed = log.lock().unwrap().len();
+        (completed, events)
+    };
+    assert_eq!(run(42), run(42));
+}

@@ -1,0 +1,188 @@
+//! Linearizability of full-cluster executions (the paper's §2.3
+//! correctness criterion), checked with the Wing–Gong checker over
+//! histories recorded from concurrent simulated clients.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dynastar_core::linearizability::{check, OpRecord, Spec};
+use dynastar_core::{
+    Application, ClusterBuilder, ClusterConfig, Command, CommandKind, LocKey, Mode, PartitionId,
+    VarId, Workload,
+};
+use dynastar_runtime::{NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Add-and-report counters (same app as the sequential spec below).
+struct Counters;
+
+impl Application for Counters {
+    type Op = i64;
+    type Value = i64;
+    type Reply = Vec<(VarId, i64)>;
+
+    fn locality(var: VarId) -> LocKey {
+        LocKey(var.0)
+    }
+
+    fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> Self::Reply {
+        vars.iter_mut()
+            .map(|(&v, val)| {
+                let next = val.unwrap_or(0) + op;
+                *val = Some(next);
+                (v, next)
+            })
+            .collect()
+    }
+}
+
+/// Sequential specification for the checker.
+struct CounterSpec;
+
+impl Spec for CounterSpec {
+    type State = BTreeMap<u64, i64>;
+    type Op = Vec<u64>; // vars incremented by 1
+    type Ret = Vec<(u64, i64)>;
+
+    fn apply(state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret) {
+        let mut next = state.clone();
+        let mut ret = Vec::new();
+        let mut sorted = op.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for v in sorted {
+            let val = next.get(&v).copied().unwrap_or(0) + 1;
+            next.insert(v, val);
+            ret.push((v, val));
+        }
+        (next, ret)
+    }
+}
+
+type History = Arc<Mutex<Vec<OpRecord<Vec<u64>, Vec<(u64, i64)>>>>>;
+
+/// Random increments over a small var set, recording an op history.
+struct Recorder {
+    vars: u64,
+    remaining: u32,
+    multi_pct: u32,
+    history: History,
+    issued_at: SimTime,
+}
+
+impl Workload<Counters> for Recorder {
+    fn next_command(&mut self, now: SimTime, rng: &mut StdRng) -> Option<CommandKind<Counters>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        self.issued_at = now;
+        let a = rng.gen_range(0..self.vars);
+        let mut vars = vec![VarId(a)];
+        if rng.gen_range(0..100) < self.multi_pct {
+            let b = rng.gen_range(0..self.vars);
+            if b != a {
+                vars.push(VarId(b));
+            }
+        }
+        Some(CommandKind::Access { op: 1, vars })
+    }
+
+    fn on_completed(&mut self, now: SimTime, cmd: &Command<Counters>, reply: Option<&Vec<(VarId, i64)>>) {
+        let Some(reply) = reply else { return };
+        let CommandKind::Access { vars, .. } = &cmd.kind else { return };
+        self.history.lock().unwrap().push(OpRecord {
+            invoke: self.issued_at,
+            response: now,
+            op: vars.iter().map(|v| v.0).collect(),
+            ret: reply.iter().map(|&(v, n)| (v.0, n)).collect(),
+        });
+    }
+}
+
+fn run_history(
+    seed: u64,
+    clients: usize,
+    cmds_per_client: u32,
+    multi_pct: u32,
+    repartition: bool,
+    crash: bool,
+) -> Vec<OpRecord<Vec<u64>, Vec<(u64, i64)>>> {
+    const VARS: u64 = 6;
+    let config = ClusterConfig {
+        partitions: 2,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed,
+        repartition_threshold: if repartition { 20 } else { u64::MAX },
+        min_plan_interval: SimDuration::from_secs(1),
+        server: dynastar_core::server::ServerConfig {
+            hint_batch: 4,
+            ..Default::default()
+        },
+        warm_client_caches: true,
+        client_timeout: SimDuration::from_secs(3),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    for v in 0..VARS {
+        b.place(LocKey(v), PartitionId((v % 2) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    let history: History = Arc::new(Mutex::new(Vec::new()));
+    for _ in 0..clients {
+        cluster.add_client(Recorder {
+            vars: VARS,
+            remaining: cmds_per_client,
+            multi_pct,
+            history: Arc::clone(&history),
+            issued_at: SimTime::ZERO,
+        });
+    }
+    if crash {
+        // Crash one replica of partition 0 (its initial leader) mid-run.
+        cluster.sim.schedule_crash(SimTime::from_millis(500), NodeId::from_raw(0));
+    }
+    cluster.run_for(SimDuration::from_secs(120));
+    let recorded = history.lock().unwrap().clone();
+    assert_eq!(
+        recorded.len(),
+        clients * cmds_per_client as usize,
+        "not all commands completed (seed {seed})"
+    );
+    recorded
+}
+
+#[test]
+fn single_partition_histories_are_linearizable() {
+    for seed in 0..4 {
+        let h = run_history(seed, 3, 4, 0, false, false);
+        assert!(check::<CounterSpec>(&h, BTreeMap::new()), "seed {seed} not linearizable");
+    }
+}
+
+#[test]
+fn multi_partition_histories_are_linearizable() {
+    for seed in 10..14 {
+        let h = run_history(seed, 3, 4, 60, false, false);
+        assert!(check::<CounterSpec>(&h, BTreeMap::new()), "seed {seed} not linearizable");
+    }
+}
+
+#[test]
+fn histories_across_repartitioning_are_linearizable() {
+    for seed in 20..23 {
+        let h = run_history(seed, 3, 5, 50, true, false);
+        assert!(check::<CounterSpec>(&h, BTreeMap::new()), "seed {seed} not linearizable");
+    }
+}
+
+#[test]
+fn histories_across_leader_crash_are_linearizable() {
+    for seed in 30..32 {
+        let h = run_history(seed, 2, 5, 40, false, true);
+        assert!(check::<CounterSpec>(&h, BTreeMap::new()), "seed {seed} not linearizable");
+    }
+}

@@ -1,0 +1,73 @@
+//! Baseline (non-optimizing) partitioners.
+//!
+//! These are the strategies DynaStar's evaluation compares against
+//! implicitly: `random_partition` is the state DynaStar starts from in the
+//! paper's experiments, and `hash_partition` is the classic static scheme
+//! used by systems without workload knowledge.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::partitioning::Partitioning;
+
+/// Assigns vertex `v` to part `v % k` — deterministic, balanced by count,
+/// oblivious to the edge structure.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+///
+/// # Example
+///
+/// ```
+/// use dynastar_partitioner::hash_partition;
+/// let p = hash_partition(10, 4);
+/// assert_eq!(p.part_of(6), 2);
+/// ```
+pub fn hash_partition(n: usize, k: u32) -> Partitioning {
+    assert!(k > 0, "cannot partition into zero parts");
+    Partitioning::new(k, (0..n as u32).map(|v| v % k).collect())
+}
+
+/// Assigns every vertex to a uniformly random part (deterministic in
+/// `seed`). This is the initial placement in the paper's Figure 2 and 6
+/// experiments.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn random_partition(n: usize, k: u32, seed: u64) -> Partitioning {
+    assert!(k > 0, "cannot partition into zero parts");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Partitioning::new(k, (0..n).map(|_| rng.gen_range(0..k)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partition_is_round_robin() {
+        let p = hash_partition(8, 3);
+        assert_eq!(p.assignment(), &[0, 1, 2, 0, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn random_partition_is_deterministic_per_seed() {
+        let a = random_partition(100, 4, 5);
+        let b = random_partition(100, 4, 5);
+        let c = random_partition(100, 4, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_partition_covers_all_parts() {
+        let p = random_partition(1000, 4, 1);
+        let mut seen = [false; 4];
+        for &a in p.assignment() {
+            seen[a as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,226 @@
+//! Undirected weighted graphs in compressed adjacency form.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// An undirected graph with vertex and edge weights, stored in CSR
+/// (compressed sparse row) form for cache-friendly traversal.
+///
+/// Build one with [`GraphBuilder`]; see the [crate docs](crate) for an
+/// end-to-end example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    /// `xadj[v]..xadj[v+1]` indexes `adj` for vertex `v`'s neighbours.
+    xadj: Vec<usize>,
+    /// `(neighbour, edge weight)` pairs.
+    adj: Vec<(u32, u64)>,
+    /// Vertex weights.
+    vwgt: Vec<u64>,
+    total_vwgt: u64,
+    total_ewgt: u64,
+}
+
+impl Graph {
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Weight of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn vertex_weight(&self, v: u32) -> u64 {
+        self.vwgt[v as usize]
+    }
+
+    /// Sum of all vertex weights.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.total_vwgt
+    }
+
+    /// Sum of all edge weights (each undirected edge counted once).
+    pub fn total_edge_weight(&self) -> u64 {
+        self.total_ewgt
+    }
+
+    /// The `(neighbour, edge weight)` pairs of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn neighbors(&self, v: u32) -> &[(u32, u64)] {
+        &self.adj[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Iterates over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = u32> {
+        0..self.vertex_count() as u32
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Vertices are created implicitly by mentioning them; duplicate edges are
+/// merged by summing their weights; self-loops are ignored (they never
+/// affect a partition's cut).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    /// Edge accumulator keyed by canonical `(min, max)` endpoints.
+    edges: HashMap<(u32, u32), u64>,
+    vwgt: Vec<u64>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures vertex `v` exists (with default weight 1) and returns the
+    /// builder for chaining.
+    pub fn add_vertex(&mut self, v: u32) -> &mut Self {
+        if self.vwgt.len() <= v as usize {
+            self.vwgt.resize(v as usize + 1, 1);
+        }
+        self
+    }
+
+    /// Sets the weight of vertex `v`, creating it if needed.
+    pub fn set_vertex_weight(&mut self, v: u32, w: u64) -> &mut Self {
+        self.add_vertex(v);
+        self.vwgt[v as usize] = w;
+        self
+    }
+
+    /// Adds weight `w` to the undirected edge `{u, v}` (creating vertices
+    /// as needed). Self-loops are ignored.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: u64) -> &mut Self {
+        self.add_vertex(u);
+        self.add_vertex(v);
+        if u != v {
+            let key = (u.min(v), u.max(v));
+            *self.edges.entry(key).or_insert(0) += w;
+        }
+        self
+    }
+
+    /// Number of vertices added so far.
+    pub fn vertex_count(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Finalizes into CSR form.
+    pub fn build(&self) -> Graph {
+        let n = self.vwgt.len();
+        let mut degree = vec![0usize; n];
+        for (&(u, v), _) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut xadj = vec![0usize; n + 1];
+        for v in 0..n {
+            xadj[v + 1] = xadj[v] + degree[v];
+        }
+        let mut adj = vec![(0u32, 0u64); xadj[n]];
+        let mut cursor = xadj.clone();
+        let mut total_ewgt = 0;
+        // Deterministic order: sort the edge set.
+        let mut edges: Vec<((u32, u32), u64)> = self.edges.iter().map(|(&k, &w)| (k, w)).collect();
+        edges.sort_unstable();
+        for ((u, v), w) in edges {
+            adj[cursor[u as usize]] = (v, w);
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize]] = (u, w);
+            cursor[v as usize] += 1;
+            total_ewgt += w;
+        }
+        Graph {
+            xadj,
+            adj,
+            total_vwgt: self.vwgt.iter().sum(),
+            vwgt: self.vwgt.clone(),
+            total_ewgt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1).add_edge(1, 2, 2).add_edge(0, 2, 3);
+        b.build()
+    }
+
+    #[test]
+    fn builds_csr_correctly() {
+        let g = triangle();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.total_edge_weight(), 6);
+        assert_eq!(g.degree(0), 2);
+        let mut n0: Vec<(u32, u64)> = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![(1, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn duplicate_edges_merge() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1).add_edge(1, 0, 4);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(0), &[(1, 5)]);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 0, 9).add_edge(0, 1, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.total_edge_weight(), 1);
+    }
+
+    #[test]
+    fn isolated_vertices_survive() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex(5);
+        let g = b.build();
+        assert_eq!(g.vertex_count(), 6);
+        assert_eq!(g.degree(5), 0);
+        assert_eq!(g.total_vertex_weight(), 6);
+    }
+
+    #[test]
+    fn vertex_weights_apply() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1);
+        b.set_vertex_weight(0, 10);
+        let g = b.build();
+        assert_eq!(g.vertex_weight(0), 10);
+        assert_eq!(g.vertex_weight(1), 1);
+        assert_eq!(g.total_vertex_weight(), 11);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.vertex_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dynastar-partitioner
+//!
+//! A from-scratch multilevel k-way graph partitioner, standing in for METIS
+//! in the DynaStar reproduction (the paper's oracle runs METIS over the
+//! workload graph; see DESIGN.md for the substitution argument).
+//!
+//! The algorithm is the classic multilevel recipe METIS itself uses:
+//!
+//! 1. **Coarsening** — repeatedly contract a heavy-edge matching until the
+//!    graph is small.
+//! 2. **Initial partitioning** — greedy region growing on the coarsest
+//!    graph.
+//! 3. **Uncoarsening** — project the partition back level by level,
+//!    applying boundary Kernighan–Lin/Fiduccia–Mattheyses refinement under
+//!    a balance constraint (the paper configures METIS with 20% allowed
+//!    imbalance; [`PartitionConfig::default`] matches that).
+//!
+//! # Example
+//!
+//! ```
+//! use dynastar_partitioner::{GraphBuilder, PartitionConfig, partition};
+//!
+//! // Two triangles joined by a single light edge: the obvious 2-way split.
+//! let mut b = GraphBuilder::new();
+//! for &(u, v) in &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+//!     b.add_edge(u, v, 10);
+//! }
+//! b.add_edge(2, 3, 1);
+//! let g = b.build();
+//! let p = partition(&g, 2, &PartitionConfig::default());
+//! assert_eq!(p.edge_cut(&g), 1);
+//! assert_eq!(p.assignment()[0], p.assignment()[1]);
+//! assert_ne!(p.assignment()[0], p.assignment()[5]);
+//! ```
+
+mod baseline;
+mod graph;
+mod multilevel;
+mod partitioning;
+
+pub use baseline::{hash_partition, random_partition};
+pub use graph::{Graph, GraphBuilder};
+pub use multilevel::{partition, PartitionConfig};
+pub use partitioning::{align_labels, Partitioning};

@@ -1,0 +1,458 @@
+//! The multilevel k-way partitioning algorithm.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+use crate::graph::{Graph, GraphBuilder};
+use crate::partitioning::Partitioning;
+
+/// Tuning knobs for [`partition`].
+#[derive(Debug, Clone)]
+pub struct PartitionConfig {
+    /// Maximum allowed `heaviest part / ideal part` ratio. The paper
+    /// configures METIS with 20% unbalance, i.e. 1.2.
+    pub balance_factor: f64,
+    /// Seed for the (deterministic) randomized matching and seeding.
+    pub seed: u64,
+    /// Stop coarsening when the graph has at most `coarsen_until * k`
+    /// vertices.
+    pub coarsen_until: usize,
+    /// Maximum refinement passes per level.
+    pub refine_passes: usize,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig { balance_factor: 1.2, seed: 1, coarsen_until: 30, refine_passes: 8 }
+    }
+}
+
+impl PartitionConfig {
+    /// Builder-style setter for the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the balance factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f < 1.0`.
+    pub fn balance_factor(mut self, f: f64) -> Self {
+        assert!(f >= 1.0, "balance factor must be >= 1.0");
+        self.balance_factor = f;
+        self
+    }
+}
+
+/// Computes a k-way partitioning of `g` minimizing edge cut under the
+/// configured balance constraint, using multilevel coarsening with
+/// heavy-edge matching, greedy initial growing and boundary FM refinement.
+///
+/// The result is deterministic for a given `(graph, k, config)`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn partition(g: &Graph, k: u32, cfg: &PartitionConfig) -> Partitioning {
+    assert!(k > 0, "cannot partition into zero parts");
+    let n = g.vertex_count();
+    if k == 1 || n == 0 {
+        return Partitioning::new(k.max(1), vec![0; n]);
+    }
+    if n <= k as usize {
+        return Partitioning::new(k, (0..n as u32).map(|v| v % k).collect());
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Phase 1: coarsen.
+    let mut levels: Vec<(Graph, Vec<u32>)> = Vec::new(); // (finer graph, fine -> coarse map)
+    let mut current = g.clone();
+    let stop_at = (cfg.coarsen_until * k as usize).max(64);
+    while current.vertex_count() > stop_at {
+        let (coarse, map) = contract(&current, &mut rng);
+        if coarse.vertex_count() as f64 > current.vertex_count() as f64 * 0.95 {
+            break; // matching stalled (e.g. star graphs)
+        }
+        levels.push((current, map));
+        current = coarse;
+    }
+
+    // Phase 2: initial partition of the coarsest graph.
+    let mut assignment = grow_initial(&current, k, &mut rng);
+    refine(&current, k, &mut assignment, cfg);
+
+    // Phase 3: uncoarsen and refine.
+    while let Some((finer, map)) = levels.pop() {
+        let mut fine_assignment = vec![0u32; finer.vertex_count()];
+        for v in 0..finer.vertex_count() {
+            fine_assignment[v] = assignment[map[v] as usize];
+        }
+        assignment = fine_assignment;
+        refine(&finer, k, &mut assignment, cfg);
+        current = finer;
+    }
+    debug_assert_eq!(current.vertex_count(), g.vertex_count());
+    Partitioning::new(k, assignment)
+}
+
+/// One coarsening step: heavy-edge matching followed by contraction.
+/// Returns the coarse graph and the fine→coarse vertex map.
+fn contract(g: &Graph, rng: &mut StdRng) -> (Graph, Vec<u32>) {
+    let n = g.vertex_count();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        // Heaviest unmatched neighbour; ties broken by smaller id for
+        // determinism given the shuffle.
+        let mut best: Option<(u64, u32)> = None;
+        for &(u, w) in g.neighbors(v) {
+            if mate[u as usize] == UNMATCHED && u != v {
+                let cand = (w, u);
+                best = Some(match best {
+                    None => cand,
+                    Some(b) => {
+                        if (cand.0, std::cmp::Reverse(cand.1)) > (b.0, std::cmp::Reverse(b.1)) {
+                            cand
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v, // singleton
+        }
+    }
+    // Assign coarse ids (pair representative = smaller endpoint).
+    let mut map = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != UNMATCHED {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    // Build the coarse graph.
+    let mut b = GraphBuilder::new();
+    let mut vwgt = vec![0u64; next as usize];
+    for v in 0..n as u32 {
+        vwgt[map[v as usize] as usize] += g.vertex_weight(v);
+    }
+    for (c, &w) in vwgt.iter().enumerate() {
+        b.set_vertex_weight(c as u32, w);
+    }
+    // Merge parallel edges via the builder's accumulator.
+    for v in 0..n as u32 {
+        for &(u, w) in g.neighbors(v) {
+            if u > v {
+                let (cu, cv) = (map[u as usize], map[v as usize]);
+                if cu != cv {
+                    b.add_edge(cu, cv, w);
+                }
+            }
+        }
+    }
+    (b.build(), map)
+}
+
+/// Greedy region growing: grow each part from a random seed, preferring
+/// frontier vertices strongly connected to the region, until it reaches the
+/// ideal weight; leftovers go to the last part.
+fn grow_initial(g: &Graph, k: u32, rng: &mut StdRng) -> Vec<u32> {
+    let n = g.vertex_count();
+    const FREE: u32 = u32::MAX;
+    let mut assignment = vec![FREE; n];
+    let target = g.total_vertex_weight() / k as u64;
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut cursor = 0usize;
+
+    for part in 0..k.saturating_sub(1) {
+        // Find an unassigned seed.
+        while cursor < n && assignment[order[cursor] as usize] != FREE {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break;
+        }
+        let seed = order[cursor];
+        let mut weight = 0u64;
+        // Frontier scored by connection weight into the region.
+        let mut frontier: HashMap<u32, u64> = HashMap::new();
+        frontier.insert(seed, 0);
+        while weight < target.max(1) {
+            // Best-connected frontier vertex (ties by id for determinism).
+            let Some((&v, _)) = frontier
+                .iter()
+                .max_by_key(|(&v, &w)| (w, std::cmp::Reverse(v)))
+            else {
+                break;
+            };
+            frontier.remove(&v);
+            if assignment[v as usize] != FREE {
+                continue;
+            }
+            assignment[v as usize] = part;
+            weight += g.vertex_weight(v);
+            for &(u, w) in g.neighbors(v) {
+                if assignment[u as usize] == FREE {
+                    *frontier.entry(u).or_insert(0) += w;
+                }
+            }
+        }
+    }
+    // Everything left joins the last part.
+    for a in assignment.iter_mut() {
+        if *a == FREE {
+            *a = k - 1;
+        }
+    }
+    assignment
+}
+
+/// Boundary FM-style refinement: greedily move boundary vertices with
+/// positive gain (or zero gain improving balance) under the balance cap,
+/// plus an explicit rebalancing sweep for overweight parts.
+fn refine(g: &Graph, k: u32, assignment: &mut [u32], cfg: &PartitionConfig) {
+    let n = g.vertex_count();
+    let ideal = g.total_vertex_weight() as f64 / k as f64;
+    let cap = (ideal * cfg.balance_factor).ceil() as u64;
+    let mut weights = vec![0u64; k as usize];
+    for v in 0..n {
+        weights[assignment[v] as usize] += g.vertex_weight(v as u32);
+    }
+
+    for _pass in 0..cfg.refine_passes {
+        let mut moves = 0usize;
+        for v in 0..n as u32 {
+            let own = assignment[v as usize];
+            // Connection weight to each adjacent part.
+            let mut conn: HashMap<u32, u64> = HashMap::new();
+            let mut own_conn = 0u64;
+            for &(u, w) in g.neighbors(v) {
+                let pu = assignment[u as usize];
+                if pu == own {
+                    own_conn += w;
+                } else {
+                    *conn.entry(pu).or_insert(0) += w;
+                }
+            }
+            if conn.is_empty() {
+                continue; // interior vertex
+            }
+            let vw = g.vertex_weight(v);
+            // Best target by (gain, lighter-part preference, id).
+            let mut best: Option<(i64, u32)> = None;
+            for (&p, &w_to) in &conn {
+                if weights[p as usize] + vw > cap {
+                    continue;
+                }
+                let gain = w_to as i64 - own_conn as i64;
+                let better_balance = weights[p as usize] + vw < weights[own as usize];
+                if gain > 0 || (gain == 0 && better_balance) {
+                    let cand = (gain, p);
+                    best = Some(match best {
+                        None => cand,
+                        Some(b) if cand.0 > b.0 => cand,
+                        Some(b) => b,
+                    });
+                }
+            }
+            if let Some((_, p)) = best {
+                weights[own as usize] -= vw;
+                weights[p as usize] += vw;
+                assignment[v as usize] = p;
+                moves += 1;
+            }
+        }
+        if moves == 0 {
+            break;
+        }
+    }
+
+    // Rebalance: for each overweight part, move its least-attached
+    // vertices to the lightest parts until it fits under the cap. One
+    // sorted sweep per part keeps this O(n log n) rather than O(n²).
+    for over in 0..k {
+        if weights[over as usize] <= cap {
+            continue;
+        }
+        // Candidates sorted by how much cut weight the move would cost.
+        let mut candidates: Vec<(i64, u32)> = (0..n as u32)
+            .filter(|&v| assignment[v as usize] == over)
+            .map(|v| {
+                let own_conn: i64 = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&(u, _)| assignment[u as usize] == over)
+                    .map(|&(_, w)| w as i64)
+                    .sum();
+                (own_conn, v)
+            })
+            .collect();
+        candidates.sort_unstable();
+        for (_, v) in candidates {
+            if weights[over as usize] <= cap {
+                break;
+            }
+            let vw = g.vertex_weight(v);
+            let target = (0..k)
+                .filter(|&p| p != over)
+                .min_by_key(|&p| weights[p as usize])
+                .expect("k >= 2 when rebalancing");
+            if weights[target as usize] + vw >= weights[over as usize] {
+                continue; // move would not improve balance
+            }
+            weights[over as usize] -= vw;
+            weights[target as usize] += vw;
+            assignment[v as usize] = target;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioning::Partitioning;
+
+    /// `blocks` cliques of `size` vertices, ring-connected by light edges.
+    fn clustered(blocks: u32, size: u32) -> Graph {
+        let mut b = GraphBuilder::new();
+        for c in 0..blocks {
+            let base = c * size;
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    b.add_edge(base + i, base + j, 100);
+                }
+            }
+            let next = ((c + 1) % blocks) * size;
+            b.add_edge(base, next, 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn finds_natural_clusters() {
+        let g = clustered(4, 8);
+        let p = partition(&g, 4, &PartitionConfig::default());
+        // The 4 rings of cliques should be split exactly on the light ring
+        // edges: cut = 4 (one light edge per adjacent block pair).
+        assert_eq!(p.edge_cut(&g), 4);
+        assert!(p.balance(&g) <= 1.2 + 1e-9);
+        // Each clique is monochromatic.
+        for c in 0..4u32 {
+            let part = p.part_of(c * 8);
+            for i in 0..8 {
+                assert_eq!(p.part_of(c * 8 + i), part, "clique {c} split");
+            }
+        }
+    }
+
+    #[test]
+    fn respects_balance_on_uniform_graph() {
+        // A 2D grid, k=3.
+        let mut b = GraphBuilder::new();
+        let side = 12u32;
+        for x in 0..side {
+            for y in 0..side {
+                let v = x * side + y;
+                if x + 1 < side {
+                    b.add_edge(v, (x + 1) * side + y, 1);
+                }
+                if y + 1 < side {
+                    b.add_edge(v, x * side + y + 1, 1);
+                }
+            }
+        }
+        let g = b.build();
+        let p = partition(&g, 3, &PartitionConfig::default());
+        assert!(p.balance(&g) <= 1.2 + 1e-9, "balance = {}", p.balance(&g));
+        // A reasonable cut: far below the total edge weight.
+        assert!(p.edge_cut(&g) < g.total_edge_weight() / 4);
+    }
+
+    #[test]
+    fn k_equals_one_puts_everything_together() {
+        let g = clustered(2, 4);
+        let p = partition(&g, 1, &PartitionConfig::default());
+        assert!(p.assignment().iter().all(|&x| x == 0));
+        assert_eq!(p.edge_cut(&g), 0);
+    }
+
+    #[test]
+    fn tiny_graph_smaller_than_k() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let p = partition(&g, 4, &PartitionConfig::default());
+        assert_eq!(p.assignment().len(), 2);
+        assert!(p.assignment().iter().all(|&x| x < 4));
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g = clustered(3, 10);
+        let cfg = PartitionConfig::default().seed(7);
+        let a = partition(&g, 3, &cfg);
+        let b = partition(&g, 3, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_vertices_balance_by_weight() {
+        // Two heavy vertices and many light ones: the heavies should end
+        // up in different parts.
+        let mut b = GraphBuilder::new();
+        for v in 2..20u32 {
+            b.add_edge(0, v, 1);
+            b.add_edge(1, v, 1);
+        }
+        b.set_vertex_weight(0, 100);
+        b.set_vertex_weight(1, 100);
+        let g = b.build();
+        let p = partition(&g, 2, &PartitionConfig::default());
+        assert_ne!(p.part_of(0), p.part_of(1), "heavy vertices must split");
+        assert!(p.balance(&g) <= 1.25, "balance = {}", p.balance(&g));
+    }
+
+    #[test]
+    fn empty_graph_partitions_trivially() {
+        let g = GraphBuilder::new().build();
+        let p = partition(&g, 4, &PartitionConfig::default());
+        assert!(p.assignment().is_empty());
+    }
+
+    #[test]
+    fn improves_over_random_assignment() {
+        use crate::baseline::random_partition;
+        let g = clustered(4, 12);
+        let optimized = partition(&g, 4, &PartitionConfig::default());
+        let random = random_partition(g.vertex_count(), 4, 99);
+        assert!(
+            optimized.edge_cut(&g) * 10 < random.edge_cut(&g),
+            "multilevel ({}) should beat random ({}) by >10x on clustered graphs",
+            optimized.edge_cut(&g),
+            random.edge_cut(&g)
+        );
+        let _ = Partitioning::new(4, optimized.assignment().to_vec());
+    }
+}

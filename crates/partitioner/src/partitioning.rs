@@ -1,0 +1,216 @@
+//! Partition assignments and their quality metrics.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::Graph;
+
+/// A k-way assignment of graph vertices to parts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partitioning {
+    parts: u32,
+    assignment: Vec<u32>,
+}
+
+impl Partitioning {
+    /// Wraps an assignment vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero or any entry is out of range.
+    pub fn new(parts: u32, assignment: Vec<u32>) -> Self {
+        assert!(parts > 0, "need at least one part");
+        assert!(
+            assignment.iter().all(|&p| p < parts),
+            "assignment references a part >= {parts}"
+        );
+        Partitioning { parts, assignment }
+    }
+
+    /// Number of parts.
+    pub fn parts(&self) -> u32 {
+        self.parts
+    }
+
+    /// The per-vertex part assignment.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Part of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn part_of(&self, v: u32) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// Total weight of edges whose endpoints lie in different parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has more vertices than the assignment covers.
+    pub fn edge_cut(&self, g: &Graph) -> u64 {
+        assert!(g.vertex_count() <= self.assignment.len(), "graph larger than assignment");
+        let mut cut = 0;
+        for v in g.vertices() {
+            for &(u, w) in g.neighbors(v) {
+                if u > v && self.assignment[v as usize] != self.assignment[u as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Sum of vertex weights in each part.
+    pub fn part_weights(&self, g: &Graph) -> Vec<u64> {
+        let mut w = vec![0u64; self.parts as usize];
+        for v in g.vertices() {
+            w[self.assignment[v as usize] as usize] += g.vertex_weight(v);
+        }
+        w
+    }
+
+    /// Balance factor: heaviest part divided by the ideal (average) part
+    /// weight. 1.0 is perfect; METIS-style constraints bound this (the
+    /// paper allows 1.2).
+    pub fn balance(&self, g: &Graph) -> f64 {
+        let weights = self.part_weights(g);
+        let max = weights.iter().copied().max().unwrap_or(0) as f64;
+        let ideal = g.total_vertex_weight() as f64 / self.parts as f64;
+        if ideal == 0.0 {
+            1.0
+        } else {
+            max / ideal
+        }
+    }
+
+    /// Number of vertices that differ from `other`'s assignment (counts
+    /// the data movement a repartitioning implies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignments have different lengths.
+    pub fn moved_from(&self, other: &Partitioning) -> usize {
+        assert_eq!(self.assignment.len(), other.assignment.len(), "size mismatch");
+        self.assignment
+            .iter()
+            .zip(&other.assignment)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+/// Permutes the part labels of `new` to maximize overlap with `prev`,
+/// without changing which vertices are grouped together.
+///
+/// A fresh multilevel run can return the "same" partition with labels
+/// shuffled, which would make every vertex look moved; the DynaStar oracle
+/// aligns labels before diffing so only real moves are shipped. Greedy
+/// maximum-overlap matching is used (optimal enough in practice and `O(k²)`
+/// over the overlap matrix).
+///
+/// # Panics
+///
+/// Panics if the assignments have different lengths or part counts differ.
+pub fn align_labels(prev: &Partitioning, new: &Partitioning) -> Partitioning {
+    assert_eq!(prev.assignment.len(), new.assignment.len(), "size mismatch");
+    assert_eq!(prev.parts, new.parts, "part count mismatch");
+    let k = new.parts as usize;
+    // overlap[a][b] = number of vertices in new part a and prev part b.
+    let mut overlap = vec![vec![0u64; k]; k];
+    for (&np, &pp) in new.assignment.iter().zip(&prev.assignment) {
+        overlap[np as usize][pp as usize] += 1;
+    }
+    // Greedy: repeatedly take the largest remaining overlap cell.
+    let mut relabel = vec![u32::MAX; k];
+    let mut prev_used = vec![false; k];
+    let mut new_used = vec![false; k];
+    for _ in 0..k {
+        let mut best = (0u64, usize::MAX, usize::MAX);
+        for a in 0..k {
+            if new_used[a] {
+                continue;
+            }
+            for b in 0..k {
+                if prev_used[b] {
+                    continue;
+                }
+                if best.1 == usize::MAX || overlap[a][b] > best.0 {
+                    best = (overlap[a][b], a, b);
+                }
+            }
+        }
+        let (_, a, b) = best;
+        relabel[a] = b as u32;
+        new_used[a] = true;
+        prev_used[b] = true;
+    }
+    let assignment = new.assignment.iter().map(|&p| relabel[p as usize]).collect();
+    Partitioning::new(new.parts, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    fn path4() -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1, 1).add_edge(1, 2, 5).add_edge(2, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn edge_cut_counts_cross_part_weight() {
+        let g = path4();
+        let p = Partitioning::new(2, vec![0, 0, 1, 1]);
+        assert_eq!(p.edge_cut(&g), 5);
+        let q = Partitioning::new(2, vec![0, 1, 1, 1]);
+        assert_eq!(q.edge_cut(&g), 1);
+    }
+
+    #[test]
+    fn part_weights_and_balance() {
+        let g = path4();
+        let p = Partitioning::new(2, vec![0, 0, 0, 1]);
+        assert_eq!(p.part_weights(&g), vec![3, 1]);
+        assert!((p.balance(&g) - 1.5).abs() < 1e-9);
+        let q = Partitioning::new(2, vec![0, 0, 1, 1]);
+        assert!((q.balance(&g) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moved_from_counts_differences() {
+        let a = Partitioning::new(2, vec![0, 0, 1, 1]);
+        let b = Partitioning::new(2, vec![0, 1, 1, 0]);
+        assert_eq!(a.moved_from(&b), 2);
+        assert_eq!(a.moved_from(&a), 0);
+    }
+
+    #[test]
+    fn align_labels_recovers_permuted_partition() {
+        let prev = Partitioning::new(3, vec![0, 0, 1, 1, 2, 2]);
+        // Identical grouping, labels rotated.
+        let new = Partitioning::new(3, vec![1, 1, 2, 2, 0, 0]);
+        let aligned = align_labels(&prev, &new);
+        assert_eq!(aligned.assignment(), prev.assignment());
+        assert_eq!(aligned.moved_from(&prev), 0);
+    }
+
+    #[test]
+    fn align_labels_keeps_real_moves() {
+        let prev = Partitioning::new(2, vec![0, 0, 0, 1, 1, 1]);
+        // Vertex 0 genuinely moved to the other group; labels also swapped.
+        let new = Partitioning::new(2, vec![0, 1, 1, 0, 0, 0]);
+        let aligned = align_labels(&prev, &new);
+        assert_eq!(aligned.moved_from(&prev), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "part >= 2")]
+    fn rejects_out_of_range_part() {
+        let _ = Partitioning::new(2, vec![0, 2]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property tests for the multilevel partitioner's invariants.
+
+use dynastar_partitioner::{
+    align_labels, hash_partition, partition, GraphBuilder, PartitionConfig, Partitioning,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random graph from an edge list (vertex space `0..n`).
+fn random_graph(n: u32, edges: &[(u32, u32, u64)]) -> dynastar_partitioner::Graph {
+    let mut b = GraphBuilder::new();
+    if n > 0 {
+        b.add_vertex(n - 1);
+    }
+    for &(u, v, w) in edges {
+        b.add_edge(u % n.max(1), v % n.max(1), w);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every vertex is assigned to a valid part.
+    #[test]
+    fn every_vertex_is_placed(
+        n in 1u32..200,
+        k in 1u32..8,
+        edges in prop::collection::vec((0u32..200, 0u32..200, 1u64..10), 0..400),
+        seed in 0u64..1000,
+    ) {
+        let g = random_graph(n, &edges);
+        let p = partition(&g, k, &PartitionConfig::default().seed(seed));
+        prop_assert_eq!(p.assignment().len(), g.vertex_count());
+        prop_assert!(p.assignment().iter().all(|&a| a < k));
+    }
+
+    /// The balance constraint holds whenever it is satisfiable (it always
+    /// is with unit vertex weights and n >= k).
+    #[test]
+    fn balance_bound_holds_for_unit_weights(
+        n in 8u32..150,
+        k in 2u32..6,
+        edges in prop::collection::vec((0u32..150, 0u32..150, 1u64..10), 0..300),
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(n >= k * 2);
+        let g = random_graph(n, &edges);
+        let p = partition(&g, k, &PartitionConfig::default().seed(seed));
+        // Unit weights: cap is ceil(1.2 * n / k); one vertex of slack for
+        // rounding at tiny sizes.
+        let cap = (1.2f64 * n as f64 / k as f64).ceil() as u64 + 1;
+        for w in p.part_weights(&g) {
+            prop_assert!(w <= cap, "part weight {} exceeds cap {}", w, cap);
+        }
+    }
+
+    /// The optimizer never does worse than the worst case: its cut is at
+    /// most the total edge weight, and for k=1 it is associated zero.
+    #[test]
+    fn cut_is_bounded(
+        n in 1u32..100,
+        edges in prop::collection::vec((0u32..100, 0u32..100, 1u64..10), 0..200),
+        seed in 0u64..100,
+    ) {
+        let g = random_graph(n, &edges);
+        let p2 = partition(&g, 2, &PartitionConfig::default().seed(seed));
+        prop_assert!(p2.edge_cut(&g) <= g.total_edge_weight());
+        let p1 = partition(&g, 1, &PartitionConfig::default().seed(seed));
+        prop_assert_eq!(p1.edge_cut(&g), 0);
+    }
+
+    /// Label alignment is a pure relabeling: the grouping (and thus any
+    /// graph's edge cut) is unchanged, co-membership of vertex pairs is
+    /// preserved, and a pure label permutation of `prev` aligns to zero
+    /// moves. (Greedy matching is not always optimal against arbitrary
+    /// assignments, so we do not assert global minimality.)
+    #[test]
+    fn align_labels_is_a_pure_relabeling(
+        n in 4usize..120,
+        k in 2u32..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prev = Partitioning::new(k, (0..n).map(|_| rng.gen_range(0..k)).collect());
+        let new = Partitioning::new(k, (0..n).map(|_| rng.gen_range(0..k)).collect());
+        let g = random_graph(n as u32, &[]);
+        let aligned = align_labels(&prev, &new);
+        prop_assert_eq!(aligned.edge_cut(&g), new.edge_cut(&g));
+        // Co-membership preserved for a sample of pairs.
+        for i in 0..n.min(20) {
+            for j in (i + 1)..n.min(20) {
+                let together_new = new.part_of(i as u32) == new.part_of(j as u32);
+                let together_aligned = aligned.part_of(i as u32) == aligned.part_of(j as u32);
+                prop_assert_eq!(together_new, together_aligned);
+            }
+        }
+        // A pure permutation of prev's labels aligns back exactly.
+        let perm: Vec<u32> = {
+            let mut p: Vec<u32> = (0..k).collect();
+            use rand::seq::SliceRandom;
+            p.shuffle(&mut rng);
+            p
+        };
+        let permuted = Partitioning::new(
+            k,
+            prev.assignment().iter().map(|&a| perm[a as usize]).collect(),
+        );
+        let realigned = align_labels(&prev, &permuted);
+        prop_assert_eq!(realigned.moved_from(&prev), 0);
+    }
+
+    /// Hash partitioning is perfectly count-balanced (parts differ by at
+    /// most one vertex).
+    #[test]
+    fn hash_partition_count_balance(n in 1usize..500, k in 1u32..10) {
+        let p = hash_partition(n, k);
+        let mut counts = vec![0u64; k as usize];
+        for &a in p.assignment() {
+            counts[a as usize] += 1;
+        }
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dynastar-paxos
+//!
+//! A from-scratch Multi-Paxos implementation, written *sans-io*: the
+//! [`PaxosReplica`] state machine consumes messages and clock ticks and
+//! produces outgoing messages and decided log entries, without knowing
+//! anything about transports or threads. The DynaStar stack drives replicas
+//! from [`dynastar_runtime`] actors; tests drive them directly.
+//!
+//! Each replica group in DynaStar (the oracle and every partition) runs one
+//! instance of this protocol, mirroring the paper's libpaxos3-based groups:
+//! a stable leader orders commands in a slot-indexed log, acceptors
+//! guarantee that a value chosen in a slot is never changed, and learners
+//! deliver the log in slot order.
+//!
+//! # Example
+//!
+//! ```
+//! use dynastar_paxos::{GroupConfig, PaxosMsg, PaxosReplica};
+//!
+//! // A three-replica group; replica 0 is the initial leader.
+//! let cfg = GroupConfig::new(3);
+//! let mut replicas: Vec<PaxosReplica<String>> =
+//!     (0..3).map(|i| PaxosReplica::new(i, cfg.clone())).collect();
+//!
+//! // Propose a command at the leader and shuttle messages until quiescent.
+//! let mut inflight: Vec<(usize, usize, PaxosMsg<String>)> = Vec::new();
+//! let out = replicas[0].propose("cmd".to_string());
+//! inflight.extend(out.outgoing.into_iter().map(|(to, m)| (0, to, m)));
+//! let mut delivered = Vec::new();
+//! while let Some((from, to, msg)) = inflight.pop() {
+//!     let out = replicas[to].on_message(from, msg);
+//!     inflight.extend(out.outgoing.into_iter().map(|(t, m)| (to, t, m)));
+//!     delivered.extend(out.decided.into_iter().map(|(_, v)| v));
+//! }
+//! assert!(delivered.contains(&"cmd".to_string()));
+//! ```
+
+mod replica;
+mod types;
+
+pub use replica::{Output, PaxosReplica};
+pub use types::{Ballot, GroupConfig, PaxosMsg, Slot};

@@ -1,0 +1,731 @@
+//! The Multi-Paxos replica state machine.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::types::{Ballot, Entry, GroupConfig, PaxosMsg, Slot};
+
+/// Ballot marker for values that are known chosen. It compares greater than
+/// any real ballot, so a new leader's value selection always keeps chosen
+/// values — required for safety when acceptors report decided slots.
+const DECIDED_BALLOT: Ballot = Ballot { round: u64::MAX, owner: usize::MAX };
+
+/// Batch cap for catch-up retransmissions.
+const CATCH_UP_BATCH: u64 = 512;
+
+/// Delivered log entries retained for catch-up retransmission. Entries
+/// older than this behind the delivery frontier are pruned (a real system
+/// would snapshot; a replica lagging further than this window cannot be
+/// caught up and would need a state transfer).
+const LOG_RETENTION: u64 = 1024;
+
+/// The effects of feeding one input to a [`PaxosReplica`].
+#[derive(Debug, Clone)]
+pub struct Output<V> {
+    /// Messages to send, as `(destination replica index, message)` pairs.
+    pub outgoing: Vec<(usize, PaxosMsg<V>)>,
+    /// Commands newly decided *and* in slot order, ready for the
+    /// application. No-op gap fillers are filtered out.
+    pub decided: Vec<(Slot, V)>,
+}
+
+impl<V> Output<V> {
+    fn new() -> Self {
+        Output { outgoing: Vec::new(), decided: Vec::new() }
+    }
+
+    /// True when nothing needs to be sent or delivered.
+    pub fn is_empty(&self) -> bool {
+        self.outgoing.is_empty() && self.decided.is_empty()
+    }
+}
+
+#[derive(Debug)]
+enum Role<V> {
+    Follower,
+    Candidate {
+        ballot: Ballot,
+        /// Replicas that promised, with their reported accepted entries.
+        promises: BTreeSet<usize>,
+        /// Best (highest-ballot) reported value per slot.
+        values: BTreeMap<Slot, (Ballot, Entry<V>)>,
+        /// Highest slot reported by any promiser.
+        max_slot: Option<Slot>,
+    },
+    Leader {
+        ballot: Ballot,
+        /// Next free slot.
+        next_slot: Slot,
+        /// Acceptances gathered per in-flight slot (includes self).
+        in_flight: BTreeMap<Slot, BTreeSet<usize>>,
+        ticks_since_heartbeat: u32,
+    },
+}
+
+/// A full Multi-Paxos replica: proposer, acceptor and learner in one state
+/// machine.
+///
+/// Drive it with [`PaxosReplica::on_message`], [`PaxosReplica::tick`] and
+/// [`PaxosReplica::propose`]; each returns an [`Output`] with messages to
+/// transmit and commands to deliver. Replica 0 starts as leader of ballot
+/// `(0, 0)` so a freshly booted group makes progress without an election.
+#[derive(Debug)]
+pub struct PaxosReplica<V> {
+    idx: usize,
+    cfg: GroupConfig,
+    /// Highest ballot promised (acceptor state).
+    promised: Ballot,
+    /// Per-slot accepted values. Chosen slots are kept with
+    /// [`DECIDED_BALLOT`] so promises always carry them.
+    accepted: BTreeMap<Slot, (Ballot, Entry<V>)>,
+    /// Chosen entries.
+    decided: BTreeMap<Slot, Entry<V>>,
+    /// First slot not yet known decided (dense prefix of `decided`).
+    decided_frontier: Slot,
+    /// First slot not yet emitted through [`Output::decided`].
+    next_deliver: Slot,
+    role: Role<V>,
+    /// Replica currently believed to be leader.
+    leader_hint: Option<usize>,
+    ticks_since_leader: u32,
+    /// Proposals waiting for a known leader.
+    pending: VecDeque<V>,
+    /// Commands delivered so far (no-ops excluded); survives log pruning.
+    delivered_cmds: u64,
+}
+
+impl<V: Clone> PaxosReplica<V> {
+    /// Creates replica `idx` of a group described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range for the group.
+    pub fn new(idx: usize, cfg: GroupConfig) -> Self {
+        assert!(idx < cfg.size, "replica index {idx} out of range for group of {}", cfg.size);
+        let role = if idx == 0 {
+            Role::Leader {
+                ballot: Ballot::INITIAL,
+                next_slot: Slot(0),
+                in_flight: BTreeMap::new(),
+                ticks_since_heartbeat: 0,
+            }
+        } else {
+            Role::Follower
+        };
+        PaxosReplica {
+            idx,
+            cfg,
+            promised: Ballot::INITIAL,
+            accepted: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            decided_frontier: Slot(0),
+            next_deliver: Slot(0),
+            role,
+            leader_hint: Some(0),
+            ticks_since_leader: 0,
+            pending: VecDeque::new(),
+            delivered_cmds: 0,
+        }
+    }
+
+    /// This replica's index within its group.
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// Whether this replica currently believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        matches!(self.role, Role::Leader { .. })
+    }
+
+    /// The replica currently believed to be leader, if any.
+    pub fn leader_hint(&self) -> Option<usize> {
+        self.leader_hint
+    }
+
+    /// First slot not yet known decided.
+    pub fn decided_frontier(&self) -> Slot {
+        self.decided_frontier
+    }
+
+    /// Number of commands (excluding no-ops) this replica has delivered.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered_cmds
+    }
+
+    /// Submits a command for total ordering.
+    ///
+    /// At the leader this starts phase 2 immediately; elsewhere the command
+    /// is forwarded to the believed leader or buffered until one is known.
+    pub fn propose(&mut self, value: V) -> Output<V> {
+        let mut out = Output::new();
+        self.propose_inner(value, &mut out);
+        out
+    }
+
+    fn propose_inner(&mut self, value: V, out: &mut Output<V>) {
+        if self.is_leader() {
+            self.lead_value(Entry::Cmd(value), out);
+        } else if let Some(leader) = self.leader_hint {
+            out.outgoing.push((leader, PaxosMsg::Forward { value }));
+        } else {
+            self.pending.push_back(value);
+        }
+    }
+
+    /// Leader-only: assign the next slot to `entry` and issue Accepts.
+    fn lead_value(&mut self, entry: Entry<V>, out: &mut Output<V>) {
+        let Role::Leader { ballot, next_slot, in_flight, .. } = &mut self.role else {
+            unreachable!("lead_value called on non-leader");
+        };
+        let slot = *next_slot;
+        *next_slot = next_slot.next();
+        let ballot = *ballot;
+        in_flight.entry(slot).or_default().insert(self.idx);
+        // Leader self-accepts.
+        self.accepted.insert(slot, (ballot, entry.clone()));
+        for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {
+            out.outgoing.push((peer, PaxosMsg::Accept { ballot, slot, value: entry.clone() }));
+        }
+        // Single-replica group: quorum is 1, decide immediately.
+        self.try_decide(slot, out);
+    }
+
+    /// Checks whether `slot` has a quorum of acceptances and decides it.
+    fn try_decide(&mut self, slot: Slot, out: &mut Output<V>) {
+        let quorum = self.cfg.quorum();
+        let Role::Leader { in_flight, .. } = &mut self.role else { return };
+        let Some(votes) = in_flight.get(&slot) else { return };
+        if votes.len() < quorum {
+            return;
+        }
+        in_flight.remove(&slot);
+        let value = self
+            .accepted
+            .get(&slot)
+            .map(|(_, v)| v.clone())
+            .expect("leader decided a slot it never accepted");
+        self.record_decided(slot, value.clone(), out);
+        for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {
+            out.outgoing.push((peer, PaxosMsg::Decide { slot, value: value.clone() }));
+        }
+    }
+
+    /// Stores a chosen entry and drains newly in-order deliverables.
+    fn record_decided(&mut self, slot: Slot, value: Entry<V>, out: &mut Output<V>) {
+        self.decided.entry(slot).or_insert_with(|| value.clone());
+        self.accepted.insert(slot, (DECIDED_BALLOT, value));
+        while self.decided.contains_key(&self.decided_frontier) {
+            self.decided_frontier = self.decided_frontier.next();
+        }
+        while let Some(entry) = self.decided.get(&self.next_deliver) {
+            if let Entry::Cmd(v) = entry {
+                out.decided.push((self.next_deliver, v.clone()));
+                self.delivered_cmds += 1;
+            }
+            self.next_deliver = self.next_deliver.next();
+        }
+        // Prune the log far behind the delivery frontier to bound memory.
+        if self.next_deliver.0 > LOG_RETENTION {
+            let cutoff = Slot(self.next_deliver.0 - LOG_RETENTION);
+            if self
+                .decided
+                .first_key_value()
+                .map(|(&s, _)| s < cutoff)
+                .unwrap_or(false)
+            {
+                self.decided = self.decided.split_off(&cutoff);
+                let keep = self.accepted.split_off(&cutoff);
+                self.accepted = keep;
+            }
+        }
+    }
+
+    /// Advances the replica's clock by one tick.
+    ///
+    /// Leaders emit heartbeats; followers count leader silence and start an
+    /// election when their (index-staggered) timeout expires.
+    pub fn tick(&mut self) -> Output<V> {
+        let mut out = Output::new();
+        match &mut self.role {
+            Role::Leader { ballot, ticks_since_heartbeat, .. } => {
+                *ticks_since_heartbeat += 1;
+                if *ticks_since_heartbeat >= self.cfg.heartbeat_interval_ticks {
+                    *ticks_since_heartbeat = 0;
+                    let hb = PaxosMsg::Heartbeat { ballot: *ballot, decided_up_to: self.decided_frontier };
+                    for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {
+                        out.outgoing.push((peer, hb.clone()));
+                    }
+                }
+            }
+            Role::Follower | Role::Candidate { .. } => {
+                self.ticks_since_leader += 1;
+                let timeout = self.cfg.election_timeout_ticks * (1 + self.idx as u32);
+                if self.ticks_since_leader >= timeout {
+                    self.ticks_since_leader = 0;
+                    self.start_election(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn start_election(&mut self, out: &mut Output<V>) {
+        let ballot = self.promised.next_for(self.idx);
+        self.promised = ballot;
+        self.leader_hint = None;
+        let mut values = BTreeMap::new();
+        let mut max_slot = None;
+        // Self-promise: contribute our own accepted entries.
+        for (&slot, &(b, ref v)) in self.accepted.range(self.decided_frontier..) {
+            values.insert(slot, (b, v.clone()));
+            max_slot = Some(max_slot.map_or(slot, |m: Slot| m.max(slot)));
+        }
+        let mut promises = BTreeSet::new();
+        promises.insert(self.idx);
+        self.role = Role::Candidate { ballot, promises, values, max_slot };
+        for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {
+            out.outgoing.push((peer, PaxosMsg::Prepare { ballot }));
+        }
+        // Single-replica group elects itself instantly.
+        self.try_become_leader(out);
+    }
+
+    fn try_become_leader(&mut self, out: &mut Output<V>) {
+        let quorum = self.cfg.quorum();
+        let Role::Candidate { ballot, promises, values, max_slot } = &mut self.role else { return };
+        if promises.len() < quorum {
+            return;
+        }
+        let ballot = *ballot;
+        let values = std::mem::take(values);
+        let max_slot = *max_slot;
+        // Re-propose every undecided slot up to the highest reported one,
+        // filling true gaps with no-ops, then open the log for new commands.
+        let mut next_slot = self.decided_frontier;
+        self.role = Role::Leader {
+            ballot,
+            next_slot,
+            in_flight: BTreeMap::new(),
+            ticks_since_heartbeat: 0,
+        };
+        self.leader_hint = Some(self.idx);
+        if let Some(max_slot) = max_slot {
+            while next_slot <= max_slot {
+                let slot = next_slot;
+                next_slot = next_slot.next();
+                if self.decided.contains_key(&slot) {
+                    continue;
+                }
+                let entry = values.get(&slot).map(|(_, v)| v.clone()).unwrap_or(Entry::Noop);
+                self.relead_slot(slot, entry, ballot, out);
+            }
+            if let Role::Leader { next_slot: ns, .. } = &mut self.role {
+                *ns = next_slot;
+            }
+        }
+        // Flush proposals buffered while leaderless.
+        let pending: Vec<V> = self.pending.drain(..).collect();
+        for v in pending {
+            self.lead_value(Entry::Cmd(v), out);
+        }
+    }
+
+    /// Phase 2 for a specific recovered slot (leader takeover path).
+    fn relead_slot(&mut self, slot: Slot, entry: Entry<V>, ballot: Ballot, out: &mut Output<V>) {
+        let Role::Leader { in_flight, .. } = &mut self.role else { unreachable!() };
+        in_flight.entry(slot).or_default().insert(self.idx);
+        self.accepted.insert(slot, (ballot, entry.clone()));
+        for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {
+            out.outgoing.push((peer, PaxosMsg::Accept { ballot, slot, value: entry.clone() }));
+        }
+        self.try_decide(slot, out);
+    }
+
+    /// Steps down if `ballot` proves a higher-ballot leader exists.
+    fn maybe_step_down(&mut self, ballot: Ballot) {
+        let our = match &self.role {
+            Role::Leader { ballot, .. } | Role::Candidate { ballot, .. } => Some(*ballot),
+            Role::Follower => None,
+        };
+        if let Some(our) = our {
+            if ballot > our {
+                self.role = Role::Follower;
+            }
+        }
+    }
+
+    /// Feeds one protocol message from replica `from` into the state
+    /// machine.
+    pub fn on_message(&mut self, from: usize, msg: PaxosMsg<V>) -> Output<V> {
+        let mut out = Output::new();
+        match msg {
+            PaxosMsg::Prepare { ballot } => {
+                if ballot > self.promised {
+                    self.promised = ballot;
+                    self.maybe_step_down(ballot);
+                    self.ticks_since_leader = 0;
+                    let accepted: Vec<_> = self
+                        .accepted
+                        .range(self.decided_frontier..)
+                        .map(|(&s, &(b, ref v))| (s, b, v.clone()))
+                        .collect();
+                    out.outgoing.push((
+                        from,
+                        PaxosMsg::Promise { ballot, accepted, decided_up_to: self.decided_frontier },
+                    ));
+                } else {
+                    out.outgoing.push((from, PaxosMsg::Nack { ballot: self.promised }));
+                }
+            }
+            PaxosMsg::Promise { ballot, accepted, decided_up_to } => {
+                // A promiser that is ahead on decisions implies slots we can
+                // fetch; remember to catch up from it.
+                if decided_up_to > self.decided_frontier {
+                    out.outgoing.push((
+                        from,
+                        PaxosMsg::CatchUpRequest { from_slot: self.decided_frontier, to_slot: decided_up_to },
+                    ));
+                }
+                if let Role::Candidate { ballot: our, promises, values, max_slot } = &mut self.role {
+                    if ballot == *our {
+                        promises.insert(from);
+                        for (slot, b, v) in accepted {
+                            *max_slot = Some(max_slot.map_or(slot, |m: Slot| m.max(slot)));
+                            match values.get(&slot) {
+                                Some(&(existing, _)) if existing >= b => {}
+                                _ => {
+                                    values.insert(slot, (b, v));
+                                }
+                            }
+                        }
+                        self.try_become_leader(&mut out);
+                    }
+                }
+            }
+            PaxosMsg::Accept { ballot, slot, value } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    self.maybe_step_down(ballot);
+                    self.leader_hint = Some(ballot.owner);
+                    self.ticks_since_leader = 0;
+                    // Never overwrite a chosen value.
+                    let already_decided =
+                        matches!(self.accepted.get(&slot), Some(&(b, _)) if b == DECIDED_BALLOT);
+                    if !already_decided {
+                        self.accepted.insert(slot, (ballot, value));
+                    }
+                    out.outgoing.push((from, PaxosMsg::Accepted { ballot, slot }));
+                    self.flush_pending(&mut out);
+                } else {
+                    out.outgoing.push((from, PaxosMsg::Nack { ballot: self.promised }));
+                }
+            }
+            PaxosMsg::Accepted { ballot, slot } => {
+                if let Role::Leader { ballot: our, in_flight, .. } = &mut self.role {
+                    if ballot == *our {
+                        if let Some(votes) = in_flight.get_mut(&slot) {
+                            votes.insert(from);
+                            self.try_decide(slot, &mut out);
+                        }
+                    }
+                }
+            }
+            PaxosMsg::Decide { slot, value } => {
+                self.ticks_since_leader = 0;
+                self.record_decided(slot, value, &mut out);
+            }
+            PaxosMsg::Heartbeat { ballot, decided_up_to } => {
+                if ballot >= self.promised {
+                    self.promised = ballot;
+                    self.maybe_step_down(ballot);
+                    self.leader_hint = Some(ballot.owner);
+                    self.ticks_since_leader = 0;
+                    if decided_up_to > self.decided_frontier {
+                        out.outgoing.push((
+                            from,
+                            PaxosMsg::CatchUpRequest {
+                                from_slot: self.decided_frontier,
+                                to_slot: decided_up_to,
+                            },
+                        ));
+                    }
+                    self.flush_pending(&mut out);
+                }
+            }
+            PaxosMsg::CatchUpRequest { from_slot, to_slot } => {
+                let to_slot = Slot(to_slot.0.min(from_slot.0.saturating_add(CATCH_UP_BATCH)));
+                let mut s = from_slot;
+                while s < to_slot {
+                    if let Some(v) = self.decided.get(&s) {
+                        out.outgoing.push((from, PaxosMsg::Decide { slot: s, value: v.clone() }));
+                    }
+                    s = s.next();
+                }
+            }
+            PaxosMsg::Forward { value } => {
+                self.propose_inner(value, &mut out);
+            }
+            PaxosMsg::Nack { ballot } => {
+                if ballot > self.promised {
+                    self.promised = ballot;
+                }
+                self.maybe_step_down(ballot);
+            }
+        }
+        out
+    }
+
+    /// Forwards buffered proposals once a leader is known.
+    fn flush_pending(&mut self, out: &mut Output<V>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        if self.is_leader() {
+            let pending: Vec<V> = self.pending.drain(..).collect();
+            for v in pending {
+                self.lead_value(Entry::Cmd(v), out);
+            }
+        } else if let Some(leader) = self.leader_hint {
+            while let Some(v) = self.pending.pop_front() {
+                out.outgoing.push((leader, PaxosMsg::Forward { value: v }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy in-memory network for driving replicas directly.
+    struct Net {
+        replicas: Vec<PaxosReplica<u64>>,
+        queue: VecDeque<(usize, usize, PaxosMsg<u64>)>,
+        delivered: Vec<Vec<(Slot, u64)>>,
+        /// Crashed replicas drop all traffic.
+        down: BTreeSet<usize>,
+    }
+
+    impl Net {
+        fn new(n: usize) -> Self {
+            let cfg = GroupConfig::new(n);
+            Net {
+                replicas: (0..n).map(|i| PaxosReplica::new(i, cfg.clone())).collect(),
+                queue: VecDeque::new(),
+                delivered: vec![Vec::new(); n],
+                down: BTreeSet::new(),
+            }
+        }
+
+        fn absorb(&mut self, from: usize, out: Output<u64>) {
+            for (to, msg) in out.outgoing {
+                self.queue.push_back((from, to, msg));
+            }
+            self.delivered[from].extend(out.decided);
+        }
+
+        fn propose_at(&mut self, idx: usize, v: u64) {
+            let out = self.replicas[idx].propose(v);
+            self.absorb(idx, out);
+        }
+
+        fn tick_all(&mut self) {
+            for i in 0..self.replicas.len() {
+                if self.down.contains(&i) {
+                    continue;
+                }
+                let out = self.replicas[i].tick();
+                self.absorb(i, out);
+            }
+        }
+
+        fn drain(&mut self) {
+            let mut steps = 0;
+            while let Some((from, to, msg)) = self.queue.pop_front() {
+                steps += 1;
+                assert!(steps < 1_000_000, "message storm");
+                if self.down.contains(&to) || self.down.contains(&from) {
+                    continue;
+                }
+                let out = self.replicas[to].on_message(from, msg);
+                self.absorb(to, out);
+            }
+        }
+
+        fn run(&mut self, ticks: usize) {
+            for _ in 0..ticks {
+                self.tick_all();
+                self.drain();
+            }
+        }
+    }
+
+    #[test]
+    fn three_replicas_decide_a_command() {
+        let mut net = Net::new(3);
+        net.propose_at(0, 7);
+        net.drain();
+        for d in &net.delivered {
+            assert_eq!(d, &[(Slot(0), 7)]);
+        }
+    }
+
+    #[test]
+    fn single_replica_group_decides_alone() {
+        let mut net = Net::new(1);
+        net.propose_at(0, 1);
+        net.propose_at(0, 2);
+        net.drain();
+        assert_eq!(net.delivered[0], vec![(Slot(0), 1), (Slot(1), 2)]);
+    }
+
+    #[test]
+    fn commands_deliver_in_proposal_order_at_leader() {
+        let mut net = Net::new(3);
+        for v in 0..50 {
+            net.propose_at(0, v);
+        }
+        net.drain();
+        let expect: Vec<(Slot, u64)> = (0..50).map(|v| (Slot(v), v)).collect();
+        for d in &net.delivered {
+            assert_eq!(d, &expect);
+        }
+    }
+
+    #[test]
+    fn follower_forwards_to_leader() {
+        let mut net = Net::new(3);
+        net.propose_at(2, 99);
+        net.drain();
+        for d in &net.delivered {
+            assert_eq!(d, &[(Slot(0), 99)]);
+        }
+    }
+
+    #[test]
+    fn all_replicas_agree_on_identical_logs() {
+        let mut net = Net::new(5);
+        for v in 0..20 {
+            net.propose_at((v % 5) as usize, v);
+            net.drain();
+        }
+        net.run(5);
+        let reference = &net.delivered[0];
+        assert_eq!(reference.len(), 20);
+        for d in &net.delivered {
+            assert_eq!(d, reference);
+        }
+    }
+
+    #[test]
+    fn leader_crash_elects_new_leader_and_preserves_log() {
+        let mut net = Net::new(3);
+        for v in 0..5 {
+            net.propose_at(0, v);
+        }
+        net.drain();
+        net.down.insert(0);
+        // Run enough ticks for replica 1 to elect itself.
+        net.run(30);
+        assert!(net.replicas[1].is_leader() || net.replicas[2].is_leader());
+        let new_leader = if net.replicas[1].is_leader() { 1 } else { 2 };
+        net.propose_at(new_leader, 100);
+        net.run(5);
+        // Both surviving replicas deliver the old prefix then the new command.
+        for &i in &[1usize, 2] {
+            let vals: Vec<u64> = net.delivered[i].iter().map(|&(_, v)| v).collect();
+            assert_eq!(vals, vec![0, 1, 2, 3, 4, 100], "replica {i}");
+        }
+    }
+
+    #[test]
+    fn minority_crash_does_not_block_progress() {
+        let mut net = Net::new(5);
+        net.down.insert(3);
+        net.down.insert(4);
+        for v in 0..10 {
+            net.propose_at(0, v);
+        }
+        net.run(5);
+        let vals: Vec<u64> = net.delivered[0].iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn new_leader_recovers_partially_accepted_values() {
+        // Leader gets value accepted at a quorum but crashes before anyone
+        // learns the decision; the next leader must re-decide the same value.
+        let cfg = GroupConfig::new(3);
+        let mut r0: PaxosReplica<u64> = PaxosReplica::new(0, cfg.clone());
+        let mut r1: PaxosReplica<u64> = PaxosReplica::new(1, cfg.clone());
+        let mut r2: PaxosReplica<u64> = PaxosReplica::new(2, cfg.clone());
+
+        let out = r0.propose(42);
+        // Deliver the Accept only to replica 1, then crash replica 0.
+        let accept = out
+            .outgoing
+            .iter()
+            .find_map(|(to, m)| (*to == 1).then(|| m.clone()))
+            .expect("accept for r1");
+        let _ = r1.on_message(0, accept);
+
+        // Force replica 1 to run an election with replica 2.
+        let mut out = Output::new();
+        r1.start_election(&mut out);
+        let prepare = out
+            .outgoing
+            .iter()
+            .find_map(|(to, m)| (*to == 2).then(|| m.clone()))
+            .expect("prepare for r2");
+        let out2 = r2.on_message(1, prepare);
+        let promise = out2
+            .outgoing
+            .into_iter()
+            .find_map(|(to, m)| (to == 1).then_some(m))
+            .expect("promise from r2");
+        let out3 = r1.on_message(2, promise);
+        assert!(r1.is_leader());
+        // The recovered Accept for slot 0 must carry 42 again.
+        let reaccept = out3
+            .outgoing
+            .iter()
+            .any(|(_, m)| matches!(m, PaxosMsg::Accept { slot: Slot(0), value: Entry::Cmd(42), .. }));
+        assert!(reaccept, "new leader must re-propose the possibly-chosen value");
+    }
+
+    #[test]
+    fn ballots_total_order_and_next_for() {
+        let b = Ballot { round: 3, owner: 1 };
+        assert!(b.next_for(2) > b);
+        assert!(b.next_for(0) > b);
+        assert_eq!(b.next_for(2), Ballot { round: 3, owner: 2 });
+        assert_eq!(b.next_for(1), Ballot { round: 4, owner: 1 });
+        assert!(DECIDED_BALLOT > b.next_for(usize::MAX - 1));
+    }
+
+    #[test]
+    fn catch_up_fills_lagging_replica() {
+        let mut net = Net::new(3);
+        for v in 0..5 {
+            net.propose_at(0, v);
+        }
+        net.drain();
+        // Replica 2 "lost" its deliveries — simulate a fresh learner joining.
+        let cfg = GroupConfig::new(3);
+        net.replicas[2] = PaxosReplica::new(2, cfg);
+        net.delivered[2].clear();
+        // Heartbeats advertise the frontier and trigger catch-up.
+        net.run(10);
+        let vals: Vec<u64> = net.delivered[2].iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn delivered_count_counts_only_commands() {
+        let mut net = Net::new(3);
+        net.propose_at(0, 5);
+        net.drain();
+        assert_eq!(net.replicas[0].delivered_count(), 1);
+        assert_eq!(net.replicas[1].delivered_count(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Core Paxos vocabulary: ballots, slots, group configuration, messages.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A ballot number: a `(round, replica)` pair, totally ordered
+/// lexicographically so that every replica can generate ballots that are
+/// distinct from every other replica's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Ballot {
+    /// Monotone round counter.
+    pub round: u64,
+    /// Index (within the group) of the replica that owns the ballot.
+    pub owner: usize,
+}
+
+impl Ballot {
+    /// The ballot the group implicitly starts in: round 0, owned by
+    /// replica 0, which therefore begins as leader without running phase 1.
+    pub const INITIAL: Ballot = Ballot { round: 0, owner: 0 };
+
+    /// The smallest ballot owned by `owner` that is strictly greater than
+    /// `self`.
+    pub fn next_for(self, owner: usize) -> Ballot {
+        if owner > self.owner {
+            Ballot { round: self.round, owner }
+        } else {
+            Ballot { round: self.round + 1, owner }
+        }
+    }
+}
+
+impl fmt::Display for Ballot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}.{}", self.round, self.owner)
+    }
+}
+
+/// A position in the replicated log. Slots start at 0 and are dense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Slot(pub u64);
+
+impl Slot {
+    /// The slot after this one.
+    pub fn next(self) -> Slot {
+        Slot(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Static configuration of one Paxos group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroupConfig {
+    /// Number of replicas in the group.
+    pub size: usize,
+    /// Ticks of leader silence before a follower starts an election.
+    /// Follower `i` waits `election_timeout_ticks * (1 + i)` ticks, which
+    /// staggers elections and avoids duelling leaders.
+    pub election_timeout_ticks: u32,
+    /// Ticks between leader heartbeats.
+    pub heartbeat_interval_ticks: u32,
+}
+
+impl GroupConfig {
+    /// A group of `size` replicas with default timing (heartbeat every 2
+    /// ticks, election after 10 quiet ticks). This fast timing suits
+    /// tests driving replicas tick-by-tick; deployments over lossy
+    /// transports should use [`GroupConfig::with_timing`] with an election
+    /// timeout well above the transport's retransmission delay, or
+    /// leadership thrashes whenever a heartbeat is delayed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: usize) -> Self {
+        Self::with_timing(size, 10, 2)
+    }
+
+    /// A group of `size` replicas with explicit timing (in ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or `election_timeout_ticks` is zero.
+    pub fn with_timing(size: usize, election_timeout_ticks: u32, heartbeat_interval_ticks: u32) -> Self {
+        assert!(size > 0, "a Paxos group needs at least one replica");
+        assert!(election_timeout_ticks > 0, "election timeout must be positive");
+        GroupConfig { size, election_timeout_ticks, heartbeat_interval_ticks }
+    }
+
+    /// The quorum size: a strict majority of the group.
+    pub fn quorum(&self) -> usize {
+        self.size / 2 + 1
+    }
+}
+
+/// A log entry as stored/transferred by the protocol. Gap-filling no-ops
+/// are internal to Paxos and never delivered to the application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Entry<V> {
+    /// An application command.
+    Cmd(V),
+    /// A no-op used by a new leader to fill holes in the log.
+    Noop,
+}
+
+/// The wire protocol between replicas of one group.
+///
+/// `from` fields are implicit: transports know the sender. All indices are
+/// replica indices within the group (`0..size`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PaxosMsg<V> {
+    /// Phase 1a: a candidate asks acceptors to promise ballot `ballot`.
+    Prepare {
+        /// The ballot being prepared.
+        ballot: Ballot,
+    },
+    /// Phase 1b: an acceptor promises `ballot` and reports every value it
+    /// has accepted in an undecided slot, plus how much of the log it knows
+    /// to be decided.
+    Promise {
+        /// The promised ballot.
+        ballot: Ballot,
+        /// `(slot, ballot the value was accepted at, value)` for undecided slots.
+        accepted: Vec<(Slot, Ballot, Entry<V>)>,
+        /// First slot the acceptor does not know to be decided.
+        decided_up_to: Slot,
+    },
+    /// Phase 2a: the leader asks acceptors to accept `value` in `slot`.
+    Accept {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// The slot being filled.
+        slot: Slot,
+        /// The proposed entry.
+        value: Entry<V>,
+    },
+    /// Phase 2b: an acceptor reports that it accepted `slot` at `ballot`.
+    Accepted {
+        /// The ballot at which the acceptor accepted.
+        ballot: Ballot,
+        /// The accepted slot.
+        slot: Slot,
+    },
+    /// Commit notification: `slot` was chosen with `value`.
+    Decide {
+        /// The decided slot.
+        slot: Slot,
+        /// The chosen entry.
+        value: Entry<V>,
+    },
+    /// Leader liveness beacon; also advertises the decided log frontier so
+    /// lagging replicas can ask for retransmission.
+    Heartbeat {
+        /// The leader's ballot.
+        ballot: Ballot,
+        /// First slot the leader has not decided.
+        decided_up_to: Slot,
+    },
+    /// Request retransmission of decided slots in `[from_slot, to_slot)`.
+    CatchUpRequest {
+        /// First slot requested.
+        from_slot: Slot,
+        /// One past the last slot requested.
+        to_slot: Slot,
+    },
+    /// A non-leader replica forwarding a client proposal to the leader.
+    Forward {
+        /// The forwarded command.
+        value: V,
+    },
+    /// A ballot-too-low rejection, informing the sender of the higher ballot.
+    Nack {
+        /// The higher ballot the receiver has promised.
+        ballot: Ballot,
+    },
+}

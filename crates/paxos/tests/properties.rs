@@ -1,0 +1,208 @@
+//! Property-based safety tests for Multi-Paxos.
+//!
+//! The key invariant is *agreement*: no two replicas ever deliver different
+//! commands for the same slot, regardless of message reordering, message
+//! loss and minority crashes. We drive a group through randomized schedules
+//! and check the delivered logs pairwise.
+
+use std::collections::VecDeque;
+
+use dynastar_paxos::{GroupConfig, PaxosMsg, PaxosReplica, Slot};
+use proptest::prelude::*;
+
+/// One scheduled action in a randomized run.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Propose `value` at replica `at % n`.
+    Propose { at: usize, value: u64 },
+    /// Deliver the `k % queue.len()`-th queued message (out of order).
+    Deliver { k: usize },
+    /// Drop the `k % queue.len()`-th queued message.
+    Drop { k: usize },
+    /// Tick every replica once.
+    Tick,
+    /// Crash replica `at % n` (skipped if it would exceed a minority).
+    Crash { at: usize },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        3 => (0usize..16, 0u64..1000).prop_map(|(at, value)| Action::Propose { at, value }),
+        8 => (0usize..64).prop_map(|k| Action::Deliver { k }),
+        1 => (0usize..64).prop_map(|k| Action::Drop { k }),
+        3 => Just(Action::Tick),
+        1 => (0usize..16).prop_map(|at| Action::Crash { at }),
+    ]
+}
+
+struct Harness {
+    replicas: Vec<PaxosReplica<u64>>,
+    queue: VecDeque<(usize, usize, PaxosMsg<u64>)>,
+    delivered: Vec<Vec<(Slot, u64)>>,
+    down: Vec<bool>,
+    crashed: usize,
+}
+
+impl Harness {
+    fn new(n: usize) -> Self {
+        let cfg = GroupConfig::new(n);
+        Harness {
+            replicas: (0..n).map(|i| PaxosReplica::new(i, cfg.clone())).collect(),
+            queue: VecDeque::new(),
+            delivered: vec![Vec::new(); n],
+            down: vec![false; n],
+            crashed: 0,
+        }
+    }
+
+    fn absorb(&mut self, from: usize, out: dynastar_paxos::Output<u64>) {
+        for (to, msg) in out.outgoing {
+            self.queue.push_back((from, to, msg));
+        }
+        self.delivered[from].extend(out.decided);
+    }
+
+    fn apply(&mut self, a: &Action) {
+        let n = self.replicas.len();
+        match *a {
+            Action::Propose { at, value } => {
+                let at = at % n;
+                if !self.down[at] {
+                    let out = self.replicas[at].propose(value);
+                    self.absorb(at, out);
+                }
+            }
+            Action::Deliver { k } => {
+                if self.queue.is_empty() {
+                    return;
+                }
+                let k = k % self.queue.len();
+                let (from, to, msg) = self.queue.remove(k).unwrap();
+                if self.down[to] || self.down[from] {
+                    return;
+                }
+                let out = self.replicas[to].on_message(from, msg);
+                self.absorb(to, out);
+            }
+            Action::Drop { k } => {
+                if !self.queue.is_empty() {
+                    let k = k % self.queue.len();
+                    self.queue.remove(k);
+                }
+            }
+            Action::Tick => {
+                for i in 0..n {
+                    if !self.down[i] {
+                        let out = self.replicas[i].tick();
+                        self.absorb(i, out);
+                    }
+                }
+            }
+            Action::Crash { at } => {
+                let at = at % n;
+                // Keep a majority alive so liveness checks stay meaningful.
+                if !self.down[at] && (self.crashed + 1) * 2 < n {
+                    self.down[at] = true;
+                    self.crashed += 1;
+                }
+            }
+        }
+    }
+
+    /// Delivers every remaining message and runs ticks until quiet, so the
+    /// group converges before final checks.
+    fn settle(&mut self) {
+        for _ in 0..200 {
+            while let Some((from, to, msg)) = self.queue.pop_front() {
+                if self.down[to] || self.down[from] {
+                    continue;
+                }
+                let out = self.replicas[to].on_message(from, msg);
+                self.absorb(to, out);
+            }
+            for i in 0..self.replicas.len() {
+                if !self.down[i] {
+                    let out = self.replicas[i].tick();
+                    self.absorb(i, out);
+                }
+            }
+            if self.queue.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Agreement: for every slot, all replicas that delivered it delivered
+    /// the same value.
+    fn check_agreement(&self) {
+        for i in 0..self.replicas.len() {
+            for j in (i + 1)..self.replicas.len() {
+                for (si, vi) in &self.delivered[i] {
+                    for (sj, vj) in &self.delivered[j] {
+                        if si == sj {
+                            assert_eq!(
+                                vi, vj,
+                                "replicas {i} and {j} disagree at slot {si}: {vi} vs {vj}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Each replica's delivered slots are strictly increasing (in-order
+    /// delivery, no duplicates).
+    fn check_in_order(&self) {
+        for (i, log) in self.delivered.iter().enumerate() {
+            for w in log.windows(2) {
+                assert!(w[0].0 < w[1].0, "replica {i} delivered out of order: {w:?}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Agreement and in-order delivery hold for a 3-replica group under
+    /// arbitrary reordering, loss and minority crashes.
+    #[test]
+    fn paxos_agreement_n3(actions in prop::collection::vec(action_strategy(), 1..200)) {
+        let mut h = Harness::new(3);
+        for a in &actions {
+            h.apply(a);
+        }
+        h.settle();
+        h.check_agreement();
+        h.check_in_order();
+    }
+
+    /// Same invariants for a 5-replica group.
+    #[test]
+    fn paxos_agreement_n5(actions in prop::collection::vec(action_strategy(), 1..200)) {
+        let mut h = Harness::new(5);
+        for a in &actions {
+            h.apply(a);
+        }
+        h.settle();
+        h.check_agreement();
+        h.check_in_order();
+    }
+
+    /// Liveness under clean conditions: with no drops or crashes, every
+    /// proposal at the initial leader is eventually delivered everywhere.
+    #[test]
+    fn paxos_liveness_clean(values in prop::collection::vec(0u64..1000, 1..30)) {
+        let mut h = Harness::new(3);
+        for &v in &values {
+            let out = h.replicas[0].propose(v);
+            h.absorb(0, out);
+        }
+        h.settle();
+        for (i, log) in h.delivered.iter().enumerate() {
+            let got: Vec<u64> = log.iter().map(|&(_, v)| v).collect();
+            prop_assert_eq!(&got, &values, "replica {} log mismatch", i);
+        }
+    }
+}

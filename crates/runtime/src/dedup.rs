@@ -1,0 +1,187 @@
+//! Bounded-memory deduplication sets and maps.
+//!
+//! Long simulations process millions of messages; exact-forever dedup sets
+//! and reply caches would dominate memory. [`RotatingSet`] and
+//! [`RotatingMap`] keep the most recent ~`2 × capacity` entries using the
+//! classic two-generation rotation: inserts go to the young generation;
+//! when it fills, the old generation is dropped and the generations swap.
+//! An entry is therefore remembered for at least `capacity` subsequent
+//! inserts — far longer than any protocol-level duplicate can lag in
+//! practice.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// A set that remembers at least the last `capacity` inserted elements.
+#[derive(Debug, Clone)]
+pub struct RotatingSet<T> {
+    young: HashSet<T>,
+    old: HashSet<T>,
+    capacity: usize,
+}
+
+impl<T: Eq + Hash> RotatingSet<T> {
+    /// Creates a set that retains at least `capacity` recent elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RotatingSet { young: HashSet::new(), old: HashSet::new(), capacity }
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        if self.old.contains(&value) || self.young.contains(&value) {
+            return false;
+        }
+        if self.young.len() >= self.capacity {
+            self.old = std::mem::take(&mut self.young);
+        }
+        self.young.insert(value)
+    }
+
+    /// Whether `value` is remembered.
+    pub fn contains(&self, value: &T) -> bool {
+        self.young.contains(value) || self.old.contains(value)
+    }
+
+    /// Number of remembered elements.
+    pub fn len(&self) -> usize {
+        self.young.len() + self.old.len()
+    }
+
+    /// Whether nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.young.is_empty() && self.old.is_empty()
+    }
+
+    /// Removes `value` from both generations, returning whether it was
+    /// present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        let a = self.young.remove(value);
+        let b = self.old.remove(value);
+        a || b
+    }
+}
+
+/// A map that remembers at least the last `capacity` inserted entries.
+#[derive(Debug, Clone)]
+pub struct RotatingMap<K, V> {
+    young: HashMap<K, V>,
+    old: HashMap<K, V>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash, V> RotatingMap<K, V> {
+    /// Creates a map that retains at least `capacity` recent entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RotatingMap { young: HashMap::new(), old: HashMap::new(), capacity }
+    }
+
+    /// Inserts or updates an entry.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.young.len() >= self.capacity && !self.young.contains_key(&key) {
+            self.old = std::mem::take(&mut self.young);
+        }
+        self.young.insert(key, value);
+    }
+
+    /// Looks up `key` in either generation.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.young.get(key).or_else(|| self.old.get(key))
+    }
+
+    /// Whether `key` is remembered.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.young.contains_key(key) || self.old.contains_key(key)
+    }
+
+    /// Number of remembered entries.
+    pub fn len(&self) -> usize {
+        self.young.len() + self.old.len()
+    }
+
+    /// Whether nothing is remembered.
+    pub fn is_empty(&self) -> bool {
+        self.young.is_empty() && self.old.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_dedups_recent_elements() {
+        let mut s = RotatingSet::new(4);
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.contains(&1));
+        assert!(!s.contains(&2));
+    }
+
+    #[test]
+    fn set_retains_at_least_capacity() {
+        let mut s = RotatingSet::new(10);
+        for i in 0..15 {
+            s.insert(i);
+        }
+        // The latest 10 inserts are guaranteed remembered.
+        for i in 5..15 {
+            assert!(s.contains(&i), "{i} forgotten too early");
+        }
+        assert!(s.len() <= 20);
+    }
+
+    #[test]
+    fn set_eventually_forgets() {
+        let mut s = RotatingSet::new(4);
+        for i in 0..100 {
+            s.insert(i);
+        }
+        assert!(!s.contains(&0));
+        assert!(s.len() <= 8);
+    }
+
+    #[test]
+    fn set_remove_works_across_generations() {
+        let mut s = RotatingSet::new(2);
+        s.insert(1);
+        s.insert(2);
+        s.insert(3); // rotates {1,2} to old
+        assert!(s.remove(&1));
+        assert!(!s.contains(&1));
+        assert!(s.remove(&3));
+        assert!(!s.remove(&99));
+    }
+
+    #[test]
+    fn map_basic_and_rotation() {
+        let mut m = RotatingMap::new(2);
+        m.insert(1, "a");
+        m.insert(2, "b");
+        assert_eq!(m.get(&1), Some(&"a"));
+        m.insert(3, "c"); // rotation
+        assert_eq!(m.get(&1), Some(&"a"), "old generation still readable");
+        m.insert(4, "d");
+        m.insert(5, "e"); // drops {1,2}
+        assert_eq!(m.get(&1), None);
+        assert!(m.contains_key(&5));
+        assert!(!m.is_empty());
+        assert!(m.len() <= 4);
+    }
+
+    #[test]
+    fn set_empty_flags() {
+        let s: RotatingSet<u32> = RotatingSet::new(1);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,143 @@
+//! The event queue driving the simulation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::actor::NodeId;
+use crate::time::SimTime;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind<M> {
+    /// Deliver a message to a node.
+    Deliver { to: NodeId, from: NodeId, msg: M },
+    /// Fire a timer on a node if its generation is still current.
+    Timer { node: NodeId, tag: u64, gen: u64 },
+    /// Scheduled control action (fault injection).
+    Control(Control),
+}
+
+/// Fault-injection actions that can be scheduled at a future time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Permanently crash a node (crash-stop model): it receives no further
+    /// messages or timers.
+    Crash(NodeId),
+    /// Disconnect a node: in-flight and future messages to/from it are
+    /// dropped, timers still fire (the process is up but unreachable).
+    Disconnect(NodeId),
+    /// Reconnect a previously disconnected node.
+    Reconnect(NodeId),
+}
+
+#[derive(Debug)]
+pub(crate) struct Event<M> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> Ord for Event<M> {
+    // Reversed so that BinaryHeap (a max-heap) pops the earliest event;
+    // ties break by insertion sequence for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-queue of events.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(to: u32) -> EventKind<&'static str> {
+        EventKind::Deliver { to: NodeId::from_raw(to), from: NodeId::EXTERNAL, msg: "m" }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), deliver(0));
+        q.push(SimTime::from_micros(10), deliver(1));
+        q.push(SimTime::from_micros(20), deliver(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.as_micros()).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        q.push(t, deliver(0));
+        q.push(t, deliver(1));
+        q.push(t, deliver(2));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Deliver { to, .. } => to.as_raw(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn peek_time_tracks_head() {
+        let mut q = EventQueue::<&'static str>::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(7), deliver(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! FIFO link layer.
+//!
+//! The simulated network delivers messages with independently sampled
+//! latencies, so two messages on the same link can be reordered. Protocols
+//! that need per-link FIFO delivery (atomic multicast's FIFO property, for
+//! one) wrap their traffic in a [`FifoLinks`] endpoint on each side: the
+//! sender stamps a per-destination sequence number, the receiver buffers
+//! out-of-order arrivals and releases messages in sequence — the same
+//! service TCP provides on a real deployment.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A sequenced frame travelling over a FIFO link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame<M> {
+    /// Position of this frame in the sender→receiver stream (from 0).
+    pub seq: u64,
+    /// The wrapped message.
+    pub inner: M,
+}
+
+/// Per-peer FIFO sequencing state for one endpoint.
+///
+/// `P` identifies peers (any hashable id).
+///
+/// # Example
+///
+/// ```
+/// use dynastar_runtime::fifo::FifoLinks;
+///
+/// let mut alice: FifoLinks<&'static str, &'static str> = FifoLinks::new();
+/// let mut bob: FifoLinks<&'static str, &'static str> = FifoLinks::new();
+///
+/// let f1 = alice.wrap("bob", "first");
+/// let f2 = alice.wrap("bob", "second");
+/// // Frames arrive out of order; bob releases them in order.
+/// assert!(bob.accept("alice", f2).is_empty());
+/// assert_eq!(bob.accept("alice", f1), vec!["first", "second"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoLinks<P, M> {
+    next_send: HashMap<P, u64>,
+    next_recv: HashMap<P, u64>,
+    buffered: HashMap<P, BTreeMap<u64, M>>,
+}
+
+impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
+    /// Creates an endpoint with no history.
+    pub fn new() -> Self {
+        FifoLinks {
+            next_send: HashMap::new(),
+            next_recv: HashMap::new(),
+            buffered: HashMap::new(),
+        }
+    }
+
+    /// Stamps `msg` with the next sequence number for `peer`.
+    pub fn wrap(&mut self, peer: P, msg: M) -> Frame<M> {
+        let seq = self.next_send.entry(peer).or_insert(0);
+        let frame = Frame { seq: *seq, inner: msg };
+        *seq += 1;
+        frame
+    }
+
+    /// Accepts a frame from `peer`, returning every message that is now
+    /// deliverable in order (possibly empty if the frame is early, or if it
+    /// is a duplicate of an already-released sequence number).
+    pub fn accept(&mut self, peer: P, frame: Frame<M>) -> Vec<M> {
+        let next = self.next_recv.entry(peer.clone()).or_insert(0);
+        if frame.seq < *next {
+            return Vec::new(); // duplicate
+        }
+        let buf = self.buffered.entry(peer).or_default();
+        buf.insert(frame.seq, frame.inner);
+        let mut ready = Vec::new();
+        while let Some(msg) = buf.remove(next) {
+            ready.push(msg);
+            *next += 1;
+        }
+        ready
+    }
+
+    /// Number of frames buffered waiting for earlier sequence numbers.
+    pub fn buffered_count(&self) -> usize {
+        self.buffered.values().map(|b| b.len()).sum()
+    }
+
+    /// The next sequence number expected from `peer` — i.e. everything
+    /// below it has been released in order (the cumulative-ack value an
+    /// ARQ layer advertises).
+    pub fn expected_from(&self, peer: &P) -> u64 {
+        self.next_recv.get(peer).copied().unwrap_or(0)
+    }
+
+    /// Every peer frames have been received from.
+    pub fn receive_peers(&self) -> impl Iterator<Item = &P> {
+        self.next_recv.keys()
+    }
+
+    /// The sequence numbers missing from `peer`'s stream (holes below the
+    /// highest buffered frame), up to `limit` — what a selective-repeat
+    /// ARQ reports back so the sender retransmits exactly the lost frames.
+    pub fn missing_from(&self, peer: &P, limit: usize) -> Vec<u64> {
+        let expected = self.expected_from(peer);
+        let Some(buf) = self.buffered.get(peer) else { return Vec::new() };
+        let Some((&max, _)) = buf.last_key_value() else { return Vec::new() };
+        let mut missing = Vec::new();
+        let mut cursor = expected;
+        for &present in buf.keys() {
+            while cursor < present && missing.len() < limit {
+                missing.push(cursor);
+                cursor += 1;
+            }
+            cursor = present + 1;
+            if missing.len() >= limit {
+                break;
+            }
+        }
+        let _ = max;
+        missing
+    }
+}
+
+impl<P: Eq + Hash + Clone, M> Default for FifoLinks<P, M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_frames_release_immediately() {
+        let mut rx: FifoLinks<u32, u32> = FifoLinks::new();
+        let mut tx: FifoLinks<u32, u32> = FifoLinks::new();
+        for i in 0..5 {
+            let f = tx.wrap(1, i);
+            assert_eq!(rx.accept(9, f), vec![i]);
+        }
+    }
+
+    #[test]
+    fn reordered_frames_are_buffered_then_released() {
+        let mut tx: FifoLinks<u32, u32> = FifoLinks::new();
+        let mut rx: FifoLinks<u32, u32> = FifoLinks::new();
+        let f0 = tx.wrap(1, 10);
+        let f1 = tx.wrap(1, 11);
+        let f2 = tx.wrap(1, 12);
+        assert!(rx.accept(0, f2).is_empty());
+        assert!(rx.accept(0, f1).is_empty());
+        assert_eq!(rx.buffered_count(), 2);
+        assert_eq!(rx.accept(0, f0), vec![10, 11, 12]);
+        assert_eq!(rx.buffered_count(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut tx: FifoLinks<u32, u32> = FifoLinks::new();
+        let mut rx: FifoLinks<u32, u32> = FifoLinks::new();
+        let f0 = tx.wrap(1, 10);
+        assert_eq!(rx.accept(0, f0.clone()), vec![10]);
+        assert!(rx.accept(0, f0).is_empty());
+    }
+
+    #[test]
+    fn links_are_independent_per_peer() {
+        let mut rx: FifoLinks<&'static str, u32> = FifoLinks::new();
+        let mut a: FifoLinks<&'static str, u32> = FifoLinks::new();
+        let mut b: FifoLinks<&'static str, u32> = FifoLinks::new();
+        let fa = a.wrap("rx", 1);
+        let fb = b.wrap("rx", 2);
+        assert_eq!(rx.accept("a", fa), vec![1]);
+        assert_eq!(rx.accept("b", fb), vec![2]);
+    }
+}

@@ -1,0 +1,570 @@
+//! The deterministic simulation scheduler.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actor::{Actor, Ctx, Effect, NodeId};
+use crate::event::{Control, EventKind, EventQueue};
+use crate::metrics::Metrics;
+use crate::net::NetConfig;
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration for a [`Simulation`].
+///
+/// # Example
+///
+/// ```
+/// use dynastar_runtime::prelude::*;
+///
+/// let cfg = SimConfig::default().seed(7).net(NetConfig::default());
+/// let sim: Simulation<u32> = Simulation::new(cfg);
+/// assert_eq!(sim.now(), SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; every per-node RNG and the network RNG derive from it.
+    pub seed: u64,
+    /// Network latency/loss model.
+    pub net: NetConfig,
+    /// Bucket width for implicitly created metric time series.
+    pub metrics_bucket: SimDuration,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            net: NetConfig::default(),
+            metrics_bucket: SimDuration::from_secs(1),
+        }
+    }
+}
+
+impl SimConfig {
+    /// Builder-style setter for the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the network model.
+    pub fn net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Builder-style setter for the metrics time-series bucket width.
+    pub fn metrics_bucket(mut self, bucket: SimDuration) -> Self {
+        self.metrics_bucket = bucket;
+        self
+    }
+}
+
+struct NodeState<M> {
+    name: String,
+    actor: Box<dyn Actor<M>>,
+    rng: StdRng,
+    started: bool,
+    crashed: bool,
+    connected: bool,
+    timer_gens: HashMap<u64, u64>,
+}
+
+/// A deterministic discrete-event simulation of message-passing nodes.
+///
+/// Identical configuration and identical sequences of calls produce
+/// identical executions; all randomness flows from [`SimConfig::seed`].
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Simulation<M> {
+    config: SimConfig,
+    now: SimTime,
+    queue: EventQueue<M>,
+    nodes: Vec<NodeState<M>>,
+    metrics: Metrics,
+    net_rng: StdRng,
+    events_processed: u64,
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation.
+    pub fn new(config: SimConfig) -> Self {
+        let net_rng = StdRng::seed_from_u64(config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1));
+        let mut metrics = Metrics::new();
+        metrics.set_default_bucket(config.metrics_bucket);
+        Simulation {
+            config,
+            now: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            metrics,
+            net_rng,
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node running `actor` and returns its id.
+    ///
+    /// `on_start` fires (at the current simulated time) before the node's
+    /// first message once the simulation runs.
+    pub fn add_node(&mut self, name: impl Into<String>, actor: impl Actor<M>) -> NodeId {
+        let id = NodeId::from_raw(self.nodes.len() as u32);
+        let seed = self
+            .config
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(2 + id.as_raw() as u64);
+        self.nodes.push(NodeState {
+            name: name.into(),
+            actor: Box::new(actor),
+            rng: StdRng::seed_from_u64(seed),
+            started: false,
+            crashed: false,
+            connected: true,
+            timer_gens: HashMap::new(),
+        });
+        id
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The name a node was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this simulation.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.as_raw() as usize].name
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Read access to collected metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Write access to collected metrics (e.g. to reset after warm-up).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Injects a message to `to` from the pseudo-node
+    /// [`NodeId::EXTERNAL`], delivered after the usual network latency.
+    ///
+    /// Useful for driving protocols from tests without a client actor.
+    pub fn send_external(&mut self, to: NodeId, msg: M) {
+        if let Some(lat) = self.config.net.sample_delivery(NodeId::EXTERNAL, to, &mut self.net_rng) {
+            self.queue.push(self.now + lat, EventKind::Deliver { to, from: NodeId::EXTERNAL, msg });
+        }
+    }
+
+    /// Schedules a permanent crash of `node` at absolute time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        self.queue.push(at, EventKind::Control(Control::Crash(node)));
+    }
+
+    /// Schedules a disconnection of `node` at absolute time `at`.
+    pub fn schedule_disconnect(&mut self, at: SimTime, node: NodeId) {
+        self.queue.push(at, EventKind::Control(Control::Disconnect(node)));
+    }
+
+    /// Schedules a reconnection of `node` at absolute time `at`.
+    pub fn schedule_reconnect(&mut self, at: SimTime, node: NodeId) {
+        self.queue.push(at, EventKind::Control(Control::Reconnect(node)));
+    }
+
+    /// Crashes `node` immediately.
+    pub fn crash_now(&mut self, node: NodeId) {
+        self.apply_control(Control::Crash(node));
+    }
+
+    /// Whether `node` has crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node.as_raw() as usize].crashed
+    }
+
+    fn apply_control(&mut self, c: Control) {
+        match c {
+            Control::Crash(n) => {
+                let node = &mut self.nodes[n.as_raw() as usize];
+                node.crashed = true;
+            }
+            Control::Disconnect(n) => {
+                self.nodes[n.as_raw() as usize].connected = false;
+            }
+            Control::Reconnect(n) => {
+                self.nodes[n.as_raw() as usize].connected = true;
+            }
+        }
+    }
+
+    fn start_pending_nodes(&mut self) {
+        for idx in 0..self.nodes.len() {
+            if !self.nodes[idx].started && !self.nodes[idx].crashed {
+                self.nodes[idx].started = true;
+                self.invoke(idx, |actor, ctx| actor.on_start(ctx));
+            }
+        }
+    }
+
+    /// Runs one node callback and applies its effects.
+    fn invoke(&mut self, idx: usize, f: impl FnOnce(&mut dyn Actor<M>, &mut Ctx<'_, M>)) {
+        let mut effects: Vec<Effect<M>> = Vec::new();
+        {
+            let node = &mut self.nodes[idx];
+            let mut ctx = Ctx {
+                node: NodeId::from_raw(idx as u32),
+                now: self.now,
+                rng: &mut node.rng,
+                metrics: &mut self.metrics,
+                effects: &mut effects,
+            };
+            f(node.actor.as_mut(), &mut ctx);
+        }
+        let from = NodeId::from_raw(idx as u32);
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => {
+                    debug_assert!(
+                        (to.as_raw() as usize) < self.nodes.len(),
+                        "send to unknown node {to}"
+                    );
+                    let sender_connected = self.nodes[idx].connected;
+                    let dest_connected = self
+                        .nodes
+                        .get(to.as_raw() as usize)
+                        .map(|n| n.connected)
+                        .unwrap_or(false);
+                    if !sender_connected || !dest_connected {
+                        continue;
+                    }
+                    if let Some(lat) = self.config.net.sample_delivery(from, to, &mut self.net_rng) {
+                        self.queue.push(self.now + lat, EventKind::Deliver { to, from, msg });
+                    }
+                }
+                Effect::SetTimer { delay, tag } => {
+                    let node = &mut self.nodes[idx];
+                    let gen = node.timer_gens.entry(tag).and_modify(|g| *g += 1).or_insert(0);
+                    let gen = *gen;
+                    self.queue.push(self.now + delay, EventKind::Timer { node: from, tag, gen });
+                }
+                Effect::CancelTimer { tag } => {
+                    self.nodes[idx].timer_gens.entry(tag).and_modify(|g| *g += 1).or_insert(0);
+                }
+            }
+        }
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_pending_nodes();
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        self.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { to, from, msg } => {
+                let idx = to.as_raw() as usize;
+                if idx >= self.nodes.len() {
+                    return true; // message to unknown node: drop
+                }
+                let node = &self.nodes[idx];
+                if node.crashed || !node.connected {
+                    return true;
+                }
+                self.invoke(idx, move |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, tag, gen } => {
+                let idx = node.as_raw() as usize;
+                let state = &self.nodes[idx];
+                if state.crashed {
+                    return true;
+                }
+                if state.timer_gens.get(&tag).copied() != Some(gen) {
+                    return true; // superseded or cancelled
+                }
+                self.invoke(idx, move |actor, ctx| actor.on_timer(ctx, tag));
+            }
+            EventKind::Control(c) => self.apply_control(c),
+        }
+        true
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics after 500 million events as a runaway-loop backstop (protocols
+    /// with periodic timers never quiesce — use [`Simulation::run_until`]).
+    pub fn run_until_quiescent(&mut self) {
+        let mut processed: u64 = 0;
+        while self.step() {
+            processed += 1;
+            assert!(processed < 500_000_000, "simulation did not quiesce");
+        }
+    }
+
+    /// Runs until simulated time reaches `t` (events at exactly `t` are
+    /// processed). Afterwards `now() == t` even if the queue drained early.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start_pending_nodes();
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+        if self.now < t {
+            self.now = t;
+        }
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        let target = self.now + d;
+        self.run_until(target);
+    }
+
+    /// Draws from the simulation-level RNG (for experiment harnesses that
+    /// need randomness outside any node, e.g. choosing crash victims).
+    pub fn harness_rng(&mut self) -> &mut StdRng {
+        &mut self.net_rng
+    }
+
+    /// Deterministically derives a fresh seed for auxiliary generators.
+    pub fn derive_seed(&mut self, stream: u64) -> u64 {
+        self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stream.wrapping_mul(0xD1B5_4A32_D192_ED03)
+            ^ self.net_rng.gen::<u64>()
+    }
+}
+
+impl<M: 'static> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::LatencyModel;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    /// Echoes pings back as pongs.
+    struct Echo;
+    impl Actor<Msg> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+            if let Msg::Ping(n) = msg {
+                ctx.send(from, Msg::Pong(n));
+            }
+        }
+    }
+
+    /// Sends `count` pings, one per pong received.
+    struct Pinger {
+        target: NodeId,
+        count: u32,
+        sent: u32,
+    }
+    impl Actor<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            self.sent = 1;
+            ctx.send(self.target, Msg::Ping(1));
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+            if let Msg::Pong(n) = msg {
+                let now = ctx.now();
+                ctx.metrics_mut().incr_counter("pongs", 1);
+                ctx.metrics_mut().record_series("pongs", now, 1.0);
+                if n < self.count {
+                    self.sent += 1;
+                    ctx.send(self.target, Msg::Ping(n + 1));
+                }
+            }
+        }
+    }
+
+    fn ping_pong_sim(seed: u64) -> Simulation<Msg> {
+        let mut sim = Simulation::new(SimConfig::default().seed(seed));
+        let echo = sim.add_node("echo", Echo);
+        sim.add_node("pinger", Pinger { target: echo, count: 10, sent: 0 });
+        sim
+    }
+
+    #[test]
+    fn ping_pong_completes() {
+        let mut sim = ping_pong_sim(1);
+        sim.run_until_quiescent();
+        assert_eq!(sim.metrics().counter("pongs"), 10);
+        assert!(sim.now() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let mut a = ping_pong_sim(42);
+        let mut b = ping_pong_sim(42);
+        a.run_until_quiescent();
+        b.run_until_quiescent();
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.events_processed(), b.events_processed());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ping_pong_sim(1);
+        let mut b = ping_pong_sim(2);
+        a.run_until_quiescent();
+        b.run_until_quiescent();
+        // Latencies are sampled, so total elapsed time should differ.
+        assert_ne!(a.now(), b.now());
+    }
+
+    #[test]
+    fn run_until_stops_at_target() {
+        let mut sim = ping_pong_sim(1);
+        let t = SimTime::from_micros(1_200);
+        sim.run_until(t);
+        assert_eq!(sim.now(), t);
+        // Some but not all pongs have arrived with ~0.5ms RTT legs.
+        let pongs = sim.metrics().counter("pongs");
+        assert!(pongs < 10, "pongs = {pongs}");
+    }
+
+    #[test]
+    fn crashed_node_stops_responding() {
+        let mut sim = ping_pong_sim(1);
+        let echo = NodeId::from_raw(0);
+        sim.schedule_crash(SimTime::from_micros(3_000), echo);
+        sim.run_until_quiescent();
+        assert!(sim.is_crashed(echo));
+        assert!(sim.metrics().counter("pongs") < 10);
+    }
+
+    #[test]
+    fn disconnect_then_reconnect_drops_only_in_between() {
+        struct Beacon {
+            peer: NodeId,
+        }
+        impl Actor<Msg> for Beacon {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+                ctx.send(self.peer, Msg::Ping(0));
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        struct Sink;
+        impl Actor<Msg> for Sink {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {
+                ctx.metrics_mut().incr_counter("rx", 1);
+            }
+        }
+        let mut sim = Simulation::new(SimConfig::default().seed(9).net(
+            NetConfig::default().latency(LatencyModel::Fixed(SimDuration::from_micros(100))),
+        ));
+        let sink = sim.add_node("sink", Sink);
+        sim.add_node("beacon", Beacon { peer: sink });
+        sim.schedule_disconnect(SimTime::from_millis(10), sink);
+        sim.schedule_reconnect(SimTime::from_millis(20), sink);
+        sim.run_until(SimTime::from_millis(30));
+        let rx = sim.metrics().counter("rx");
+        // ~10 beacons before the gap, ~10 after, ~10 lost.
+        assert!((15..=25).contains(&rx), "rx = {rx}");
+    }
+
+    #[test]
+    fn timer_rearm_supersedes_pending_firing() {
+        struct Rearm;
+        impl Actor<Msg> for Rearm {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 7);
+                ctx.set_timer(SimDuration::from_millis(5), 7); // supersedes
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+                assert_eq!(tag, 7);
+                assert_eq!(ctx.now(), SimTime::from_millis(5));
+                ctx.metrics_mut().incr_counter("fired", 1);
+            }
+        }
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.add_node("rearm", Rearm);
+        sim.run_until_quiescent();
+        assert_eq!(sim.metrics().counter("fired"), 1);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct Cancel;
+        impl Actor<Msg> for Cancel {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 3);
+                ctx.cancel_timer(3);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+                ctx.metrics_mut().incr_counter("fired", 1);
+            }
+        }
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.add_node("cancel", Cancel);
+        sim.run_until_quiescent();
+        assert_eq!(sim.metrics().counter("fired"), 0);
+    }
+
+    #[test]
+    fn external_messages_reach_nodes() {
+        struct Sink;
+        impl Actor<Msg> for Sink {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, _msg: Msg) {
+                assert_eq!(from, NodeId::EXTERNAL);
+                ctx.metrics_mut().incr_counter("rx", 1);
+            }
+        }
+        let mut sim = Simulation::new(SimConfig::default());
+        let sink = sim.add_node("sink", Sink);
+        sim.send_external(sink, Msg::Ping(0));
+        sim.run_until_quiescent();
+        assert_eq!(sim.metrics().counter("rx"), 1);
+    }
+
+    #[test]
+    fn lossy_network_drops_messages() {
+        let mut sim: Simulation<Msg> = Simulation::new(
+            SimConfig::default().net(NetConfig::default().loss_probability(1.0)),
+        );
+        struct Sink;
+        impl Actor<Msg> for Sink {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {
+                ctx.metrics_mut().incr_counter("rx", 1);
+            }
+        }
+        let sink = sim.add_node("sink", Sink);
+        sim.send_external(sink, Msg::Ping(0));
+        sim.run_until_quiescent();
+        assert_eq!(sim.metrics().counter("rx"), 0);
+    }
+}

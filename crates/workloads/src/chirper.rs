@@ -1,0 +1,490 @@
+//! Chirper: the paper's Twitter-like social network service (§5.4).
+//!
+//! Every user is one DynaStar variable *and* one locality key (workload-
+//! graph vertex), exactly as in the paper. Users post 140-character
+//! messages; a post is written to the timeline of every follower, so posts
+//! by well-followed users are multi-partition commands. Reading one's own
+//! timeline touches only one's own variable and is always single-partition.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+
+use dynastar_core::{Application, Command, CommandKind, LocKey, VarId, Workload};
+use dynastar_runtime::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::socialgraph::SocialGraph;
+use crate::zipf::Zipf;
+
+/// Maximum posts retained per timeline.
+pub const TIMELINE_CAP: usize = 50;
+
+/// Maximum characters per post (like the original Twitter limit the paper
+/// cites).
+pub const POST_CAP: usize = 140;
+
+/// One post: author and (truncated) text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Post {
+    /// The author's user id.
+    pub author: u64,
+    /// The message (≤ 140 chars).
+    pub text: String,
+}
+
+/// A user's replicated state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChirperUser {
+    /// Posts from people this user follows (newest last), capped at
+    /// [`TIMELINE_CAP`].
+    pub timeline: VecDeque<Post>,
+    /// Whom this user follows.
+    pub follows: Vec<u64>,
+    /// Who follows this user.
+    pub followers: Vec<u64>,
+}
+
+/// Chirper operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChirperOp {
+    /// Read own timeline (single-partition).
+    GetTimeline {
+        /// The reading user.
+        user: u64,
+    },
+    /// Post to all followers' timelines (multi-partition when followers
+    /// are spread out). The declared vars are the author plus the
+    /// followers the *client* believes exist; the authoritative follower
+    /// list at the author's variable is intersected with them.
+    Post {
+        /// The author.
+        user: u64,
+        /// The message (truncated to [`POST_CAP`]).
+        text: String,
+    },
+    /// `follower` starts following `followee` (≤ 2 partitions).
+    Follow {
+        /// The follower.
+        follower: u64,
+        /// The followee.
+        followee: u64,
+    },
+    /// `follower` stops following `followee`.
+    Unfollow {
+        /// The follower.
+        follower: u64,
+        /// The followee.
+        followee: u64,
+    },
+}
+
+/// Chirper replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChirperReply {
+    /// The requested timeline (newest last).
+    Timeline(Vec<Post>),
+    /// Number of follower timelines the post reached.
+    Posted(usize),
+    /// Follow/unfollow acknowledged.
+    FollowOk,
+    /// The referenced user does not exist.
+    NoSuchUser,
+}
+
+/// The Chirper application (implements [`Application`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Chirper;
+
+impl Chirper {
+    /// The variable holding `user`'s state.
+    pub fn var(user: u64) -> VarId {
+        VarId(user)
+    }
+
+    /// The locality key of `user` (1:1 with the variable, as in the paper
+    /// where each user is a graph vertex).
+    pub fn key(user: u64) -> LocKey {
+        LocKey(user)
+    }
+}
+
+impl Application for Chirper {
+    type Op = ChirperOp;
+    /// `Arc`-wrapped so borrowing a user (shipping them to the target
+    /// partition and back) is a refcount bump; mutation is copy-on-write.
+    type Value = Arc<ChirperUser>;
+    type Reply = ChirperReply;
+
+    fn locality(var: VarId) -> LocKey {
+        LocKey(var.0)
+    }
+
+    fn execute(
+        op: &ChirperOp,
+        vars: &mut std::collections::BTreeMap<VarId, Option<Arc<ChirperUser>>>,
+    ) -> ChirperReply {
+        match op {
+            ChirperOp::GetTimeline { user } => match vars.get(&Chirper::var(*user)) {
+                Some(Some(u)) => ChirperReply::Timeline(u.timeline.iter().cloned().collect()),
+                _ => ChirperReply::NoSuchUser,
+            },
+            ChirperOp::Post { user, text } => {
+                let mut text = text.clone();
+                text.truncate(POST_CAP);
+                let post = Post { author: *user, text };
+                // Authoritative follower list lives at the author.
+                let followers: Vec<u64> = match vars.get(&Chirper::var(*user)) {
+                    Some(Some(u)) => u.followers.clone(),
+                    _ => return ChirperReply::NoSuchUser,
+                };
+                let mut reached = 0;
+                for f in followers {
+                    // Only followers the client declared are writable.
+                    if let Some(Some(fu)) = vars.get_mut(&Chirper::var(f)) {
+                        let fu = Arc::make_mut(fu);
+                        fu.timeline.push_back(post.clone());
+                        if fu.timeline.len() > TIMELINE_CAP {
+                            fu.timeline.pop_front();
+                        }
+                        reached += 1;
+                    }
+                }
+                ChirperReply::Posted(reached)
+            }
+            ChirperOp::Follow { follower, followee } => {
+                // Update both sides if both exist.
+                let ok = matches!(vars.get(&Chirper::var(*follower)), Some(Some(_)))
+                    && matches!(vars.get(&Chirper::var(*followee)), Some(Some(_)));
+                if !ok {
+                    return ChirperReply::NoSuchUser;
+                }
+                if let Some(Some(u)) = vars.get_mut(&Chirper::var(*follower)) {
+                    let u = Arc::make_mut(u);
+                    if !u.follows.contains(followee) {
+                        u.follows.push(*followee);
+                    }
+                }
+                if let Some(Some(u)) = vars.get_mut(&Chirper::var(*followee)) {
+                    let u = Arc::make_mut(u);
+                    if !u.followers.contains(follower) {
+                        u.followers.push(*follower);
+                    }
+                }
+                ChirperReply::FollowOk
+            }
+            ChirperOp::Unfollow { follower, followee } => {
+                if let Some(Some(u)) = vars.get_mut(&Chirper::var(*follower)) {
+                    Arc::make_mut(u).follows.retain(|v| v != followee);
+                }
+                if let Some(Some(u)) = vars.get_mut(&Chirper::var(*followee)) {
+                    Arc::make_mut(u).followers.retain(|v| v != follower);
+                }
+                ChirperReply::FollowOk
+            }
+        }
+    }
+}
+
+/// Command-mix weights for [`ChirperWorkload`], in percent.
+#[derive(Debug, Clone, Copy)]
+pub struct ChirperMix {
+    /// Percentage of `GetTimeline` commands.
+    pub timeline: u32,
+    /// Percentage of `Post` commands.
+    pub post: u32,
+    /// Percentage of `Follow` commands.
+    pub follow: u32,
+    /// Percentage of `Unfollow` commands.
+    pub unfollow: u32,
+}
+
+impl ChirperMix {
+    /// The paper's "timeline only" workload.
+    pub const TIMELINE_ONLY: ChirperMix =
+        ChirperMix { timeline: 100, post: 0, follow: 0, unfollow: 0 };
+
+    /// The paper's "mix" workload: 85% timeline, 15% post.
+    pub const MIX: ChirperMix = ChirperMix { timeline: 85, post: 15, follow: 0, unfollow: 0 };
+
+    fn total(&self) -> u32 {
+        self.timeline + self.post + self.follow + self.unfollow
+    }
+}
+
+/// A closed-loop Chirper client workload: picks an active user with a
+/// Zipfian distribution and issues commands at the configured mix.
+///
+/// The follow graph is shared across all clients (wrapped in a mutex) so
+/// that follower lists used to declare a post's variables stay coherent;
+/// this mirrors a real client reading its social graph from the service.
+pub struct ChirperWorkload {
+    graph: Arc<Mutex<SocialGraph>>,
+    zipf: Zipf,
+    mix: ChirperMix,
+    /// Optional command budget (`None` = unbounded).
+    remaining: Option<u64>,
+    /// Celebrity bias: with this probability (percent), a post/follow is
+    /// redirected to the celebrity user (Figure 6's dynamic workload).
+    celebrity: Option<(u64, u32)>,
+    /// The celebrity only becomes active at this time.
+    celebrity_after: Option<SimTime>,
+    next_post_id: u64,
+}
+
+impl ChirperWorkload {
+    /// Creates a workload over `graph` with the given user-selection skew
+    /// and command mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix percentages do not sum to 100.
+    pub fn new(graph: Arc<Mutex<SocialGraph>>, theta: f64, mix: ChirperMix) -> Self {
+        assert_eq!(mix.total(), 100, "mix must sum to 100");
+        let users = graph.lock().unwrap().users() as u64;
+        ChirperWorkload {
+            graph,
+            zipf: Zipf::new(users, theta),
+            mix,
+            remaining: None,
+            celebrity: None,
+            celebrity_after: None,
+            next_post_id: 0,
+        }
+    }
+
+    /// Caps the number of commands issued.
+    pub fn with_budget(mut self, commands: u64) -> Self {
+        self.remaining = Some(commands);
+        self
+    }
+
+    /// Redirects `percent`% of post/follow activity to `user` — the
+    /// "new celebrity" phase of the paper's dynamic experiment.
+    pub fn with_celebrity(mut self, user: u64, percent: u32) -> Self {
+        self.celebrity = Some((user, percent));
+        self
+    }
+
+    /// Delays the celebrity phase until simulated time `at` (Figure 6
+    /// introduces the celebrity at t = 200 s).
+    pub fn with_celebrity_after(mut self, at: SimTime) -> Self {
+        self.celebrity_after = Some(at);
+        self
+    }
+
+    fn pick_user(&self, rng: &mut StdRng) -> u64 {
+        self.zipf.sample(rng)
+    }
+}
+
+impl Workload<Chirper> for ChirperWorkload {
+    fn next_command(&mut self, now: SimTime, rng: &mut StdRng) -> Option<CommandKind<Chirper>> {
+        if let Some(rem) = self.remaining.as_mut() {
+            if *rem == 0 {
+                return None;
+            }
+            *rem -= 1;
+        }
+        let celebrity_active = match (self.celebrity, self.celebrity_after) {
+            (Some(_), Some(at)) => now >= at,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let roll = rng.gen_range(0..100u32);
+        let user = self.pick_user(rng);
+        let mut mix = self.mix;
+        if celebrity_active {
+            // The celebrity phase adds follow traffic: users rush to
+            // follow the new star (paper §6.4, dynamic workload).
+            let follow_boost = mix.timeline.min(10);
+            mix.timeline -= follow_boost;
+            mix.follow += follow_boost;
+        }
+        if roll < mix.timeline {
+            return Some(CommandKind::Access {
+                op: ChirperOp::GetTimeline { user },
+                vars: vec![Chirper::var(user)],
+            });
+        }
+        if roll < mix.timeline + mix.post {
+            // Celebrity redirection for the dynamic experiment.
+            let author = match self.celebrity {
+                Some((celeb, pct)) if celebrity_active && rng.gen_range(0..100) < pct => celeb,
+                _ => user,
+            };
+            let graph = self.graph.lock().unwrap();
+            let mut vars: Vec<VarId> = vec![Chirper::var(author)];
+            vars.extend(graph.followers_of(author).iter().map(|&f| Chirper::var(f)));
+            drop(graph);
+            self.next_post_id += 1;
+            return Some(CommandKind::Access {
+                op: ChirperOp::Post { user: author, text: format!("post #{}", self.next_post_id) },
+                vars,
+            });
+        }
+        if roll < mix.timeline + mix.post + mix.follow {
+            let mut graph = self.graph.lock().unwrap();
+            let followee = match self.celebrity {
+                Some((celeb, pct)) if celebrity_active && rng.gen_range(0..100) < pct => celeb,
+                _ => {
+                    let mut f = self.pick_user(rng);
+                    if f == user {
+                        f = (f + 1) % graph.users() as u64;
+                    }
+                    f
+                }
+            };
+            // Keep the client-side graph coherent with the command we issue.
+            graph.add_follow(user, followee);
+            drop(graph);
+            return Some(CommandKind::Access {
+                op: ChirperOp::Follow { follower: user, followee },
+                vars: vec![Chirper::var(user), Chirper::var(followee)],
+            });
+        }
+        // Unfollow someone we follow (or no-op follow of ourselves → skip
+        // to timeline if we follow nobody).
+        let mut graph = self.graph.lock().unwrap();
+        let follows = graph.follows_of(user).to_vec();
+        if follows.is_empty() {
+            drop(graph);
+            return Some(CommandKind::Access {
+                op: ChirperOp::GetTimeline { user },
+                vars: vec![Chirper::var(user)],
+            });
+        }
+        let followee = follows[rng.gen_range(0..follows.len())];
+        graph.remove_follow(user, followee);
+        drop(graph);
+        Some(CommandKind::Access {
+            op: ChirperOp::Unfollow { follower: user, followee },
+            vars: vec![Chirper::var(user), Chirper::var(followee)],
+        })
+    }
+
+    fn on_completed(&mut self, _now: SimTime, _cmd: &Command<Chirper>, _reply: Option<&ChirperReply>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::BTreeMap;
+
+    fn state(users: &[u64]) -> BTreeMap<VarId, Option<Arc<ChirperUser>>> {
+        users
+            .iter()
+            .map(|&u| (Chirper::var(u), Some(Arc::new(ChirperUser::default()))))
+            .collect()
+    }
+
+    /// Test helper: mutable access to a user in the var map.
+    fn user_mut<'a>(
+        vars: &'a mut BTreeMap<VarId, Option<Arc<ChirperUser>>>,
+        u: u64,
+    ) -> &'a mut ChirperUser {
+        Arc::make_mut(vars.get_mut(&Chirper::var(u)).unwrap().as_mut().unwrap())
+    }
+
+    #[test]
+    fn post_reaches_declared_followers() {
+        let mut vars = state(&[0, 1, 2]);
+        // User 0 has followers 1 and 2.
+        user_mut(&mut vars, 0).followers = vec![1, 2];
+        let reply = Chirper::execute(
+            &ChirperOp::Post { user: 0, text: "hi".into() },
+            &mut vars,
+        );
+        assert_eq!(reply, ChirperReply::Posted(2));
+        let t1 = &vars[&Chirper::var(1)].as_ref().unwrap().timeline;
+        assert_eq!(t1.len(), 1);
+        assert_eq!(t1[0].author, 0);
+    }
+
+    #[test]
+    fn post_truncates_to_140_chars() {
+        let mut vars = state(&[0, 1]);
+        user_mut(&mut vars, 0).followers = vec![1];
+        let long = "x".repeat(500);
+        Chirper::execute(&ChirperOp::Post { user: 0, text: long }, &mut vars);
+        let t = &vars[&Chirper::var(1)].as_ref().unwrap().timeline;
+        assert_eq!(t[0].text.len(), POST_CAP);
+    }
+
+    #[test]
+    fn timeline_caps_at_limit() {
+        let mut vars = state(&[0, 1]);
+        user_mut(&mut vars, 0).followers = vec![1];
+        for i in 0..(TIMELINE_CAP + 10) {
+            Chirper::execute(&ChirperOp::Post { user: 0, text: format!("{i}") }, &mut vars);
+        }
+        let t = &vars[&Chirper::var(1)].as_ref().unwrap().timeline;
+        assert_eq!(t.len(), TIMELINE_CAP);
+        assert_eq!(t.back().unwrap().text, format!("{}", TIMELINE_CAP + 9));
+    }
+
+    #[test]
+    fn follow_updates_both_sides() {
+        let mut vars = state(&[0, 1]);
+        let reply =
+            Chirper::execute(&ChirperOp::Follow { follower: 0, followee: 1 }, &mut vars);
+        assert_eq!(reply, ChirperReply::FollowOk);
+        assert_eq!(vars[&Chirper::var(0)].as_ref().unwrap().follows, vec![1]);
+        assert_eq!(vars[&Chirper::var(1)].as_ref().unwrap().followers, vec![0]);
+        Chirper::execute(&ChirperOp::Unfollow { follower: 0, followee: 1 }, &mut vars);
+        assert!(vars[&Chirper::var(1)].as_ref().unwrap().followers.is_empty());
+    }
+
+    #[test]
+    fn missing_user_is_reported() {
+        let mut vars = state(&[0]);
+        vars.insert(Chirper::var(9), None);
+        let reply = Chirper::execute(&ChirperOp::GetTimeline { user: 9 }, &mut vars);
+        assert_eq!(reply, ChirperReply::NoSuchUser);
+        let reply =
+            Chirper::execute(&ChirperOp::Follow { follower: 0, followee: 9 }, &mut vars);
+        assert_eq!(reply, ChirperReply::NoSuchUser);
+    }
+
+    #[test]
+    fn workload_generates_valid_mixes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let graph = Arc::new(Mutex::new(SocialGraph::barabasi_albert(200, 3, &mut rng)));
+        let mut w = ChirperWorkload::new(Arc::clone(&graph), 0.95, ChirperMix::MIX)
+            .with_budget(500);
+        let mut timeline = 0;
+        let mut posts = 0;
+        while let Some(cmd) = w.next_command(SimTime::ZERO, &mut rng) {
+            match cmd {
+                CommandKind::Access { op: ChirperOp::GetTimeline { .. }, vars } => {
+                    timeline += 1;
+                    assert_eq!(vars.len(), 1);
+                }
+                CommandKind::Access { op: ChirperOp::Post { user, .. }, vars } => {
+                    posts += 1;
+                    // Declared vars = author + followers.
+                    let g = graph.lock().unwrap();
+                    assert_eq!(vars.len(), 1 + g.followers_of(user).len());
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(timeline + posts, 500);
+        // Rough mix check (85/15 ± noise).
+        assert!(posts > 40 && posts < 120, "posts = {posts}");
+    }
+
+    #[test]
+    fn workload_budget_exhausts() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let graph = Arc::new(Mutex::new(SocialGraph::barabasi_albert(50, 2, &mut rng)));
+        let mut w =
+            ChirperWorkload::new(graph, 0.5, ChirperMix::TIMELINE_ONLY).with_budget(3);
+        assert!(w.next_command(SimTime::ZERO, &mut rng).is_some());
+        assert!(w.next_command(SimTime::ZERO, &mut rng).is_some());
+        assert!(w.next_command(SimTime::ZERO, &mut rng).is_some());
+        assert!(w.next_command(SimTime::ZERO, &mut rng).is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! Initial-placement strategies for benchmark state.
+//!
+//! * [`random`] — DynaStar's starting condition in the paper's Figures 2
+//!   and 6 (objects scattered uniformly).
+//! * [`round_robin`] — a deterministic balanced baseline.
+//! * [`optimized`] — the offline METIS step that gives S-SMR its `*`:
+//!   partition the co-access graph with the multilevel partitioner before
+//!   the run, so the static system starts from the best placement the
+//!   workload allows.
+
+use std::collections::BTreeMap;
+
+use dynastar_core::{LocKey, PartitionId};
+use dynastar_partitioner::{partition, GraphBuilder, PartitionConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Scatters `keys` uniformly at random over `partitions`.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+pub fn random(
+    keys: impl IntoIterator<Item = LocKey>,
+    partitions: u32,
+    rng: &mut StdRng,
+) -> BTreeMap<LocKey, PartitionId> {
+    assert!(partitions > 0, "need at least one partition");
+    keys.into_iter().map(|k| (k, PartitionId(rng.gen_range(0..partitions)))).collect()
+}
+
+/// Assigns `keys` round-robin in iteration order.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+pub fn round_robin(
+    keys: impl IntoIterator<Item = LocKey>,
+    partitions: u32,
+) -> BTreeMap<LocKey, PartitionId> {
+    assert!(partitions > 0, "need at least one partition");
+    keys.into_iter()
+        .enumerate()
+        .map(|(i, k)| (k, PartitionId((i as u32) % partitions)))
+        .collect()
+}
+
+/// Computes a partitioner-optimized placement from a co-access edge list
+/// over locality keys (the S-SMR\* offline METIS run, §5.5/§6.4).
+///
+/// Keys never mentioned in `edges` must still appear in `keys`.
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+pub fn optimized(
+    keys: impl IntoIterator<Item = LocKey>,
+    edges: impl IntoIterator<Item = (LocKey, LocKey, u64)>,
+    partitions: u32,
+    seed: u64,
+) -> BTreeMap<LocKey, PartitionId> {
+    assert!(partitions > 0, "need at least one partition");
+    let keys: Vec<LocKey> = {
+        let mut ks: Vec<LocKey> = keys.into_iter().collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    };
+    let index: BTreeMap<LocKey, u32> =
+        keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+    let mut b = GraphBuilder::new();
+    if !keys.is_empty() {
+        b.add_vertex(keys.len() as u32 - 1);
+    }
+    for (x, y, w) in edges {
+        if let (Some(&ix), Some(&iy)) = (index.get(&x), index.get(&y)) {
+            b.add_edge(ix, iy, w);
+        }
+    }
+    let g = b.build();
+    let p = partition(&g, partitions, &PartitionConfig::default().seed(seed));
+    keys.iter()
+        .enumerate()
+        .map(|(i, &k)| (k, PartitionId(p.part_of(i as u32))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn keys(n: u64) -> Vec<LocKey> {
+        (0..n).map(LocKey).collect()
+    }
+
+    #[test]
+    fn random_covers_all_partitions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = random(keys(1000), 4, &mut rng);
+        assert_eq!(p.len(), 1000);
+        for part in 0..4 {
+            assert!(p.values().any(|&x| x == PartitionId(part)));
+        }
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let p = round_robin(keys(12), 4);
+        let mut counts = [0; 4];
+        for &part in p.values() {
+            counts[part.0 as usize] += 1;
+        }
+        assert_eq!(counts, [3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn optimized_colocates_clusters() {
+        // Two tight clusters of 5 keys each.
+        let mut edges = Vec::new();
+        for c in 0..2u64 {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((LocKey(c * 5 + i), LocKey(c * 5 + j), 10));
+                }
+            }
+        }
+        edges.push((LocKey(0), LocKey(5), 1)); // weak link
+        let p = optimized(keys(10), edges, 2, 1);
+        for c in 0..2u64 {
+            let first = p[&LocKey(c * 5)];
+            for i in 1..5 {
+                assert_eq!(p[&LocKey(c * 5 + i)], first, "cluster {c} split");
+            }
+        }
+        assert_ne!(p[&LocKey(0)], p[&LocKey(5)]);
+    }
+
+    #[test]
+    fn optimized_places_isolated_keys() {
+        let p = optimized(keys(8), Vec::new(), 4, 2);
+        assert_eq!(p.len(), 8);
+    }
+}

@@ -1,0 +1,20 @@
+//! The TPC-C benchmark (paper §5.3): 9 tables, 5 transaction types at the
+//! standard 45/43/4/4/4 mix, mapped onto DynaStar objects at
+//! district/warehouse locality granularity.
+//!
+//! * [`schema`] — rows, identifier packing, locality mapping, scale.
+//! * [`ops`] — the five transactions as deterministic [`Application`] ops.
+//! * [`load`] — initial database population.
+//! * [`workload`] — the closed-loop terminal driver.
+//!
+//! [`Application`]: dynastar_core::Application
+
+pub mod load;
+pub mod ops;
+pub mod schema;
+pub mod workload;
+
+pub use load::{keys, rows};
+pub use ops::{LineRequest, Tpcc, TpccOp, TpccReply};
+pub use schema::{TpccScale, TpccValue, DISTRICTS_PER_WAREHOUSE};
+pub use workload::{order_tracker, OrderTracker, TpccWorkload, STANDARD_MIX};

@@ -1,0 +1,333 @@
+//! The closed-loop TPC-C terminal driver.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use dynastar_core::{Command, CommandKind, Workload};
+use dynastar_runtime::SimTime;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use super::ops::{LineRequest, Tpcc, TpccOp, TpccReply};
+use super::schema::{TpccScale, DISTRICTS_PER_WAREHOUSE};
+
+/// Shared knowledge of undelivered orders per (warehouse, district),
+/// maintained from NEW-ORDER completions so DELIVERY transactions can
+/// declare the customer they will credit.
+pub type OrderTracker = Arc<Mutex<HashMap<(u32, u32), VecDeque<(u32, u32)>>>>;
+
+/// Creates an empty order tracker shared between terminals.
+pub fn order_tracker() -> OrderTracker {
+    Arc::new(Mutex::new(HashMap::new()))
+}
+
+/// Standard transaction mix in percent (NEW-ORDER, PAYMENT, ORDER-STATUS,
+/// DELIVERY, STOCK-LEVEL).
+pub const STANDARD_MIX: [u32; 5] = [45, 43, 4, 4, 4];
+
+/// TPC-C's non-uniform random distribution (clause 2.1.6): hot-spots a
+/// subset of customers/items the way real order books do. `a` is 1023 for
+/// customers and 8191 for items in the spec.
+pub fn nurand(rng: &mut StdRng, a: u64, x: u64, y: u64) -> u64 {
+    // The spec's constant C; any fixed value is permitted per run.
+    let c = a / 2;
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// A TPC-C terminal bound to a home warehouse, issuing the standard mix.
+pub struct TpccWorkload {
+    scale: TpccScale,
+    home_w: u32,
+    tracker: OrderTracker,
+    mix: [u32; 5],
+    /// Percent of order lines supplied by a remote warehouse (spec: 1%).
+    pub remote_line_pct: u32,
+    /// Percent of payments by a remote customer (spec: 15%).
+    pub remote_payment_pct: u32,
+    remaining: Option<u64>,
+}
+
+impl TpccWorkload {
+    /// Creates a terminal for `home_w` at `scale`, sharing `tracker` with
+    /// the other terminals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home_w` is out of range.
+    pub fn new(scale: TpccScale, home_w: u32, tracker: OrderTracker) -> Self {
+        assert!(home_w < scale.warehouses, "warehouse {home_w} out of range");
+        TpccWorkload {
+            scale,
+            home_w,
+            tracker,
+            mix: STANDARD_MIX,
+            remote_line_pct: 1,
+            remote_payment_pct: 15,
+            remaining: None,
+        }
+    }
+
+    /// Caps the number of transactions issued.
+    pub fn with_budget(mut self, commands: u64) -> Self {
+        self.remaining = Some(commands);
+        self
+    }
+
+    /// Overrides the transaction mix (percent, must sum to 100).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mix does not sum to 100.
+    pub fn with_mix(mut self, mix: [u32; 5]) -> Self {
+        assert_eq!(mix.iter().sum::<u32>(), 100, "mix must sum to 100");
+        self.mix = mix;
+        self
+    }
+
+    fn other_warehouse(&self, rng: &mut StdRng) -> u32 {
+        if self.scale.warehouses == 1 {
+            return self.home_w;
+        }
+        loop {
+            let w = rng.gen_range(0..self.scale.warehouses);
+            if w != self.home_w {
+                return w;
+            }
+        }
+    }
+
+    fn pick_customer(&self, rng: &mut StdRng) -> u32 {
+        nurand(rng, 1023, 0, self.scale.customers_per_district as u64 - 1) as u32
+    }
+
+    fn pick_item(&self, rng: &mut StdRng) -> u32 {
+        nurand(rng, 8191, 0, self.scale.items as u64 - 1) as u32
+    }
+
+    fn new_order(&self, rng: &mut StdRng) -> TpccOp {
+        let d = rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
+        let c = self.pick_customer(rng);
+        let n_lines = rng.gen_range(5..=15);
+        let lines = (0..n_lines)
+            .map(|_| {
+                let supply_w = if rng.gen_range(0..100) < self.remote_line_pct {
+                    self.other_warehouse(rng)
+                } else {
+                    self.home_w
+                };
+                LineRequest { item: self.pick_item(rng), supply_w, qty: rng.gen_range(1..=10) }
+            })
+            .collect();
+        TpccOp::NewOrder { w: self.home_w, d, c, lines }
+    }
+
+    fn payment(&self, rng: &mut StdRng) -> TpccOp {
+        let d = rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
+        let (c_w, c_d) = if rng.gen_range(0..100) < self.remote_payment_pct {
+            (self.other_warehouse(rng), rng.gen_range(0..DISTRICTS_PER_WAREHOUSE))
+        } else {
+            (self.home_w, d)
+        };
+        TpccOp::Payment {
+            w: self.home_w,
+            d,
+            c_w,
+            c_d,
+            c: self.pick_customer(rng),
+            amount_cents: rng.gen_range(100..=500_000),
+        }
+    }
+
+    fn order_status(&self, rng: &mut StdRng) -> TpccOp {
+        TpccOp::OrderStatus {
+            w: self.home_w,
+            d: rng.gen_range(0..DISTRICTS_PER_WAREHOUSE),
+            c: self.pick_customer(rng),
+        }
+    }
+
+    fn delivery(&self, rng: &mut StdRng) -> TpccOp {
+        // Deliver the oldest tracked order of some district, if any.
+        let mut tracker = self.tracker.lock().unwrap();
+        for d in 0..DISTRICTS_PER_WAREHOUSE {
+            if let Some(q) = tracker.get_mut(&(self.home_w, d)) {
+                if let Some((_, customer)) = q.pop_front() {
+                    return TpccOp::Delivery {
+                        w: self.home_w,
+                        d,
+                        carrier: rng.gen_range(1..=10),
+                        expected_customer: customer,
+                    };
+                }
+            }
+        }
+        drop(tracker);
+        // Nothing to deliver yet: read something instead.
+        self.order_status(rng)
+    }
+
+    fn stock_level(&self, rng: &mut StdRng) -> TpccOp {
+        let items = (0..10).map(|_| self.pick_item(rng)).collect();
+        TpccOp::StockLevel {
+            w: self.home_w,
+            d: rng.gen_range(0..DISTRICTS_PER_WAREHOUSE),
+            items,
+            threshold: rng.gen_range(10..=100),
+        }
+    }
+}
+
+impl Workload<Tpcc> for TpccWorkload {
+    fn next_command(&mut self, _now: SimTime, rng: &mut StdRng) -> Option<CommandKind<Tpcc>> {
+        if let Some(rem) = self.remaining.as_mut() {
+            if *rem == 0 {
+                return None;
+            }
+            *rem -= 1;
+        }
+        let roll = rng.gen_range(0..100u32);
+        let mut acc = 0;
+        let op = if {
+            acc += self.mix[0];
+            roll < acc
+        } {
+            self.new_order(rng)
+        } else if {
+            acc += self.mix[1];
+            roll < acc
+        } {
+            self.payment(rng)
+        } else if {
+            acc += self.mix[2];
+            roll < acc
+        } {
+            self.order_status(rng)
+        } else if {
+            acc += self.mix[3];
+            roll < acc
+        } {
+            self.delivery(rng)
+        } else {
+            self.stock_level(rng)
+        };
+        let vars = op.vars();
+        Some(CommandKind::Access { op, vars })
+    }
+
+    fn on_completed(&mut self, _now: SimTime, cmd: &Command<Tpcc>, reply: Option<&TpccReply>) {
+        // Track fresh orders so deliveries can name their customer.
+        if let (
+            CommandKind::Access { op: TpccOp::NewOrder { w, d, c, .. }, .. },
+            Some(TpccReply::OrderPlaced { order_id, .. }),
+        ) = (&cmd.kind, reply)
+        {
+            self.tracker
+                .lock()
+                .unwrap()
+                .entry((*w, *d))
+                .or_default()
+                .push_back((*order_id, *c));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn scale() -> TpccScale {
+        TpccScale { warehouses: 4, customers_per_district: 10, items: 50 }
+    }
+
+    #[test]
+    fn mix_roughly_matches_standard() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut w = TpccWorkload::new(scale(), 0, order_tracker()).with_budget(2000);
+        let mut counts = [0u32; 5];
+        while let Some(CommandKind::Access { op, .. }) = w.next_command(SimTime::ZERO, &mut rng) {
+            let idx = match op {
+                TpccOp::NewOrder { .. } => 0,
+                TpccOp::Payment { .. } => 1,
+                TpccOp::OrderStatus { .. } => 2,
+                TpccOp::Delivery { .. } => 3,
+                TpccOp::StockLevel { .. } => 4,
+            };
+            counts[idx] += 1;
+        }
+        assert!((800..1000).contains(&counts[0]), "new-order {}", counts[0]);
+        assert!((760..960).contains(&counts[1]), "payment {}", counts[1]);
+        // With an empty tracker deliveries fall back to order-status.
+        assert!(counts[2] >= 60, "order-status {}", counts[2]);
+        assert!(counts[4] >= 40, "stock-level {}", counts[4]);
+    }
+
+    #[test]
+    fn delivery_uses_tracked_orders() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let tracker = order_tracker();
+        tracker.lock().unwrap().entry((0, 3)).or_default().push_back((17, 4));
+        let w = TpccWorkload::new(scale(), 0, tracker);
+        let op = w.delivery(&mut rng);
+        assert_eq!(
+            op,
+            TpccOp::Delivery { w: 0, d: 3, carrier: match op { TpccOp::Delivery { carrier, .. } => carrier, _ => 0 }, expected_customer: 4 }
+        );
+    }
+
+    #[test]
+    fn completion_tracks_new_orders() {
+        use dynastar_amcast::MsgId;
+        use dynastar_runtime::NodeId;
+        let tracker = order_tracker();
+        let mut w = TpccWorkload::new(scale(), 0, Arc::clone(&tracker));
+        let op = TpccOp::NewOrder { w: 0, d: 2, c: 5, lines: Vec::new() };
+        let cmd = Command::<Tpcc> {
+            id: MsgId::new(1, 0),
+            client: NodeId::from_raw(0),
+            kind: CommandKind::Access { vars: op.vars(), op },
+        };
+        w.on_completed(SimTime::ZERO, &cmd, Some(&TpccReply::OrderPlaced { order_id: 9, total_cents: 1 }));
+        assert_eq!(tracker.lock().unwrap()[&(0, 2)], VecDeque::from([(9, 5)]));
+    }
+
+    #[test]
+    fn nurand_stays_in_range_and_is_nonuniform() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            let v = nurand(&mut rng, 1023, 0, 99);
+            assert!(v < 100);
+            counts[v as usize] += 1;
+        }
+        // Non-uniform: the most-hit value should far exceed the uniform
+        // expectation of 200.
+        let max = counts.iter().max().copied().unwrap();
+        assert!(max > 320, "max bucket {max} looks uniform");
+    }
+
+    #[test]
+    fn remote_lines_respect_percentage() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut w = TpccWorkload::new(scale(), 0, order_tracker()).with_mix([100, 0, 0, 0, 0]);
+        w.remote_line_pct = 50;
+        let mut remote = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            if let Some(CommandKind::Access { op: TpccOp::NewOrder { lines, .. }, .. }) =
+                w.next_command(SimTime::ZERO, &mut rng)
+            {
+                for l in lines {
+                    total += 1;
+                    if l.supply_w != 0 {
+                        remote += 1;
+                    }
+                }
+            }
+        }
+        let frac = remote as f64 / total as f64;
+        assert!((0.4..0.6).contains(&frac), "remote fraction {frac}");
+    }
+}

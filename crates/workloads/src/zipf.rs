@@ -1,0 +1,160 @@
+//! Zipfian sampling.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipfian distribution over `{0, …, n-1}` with skew `theta`, sampled in
+/// O(1) using the Gray et al. method (the same YCSB uses).
+///
+/// Rank 0 is the most popular element. The paper's social-network
+/// experiments use ρ = 0.95.
+///
+/// # Example
+///
+/// ```
+/// use dynastar_workloads::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1000, 0.95);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = zipf.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `{0, …, n-1}` with skew `theta ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!((0.0..1.0).contains(&theta) && theta > 0.0, "theta must be in (0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n, Euler–Maclaurin approximation beyond.
+        const EXACT: u64 = 10_000;
+        let exact_n = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=exact_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > EXACT {
+            let a = EXACT as f64;
+            let b = n as f64;
+            sum += (b.powf(1.0 - theta) - a.powf(1.0 - theta)) / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// The domain size.
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws a rank in `{0, …, n-1}` (0 = most popular).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    /// Unused accessor kept for completeness of the distribution's
+    /// parameters (`ζ(2, θ)`).
+    #[doc(hidden)]
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(100, 0.95);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate() {
+        let z = Zipf::new(10_000, 0.95);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut top10 = 0;
+        const N: usize = 50_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With theta=0.95 over 10k elements, the top-10 should absorb a
+        // large minority of all draws (~39% analytically).
+        let frac = top10 as f64 / N as f64;
+        assert!(frac > 0.25, "top-10 fraction {frac}");
+    }
+
+    #[test]
+    fn lower_theta_is_less_skewed() {
+        let hot = Zipf::new(1000, 0.95);
+        let mild = Zipf::new(1000, 0.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let count_hot: usize =
+            (0..20_000).filter(|_| hot.sample(&mut rng) == 0).count();
+        let count_mild: usize =
+            (0..20_000).filter(|_| mild.sample(&mut rng) == 0).count();
+        assert!(count_hot > count_mild * 2, "hot={count_hot} mild={count_mild}");
+    }
+
+    #[test]
+    fn big_domain_uses_approximate_zeta() {
+        let z = Zipf::new(10_000_000, 0.95);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10_000_000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_domain_rejected() {
+        let _ = Zipf::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn bad_theta_rejected() {
+        let _ = Zipf::new(10, 1.5);
+    }
+}

@@ -1,0 +1,88 @@
+//! Chirper demo: the paper's social-network service end to end.
+//!
+//! Builds a power-law follow graph, deploys it over 4 partitions with a
+//! random initial placement, runs a mixed timeline/post workload, and
+//! shows DynaStar repartitioning colocating users with their followers.
+//!
+//! Run with: `cargo run --release --example chirper_demo`
+
+use std::sync::{Arc, Mutex};
+
+use dynastar::core::metric_names as mn;
+use dynastar::core::{ClusterBuilder, ClusterConfig, Mode};
+use dynastar::runtime::SimDuration;
+use dynastar::workloads::chirper::{Chirper, ChirperMix, ChirperUser, ChirperWorkload};
+use dynastar::workloads::placement;
+use dynastar::workloads::socialgraph::SocialGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    const USERS: usize = 1_000;
+    const PARTITIONS: u32 = 4;
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let graph = SocialGraph::barabasi_albert(USERS, 6, &mut rng);
+    let celebrity = graph.most_followed().unwrap();
+    println!(
+        "social graph: {} users, {} follow edges; most followed user {} has {} followers",
+        graph.users(),
+        graph.edges(),
+        celebrity,
+        graph.followers_of(celebrity).len()
+    );
+
+    let config = ClusterConfig {
+        partitions: PARTITIONS,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed: 7,
+        repartition_threshold: 2_000,
+        warm_client_caches: true,
+        ..ClusterConfig::default()
+    };
+    let mut builder = ClusterBuilder::new(config);
+    let keys = (0..USERS as u64).map(Chirper::key);
+    for (k, p) in placement::random(keys, PARTITIONS, &mut rng) {
+        builder.place(k, p);
+    }
+    builder.with_vars((0..USERS as u64).map(|u| {
+        let user = ChirperUser {
+            timeline: Default::default(),
+            follows: graph.follows_of(u).to_vec(),
+            followers: graph.followers_of(u).to_vec(),
+        };
+        (Chirper::var(u), std::sync::Arc::new(user))
+    }));
+    let mut cluster = builder.build();
+
+    let shared = Arc::new(Mutex::new(graph));
+    for _ in 0..8 {
+        cluster.add_client(
+            ChirperWorkload::new(Arc::clone(&shared), 0.95, ChirperMix::MIX).with_budget(400),
+        );
+    }
+
+    println!("running 8 clients x 400 commands (85% timeline / 15% post), random placement...");
+    // Report in 3 windows so the repartitioning effect is visible.
+    for window in 0..3 {
+        cluster.run_for(SimDuration::from_secs(20));
+        let m = cluster.metrics();
+        let multi = m.counter(mn::CMD_MULTI);
+        let single = m.counter(mn::CMD_SINGLE);
+        println!(
+            "t={:>3}s  completed={}  %multi-partition={:.1}%  plans={}  objects moved={}",
+            (window + 1) * 20,
+            m.counter(mn::CMD_COMPLETED),
+            100.0 * multi as f64 / (multi + single).max(1) as f64,
+            m.counter(mn::PLANS_PUBLISHED),
+            m.counter(mn::OBJECTS_EXCHANGED),
+        );
+    }
+    let m = cluster.metrics();
+    assert_eq!(m.counter(mn::CMD_COMPLETED), 8 * 400);
+    if let Some(h) = m.histogram(mn::CMD_LATENCY) {
+        println!("latency: mean {}  p95 {}", h.mean(), h.quantile(0.95));
+    }
+    println!("done: repartitioning colocated users with their followers, cutting multi-partition posts.");
+}

@@ -1,0 +1,27 @@
+//! # DynaStar
+//!
+//! A Rust reproduction of *"DynaStar: Optimized Dynamic Partitioning for
+//! Scalable State Machine Replication"* (Le, Fynn, Eslahi-Kelorazi, Soulé,
+//! Pedone — ICDCS 2019).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`runtime`] — deterministic discrete-event simulation substrate
+//! * [`paxos`] — Multi-Paxos consensus per replica group
+//! * [`amcast`] — genuine atomic multicast over Paxos groups
+//! * [`partitioner`] — multilevel k-way graph partitioning (METIS substitute)
+//! * [`core`] — the DynaStar protocol (oracle, servers, clients) and the
+//!   S-SMR / DS-SMR baselines
+//! * [`workloads`] — TPC-C, the Chirper social network, graph and Zipf
+//!   generators, and closed-loop client drivers
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory; the `examples/` directory contains runnable end-to-end
+//! scenarios.
+
+pub use dynastar_amcast as amcast;
+pub use dynastar_core as core;
+pub use dynastar_partitioner as partitioner;
+pub use dynastar_paxos as paxos;
+pub use dynastar_runtime as runtime;
+pub use dynastar_workloads as workloads;

@@ -1,0 +1,161 @@
+//! Cross-crate integration: the paper's two benchmarks running on a full
+//! simulated DynaStar deployment (clients → amcast → Paxos → servers).
+
+use std::sync::{Arc, Mutex};
+
+use dynastar::core::metric_names as mn;
+use dynastar::core::{Cluster, ClusterBuilder, ClusterConfig, Mode, PartitionId};
+use dynastar::runtime::SimDuration;
+use dynastar::workloads::chirper::{Chirper, ChirperMix, ChirperWorkload};
+use dynastar::workloads::socialgraph::SocialGraph;
+use dynastar::workloads::tpcc::{self, Tpcc, TpccScale, TpccWorkload};
+use dynastar::workloads::placement;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tpcc_cluster(mode: Mode, partitions: u32, scale: &TpccScale, seed: u64) -> Cluster<Tpcc> {
+    let config = ClusterConfig {
+        partitions,
+        replicas: 2,
+        mode,
+        seed,
+        repartition_threshold: 400,
+        min_plan_interval: dynastar::runtime::SimDuration::from_secs(2),
+        warm_client_caches: true,
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    // Align districts/warehouses with partitions (warehouse i → partition
+    // i % k), the natural TPC-C placement.
+    for key in tpcc::keys(scale) {
+        // warehouse_key(w) or district_key(w, d): recover w.
+        let w = if key.0 >= (1 << 40) {
+            (key.0 - (1 << 40)) as u32
+        } else {
+            (key.0 / tpcc::DISTRICTS_PER_WAREHOUSE as u64) as u32
+        };
+        b.place(key, PartitionId(w % partitions));
+    }
+    b.with_vars(tpcc::rows(scale));
+    b.build()
+}
+
+#[test]
+fn tpcc_runs_on_dynastar() {
+    let scale = TpccScale { warehouses: 2, customers_per_district: 10, items: 40 };
+    let mut cluster = tpcc_cluster(Mode::Dynastar, 2, &scale, 1);
+    let tracker = tpcc::order_tracker();
+    for w in 0..2 {
+        cluster.add_client(
+            TpccWorkload::new(scale, w, Arc::clone(&tracker)).with_budget(60),
+        );
+    }
+    cluster.run_for(SimDuration::from_secs(120));
+    let done = cluster.metrics().counter(mn::CMD_COMPLETED);
+    assert_eq!(done, 120, "only {done}/120 transactions completed");
+    // The mix has multi-partition transactions (remote payments/lines).
+    assert!(cluster.metrics().counter(mn::CMD_SINGLE) > 0);
+}
+
+#[test]
+fn tpcc_runs_on_ssmr() {
+    let scale = TpccScale { warehouses: 2, customers_per_district: 10, items: 40 };
+    let mut cluster = tpcc_cluster(Mode::SSmr, 2, &scale, 2);
+    let tracker = tpcc::order_tracker();
+    for w in 0..2 {
+        cluster.add_client(
+            TpccWorkload::new(scale, w, Arc::clone(&tracker)).with_budget(40),
+        );
+    }
+    cluster.run_for(SimDuration::from_secs(120));
+    let done = cluster.metrics().counter(mn::CMD_COMPLETED);
+    assert_eq!(done, 80, "only {done}/80 transactions completed");
+}
+
+fn chirper_cluster(
+    mode: Mode,
+    partitions: u32,
+    graph: &SocialGraph,
+    optimized: bool,
+    seed: u64,
+) -> Cluster<Chirper> {
+    let config = ClusterConfig {
+        partitions,
+        replicas: 2,
+        mode,
+        seed,
+        repartition_threshold: 500,
+        min_plan_interval: dynastar::runtime::SimDuration::from_secs(2),
+        warm_client_caches: true,
+        ..ClusterConfig::default()
+    };
+    let keys = (0..graph.users() as u64).map(Chirper::key);
+    let map = if optimized {
+        placement::optimized(
+            keys,
+            graph.coaccess_edges().map(|(a, b)| (Chirper::key(a), Chirper::key(b), 1)),
+            partitions,
+            seed,
+        )
+    } else {
+        let mut rng = StdRng::seed_from_u64(seed);
+        placement::random(keys, partitions, &mut rng)
+    };
+    let mut b = ClusterBuilder::new(config);
+    for (k, p) in map {
+        b.place(k, p);
+    }
+    b.with_vars((0..graph.users() as u64).map(|u| {
+        let mut user = dynastar::workloads::chirper::ChirperUser::default();
+        user.follows = graph.follows_of(u).to_vec();
+        user.followers = graph.followers_of(u).to_vec();
+        (Chirper::var(u), std::sync::Arc::new(user))
+    }));
+    b.build()
+}
+
+#[test]
+fn chirper_mix_runs_on_dynastar() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let graph = SocialGraph::barabasi_albert(120, 3, &mut rng);
+    let shared = Arc::new(Mutex::new(graph.clone()));
+    let mut cluster = chirper_cluster(Mode::Dynastar, 2, &graph, false, 3);
+    for _ in 0..3 {
+        cluster.add_client(
+            ChirperWorkload::new(Arc::clone(&shared), 0.95, ChirperMix::MIX).with_budget(50),
+        );
+    }
+    cluster.run_for(SimDuration::from_secs(120));
+    let done = cluster.metrics().counter(mn::CMD_COMPLETED);
+    assert_eq!(done, 150, "only {done}/150 commands completed");
+    // Posts with remote followers are multi-partition under random placement.
+    assert!(cluster.metrics().counter(mn::CMD_MULTI) > 0);
+}
+
+#[test]
+fn chirper_timeline_only_is_single_partition() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let graph = SocialGraph::barabasi_albert(80, 3, &mut rng);
+    let shared = Arc::new(Mutex::new(graph.clone()));
+    let mut cluster = chirper_cluster(Mode::Dynastar, 2, &graph, false, 4);
+    cluster.add_client(
+        ChirperWorkload::new(shared, 0.95, ChirperMix::TIMELINE_ONLY).with_budget(80),
+    );
+    cluster.run_for(SimDuration::from_secs(60));
+    assert_eq!(cluster.metrics().counter(mn::CMD_COMPLETED), 80);
+    assert_eq!(cluster.metrics().counter(mn::CMD_MULTI), 0);
+    assert_eq!(cluster.metrics().counter(mn::OBJECTS_EXCHANGED), 0);
+}
+
+#[test]
+fn chirper_on_ssmr_star_with_optimized_placement() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let graph = SocialGraph::barabasi_albert(120, 3, &mut rng);
+    let shared = Arc::new(Mutex::new(graph.clone()));
+    let mut cluster = chirper_cluster(Mode::SSmr, 2, &graph, true, 5);
+    cluster.add_client(
+        ChirperWorkload::new(shared, 0.95, ChirperMix::MIX).with_budget(80),
+    );
+    cluster.run_for(SimDuration::from_secs(120));
+    assert_eq!(cluster.metrics().counter(mn::CMD_COMPLETED), 80);
+}
