@@ -45,7 +45,7 @@ impl Workload<Counters> for Load {
         self.remaining -= 1;
         let a = rng.gen_range(0..self.vars);
         let mut vars = vec![VarId(a)];
-        if rng.gen_range(0..100) < self.multi_pct {
+        if rng.gen_range(0..100u32) < self.multi_pct {
             let b = (a + 1 + rng.gen_range(0..self.vars - 1)) % self.vars;
             vars.push(VarId(b));
         }

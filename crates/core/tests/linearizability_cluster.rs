@@ -80,7 +80,7 @@ impl Workload<Counters> for Recorder {
         self.issued_at = now;
         let a = rng.gen_range(0..self.vars);
         let mut vars = vec![VarId(a)];
-        if rng.gen_range(0..100) < self.multi_pct {
+        if rng.gen_range(0..100u32) < self.multi_pct {
             let b = rng.gen_range(0..self.vars);
             if b != a {
                 vars.push(VarId(b));

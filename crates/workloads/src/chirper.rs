@@ -311,7 +311,7 @@ impl Workload<Chirper> for ChirperWorkload {
         if roll < mix.timeline + mix.post {
             // Celebrity redirection for the dynamic experiment.
             let author = match self.celebrity {
-                Some((celeb, pct)) if celebrity_active && rng.gen_range(0..100) < pct => celeb,
+                Some((celeb, pct)) if celebrity_active && rng.gen_range(0..100u32) < pct => celeb,
                 _ => user,
             };
             let graph = self.graph.lock().unwrap();
@@ -327,7 +327,7 @@ impl Workload<Chirper> for ChirperWorkload {
         if roll < mix.timeline + mix.post + mix.follow {
             let mut graph = self.graph.lock().unwrap();
             let followee = match self.celebrity {
-                Some((celeb, pct)) if celebrity_active && rng.gen_range(0..100) < pct => celeb,
+                Some((celeb, pct)) if celebrity_active && rng.gen_range(0..100u32) < pct => celeb,
                 _ => {
                     let mut f = self.pick_user(rng);
                     if f == user {

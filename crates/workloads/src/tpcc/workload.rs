@@ -112,7 +112,7 @@ impl TpccWorkload {
         let n_lines = rng.gen_range(5..=15);
         let lines = (0..n_lines)
             .map(|_| {
-                let supply_w = if rng.gen_range(0..100) < self.remote_line_pct {
+                let supply_w = if rng.gen_range(0..100u32) < self.remote_line_pct {
                     self.other_warehouse(rng)
                 } else {
                     self.home_w
@@ -125,7 +125,7 @@ impl TpccWorkload {
 
     fn payment(&self, rng: &mut StdRng) -> TpccOp {
         let d = rng.gen_range(0..DISTRICTS_PER_WAREHOUSE);
-        let (c_w, c_d) = if rng.gen_range(0..100) < self.remote_payment_pct {
+        let (c_w, c_d) = if rng.gen_range(0..100u32) < self.remote_payment_pct {
             (self.other_warehouse(rng), rng.gen_range(0..DISTRICTS_PER_WAREHOUSE))
         } else {
             (self.home_w, d)

@@ -1,0 +1,15 @@
+//! Offline stand-in for `crossbeam`. Only the `channel` module's unbounded
+//! MPSC subset is provided, backed by `std::sync::mpsc` (which, since Rust
+//! 1.72, *is* a crossbeam-derived implementation — `Sender` is `Sync` and
+//! performance is comparable for the unbounded case the workspace uses).
+
+pub mod channel {
+    //! Unbounded channels with crossbeam's naming.
+
+    pub use std::sync::mpsc::{Receiver, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}

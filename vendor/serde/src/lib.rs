@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on wire and metric
+//! types for forward compatibility but never serializes through serde at
+//! runtime (reports are hand-rendered). This stub keeps those derives
+//! compiling without network access: the traits are empty markers and the
+//! derive macros (in the sibling `serde_derive` stub) expand to nothing.
+
+/// Marker for serializable types. No methods; see crate docs.
+pub trait Serialize {}
+
+/// Marker for deserializable types. No methods; see crate docs.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

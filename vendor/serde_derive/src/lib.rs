@@ -1,0 +1,16 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stub: the derives must parse so annotated types compile,
+//! but nothing in the workspace serializes through serde, so they expand
+//! to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
