@@ -57,5 +57,5 @@
 mod member;
 mod types;
 
-pub use member::{McastMember, McastOutput};
+pub use member::{McastMember, McastOutput, MemberSnapshot};
 pub use types::{Delivery, GroupId, LogEntry, McastWire, MemberId, MsgId, Topology};

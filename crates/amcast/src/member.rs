@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use dynastar_paxos::{GroupConfig, PaxosReplica};
+use dynastar_paxos::{Ballot, GroupConfig, PaxosReplica, RecoveryReport};
 use dynastar_runtime::dedup::RotatingSet;
 
 use crate::types::{Delivery, GroupId, LogEntry, McastWire, MemberId, MsgId, Topology};
@@ -42,7 +42,85 @@ struct Pending<V> {
 
 impl<V> Pending<V> {
     fn empty() -> Self {
-        Pending { payload: None, dests: Vec::new(), local_ts: None, remote: BTreeMap::new(), final_ts: None }
+        Pending {
+            payload: None,
+            dests: Vec::new(),
+            local_ts: None,
+            remote: BTreeMap::new(),
+            final_ts: None,
+        }
+    }
+}
+
+impl<V: Clone> Clone for Pending<V> {
+    fn clone(&self) -> Self {
+        Pending {
+            payload: self.payload.clone(),
+            dests: self.dests.clone(),
+            local_ts: self.local_ts,
+            remote: self.remote.clone(),
+            final_ts: self.final_ts,
+        }
+    }
+}
+
+/// One live replica's exported state, answering a crashed peer's recovery
+/// request.
+///
+/// Combines the consensus-level [`RecoveryReport`] (needed from a *quorum*
+/// of peers for Paxos safety) with a full copy of the reporter's multicast
+/// bookkeeping at its log frontier (needed from the single most advanced
+/// reporter, as the application snapshot). Multicast bookkeeping is
+/// deterministic from the log, so any replica's copy at frontier `F` equals
+/// what the crashed replica would have had at `F`.
+#[derive(Debug)]
+pub struct MemberSnapshot<V> {
+    report: RecoveryReport<LogEntry<V>>,
+    clock: u64,
+    pending: BTreeMap<MsgId, Pending<V>>,
+    assigned: RotatingSet<MsgId>,
+    remote_seen: RotatingSet<(MsgId, GroupId)>,
+    seen_submits: BTreeMap<MsgId, (Vec<GroupId>, V)>,
+    seen_remote_ts: BTreeMap<(MsgId, GroupId), u64>,
+    ts_out: BTreeMap<(MsgId, GroupId), (u64, u64)>,
+    delivered_payloads: BTreeMap<MsgId, (Vec<GroupId>, V)>,
+    ticks: u64,
+    delivered_count: u64,
+}
+
+impl<V> MemberSnapshot<V> {
+    /// The snapshot's log frontier (first slot not known decided).
+    pub fn frontier(&self) -> dynastar_paxos::Slot {
+        self.report.frontier
+    }
+
+    /// Rough size of the snapshot in transferred elements (log entries +
+    /// bookkeeping rows), for transfer accounting.
+    pub fn approx_elements(&self) -> u64 {
+        (self.report.accepted.len()
+            + self.pending.len()
+            + self.seen_submits.len()
+            + self.seen_remote_ts.len()
+            + self.ts_out.len()
+            + self.delivered_payloads.len()) as u64
+    }
+}
+
+impl<V: Clone> Clone for MemberSnapshot<V> {
+    fn clone(&self) -> Self {
+        MemberSnapshot {
+            report: self.report.clone(),
+            clock: self.clock,
+            pending: self.pending.clone(),
+            assigned: self.assigned.clone(),
+            remote_seen: self.remote_seen.clone(),
+            seen_submits: self.seen_submits.clone(),
+            seen_remote_ts: self.seen_remote_ts.clone(),
+            ts_out: self.ts_out.clone(),
+            delivered_payloads: self.delivered_payloads.clone(),
+            ticks: self.ticks,
+            delivered_count: self.delivered_count,
+        }
     }
 }
 
@@ -151,6 +229,104 @@ impl<V: Clone> McastMember<V> {
         self.clock
     }
 
+    /// The highest consensus ballot this member has promised. Persist it to
+    /// stable storage whenever it grows: it is the only state that must
+    /// survive a crash (see [`McastMember::recover`]).
+    pub fn promised(&self) -> Ballot {
+        self.paxos.promised()
+    }
+
+    /// True when this member has fallen behind its group's decided log by
+    /// more than the retention window; slot catch-up can no longer close
+    /// the gap and the hosting process should run the same state-transfer
+    /// path as a restarted replica (see [`McastMember::recover`]).
+    pub fn needs_state_transfer(&self) -> bool {
+        self.paxos.needs_state_transfer()
+    }
+
+    /// Exports this member's state for a recovering peer of its group.
+    pub fn snapshot(&self) -> MemberSnapshot<V> {
+        MemberSnapshot {
+            report: self.paxos.recovery_report(),
+            clock: self.clock,
+            pending: self.pending.clone(),
+            assigned: self.assigned.clone(),
+            remote_seen: self.remote_seen.clone(),
+            seen_submits: self.seen_submits.clone(),
+            seen_remote_ts: self.seen_remote_ts.clone(),
+            ts_out: self.ts_out.clone(),
+            delivered_payloads: self.delivered_payloads.clone(),
+            ticks: self.ticks,
+            delivered_count: self.delivered_count,
+        }
+    }
+
+    /// Rebuilds member `me` from a quorum of peer [`MemberSnapshot`]s after
+    /// a crash (or after falling irrecoverably far behind).
+    ///
+    /// Consensus state merges *all* reports (Paxos safety requires a quorum
+    /// — see [`RecoveryReport`]); multicast bookkeeping installs from the
+    /// single most advanced snapshot, whose frontier the rebuilt log is
+    /// fast-forwarded to. `promised_floor` is the promised ballot read back
+    /// from this replica's own stable storage.
+    ///
+    /// Returns the member, the output of applying any log entries decided
+    /// above the installed frontier — the caller must process its
+    /// deliveries exactly like live traffic — and the index (into
+    /// `snapshots`) of the bookkeeping donor, so callers shipping extra
+    /// state alongside each snapshot can install the matching pieces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `cfg.quorum()` snapshots are supplied, or the
+    /// address/config don't match the topology.
+    pub fn recover(
+        me: MemberId,
+        topo: Topology,
+        cfg: GroupConfig,
+        promised_floor: Ballot,
+        snapshots: &[MemberSnapshot<V>],
+    ) -> (Self, McastOutput<V>, usize) {
+        assert!(
+            (me.group.0 as usize) < topo.group_count() && me.index < topo.size_of(me.group),
+            "member {me} is not part of the topology"
+        );
+        assert_eq!(cfg.size, topo.size_of(me.group), "group config size mismatch");
+        let reports: Vec<RecoveryReport<LogEntry<V>>> =
+            snapshots.iter().map(|s| s.report.clone()).collect();
+        let (paxos, pout) = PaxosReplica::recover_from(me.index, cfg, promised_floor, &reports);
+        let (donor_idx, donor) = snapshots
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.report.frontier)
+            .expect("recover_from enforces a non-empty quorum");
+        let mut member = McastMember {
+            me,
+            topo,
+            paxos,
+            clock: donor.clock,
+            pending: donor.pending.clone(),
+            assigned: donor.assigned.clone(),
+            remote_seen: donor.remote_seen.clone(),
+            seen_submits: donor.seen_submits.clone(),
+            seen_remote_ts: donor.seen_remote_ts.clone(),
+            proposed_assign: BTreeMap::new(),
+            proposed_remote: BTreeMap::new(),
+            ts_out: donor.ts_out.clone(),
+            delivered_payloads: donor.delivered_payloads.clone(),
+            ticks: donor.ticks,
+            delivered_count: donor.delivered_count,
+        };
+        let mut out = McastOutput::new();
+        for (_slot, entry) in pout.decided {
+            member.apply(entry, &mut out);
+        }
+        out.outgoing.extend(pout.outgoing.into_iter().map(|(to_index, msg)| {
+            (MemberId::new(me.group, to_index), McastWire::Paxos { from_index: me.index, msg })
+        }));
+        (member, out, donor_idx)
+    }
+
     /// Atomically multicasts `payload` to `dests` from this member.
     ///
     /// The id must be globally unique (or deterministically equal across
@@ -184,7 +360,13 @@ impl<V: Clone> McastMember<V> {
     }
 
     /// Records a submit addressed to our group and proposes it if leading.
-    fn note_submit(&mut self, mid: MsgId, dests: Vec<GroupId>, payload: V, out: &mut McastOutput<V>) {
+    fn note_submit(
+        &mut self,
+        mid: MsgId,
+        dests: Vec<GroupId>,
+        payload: V,
+        out: &mut McastOutput<V>,
+    ) {
         if self.assigned.contains(&mid) {
             return;
         }
@@ -231,7 +413,11 @@ impl<V: Clone> McastMember<V> {
     }
 
     /// Routes a Paxos output's messages and applies its decided entries.
-    fn absorb_paxos(&mut self, pout: dynastar_paxos::Output<LogEntry<V>>, out: &mut McastOutput<V>) {
+    fn absorb_paxos(
+        &mut self,
+        pout: dynastar_paxos::Output<LogEntry<V>>,
+        out: &mut McastOutput<V>,
+    ) {
         for (to_index, msg) in pout.outgoing {
             out.outgoing.push((
                 MemberId::new(self.me.group, to_index),
@@ -325,11 +511,8 @@ impl<V: Clone> McastMember<V> {
                 .filter_map(|(&mid, p)| p.local_ts.map(|ts| (ts, mid)))
                 .min();
             // Smallest decided key.
-            let candidate: Option<(u64, MsgId)> = self
-                .pending
-                .iter()
-                .filter_map(|(&mid, p)| p.final_ts.map(|ts| (ts, mid)))
-                .min();
+            let candidate: Option<(u64, MsgId)> =
+                self.pending.iter().filter_map(|(&mid, p)| p.final_ts.map(|ts| (ts, mid))).min();
             let Some((fts, mid)) = candidate else { return };
             if let Some(blk) = blocker {
                 if blk < (fts, mid) {

@@ -50,11 +50,8 @@ fn amcast_run(n: u32, dest_groups: u32) -> u64 {
     let sender = MemberId::new(GroupId(0), 0);
     let dests: Vec<GroupId> = (0..dest_groups).map(GroupId).collect();
     for i in 0..n {
-        let out = members.get_mut(&sender).unwrap().submit(
-            MsgId::new(1, i),
-            dests.clone(),
-            i as u64,
-        );
+        let out =
+            members.get_mut(&sender).unwrap().submit(MsgId::new(1, i), dests.clone(), i as u64);
         queue.extend(out.outgoing);
         while let Some((to, wire)) = queue.pop_front() {
             let out = members.get_mut(&to).unwrap().on_message(wire);

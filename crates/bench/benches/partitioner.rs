@@ -16,7 +16,7 @@ fn power_law_graph(n: u32, seed: u64) -> dynastar_partitioner::Graph {
             let exp: f64 = rng.gen::<f64>();
             let u = ((v as f64) * exp * exp) as u32;
             if u != v {
-                b.add_edge(v, u.min(v - 1), 1 + rng.gen_range(0..4));
+                b.add_edge(v, u.min(v - 1), 1 + rng.gen_range(0..4u64));
             }
         }
     }

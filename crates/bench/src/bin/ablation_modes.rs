@@ -62,7 +62,9 @@ fn run(mode: Mode) -> Outcome {
 
 fn main() {
     println!("Ablation — replication schemes on the Chirper mix workload");
-    println!("({PARTITIONS} partitions, {CLIENTS} clients, measured after {WARMUP_SECS}s warm-up)\n");
+    println!(
+        "({PARTITIONS} partitions, {CLIENTS} clients, measured after {WARMUP_SECS}s warm-up)\n"
+    );
     let mut rows = Vec::new();
     for mode in [Mode::Dynastar, Mode::SSmr, Mode::DsSmr] {
         eprintln!("ablation: running {mode}...");

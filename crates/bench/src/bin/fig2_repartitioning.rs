@@ -70,12 +70,7 @@ fn main() {
             let mu = multi.get(t).copied().unwrap_or(0.0);
             let si = single.get(t).copied().unwrap_or(0.0);
             let pct = if mu + si > 0.0 { 100.0 * mu / (mu + si) } else { 0.0 };
-            vec![
-                format!("{t}"),
-                format!("{tp:.0}"),
-                format!("{ob:.0}"),
-                format!("{pct:.1}"),
-            ]
+            vec![format!("{t}"), format!("{tp:.0}"), format!("{ob:.0}"), format!("{pct:.1}")]
         })
         .collect();
     print_table(&["t(s)", "txn/s", "objects/s", "%multi-partition"], &rows);
@@ -83,5 +78,8 @@ fn main() {
     // Headline shape check mirrored in EXPERIMENTS.md: early vs late.
     let early: f64 = tput.iter().take(20).sum::<f64>() / 20.0;
     let late: f64 = tput.iter().skip(tput.len().saturating_sub(20)).sum::<f64>() / 20.0;
-    println!("\nmean txn/s first 20s: {early:.0}   last 20s: {late:.0}   speedup: {:.1}x", late / early.max(1.0));
+    println!(
+        "\nmean txn/s first 20s: {early:.0}   last 20s: {late:.0}   speedup: {:.1}x",
+        late / early.max(1.0)
+    );
 }

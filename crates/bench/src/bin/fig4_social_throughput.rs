@@ -47,7 +47,9 @@ fn run(partitions: u32, mode: Mode, mix: ChirperMix, clients: usize) -> Point {
 
 fn main() {
     println!("Figure 4 — Chirper throughput and latency vs partitions\n");
-    for (label, mix) in [("timeline-only", ChirperMix::TIMELINE_ONLY), ("mix 85/15", ChirperMix::MIX)] {
+    for (label, mix) in
+        [("timeline-only", ChirperMix::TIMELINE_ONLY), ("mix 85/15", ChirperMix::MIX)]
+    {
         println!("== workload: {label} ==");
         let mut rows = Vec::new();
         for &k in &[1u32, 2, 4] {
@@ -67,7 +69,13 @@ fn main() {
             ]);
         }
         print_table(
-            &["partitions", "DynaStar cps", "S-SMR* cps", "DynaStar ms avg/p95", "S-SMR* ms avg/p95"],
+            &[
+                "partitions",
+                "DynaStar cps",
+                "S-SMR* cps",
+                "DynaStar ms avg/p95",
+                "S-SMR* ms avg/p95",
+            ],
             &rows,
         );
         println!();

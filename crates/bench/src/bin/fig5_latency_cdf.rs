@@ -29,13 +29,7 @@ fn cdf(partitions: u32, mode: Mode) -> Vec<(f64, f64)> {
     cluster
         .metrics()
         .histogram(mn::CMD_LATENCY)
-        .map(|h| {
-            h.cdf()
-                .points()
-                .iter()
-                .map(|&(lat, f)| (lat.as_millis_f64(), f))
-                .collect()
-        })
+        .map(|h| h.cdf().points().iter().map(|&(lat, f)| (lat.as_millis_f64(), f)).collect())
         .unwrap_or_default()
 }
 
@@ -49,19 +43,21 @@ fn main() {
         println!("{:>10}  {:>8}   |  {:>10}  {:>8}", "DynaStar ms", "CDF", "S-SMR* ms", "CDF");
         let n = dynastar.len().max(ssmr.len());
         for i in 0..n {
-            let d = dynastar.get(i).map(|&(l, f)| format!("{l:>10.2}  {f:>8.3}")).unwrap_or_else(|| " ".repeat(20));
-            let s = ssmr.get(i).map(|&(l, f)| format!("{l:>10.2}  {f:>8.3}")).unwrap_or_else(|| " ".repeat(20));
+            let d = dynastar
+                .get(i)
+                .map(|&(l, f)| format!("{l:>10.2}  {f:>8.3}"))
+                .unwrap_or_else(|| " ".repeat(20));
+            let s = ssmr
+                .get(i)
+                .map(|&(l, f)| format!("{l:>10.2}  {f:>8.3}"))
+                .unwrap_or_else(|| " ".repeat(20));
             println!("{d}   |  {s}");
         }
         // The paper's headline comparison point: latency at the 80th pct.
         let pct80 = |cdf: &[(f64, f64)]| {
             cdf.iter().find(|&&(_, f)| f >= 0.8).map(|&(l, _)| l).unwrap_or(f64::NAN)
         };
-        println!(
-            "p80: DynaStar {:.2} ms vs S-SMR* {:.2} ms\n",
-            pct80(&dynastar),
-            pct80(&ssmr)
-        );
+        println!("p80: DynaStar {:.2} ms vs S-SMR* {:.2} ms\n", pct80(&dynastar), pct80(&ssmr));
     }
     println!("paper shape: S-SMR* lower latency for ~80% of the distribution.");
 }

@@ -57,9 +57,8 @@ fn run(mode: Mode) -> SeriesSet {
     }
     cluster.run_for(SimDuration::from_secs(RUN_SECS));
     let m = cluster.metrics();
-    let take = |name: &str| -> Vec<f64> {
-        m.series(name).map(|s| s.rates_per_sec()).unwrap_or_default()
-    };
+    let take =
+        |name: &str| -> Vec<f64> { m.series(name).map(|s| s.rates_per_sec()).unwrap_or_default() };
     let tput = take(mn::CMD_COMPLETED);
     let multi = take(mn::CMD_MULTI);
     let single = take(mn::CMD_SINGLE);
@@ -90,7 +89,9 @@ fn run(mode: Mode) -> SeriesSet {
 }
 
 fn main() {
-    eprintln!("fig6: running DynaStar (random start) for {RUN_SECS}s, celebrity at {CELEBRITY_AT}s...");
+    eprintln!(
+        "fig6: running DynaStar (random start) for {RUN_SECS}s, celebrity at {CELEBRITY_AT}s..."
+    );
     let dynastar = run(Mode::Dynastar);
     eprintln!("fig6: running S-SMR* (optimized static) ...");
     let ssmr = run(Mode::SSmr);
@@ -118,15 +119,7 @@ fn main() {
         t += window;
     }
     print_table(
-        &[
-            "t(s)",
-            "DS tput",
-            "DS %multi",
-            "DS obj/s",
-            "S* tput",
-            "S* %multi",
-            "S* obj/s",
-        ],
+        &["t(s)", "DS tput", "DS %multi", "DS obj/s", "S* tput", "S* %multi", "S* obj/s"],
         &rows,
     );
     println!("\npaper shape: DynaStar starts below S-SMR*, overtakes after its first repartition,");

@@ -1,0 +1,193 @@
+//! Diagnostic probe for the crash-recovery nemesis (not a paper
+//! experiment): runs a seeded randomized fault schedule — crashes,
+//! restarts, disconnects, reconnects, at most one faulty replica per
+//! group at a time — against a Dynastar cluster and reports the fault,
+//! recovery and transport counters. The schedule and the run are fully
+//! deterministic: `probe_nemesis [cluster_seed] [nemesis_seed]` prints
+//! identical output on every invocation with the same seeds.
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use dynastar_core::metric_names as mn;
+use dynastar_core::{
+    Application, ClusterBuilder, ClusterConfig, Command, CommandKind, LocKey, Mode, PartitionId,
+    VarId, Workload,
+};
+use dynastar_runtime::nemesis::{FaultKind, NemesisConfig, NemesisPlan};
+use dynastar_runtime::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+struct Counters;
+impl Application for Counters {
+    type Op = i64;
+    type Value = i64;
+    type Reply = i64;
+    fn locality(var: VarId) -> LocKey {
+        LocKey(var.0)
+    }
+    fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> i64 {
+        let mut last = 0;
+        for v in vars.values_mut() {
+            last = v.unwrap_or(0) + op;
+            *v = Some(last);
+        }
+        last
+    }
+}
+
+struct Load {
+    vars: u64,
+    remaining: u32,
+    multi_pct: u32,
+    completed: Arc<Mutex<u32>>,
+}
+
+impl Workload<Counters> for Load {
+    fn next_command(&mut self, _now: SimTime, rng: &mut StdRng) -> Option<CommandKind<Counters>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let a = rng.gen_range(0..self.vars);
+        let mut vars = vec![VarId(a)];
+        if rng.gen_range(0..100u32) < self.multi_pct {
+            let b = (a + 1 + rng.gen_range(0..self.vars - 1)) % self.vars;
+            vars.push(VarId(b));
+        }
+        Some(CommandKind::Access { op: 1, vars })
+    }
+
+    fn on_completed(&mut self, _now: SimTime, _cmd: &Command<Counters>, reply: Option<&i64>) {
+        if reply.is_some() {
+            *self.completed.lock().unwrap() += 1;
+        }
+    }
+}
+
+fn seed_arg(arg: Option<String>) -> u64 {
+    match arg {
+        None => 7,
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("error: seed {s:?} is not a u64");
+            eprintln!("usage: probe_nemesis [cluster_seed] [nemesis_seed]");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let cluster_seed = seed_arg(args.next());
+    let nemesis_seed = seed_arg(args.next());
+
+    let config = ClusterConfig {
+        partitions: 2,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed: cluster_seed,
+        repartition_threshold: u64::MAX,
+        // Modelled per-command CPU keeps traffic in flight while the
+        // fault schedule runs, so faults land on a busy cluster.
+        service_time: SimDuration::from_millis(200),
+        warm_client_caches: true,
+        client_timeout: SimDuration::from_secs(3),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    for v in 0..20u64 {
+        b.place(LocKey(v), PartitionId((v % 2) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    let completed = Arc::new(Mutex::new(0));
+    for _ in 0..4 {
+        cluster.add_client(Load {
+            vars: 20,
+            remaining: 60,
+            multi_pct: 30,
+            completed: Arc::clone(&completed),
+        });
+    }
+
+    let cfg = NemesisConfig {
+        seed: nemesis_seed,
+        start: SimTime::from_secs(2),
+        end: SimTime::from_secs(45),
+        mean_interval: SimDuration::from_secs(6),
+        min_downtime: SimDuration::from_millis(400),
+        max_downtime: SimDuration::from_secs(3),
+        grace: SimDuration::from_secs(3),
+        crash_pct: 50,
+    };
+    let plan = NemesisPlan::generate(&cfg, cluster.groups());
+    println!(
+        "nemesis schedule: seed={} faults={} ({} crash/restart, {} disconnect/reconnect)",
+        nemesis_seed,
+        plan.events.len(),
+        plan.crash_count(),
+        plan.disconnect_count(),
+    );
+    for e in &plan.events {
+        let kind = match e.kind {
+            FaultKind::Crash => "crash     ",
+            FaultKind::Disconnect => "disconnect",
+        };
+        println!(
+            "  {:>7.3}s {} node {:?} (repair at {:>7.3}s)",
+            e.at.as_micros() as f64 / 1e6,
+            kind,
+            e.node,
+            e.repair_at.as_micros() as f64 / 1e6,
+        );
+    }
+    plan.apply(&mut cluster.sim);
+    cluster.sim.metrics_mut().incr_counter(mn::FAULT_CRASHES, plan.crash_count());
+    cluster.sim.metrics_mut().incr_counter(mn::FAULT_RESTARTS, plan.crash_count());
+    cluster.sim.metrics_mut().incr_counter(mn::FAULT_DISCONNECTS, plan.disconnect_count());
+    cluster.sim.metrics_mut().incr_counter(mn::FAULT_RECONNECTS, plan.disconnect_count());
+
+    for slice in 0..10 {
+        cluster.run_for(SimDuration::from_secs(10));
+        let m = cluster.metrics();
+        println!(
+            "t={:>3}s done={:>3} retries={} timeouts={} recoveries={} elections={} retx={} resets={} abandoned={}",
+            (slice + 1) * 10,
+            *completed.lock().unwrap(),
+            m.counter(mn::CMD_RETRY),
+            m.counter(mn::CMD_TIMEOUT),
+            m.counter(mn::RECOVERY_COMPLETIONS),
+            m.counter(mn::LEADER_ELECTIONS),
+            m.counter(mn::NET_RETRANSMISSIONS),
+            m.counter(mn::NET_STREAM_RESETS),
+            m.counter(mn::NET_FRAMES_ABANDONED),
+        );
+    }
+
+    let m = cluster.metrics();
+    println!("\nfault/recovery report");
+    println!(
+        "  faults injected:    {} crashes, {} disconnects",
+        m.counter(mn::FAULT_CRASHES),
+        m.counter(mn::FAULT_DISCONNECTS)
+    );
+    println!(
+        "  repairs scheduled:  {} restarts, {} reconnects",
+        m.counter(mn::FAULT_RESTARTS),
+        m.counter(mn::FAULT_RECONNECTS)
+    );
+    println!(
+        "  recoveries:         {} completed from {} donated snapshots ({} elements)",
+        m.counter(mn::RECOVERY_COMPLETIONS),
+        m.counter(mn::RECOVERY_SNAPSHOTS),
+        m.counter(mn::RECOVERY_SNAPSHOT_ELEMENTS)
+    );
+    println!("  leader elections:   {}", m.counter(mn::LEADER_ELECTIONS));
+    println!(
+        "  transport:          {} retransmissions, {} stream resets, {} frames abandoned",
+        m.counter(mn::NET_RETRANSMISSIONS),
+        m.counter(mn::NET_STREAM_RESETS),
+        m.counter(mn::NET_FRAMES_ABANDONED)
+    );
+    println!("  commands completed: {}", *completed.lock().unwrap());
+}

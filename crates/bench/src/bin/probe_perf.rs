@@ -1,9 +1,9 @@
-use std::sync::Arc;
 use dynastar_bench::setup::{tpcc_cluster, Placement, TpccSetup};
+use dynastar_core::metric_names as mn;
 use dynastar_core::Mode;
 use dynastar_runtime::SimDuration;
 use dynastar_workloads::tpcc::{self, TpccWorkload};
-use dynastar_core::metric_names as mn;
+use std::sync::Arc;
 
 fn main() {
     let mut setup = TpccSetup::new(4, Mode::Dynastar);
@@ -19,8 +19,11 @@ fn main() {
     let t0 = std::time::Instant::now();
     cluster.run_for(SimDuration::from_secs(10));
     let wall = t0.elapsed().as_secs_f64();
-    println!("10 sim-s took {:.1} wall-s; events={} ({:.0}/s); completed={}",
-        wall, cluster.sim.events_processed(),
+    println!(
+        "10 sim-s took {:.1} wall-s; events={} ({:.0}/s); completed={}",
+        wall,
+        cluster.sim.events_processed(),
         cluster.sim.events_processed() as f64 / wall,
-        cluster.metrics().counter(mn::CMD_COMPLETED));
+        cluster.metrics().counter(mn::CMD_COMPLETED)
+    );
 }

@@ -10,13 +10,19 @@ impl Actor<u64> for Echo {
         }
     }
 }
-struct Starter { peer: NodeId }
+struct Starter {
+    peer: NodeId,
+}
 impl Actor<u64> for Starter {
     fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
-        for _ in 0..100 { ctx.send(self.peer, 1_000_000); }
+        for _ in 0..100 {
+            ctx.send(self.peer, 1_000_000);
+        }
     }
     fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
-        if msg > 0 { ctx.send(from, msg - 1); }
+        if msg > 0 {
+            ctx.send(from, msg - 1);
+        }
     }
 }
 
@@ -27,6 +33,10 @@ fn main() {
     let t0 = std::time::Instant::now();
     sim.run_until(SimTime::from_secs(100000));
     let wall = t0.elapsed().as_secs_f64();
-    println!("raw sim: {} events in {:.2}s = {:.0} events/s",
-        sim.events_processed(), wall, sim.events_processed() as f64 / wall);
+    println!(
+        "raw sim: {} events in {:.2}s = {:.0} events/s",
+        sim.events_processed(),
+        wall,
+        sim.events_processed() as f64 / wall
+    );
 }

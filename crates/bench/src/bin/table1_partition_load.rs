@@ -27,7 +27,10 @@ fn main() {
     for _ in 0..CLIENTS {
         cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, ChirperMix::MIX));
     }
-    eprintln!("table1: running {RUN_SECS}s, measuring t={WINDOW_START}..{}", WINDOW_START + WINDOW_SECS);
+    eprintln!(
+        "table1: running {RUN_SECS}s, measuring t={WINDOW_START}..{}",
+        WINDOW_START + WINDOW_SECS
+    );
     cluster.run_for(SimDuration::from_secs(RUN_SECS));
 
     let m = cluster.metrics();
@@ -56,10 +59,7 @@ fn main() {
             format!("{:.0}", window_avg(&mn::partition_objects(p))),
         ]);
     }
-    print_table(
-        &["partition", "tput (cmd/s)", "m-part cmds/s", "exchanged objects/s"],
-        &rows,
-    );
+    print_table(&["partition", "tput (cmd/s)", "m-part cmds/s", "exchanged objects/s"], &rows);
     println!("\npaper shape: despite balanced object counts, command load is skewed");
     println!("(the paper reports ~2x between the busiest and quietest partitions).");
 }

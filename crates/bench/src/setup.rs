@@ -48,11 +48,7 @@ impl TpccSetup {
     pub fn new(partitions: u32, mode: Mode) -> Self {
         TpccSetup {
             min_plan_interval: SimDuration::from_secs(40),
-            scale: TpccScale {
-                warehouses: partitions,
-                customers_per_district: 30,
-                items: 200,
-            },
+            scale: TpccScale { warehouses: partitions, customers_per_district: 30, items: 200 },
             partitions,
             mode,
             placement: Placement::Aligned,
@@ -133,7 +129,11 @@ impl ChirperSetup {
             follows_per_user: 6,
             partitions,
             mode,
-            placement: if mode == Mode::Dynastar { Placement::Random } else { Placement::Optimized },
+            placement: if mode == Mode::Dynastar {
+                Placement::Random
+            } else {
+                Placement::Optimized
+            },
             seed: 1,
             repartition_threshold: if mode == Mode::Dynastar { 4_000 } else { u64::MAX },
         }

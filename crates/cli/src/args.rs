@@ -22,9 +22,7 @@ impl Args {
         let mut it = args.into_iter();
         while let Some(tok) = it.next() {
             if let Some(name) = tok.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
                 out.flags.insert(name.to_string(), value);
             } else if out.command.is_none() {
                 out.command = Some(tok);

@@ -98,11 +98,8 @@ impl<A: Application> ClientCore<A> {
     /// Panics if a command is already outstanding.
     pub fn issue(&mut self, kind: CommandKind<A>, now: SimTime) -> Vec<Effect<A>> {
         assert!(self.outstanding.is_none(), "client is closed-loop: command already in flight");
-        let cmd = Command {
-            id: MsgId::new(self.id.as_raw() as u64, self.seq),
-            client: self.id,
-            kind,
-        };
+        let cmd =
+            Command { id: MsgId::new(self.id.as_raw() as u64, self.seq), client: self.id, kind };
         self.seq += 1;
         self.outstanding = Some(Outstanding { cmd: cmd.clone(), attempt: 0, issued_at: now });
         self.dispatch(cmd, 0)
@@ -158,7 +155,12 @@ impl<A: Application> ClientCore<A> {
                     let latency = now.saturating_duration_since(out.issued_at);
                     return (
                         Vec::new(),
-                        Some(ClientEvent::Completed { cmd: out.cmd, reply: None, latency, ok: false }),
+                        Some(ClientEvent::Completed {
+                            cmd: out.cmd,
+                            reply: None,
+                            latency,
+                            ok: false,
+                        }),
                     );
                 }
                 (Vec::new(), None)
@@ -206,10 +208,7 @@ impl<A: Application> ClientCore<A> {
         metrics.incr_counter(mn::CMD_COMPLETED, 1);
         metrics.record_series(mn::CMD_COMPLETED, now, 1.0);
         metrics.record_histogram(mn::CMD_LATENCY, latency);
-        (
-            Vec::new(),
-            Some(ClientEvent::Completed { cmd: out.cmd, reply, latency, ok: true }),
-        )
+        (Vec::new(), Some(ClientEvent::Completed { cmd: out.cmd, reply, latency, ok: true }))
     }
 
     /// Re-dispatches the outstanding command through the oracle after a

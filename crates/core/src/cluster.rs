@@ -8,7 +8,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dynastar_amcast::{GroupId, McastMember, McastOutput, McastWire, MemberId, MsgId, Topology};
+use dynastar_amcast::{
+    GroupId, McastMember, McastOutput, McastWire, MemberId, MemberSnapshot, MsgId, Topology,
+};
+use dynastar_paxos::{Ballot, GroupConfig};
 use dynastar_runtime::fifo::{FifoLinks, Frame};
 use dynastar_runtime::{
     Actor, Ctx, Metrics, NetConfig, NodeId, SimConfig, SimDuration, SimTime, Simulation,
@@ -16,6 +19,7 @@ use dynastar_runtime::{
 
 use crate::client::{ClientCore, ClientEvent, Workload};
 use crate::command::{Application, LocKey, Mode, PartitionId, VarId};
+use crate::metric_names;
 use crate::oracle::{OracleConfig, OracleCore};
 use crate::payload::{Destination, Direct, Effect, Payload};
 use crate::server::{ServerConfig, ServerCore};
@@ -34,33 +38,84 @@ mod timer {
     pub const WAKE: u64 = 5;
     /// Transport retransmission check (clients; servers piggyback on TICK).
     pub const RETX: u64 = 6;
+    /// Recovery snapshot-request retry (restarted/lagging replicas).
+    pub const RECOVER: u64 = 7;
 }
 
 /// Everything that travels between nodes: FIFO-framed wire messages plus
 /// transport-level cumulative acks (the ARQ layer that makes links
 /// reliable under message loss, as the paper's §2.1 channel model
 /// assumes).
+///
+/// Every stream-carrying message is stamped with the *incarnation epochs*
+/// of both endpoints. A node that restarts loses its volatile sequencing
+/// state and comes back under a higher epoch (persisted across the crash),
+/// so both sides can tell a fresh stream from a stale one and resynchronize
+/// instead of misinterpreting renumbered frames as duplicates — the
+/// crash-recovery analogue of TCP connection teardown + re-establishment.
 #[derive(Debug)]
 pub enum Msg<A: Application> {
     /// A sequenced protocol frame.
-    Frame(Frame<Inner<A>>),
+    Frame {
+        /// Sender's incarnation epoch.
+        src_epoch: u64,
+        /// The receiver epoch the sender believes is current.
+        dst_epoch: u64,
+        /// The sequenced payload.
+        frame: Frame<Inner<A>>,
+    },
     /// Selective ack: every frame with `seq < up_to` was received, and the
     /// listed later frames are missing (retransmit them now).
     Ack {
+        /// Sender's incarnation epoch.
+        src_epoch: u64,
+        /// The receiver epoch the sender believes is current.
+        dst_epoch: u64,
         /// The receiver's next expected sequence number.
         up_to: u64,
         /// Holes above `up_to` the receiver is waiting for.
         missing: Vec<u64>,
+    },
+    /// The sender permanently abandoned every frame below `from_seq`
+    /// (retransmission gave up while the peer was unreachable); the
+    /// receiver must advance its expectation past the gap or the stream
+    /// stalls forever. Upper layers re-send semantically.
+    Jump {
+        /// Sender's incarnation epoch.
+        src_epoch: u64,
+        /// The receiver epoch the sender believes is current.
+        dst_epoch: u64,
+        /// First sequence number still obtainable from the sender.
+        from_seq: u64,
+    },
+    /// "Your view of my epoch is stale — I am at `epoch` now." Sent
+    /// (rate-limited) in response to traffic addressed to a previous
+    /// incarnation, so peers resynchronize their streams promptly instead
+    /// of waiting to hear a fresh frame.
+    EpochNotice {
+        /// The sender's current incarnation epoch.
+        epoch: u64,
     },
 }
 
 impl<A: Application> Clone for Msg<A> {
     fn clone(&self) -> Self {
         match self {
-            Msg::Frame(f) => Msg::Frame(Frame { seq: f.seq, inner: f.inner.clone() }),
-            Msg::Ack { up_to, missing } => {
-                Msg::Ack { up_to: *up_to, missing: missing.clone() }
+            Msg::Frame { src_epoch, dst_epoch, frame } => Msg::Frame {
+                src_epoch: *src_epoch,
+                dst_epoch: *dst_epoch,
+                frame: Frame { seq: frame.seq, inner: frame.inner.clone() },
+            },
+            Msg::Ack { src_epoch, dst_epoch, up_to, missing } => Msg::Ack {
+                src_epoch: *src_epoch,
+                dst_epoch: *dst_epoch,
+                up_to: *up_to,
+                missing: missing.clone(),
+            },
+            Msg::Jump { src_epoch, dst_epoch, from_seq } => {
+                Msg::Jump { src_epoch: *src_epoch, dst_epoch: *dst_epoch, from_seq: *from_seq }
             }
+            Msg::EpochNotice { epoch } => Msg::EpochNotice { epoch: *epoch },
         }
     }
 }
@@ -73,6 +128,8 @@ pub enum Inner<A: Application> {
     Wire(McastWire<Arc<Payload<A>>>),
     /// Direct protocol messages.
     Direct(Direct<A>),
+    /// Crash-recovery state transfer between replicas of one group.
+    Recovery(RecoveryMsg<A>),
 }
 
 impl<A: Application> Clone for Inner<A> {
@@ -80,6 +137,69 @@ impl<A: Application> Clone for Inner<A> {
         match self {
             Inner::Wire(w) => Inner::Wire(w.clone()),
             Inner::Direct(d) => Inner::Direct(d.clone()),
+            Inner::Recovery(r) => Inner::Recovery(r.clone()),
+        }
+    }
+}
+
+/// Recovery protocol between the replicas of one group: a restarted (or
+/// irrecoverably lagging) replica asks its peers for state; each live peer
+/// answers with its consensus/multicast snapshot plus a clone of its
+/// protocol core. The requester installs once it holds a quorum of
+/// snapshots (consensus safety needs the quorum — see
+/// [`dynastar_paxos::RecoveryReport`]); the core comes from the snapshot
+/// the multicast layer picks as its bookkeeping donor, keeping replica
+/// state and log position consistent.
+pub enum RecoveryMsg<A: Application> {
+    /// "Send me your state" — from a recovering replica to its group peers.
+    Request,
+    /// A live peer's state donation (boxed: it dwarfs regular traffic).
+    Response(Box<RecoveryPayload<A>>),
+}
+
+impl<A: Application> Clone for RecoveryMsg<A> {
+    fn clone(&self) -> Self {
+        match self {
+            RecoveryMsg::Request => RecoveryMsg::Request,
+            RecoveryMsg::Response(p) => RecoveryMsg::Response(p.clone()),
+        }
+    }
+}
+
+impl<A: Application> std::fmt::Debug for RecoveryMsg<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryMsg::Request => f.write_str("RecoveryMsg::Request"),
+            RecoveryMsg::Response(_) => f.write_str("RecoveryMsg::Response(..)"),
+        }
+    }
+}
+
+/// One peer's full state donation: multicast/consensus snapshot + core.
+pub struct RecoveryPayload<A: Application> {
+    snapshot: MemberSnapshot<Arc<Payload<A>>>,
+    core: CoreSnapshot<A>,
+}
+
+impl<A: Application> Clone for RecoveryPayload<A> {
+    fn clone(&self) -> Self {
+        RecoveryPayload { snapshot: self.snapshot.clone(), core: self.core.clone() }
+    }
+}
+
+/// A cloned protocol core travelling inside a [`RecoveryPayload`].
+// One per actor (never collected in bulk), so variant size skew is moot.
+#[allow(clippy::large_enum_variant)]
+enum CoreSnapshot<A: Application> {
+    Partition(ServerCore<A>),
+    Oracle(OracleCore<A>),
+}
+
+impl<A: Application> Clone for CoreSnapshot<A> {
+    fn clone(&self) -> Self {
+        match self {
+            CoreSnapshot::Partition(c) => CoreSnapshot::Partition(c.clone()),
+            CoreSnapshot::Oracle(c) => CoreSnapshot::Oracle(c.clone()),
         }
     }
 }
@@ -124,48 +244,169 @@ const NACK_LIMIT: usize = 64;
 /// Minimum spacing of lazy ack flushes.
 const ACK_FLUSH_EVERY: SimDuration = SimDuration::from_millis(100);
 
+/// Minimum spacing of epoch notices / jump announcements per peer.
+const SIGNAL_EVERY: SimDuration = SimDuration::from_millis(100);
+
+/// One peer's outstanding frames: seq → (frame, first send, latest send).
+type SendBuf<A> = std::collections::BTreeMap<u64, (Frame<Inner<A>>, SimTime, SimTime)>;
+
 /// Shared actor plumbing: FIFO links + a simple ARQ (cumulative acks,
-/// timeout retransmission) + message fan-out.
+/// timeout retransmission) + message fan-out, epoch-aware so streams
+/// resynchronize after either endpoint restarts (see [`Msg`]).
 struct Wiring<A: Application> {
     routes: Arc<RouteTable>,
     fifo: FifoLinks<NodeId, Inner<A>>,
-    /// Sent frames not yet acknowledged: per peer, seq → (frame, sent at).
-    unacked: std::collections::HashMap<NodeId, std::collections::BTreeMap<u64, (Frame<Inner<A>>, SimTime)>>,
+    /// Sent frames not yet acknowledged: per peer, seq → (frame, first
+    /// send, latest (re)send). Retransmission backs off from the latest
+    /// send; the give-up clock runs from the first, so resending a frame
+    /// does not keep it alive forever against an unreachable peer.
+    unacked: std::collections::HashMap<NodeId, SendBuf<A>>,
     /// Last cumulative ack value sent to each peer.
     acked_to_peer: std::collections::HashMap<NodeId, u64>,
     /// Last time lazy acks were flushed.
     last_ack_flush: SimTime,
+    /// This node's incarnation epoch (0 at first boot, +1 per restart).
+    my_epoch: u64,
+    /// Highest incarnation epoch observed per peer (absent = 0).
+    peer_epochs: std::collections::HashMap<NodeId, u64>,
+    /// Last time an epoch notice or jump was sent to each peer.
+    last_signal: std::collections::HashMap<NodeId, SimTime>,
 }
 
 impl<A: Application> Wiring<A> {
     fn new(routes: Arc<RouteTable>) -> Self {
+        Self::with_epoch(routes, 0)
+    }
+
+    fn with_epoch(routes: Arc<RouteTable>, my_epoch: u64) -> Self {
         Wiring {
             routes,
             fifo: FifoLinks::new(),
             unacked: std::collections::HashMap::new(),
             acked_to_peer: std::collections::HashMap::new(),
             last_ack_flush: SimTime::ZERO,
+            my_epoch,
+            peer_epochs: std::collections::HashMap::new(),
+            last_signal: std::collections::HashMap::new(),
         }
+    }
+
+    fn peer_epoch(&self, peer: NodeId) -> u64 {
+        self.peer_epochs.get(&peer).copied().unwrap_or(0)
     }
 
     fn send(&mut self, ctx: &mut Ctx<'_, Msg<A>>, to: NodeId, inner: Inner<A>) {
         let frame = self.fifo.wrap(to, inner);
-        self.unacked
-            .entry(to)
-            .or_default()
-            .insert(frame.seq, (frame.clone(), ctx.now()));
-        ctx.send(to, Msg::Frame(frame));
+        let now = ctx.now();
+        self.unacked.entry(to).or_default().insert(frame.seq, (frame.clone(), now, now));
+        let dst_epoch = self.peer_epoch(to);
+        ctx.send(to, Msg::Frame { src_epoch: self.my_epoch, dst_epoch, frame });
+    }
+
+    /// Reconciles the epoch stamps on an incoming message. Returns `false`
+    /// if the message belongs to a stale stream and must be dropped.
+    fn sync_epochs(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg<A>>,
+        from: NodeId,
+        src_epoch: u64,
+        dst_epoch: u64,
+    ) -> bool {
+        if src_epoch < self.peer_epoch(from) {
+            return false; // a previous incarnation of the peer
+        }
+        if src_epoch > self.peer_epoch(from) {
+            self.note_peer_epoch(ctx, from, src_epoch);
+        }
+        if dst_epoch != self.my_epoch {
+            // Addressed to a previous incarnation of this node: its
+            // sequence numbers mean nothing to our fresh stream state.
+            // Tell the peer so it resynchronizes.
+            self.announce_epoch(ctx, from);
+            return false;
+        }
+        true
+    }
+
+    /// Adopts a higher epoch for `peer`: both directions of the stream are
+    /// reset (the peer's restart wiped its volatile sequencing state), and
+    /// our unacknowledged frames are renumbered from 0 — in their original
+    /// order — and retransmitted, so nothing already handed to [`Self::send`]
+    /// is lost by the restart.
+    fn note_peer_epoch(&mut self, ctx: &mut Ctx<'_, Msg<A>>, peer: NodeId, epoch: u64) {
+        if epoch <= self.peer_epoch(peer) {
+            return;
+        }
+        self.peer_epochs.insert(peer, epoch);
+        ctx.metrics_mut().incr_counter(metric_names::NET_STREAM_RESETS, 1);
+        self.fifo.reset_receive(&peer);
+        self.acked_to_peer.remove(&peer);
+        self.fifo.reset_send(&peer);
+        if let Some(buf) = self.unacked.remove(&peer) {
+            let now = ctx.now();
+            let mut renumbered = std::collections::BTreeMap::new();
+            for (_old_seq, (frame, first_sent, _last_sent)) in buf {
+                let f = self.fifo.wrap(peer, frame.inner);
+                // The give-up clock keeps running from the original send.
+                renumbered.insert(f.seq, (f, first_sent, now));
+            }
+            ctx.metrics_mut()
+                .incr_counter(metric_names::NET_RETRANSMISSIONS, renumbered.len() as u64);
+            for (f, _, _) in renumbered.values() {
+                ctx.send(
+                    peer,
+                    Msg::Frame { src_epoch: self.my_epoch, dst_epoch: epoch, frame: f.clone() },
+                );
+            }
+            self.unacked.insert(peer, renumbered);
+        }
+    }
+
+    /// Rate-limited "I am at epoch E now" notice.
+    fn announce_epoch(&mut self, ctx: &mut Ctx<'_, Msg<A>>, peer: NodeId) {
+        if !self.signal_due(ctx.now(), peer) {
+            return;
+        }
+        ctx.send(peer, Msg::EpochNotice { epoch: self.my_epoch });
+    }
+
+    /// Rate-limited jump announcement: tells `peer` to skip past frames we
+    /// no longer hold, up to the first one we can still deliver.
+    fn send_jump(&mut self, ctx: &mut Ctx<'_, Msg<A>>, peer: NodeId) {
+        if !self.signal_due(ctx.now(), peer) {
+            return;
+        }
+        let from_seq = self
+            .unacked
+            .get(&peer)
+            .and_then(|buf| buf.keys().next().copied())
+            .unwrap_or_else(|| self.fifo.next_seq_to(&peer));
+        let dst_epoch = self.peer_epoch(peer);
+        ctx.send(peer, Msg::Jump { src_epoch: self.my_epoch, dst_epoch, from_seq });
+    }
+
+    fn signal_due(&mut self, now: SimTime, peer: NodeId) -> bool {
+        if let Some(&last) = self.last_signal.get(&peer) {
+            if now.saturating_duration_since(last) < SIGNAL_EVERY {
+                return false;
+            }
+        }
+        self.last_signal.insert(peer, now);
+        true
     }
 
     /// Accepts an incoming message; returns the in-order released inner
     /// messages (empty for acks/out-of-order frames).
     fn receive(&mut self, ctx: &mut Ctx<'_, Msg<A>>, from: NodeId, msg: Msg<A>) -> Vec<Inner<A>> {
         match msg {
-            Msg::Frame(frame) => {
+            Msg::Frame { src_epoch, dst_epoch, frame } => {
+                if !self.sync_epochs(ctx, from, src_epoch, dst_epoch) {
+                    return Vec::new();
+                }
                 let ready = self.fifo.accept(from, frame);
                 if std::env::var_os("DYNASTAR_TRACE_ARQ").is_some() {
                     let buffered = self.fifo.buffered_count();
-                    if buffered > 200 && buffered % 100 == 0 {
+                    if buffered > 200 && buffered.is_multiple_of(100) {
                         eprintln!(
                             "[arq] t={} node has {buffered} frames buffered behind gaps (from {from})",
                             ctx.now()
@@ -181,38 +422,80 @@ impl<A: Application> Wiring<A> {
                 let missing = self.fifo.missing_from(&from, NACK_LIMIT);
                 if expected >= acked + ACK_EVERY || !missing.is_empty() {
                     self.acked_to_peer.insert(from, expected);
-                    ctx.send(from, Msg::Ack { up_to: expected, missing });
+                    self.send_ack(ctx, from, expected, missing);
                 }
                 ready
             }
-            Msg::Ack { up_to, missing } => {
+            Msg::Ack { src_epoch, dst_epoch, up_to, missing } => {
+                if !self.sync_epochs(ctx, from, src_epoch, dst_epoch) {
+                    return Vec::new();
+                }
                 let now = ctx.now();
                 let mut resends = Vec::new();
-                if let Some(buf) = self.unacked.get_mut(&from) {
-                    *buf = buf.split_off(&up_to);
-                    // Selective repeat: resend exactly the reported holes.
-                    for seq in missing {
-                        if let Some((frame, sent_at)) = buf.get_mut(&seq) {
-                            // Rate-limit per frame: a hole may be reported
-                            // by several acks before the resend lands.
-                            if now.saturating_duration_since(*sent_at)
-                                >= SimDuration::from_millis(20)
-                            {
-                                *sent_at = now;
-                                resends.push(frame.clone());
+                // Set when the receiver waits on a frame we abandoned: it
+                // can only make progress if told to jump the gap.
+                let mut unsatisfiable_hole = false;
+                match self.unacked.get_mut(&from) {
+                    Some(buf) => {
+                        *buf = buf.split_off(&up_to);
+                        // Selective repeat: resend exactly the reported holes.
+                        for seq in missing {
+                            if let Some((frame, _first_sent, last_sent)) = buf.get_mut(&seq) {
+                                // Rate-limit per frame: a hole may be reported
+                                // by several acks before the resend lands.
+                                if now.saturating_duration_since(*last_sent)
+                                    >= SimDuration::from_millis(20)
+                                {
+                                    *last_sent = now;
+                                    resends.push(frame.clone());
+                                }
+                            } else if seq >= up_to {
+                                // Frames leave the buffer only via cumulative
+                                // ack or give-up; an unheld hole was given up.
+                                unsatisfiable_hole = true;
                             }
                         }
+                        if buf.is_empty() {
+                            self.unacked.remove(&from);
+                        }
                     }
-                    if buf.is_empty() {
-                        self.unacked.remove(&from);
+                    None => {
+                        if !missing.is_empty() {
+                            unsatisfiable_hole = true;
+                        }
                     }
                 }
+                if !resends.is_empty() {
+                    ctx.metrics_mut()
+                        .incr_counter(metric_names::NET_RETRANSMISSIONS, resends.len() as u64);
+                }
+                let dst_epoch = self.peer_epoch(from);
                 for frame in resends {
-                    ctx.send(from, Msg::Frame(frame));
+                    ctx.send(from, Msg::Frame { src_epoch: self.my_epoch, dst_epoch, frame });
+                }
+                if unsatisfiable_hole {
+                    self.send_jump(ctx, from);
                 }
                 Vec::new()
             }
+            Msg::Jump { src_epoch, dst_epoch, from_seq } => {
+                if !self.sync_epochs(ctx, from, src_epoch, dst_epoch) {
+                    return Vec::new();
+                }
+                // The sender abandoned everything below `from_seq`; release
+                // whatever buffered frames become deliverable past the gap.
+                self.fifo.force_advance(&from, from_seq)
+            }
+            Msg::EpochNotice { epoch } => {
+                self.note_peer_epoch(ctx, from, epoch);
+                Vec::new()
+            }
         }
+    }
+
+    fn send_ack(&mut self, ctx: &mut Ctx<'_, Msg<A>>, to: NodeId, up_to: u64, missing: Vec<u64>) {
+        let dst_epoch = self.peer_epoch(to);
+        ctx.send(to, Msg::Ack { src_epoch: self.my_epoch, dst_epoch, up_to, missing });
     }
 
     /// Transport maintenance: lazy ack flush + retransmission scan, rate
@@ -230,33 +513,49 @@ impl<A: Application> Wiring<A> {
 
     /// Flushes lazy acks for peers with unacknowledged receive progress.
     fn flush_acks(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
-        let peers: Vec<NodeId> = self.fifo.receive_peers().copied().collect();
+        let mut peers: Vec<NodeId> = self.fifo.receive_peers().copied().collect();
+        // Fixed send order: hash-map iteration order varies per instance,
+        // and send order feeds the deterministic event schedule.
+        peers.sort_unstable();
         for peer in peers {
             let expected = self.fifo.expected_from(&peer);
             let acked = self.acked_to_peer.get(&peer).copied().unwrap_or(0);
             let missing = self.fifo.missing_from(&peer, NACK_LIMIT);
             if expected > acked || !missing.is_empty() {
                 self.acked_to_peer.insert(peer, expected);
-                ctx.send(peer, Msg::Ack { up_to: expected, missing });
+                self.send_ack(ctx, peer, expected, missing);
             }
         }
     }
 
-    /// Retransmits frames unacknowledged past the timeout.
+    /// Retransmits frames unacknowledged past the timeout. Frames
+    /// unacknowledged for [`RETX_GIVE_UP`] (the peer crashed, or was
+    /// partitioned away for longer than we buffer) are abandoned — counted,
+    /// and announced to the peer with a [`Msg::Jump`] so its stream heals
+    /// with an explicit gap instead of stalling forever once it returns.
     fn retransmit_due(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
         let now = ctx.now();
         let mut dead_peers = Vec::new();
-        for (&peer, buf) in self.unacked.iter_mut() {
+        let mut all_resends: Vec<(NodeId, Frame<Inner<A>>)> = Vec::new();
+        // Fixed scan order (see flush_acks): resend order must not depend
+        // on hash-map iteration order or same-seed runs diverge.
+        let mut scan: Vec<NodeId> = self.unacked.keys().copied().collect();
+        scan.sort_unstable();
+        for peer in scan {
+            let buf = self.unacked.get_mut(&peer).expect("scanned key present");
             let mut resends = Vec::new();
             let mut expired = false;
-            for (frame, sent_at) in buf.values_mut() {
-                let age = now.saturating_duration_since(*sent_at);
-                if age >= RETX_GIVE_UP {
+            for (frame, first_sent, last_sent) in buf.values_mut() {
+                // Give-up measures from the *first* send: a peer that has
+                // acked nothing for this long is crashed or partitioned
+                // away, and resending cannot keep the frame alive.
+                if now.saturating_duration_since(*first_sent) >= RETX_GIVE_UP {
                     expired = true;
                     break;
                 }
+                let age = now.saturating_duration_since(*last_sent);
                 if age >= RETX_AFTER {
-                    *sent_at = now;
+                    *last_sent = now;
                     resends.push(frame.clone());
                     if resends.len() >= RETX_WINDOW {
                         // Pace the recovery: the receiver's cumulative ack
@@ -280,15 +579,25 @@ impl<A: Application> Wiring<A> {
                         buf.len()
                     );
                 }
+                ctx.metrics_mut()
+                    .incr_counter(metric_names::NET_FRAMES_ABANDONED, buf.len() as u64);
                 dead_peers.push(peer);
                 continue;
             }
-            for frame in resends {
-                ctx.send(peer, Msg::Frame(frame));
-            }
+            all_resends.extend(resends.into_iter().map(|f| (peer, f)));
+        }
+        if !all_resends.is_empty() {
+            ctx.metrics_mut()
+                .incr_counter(metric_names::NET_RETRANSMISSIONS, all_resends.len() as u64);
+        }
+        for (peer, frame) in all_resends {
+            let dst_epoch = self.peer_epoch(peer);
+            ctx.send(peer, Msg::Frame { src_epoch: self.my_epoch, dst_epoch, frame });
         }
         for peer in dead_peers {
             self.unacked.remove(&peer);
+            // Announce the gap so the stream resumes when the peer returns.
+            self.send_jump(ctx, peer);
         }
     }
 
@@ -350,20 +659,239 @@ impl<A: Application> Wiring<A> {
 }
 
 /// The protocol core a server actor hosts.
+// One per actor (never collected in bulk), so variant size skew is moot.
+#[allow(clippy::large_enum_variant)]
 enum Role<A: Application> {
     Partition(ServerCore<A>),
     Oracle(OracleCore<A>),
 }
 
+impl<A: Application> Role<A> {
+    fn snapshot(&self) -> CoreSnapshot<A> {
+        match self {
+            Role::Partition(c) => CoreSnapshot::Partition(c.clone()),
+            Role::Oracle(c) => CoreSnapshot::Oracle(c.clone()),
+        }
+    }
+}
+
+/// How often a recovering replica re-requests missing peer snapshots.
+const RECOVERY_RETRY: SimDuration = SimDuration::from_millis(500);
+
+/// One peer's donated state: its multicast snapshot + protocol core.
+type Donation<A> = (MemberSnapshot<Arc<Payload<A>>>, CoreSnapshot<A>);
+
+/// Encodes the consensus-critical stable-storage blob: the promised ballot
+/// (Paxos safety requires it to survive crashes) and the incarnation epoch
+/// (transport stream identity). 24 bytes little-endian:
+/// `[promised.round][promised.owner][epoch]`.
+fn encode_stable(promised: Ballot, epoch: u64) -> [u8; 24] {
+    let mut b = [0u8; 24];
+    b[0..8].copy_from_slice(&promised.round.to_le_bytes());
+    b[8..16].copy_from_slice(&(promised.owner as u64).to_le_bytes());
+    b[16..24].copy_from_slice(&epoch.to_le_bytes());
+    b
+}
+
+/// Decodes [`encode_stable`]'s blob; an empty/foreign blob reads as a
+/// first boot (initial ballot, epoch 0).
+fn decode_stable(blob: &[u8]) -> (Ballot, u64) {
+    if blob.len() != 24 {
+        return (Ballot::INITIAL, 0);
+    }
+    let round = u64::from_le_bytes(blob[0..8].try_into().unwrap());
+    let owner = u64::from_le_bytes(blob[8..16].try_into().unwrap()) as usize;
+    let epoch = u64::from_le_bytes(blob[16..24].try_into().unwrap());
+    (Ballot { round, owner }, epoch)
+}
+
 /// A replica actor: one multicast member plus a partition or oracle core.
+///
+/// Implements the crash-recovery fault model: the promised ballot and the
+/// incarnation epoch live in simulated stable storage; everything else is
+/// volatile. After a restart the actor comes back `recovering` — it
+/// ignores protocol traffic, asks its group peers for state, and installs
+/// once a quorum of [`RecoveryMsg::Response`]s arrived (consensus safety
+/// needs the quorum; see [`dynastar_paxos::RecoveryReport`]). A replica
+/// that falls farther behind than peers retain log for takes the same
+/// state-transfer path without restarting. Groups need ≥ 3 replicas for
+/// recovery to terminate — smaller groups cannot assemble a quorum of
+/// *peer* snapshots.
 pub struct ServerActor<A: Application> {
     member: McastMember<Arc<Payload<A>>>,
     role: Role<A>,
     wiring: Wiring<A>,
     tick: SimDuration,
+    /// This replica's multicast address (kept for reconstruction).
+    me: MemberId,
+    topo: Topology,
+    group_cfg: GroupConfig,
+    /// Whether this replica records group-level metrics (replica 0 only,
+    /// so per-group series are not multiplied by the replication factor).
+    record_metrics: bool,
+    /// Incarnation epoch (0 at first boot, +1 per restart; persisted).
+    epoch: u64,
+    /// Last `(promised, epoch)` written to stable storage.
+    persisted: (Ballot, u64),
+    /// Set between a restart (or far-lag detection) and snapshot install.
+    recovering: bool,
+    /// Peer state donations collected while recovering.
+    recovery_snaps: BTreeMap<NodeId, Donation<A>>,
+    /// Previous `is_leader()` observation, for the election counter.
+    was_leader: bool,
 }
 
 impl<A: Application> ServerActor<A> {
+    /// A value `persisted` can never legitimately hold, forcing the first
+    /// [`Self::persist_consensus`] to write.
+    const NEVER_PERSISTED: (Ballot, u64) =
+        (Ballot { round: u64::MAX, owner: usize::MAX }, u64::MAX);
+
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        member: McastMember<Arc<Payload<A>>>,
+        role: Role<A>,
+        wiring: Wiring<A>,
+        tick: SimDuration,
+        me: MemberId,
+        topo: Topology,
+        group_cfg: GroupConfig,
+        record_metrics: bool,
+    ) -> Self {
+        ServerActor {
+            member,
+            role,
+            wiring,
+            tick,
+            me,
+            topo,
+            group_cfg,
+            record_metrics,
+            epoch: 0,
+            persisted: Self::NEVER_PERSISTED,
+            recovering: false,
+            recovery_snaps: BTreeMap::new(),
+            was_leader: false,
+        }
+    }
+
+    /// Node ids of this replica's group peers (everyone but itself).
+    fn group_peers(&self) -> Vec<NodeId> {
+        let mine = self.wiring.routes.node_of(self.me);
+        self.wiring
+            .routes
+            .group_nodes(self.me.group)
+            .iter()
+            .copied()
+            .filter(|&n| n != mine)
+            .collect()
+    }
+
+    /// Writes the consensus-critical blob to stable storage when it
+    /// changed. Handlers run atomically with respect to crash events, so
+    /// persisting at the end of a handler is equivalent to persisting
+    /// before the promise left the node.
+    fn persist_consensus(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        let promised = self.member.promised();
+        if (promised, self.epoch) != self.persisted {
+            self.persisted = (promised, self.epoch);
+            ctx.persist(&encode_stable(promised, self.epoch));
+        }
+    }
+
+    /// Counts rising edges of local leadership.
+    fn note_leadership(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        let lead = self.member.is_leader();
+        if lead && !self.was_leader {
+            ctx.metrics_mut().incr_counter(metric_names::LEADER_ELECTIONS, 1);
+        }
+        self.was_leader = lead;
+    }
+
+    /// Enters the recovering state and solicits peer snapshots.
+    fn begin_recovery(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        self.recovering = true;
+        self.recovery_snaps.clear();
+        self.was_leader = false;
+        self.request_snapshots(ctx);
+        ctx.set_timer(RECOVERY_RETRY, timer::RECOVER);
+    }
+
+    fn request_snapshots(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        for peer in self.group_peers() {
+            if !self.recovery_snaps.contains_key(&peer) {
+                self.wiring.send(ctx, peer, Inner::Recovery(RecoveryMsg::Request));
+            }
+        }
+    }
+
+    fn handle_recovery(&mut self, ctx: &mut Ctx<'_, Msg<A>>, from: NodeId, msg: RecoveryMsg<A>) {
+        match msg {
+            RecoveryMsg::Request => {
+                // Only group peers are answered, and only with coherent
+                // state — a replica mid-recovery has none to give.
+                if self.recovering || !self.wiring.routes.group_nodes(self.me.group).contains(&from)
+                {
+                    return;
+                }
+                let snapshot = self.member.snapshot();
+                let elements = snapshot.approx_elements();
+                let core = self.role.snapshot();
+                let m = ctx.metrics_mut();
+                m.incr_counter(metric_names::RECOVERY_SNAPSHOTS, 1);
+                m.incr_counter(metric_names::RECOVERY_SNAPSHOT_ELEMENTS, elements);
+                self.wiring.send(
+                    ctx,
+                    from,
+                    Inner::Recovery(RecoveryMsg::Response(Box::new(RecoveryPayload {
+                        snapshot,
+                        core,
+                    }))),
+                );
+            }
+            RecoveryMsg::Response(payload) => {
+                if !self.recovering {
+                    return; // late or duplicate donation
+                }
+                self.recovery_snaps.insert(from, (payload.snapshot, payload.core));
+                self.try_install(ctx);
+            }
+        }
+    }
+
+    /// Installs the donated state once a quorum of snapshots is held.
+    fn try_install(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        if self.recovery_snaps.len() < self.group_cfg.quorum() {
+            return;
+        }
+        let floor = self.persisted.0;
+        let snaps: Vec<MemberSnapshot<Arc<Payload<A>>>> =
+            self.recovery_snaps.values().map(|(s, _)| s.clone()).collect();
+        let (member, out, donor) =
+            McastMember::recover(self.me, self.topo.clone(), self.group_cfg.clone(), floor, &snaps);
+        self.member = member;
+        // The core must come from the same donor the multicast layer took
+        // its bookkeeping from, or replica state and log position diverge.
+        let donor_core = self.recovery_snaps.values().nth(donor).expect("donor in range").1.clone();
+        self.role = match donor_core {
+            CoreSnapshot::Partition(mut c) => {
+                c.set_record_metrics(self.record_metrics);
+                Role::Partition(c)
+            }
+            CoreSnapshot::Oracle(mut c) => {
+                c.set_record_metrics(self.record_metrics);
+                Role::Oracle(c)
+            }
+        };
+        self.recovering = false;
+        self.recovery_snaps.clear();
+        ctx.cancel_timer(timer::RECOVER);
+        ctx.metrics_mut().incr_counter(metric_names::RECOVERY_COMPLETIONS, 1);
+        self.absorb(ctx, out);
+        self.note_leadership(ctx);
+        self.persist_consensus(ctx);
+    }
+
     /// Routes a multicast-layer output: sends wires, feeds deliveries to
     /// the core, and recursively handles the effects.
     fn absorb(&mut self, ctx: &mut Ctx<'_, Msg<A>>, out: McastOutput<Arc<Payload<A>>>) {
@@ -443,43 +971,101 @@ impl<A: Application> ServerActor<A> {
 impl<A: Application> Actor<Msg<A>> for ServerActor<A> {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
         ctx.set_timer(self.tick, timer::TICK);
+        self.persist_consensus(ctx);
+    }
+
+    /// Crash-recovery boot: volatile state (multicast member, protocol
+    /// core, transport streams) is re-created empty under a bumped
+    /// incarnation epoch, the consensus floor is read back from stable
+    /// storage, and the actor enters recovery to rebuild from a quorum of
+    /// peer snapshots.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg<A>>, stable: &[u8]) {
+        let (floor, old_epoch) = decode_stable(stable);
+        self.epoch = old_epoch + 1;
+        // Persist immediately: a crash during recovery must still bump.
+        self.persisted = (floor, self.epoch);
+        ctx.persist(&encode_stable(floor, self.epoch));
+        let routes = Arc::clone(&self.wiring.routes);
+        self.wiring = Wiring::with_epoch(routes, self.epoch);
+        // Placeholder member/core: gated behind `recovering`, replaced
+        // wholesale at install (the t0 preload cannot be replayed, so a
+        // restarted replica always takes the snapshot path).
+        self.member =
+            McastMember::with_group_config(self.me, self.topo.clone(), self.group_cfg.clone());
+        self.was_leader = false;
+        ctx.set_timer(self.tick, timer::TICK);
+        self.begin_recovery(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg<A>>, from: NodeId, msg: Msg<A>) {
         let ready = self.wiring.receive(ctx, from, msg);
         for inner in ready {
             match inner {
+                // While recovering the member/core hold placeholder state:
+                // protocol traffic is dropped (the group tolerates it — we
+                // are the faulty minority) and replaced by the snapshot.
                 Inner::Wire(wire) => {
+                    if self.recovering {
+                        continue;
+                    }
                     let out = self.member.on_message(wire);
                     self.absorb(ctx, out);
                 }
-                Inner::Direct(d) => self.handle_direct(ctx, d),
+                Inner::Direct(d) => {
+                    if self.recovering {
+                        continue;
+                    }
+                    self.handle_direct(ctx, d);
+                }
+                Inner::Recovery(r) => self.handle_recovery(ctx, from, r),
             }
+        }
+        if !self.recovering {
+            self.note_leadership(ctx);
+            self.persist_consensus(ctx);
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<A>>, tag: u64) {
         match tag {
             timer::TICK => {
-                let out = self.member.tick();
-                self.absorb(ctx, out);
-                let now = ctx.now();
-                let effects = {
-                    let metrics = ctx.metrics_mut();
-                    match &mut self.role {
-                        Role::Oracle(core) => core.on_tick(now, metrics),
-                        Role::Partition(_) => Vec::new(),
+                if !self.recovering {
+                    let out = self.member.tick();
+                    self.absorb(ctx, out);
+                    let now = ctx.now();
+                    let effects = {
+                        let metrics = ctx.metrics_mut();
+                        match &mut self.role {
+                            Role::Oracle(core) => core.on_tick(now, metrics),
+                            Role::Partition(_) => Vec::new(),
+                        }
+                    };
+                    if !effects.is_empty() {
+                        let mut deliveries = std::collections::VecDeque::new();
+                        self.apply_effects(ctx, effects, &mut deliveries);
+                        debug_assert!(deliveries.is_empty());
                     }
-                };
-                if !effects.is_empty() {
-                    let mut deliveries = std::collections::VecDeque::new();
-                    self.apply_effects(ctx, effects, &mut deliveries);
-                    debug_assert!(deliveries.is_empty());
+                    if self.member.needs_state_transfer() {
+                        // Fell farther behind than peers retain log for
+                        // (e.g. a long partition): only a snapshot can
+                        // catch this replica up.
+                        self.begin_recovery(ctx);
+                    } else {
+                        self.note_leadership(ctx);
+                        self.persist_consensus(ctx);
+                    }
                 }
                 self.wiring.maintain(ctx);
                 ctx.set_timer(self.tick, timer::TICK);
             }
+            timer::RECOVER if self.recovering => {
+                self.request_snapshots(ctx);
+                ctx.set_timer(RECOVERY_RETRY, timer::RECOVER);
+            }
             timer::PLAN => {
+                if self.recovering {
+                    return;
+                }
                 let now = ctx.now();
                 let effects = {
                     let metrics = ctx.metrics_mut();
@@ -504,6 +1090,9 @@ impl<A: Application> Actor<Msg<A>> for ServerActor<A> {
                 }
             }
             timer::WAKE => {
+                if self.recovering {
+                    return;
+                }
                 let now = ctx.now();
                 let effects = {
                     let metrics = ctx.metrics_mut();
@@ -610,16 +1199,14 @@ impl<A: Application, W: Workload<A>> Actor<Msg<A>> for ClientActor<A, W> {
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<A>>, tag: u64) {
         match tag {
             timer::START => self.issue_next(ctx),
-            timer::TIMEOUT => {
-                if self.core.is_busy() {
-                    let now = ctx.now();
-                    let effects = {
-                        let metrics = ctx.metrics_mut();
-                        self.core.on_timeout(now, metrics)
-                    };
-                    self.apply_effects(ctx, effects);
-                    ctx.set_timer(self.timeout, timer::TIMEOUT);
-                }
+            timer::TIMEOUT if self.core.is_busy() => {
+                let now = ctx.now();
+                let effects = {
+                    let metrics = ctx.metrics_mut();
+                    self.core.on_timeout(now, metrics)
+                };
+                self.apply_effects(ctx, effects);
+                ctx.set_timer(self.timeout, timer::TIMEOUT);
             }
             timer::RETX => {
                 self.wiring.maintain(ctx);
@@ -746,6 +1333,9 @@ impl<A: Application> ClusterBuilder<A> {
 
         let topo = Topology::uniform(k + 1, cfg.replicas);
         let oracle_group = GroupId(k as u32);
+        // Same timing McastMember::new picks; kept explicitly so restarted
+        // replicas can be reconstructed identically.
+        let group_cfg = GroupConfig::with_timing(cfg.replicas, 600, 2);
 
         // Reserve node ids first so the route table is complete before any
         // actor is constructed.
@@ -791,12 +1381,17 @@ impl<A: Application> ClusterBuilder<A> {
                     },
                 );
                 core.preload(keys_by_part[p].iter().copied(), vars_by_part[p].iter().cloned());
-                let actor = ServerActor {
-                    member: McastMember::new(MemberId::new(GroupId(p as u32), r), topo.clone()),
-                    role: Role::Partition(core),
-                    wiring: Wiring::new(Arc::clone(&routes)),
-                    tick: cfg.tick,
-                };
+                let me = MemberId::new(GroupId(p as u32), r);
+                let actor = ServerActor::new(
+                    McastMember::new(me, topo.clone()),
+                    Role::Partition(core),
+                    Wiring::new(Arc::clone(&routes)),
+                    cfg.tick,
+                    me,
+                    topo.clone(),
+                    group_cfg.clone(),
+                    r == 0,
+                );
                 let id = sim.add_node(format!("p{p}r{r}"), actor);
                 debug_assert_eq!(id, routes.groups[p][r]);
             }
@@ -815,23 +1410,22 @@ impl<A: Application> ClusterBuilder<A> {
                 record_metrics: r == 0,
             });
             core.preload_map(self.placement.iter().map(|(&kk, &p)| (kk, p)));
-            let actor = ServerActor {
-                member: McastMember::new(MemberId::new(oracle_group, r), topo.clone()),
-                role: Role::Oracle(core),
-                wiring: Wiring::new(Arc::clone(&routes)),
-                tick: cfg.tick,
-            };
+            let me = MemberId::new(oracle_group, r);
+            let actor = ServerActor::new(
+                McastMember::new(me, topo.clone()),
+                Role::Oracle(core),
+                Wiring::new(Arc::clone(&routes)),
+                cfg.tick,
+                me,
+                topo.clone(),
+                group_cfg.clone(),
+                r == 0,
+            );
             let id = sim.add_node(format!("oracle-r{r}"), actor);
             debug_assert_eq!(id, routes.groups[k][r]);
         }
 
-        Cluster {
-            sim,
-            routes,
-            config: cfg,
-            placement: self.placement.clone(),
-            clients: Vec::new(),
-        }
+        Cluster { sim, routes, config: cfg, placement: self.placement.clone(), clients: Vec::new() }
     }
 }
 
@@ -880,6 +1474,13 @@ impl<A: Application> Cluster<A> {
     /// Node ids of all clients.
     pub fn clients(&self) -> &[NodeId] {
         &self.clients
+    }
+
+    /// Node ids of every replica group: partitions `0..k`, then the
+    /// oracle group last. Fault-injection harnesses use these as fault
+    /// domains (at most a minority of each group may be down at once).
+    pub fn groups(&self) -> &[Vec<NodeId>] {
+        &self.routes.groups
     }
 
     /// Runs the simulation for `d` of simulated time.

@@ -26,6 +26,32 @@ pub const PLANS_PUBLISHED: &str = "oracle.plans";
 /// Series: locality keys moved by plans.
 pub const PLAN_MOVES: &str = "oracle.plan_moves";
 
+/// Counter: nodes crashed by fault injection (recorded by the harness).
+pub const FAULT_CRASHES: &str = "fault.crashes";
+/// Counter: crashed nodes restarted (crash-recovery model).
+pub const FAULT_RESTARTS: &str = "fault.restarts";
+/// Counter: nodes disconnected by fault injection.
+pub const FAULT_DISCONNECTS: &str = "fault.disconnects";
+/// Counter: disconnected nodes reconnected.
+pub const FAULT_RECONNECTS: &str = "fault.reconnects";
+/// Counter: transport frames retransmitted (timeout or NACK driven).
+pub const NET_RETRANSMISSIONS: &str = "net.retransmissions";
+/// Counter: per-peer stream resets after an epoch change (peer restarted).
+pub const NET_STREAM_RESETS: &str = "net.stream_resets";
+/// Counter: frames declared lost after retransmission gave up (the
+/// receiver is told to jump past them; upper layers re-send semantically).
+pub const NET_FRAMES_ABANDONED: &str = "net.frames_abandoned";
+/// Counter: recovery state snapshots served to restarted/lagging replicas.
+pub const RECOVERY_SNAPSHOTS: &str = "recovery.snapshots";
+/// Counter: approximate elements (log entries + bookkeeping rows) shipped
+/// in recovery snapshots.
+pub const RECOVERY_SNAPSHOT_ELEMENTS: &str = "recovery.snapshot_elements";
+/// Counter: recoveries completed (quorum of snapshots installed).
+pub const RECOVERY_COMPLETIONS: &str = "recovery.completions";
+/// Counter: leader changes observed at replicas (rising edges of
+/// local leadership).
+pub const LEADER_ELECTIONS: &str = "leader.elections";
+
 /// Per-partition series: commands executed by partition `p`.
 pub fn partition_executed(p: u32) -> String {
     format!("part.{p}.executed")

@@ -22,7 +22,9 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 use dynastar_amcast::MsgId;
-use dynastar_partitioner::{align_labels, partition as ml_partition, GraphBuilder, PartitionConfig, Partitioning};
+use dynastar_partitioner::{
+    align_labels, partition as ml_partition, GraphBuilder, PartitionConfig, Partitioning,
+};
 use dynastar_runtime::{Metrics, SimDuration, SimTime};
 
 use crate::command::{Application, CommandKind, LocKey, Mode, PartitionId};
@@ -109,6 +111,26 @@ pub struct OracleCore<A: Application> {
     _marker: std::marker::PhantomData<A>,
 }
 
+/// Manual impl: deriving would bound `A: Clone`, but only `A`'s associated
+/// types need cloning. A clone is the full protocol state — what a
+/// recovering oracle replica installs from a live peer.
+impl<A: Application> Clone for OracleCore<A> {
+    fn clone(&self) -> Self {
+        OracleCore {
+            config: self.config.clone(),
+            map: self.map.clone(),
+            vertices: self.vertices.clone(),
+            edges: self.edges.clone(),
+            changes: self.changes,
+            computing: self.computing,
+            pending_plan: self.pending_plan.clone(),
+            plan_version: self.plan_version,
+            last_plan_at: self.last_plan_at,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
 impl<A: Application> OracleCore<A> {
     /// Creates an oracle replica core.
     ///
@@ -129,6 +151,12 @@ impl<A: Application> OracleCore<A> {
             last_plan_at: SimTime::ZERO,
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Re-enables or disables metric recording — used after installing a
+    /// peer's state clone, which carries the *donor's* recording flag.
+    pub fn set_record_metrics(&mut self, on: bool) {
+        self.config.record_metrics = on;
     }
 
     /// Seeds the location map before the simulation starts.
@@ -261,7 +289,12 @@ impl<A: Application> OracleCore<A> {
 
     /// Handles direct messages (partition rendezvous signals — the oracle
     /// does not block on them, so they are consumed silently).
-    pub fn on_direct(&mut self, msg: Direct<A>, _now: SimTime, _metrics: &mut Metrics) -> Vec<Effect<A>> {
+    pub fn on_direct(
+        &mut self,
+        msg: Direct<A>,
+        _now: SimTime,
+        _metrics: &mut Metrics,
+    ) -> Vec<Effect<A>> {
         let _ = msg;
         Vec::new()
     }
@@ -278,7 +311,12 @@ impl<A: Application> OracleCore<A> {
     }
 
     /// Task 1: route a command, reply with a prophecy, dispatch.
-    fn handle_exec(&mut self, cmd: crate::command::Command<A>, attempt: u32, eff: &mut Vec<Effect<A>>) {
+    fn handle_exec(
+        &mut self,
+        cmd: crate::command::Command<A>,
+        attempt: u32,
+        eff: &mut Vec<Effect<A>>,
+    ) {
         let client = cmd.client;
         match &cmd.kind {
             CommandKind::CreateKey { key, .. } => {
@@ -454,10 +492,7 @@ impl<A: Application> OracleCore<A> {
             .seed(self.plan_version + 1)
             .balance_factor(self.config.balance_factor);
         let fresh = ml_partition(&g, k, &cfg);
-        let prev = Partitioning::new(
-            k,
-            keys.iter().map(|kk| self.map[kk].0).collect(),
-        );
+        let prev = Partitioning::new(k, keys.iter().map(|kk| self.map[kk].0).collect());
         let aligned = align_labels(&prev, &fresh);
         let moves: Vec<(LocKey, PartitionId, PartitionId)> = keys
             .iter()
@@ -536,7 +571,10 @@ mod tests {
     }
 
     fn access(vars: Vec<u64>) -> Command<App> {
-        cmd(CommandKind::Access { op: (), vars: vars.into_iter().map(crate::command::VarId).collect() })
+        cmd(CommandKind::Access {
+            op: (),
+            vars: vars.into_iter().map(crate::command::VarId).collect(),
+        })
     }
 
     fn now() -> SimTime {
@@ -547,16 +585,28 @@ mod tests {
     fn exec_routes_single_partition_access() {
         let mut o = oracle(2);
         let mut m = Metrics::new();
-        let eff = o.on_deliver(Payload::Exec { cmd: access(vec![0, 5]), attempt: 0 }, now(), &mut m);
+        let eff =
+            o.on_deliver(Payload::Exec { cmd: access(vec![0, 5]), attempt: 0 }, now(), &mut m);
         // Prophecy to the client + an Access multicast to partition 0.
-        let has_prophecy = eff.iter().any(|e| matches!(e,
-            Effect::Send { to: Destination::Client(_), msg: Direct::Prophecy { ok: true, .. } }));
+        let has_prophecy = eff.iter().any(|e| {
+            matches!(
+                e,
+                Effect::Send { to: Destination::Client(_), msg: Direct::Prophecy { ok: true, .. } }
+            )
+        });
         assert!(has_prophecy);
-        let mcast = eff.iter().find_map(|e| match e {
-            Effect::Multicast { partitions, include_oracle, payload: Payload::Access { target, .. }, .. } =>
-                Some((partitions.clone(), *include_oracle, *target)),
-            _ => None,
-        }).expect("access dispatched");
+        let mcast = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::Multicast {
+                    partitions,
+                    include_oracle,
+                    payload: Payload::Access { target, .. },
+                    ..
+                } => Some((partitions.clone(), *include_oracle, *target)),
+                _ => None,
+            })
+            .expect("access dispatched");
         assert_eq!(mcast.0, vec![PartitionId(0)]);
         assert!(!mcast.1, "oracle not a destination in DynaStar mode");
         assert_eq!(mcast.2, PartitionId(0));
@@ -568,8 +618,9 @@ mod tests {
         let mut o = oracle(2);
         let mut m = Metrics::new();
         let eff = o.on_deliver(Payload::Exec { cmd: access(vec![999]), attempt: 0 }, now(), &mut m);
-        assert!(eff.iter().any(|e| matches!(e,
-            Effect::Send { msg: Direct::Prophecy { ok: false, .. }, .. })));
+        assert!(eff
+            .iter()
+            .any(|e| matches!(e, Effect::Send { msg: Direct::Prophecy { ok: false, .. }, .. })));
         assert!(!eff.iter().any(|e| matches!(e, Effect::Multicast { .. })));
     }
 
@@ -579,10 +630,17 @@ mod tests {
         let mut m = Metrics::new();
         let c = cmd(CommandKind::CreateKey { key: LocKey(77), vars: vec![] });
         let eff = o.on_deliver(Payload::Exec { cmd: c.clone(), attempt: 0 }, now(), &mut m);
-        let dest = eff.iter().find_map(|e| match e {
-            Effect::Multicast { include_oracle: true, payload: Payload::CreateKey { dest, .. }, .. } => Some(*dest),
-            _ => None,
-        }).expect("create coordinated");
+        let dest = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::Multicast {
+                    include_oracle: true,
+                    payload: Payload::CreateKey { dest, .. },
+                    ..
+                } => Some(*dest),
+                _ => None,
+            })
+            .expect("create coordinated");
         // Map updates at CreateKey *delivery*, not dispatch.
         assert_eq!(o.location_of(LocKey(77)), None);
         let _ = o.on_deliver(Payload::CreateKey { cmd: c, dest }, now(), &mut m);
@@ -595,8 +653,9 @@ mod tests {
         let mut m = Metrics::new();
         let c = cmd(CommandKind::CreateKey { key: LocKey(0), vars: vec![] });
         let eff = o.on_deliver(Payload::Exec { cmd: c, attempt: 0 }, now(), &mut m);
-        assert!(eff.iter().any(|e| matches!(e,
-            Effect::Send { msg: Direct::Prophecy { ok: false, .. }, .. })));
+        assert!(eff
+            .iter()
+            .any(|e| matches!(e, Effect::Send { msg: Direct::Prophecy { ok: false, .. }, .. })));
     }
 
     #[test]
@@ -641,8 +700,12 @@ mod tests {
         // The timer fires → the plan is multicast to all partitions + self.
         let eff = o.on_plan_timer(SimTime::from_millis(200), &mut m);
         let plan = eff.iter().find_map(|e| match e {
-            Effect::Multicast { partitions, include_oracle: true, payload: Payload::Plan { version, .. }, .. } =>
-                Some((partitions.len(), *version)),
+            Effect::Multicast {
+                partitions,
+                include_oracle: true,
+                payload: Payload::Plan { version, .. },
+                ..
+            } => Some((partitions.len(), *version)),
             _ => None,
         });
         let (nparts, version) = plan.expect("plan published");

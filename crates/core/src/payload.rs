@@ -216,9 +216,7 @@ impl<A: Application> Direct<A> {
             Direct::Abort { cmd, attempt, missing_at } => {
                 Some(DedupKey::Abort(*cmd, *attempt, *missing_at))
             }
-            Direct::Signal { cmd, from_partition } => {
-                Some(DedupKey::Signal(*cmd, *from_partition))
-            }
+            Direct::Signal { cmd, from_partition } => Some(DedupKey::Signal(*cmd, *from_partition)),
             Direct::PlanVars { version, key, from, primary, .. } => {
                 Some(DedupKey::PlanVars(*version, *key, *from, *primary))
             }
@@ -278,7 +276,6 @@ pub enum Effect<A: Application> {
     },
 }
 
-
 impl<A: Application> Clone for Payload<A> {
     fn clone(&self) -> Self {
         match self {
@@ -320,12 +317,9 @@ impl<A: Application> Clone for Direct<A> {
             }
             Direct::Retry { cmd, attempt } => Direct::Retry { cmd: *cmd, attempt: *attempt },
             Direct::Ack { cmd } => Direct::Ack { cmd: *cmd },
-            Direct::VarsForCmd { cmd, attempt, from, vars } => Direct::VarsForCmd {
-                cmd: *cmd,
-                attempt: *attempt,
-                from: *from,
-                vars: vars.clone(),
-            },
+            Direct::VarsForCmd { cmd, attempt, from, vars } => {
+                Direct::VarsForCmd { cmd: *cmd, attempt: *attempt, from: *from, vars: vars.clone() }
+            }
             Direct::VarsReturn { cmd, attempt, vars } => {
                 Direct::VarsReturn { cmd: *cmd, attempt: *attempt, vars: vars.clone() }
             }

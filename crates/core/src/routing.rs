@@ -49,10 +49,8 @@ pub fn compute_route<A: Application>(
     dests.sort_unstable();
     // Most variables wins; BTreeMap iteration order makes the lowest id win
     // ties because `>` is strict.
-    let target = var_count
-        .iter()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
-        .map(|(&p, _)| p)?;
+    let target =
+        var_count.iter().max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0))).map(|(&p, _)| p)?;
     Some(Route { expected, dests, target })
 }
 
@@ -115,13 +113,7 @@ mod tests {
 
     #[test]
     fn unknown_key_yields_none() {
-        let r = compute_route(&access(vec![0, 5]), |k| {
-            if k.0 == 5 {
-                None
-            } else {
-                mod3(k)
-            }
-        });
+        let r = compute_route(&access(vec![0, 5]), |k| if k.0 == 5 { None } else { mod3(k) });
         assert!(r.is_none());
     }
 

@@ -83,10 +83,57 @@ enum QueuedBody {
         /// S-SMR: we broadcast our exchange share.
         sent_exchange: bool,
     },
-    Create { key: LocKey, signalled: bool },
-    Delete { key: LocKey, signalled: bool },
-    Plan { version: u64, moves: Vec<(LocKey, PartitionId, PartitionId)> },
+    Create {
+        key: LocKey,
+        signalled: bool,
+    },
+    Delete {
+        key: LocKey,
+        signalled: bool,
+    },
+    Plan {
+        version: u64,
+        moves: Vec<(LocKey, PartitionId, PartitionId)>,
+    },
 }
+
+// Manual Clone impls (here and below): deriving would bound `A: Clone`,
+// but only `A`'s associated types need to be cloneable.
+impl<A: Application> Clone for Queued<A> {
+    fn clone(&self) -> Self {
+        Queued { cmd: self.cmd.clone(), attempt: self.attempt, body: self.body.clone() }
+    }
+}
+
+impl Clone for QueuedBody {
+    fn clone(&self) -> Self {
+        match self {
+            QueuedBody::Access { expected, target, keep, sent_vars, sent_exchange } => {
+                QueuedBody::Access {
+                    expected: expected.clone(),
+                    target: *target,
+                    keep: *keep,
+                    sent_vars: *sent_vars,
+                    sent_exchange: *sent_exchange,
+                }
+            }
+            QueuedBody::Create { key, signalled } => {
+                QueuedBody::Create { key: *key, signalled: *signalled }
+            }
+            QueuedBody::Delete { key, signalled } => {
+                QueuedBody::Delete { key: *key, signalled: *signalled }
+            }
+            QueuedBody::Plan { version, moves } => {
+                QueuedBody::Plan { version: *version, moves: moves.clone() }
+            }
+        }
+    }
+}
+
+/// Variables shipped between partitions: `(var, value-or-absent)` pairs.
+type VarShipment<A> = Vec<(VarId, Option<<A as Application>::Value>)>;
+/// Shipments collected per source partition.
+type ShipmentsBySource<A> = BTreeMap<PartitionId, VarShipment<A>>;
 
 /// The partition server protocol core. See the [module docs](self).
 pub struct ServerCore<A: Application> {
@@ -101,13 +148,13 @@ pub struct ServerCore<A: Application> {
     /// Receiver-side dedup of direct messages (bounded memory).
     seen: RotatingSet<DedupKey>,
     /// Borrowed variables received per (cmd, attempt), per source partition.
-    vars_in: BTreeMap<(MsgId, u32), BTreeMap<PartitionId, Vec<(VarId, Option<A::Value>)>>>,
+    vars_in: BTreeMap<(MsgId, u32), ShipmentsBySource<A>>,
     /// Returns received for (cmd, attempt).
-    returns_in: BTreeMap<(MsgId, u32), Vec<(VarId, Option<A::Value>)>>,
+    returns_in: BTreeMap<(MsgId, u32), VarShipment<A>>,
     /// Commands known aborted (stale routing at some partition).
     aborted: RotatingSet<(MsgId, u32)>,
     /// S-SMR exchange shares received.
-    ssmr_in: BTreeMap<(MsgId, u32), BTreeMap<PartitionId, Vec<(VarId, Option<A::Value>)>>>,
+    ssmr_in: BTreeMap<(MsgId, u32), ShipmentsBySource<A>>,
     /// Create/delete rendezvous signals received from the oracle.
     oracle_signals: HashSet<MsgId>,
     /// Current plan version.
@@ -131,13 +178,51 @@ pub struct ServerCore<A: Application> {
     /// Key-migration shipments that arrived before the plan they belong
     /// to was processed here: `(version, key, from, vars, pending, primary)`.
     #[allow(clippy::type_complexity)]
-    planvars_buffer: Vec<(u64, LocKey, PartitionId, Vec<(VarId, Option<A::Value>)>, Vec<VarId>, bool)>,
+    planvars_buffer:
+        Vec<(u64, LocKey, PartitionId, Vec<(VarId, Option<A::Value>)>, Vec<VarId>, bool)>,
     /// The replica's modelled CPU is busy until this time.
     busy_until: SimTime,
     /// Pre-rendered per-partition metric names (hot path).
     name_executed: String,
     name_multi: String,
     name_objects: String,
+}
+
+/// Cloning a core snapshots its full protocol state — every replica of a
+/// partition holds identical state at the same log position, so a peer's
+/// clone is exactly what a recovering replica must install.
+impl<A: Application> Clone for ServerCore<A> {
+    fn clone(&self) -> Self {
+        ServerCore {
+            partition: self.partition,
+            mode: self.mode,
+            config: self.config.clone(),
+            owned: self.owned.clone(),
+            store: self.store.clone(),
+            queue: self.queue.clone(),
+            seen: self.seen.clone(),
+            vars_in: self.vars_in.clone(),
+            returns_in: self.returns_in.clone(),
+            aborted: self.aborted.clone(),
+            ssmr_in: self.ssmr_in.clone(),
+            oracle_signals: self.oracle_signals.clone(),
+            plan_version: self.plan_version,
+            awaiting_keys: self.awaiting_keys.clone(),
+            awaiting_vars: self.awaiting_vars.clone(),
+            outmigrated: self.outmigrated.clone(),
+            lent: self.lent.clone(),
+            executed: self.executed.clone(),
+            hint_vertices: self.hint_vertices.clone(),
+            hint_edges: self.hint_edges.clone(),
+            hint_execs: self.hint_execs,
+            hint_seq: self.hint_seq,
+            planvars_buffer: self.planvars_buffer.clone(),
+            busy_until: self.busy_until,
+            name_executed: self.name_executed.clone(),
+            name_multi: self.name_multi.clone(),
+            name_objects: self.name_objects.clone(),
+        }
+    }
 }
 
 impl<A: Application> ServerCore<A> {
@@ -174,9 +259,19 @@ impl<A: Application> ServerCore<A> {
         }
     }
 
+    /// Re-enables or disables metric recording — used after installing a
+    /// peer's state clone, which carries the *donor's* recording flag.
+    pub fn set_record_metrics(&mut self, on: bool) {
+        self.config.record_metrics = on;
+    }
+
     /// Seeds initial state before the simulation starts (avoids issuing
     /// millions of create commands for benchmark datasets).
-    pub fn preload(&mut self, keys: impl IntoIterator<Item = LocKey>, vars: impl IntoIterator<Item = (VarId, A::Value)>) {
+    pub fn preload(
+        &mut self,
+        keys: impl IntoIterator<Item = LocKey>,
+        vars: impl IntoIterator<Item = (VarId, A::Value)>,
+    ) {
         self.owned.extend(keys);
         self.store.extend(vars);
     }
@@ -548,12 +643,7 @@ impl<A: Application> ServerCore<A> {
             Ok(false) => {
                 trace_blocked(format_args!(
                     "[{}] t={} cmd={} att={} waits for in-flight migration: keys={:?} vars={:?}",
-                    self.partition,
-                    now,
-                    cmd_id,
-                    attempt,
-                    self.awaiting_keys,
-                    self.awaiting_vars
+                    self.partition, now, cmd_id, attempt, self.awaiting_keys, self.awaiting_vars
                 ));
                 return false; // wait for in-flight migration
             }
@@ -633,7 +723,9 @@ impl<A: Application> ServerCore<A> {
                     borrowed.insert(v, val);
                 }
             }
-            self.execute_target(&cmd, attempt, &expected, borrowed, sources, keep, now, metrics, eff);
+            self.execute_target(
+                &cmd, attempt, &expected, borrowed, sources, keep, now, metrics, eff,
+            );
             true
         } else {
             // Non-target: ship our variables, then (DynaStar) await return.
@@ -807,7 +899,7 @@ impl<A: Application> ServerCore<A> {
             }
         }
         // Borrowed variables: return home (DynaStar) or absorb (DS-SMR).
-        let mut by_source: BTreeMap<PartitionId, Vec<(VarId, Option<A::Value>)>> = BTreeMap::new();
+        let mut by_source: ShipmentsBySource<A> = BTreeMap::new();
         for (v, from) in &sources {
             by_source.entry(*from).or_default().push((*v, borrowed.get(v).cloned().flatten()));
         }
@@ -1080,12 +1172,8 @@ impl<A: Application> ServerCore<A> {
                 }
                 // Stale in-flight markers move with the key.
                 self.awaiting_vars.retain(|&v| A::locality(v) != key);
-                let pending: Vec<VarId> = self
-                    .lent
-                    .keys()
-                    .copied()
-                    .filter(|&v| A::locality(v) == key)
-                    .collect();
+                let pending: Vec<VarId> =
+                    self.lent.keys().copied().filter(|&v| A::locality(v) == key).collect();
                 if self.config.record_metrics {
                     metrics.incr_counter(mn::OBJECTS_EXCHANGED, vars.len() as u64);
                     metrics.record_series(&self.name_objects, now, vars.len() as f64);
@@ -1126,10 +1214,8 @@ impl<A: Application> ServerCore<A> {
         }
         // Re-process shipments that arrived before this plan.
         let ready: Vec<_> = {
-            let (ready, later): (Vec<_>, Vec<_>) = self
-                .planvars_buffer
-                .drain(..)
-                .partition(|&(v, ..)| v <= version);
+            let (ready, later): (Vec<_>, Vec<_>) =
+                self.planvars_buffer.drain(..).partition(|&(v, ..)| v <= version);
             self.planvars_buffer = later;
             ready
         };
@@ -1183,12 +1269,7 @@ mod tests {
         s
     }
 
-    fn access_payload(
-        seq: u32,
-        vars: &[(u64, u32)],
-        target: u32,
-        attempt: u32,
-    ) -> Payload<App> {
+    fn access_payload(seq: u32, vars: &[(u64, u32)], target: u32, attempt: u32) -> Payload<App> {
         let expected: Vec<(VarId, PartitionId)> =
             vars.iter().map(|&(v, p)| (VarId(v), PartitionId(p))).collect();
         Payload::Access {
@@ -1247,9 +1328,10 @@ mod tests {
         let ship = eff_l
             .iter()
             .find_map(|e| match e {
-                Effect::Send { to: Destination::Partition(p), msg: m2 @ Direct::VarsForCmd { .. } } => {
-                    Some((*p, m2.clone()))
-                }
+                Effect::Send {
+                    to: Destination::Partition(p),
+                    msg: m2 @ Direct::VarsForCmd { .. },
+                } => Some((*p, m2.clone())),
                 _ => None,
             })
             .expect("lender ships vars");
@@ -1263,9 +1345,10 @@ mod tests {
         let ret = eff_t
             .iter()
             .find_map(|e| match e {
-                Effect::Send { to: Destination::Partition(p), msg: m2 @ Direct::VarsReturn { .. } } => {
-                    Some((*p, m2.clone()))
-                }
+                Effect::Send {
+                    to: Destination::Partition(p),
+                    msg: m2 @ Direct::VarsReturn { .. },
+                } => Some((*p, m2.clone())),
                 _ => None,
             })
             .expect("vars returned");
@@ -1284,10 +1367,14 @@ mod tests {
         let mut s = server(1, &[], &[]);
         let mut m = Metrics::new();
         let eff = s.on_deliver(access_payload(0, &[(0, 0), (10, 1)], 0, 0), now(), &mut m);
-        assert!(eff.iter().any(|e| matches!(e,
-            Effect::Send { to: Destination::Client(_), msg: Direct::Retry { .. } })));
-        assert!(eff.iter().any(|e| matches!(e,
-            Effect::Send { to: Destination::Partition(PartitionId(0)), msg: Direct::Abort { .. } })));
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            Effect::Send { to: Destination::Client(_), msg: Direct::Retry { .. } }
+        )));
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            Effect::Send { to: Destination::Partition(PartitionId(0)), msg: Direct::Abort { .. } }
+        )));
         assert_eq!(s.queue_len(), 0, "stale command must not block the queue");
     }
 
@@ -1307,8 +1394,15 @@ mod tests {
             &mut m,
         );
         let eff = s.on_deliver(access_payload(0, &[(0, 0), (10, 1)], 0, 0), now(), &mut m);
-        let bounced = eff.iter().any(|e| matches!(e,
-            Effect::Send { to: Destination::Partition(PartitionId(1)), msg: Direct::VarsReturn { .. } }));
+        let bounced = eff.iter().any(|e| {
+            matches!(
+                e,
+                Effect::Send {
+                    to: Destination::Partition(PartitionId(1)),
+                    msg: Direct::VarsReturn { .. }
+                }
+            )
+        });
         assert!(bounced, "lender's vars must bounce back on target-side abort");
     }
 
@@ -1329,10 +1423,8 @@ mod tests {
         let mut from = server(0, &[0], &[(0, 7), (1, 8)]);
         let mut to = server(1, &[], &[]);
         let mut m = Metrics::new();
-        let plan = Payload::Plan {
-            version: 1,
-            moves: vec![(LocKey(0), PartitionId(0), PartitionId(1))],
-        };
+        let plan =
+            Payload::Plan { version: 1, moves: vec![(LocKey(0), PartitionId(0), PartitionId(1))] };
         let eff = from.on_deliver(plan.clone(), now(), &mut m);
         assert!(!from.owns(LocKey(0)));
         assert_eq!(from.value_of(VarId(0)), None);
@@ -1422,26 +1514,28 @@ mod tests {
             &mut m,
         );
         // Signals the oracle, but does not install yet.
-        assert!(eff.iter().any(|e| matches!(e,
-            Effect::Send { to: Destination::Oracle, msg: Direct::Signal { .. } })));
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            Effect::Send { to: Destination::Oracle, msg: Direct::Signal { .. } }
+        )));
         assert!(!s.owns(LocKey(4)));
         // Oracle's signal arrives → install + ack.
-        let eff = s.on_direct(
-            Direct::Signal { cmd: cmd.id, from_partition: None },
-            now(),
-            &mut m,
-        );
+        let eff = s.on_direct(Direct::Signal { cmd: cmd.id, from_partition: None }, now(), &mut m);
         assert!(s.owns(LocKey(4)));
         assert_eq!(s.value_of(VarId(40)), Some(&1));
-        assert!(eff.iter().any(|e| matches!(e,
-            Effect::Send { to: Destination::Client(_), msg: Direct::Ack { .. } })));
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            Effect::Send { to: Destination::Client(_), msg: Direct::Ack { .. } }
+        )));
     }
 
     #[test]
     fn dssmr_keep_transfers_ownership() {
-        let mut lender = ServerCore::<App>::new(PartitionId(1), Mode::DsSmr, ServerConfig::default());
+        let mut lender =
+            ServerCore::<App>::new(PartitionId(1), Mode::DsSmr, ServerConfig::default());
         lender.preload([LocKey(1)], [(VarId(10), 50)]);
-        let mut target = ServerCore::<App>::new(PartitionId(0), Mode::DsSmr, ServerConfig::default());
+        let mut target =
+            ServerCore::<App>::new(PartitionId(0), Mode::DsSmr, ServerConfig::default());
         target.preload([LocKey(0)], [(VarId(0), 1)]);
         let mut m = Metrics::new();
         let payload = Payload::Access {
@@ -1485,14 +1579,20 @@ mod tests {
         let payload = access_payload(0, &[(0, 0), (10, 1)], 0, 0);
         let eff_a = a.on_deliver(payload.clone(), now(), &mut m);
         let eff_b = b.on_deliver(payload, now(), &mut m);
-        let ex_a = eff_a.iter().find_map(|e| match e {
-            Effect::Send { msg: m2 @ Direct::SsmrExchange { .. }, .. } => Some(m2.clone()),
-            _ => None,
-        }).expect("a exchanges");
-        let ex_b = eff_b.iter().find_map(|e| match e {
-            Effect::Send { msg: m2 @ Direct::SsmrExchange { .. }, .. } => Some(m2.clone()),
-            _ => None,
-        }).expect("b exchanges");
+        let ex_a = eff_a
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send { msg: m2 @ Direct::SsmrExchange { .. }, .. } => Some(m2.clone()),
+                _ => None,
+            })
+            .expect("a exchanges");
+        let ex_b = eff_b
+            .iter()
+            .find_map(|e| match e {
+                Effect::Send { msg: m2 @ Direct::SsmrExchange { .. }, .. } => Some(m2.clone()),
+                _ => None,
+            })
+            .expect("b exchanges");
         // Feed each the other's share: both execute; only partition 0
         // (lowest id) replies.
         let eff_a = a.on_direct(ex_b, now(), &mut m);

@@ -4,11 +4,11 @@
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
+use dynastar_core::metric_names as mn;
 use dynastar_core::{
     Application, ClusterBuilder, ClusterConfig, Command, CommandKind, LocKey, Mode, PartitionId,
     VarId, Workload,
 };
-use dynastar_core::metric_names as mn;
 use dynastar_runtime::{SimDuration, SimTime};
 use rand::rngs::StdRng;
 
@@ -56,7 +56,12 @@ impl Workload<Counters> for Script {
         self.cmds.next()
     }
 
-    fn on_completed(&mut self, now: SimTime, cmd: &Command<Counters>, reply: Option<&Vec<(VarId, i64)>>) {
+    fn on_completed(
+        &mut self,
+        now: SimTime,
+        cmd: &Command<Counters>,
+        reply: Option<&Vec<(VarId, i64)>>,
+    ) {
         self.log.lock().unwrap().push((cmd.clone(), reply.cloned(), now));
     }
 }
@@ -155,8 +160,15 @@ fn contended_multi_partition_commands_serialize_correctly() {
     assert_eq!(l1.len(), 8, "client 1 stalled at {}", l1.len());
     assert_eq!(l2.len(), 8, "client 2 stalled at {}", l2.len());
     // Both counters saw all 16 increments.
-    let max0 = l1.iter().chain(l2.iter()).filter_map(|e| e.1.as_ref()).flat_map(|r| r.iter())
-        .filter(|(v, _)| *v == VarId(0)).map(|&(_, n)| n).max().unwrap();
+    let max0 = l1
+        .iter()
+        .chain(l2.iter())
+        .filter_map(|e| e.1.as_ref())
+        .flat_map(|r| r.iter())
+        .filter(|(v, _)| *v == VarId(0))
+        .map(|&(_, n)| n)
+        .max()
+        .unwrap();
     assert_eq!(max0, 16);
 }
 

@@ -60,7 +60,11 @@ impl Workload<Counters> for Load {
     }
 }
 
-fn build(seed: u64, net: NetConfig, replicas: usize) -> (dynastar_core::Cluster<Counters>, Arc<Mutex<u32>>) {
+fn build(
+    seed: u64,
+    net: NetConfig,
+    replicas: usize,
+) -> (dynastar_core::Cluster<Counters>, Arc<Mutex<u32>>) {
     let config = ClusterConfig {
         partitions: 2,
         replicas,

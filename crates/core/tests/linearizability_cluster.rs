@@ -60,7 +60,8 @@ impl Spec for CounterSpec {
     }
 }
 
-type History = Arc<Mutex<Vec<OpRecord<Vec<u64>, Vec<(u64, i64)>>>>>;
+type Records = Vec<OpRecord<Vec<u64>, Vec<(u64, i64)>>>;
+type History = Arc<Mutex<Records>>;
 
 /// Random increments over a small var set, recording an op history.
 struct Recorder {
@@ -89,7 +90,12 @@ impl Workload<Counters> for Recorder {
         Some(CommandKind::Access { op: 1, vars })
     }
 
-    fn on_completed(&mut self, now: SimTime, cmd: &Command<Counters>, reply: Option<&Vec<(VarId, i64)>>) {
+    fn on_completed(
+        &mut self,
+        now: SimTime,
+        cmd: &Command<Counters>,
+        reply: Option<&Vec<(VarId, i64)>>,
+    ) {
         let Some(reply) = reply else { return };
         let CommandKind::Access { vars, .. } = &cmd.kind else { return };
         self.history.lock().unwrap().push(OpRecord {
@@ -108,7 +114,7 @@ fn run_history(
     multi_pct: u32,
     repartition: bool,
     crash: bool,
-) -> Vec<OpRecord<Vec<u64>, Vec<(u64, i64)>>> {
+) -> Records {
     const VARS: u64 = 6;
     let config = ClusterConfig {
         partitions: 2,
@@ -117,10 +123,7 @@ fn run_history(
         seed,
         repartition_threshold: if repartition { 20 } else { u64::MAX },
         min_plan_interval: SimDuration::from_secs(1),
-        server: dynastar_core::server::ServerConfig {
-            hint_batch: 4,
-            ..Default::default()
-        },
+        server: dynastar_core::server::ServerConfig { hint_batch: 4, ..Default::default() },
         warm_client_caches: true,
         client_timeout: SimDuration::from_secs(3),
         ..ClusterConfig::default()

@@ -125,7 +125,7 @@ impl GraphBuilder {
     pub fn build(&self) -> Graph {
         let n = self.vwgt.len();
         let mut degree = vec![0usize; n];
-        for (&(u, v), _) in &self.edges {
+        for &(u, v) in self.edges.keys() {
             degree[u as usize] += 1;
             degree[v as usize] += 1;
         }
@@ -146,13 +146,7 @@ impl GraphBuilder {
             cursor[v as usize] += 1;
             total_ewgt += w;
         }
-        Graph {
-            xadj,
-            adj,
-            total_vwgt: self.vwgt.iter().sum(),
-            vwgt: self.vwgt.clone(),
-            total_ewgt,
-        }
+        Graph { xadj, adj, total_vwgt: self.vwgt.iter().sum(), vwgt: self.vwgt.clone(), total_ewgt }
     }
 }
 

@@ -201,9 +201,7 @@ fn grow_initial(g: &Graph, k: u32, rng: &mut StdRng) -> Vec<u32> {
         frontier.insert(seed, 0);
         while weight < target.max(1) {
             // Best-connected frontier vertex (ties by id for determinism).
-            let Some((&v, _)) = frontier
-                .iter()
-                .max_by_key(|(&v, &w)| (w, std::cmp::Reverse(v)))
+            let Some((&v, _)) = frontier.iter().max_by_key(|(&v, &w)| (w, std::cmp::Reverse(v)))
             else {
                 break;
             };

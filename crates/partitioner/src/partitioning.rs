@@ -19,10 +19,7 @@ impl Partitioning {
     /// Panics if `parts` is zero or any entry is out of range.
     pub fn new(parts: u32, assignment: Vec<u32>) -> Self {
         assert!(parts > 0, "need at least one part");
-        assert!(
-            assignment.iter().all(|&p| p < parts),
-            "assignment references a part >= {parts}"
-        );
+        assert!(assignment.iter().all(|&p| p < parts), "assignment references a part >= {parts}");
         Partitioning { parts, assignment }
     }
 
@@ -94,11 +91,7 @@ impl Partitioning {
     /// Panics if the assignments have different lengths.
     pub fn moved_from(&self, other: &Partitioning) -> usize {
         assert_eq!(self.assignment.len(), other.assignment.len(), "size mismatch");
-        self.assignment
-            .iter()
-            .zip(&other.assignment)
-            .filter(|(a, b)| a != b)
-            .count()
+        self.assignment.iter().zip(&other.assignment).filter(|(a, b)| a != b).count()
     }
 }
 

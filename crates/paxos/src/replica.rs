@@ -39,6 +39,30 @@ impl<V> Output<V> {
     }
 }
 
+/// One live replica's view of the log, exported for a recovering peer.
+///
+/// Crash-recovery with amnesia is unsafe in Paxos: a replica that forgets
+/// an accepted value can let a later leader decide a different value for
+/// the same slot. A restarting replica therefore rebuilds its acceptor
+/// state from a *quorum* of these reports (Viewstamped-Replication-style
+/// recovery): any value accepted by a quorum appears in at least one
+/// report of any quorum of live peers, so merging the reported tails
+/// restores every possibly-chosen value.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport<V> {
+    /// The reporter's promised ballot.
+    pub promised: Ballot,
+    /// The reporter's decided frontier (first slot not known decided).
+    pub frontier: Slot,
+    /// Commands the reporter has delivered (excluding no-ops) up to its
+    /// frontier.
+    pub delivered: u64,
+    /// `(slot, ballot, value)` for every slot at or above the reporter's
+    /// frontier it has accepted or decided (decided slots carry the
+    /// chosen-value sentinel ballot).
+    pub accepted: Vec<(Slot, Ballot, Entry<V>)>,
+}
+
 #[derive(Debug)]
 enum Role<V> {
     Follower,
@@ -91,6 +115,11 @@ pub struct PaxosReplica<V> {
     pending: VecDeque<V>,
     /// Commands delivered so far (no-ops excluded); survives log pruning.
     delivered_cmds: u64,
+    /// Highest decided frontier any peer has advertised (via heartbeats or
+    /// promises). When it runs away from our own frontier by more than the
+    /// retention window, ordinary catch-up can no longer help: peers have
+    /// pruned the slots we need and a state transfer is required.
+    max_seen_frontier: Slot,
 }
 
 impl<V: Clone> PaxosReplica<V> {
@@ -124,12 +153,119 @@ impl<V: Clone> PaxosReplica<V> {
             ticks_since_leader: 0,
             pending: VecDeque::new(),
             delivered_cmds: 0,
+            max_seen_frontier: Slot(0),
         }
     }
 
     /// This replica's index within its group.
     pub fn index(&self) -> usize {
         self.idx
+    }
+
+    /// Highest ballot this replica has promised (acceptor state). This is
+    /// the one piece of state that must survive a crash (persist it before
+    /// acting on a promise) — everything else is rebuilt from peers.
+    pub fn promised(&self) -> Ballot {
+        self.promised
+    }
+
+    /// Exports this replica's log view for a recovering peer.
+    pub fn recovery_report(&self) -> RecoveryReport<V> {
+        RecoveryReport {
+            promised: self.promised,
+            frontier: self.decided_frontier,
+            delivered: self.delivered_cmds,
+            accepted: self
+                .accepted
+                .range(self.decided_frontier..)
+                .map(|(&s, &(b, ref v))| (s, b, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a replica from a quorum of peer [`RecoveryReport`]s after a
+    /// crash (the caller must supply at least `cfg.quorum()` reports — see
+    /// the safety argument on [`RecoveryReport`]).
+    ///
+    /// `promised_floor` is the promised ballot recovered from this
+    /// replica's own stable storage; the rebuilt promise never drops below
+    /// it, so promises made before the crash stay honoured even if every
+    /// reporting peer is behind them.
+    ///
+    /// The replica comes back as a follower with no leader hint (an
+    /// ex-leader thus steps down cleanly; the group re-elects around it).
+    /// Its log is fast-forwarded to the highest reported frontier — the
+    /// application state up to that frontier must be installed separately
+    /// by the caller (snapshot transfer); slots already decided above the
+    /// frontier are returned through the accompanying [`Output`] exactly as
+    /// live decisions would be.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` holds fewer than `cfg.quorum()` reports.
+    pub fn recover_from(
+        idx: usize,
+        cfg: GroupConfig,
+        promised_floor: Ballot,
+        reports: &[RecoveryReport<V>],
+    ) -> (Self, Output<V>) {
+        assert!(
+            reports.len() >= cfg.quorum(),
+            "recovery needs a quorum of reports ({} < {})",
+            reports.len(),
+            cfg.quorum()
+        );
+        let frontier = reports.iter().map(|r| r.frontier).max().unwrap_or(Slot(0));
+        let delivered = reports
+            .iter()
+            .filter(|r| r.frontier == frontier)
+            .map(|r| r.delivered)
+            .max()
+            .unwrap_or(0);
+        let mut promised = promised_floor;
+        let mut merged: BTreeMap<Slot, (Ballot, Entry<V>)> = BTreeMap::new();
+        for r in reports {
+            promised = promised.max(r.promised);
+            for (slot, ballot, value) in &r.accepted {
+                if *slot < frontier {
+                    continue;
+                }
+                match merged.get(slot) {
+                    Some(&(existing, _)) if existing >= *ballot => {}
+                    _ => {
+                        merged.insert(*slot, (*ballot, value.clone()));
+                    }
+                }
+            }
+        }
+        let mut replica = PaxosReplica {
+            idx,
+            cfg,
+            promised,
+            accepted: merged,
+            decided: BTreeMap::new(),
+            decided_frontier: frontier,
+            next_deliver: frontier,
+            role: Role::Follower,
+            leader_hint: None,
+            ticks_since_leader: 0,
+            pending: VecDeque::new(),
+            delivered_cmds: delivered,
+            max_seen_frontier: frontier,
+        };
+        // Slots already chosen above the frontier re-deliver through the
+        // normal path so the caller's application observes them once.
+        let mut out = Output::new();
+        let chosen: Vec<(Slot, Entry<V>)> = replica
+            .accepted
+            .iter()
+            .filter(|&(_, &(b, _))| b == DECIDED_BALLOT)
+            .map(|(&s, (_, v))| (s, v.clone()))
+            .collect();
+        for (slot, value) in chosen {
+            replica.record_decided(slot, value, &mut out);
+        }
+        (replica, out)
     }
 
     /// Whether this replica currently believes it is the leader.
@@ -150,6 +286,15 @@ impl<V: Clone> PaxosReplica<V> {
     /// Number of commands (excluding no-ops) this replica has delivered.
     pub fn delivered_count(&self) -> u64 {
         self.delivered_cmds
+    }
+
+    /// True when this replica has fallen further behind the group's decided
+    /// frontier than the log-retention window. Slot-by-slot catch-up cannot
+    /// close such a gap (peers have pruned the needed slots); the caller
+    /// must run a state transfer — rebuild via [`PaxosReplica::recover_from`]
+    /// plus an application snapshot, exactly as after a crash.
+    pub fn needs_state_transfer(&self) -> bool {
+        self.max_seen_frontier.0 > self.decided_frontier.0.saturating_add(LOG_RETENTION)
     }
 
     /// Submits a command for total ordering.
@@ -227,12 +372,7 @@ impl<V: Clone> PaxosReplica<V> {
         // Prune the log far behind the delivery frontier to bound memory.
         if self.next_deliver.0 > LOG_RETENTION {
             let cutoff = Slot(self.next_deliver.0 - LOG_RETENTION);
-            if self
-                .decided
-                .first_key_value()
-                .map(|(&s, _)| s < cutoff)
-                .unwrap_or(false)
-            {
+            if self.decided.first_key_value().map(|(&s, _)| s < cutoff).unwrap_or(false) {
                 self.decided = self.decided.split_off(&cutoff);
                 let keep = self.accepted.split_off(&cutoff);
                 self.accepted = keep;
@@ -251,7 +391,10 @@ impl<V: Clone> PaxosReplica<V> {
                 *ticks_since_heartbeat += 1;
                 if *ticks_since_heartbeat >= self.cfg.heartbeat_interval_ticks {
                     *ticks_since_heartbeat = 0;
-                    let hb = PaxosMsg::Heartbeat { ballot: *ballot, decided_up_to: self.decided_frontier };
+                    let hb = PaxosMsg::Heartbeat {
+                        ballot: *ballot,
+                        decided_up_to: self.decided_frontier,
+                    };
                     for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {
                         out.outgoing.push((peer, hb.clone()));
                     }
@@ -371,22 +514,31 @@ impl<V: Clone> PaxosReplica<V> {
                         .collect();
                     out.outgoing.push((
                         from,
-                        PaxosMsg::Promise { ballot, accepted, decided_up_to: self.decided_frontier },
+                        PaxosMsg::Promise {
+                            ballot,
+                            accepted,
+                            decided_up_to: self.decided_frontier,
+                        },
                     ));
                 } else {
                     out.outgoing.push((from, PaxosMsg::Nack { ballot: self.promised }));
                 }
             }
             PaxosMsg::Promise { ballot, accepted, decided_up_to } => {
+                self.max_seen_frontier = self.max_seen_frontier.max(decided_up_to);
                 // A promiser that is ahead on decisions implies slots we can
                 // fetch; remember to catch up from it.
                 if decided_up_to > self.decided_frontier {
                     out.outgoing.push((
                         from,
-                        PaxosMsg::CatchUpRequest { from_slot: self.decided_frontier, to_slot: decided_up_to },
+                        PaxosMsg::CatchUpRequest {
+                            from_slot: self.decided_frontier,
+                            to_slot: decided_up_to,
+                        },
                     ));
                 }
-                if let Role::Candidate { ballot: our, promises, values, max_slot } = &mut self.role {
+                if let Role::Candidate { ballot: our, promises, values, max_slot } = &mut self.role
+                {
                     if ballot == *our {
                         promises.insert(from);
                         for (slot, b, v) in accepted {
@@ -435,6 +587,7 @@ impl<V: Clone> PaxosReplica<V> {
                 self.record_decided(slot, value, &mut out);
             }
             PaxosMsg::Heartbeat { ballot, decided_up_to } => {
+                self.max_seen_frontier = self.max_seen_frontier.max(decided_up_to);
                 if ballot >= self.promised {
                     self.promised = ballot;
                     self.maybe_step_down(ballot);
@@ -686,10 +839,9 @@ mod tests {
         let out3 = r1.on_message(2, promise);
         assert!(r1.is_leader());
         // The recovered Accept for slot 0 must carry 42 again.
-        let reaccept = out3
-            .outgoing
-            .iter()
-            .any(|(_, m)| matches!(m, PaxosMsg::Accept { slot: Slot(0), value: Entry::Cmd(42), .. }));
+        let reaccept = out3.outgoing.iter().any(|(_, m)| {
+            matches!(m, PaxosMsg::Accept { slot: Slot(0), value: Entry::Cmd(42), .. })
+        });
         assert!(reaccept, "new leader must re-propose the possibly-chosen value");
     }
 
@@ -718,6 +870,140 @@ mod tests {
         net.run(10);
         let vals: Vec<u64> = net.delivered[2].iter().map(|&(_, v)| v).collect();
         assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn recovery_from_quorum_matches_decided_log() {
+        let mut net = Net::new(3);
+        for v in 0..8 {
+            net.propose_at(0, v);
+        }
+        net.drain();
+        // Replica 2 crashes and loses everything; rebuild from peers 0+1.
+        let reports = vec![net.replicas[0].recovery_report(), net.replicas[1].recovery_report()];
+        let cfg = GroupConfig::new(3);
+        let (rebuilt, out) = PaxosReplica::recover_from(2, cfg, Ballot::INITIAL, &reports);
+        net.replicas[2] = rebuilt;
+        net.delivered[2].clear();
+        // The recovered replica is fast-forwarded: nothing re-delivers (the
+        // application state arrives by snapshot), and its frontier matches.
+        assert!(out.decided.is_empty());
+        assert_eq!(net.replicas[2].decided_frontier(), net.replicas[0].decided_frontier());
+        assert_eq!(net.replicas[2].delivered_count(), net.replicas[0].delivered_count());
+        assert!(!net.replicas[2].is_leader());
+        // And it participates normally afterwards.
+        net.propose_at(0, 100);
+        net.run(5);
+        let vals: Vec<u64> = net.delivered[2].iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![100]);
+    }
+
+    #[test]
+    fn recovery_preserves_possibly_chosen_value() {
+        // r1 accepts 42 for slot 0 (quorum {r0, r1}), then crashes and
+        // recovers from {r0, r2}. r0's report carries the accepted value, so
+        // a later election must still decide 42 — amnesia would lose it.
+        let cfg = GroupConfig::new(3);
+        let mut r0: PaxosReplica<u64> = PaxosReplica::new(0, cfg.clone());
+        let mut r1: PaxosReplica<u64> = PaxosReplica::new(1, cfg.clone());
+        let mut r2: PaxosReplica<u64> = PaxosReplica::new(2, cfg.clone());
+        let out = r0.propose(42);
+        let accept = out
+            .outgoing
+            .iter()
+            .find_map(|(to, m)| (*to == 1).then(|| m.clone()))
+            .expect("accept for r1");
+        let _ = r1.on_message(0, accept);
+
+        let floor = r1.promised();
+        let reports = vec![r0.recovery_report(), r2.recovery_report()];
+        let (r1, _) = PaxosReplica::recover_from(1, cfg.clone(), floor, &reports);
+        let mut r1 = r1;
+
+        // r0 crashes; r1 runs an election with r2 and must re-propose 42.
+        let mut out = Output::new();
+        r1.start_election(&mut out);
+        let prepare = out
+            .outgoing
+            .iter()
+            .find_map(|(to, m)| (*to == 2).then(|| m.clone()))
+            .expect("prepare for r2");
+        let out2 = r2.on_message(1, prepare);
+        let promise = out2
+            .outgoing
+            .into_iter()
+            .find_map(|(to, m)| (to == 1).then_some(m))
+            .expect("promise from r2");
+        let out3 = r1.on_message(2, promise);
+        assert!(r1.is_leader());
+        let reaccept = out3.outgoing.iter().any(|(_, m)| {
+            matches!(m, PaxosMsg::Accept { slot: Slot(0), value: Entry::Cmd(42), .. })
+        });
+        assert!(reaccept, "recovered replica must re-propose the possibly-chosen value");
+    }
+
+    #[test]
+    fn recovered_ex_leader_rejoins_as_follower() {
+        let mut net = Net::new(3);
+        for v in 0..3 {
+            net.propose_at(0, v);
+        }
+        net.drain();
+        assert!(net.replicas[0].is_leader());
+        let floor = net.replicas[0].promised();
+        let reports = vec![net.replicas[1].recovery_report(), net.replicas[2].recovery_report()];
+        let cfg = GroupConfig::new(3);
+        let (rebuilt, _) = PaxosReplica::recover_from(0, cfg, floor, &reports);
+        net.replicas[0] = rebuilt;
+        net.delivered[0].clear();
+        assert!(!net.replicas[0].is_leader());
+        assert_eq!(net.replicas[0].leader_hint(), None);
+        // The group notices the silent ex-leader and elects a new one;
+        // afterwards everyone (including the recovered node) makes progress.
+        net.run(40);
+        // A proper election (possibly won by the recovered node itself —
+        // its stagger is shortest) restores a leader.
+        assert!(net.replicas.iter().any(|r| r.is_leader()));
+        let leader = net.replicas.iter().position(|r| r.is_leader()).unwrap();
+        net.propose_at(leader, 7);
+        net.run(5);
+        let vals: Vec<u64> = net.delivered[0].iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![7]);
+    }
+
+    #[test]
+    fn recovery_promised_floor_is_honoured() {
+        let cfg = GroupConfig::new(3);
+        let floor = Ballot { round: 9, owner: 1 };
+        let reports: Vec<RecoveryReport<u64>> = vec![
+            RecoveryReport {
+                promised: Ballot::INITIAL,
+                frontier: Slot(0),
+                delivered: 0,
+                accepted: Vec::new(),
+            },
+            RecoveryReport {
+                promised: Ballot::INITIAL,
+                frontier: Slot(0),
+                delivered: 0,
+                accepted: Vec::new(),
+            },
+        ];
+        let (r, _) = PaxosReplica::recover_from(1, cfg, floor, &reports);
+        assert_eq!(r.promised(), floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "quorum")]
+    fn recovery_rejects_sub_quorum_reports() {
+        let cfg = GroupConfig::new(3);
+        let reports: Vec<RecoveryReport<u64>> = vec![RecoveryReport {
+            promised: Ballot::INITIAL,
+            frontier: Slot(0),
+            delivered: 0,
+            accepted: Vec::new(),
+        }];
+        let _ = PaxosReplica::recover_from(1, cfg, Ballot::INITIAL, &reports);
     }
 
     #[test]

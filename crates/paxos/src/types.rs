@@ -7,7 +7,9 @@ use serde::{Deserialize, Serialize};
 /// A ballot number: a `(round, replica)` pair, totally ordered
 /// lexicographically so that every replica can generate ballots that are
 /// distinct from every other replica's.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Ballot {
     /// Monotone round counter.
     pub round: u64,
@@ -38,7 +40,9 @@ impl fmt::Display for Ballot {
 }
 
 /// A position in the replicated log. Slots start at 0 and are dense.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Slot(pub u64);
 
 impl Slot {
@@ -87,7 +91,11 @@ impl GroupConfig {
     /// # Panics
     ///
     /// Panics if `size` is zero or `election_timeout_ticks` is zero.
-    pub fn with_timing(size: usize, election_timeout_ticks: u32, heartbeat_interval_ticks: u32) -> Self {
+    pub fn with_timing(
+        size: usize,
+        election_timeout_ticks: u32,
+        heartbeat_interval_ticks: u32,
+    ) -> Self {
         assert!(size > 0, "a Paxos group needs at least one replica");
         assert!(election_timeout_ticks > 0, "election timeout must be positive");
         GroupConfig { size, election_timeout_ticks, heartbeat_interval_ticks }

@@ -60,6 +60,7 @@ pub struct Ctx<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) now: SimTime,
     pub(crate) rng: &'a mut StdRng,
+    pub(crate) stable: &'a mut Vec<u8>,
     pub(crate) metrics: &'a mut Metrics,
     pub(crate) effects: &'a mut Vec<Effect<M>>,
 }
@@ -109,6 +110,24 @@ impl<'a, M> Ctx<'a, M> {
         self.rng
     }
 
+    /// The node's stable-storage blob as last persisted (empty if never
+    /// written). Unlike actor fields, the blob survives a crash and is
+    /// handed back to [`Actor::on_restart`] when the node comes back up.
+    pub fn stable(&self) -> &[u8] {
+        self.stable
+    }
+
+    /// Atomically replaces the node's stable-storage blob.
+    ///
+    /// The write is durable from the moment this returns: a crash at any
+    /// later point leaves exactly this blob for recovery. Partial writes
+    /// are not modeled — persistence is whole-blob replace, mirroring a
+    /// write-to-temp-then-rename on a real disk.
+    pub fn persist(&mut self, data: &[u8]) {
+        self.stable.clear();
+        self.stable.extend_from_slice(data);
+    }
+
     /// Read access to the simulation-wide metrics registry.
     pub fn metrics(&self) -> &Metrics {
         self.metrics
@@ -142,6 +161,23 @@ pub trait Actor<M>: 'static {
     /// Called when a timer armed with [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_, M>, tag: u64) {
         let _ = (ctx, tag);
+    }
+
+    /// Called when the node restarts after a crash (crash-recovery model).
+    ///
+    /// `stable` is the stable-storage blob as last written with
+    /// [`Ctx::persist`] before the crash (empty if never persisted).
+    /// Implementations MUST treat all of their in-memory fields as lost:
+    /// reset every volatile field and rebuild only from `stable`. The
+    /// runtime has already invalidated all pending timers and reseeded the
+    /// node's RNG for the new incarnation.
+    ///
+    /// The default implementation models a process with no recovery logic:
+    /// it ignores `stable` and runs [`Actor::on_start`] as if booting
+    /// fresh. Stateful actors should override it.
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, M>, stable: &[u8]) {
+        let _ = stable;
+        self.on_start(ctx);
     }
 }
 

@@ -20,9 +20,15 @@ pub(crate) enum EventKind<M> {
 /// Fault-injection actions that can be scheduled at a future time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Control {
-    /// Permanently crash a node (crash-stop model): it receives no further
-    /// messages or timers.
+    /// Crash a node: it receives no further messages or timers. The crash
+    /// is permanent (crash-stop) unless a later [`Control::Restart`] brings
+    /// the node back (crash-recovery).
     Crash(NodeId),
+    /// Restart a crashed node. All volatile state is lost: pending timers
+    /// are invalidated and the actor must re-initialize itself in
+    /// [`Actor::on_restart`](crate::actor::Actor::on_restart) from the
+    /// node's stable-storage blob, which survives the crash.
+    Restart(NodeId),
     /// Disconnect a node: in-flight and future messages to/from it are
     /// dropped, timers still fire (the process is up but unreachable).
     Disconnect(NodeId),
@@ -48,10 +54,7 @@ impl<M> Ord for Event<M> {
     // Reversed so that BinaryHeap (a max-heap) pops the earliest event;
     // ties break by insertion sequence for determinism.
     fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
     }
 }
 impl<M> PartialOrd for Event<M> {

@@ -48,11 +48,7 @@ pub struct FifoLinks<P, M> {
 impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
     /// Creates an endpoint with no history.
     pub fn new() -> Self {
-        FifoLinks {
-            next_send: HashMap::new(),
-            next_recv: HashMap::new(),
-            buffered: HashMap::new(),
-        }
+        FifoLinks { next_send: HashMap::new(), next_recv: HashMap::new(), buffered: HashMap::new() }
     }
 
     /// Stamps `msg` with the next sequence number for `peer`.
@@ -96,6 +92,53 @@ impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
     /// Every peer frames have been received from.
     pub fn receive_peers(&self) -> impl Iterator<Item = &P> {
         self.next_recv.keys()
+    }
+
+    /// The sequence number the next frame wrapped for `peer` will carry.
+    pub fn next_seq_to(&self, peer: &P) -> u64 {
+        self.next_send.get(peer).copied().unwrap_or(0)
+    }
+
+    /// Forgets all send-side state for `peer`: the next frame wrapped for
+    /// it starts again at sequence 0. Used when (re)starting a stream after
+    /// a crash or an epoch change — the receiver must reset its receive
+    /// state for this endpoint in the same handshake or it will treat the
+    /// renumbered frames as stale duplicates.
+    pub fn reset_send(&mut self, peer: &P) {
+        self.next_send.remove(peer);
+    }
+
+    /// Forgets all receive-side state for `peer`: buffered out-of-order
+    /// frames are dropped and the next expected sequence number returns to
+    /// 0. The counterpart of [`Self::reset_send`] on the other endpoint.
+    pub fn reset_receive(&mut self, peer: &P) {
+        self.next_recv.remove(peer);
+        self.buffered.remove(peer);
+    }
+
+    /// Declares every frame from `peer` below `from_seq` permanently lost
+    /// and releases, in order, any buffered frames that become deliverable
+    /// from the new expectation point. Used when the sender gave up
+    /// retransmitting a prefix and announced the jump: the stream heals
+    /// with an explicit, counted gap instead of stalling forever.
+    ///
+    /// Returns the released messages. A `from_seq` at or below the current
+    /// expectation is a no-op (stale jump announcement).
+    pub fn force_advance(&mut self, peer: &P, from_seq: u64) -> Vec<M> {
+        let next = self.next_recv.entry(peer.clone()).or_insert(0);
+        if from_seq <= *next {
+            return Vec::new();
+        }
+        *next = from_seq;
+        let Some(buf) = self.buffered.get_mut(peer) else { return Vec::new() };
+        // Frames below the new expectation can never be delivered.
+        *buf = buf.split_off(&from_seq);
+        let mut ready = Vec::new();
+        while let Some(msg) = buf.remove(next) {
+            ready.push(msg);
+            *next += 1;
+        }
+        ready
     }
 
     /// The sequence numbers missing from `peer`'s stream (holes below the
@@ -163,6 +206,66 @@ mod tests {
         let f0 = tx.wrap(1, 10);
         assert_eq!(rx.accept(0, f0.clone()), vec![10]);
         assert!(rx.accept(0, f0).is_empty());
+    }
+
+    #[test]
+    fn reset_send_restarts_sequence_numbers() {
+        let mut tx: FifoLinks<u32, u32> = FifoLinks::new();
+        assert_eq!(tx.wrap(1, 10).seq, 0);
+        assert_eq!(tx.wrap(1, 11).seq, 1);
+        tx.reset_send(&1);
+        assert_eq!(tx.wrap(1, 12).seq, 0);
+        // Other peers are unaffected.
+        assert_eq!(tx.wrap(2, 20).seq, 0);
+    }
+
+    #[test]
+    fn reset_receive_accepts_a_fresh_stream() {
+        let mut tx: FifoLinks<u32, u32> = FifoLinks::new();
+        let mut rx: FifoLinks<u32, u32> = FifoLinks::new();
+        let f0 = tx.wrap(1, 10);
+        let _f1 = tx.wrap(1, 11);
+        assert_eq!(rx.accept(0, f0), vec![10]);
+        // Sender restarts from seq 0; without a reset the frame is a dup.
+        tx.reset_send(&1);
+        let g0 = tx.wrap(1, 50);
+        assert!(rx.accept(0, g0.clone()).is_empty());
+        rx.reset_receive(&0);
+        assert_eq!(rx.accept(0, g0), vec![50]);
+    }
+
+    #[test]
+    fn force_advance_releases_buffered_suffix() {
+        let mut tx: FifoLinks<u32, u32> = FifoLinks::new();
+        let mut rx: FifoLinks<u32, u32> = FifoLinks::new();
+        let _f0 = tx.wrap(1, 10); // lost forever
+        let _f1 = tx.wrap(1, 11); // lost forever
+        let f2 = tx.wrap(1, 12);
+        let f3 = tx.wrap(1, 13);
+        assert!(rx.accept(0, f2).is_empty());
+        assert!(rx.accept(0, f3).is_empty());
+        assert_eq!(rx.buffered_count(), 2);
+        assert_eq!(rx.force_advance(&0, 2), vec![12, 13]);
+        assert_eq!(rx.expected_from(&0), 4);
+        assert_eq!(rx.buffered_count(), 0);
+        // A stale (already-passed) jump is a no-op.
+        assert!(rx.force_advance(&0, 1).is_empty());
+        assert_eq!(rx.expected_from(&0), 4);
+    }
+
+    #[test]
+    fn force_advance_drops_undeliverable_prefix() {
+        let mut tx: FifoLinks<u32, u32> = FifoLinks::new();
+        let mut rx: FifoLinks<u32, u32> = FifoLinks::new();
+        let _f0 = tx.wrap(1, 10);
+        let f1 = tx.wrap(1, 11);
+        let _f2 = tx.wrap(1, 12);
+        let f3 = tx.wrap(1, 13);
+        assert!(rx.accept(0, f1).is_empty()); // buffered below the jump
+        assert!(rx.accept(0, f3).is_empty());
+        // Jump past 0..3: frame 1's buffered copy is dropped, 3 released.
+        assert_eq!(rx.force_advance(&0, 3), vec![13]);
+        assert_eq!(rx.expected_from(&0), 4);
     }
 
     #[test]

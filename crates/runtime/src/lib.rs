@@ -44,6 +44,7 @@ pub mod dedup;
 pub mod event;
 pub mod fifo;
 pub mod metrics;
+pub mod nemesis;
 pub mod net;
 pub mod sim;
 pub mod time;

@@ -1,0 +1,248 @@
+//! Seeded fault-injection schedules (a *nemesis*, in Jepsen's sense).
+//!
+//! A [`NemesisPlan`] is a deterministic, pre-computed list of fault events
+//! — crash/restart and disconnect/reconnect pairs — generated from a seed
+//! and a set of *fault domains* (replica groups). Determinism matters:
+//! the same seed against the same cluster produces the identical schedule,
+//! so a failing run replays exactly.
+//!
+//! The generator upholds the **minority invariant**: within one group, at
+//! most one replica is faulty at a time, and a repaired replica is given a
+//! grace period to finish state transfer before the next fault lands in
+//! its group. One-at-a-time is the conservative form of "at most a
+//! minority" and holds for every group size; groups smaller than three
+//! replicas get no crash faults at all (a restarted replica rebuilds from
+//! a quorum of *peers*, which needs `size >= 3` to exist).
+//!
+//! ```
+//! use dynastar_runtime::nemesis::{NemesisConfig, NemesisPlan};
+//! use dynastar_runtime::{NodeId, SimDuration, SimTime};
+//!
+//! let groups = vec![vec![NodeId::from_raw(0), NodeId::from_raw(1), NodeId::from_raw(2)]];
+//! let cfg = NemesisConfig {
+//!     seed: 7,
+//!     start: SimTime::from_secs(5),
+//!     end: SimTime::from_secs(60),
+//!     ..NemesisConfig::default()
+//! };
+//! let plan = NemesisPlan::generate(&cfg, &groups);
+//! assert_eq!(plan, NemesisPlan::generate(&cfg, &groups)); // deterministic
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::actor::NodeId;
+use crate::sim::Simulation;
+use crate::time::{SimDuration, SimTime};
+
+/// Parameters of a fault schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NemesisConfig {
+    /// Seed for the schedule (independent of the simulation's seed).
+    pub seed: u64,
+    /// No fault is injected before this time (lets the cluster elect
+    /// leaders and warm up).
+    pub start: SimTime,
+    /// No fault is injected at or after this time, and every injected
+    /// fault is repaired before it — runs converge after `end`.
+    pub end: SimTime,
+    /// Mean spacing between fault windows within one group (the actual
+    /// gap is sampled uniformly from 0.5×..1.5× of this).
+    pub mean_interval: SimDuration,
+    /// Shortest time a fault lasts before repair.
+    pub min_downtime: SimDuration,
+    /// Longest time a fault lasts before repair.
+    pub max_downtime: SimDuration,
+    /// Quiet time after a repair before the next fault may land in the
+    /// same group — covers the repaired replica's state transfer, keeping
+    /// a recovering replica from counting as healthy.
+    pub grace: SimDuration,
+    /// Probability (percent) that a fault is a crash/restart rather than
+    /// a disconnect/reconnect.
+    pub crash_pct: u32,
+}
+
+impl Default for NemesisConfig {
+    fn default() -> Self {
+        NemesisConfig {
+            seed: 1,
+            start: SimTime::from_secs(5),
+            end: SimTime::from_secs(55),
+            mean_interval: SimDuration::from_secs(8),
+            min_downtime: SimDuration::from_millis(500),
+            max_downtime: SimDuration::from_secs(4),
+            grace: SimDuration::from_secs(3),
+            crash_pct: 50,
+        }
+    }
+}
+
+/// The flavour of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Process crash at `at`, restart (crash-recovery model) at `repair_at`.
+    Crash,
+    /// Network disconnect at `at`, reconnect at `repair_at`.
+    Disconnect,
+}
+
+/// One scheduled fault + its repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The victim node.
+    pub node: NodeId,
+    /// Crash or disconnect.
+    pub kind: FaultKind,
+    /// Injection time.
+    pub at: SimTime,
+    /// Repair (restart / reconnect) time.
+    pub repair_at: SimTime,
+}
+
+/// A deterministic fault schedule over a set of replica groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NemesisPlan {
+    /// All scheduled faults, ordered by injection time.
+    pub events: Vec<FaultEvent>,
+}
+
+impl NemesisPlan {
+    /// Generates the schedule for `groups` (each inner slice is one fault
+    /// domain — the replicas of one consensus group). Groups evolve
+    /// independently: each gets its own RNG stream derived from the seed,
+    /// so adding a group does not perturb the others' schedules.
+    pub fn generate(cfg: &NemesisConfig, groups: &[Vec<NodeId>]) -> Self {
+        assert!(cfg.end > cfg.start, "nemesis window is empty");
+        assert!(cfg.max_downtime >= cfg.min_downtime, "downtime range inverted");
+        let mut events = Vec::new();
+        for (gi, group) in groups.iter().enumerate() {
+            let mut rng =
+                StdRng::seed_from_u64(cfg.seed ^ (gi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let crash_ok = group.len() >= 3;
+            // Sequential faults per group: the next window opens only
+            // after the previous repair plus the grace period, so at most
+            // one replica of the group is ever faulty or recovering.
+            let mut cursor = cfg.start;
+            loop {
+                let jitter = cfg.mean_interval.as_micros() / 2
+                    + rng.gen_range(0..cfg.mean_interval.as_micros().max(1));
+                let at = cursor + SimDuration::from_micros(jitter);
+                let downtime = SimDuration::from_micros(
+                    rng.gen_range(cfg.min_downtime.as_micros()..=cfg.max_downtime.as_micros()),
+                );
+                let repair_at = at + downtime;
+                if at >= cfg.end || repair_at >= cfg.end {
+                    break;
+                }
+                let node = group[rng.gen_range(0..group.len())];
+                let kind = if crash_ok && rng.gen_range(0..100u32) < cfg.crash_pct {
+                    FaultKind::Crash
+                } else {
+                    FaultKind::Disconnect
+                };
+                events.push(FaultEvent { node, kind, at, repair_at });
+                cursor = repair_at + cfg.grace;
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.node.as_raw()));
+        NemesisPlan { events }
+    }
+
+    /// Schedules every fault and repair on `sim`.
+    pub fn apply<M: 'static>(&self, sim: &mut Simulation<M>) {
+        for e in &self.events {
+            match e.kind {
+                FaultKind::Crash => {
+                    sim.schedule_crash(e.at, e.node);
+                    sim.schedule_restart(e.repair_at, e.node);
+                }
+                FaultKind::Disconnect => {
+                    sim.schedule_disconnect(e.at, e.node);
+                    sim.schedule_reconnect(e.repair_at, e.node);
+                }
+            }
+        }
+    }
+
+    /// Number of crash/restart faults in the plan.
+    pub fn crash_count(&self) -> u64 {
+        self.events.iter().filter(|e| e.kind == FaultKind::Crash).count() as u64
+    }
+
+    /// Number of disconnect/reconnect faults in the plan.
+    pub fn disconnect_count(&self) -> u64 {
+        self.events.len() as u64 - self.crash_count()
+    }
+
+    /// Time of the last repair — the cluster should converge after this.
+    pub fn last_repair(&self) -> Option<SimTime> {
+        self.events.iter().map(|e| e.repair_at).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId::from_raw(i)).collect()
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let groups = vec![group(&[0, 1, 2]), group(&[3, 4, 5])];
+        let cfg = NemesisConfig { seed: 42, ..NemesisConfig::default() };
+        let a = NemesisPlan::generate(&cfg, &groups);
+        let b = NemesisPlan::generate(&cfg, &groups);
+        assert_eq!(a, b);
+        assert!(!a.events.is_empty());
+        let other = NemesisPlan::generate(&NemesisConfig { seed: 43, ..cfg }, &groups);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn at_most_one_concurrent_fault_per_group() {
+        let groups = vec![group(&[0, 1, 2]), group(&[3, 4, 5]), group(&[6, 7, 8])];
+        let cfg =
+            NemesisConfig { seed: 9, end: SimTime::from_secs(300), ..NemesisConfig::default() };
+        let plan = NemesisPlan::generate(&cfg, &groups);
+        for (gi, g) in groups.iter().enumerate() {
+            let mut windows: Vec<(SimTime, SimTime)> = plan
+                .events
+                .iter()
+                .filter(|e| g.contains(&e.node))
+                .map(|e| (e.at, e.repair_at))
+                .collect();
+            windows.sort();
+            for pair in windows.windows(2) {
+                // Grace separates consecutive fault windows in a group.
+                assert!(
+                    pair[1].0 >= pair[0].1 + cfg.grace,
+                    "group {gi}: overlapping fault windows {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faults_stay_inside_the_window() {
+        let groups = vec![group(&[0, 1, 2])];
+        let cfg = NemesisConfig { seed: 3, ..NemesisConfig::default() };
+        let plan = NemesisPlan::generate(&cfg, &groups);
+        for e in &plan.events {
+            assert!(e.at >= cfg.start && e.repair_at < cfg.end);
+            assert!(e.repair_at > e.at);
+        }
+    }
+
+    #[test]
+    fn small_groups_get_no_crash_faults() {
+        let groups = vec![group(&[0, 1])];
+        let cfg = NemesisConfig { seed: 5, ..NemesisConfig::default() };
+        let plan = NemesisPlan::generate(&cfg, &groups);
+        assert_eq!(plan.crash_count(), 0);
+        // Disconnects are still allowed — they lose no state.
+        assert!(plan.disconnect_count() > 0);
+    }
+}

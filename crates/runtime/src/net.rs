@@ -110,7 +110,12 @@ impl NetConfig {
 
     /// Samples the delivery latency for a message from `from` to `to`, or
     /// `None` if the message is lost.
-    pub fn sample_delivery(&self, from: NodeId, to: NodeId, rng: &mut StdRng) -> Option<SimDuration> {
+    pub fn sample_delivery(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<SimDuration> {
         if self.loss_probability > 0.0 && rng.gen_bool(self.loss_probability) {
             return None;
         }

@@ -24,7 +24,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_micros(), 5_000);
 /// assert!(t > SimTime::ZERO);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -68,10 +70,7 @@ impl SimTime {
     /// Panics if `earlier` is later than `self`; elapsed time in a
     /// simulation is never negative.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
-        assert!(
-            earlier.0 <= self.0,
-            "duration_since: earlier ({earlier}) is after self ({self})"
-        );
+        assert!(earlier.0 <= self.0, "duration_since: earlier ({earlier}) is after self ({self})");
         SimDuration(self.0 - earlier.0)
     }
 
@@ -117,7 +116,9 @@ impl Sub<SimTime> for SimTime {
 /// let d = SimDuration::from_millis(2) + SimDuration::from_micros(500);
 /// assert_eq!(d.as_micros(), 2_500);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimDuration {

@@ -9,7 +9,6 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
-
 use dynastar_core::{Application, Command, CommandKind, LocKey, VarId, Workload};
 use dynastar_runtime::SimTime;
 use rand::rngs::StdRng;
@@ -364,7 +363,13 @@ impl Workload<Chirper> for ChirperWorkload {
         })
     }
 
-    fn on_completed(&mut self, _now: SimTime, _cmd: &Command<Chirper>, _reply: Option<&ChirperReply>) {}
+    fn on_completed(
+        &mut self,
+        _now: SimTime,
+        _cmd: &Command<Chirper>,
+        _reply: Option<&ChirperReply>,
+    ) {
+    }
 }
 
 #[cfg(test)]
@@ -374,17 +379,11 @@ mod tests {
     use std::collections::BTreeMap;
 
     fn state(users: &[u64]) -> BTreeMap<VarId, Option<Arc<ChirperUser>>> {
-        users
-            .iter()
-            .map(|&u| (Chirper::var(u), Some(Arc::new(ChirperUser::default()))))
-            .collect()
+        users.iter().map(|&u| (Chirper::var(u), Some(Arc::new(ChirperUser::default())))).collect()
     }
 
     /// Test helper: mutable access to a user in the var map.
-    fn user_mut<'a>(
-        vars: &'a mut BTreeMap<VarId, Option<Arc<ChirperUser>>>,
-        u: u64,
-    ) -> &'a mut ChirperUser {
+    fn user_mut(vars: &mut BTreeMap<VarId, Option<Arc<ChirperUser>>>, u: u64) -> &mut ChirperUser {
         Arc::make_mut(vars.get_mut(&Chirper::var(u)).unwrap().as_mut().unwrap())
     }
 
@@ -393,10 +392,7 @@ mod tests {
         let mut vars = state(&[0, 1, 2]);
         // User 0 has followers 1 and 2.
         user_mut(&mut vars, 0).followers = vec![1, 2];
-        let reply = Chirper::execute(
-            &ChirperOp::Post { user: 0, text: "hi".into() },
-            &mut vars,
-        );
+        let reply = Chirper::execute(&ChirperOp::Post { user: 0, text: "hi".into() }, &mut vars);
         assert_eq!(reply, ChirperReply::Posted(2));
         let t1 = &vars[&Chirper::var(1)].as_ref().unwrap().timeline;
         assert_eq!(t1.len(), 1);
@@ -428,8 +424,7 @@ mod tests {
     #[test]
     fn follow_updates_both_sides() {
         let mut vars = state(&[0, 1]);
-        let reply =
-            Chirper::execute(&ChirperOp::Follow { follower: 0, followee: 1 }, &mut vars);
+        let reply = Chirper::execute(&ChirperOp::Follow { follower: 0, followee: 1 }, &mut vars);
         assert_eq!(reply, ChirperReply::FollowOk);
         assert_eq!(vars[&Chirper::var(0)].as_ref().unwrap().follows, vec![1]);
         assert_eq!(vars[&Chirper::var(1)].as_ref().unwrap().followers, vec![0]);
@@ -443,8 +438,7 @@ mod tests {
         vars.insert(Chirper::var(9), None);
         let reply = Chirper::execute(&ChirperOp::GetTimeline { user: 9 }, &mut vars);
         assert_eq!(reply, ChirperReply::NoSuchUser);
-        let reply =
-            Chirper::execute(&ChirperOp::Follow { follower: 0, followee: 9 }, &mut vars);
+        let reply = Chirper::execute(&ChirperOp::Follow { follower: 0, followee: 9 }, &mut vars);
         assert_eq!(reply, ChirperReply::NoSuchUser);
     }
 
@@ -452,8 +446,8 @@ mod tests {
     fn workload_generates_valid_mixes() {
         let mut rng = StdRng::seed_from_u64(5);
         let graph = Arc::new(Mutex::new(SocialGraph::barabasi_albert(200, 3, &mut rng)));
-        let mut w = ChirperWorkload::new(Arc::clone(&graph), 0.95, ChirperMix::MIX)
-            .with_budget(500);
+        let mut w =
+            ChirperWorkload::new(Arc::clone(&graph), 0.95, ChirperMix::MIX).with_budget(500);
         let mut timeline = 0;
         let mut posts = 0;
         while let Some(cmd) = w.next_command(SimTime::ZERO, &mut rng) {
@@ -480,8 +474,7 @@ mod tests {
     fn workload_budget_exhausts() {
         let mut rng = StdRng::seed_from_u64(6);
         let graph = Arc::new(Mutex::new(SocialGraph::barabasi_albert(50, 2, &mut rng)));
-        let mut w =
-            ChirperWorkload::new(graph, 0.5, ChirperMix::TIMELINE_ONLY).with_budget(3);
+        let mut w = ChirperWorkload::new(graph, 0.5, ChirperMix::TIMELINE_ONLY).with_budget(3);
         assert!(w.next_command(SimTime::ZERO, &mut rng).is_some());
         assert!(w.next_command(SimTime::ZERO, &mut rng).is_some());
         assert!(w.next_command(SimTime::ZERO, &mut rng).is_some());

@@ -26,6 +26,6 @@ pub mod socialgraph;
 pub mod tpcc;
 pub mod zipf;
 
-pub use chirper::{Chirper, ChirperOp, ChirperReply, ChirperWorkload, ChirperUser};
+pub use chirper::{Chirper, ChirperOp, ChirperReply, ChirperUser, ChirperWorkload};
 pub use socialgraph::SocialGraph;
 pub use zipf::Zipf;

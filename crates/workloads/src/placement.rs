@@ -39,10 +39,7 @@ pub fn round_robin(
     partitions: u32,
 ) -> BTreeMap<LocKey, PartitionId> {
     assert!(partitions > 0, "need at least one partition");
-    keys.into_iter()
-        .enumerate()
-        .map(|(i, k)| (k, PartitionId((i as u32) % partitions)))
-        .collect()
+    keys.into_iter().enumerate().map(|(i, k)| (k, PartitionId((i as u32) % partitions))).collect()
 }
 
 /// Computes a partitioner-optimized placement from a co-access edge list
@@ -79,10 +76,7 @@ pub fn optimized(
     }
     let g = b.build();
     let p = partition(&g, partitions, &PartitionConfig::default().seed(seed));
-    keys.iter()
-        .enumerate()
-        .map(|(i, &k)| (k, PartitionId(p.part_of(i as u32))))
-        .collect()
+    keys.iter().enumerate().map(|(i, &k)| (k, PartitionId(p.part_of(i as u32)))).collect()
 }
 
 #[cfg(test)]

@@ -124,10 +124,7 @@ impl SocialGraph {
     /// The co-access edges a workload over this graph induces (user ↔ each
     /// follower), for offline partitioner-optimized placement (S-SMR\*).
     pub fn coaccess_edges(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.follows
-            .iter()
-            .enumerate()
-            .flat_map(|(u, fs)| fs.iter().map(move |&v| (u as u64, v)))
+        self.follows.iter().enumerate().flat_map(|(u, fs)| fs.iter().map(move |&v| (u as u64, v)))
     }
 
     /// The user with the most followers (the natural "celebrity").
@@ -197,10 +194,7 @@ mod tests {
         let top1pct: usize = counts.iter().take(g.users() / 100).sum();
         // The top 1% of users should hold a disproportionate share (>10%)
         // of all follower edges — the "celebrity" effect.
-        assert!(
-            top1pct * 10 > total,
-            "top1% = {top1pct} of {total}"
-        );
+        assert!(top1pct * 10 > total, "top1% = {top1pct} of {total}");
     }
 
     #[test]

@@ -5,9 +5,8 @@ use std::sync::Arc;
 use dynastar_core::{LocKey, VarId};
 
 use super::schema::{
-    customer_var, district_key, district_var, stock_var, warehouse_key, warehouse_var,
-    CustomerRow, DistrictRow, StockRow, TpccScale, TpccValue, WarehouseRow,
-    DISTRICTS_PER_WAREHOUSE,
+    customer_var, district_key, district_var, stock_var, warehouse_key, warehouse_var, CustomerRow,
+    DistrictRow, StockRow, TpccScale, TpccValue, WarehouseRow, DISTRICTS_PER_WAREHOUSE,
 };
 
 /// All locality keys of a TPC-C database at `scale` (one per district and

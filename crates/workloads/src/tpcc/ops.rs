@@ -8,8 +8,8 @@ use dynastar_core::{Application, LocKey, VarId};
 use serde::{Deserialize, Serialize};
 
 use super::schema::{
-    self, customer_var, district_var, item_price_cents, stock_var, warehouse_var, Order,
-    OrderLine, TpccValue, ORDER_RETENTION,
+    self, customer_var, district_var, item_price_cents, stock_var, warehouse_var, Order, OrderLine,
+    TpccValue, ORDER_RETENTION,
 };
 
 /// The TPC-C application marker (implements [`Application`]).
@@ -195,11 +195,11 @@ impl Application for Tpcc {
     }
 }
 
-fn district_mut<'a>(
-    vars: &'a mut BTreeMap<VarId, Option<Arc<TpccValue>>>,
+fn district_mut(
+    vars: &mut BTreeMap<VarId, Option<Arc<TpccValue>>>,
     w: u32,
     d: u32,
-) -> Option<&'a mut schema::DistrictRow> {
+) -> Option<&mut schema::DistrictRow> {
     match vars.get_mut(&district_var(w, d)) {
         Some(Some(arc)) => match Arc::make_mut(arc) {
             TpccValue::District(row) => Some(row),
@@ -209,12 +209,12 @@ fn district_mut<'a>(
     }
 }
 
-fn customer_mut<'a>(
-    vars: &'a mut BTreeMap<VarId, Option<Arc<TpccValue>>>,
+fn customer_mut(
+    vars: &mut BTreeMap<VarId, Option<Arc<TpccValue>>>,
     w: u32,
     d: u32,
     c: u32,
-) -> Option<&'a mut schema::CustomerRow> {
+) -> Option<&mut schema::CustomerRow> {
     match vars.get_mut(&customer_var(w, d, c)) {
         Some(Some(arc)) => match Arc::make_mut(arc) {
             TpccValue::Customer(row) => Some(row),
@@ -224,11 +224,11 @@ fn customer_mut<'a>(
     }
 }
 
-fn stock_mut<'a>(
-    vars: &'a mut BTreeMap<VarId, Option<Arc<TpccValue>>>,
+fn stock_mut(
+    vars: &mut BTreeMap<VarId, Option<Arc<TpccValue>>>,
     w: u32,
     item: u32,
-) -> Option<&'a mut schema::StockRow> {
+) -> Option<&mut schema::StockRow> {
     match vars.get_mut(&stock_var(w, item)) {
         Some(Some(arc)) => match Arc::make_mut(arc) {
             TpccValue::Stock(row) => Some(row),
@@ -238,10 +238,10 @@ fn stock_mut<'a>(
     }
 }
 
-fn warehouse_mut<'a>(
-    vars: &'a mut BTreeMap<VarId, Option<Arc<TpccValue>>>,
+fn warehouse_mut(
+    vars: &mut BTreeMap<VarId, Option<Arc<TpccValue>>>,
     w: u32,
-) -> Option<&'a mut schema::WarehouseRow> {
+) -> Option<&mut schema::WarehouseRow> {
     match vars.get_mut(&warehouse_var(w)) {
         Some(Some(arc)) => match Arc::make_mut(arc) {
             TpccValue::Warehouse(row) => Some(row),
@@ -286,7 +286,12 @@ fn new_order(
     let Some(district) = district_mut(vars, w, d) else { return TpccReply::MissingRow };
     let order_id = district.next_o_id;
     district.next_o_id += 1;
-    district.orders.push_back(Order { id: order_id, customer: c, carrier: None, lines: order_lines });
+    district.orders.push_back(Order {
+        id: order_id,
+        customer: c,
+        carrier: None,
+        lines: order_lines,
+    });
     district.new_orders.push_back(order_id);
     // Prune old delivered orders to bound the row size.
     while district.orders.len() > ORDER_RETENTION {
@@ -335,11 +340,9 @@ fn order_status(
         _ => return TpccReply::MissingRow,
     };
     let last_order = match (last, vars.get(&district_var(w, d)).map(|o| o.as_deref())) {
-        (Some(oid), Some(Some(TpccValue::District(row)))) => row
-            .orders
-            .iter()
-            .find(|o| o.id == oid)
-            .map(|o| (o.id, o.carrier.is_some())),
+        (Some(oid), Some(Some(TpccValue::District(row)))) => {
+            row.orders.iter().find(|o| o.id == oid).map(|o| (o.id, o.carrier.is_some()))
+        }
         _ => None,
     };
     TpccReply::Status { balance_cents: balance, last_order }
@@ -385,7 +388,9 @@ fn stock_level(
 ) -> TpccReply {
     let mut count = 0;
     for &i in items {
-        if let Some(Some(TpccValue::Stock(stock))) = vars.get(&stock_var(w, i)).map(|o| o.as_deref()) {
+        if let Some(Some(TpccValue::Stock(stock))) =
+            vars.get(&stock_var(w, i)).map(|o| o.as_deref())
+        {
             if stock.quantity < threshold {
                 count += 1;
             }
@@ -430,7 +435,10 @@ mod tests {
         let TpccReply::OrderPlaced { order_id, .. } = r2 else { panic!("{r2:?}") };
         assert_eq!(order_id, 2, "order ids are sequential");
         // Stock decremented (with restock rule).
-        let Some(Some(TpccValue::Stock(s))) = vars.get(&stock_var(0, 5)).map(|o| o.as_deref()) else { panic!() };
+        let Some(Some(TpccValue::Stock(s))) = vars.get(&stock_var(0, 5)).map(|o| o.as_deref())
+        else {
+            panic!()
+        };
         assert_eq!(s.ytd, 6);
         assert_eq!(s.order_count, 2);
     }
@@ -440,7 +448,10 @@ mod tests {
         let op = TpccOp::NewOrder { w: 0, d: 0, c: 1, lines: vec![line(5, 3, 1)] };
         let mut vars = loaded_vars(&op);
         Tpcc::execute(&op, &mut vars);
-        let Some(Some(TpccValue::Stock(s))) = vars.get(&stock_var(3, 5)).map(|o| o.as_deref()) else { panic!() };
+        let Some(Some(TpccValue::Stock(s))) = vars.get(&stock_var(3, 5)).map(|o| o.as_deref())
+        else {
+            panic!()
+        };
         assert_eq!(s.remote_count, 1);
     }
 
@@ -451,7 +462,10 @@ mod tests {
         for _ in 0..12 {
             Tpcc::execute(&op, &mut vars);
         }
-        let Some(Some(TpccValue::Stock(s))) = vars.get(&stock_var(0, 5)).map(|o| o.as_deref()) else { panic!() };
+        let Some(Some(TpccValue::Stock(s))) = vars.get(&stock_var(0, 5)).map(|o| o.as_deref())
+        else {
+            panic!()
+        };
         assert!(s.quantity >= 10, "quantity = {}", s.quantity);
     }
 
@@ -461,9 +475,16 @@ mod tests {
         let mut vars = loaded_vars(&op);
         let r = Tpcc::execute(&op, &mut vars);
         assert_eq!(r, TpccReply::Paid { balance_cents: -1234 });
-        let Some(Some(TpccValue::Warehouse(w))) = vars.get(&warehouse_var(0)).map(|o| o.as_deref()) else { panic!() };
+        let Some(Some(TpccValue::Warehouse(w))) = vars.get(&warehouse_var(0)).map(|o| o.as_deref())
+        else {
+            panic!()
+        };
         assert_eq!(w.ytd_cents, 1234);
-        let Some(Some(TpccValue::District(d))) = vars.get(&district_var(0, 1)).map(|o| o.as_deref()) else { panic!() };
+        let Some(Some(TpccValue::District(d))) =
+            vars.get(&district_var(0, 1)).map(|o| o.as_deref())
+        else {
+            panic!()
+        };
         assert_eq!(d.ytd_cents, 1234);
         assert_eq!(d.history_count, 1);
     }
@@ -487,7 +508,9 @@ mod tests {
         let r = Tpcc::execute(&del, &mut vars);
         assert_eq!(r, TpccReply::Delivered { order_id: Some(1) });
         // Customer credited with the order total.
-        let Some(Some(TpccValue::Customer(c))) = vars.get(&customer_var(0, 0, 1)).map(|o| o.as_deref()) else {
+        let Some(Some(TpccValue::Customer(c))) =
+            vars.get(&customer_var(0, 0, 1)).map(|o| o.as_deref())
+        else {
             panic!()
         };
         assert_eq!(c.balance_cents, item_price_cents(2));
@@ -504,7 +527,8 @@ mod tests {
         Tpcc::execute(&no, &mut vars);
         let del = TpccOp::Delivery { w: 0, d: 0, carrier: 3, expected_customer: 2 };
         let mut vars2 = vars.clone();
-        vars2.insert(customer_var(0, 0, 2), Some(Arc::new(TpccValue::Customer(Default::default()))));
+        vars2
+            .insert(customer_var(0, 0, 2), Some(Arc::new(TpccValue::Customer(Default::default()))));
         let r = Tpcc::execute(&del, &mut vars2);
         assert_eq!(r, TpccReply::Delivered { order_id: None });
     }

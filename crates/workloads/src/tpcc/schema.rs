@@ -245,12 +245,7 @@ mod tests {
 
     #[test]
     fn var_ids_are_unique_across_tables() {
-        let ids = [
-            warehouse_var(1),
-            district_var(1, 0),
-            customer_var(1, 0, 0),
-            stock_var(1, 0),
-        ];
+        let ids = [warehouse_var(1), district_var(1, 0), customer_var(1, 0, 0), stock_var(1, 0)];
         for i in 0..ids.len() {
             for j in (i + 1)..ids.len() {
                 assert_ne!(ids[i], ids[j]);

@@ -188,26 +188,18 @@ impl Workload<Tpcc> for TpccWorkload {
             *rem -= 1;
         }
         let roll = rng.gen_range(0..100u32);
-        let mut acc = 0;
-        let op = if {
-            acc += self.mix[0];
-            roll < acc
-        } {
+        // Cumulative mix thresholds: roll < t[i] selects transaction i.
+        let t1 = self.mix[0];
+        let t2 = t1 + self.mix[1];
+        let t3 = t2 + self.mix[2];
+        let t4 = t3 + self.mix[3];
+        let op = if roll < t1 {
             self.new_order(rng)
-        } else if {
-            acc += self.mix[1];
-            roll < acc
-        } {
+        } else if roll < t2 {
             self.payment(rng)
-        } else if {
-            acc += self.mix[2];
-            roll < acc
-        } {
+        } else if roll < t3 {
             self.order_status(rng)
-        } else if {
-            acc += self.mix[3];
-            roll < acc
-        } {
+        } else if roll < t4 {
             self.delivery(rng)
         } else {
             self.stock_level(rng)
@@ -223,12 +215,7 @@ impl Workload<Tpcc> for TpccWorkload {
             Some(TpccReply::OrderPlaced { order_id, .. }),
         ) = (&cmd.kind, reply)
         {
-            self.tracker
-                .lock()
-                .unwrap()
-                .entry((*w, *d))
-                .or_default()
-                .push_back((*order_id, *c));
+            self.tracker.lock().unwrap().entry((*w, *d)).or_default().push_back((*order_id, *c));
         }
     }
 }
@@ -273,7 +260,15 @@ mod tests {
         let op = w.delivery(&mut rng);
         assert_eq!(
             op,
-            TpccOp::Delivery { w: 0, d: 3, carrier: match op { TpccOp::Delivery { carrier, .. } => carrier, _ => 0 }, expected_customer: 4 }
+            TpccOp::Delivery {
+                w: 0,
+                d: 3,
+                carrier: match op {
+                    TpccOp::Delivery { carrier, .. } => carrier,
+                    _ => 0,
+                },
+                expected_customer: 4
+            }
         );
     }
 
@@ -289,7 +284,11 @@ mod tests {
             client: NodeId::from_raw(0),
             kind: CommandKind::Access { vars: op.vars(), op },
         };
-        w.on_completed(SimTime::ZERO, &cmd, Some(&TpccReply::OrderPlaced { order_id: 9, total_cents: 1 }));
+        w.on_completed(
+            SimTime::ZERO,
+            &cmd,
+            Some(&TpccReply::OrderPlaced { order_id: 9, total_cents: 1 }),
+        );
         assert_eq!(tracker.lock().unwrap()[&(0, 2)], VecDeque::from([(9, 5)]));
     }
 

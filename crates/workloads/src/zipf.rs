@@ -130,10 +130,8 @@ mod tests {
         let hot = Zipf::new(1000, 0.95);
         let mild = Zipf::new(1000, 0.5);
         let mut rng = StdRng::seed_from_u64(2);
-        let count_hot: usize =
-            (0..20_000).filter(|_| hot.sample(&mut rng) == 0).count();
-        let count_mild: usize =
-            (0..20_000).filter(|_| mild.sample(&mut rng) == 0).count();
+        let count_hot: usize = (0..20_000).filter(|_| hot.sample(&mut rng) == 0).count();
+        let count_mild: usize = (0..20_000).filter(|_| mild.sample(&mut rng) == 0).count();
         assert!(count_hot > count_mild * 2, "hot={count_hot} mild={count_mild}");
     }
 

@@ -84,5 +84,7 @@ fn main() {
     if let Some(h) = m.histogram(mn::CMD_LATENCY) {
         println!("latency: mean {}  p95 {}", h.mean(), h.quantile(0.95));
     }
-    println!("done: repartitioning colocated users with their followers, cutting multi-partition posts.");
+    println!(
+        "done: repartitioning colocated users with their followers, cutting multi-partition posts."
+    );
 }

@@ -80,7 +80,12 @@ impl Workload<Counters> for RandomIncrements {
         }
     }
 
-    fn on_completed(&mut self, _now: SimTime, _cmd: &Command<Counters>, reply: Option<&Vec<(VarId, i64)>>) {
+    fn on_completed(
+        &mut self,
+        _now: SimTime,
+        _cmd: &Command<Counters>,
+        reply: Option<&Vec<(VarId, i64)>>,
+    ) {
         if reply.is_some() {
             *self.done_log.lock().unwrap() += 1;
         }
@@ -116,7 +121,9 @@ fn main() {
         });
     }
 
-    println!("running 4 clients x 500 increments over {COUNTERS} counters on {PARTITIONS} partitions...");
+    println!(
+        "running 4 clients x 500 increments over {COUNTERS} counters on {PARTITIONS} partitions..."
+    );
     cluster.run_for(SimDuration::from_secs(60));
 
     let m = cluster.metrics();
@@ -127,11 +134,7 @@ fn main() {
     println!("repartitionings    : {}", m.counter(mn::PLANS_PUBLISHED));
     println!("client retries     : {}", m.counter(mn::CMD_RETRY));
     if let Some(h) = m.histogram(mn::CMD_LATENCY) {
-        println!(
-            "latency            : mean {}  p95 {}",
-            h.mean(),
-            h.quantile(0.95)
-        );
+        println!("latency            : mean {}  p95 {}", h.mean(), h.quantile(0.95));
     }
     assert_eq!(*done.lock().unwrap(), 2000, "all commands should complete");
     println!("\nok: all 2000 commands completed with linearizable semantics.");

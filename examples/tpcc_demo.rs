@@ -42,9 +42,7 @@ fn main() {
     let tracker = tpcc::order_tracker();
     for w in 0..scale.warehouses {
         for _ in 0..3 {
-            cluster.add_client(
-                TpccWorkload::new(scale, w, Arc::clone(&tracker)).with_budget(300),
-            );
+            cluster.add_client(TpccWorkload::new(scale, w, Arc::clone(&tracker)).with_budget(300));
         }
     }
 

@@ -7,9 +7,9 @@ use dynastar::core::metric_names as mn;
 use dynastar::core::{Cluster, ClusterBuilder, ClusterConfig, Mode, PartitionId};
 use dynastar::runtime::SimDuration;
 use dynastar::workloads::chirper::{Chirper, ChirperMix, ChirperWorkload};
+use dynastar::workloads::placement;
 use dynastar::workloads::socialgraph::SocialGraph;
 use dynastar::workloads::tpcc::{self, Tpcc, TpccScale, TpccWorkload};
-use dynastar::workloads::placement;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -46,9 +46,7 @@ fn tpcc_runs_on_dynastar() {
     let mut cluster = tpcc_cluster(Mode::Dynastar, 2, &scale, 1);
     let tracker = tpcc::order_tracker();
     for w in 0..2 {
-        cluster.add_client(
-            TpccWorkload::new(scale, w, Arc::clone(&tracker)).with_budget(60),
-        );
+        cluster.add_client(TpccWorkload::new(scale, w, Arc::clone(&tracker)).with_budget(60));
     }
     cluster.run_for(SimDuration::from_secs(120));
     let done = cluster.metrics().counter(mn::CMD_COMPLETED);
@@ -63,9 +61,7 @@ fn tpcc_runs_on_ssmr() {
     let mut cluster = tpcc_cluster(Mode::SSmr, 2, &scale, 2);
     let tracker = tpcc::order_tracker();
     for w in 0..2 {
-        cluster.add_client(
-            TpccWorkload::new(scale, w, Arc::clone(&tracker)).with_budget(40),
-        );
+        cluster.add_client(TpccWorkload::new(scale, w, Arc::clone(&tracker)).with_budget(40));
     }
     cluster.run_for(SimDuration::from_secs(120));
     let done = cluster.metrics().counter(mn::CMD_COMPLETED);
@@ -106,9 +102,11 @@ fn chirper_cluster(
         b.place(k, p);
     }
     b.with_vars((0..graph.users() as u64).map(|u| {
-        let mut user = dynastar::workloads::chirper::ChirperUser::default();
-        user.follows = graph.follows_of(u).to_vec();
-        user.followers = graph.followers_of(u).to_vec();
+        let user = dynastar::workloads::chirper::ChirperUser {
+            follows: graph.follows_of(u).to_vec(),
+            followers: graph.followers_of(u).to_vec(),
+            ..Default::default()
+        };
         (Chirper::var(u), std::sync::Arc::new(user))
     }));
     b.build()
@@ -138,9 +136,8 @@ fn chirper_timeline_only_is_single_partition() {
     let graph = SocialGraph::barabasi_albert(80, 3, &mut rng);
     let shared = Arc::new(Mutex::new(graph.clone()));
     let mut cluster = chirper_cluster(Mode::Dynastar, 2, &graph, false, 4);
-    cluster.add_client(
-        ChirperWorkload::new(shared, 0.95, ChirperMix::TIMELINE_ONLY).with_budget(80),
-    );
+    cluster
+        .add_client(ChirperWorkload::new(shared, 0.95, ChirperMix::TIMELINE_ONLY).with_budget(80));
     cluster.run_for(SimDuration::from_secs(60));
     assert_eq!(cluster.metrics().counter(mn::CMD_COMPLETED), 80);
     assert_eq!(cluster.metrics().counter(mn::CMD_MULTI), 0);
@@ -153,9 +150,7 @@ fn chirper_on_ssmr_star_with_optimized_placement() {
     let graph = SocialGraph::barabasi_albert(120, 3, &mut rng);
     let shared = Arc::new(Mutex::new(graph.clone()));
     let mut cluster = chirper_cluster(Mode::SSmr, 2, &graph, true, 5);
-    cluster.add_client(
-        ChirperWorkload::new(shared, 0.95, ChirperMix::MIX).with_budget(80),
-    );
+    cluster.add_client(ChirperWorkload::new(shared, 0.95, ChirperMix::MIX).with_budget(80));
     cluster.run_for(SimDuration::from_secs(120));
     assert_eq!(cluster.metrics().counter(mn::CMD_COMPLETED), 80);
 }

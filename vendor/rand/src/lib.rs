@@ -72,7 +72,9 @@ pub trait SeedableRng: Sized {
 pub struct SplitMix64(pub u64);
 
 impl SplitMix64 {
-    /// Next 64-bit output.
+    /// Next 64-bit output. Named after the reference implementation; not
+    /// an iterator (the stream is infinite and never yields `None`).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.0;
