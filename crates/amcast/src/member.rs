@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use dynastar_paxos::{Ballot, GroupConfig, PaxosReplica, RecoveryReport};
+use dynastar_paxos::{Ballot, BatchStats, GroupConfig, PaxosReplica, RecoveryReport};
 use dynastar_runtime::dedup::RotatingSet;
 
 use crate::types::{Delivery, GroupId, LogEntry, McastWire, MemberId, MsgId, Topology};
@@ -149,10 +149,15 @@ pub struct McastMember<V> {
     seen_submits: BTreeMap<MsgId, (Vec<GroupId>, V)>,
     /// Remote timestamps seen but not yet ordered in our log.
     seen_remote_ts: BTreeMap<(MsgId, GroupId), u64>,
-    /// Tick at which we last proposed an `Assign` for a message.
-    proposed_assign: BTreeMap<MsgId, u64>,
-    /// Tick at which we last proposed a `Remote` entry.
-    proposed_remote: BTreeMap<(MsgId, GroupId), u64>,
+    /// `(tick, ballot)` of our last `Assign` proposal for a message. Under
+    /// an unchanged leader ballot a proposal cannot be lost (it is queued
+    /// in the consensus layer's batch buffer or already in flight, and
+    /// links are reliable), so retries fire only after a ballot change —
+    /// re-proposing on a timer alone would flood a batching leader with
+    /// duplicates faster than bounded-window slots drain them.
+    proposed_assign: BTreeMap<MsgId, (u64, Ballot)>,
+    /// `(tick, ballot)` of our last `Remote` entry proposal.
+    proposed_remote: BTreeMap<(MsgId, GroupId), (u64, Ballot)>,
     /// Our group's timestamps that other groups still need: value is
     /// `(ts, last retransmission tick)`.
     ts_out: BTreeMap<(MsgId, GroupId), (u64, u64)>,
@@ -227,6 +232,19 @@ impl<V: Clone> McastMember<V> {
     /// The group's current logical clock value.
     pub fn clock(&self) -> u64 {
         self.clock
+    }
+
+    /// Drains the underlying consensus leader's batching counters (all-zero
+    /// on members that never led). Hosts poll this periodically to publish
+    /// batch-size / flush-reason / pipeline-occupancy metrics.
+    pub fn take_batch_stats(&mut self) -> BatchStats {
+        self.paxos.take_batch_stats()
+    }
+
+    /// Number of undecided consensus slots currently in flight at this
+    /// member (0 unless it leads its group).
+    pub fn slots_in_flight(&self) -> usize {
+        self.paxos.slots_in_flight()
     }
 
     /// The highest consensus ballot this member has promised. Persist it to
@@ -378,15 +396,16 @@ impl<V: Clone> McastMember<V> {
         if !self.paxos.is_leader() || self.assigned.contains(&mid) {
             return;
         }
+        let ballot = self.paxos.promised();
         let stale = match self.proposed_assign.get(&mid) {
             None => true,
-            Some(&t) => self.ticks.saturating_sub(t) >= RETRY_TICKS,
+            Some(&(t, b)) => b != ballot && self.ticks.saturating_sub(t) >= RETRY_TICKS,
         };
         if !stale {
             return;
         }
         if let Some((dests, payload)) = self.seen_submits.get(&mid) {
-            self.proposed_assign.insert(mid, self.ticks);
+            self.proposed_assign.insert(mid, (self.ticks, ballot));
             let entry = LogEntry::Assign { mid, dests: dests.clone(), payload: payload.clone() };
             let pout = self.paxos.propose(entry);
             self.absorb_paxos(pout, out);
@@ -398,15 +417,16 @@ impl<V: Clone> McastMember<V> {
             return;
         }
         let key = (mid, from_group);
+        let ballot = self.paxos.promised();
         let stale = match self.proposed_remote.get(&key) {
             None => true,
-            Some(&t) => self.ticks.saturating_sub(t) >= RETRY_TICKS,
+            Some(&(t, b)) => b != ballot && self.ticks.saturating_sub(t) >= RETRY_TICKS,
         };
         if !stale {
             return;
         }
         if let Some(&ts) = self.seen_remote_ts.get(&key) {
-            self.proposed_remote.insert(key, self.ticks);
+            self.proposed_remote.insert(key, (self.ticks, ballot));
             let pout = self.paxos.propose(LogEntry::Remote { mid, from_group, ts });
             self.absorb_paxos(pout, out);
         }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use dynastar_bench::report::print_table;
 use dynastar_bench::setup::{chirper_cluster, ChirperSetup};
 use dynastar_core::metric_names as mn;
-use dynastar_core::Mode;
+use dynastar_core::{BatchConfig, Mode};
 use dynastar_runtime::{SimDuration, SimTime};
 use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
 
@@ -28,7 +28,18 @@ struct Point {
 }
 
 fn run(partitions: u32, mode: Mode, mix: ChirperMix, clients: usize) -> Point {
-    let setup = ChirperSetup::new(partitions, mode);
+    run_batched(partitions, mode, mix, clients, BatchConfig::UNBATCHED)
+}
+
+fn run_batched(
+    partitions: u32,
+    mode: Mode,
+    mix: ChirperMix,
+    clients: usize,
+    batch: BatchConfig,
+) -> Point {
+    let mut setup = ChirperSetup::new(partitions, mode);
+    setup.batch = batch;
     let (mut cluster, graph) = chirper_cluster(&setup);
     for _ in 0..clients {
         cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, mix));
@@ -81,4 +92,23 @@ fn main() {
         println!();
     }
     println!("paper shape: timeline-only scales for both; mix flattens at high partition counts.");
+
+    // Optional extra: ordering-batch-size sweep (pass --batch-sweep).
+    // Window pinned to one in-flight instance per leader so `max_batch` is
+    // the only variable; see `probe_batching` for the asserted version.
+    if std::env::args().any(|a| a == "--batch-sweep") {
+        println!("\n== batch-size sweep (DynaStar, mix 85/15, 4 partitions, window 1) ==");
+        let mut rows = Vec::new();
+        for &mb in &[1usize, 4, 8, 16] {
+            eprintln!("fig4 [batch sweep]: max_batch = {mb}...");
+            let batch = BatchConfig { max_batch: mb, max_batch_delay_ticks: 0, window: 1 };
+            let p = run_batched(4, Mode::Dynastar, ChirperMix::MIX, SATURATING_CLIENTS, batch);
+            rows.push(vec![
+                format!("{mb}"),
+                format!("{:.0}", p.tput),
+                format!("{:.1}/{:.1}", p.avg_ms, p.p95_ms),
+            ]);
+        }
+        print_table(&["max_batch", "cps", "ms avg/p95"], &rows);
+    }
 }

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use dynastar_bench::report::print_table;
 use dynastar_bench::setup::{chirper_cluster, ChirperSetup};
 use dynastar_core::metric_names as mn;
-use dynastar_core::Mode;
+use dynastar_core::{BatchConfig, Mode};
 use dynastar_runtime::{SimDuration, SimTime};
 use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
 
@@ -34,7 +34,12 @@ struct SeriesSet {
 }
 
 fn run(mode: Mode) -> SeriesSet {
+    run_batched(mode, BatchConfig::UNBATCHED)
+}
+
+fn run_batched(mode: Mode, batch: BatchConfig) -> SeriesSet {
     let mut setup = ChirperSetup::new(PARTITIONS, mode);
+    setup.batch = batch;
     if mode == Mode::Dynastar {
         // Repartition when enough workload change accumulates, at most
         // every 50 s (first fix ~50 s, celebrity adaptation ~250 s).
@@ -124,4 +129,24 @@ fn main() {
     );
     println!("\npaper shape: DynaStar starts below S-SMR*, overtakes after its first repartition,");
     println!("dips when the celebrity appears, recovers after the next repartition; S-SMR* cannot adapt.");
+
+    // Optional extra: does the adaptation story survive a batched ordering
+    // pipeline? (pass --batch-sweep). Reports whole-run totals per batch
+    // size; the five-phase shape is unchanged, only absolute rates move.
+    if std::env::args().any(|a| a == "--batch-sweep") {
+        println!("\n== batch-size sweep (DynaStar, dynamic workload, window 1) ==");
+        let mut rows = Vec::new();
+        for &mb in &[1usize, 8] {
+            eprintln!("fig6 [batch sweep]: max_batch = {mb}...");
+            let batch = BatchConfig { max_batch: mb, max_batch_delay_ticks: 2, window: 1 };
+            let s = run_batched(Mode::Dynastar, batch);
+            let total: f64 = s.tput.iter().sum();
+            rows.push(vec![
+                format!("{mb}"),
+                format!("{:.0}", total / RUN_SECS as f64),
+                format!("{}", s.plans),
+            ]);
+        }
+        print_table(&["max_batch", "mean cps", "plans"], &rows);
+    }
 }

@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use dynastar_core::{Cluster, ClusterBuilder, ClusterConfig, Mode, PartitionId};
+use dynastar_core::{BatchConfig, Cluster, ClusterBuilder, ClusterConfig, Mode, PartitionId};
 use dynastar_runtime::SimDuration;
 use dynastar_workloads::chirper::{Chirper, ChirperUser};
 use dynastar_workloads::placement;
@@ -41,6 +41,8 @@ pub struct TpccSetup {
     pub seed: u64,
     /// Repartitioning threshold (`u64::MAX` disables).
     pub repartition_threshold: u64,
+    /// Leader-side batching / pipelining knobs for every consensus group.
+    pub batch: BatchConfig,
 }
 
 impl TpccSetup {
@@ -54,6 +56,7 @@ impl TpccSetup {
             placement: Placement::Aligned,
             seed: 1,
             repartition_threshold: if mode == Mode::Dynastar { 3_000 } else { u64::MAX },
+            batch: BatchConfig::UNBATCHED,
         }
     }
 }
@@ -70,6 +73,7 @@ pub fn tpcc_cluster(setup: &TpccSetup) -> Cluster<Tpcc> {
         warm_client_caches: true,
         compute_base: SimDuration::from_millis(100),
         service_time: SimDuration::from_micros(150),
+        batch: setup.batch,
         ..ClusterConfig::default()
     };
     let keys = tpcc::keys(&setup.scale);
@@ -117,6 +121,8 @@ pub struct ChirperSetup {
     pub seed: u64,
     /// Repartitioning threshold (`u64::MAX` disables).
     pub repartition_threshold: u64,
+    /// Leader-side batching / pipelining knobs for every consensus group.
+    pub batch: BatchConfig,
 }
 
 impl ChirperSetup {
@@ -136,6 +142,7 @@ impl ChirperSetup {
             },
             seed: 1,
             repartition_threshold: if mode == Mode::Dynastar { 4_000 } else { u64::MAX },
+            batch: BatchConfig::UNBATCHED,
         }
     }
 }
@@ -156,6 +163,7 @@ pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<Soc
         warm_client_caches: true,
         compute_base: SimDuration::from_millis(100),
         service_time: SimDuration::from_micros(150),
+        batch: setup.batch,
         ..ClusterConfig::default()
     };
     let keys = (0..graph.users() as u64).map(Chirper::key);

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use args::Args;
 use dynastar_bench::setup::{chirper_cluster, tpcc_cluster, ChirperSetup, Placement, TpccSetup};
 use dynastar_core::metric_names as mn;
-use dynastar_core::Mode;
+use dynastar_core::{BatchConfig, Mode};
 use dynastar_runtime::{Metrics, SimDuration};
 use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
 use dynastar_workloads::tpcc::{self, TpccWorkload};
@@ -29,6 +29,10 @@ common flags:
   --clients <n>                  closed-loop clients       [8]
   --secs <s>                     simulated seconds to run  [60]
   --seed <n>                     master seed               [1]
+  --max-batch <n>                commands per ordering batch  [1]
+  --batch-delay <ms>             max wait to fill a batch     [0]
+  --window <n>                   in-flight consensus instances per
+                                 leader (0 = unbounded)       [0]
 
 chirper flags:
   --users <n>                    social graph size         [2000]
@@ -37,6 +41,20 @@ chirper flags:
 tpcc flags:
   --warehouses <n>               warehouses (default = partitions)
 ";
+
+/// Parses the shared batching flags. The cluster tick is 1 ms, so
+/// `--batch-delay` in milliseconds maps 1:1 onto delay ticks.
+fn parse_batch(a: &Args) -> Result<BatchConfig, String> {
+    let max_batch: usize = a.num_or("max-batch", 1)?;
+    if max_batch == 0 {
+        return Err("--max-batch must be at least 1".into());
+    }
+    Ok(BatchConfig {
+        max_batch,
+        max_batch_delay_ticks: a.num_or("batch-delay", 0)?,
+        window: a.num_or("window", 0)?,
+    })
+}
 
 fn parse_mode(s: &str) -> Result<Mode, String> {
     match s {
@@ -60,6 +78,13 @@ fn print_summary(metrics: &Metrics, secs: u64) {
     println!("client retries     : {}", metrics.counter(mn::CMD_RETRY));
     println!("oracle queries     : {}", metrics.counter(mn::ORACLE_QUERIES));
     println!("repartitionings    : {}", metrics.counter(mn::PLANS_PUBLISHED));
+    let batches = metrics.counter(mn::BATCH_FLUSH_FULL) + metrics.counter(mn::BATCH_FLUSH_DELAY);
+    if batches > 0 {
+        println!(
+            "ordering batches   : {batches} (mean {:.1} cmds/batch)",
+            metrics.counter(mn::BATCH_COMMANDS) as f64 / batches as f64
+        );
+    }
     if let Some(h) = metrics.histogram(mn::CMD_LATENCY) {
         println!(
             "latency            : mean {}  p50 {}  p95 {}  p99 {}",
@@ -86,6 +111,7 @@ fn run_chirper(a: &Args) -> Result<(), String> {
     let mut setup = ChirperSetup::new(partitions, mode);
     setup.users = users;
     setup.seed = seed;
+    setup.batch = parse_batch(a)?;
     let (mut cluster, graph) = chirper_cluster(&setup);
     let mix = ChirperMix { timeline: 100 - posts, post: posts, follow: 0, unfollow: 0 };
     for _ in 0..clients {
@@ -109,6 +135,7 @@ fn run_tpcc(a: &Args) -> Result<(), String> {
     let mut setup = TpccSetup::new(partitions, mode);
     setup.scale.warehouses = a.num_or("warehouses", partitions)?;
     setup.seed = seed;
+    setup.batch = parse_batch(a)?;
     if mode == Mode::Dynastar && a.has("warehouses") {
         setup.placement = Placement::Random; // interesting starting point
     }

@@ -60,25 +60,37 @@ pub struct ClientCore<A: Application> {
     id: NodeId,
     mode: Mode,
     seq: u32,
-    cache: HashMap<LocKey, PartitionId>,
+    /// `key → (partition, plan version the fact came from)`. Entries from a
+    /// plan older than [`ClientCore::plan_version`] are flushed wholesale
+    /// when a newer version is observed — without the version tag, every
+    /// stale entry would cost its own NOK round-trip before being evicted.
+    cache: HashMap<LocKey, (PartitionId, u64)>,
+    /// Highest oracle plan version observed in prophecies.
+    plan_version: u64,
     outstanding: Option<Outstanding<A>>,
 }
 
 impl<A: Application> ClientCore<A> {
     /// Creates a client core. `id` doubles as the message-id origin.
     pub fn new(id: NodeId, mode: Mode) -> Self {
-        ClientCore { id, mode, seq: 0, cache: HashMap::new(), outstanding: None }
+        ClientCore { id, mode, seq: 0, cache: HashMap::new(), plan_version: 0, outstanding: None }
     }
 
     /// Pre-populates the location cache (S-SMR's static map, or warm-start
-    /// experiments).
+    /// experiments). Entries are tagged with the initial plan version 0, so
+    /// the first observed repartitioning flushes them.
     pub fn preload_cache(&mut self, entries: impl IntoIterator<Item = (LocKey, PartitionId)>) {
-        self.cache.extend(entries);
+        self.cache.extend(entries.into_iter().map(|(k, p)| (k, (p, 0))));
     }
 
     /// Number of cached locations (test/debug aid).
     pub fn cache_len(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Highest plan version this client has observed (test/debug aid).
+    pub fn plan_version(&self) -> u64 {
+        self.plan_version
     }
 
     /// Whether a command is in flight.
@@ -110,7 +122,7 @@ impl<A: Application> ClientCore<A> {
     /// otherwise.
     fn dispatch(&mut self, cmd: Command<A>, attempt: u32) -> Vec<Effect<A>> {
         if let CommandKind::Access { .. } = cmd.kind {
-            if let Some(route) = compute_route(&cmd, |k| self.cache.get(&k).copied()) {
+            if let Some(route) = compute_route(&cmd, |k| self.cache.get(&k).map(|&(p, _)| p)) {
                 let keep = self.mode.keeps_moved_state() && route.is_multi_partition();
                 return vec![Effect::Multicast {
                     mid: cmd.id.derived(10 + attempt),
@@ -143,9 +155,18 @@ impl<A: Application> ClientCore<A> {
         metrics: &mut Metrics,
     ) -> (Vec<Effect<A>>, Option<ClientEvent<A>>) {
         match msg {
-            Direct::Prophecy { cmd, ok, locations, .. } => {
-                for (k, p) in locations {
-                    self.cache.insert(k, p);
+            Direct::Prophecy { cmd, ok, locations, version } => {
+                if version > self.plan_version {
+                    // A new plan superseded every older cached fact, not
+                    // just this command's keys: flush them all instead of
+                    // paying one NOK round-trip per stale entry.
+                    self.plan_version = version;
+                    self.cache.retain(|_, &mut (_, v)| v >= version);
+                }
+                if version >= self.plan_version {
+                    for (k, p) in locations {
+                        self.cache.insert(k, (p, version));
+                    }
                 }
                 let matches = self.outstanding.as_ref().map(|o| o.cmd.id) == Some(cmd);
                 if matches && !ok {

@@ -11,7 +11,7 @@ use std::sync::Arc;
 use dynastar_amcast::{
     GroupId, McastMember, McastOutput, McastWire, MemberId, MemberSnapshot, MsgId, Topology,
 };
-use dynastar_paxos::{Ballot, GroupConfig};
+use dynastar_paxos::{Ballot, BatchConfig, GroupConfig};
 use dynastar_runtime::fifo::{FifoLinks, Frame};
 use dynastar_runtime::{
     Actor, Ctx, Metrics, NetConfig, NodeId, SimConfig, SimDuration, SimTime, Simulation,
@@ -256,6 +256,12 @@ type SendBuf<A> = std::collections::BTreeMap<u64, (Frame<Inner<A>>, SimTime, Sim
 struct Wiring<A: Application> {
     routes: Arc<RouteTable>,
     fifo: FifoLinks<NodeId, Inner<A>>,
+    /// Reorder-buffer cap handed to [`FifoLinks`]; kept so a restarted
+    /// actor can rebuild its wiring with the same bound.
+    fifo_cap: usize,
+    /// FIFO drops already surfaced to the metrics registry (the fifo layer
+    /// keeps a monotone total; this remembers how much was reported).
+    reported_fifo_drops: u64,
     /// Sent frames not yet acknowledged: per peer, seq → (frame, first
     /// send, latest (re)send). Retransmission backs off from the latest
     /// send; the give-up clock runs from the first, so resending a frame
@@ -274,14 +280,16 @@ struct Wiring<A: Application> {
 }
 
 impl<A: Application> Wiring<A> {
-    fn new(routes: Arc<RouteTable>) -> Self {
-        Self::with_epoch(routes, 0)
+    fn new(routes: Arc<RouteTable>, fifo_cap: usize) -> Self {
+        Self::with_epoch(routes, fifo_cap, 0)
     }
 
-    fn with_epoch(routes: Arc<RouteTable>, my_epoch: u64) -> Self {
+    fn with_epoch(routes: Arc<RouteTable>, fifo_cap: usize, my_epoch: u64) -> Self {
         Wiring {
             routes,
-            fifo: FifoLinks::new(),
+            fifo: FifoLinks::with_buffer_cap(fifo_cap),
+            fifo_cap,
+            reported_fifo_drops: 0,
             unacked: std::collections::HashMap::new(),
             acked_to_peer: std::collections::HashMap::new(),
             last_ack_flush: SimTime::ZERO,
@@ -404,6 +412,14 @@ impl<A: Application> Wiring<A> {
                     return Vec::new();
                 }
                 let ready = self.fifo.accept(from, frame);
+                let drops = self.fifo.dropped_count();
+                if drops > self.reported_fifo_drops {
+                    ctx.metrics_mut().incr_counter(
+                        metric_names::NET_FIFO_DROPS,
+                        drops - self.reported_fifo_drops,
+                    );
+                    self.reported_fifo_drops = drops;
+                }
                 if std::env::var_os("DYNASTAR_TRACE_ARQ").is_some() {
                     let buffered = self.fifo.buffered_count();
                     if buffered > 200 && buffered.is_multiple_of(100) {
@@ -507,6 +523,12 @@ impl<A: Application> Wiring<A> {
             return;
         }
         self.last_ack_flush = now;
+        // Sample the reorder-buffer depth (count encoded in µs units) so
+        // experiments can see how close links run to `fifo_cap`.
+        ctx.metrics_mut().record_histogram(
+            metric_names::NET_FIFO_BUFFERED,
+            SimDuration::from_micros(self.fifo.buffered_count() as u64),
+        );
         self.flush_acks(ctx);
         self.retransmit_due(ctx);
     }
@@ -799,6 +821,29 @@ impl<A: Application> ServerActor<A> {
         }
     }
 
+    /// Drains leader-side batching statistics from the consensus layer.
+    /// Every replica drains (the per-flush samples are bounded but must
+    /// not accumulate forever); only the designated metrics replica
+    /// publishes them. Batch sizes and window occupancies are counts,
+    /// recorded into duration histograms in µs units.
+    fn drain_batch_stats(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
+        let stats = self.member.take_batch_stats();
+        if !self.record_metrics || stats.batches == 0 {
+            return;
+        }
+        let m = ctx.metrics_mut();
+        m.incr_counter(metric_names::BATCH_FLUSH_FULL, stats.flush_full);
+        m.incr_counter(metric_names::BATCH_FLUSH_DELAY, stats.flush_delay);
+        m.incr_counter(metric_names::BATCH_COMMANDS, stats.batched_cmds);
+        for &(size, occupancy) in &stats.samples {
+            m.record_histogram(metric_names::BATCH_SIZE, SimDuration::from_micros(size as u64));
+            m.record_histogram(
+                metric_names::BATCH_OCCUPANCY,
+                SimDuration::from_micros(occupancy as u64),
+            );
+        }
+    }
+
     /// Counts rising edges of local leadership.
     fn note_leadership(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
         let lead = self.member.is_leader();
@@ -986,7 +1031,7 @@ impl<A: Application> Actor<Msg<A>> for ServerActor<A> {
         self.persisted = (floor, self.epoch);
         ctx.persist(&encode_stable(floor, self.epoch));
         let routes = Arc::clone(&self.wiring.routes);
-        self.wiring = Wiring::with_epoch(routes, self.epoch);
+        self.wiring = Wiring::with_epoch(routes, self.wiring.fifo_cap, self.epoch);
         // Placeholder member/core: gated behind `recovering`, replaced
         // wholesale at install (the t0 preload cannot be replayed, so a
         // restarted replica always takes the snapshot path).
@@ -1032,6 +1077,7 @@ impl<A: Application> Actor<Msg<A>> for ServerActor<A> {
                 if !self.recovering {
                     let out = self.member.tick();
                     self.absorb(ctx, out);
+                    self.drain_batch_stats(ctx);
                     let now = ctx.now();
                     let effects = {
                         let metrics = ctx.metrics_mut();
@@ -1252,6 +1298,19 @@ pub struct ClusterConfig {
     pub warm_client_caches: bool,
     /// Metrics time-series bucket.
     pub metrics_bucket: SimDuration,
+    /// Leader-side command batching / instance pipelining, applied to
+    /// every consensus group (partitions and oracle alike). The default
+    /// ([`BatchConfig::UNBATCHED`]) reproduces the unbatched pipeline.
+    pub batch: BatchConfig,
+    /// Maximum out-of-order frames buffered per peer in the transport's
+    /// FIFO reorder buffers. Frames past the cap are dropped (and counted);
+    /// the ARQ layer retransmits them, so the bound trades memory for
+    /// recovery latency only.
+    pub fifo_buffer_cap: usize,
+    /// Oracle workload-graph vertex cap (decay-based eviction beyond it).
+    pub max_graph_vertices: usize,
+    /// Oracle workload-graph edge cap.
+    pub max_graph_edges: usize,
 }
 
 impl Default for ClusterConfig {
@@ -1272,6 +1331,10 @@ impl Default for ClusterConfig {
             client_timeout: SimDuration::from_secs(10),
             warm_client_caches: false,
             metrics_bucket: SimDuration::from_secs(1),
+            batch: BatchConfig::UNBATCHED,
+            fifo_buffer_cap: 4_096,
+            max_graph_vertices: 1 << 18,
+            max_graph_edges: 1 << 20,
         }
     }
 }
@@ -1333,9 +1396,9 @@ impl<A: Application> ClusterBuilder<A> {
 
         let topo = Topology::uniform(k + 1, cfg.replicas);
         let oracle_group = GroupId(k as u32);
-        // Same timing McastMember::new picks; kept explicitly so restarted
-        // replicas can be reconstructed identically.
-        let group_cfg = GroupConfig::with_timing(cfg.replicas, 600, 2);
+        // One shared consensus config (timing + batching) for every group;
+        // also stored per actor so restarted replicas reconstruct identically.
+        let group_cfg = GroupConfig::with_timing(cfg.replicas, 600, 2).with_batching(cfg.batch);
 
         // Reserve node ids first so the route table is complete before any
         // actor is constructed.
@@ -1383,9 +1446,9 @@ impl<A: Application> ClusterBuilder<A> {
                 core.preload(keys_by_part[p].iter().copied(), vars_by_part[p].iter().cloned());
                 let me = MemberId::new(GroupId(p as u32), r);
                 let actor = ServerActor::new(
-                    McastMember::new(me, topo.clone()),
+                    McastMember::with_group_config(me, topo.clone(), group_cfg.clone()),
                     Role::Partition(core),
-                    Wiring::new(Arc::clone(&routes)),
+                    Wiring::new(Arc::clone(&routes), cfg.fifo_buffer_cap),
                     cfg.tick,
                     me,
                     topo.clone(),
@@ -1408,13 +1471,15 @@ impl<A: Application> ClusterBuilder<A> {
                 decay_hints: true,
                 min_plan_interval: cfg.min_plan_interval,
                 record_metrics: r == 0,
+                max_graph_vertices: cfg.max_graph_vertices,
+                max_graph_edges: cfg.max_graph_edges,
             });
             core.preload_map(self.placement.iter().map(|(&kk, &p)| (kk, p)));
             let me = MemberId::new(oracle_group, r);
             let actor = ServerActor::new(
-                McastMember::new(me, topo.clone()),
+                McastMember::with_group_config(me, topo.clone(), group_cfg.clone()),
                 Role::Oracle(core),
-                Wiring::new(Arc::clone(&routes)),
+                Wiring::new(Arc::clone(&routes), cfg.fifo_buffer_cap),
                 cfg.tick,
                 me,
                 topo.clone(),
@@ -1460,7 +1525,7 @@ impl<A: Application> Cluster<A> {
         let actor = ClientActor {
             core,
             workload,
-            wiring: Wiring::new(Arc::clone(&self.routes)),
+            wiring: Wiring::new(Arc::clone(&self.routes), self.config.fifo_buffer_cap),
             timeout: self.config.client_timeout,
             start_jitter: SimDuration::from_micros(jitter_us),
             done: false,

@@ -50,5 +50,6 @@ pub mod threaded;
 pub use client::{ClientCore, ClientEvent, Workload};
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
 pub use command::{Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId};
+pub use dynastar_paxos::BatchConfig;
 pub use payload::{Direct, Payload};
 pub use routing::{compute_route, Route};

@@ -25,6 +25,22 @@ pub const ORACLE_QUERIES: &str = "oracle.queries";
 pub const PLANS_PUBLISHED: &str = "oracle.plans";
 /// Series: locality keys moved by plans.
 pub const PLAN_MOVES: &str = "oracle.plan_moves";
+/// Counter: workload-graph entries (vertices + edges) evicted to honour
+/// the oracle's graph caps.
+pub const ORACLE_GRAPH_EVICTIONS: &str = "oracle.graph_evictions";
+
+/// Histogram: commands per flushed ordering batch (leader side). Counts
+/// are encoded in µs units (the histogram type stores durations).
+pub const BATCH_SIZE: &str = "batch.size";
+/// Histogram: consensus slots in flight right after each batch flush (how
+/// full the pipelining window runs). Counts encoded in µs units.
+pub const BATCH_OCCUPANCY: &str = "batch.occupancy";
+/// Counter: batches flushed because they reached `max_batch` commands.
+pub const BATCH_FLUSH_FULL: &str = "batch.flush_full";
+/// Counter: batches flushed by the delay bound (partial batches).
+pub const BATCH_FLUSH_DELAY: &str = "batch.flush_delay";
+/// Counter: commands ordered through batches (sums batch sizes).
+pub const BATCH_COMMANDS: &str = "batch.commands";
 
 /// Counter: nodes crashed by fault injection (recorded by the harness).
 pub const FAULT_CRASHES: &str = "fault.crashes";
@@ -41,6 +57,12 @@ pub const NET_STREAM_RESETS: &str = "net.stream_resets";
 /// Counter: frames declared lost after retransmission gave up (the
 /// receiver is told to jump past them; upper layers re-send semantically).
 pub const NET_FRAMES_ABANDONED: &str = "net.frames_abandoned";
+/// Histogram: out-of-order frames buffered in FIFO reorder buffers,
+/// sampled at each transport maintenance round (counts in µs units).
+pub const NET_FIFO_BUFFERED: &str = "net.fifo_buffered";
+/// Counter: out-of-order frames dropped because a peer's reorder buffer
+/// hit its cap (recovered later by retransmission).
+pub const NET_FIFO_DROPS: &str = "net.fifo_drops";
 /// Counter: recovery state snapshots served to restarted/lagging replicas.
 pub const RECOVERY_SNAPSHOTS: &str = "recovery.snapshots";
 /// Counter: approximate elements (log entries + bookkeeping rows) shipped

@@ -63,6 +63,16 @@ pub struct OracleConfig {
     /// Halve hint weights at every recompute so the graph tracks the
     /// *recent* workload (needed for the paper's dynamic experiment).
     pub decay_hints: bool,
+    /// Hard cap on workload-graph vertices. Without a cap the graph grows
+    /// without limit under a churning keyspace (keys accessed once are
+    /// remembered forever, and with `decay_hints` off nothing ever shrinks
+    /// it). When the cap is exceeded the oracle runs a decay pass and then
+    /// evicts the lowest-weight vertices — the entries that influence the
+    /// next plan least.
+    pub max_graph_vertices: usize,
+    /// Hard cap on workload-graph edges; enforced like
+    /// [`OracleConfig::max_graph_vertices`].
+    pub max_graph_edges: usize,
     /// Minimum time between repartitionings. Even past the change
     /// threshold, the oracle waits this long after the previous plan —
     /// repartitioning is rare and deliberate in the paper (§4.3: "it is
@@ -84,10 +94,42 @@ impl Default for OracleConfig {
             compute_per_element: SimDuration::from_micros(1),
             balance_factor: 1.2,
             decay_hints: true,
+            max_graph_vertices: 1 << 18,
+            max_graph_edges: 1 << 20,
             min_plan_interval: SimDuration::from_secs(30),
             record_metrics: true,
         }
     }
+}
+
+/// Shrinks a weighted graph component to `cap` entries: first a decay pass
+/// (halve every weight, dropping entries that reach zero), then, if still
+/// over, eviction of the lowest-weight entries. Returns how many entries
+/// were removed.
+fn shrink_weighted<K: Ord>(map: &mut BTreeMap<K, u64>, cap: usize) -> u64 {
+    if map.len() <= cap {
+        return 0;
+    }
+    let before = map.len();
+    map.retain(|_, w| {
+        *w /= 2;
+        *w > 0
+    });
+    if map.len() > cap {
+        let excess = map.len() - cap;
+        let mut weights: Vec<u64> = map.values().copied().collect();
+        let (_, &mut threshold, _) = weights.select_nth_unstable(excess - 1);
+        let mut budget = excess;
+        map.retain(|_, w| {
+            if budget > 0 && *w <= threshold {
+                budget -= 1;
+                false
+            } else {
+                true
+            }
+        });
+    }
+    (before - map.len()) as u64
 }
 
 /// One oracle replica's protocol core. See the [module docs](self).
@@ -184,6 +226,11 @@ impl<A: Application> OracleCore<A> {
         self.vertices.len()
     }
 
+    /// Number of edges currently in the workload graph.
+    pub fn graph_edges(&self) -> usize {
+        self.edges.len()
+    }
+
     /// Handles an atomic multicast delivery addressed to the oracle.
     pub fn on_deliver(
         &mut self,
@@ -247,6 +294,11 @@ impl<A: Application> OracleCore<A> {
                 for (a, b, w) in edges {
                     let key = if a <= b { (a, b) } else { (b, a) };
                     *self.edges.entry(key).or_insert(0) += w;
+                }
+                let evicted = shrink_weighted(&mut self.vertices, self.config.max_graph_vertices)
+                    + shrink_weighted(&mut self.edges, self.config.max_graph_edges);
+                if evicted > 0 && self.config.record_metrics {
+                    metrics.incr_counter(mn::ORACLE_GRAPH_EVICTIONS, evicted);
                 }
                 if self.should_recompute(now) {
                     self.start_recompute(&mut eff);
@@ -451,9 +503,13 @@ impl<A: Application> OracleCore<A> {
         self.pending_plan = Some((plan_mid, payload));
         eff.push(Effect::SchedulePlan { after });
         if self.config.decay_hints {
-            for w in self.vertices.values_mut() {
+            // Entries decayed to zero are dropped on both components —
+            // leaving zero-weight vertices in place would leak memory under
+            // a churning keyspace.
+            self.vertices.retain(|_, w| {
                 *w /= 2;
-            }
+                *w > 0
+            });
             self.edges.retain(|_, w| {
                 *w /= 2;
                 *w > 0
@@ -724,6 +780,52 @@ mod tests {
         );
         assert_eq!(o.location_of(LocKey(0)), Some(PartitionId(1)));
         assert_eq!(o.plan_version(), 3);
+    }
+
+    #[test]
+    fn graph_cap_evicts_lowest_weight_entries() {
+        let mut o: OracleCore<App> = OracleCore::new(OracleConfig {
+            partitions: 2,
+            repartition_threshold: u64::MAX, // never recompute in this test
+            decay_hints: false,
+            max_graph_vertices: 8,
+            max_graph_edges: 4,
+            ..OracleConfig::default()
+        });
+        let mut m = Metrics::new();
+        // A churning keyspace: 100 distinct keys, most seen once, a few hot.
+        for k in 0..100u64 {
+            let w = if k < 4 { 1_000 } else { 1 };
+            let _ = o.on_deliver(
+                Payload::Hint {
+                    vertices: vec![(LocKey(k), w)],
+                    edges: vec![(LocKey(k), LocKey(k + 1), w)],
+                },
+                now(),
+                &mut m,
+            );
+        }
+        assert!(o.graph_vertices() <= 8, "vertices capped, got {}", o.graph_vertices());
+        assert!(o.graph_edges() <= 4, "edges capped, got {}", o.graph_edges());
+        assert!(m.counter(crate::metric_names::ORACLE_GRAPH_EVICTIONS) > 0);
+    }
+
+    #[test]
+    fn recompute_decay_drops_zero_weight_vertices() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        // Weight-1 vertices decay to zero at the recompute and must be
+        // dropped, not retained forever.
+        let eff = o.on_deliver(
+            Payload::Hint {
+                vertices: (0..4).map(|k| (LocKey(k), 1)).collect(),
+                edges: vec![(LocKey(0), LocKey(1), 20)],
+            },
+            SimTime::from_millis(2),
+            &mut m,
+        );
+        assert!(eff.iter().any(|e| matches!(e, Effect::SchedulePlan { .. })));
+        assert_eq!(o.graph_vertices(), 0, "decayed-to-zero vertices linger");
     }
 
     #[test]

@@ -12,8 +12,8 @@ use std::sync::{Arc, Mutex};
 
 use dynastar_core::linearizability::{check, OpRecord, Spec};
 use dynastar_core::{
-    metric_names, Application, ClusterBuilder, ClusterConfig, Command, CommandKind, LocKey, Mode,
-    PartitionId, VarId, Workload,
+    metric_names, Application, BatchConfig, ClusterBuilder, ClusterConfig, Command, CommandKind,
+    LocKey, Mode, PartitionId, VarId, Workload,
 };
 use dynastar_runtime::nemesis::{NemesisConfig, NemesisPlan};
 use dynastar_runtime::{NodeId, SimDuration, SimTime};
@@ -123,7 +123,17 @@ fn build_cluster(
     repartition: bool,
     service_ms: u64,
 ) -> dynastar_core::Cluster<Counters> {
+    build_cluster_batched(seed, repartition, service_ms, BatchConfig::UNBATCHED)
+}
+
+fn build_cluster_batched(
+    seed: u64,
+    repartition: bool,
+    service_ms: u64,
+    batch: BatchConfig,
+) -> dynastar_core::Cluster<Counters> {
     let config = ClusterConfig {
+        batch,
         partitions: 2,
         replicas: 3,
         mode: Mode::Dynastar,
@@ -250,9 +260,17 @@ fn long_disconnect_heals_with_explicit_stream_gap() {
 /// time). Returns the recorded history plus the counters the assertions
 /// need.
 fn nemesis_run(cluster_seed: u64, nemesis_seed: u64) -> (Records, u64, u64) {
+    nemesis_run_batched(cluster_seed, nemesis_seed, BatchConfig::UNBATCHED)
+}
+
+fn nemesis_run_batched(
+    cluster_seed: u64,
+    nemesis_seed: u64,
+    batch: BatchConfig,
+) -> (Records, u64, u64) {
     // ~400 ms modelled service keeps 63 ops (just under the checker's
     // 64-op cap) in flight deep into the 2–30 s fault window.
-    let mut cluster = build_cluster(cluster_seed, false, 400);
+    let mut cluster = build_cluster_batched(cluster_seed, false, 400, batch);
     let history = add_recorders(&mut cluster, 3, 21, 40);
     let cfg = NemesisConfig {
         seed: nemesis_seed,
@@ -303,4 +321,61 @@ fn randomized_nemesis_run_is_linearizable_and_deterministic() {
         h.iter().map(|r| (r.invoke, r.response, r.op.clone(), r.ret.clone())).collect::<Vec<_>>()
     };
     assert_eq!(key(&h1), key(&h2), "same-seed nemesis runs diverged");
+}
+
+/// The batched ordering pipeline under the same randomized fault schedule:
+/// batches flush, leaders change mid-batch, buffered commands are
+/// forwarded — and the histories stay exactly as linearizable and
+/// seed-deterministic as the unbatched pipeline's (the unbatched
+/// configuration is covered by
+/// [`randomized_nemesis_run_is_linearizable_and_deterministic`]).
+#[test]
+fn batched_nemesis_run_is_linearizable_and_deterministic() {
+    let batch = BatchConfig { max_batch: 8, max_batch_delay_ticks: 2, window: 2 };
+    let (h1, recoveries, crashes) = nemesis_run_batched(7, 7, batch);
+    assert_eq!(h1.len(), 3 * 21, "not all commands completed under faults (batched)");
+    assert!(check::<CounterSpec>(&h1, BTreeMap::new()), "batched nemesis history not linearizable");
+    assert!(
+        recoveries >= crashes,
+        "every crash must recover via snapshot install ({recoveries} recoveries, {crashes} crashes)"
+    );
+
+    let (h2, recoveries2, _) = nemesis_run_batched(7, 7, batch);
+    assert_eq!(recoveries, recoveries2, "recovery count differs between same-seed batched runs");
+    let key = |h: &Records| {
+        h.iter().map(|r| (r.invoke, r.response, r.op.clone(), r.ret.clone())).collect::<Vec<_>>()
+    };
+    assert_eq!(key(&h1), key(&h2), "same-seed batched nemesis runs diverged");
+}
+
+/// Fixed seed, no faults: every batch size yields a complete linearizable
+/// history and two runs of the same configuration are identical — batching
+/// changes scheduling, never determinism or safety.
+#[test]
+fn fault_free_histories_deterministic_across_batch_sizes() {
+    let run = |batch: BatchConfig| {
+        let mut cluster = build_cluster_batched(11, false, 20, batch);
+        let history = add_recorders(&mut cluster, 3, 15, 40);
+        cluster.run_for(SimDuration::from_secs(60));
+        let recorded = history.lock().unwrap().clone();
+        recorded
+    };
+    for batch in
+        [BatchConfig::UNBATCHED, BatchConfig { max_batch: 8, max_batch_delay_ticks: 2, window: 1 }]
+    {
+        let h1 = run(batch);
+        assert_eq!(h1.len(), 3 * 15, "not all commands completed (max_batch {})", batch.max_batch);
+        assert!(
+            check::<CounterSpec>(&h1, BTreeMap::new()),
+            "history not linearizable (max_batch {})",
+            batch.max_batch
+        );
+        let h2 = run(batch);
+        let key = |h: &Records| {
+            h.iter()
+                .map(|r| (r.invoke, r.response, r.op.clone(), r.ret.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&h1), key(&h2), "same-seed runs diverged (max_batch {})", batch.max_batch);
+    }
 }

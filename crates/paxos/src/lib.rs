@@ -38,5 +38,5 @@
 mod replica;
 mod types;
 
-pub use replica::{Output, PaxosReplica, RecoveryReport};
-pub use types::{Ballot, Entry, GroupConfig, PaxosMsg, Slot};
+pub use replica::{BatchStats, Output, PaxosReplica, RecoveryReport};
+pub use types::{Ballot, BatchConfig, Entry, GroupConfig, PaxosMsg, Slot};

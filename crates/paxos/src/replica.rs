@@ -24,7 +24,9 @@ pub struct Output<V> {
     /// Messages to send, as `(destination replica index, message)` pairs.
     pub outgoing: Vec<(usize, PaxosMsg<V>)>,
     /// Commands newly decided *and* in slot order, ready for the
-    /// application. No-op gap fillers are filtered out.
+    /// application. No-op gap fillers are filtered out; a decided
+    /// [`Entry::Batch`] is flattened into one element per command (all
+    /// carrying the batch's slot, in batch order).
     pub decided: Vec<(Slot, V)>,
 }
 
@@ -36,6 +38,43 @@ impl<V> Output<V> {
     /// True when nothing needs to be sent or delivered.
     pub fn is_empty(&self) -> bool {
         self.outgoing.is_empty() && self.decided.is_empty()
+    }
+}
+
+/// Cap on per-flush samples retained between [`PaxosReplica::take_batch_stats`]
+/// drains, so an undrained replica cannot grow without bound.
+const BATCH_SAMPLE_CAP: usize = 1024;
+
+/// Leader-side batching counters, accumulated since the last
+/// [`PaxosReplica::take_batch_stats`] drain.
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Batches flushed because they reached `max_batch` commands.
+    pub flush_full: u64,
+    /// Batches flushed because the delay bound expired (includes the
+    /// zero-delay "flush immediately" case for partial batches).
+    pub flush_delay: u64,
+    /// Total batches flushed (each occupies one log slot).
+    pub batches: u64,
+    /// Total commands across those batches.
+    pub batched_cmds: u64,
+    /// Per-flush `(batch size, slots in flight after the flush)` samples,
+    /// capped at [`BATCH_SAMPLE_CAP`] per drain interval.
+    pub samples: Vec<(u32, u32)>,
+}
+
+impl BatchStats {
+    fn record(&mut self, size: usize, full: bool, occupancy: usize) {
+        if full {
+            self.flush_full += 1;
+        } else {
+            self.flush_delay += 1;
+        }
+        self.batches += 1;
+        self.batched_cmds += size as u64;
+        if self.samples.len() < BATCH_SAMPLE_CAP {
+            self.samples.push((size as u32, occupancy as u32));
+        }
     }
 }
 
@@ -113,6 +152,13 @@ pub struct PaxosReplica<V> {
     ticks_since_leader: u32,
     /// Proposals waiting for a known leader.
     pending: VecDeque<V>,
+    /// Leader-only: proposals accumulating into the next batch. Drained
+    /// into `pending` on loss of leadership so nothing is stranded.
+    batch_buffer: Vec<V>,
+    /// Ticks the oldest buffered proposal has waited (drives delay flush).
+    buffer_wait_ticks: u32,
+    /// Batching counters since the last [`PaxosReplica::take_batch_stats`].
+    batch_stats: BatchStats,
     /// Commands delivered so far (no-ops excluded); survives log pruning.
     delivered_cmds: u64,
     /// Highest decided frontier any peer has advertised (via heartbeats or
@@ -152,6 +198,9 @@ impl<V: Clone> PaxosReplica<V> {
             leader_hint: Some(0),
             ticks_since_leader: 0,
             pending: VecDeque::new(),
+            batch_buffer: Vec::new(),
+            buffer_wait_ticks: 0,
+            batch_stats: BatchStats::default(),
             delivered_cmds: 0,
             max_seen_frontier: Slot(0),
         }
@@ -250,6 +299,9 @@ impl<V: Clone> PaxosReplica<V> {
             leader_hint: None,
             ticks_since_leader: 0,
             pending: VecDeque::new(),
+            batch_buffer: Vec::new(),
+            buffer_wait_ticks: 0,
+            batch_stats: BatchStats::default(),
             delivered_cmds: delivered,
             max_seen_frontier: frontier,
         };
@@ -299,8 +351,10 @@ impl<V: Clone> PaxosReplica<V> {
 
     /// Submits a command for total ordering.
     ///
-    /// At the leader this starts phase 2 immediately; elsewhere the command
-    /// is forwarded to the believed leader or buffered until one is known.
+    /// At the leader the command enters the batch buffer and (with the
+    /// default [`crate::BatchConfig`]) starts phase 2 immediately;
+    /// elsewhere the command is forwarded to the believed leader or
+    /// buffered until one is known.
     pub fn propose(&mut self, value: V) -> Output<V> {
         let mut out = Output::new();
         self.propose_inner(value, &mut out);
@@ -309,12 +363,66 @@ impl<V: Clone> PaxosReplica<V> {
 
     fn propose_inner(&mut self, value: V, out: &mut Output<V>) {
         if self.is_leader() {
-            self.lead_value(Entry::Cmd(value), out);
+            self.batch_buffer.push(value);
+            self.maybe_flush_batch(out);
         } else if let Some(leader) = self.leader_hint {
             out.outgoing.push((leader, PaxosMsg::Forward { value }));
         } else {
             self.pending.push_back(value);
         }
+    }
+
+    /// Leader-only: flushes the batch buffer into log slots as long as a
+    /// flush condition holds (buffer full, or delay expired) and the
+    /// pipelining window has room. See [`crate::BatchConfig`].
+    fn maybe_flush_batch(&mut self, out: &mut Output<V>) {
+        loop {
+            let Role::Leader { in_flight, .. } = &self.role else { return };
+            if self.batch_buffer.is_empty() {
+                self.buffer_wait_ticks = 0;
+                return;
+            }
+            if !self.cfg.batch.window_open(in_flight.len()) {
+                return;
+            }
+            let full = self.batch_buffer.len() >= self.cfg.batch.max_batch;
+            if !full && self.buffer_wait_ticks < self.cfg.batch.max_batch_delay_ticks {
+                return;
+            }
+            let take = self.batch_buffer.len().min(self.cfg.batch.max_batch);
+            let mut chunk: Vec<V> = self.batch_buffer.drain(..take).collect();
+            let entry = if chunk.len() == 1 {
+                Entry::Cmd(chunk.pop().expect("chunk of one"))
+            } else {
+                Entry::Batch(chunk)
+            };
+            self.lead_value(entry, out);
+            let occupancy = match &self.role {
+                Role::Leader { in_flight, .. } => in_flight.len(),
+                _ => 0,
+            };
+            self.batch_stats.record(take, full, occupancy);
+        }
+    }
+
+    /// Drains and resets the leader-side batching counters. Replicas that
+    /// never lead report all-zero stats.
+    pub fn take_batch_stats(&mut self) -> BatchStats {
+        std::mem::take(&mut self.batch_stats)
+    }
+
+    /// Number of undecided slots this leader currently has in flight
+    /// (0 on non-leaders).
+    pub fn slots_in_flight(&self) -> usize {
+        match &self.role {
+            Role::Leader { in_flight, .. } => in_flight.len(),
+            _ => 0,
+        }
+    }
+
+    /// Number of proposals waiting in the leader's batch buffer.
+    pub fn batch_buffered(&self) -> usize {
+        self.batch_buffer.len()
     }
 
     /// Leader-only: assign the next slot to `entry` and issue Accepts.
@@ -363,9 +471,18 @@ impl<V: Clone> PaxosReplica<V> {
             self.decided_frontier = self.decided_frontier.next();
         }
         while let Some(entry) = self.decided.get(&self.next_deliver) {
-            if let Entry::Cmd(v) = entry {
-                out.decided.push((self.next_deliver, v.clone()));
-                self.delivered_cmds += 1;
+            match entry {
+                Entry::Cmd(v) => {
+                    out.decided.push((self.next_deliver, v.clone()));
+                    self.delivered_cmds += 1;
+                }
+                Entry::Batch(vs) => {
+                    for v in vs {
+                        out.decided.push((self.next_deliver, v.clone()));
+                    }
+                    self.delivered_cmds += vs.len() as u64;
+                }
+                Entry::Noop => {}
             }
             self.next_deliver = self.next_deliver.next();
         }
@@ -398,6 +515,10 @@ impl<V: Clone> PaxosReplica<V> {
                     for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {
                         out.outgoing.push((peer, hb.clone()));
                     }
+                }
+                if !self.batch_buffer.is_empty() {
+                    self.buffer_wait_ticks += 1;
+                    self.maybe_flush_batch(&mut out);
                 }
             }
             Role::Follower | Role::Candidate { .. } => {
@@ -466,11 +587,9 @@ impl<V: Clone> PaxosReplica<V> {
                 *ns = next_slot;
             }
         }
-        // Flush proposals buffered while leaderless.
-        let pending: Vec<V> = self.pending.drain(..).collect();
-        for v in pending {
-            self.lead_value(Entry::Cmd(v), out);
-        }
+        // Flush proposals buffered while leaderless through the batcher.
+        self.batch_buffer.extend(self.pending.drain(..));
+        self.maybe_flush_batch(out);
     }
 
     /// Phase 2 for a specific recovered slot (leader takeover path).
@@ -493,6 +612,13 @@ impl<V: Clone> PaxosReplica<V> {
         if let Some(our) = our {
             if ballot > our {
                 self.role = Role::Follower;
+                // Un-flushed batched proposals go back to `pending` (ahead
+                // of anything buffered there) so they are forwarded to the
+                // new leader instead of being lost.
+                for v in self.batch_buffer.drain(..).rev() {
+                    self.pending.push_front(v);
+                }
+                self.buffer_wait_ticks = 0;
             }
         }
     }
@@ -578,6 +704,8 @@ impl<V: Clone> PaxosReplica<V> {
                         if let Some(votes) = in_flight.get_mut(&slot) {
                             votes.insert(from);
                             self.try_decide(slot, &mut out);
+                            // A decision may have opened the window.
+                            self.maybe_flush_batch(&mut out);
                         }
                     }
                 }
@@ -634,10 +762,8 @@ impl<V: Clone> PaxosReplica<V> {
             return;
         }
         if self.is_leader() {
-            let pending: Vec<V> = self.pending.drain(..).collect();
-            for v in pending {
-                self.lead_value(Entry::Cmd(v), out);
-            }
+            self.batch_buffer.extend(self.pending.drain(..));
+            self.maybe_flush_batch(out);
         } else if let Some(leader) = self.leader_hint {
             while let Some(v) = self.pending.pop_front() {
                 out.outgoing.push((leader, PaxosMsg::Forward { value: v }));
@@ -649,6 +775,7 @@ impl<V: Clone> PaxosReplica<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::BatchConfig;
 
     /// A toy in-memory network for driving replicas directly.
     struct Net {
@@ -661,7 +788,11 @@ mod tests {
 
     impl Net {
         fn new(n: usize) -> Self {
-            let cfg = GroupConfig::new(n);
+            Self::with_cfg(GroupConfig::new(n))
+        }
+
+        fn with_cfg(cfg: GroupConfig) -> Self {
+            let n = cfg.size;
             Net {
                 replicas: (0..n).map(|i| PaxosReplica::new(i, cfg.clone())).collect(),
                 queue: VecDeque::new(),
@@ -1013,5 +1144,147 @@ mod tests {
         net.drain();
         assert_eq!(net.replicas[0].delivered_count(), 1);
         assert_eq!(net.replicas[1].delivered_count(), 1);
+    }
+
+    fn batched(max_batch: usize, max_batch_delay_ticks: u32, window: usize) -> GroupConfig {
+        GroupConfig::new(3).with_batching(BatchConfig { max_batch, max_batch_delay_ticks, window })
+    }
+
+    #[test]
+    fn full_batch_flushes_without_waiting_for_delay() {
+        let mut net = Net::with_cfg(batched(4, 1_000, 0));
+        for v in 0..4 {
+            net.propose_at(0, v);
+        }
+        net.drain();
+        // All four commands share one slot, in proposal order.
+        let expect: Vec<(Slot, u64)> = (0..4).map(|v| (Slot(0), v)).collect();
+        for d in &net.delivered {
+            assert_eq!(d, &expect);
+        }
+        let stats = net.replicas[0].take_batch_stats();
+        assert_eq!(stats.flush_full, 1);
+        assert_eq!(stats.flush_delay, 0);
+        assert_eq!(stats.batched_cmds, 4);
+    }
+
+    #[test]
+    fn partial_batch_flushes_only_after_delay() {
+        let mut net = Net::with_cfg(batched(8, 3, 0));
+        net.propose_at(0, 1);
+        net.propose_at(0, 2);
+        net.drain();
+        assert!(net.delivered[0].is_empty(), "partial batch must wait for the delay");
+        assert_eq!(net.replicas[0].batch_buffered(), 2);
+        net.run(2);
+        assert!(net.delivered[0].is_empty(), "delay has not expired yet");
+        net.run(1);
+        let vals: Vec<u64> = net.delivered[0].iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![1, 2]);
+        let stats = net.replicas[0].take_batch_stats();
+        assert_eq!(stats.flush_full, 0);
+        assert_eq!(stats.flush_delay, 1);
+    }
+
+    #[test]
+    fn single_command_flush_uses_plain_cmd_entry() {
+        // A batch of one must stay wire-compatible with the unbatched
+        // protocol (`Entry::Cmd`), so mixed-version groups interoperate.
+        let cfg = batched(8, 0, 0);
+        let mut r0: PaxosReplica<u64> = PaxosReplica::new(0, cfg);
+        let out = r0.propose(42);
+        assert!(out
+            .outgoing
+            .iter()
+            .any(|(_, m)| { matches!(m, PaxosMsg::Accept { value: Entry::Cmd(42), .. }) }));
+    }
+
+    #[test]
+    fn window_gates_inflight_and_commands_batch_under_backpressure() {
+        let mut net = Net::with_cfg(batched(8, 0, 1));
+        for v in 0..16 {
+            net.propose_at(0, v);
+        }
+        // Only one slot may be in flight before any acknowledgement.
+        assert_eq!(net.replicas[0].slots_in_flight(), 1);
+        assert_eq!(net.replicas[0].batch_buffered(), 15);
+        net.drain();
+        let vals: Vec<u64> = net.delivered[0].iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, (0..16).collect::<Vec<_>>());
+        for d in &net.delivered {
+            let vals: Vec<u64> = d.iter().map(|&(_, v)| v).collect();
+            assert_eq!(vals, (0..16).collect::<Vec<_>>());
+        }
+        // 16 commands fit in 3 slots: 1 (initial) + 8 (full batch) + 7.
+        let slots: BTreeSet<Slot> = net.delivered[0].iter().map(|&(s, _)| s).collect();
+        assert_eq!(slots.len(), 3);
+        let stats = net.replicas[0].take_batch_stats();
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.flush_full, 1);
+        assert_eq!(stats.batched_cmds, 16);
+    }
+
+    #[test]
+    fn leader_change_mid_batch_preserves_buffered_commands() {
+        let mut net = Net::with_cfg(batched(8, 5, 0));
+        for v in 0..3 {
+            net.propose_at(0, v);
+        }
+        net.drain();
+        // The partial batch is still buffered at the old leader.
+        assert_eq!(net.replicas[0].batch_buffered(), 3);
+        assert!(net.delivered[0].is_empty());
+        // Replica 1 usurps leadership with a higher ballot; replica 0's
+        // buffered commands must survive the step-down and reach the new
+        // leader via forwarding.
+        let mut out = Output::new();
+        net.replicas[1].start_election(&mut out);
+        net.absorb(1, out);
+        net.run(20);
+        assert!(net.replicas[1].is_leader());
+        assert!(!net.replicas[0].is_leader());
+        assert_eq!(net.replicas[0].batch_buffered(), 0);
+        for (i, d) in net.delivered.iter().enumerate() {
+            let vals: Vec<u64> = d.iter().map(|&(_, v)| v).collect();
+            assert_eq!(vals, vec![0, 1, 2], "replica {i}");
+        }
+    }
+
+    #[test]
+    fn batched_delivery_order_matches_unbatched() {
+        // The same proposal sequence must produce the same delivered
+        // command sequence whatever the batch size (slots differ).
+        let mut plain = Net::new(3);
+        let mut batchy = Net::with_cfg(batched(8, 0, 1));
+        for v in 0..50 {
+            plain.propose_at(0, v);
+            batchy.propose_at(0, v);
+            if v % 7 == 0 {
+                plain.drain();
+                batchy.drain();
+            }
+        }
+        plain.run(5);
+        batchy.run(5);
+        let plain_vals: Vec<u64> = plain.delivered[0].iter().map(|&(_, v)| v).collect();
+        let batchy_vals: Vec<u64> = batchy.delivered[0].iter().map(|&(_, v)| v).collect();
+        assert_eq!(plain_vals, batchy_vals);
+        assert_eq!(plain_vals, (0..50).collect::<Vec<_>>());
+        // Batching used strictly fewer consensus instances.
+        let plain_slots: BTreeSet<Slot> = plain.delivered[0].iter().map(|&(s, _)| s).collect();
+        let batchy_slots: BTreeSet<Slot> = batchy.delivered[0].iter().map(|&(s, _)| s).collect();
+        assert!(batchy_slots.len() < plain_slots.len());
+    }
+
+    #[test]
+    fn delivered_count_includes_batched_commands() {
+        let mut net = Net::with_cfg(batched(4, 1_000, 0));
+        for v in 0..4 {
+            net.propose_at(0, v);
+        }
+        net.drain();
+        for r in &net.replicas {
+            assert_eq!(r.delivered_count(), 4);
+        }
     }
 }

@@ -58,6 +58,51 @@ impl fmt::Display for Slot {
     }
 }
 
+/// Batching and pipelining knobs for a group's leader.
+///
+/// The leader accumulates proposals into a buffer and flushes them into a
+/// single log slot as an [`Entry::Batch`], amortizing one consensus
+/// instance over many commands. A flush happens when the buffer reaches
+/// [`BatchConfig::max_batch`] commands (a *full* flush) or when the oldest
+/// buffered command has waited [`BatchConfig::max_batch_delay_ticks`]
+/// clock ticks (a *delay* flush). Independently, the number of undecided
+/// slots the leader keeps in flight is capped by [`BatchConfig::window`]:
+/// while the window is full, new proposals wait in the buffer (and so
+/// batch up under load).
+///
+/// The default — `max_batch = 1`, no delay, unbounded window — reproduces
+/// the unbatched protocol exactly: every proposal becomes its own
+/// [`Entry::Cmd`] slot immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Maximum commands per batch (per log slot). Must be ≥ 1; 1 disables
+    /// batching.
+    pub max_batch: usize,
+    /// Ticks a partial batch may wait for more commands before it is
+    /// flushed anyway. 0 flushes on the next opportunity (no added delay).
+    pub max_batch_delay_ticks: u32,
+    /// Maximum undecided slots the leader keeps in flight. 0 = unbounded
+    /// (the historical behaviour).
+    pub window: usize,
+}
+
+impl BatchConfig {
+    /// No batching, no pipelining bound — the historical behaviour.
+    pub const UNBATCHED: BatchConfig =
+        BatchConfig { max_batch: 1, max_batch_delay_ticks: 0, window: 0 };
+
+    /// Whether `slots_in_flight` leaves room to start another instance.
+    pub fn window_open(&self, slots_in_flight: usize) -> bool {
+        self.window == 0 || slots_in_flight < self.window
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::UNBATCHED
+    }
+}
+
 /// Static configuration of one Paxos group.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GroupConfig {
@@ -69,6 +114,8 @@ pub struct GroupConfig {
     pub election_timeout_ticks: u32,
     /// Ticks between leader heartbeats.
     pub heartbeat_interval_ticks: u32,
+    /// Leader-side batching and pipelining knobs.
+    pub batch: BatchConfig,
 }
 
 impl GroupConfig {
@@ -98,7 +145,23 @@ impl GroupConfig {
     ) -> Self {
         assert!(size > 0, "a Paxos group needs at least one replica");
         assert!(election_timeout_ticks > 0, "election timeout must be positive");
-        GroupConfig { size, election_timeout_ticks, heartbeat_interval_ticks }
+        GroupConfig {
+            size,
+            election_timeout_ticks,
+            heartbeat_interval_ticks,
+            batch: BatchConfig::UNBATCHED,
+        }
+    }
+
+    /// Builder-style setter for the batching/pipelining knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch.max_batch` is zero.
+    pub fn with_batching(mut self, batch: BatchConfig) -> Self {
+        assert!(batch.max_batch > 0, "max_batch must be at least 1");
+        self.batch = batch;
+        self
     }
 
     /// The quorum size: a strict majority of the group.
@@ -113,8 +176,23 @@ impl GroupConfig {
 pub enum Entry<V> {
     /// An application command.
     Cmd(V),
+    /// Several application commands ordered together in one consensus
+    /// instance. Learners deliver the commands in vector order, so a batch
+    /// is equivalent to the same commands occupying consecutive slots.
+    Batch(Vec<V>),
     /// A no-op used by a new leader to fill holes in the log.
     Noop,
+}
+
+impl<V> Entry<V> {
+    /// Number of application commands this entry delivers.
+    pub fn command_count(&self) -> usize {
+        match self {
+            Entry::Cmd(_) => 1,
+            Entry::Batch(vs) => vs.len(),
+            Entry::Noop => 0,
+        }
+    }
 }
 
 /// The wire protocol between replicas of one group.

@@ -43,12 +43,38 @@ pub struct FifoLinks<P, M> {
     next_send: HashMap<P, u64>,
     next_recv: HashMap<P, u64>,
     buffered: HashMap<P, BTreeMap<u64, M>>,
+    /// Max out-of-order frames buffered per peer; overflow frames are
+    /// dropped (and counted) instead of buffered.
+    buffer_cap: usize,
+    /// Out-of-order frames dropped because a peer's buffer was full.
+    dropped: u64,
 }
 
 impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
-    /// Creates an endpoint with no history.
+    /// Creates an endpoint with no history and an unbounded reorder buffer.
     pub fn new() -> Self {
-        FifoLinks { next_send: HashMap::new(), next_recv: HashMap::new(), buffered: HashMap::new() }
+        Self::with_buffer_cap(usize::MAX)
+    }
+
+    /// Creates an endpoint whose per-peer reorder buffer holds at most
+    /// `cap` out-of-order frames. Frames arriving beyond the cap are
+    /// dropped and counted ([`FifoLinks::dropped_count`]); an ARQ layer's
+    /// retransmission recovers them later, so a bounded buffer trades a
+    /// retransmit round-trip for bounded memory under pathological
+    /// reordering or a stalled stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (the in-order frame must always pass).
+    pub fn with_buffer_cap(cap: usize) -> Self {
+        assert!(cap > 0, "reorder buffer cap must be positive");
+        FifoLinks {
+            next_send: HashMap::new(),
+            next_recv: HashMap::new(),
+            buffered: HashMap::new(),
+            buffer_cap: cap,
+            dropped: 0,
+        }
     }
 
     /// Stamps `msg` with the next sequence number for `peer`.
@@ -62,12 +88,21 @@ impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
     /// Accepts a frame from `peer`, returning every message that is now
     /// deliverable in order (possibly empty if the frame is early, or if it
     /// is a duplicate of an already-released sequence number).
+    ///
+    /// An out-of-order frame that would push the peer's buffer past the
+    /// configured cap is dropped and counted instead — the expected
+    /// in-order frame (`seq == next`) is always admitted, so a bounded
+    /// buffer never deadlocks the stream.
     pub fn accept(&mut self, peer: P, frame: Frame<M>) -> Vec<M> {
         let next = self.next_recv.entry(peer.clone()).or_insert(0);
         if frame.seq < *next {
             return Vec::new(); // duplicate
         }
         let buf = self.buffered.entry(peer).or_default();
+        if frame.seq > *next && buf.len() >= self.buffer_cap && !buf.contains_key(&frame.seq) {
+            self.dropped += 1;
+            return Vec::new(); // buffer full; ARQ retransmission recovers
+        }
         buf.insert(frame.seq, frame.inner);
         let mut ready = Vec::new();
         while let Some(msg) = buf.remove(next) {
@@ -80,6 +115,12 @@ impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
     /// Number of frames buffered waiting for earlier sequence numbers.
     pub fn buffered_count(&self) -> usize {
         self.buffered.values().map(|b| b.len()).sum()
+    }
+
+    /// Total out-of-order frames dropped because a peer's reorder buffer
+    /// was at its cap.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped
     }
 
     /// The next sequence number expected from `peer` — i.e. everything
@@ -266,6 +307,36 @@ mod tests {
         // Jump past 0..3: frame 1's buffered copy is dropped, 3 released.
         assert_eq!(rx.force_advance(&0, 3), vec![13]);
         assert_eq!(rx.expected_from(&0), 4);
+    }
+
+    #[test]
+    fn buffer_cap_drops_and_counts_overflow_frames() {
+        let mut tx: FifoLinks<u32, u32> = FifoLinks::new();
+        let mut rx: FifoLinks<u32, u32> = FifoLinks::with_buffer_cap(2);
+        let f0 = tx.wrap(1, 10);
+        let f1 = tx.wrap(1, 11);
+        let f2 = tx.wrap(1, 12);
+        let f3 = tx.wrap(1, 13);
+        // f1 and f2 buffer; f3 overflows the cap and is dropped.
+        assert!(rx.accept(0, f1.clone()).is_empty());
+        assert!(rx.accept(0, f2).is_empty());
+        assert!(rx.accept(0, f3.clone()).is_empty());
+        assert_eq!(rx.buffered_count(), 2);
+        assert_eq!(rx.dropped_count(), 1);
+        // A duplicate of an already-buffered seq is not a new drop.
+        assert!(rx.accept(0, f1).is_empty());
+        assert_eq!(rx.dropped_count(), 1);
+        // The in-order frame always passes even at the cap, and releases
+        // the buffered run; the dropped frame arrives via retransmission.
+        assert_eq!(rx.accept(0, f0), vec![10, 11, 12]);
+        assert_eq!(rx.accept(0, f3), vec![13]);
+        assert_eq!(rx.dropped_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be positive")]
+    fn zero_buffer_cap_is_rejected() {
+        let _: FifoLinks<u32, u32> = FifoLinks::with_buffer_cap(0);
     }
 
     #[test]
