@@ -1,29 +1,297 @@
-use dynastar_bench::setup::{tpcc_cluster, Placement, TpccSetup};
+//! Simulator throughput probe and perf-regression harness.
+//!
+//! Runs the standard TPC-C configuration (the hottest realistic workload:
+//! deep object graphs, multi-partition transactions, saturating clients)
+//! and reports raw scheduler throughput — events per wall-second, wall
+//! seconds per simulated second, heap traffic and peak RSS. Two jobs:
+//!
+//! 1. **Optimization probe** (default): one run, human-readable output,
+//!    with an allocation-counting global allocator whose numbers are
+//!    deterministic even when wall-clock jitters.
+//! 2. **Regression harness** (`--out` / `--check-against`): machine-
+//!    readable `BENCH_perf.json`, and a CI gate that fails when events/s
+//!    drops more than 30% below a committed baseline.
+//!
+//! `--matrix` sweeps seeds × modes in parallel (each point is its own
+//! deterministic simulation) and reports the per-config medians.
+//!
+//! Determinism invariant: `events` and `completed` depend only on
+//! (mode, partitions, sim-secs, seed, clients) — never on wall-clock,
+//! thread scheduling or build profile. The golden values in
+//! `tests/determinism.rs` pin the same property; this probe surfaces it
+//! next to the throughput numbers so a perf change that silently alters
+//! the schedule is caught immediately.
+
+use dynastar_bench::setup::{run_parallel, tpcc_cluster, Placement, TpccSetup};
 use dynastar_core::metric_names as mn;
 use dynastar_core::Mode;
 use dynastar_runtime::SimDuration;
 use dynastar_workloads::tpcc::{self, TpccWorkload};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-fn main() {
-    let mut setup = TpccSetup::new(4, Mode::Dynastar);
+/// Counts heap traffic: a deterministic optimization signal on machines
+/// where wall-clock jitters.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static SIZE_BUCKETS: [AtomicU64; 16] = [const { AtomicU64::new(0) }; 16];
+
+thread_local! {
+    static IN_SAMPLE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let n = ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        let b = (64 - (layout.size().max(1) as u64).leading_zeros() as usize).min(15);
+        SIZE_BUCKETS[b].fetch_add(1, Ordering::Relaxed);
+        static SAMPLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        if (128..=1024).contains(&layout.size())
+            && n.is_multiple_of(500_000)
+            && *SAMPLE.get_or_init(|| std::env::var_os("PROBE_SAMPLE_STACKS").is_some())
+        {
+            IN_SAMPLE.with(|f| {
+                if !f.get() {
+                    f.set(true);
+                    eprintln!(
+                        "--- alloc sample ({} B) ---\n{}",
+                        layout.size(),
+                        std::backtrace::Backtrace::force_capture()
+                    );
+                    f.set(false);
+                }
+            });
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+/// One probe configuration (a matrix cell).
+#[derive(Debug, Clone, Copy)]
+struct ProbeConfig {
+    mode: Mode,
+    partitions: u32,
+    sim_secs: u64,
+    seed: u64,
+    clients_per_warehouse: u32,
+}
+
+/// One probe run's measurements.
+#[derive(Debug, Clone)]
+struct ProbeResult {
+    config: ProbeConfig,
+    events: u64,
+    completed: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    wall_per_sim_sec: f64,
+}
+
+fn mode_name(m: Mode) -> &'static str {
+    match m {
+        Mode::Dynastar => "dynastar",
+        Mode::SSmr => "ssmr",
+        Mode::DsSmr => "dssmr",
+    }
+}
+
+fn run_probe(cfg: ProbeConfig) -> ProbeResult {
+    let mut setup = TpccSetup::new(cfg.partitions, cfg.mode);
     setup.placement = Placement::Random;
+    setup.seed = cfg.seed;
+    // Throughput probe, not a repartitioning experiment: pinning the
+    // threshold keeps the schedule identical across modes being compared.
     setup.repartition_threshold = u64::MAX;
     let mut cluster = tpcc_cluster(&setup);
     let tracker = tpcc::order_tracker();
     for w in 0..setup.scale.warehouses {
-        for _ in 0..6 {
+        for _ in 0..cfg.clients_per_warehouse {
             cluster.add_client(TpccWorkload::new(setup.scale, w, Arc::clone(&tracker)));
         }
     }
     let t0 = std::time::Instant::now();
-    cluster.run_for(SimDuration::from_secs(10));
+    cluster.run_for(SimDuration::from_secs(cfg.sim_secs));
     let wall = t0.elapsed().as_secs_f64();
-    println!(
-        "10 sim-s took {:.1} wall-s; events={} ({:.0}/s); completed={}",
-        wall,
-        cluster.sim.events_processed(),
-        cluster.sim.events_processed() as f64 / wall,
-        cluster.metrics().counter(mn::CMD_COMPLETED)
+    let events = cluster.sim.events_processed();
+    ProbeResult {
+        config: cfg,
+        events,
+        completed: cluster.metrics().counter(mn::CMD_COMPLETED),
+        wall_secs: wall,
+        events_per_sec: events as f64 / wall,
+        wall_per_sim_sec: wall / cfg.sim_secs as f64,
+    }
+}
+
+/// Peak resident set (VmHWM) in kilobytes, if the kernel exposes it.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Renders results as the flat JSON the CI gate and EXPERIMENTS.md consume.
+/// Hand-rolled: every value is a number or a bare identifier, so there is
+/// nothing to escape.
+fn to_json(results: &[ProbeResult]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let c = &r.config;
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"partitions\": {}, \"sim_secs\": {}, \"seed\": {}, \
+             \"clients_per_warehouse\": {}, \"events\": {}, \"completed\": {}, \
+             \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \"wall_per_sim_sec\": {:.4}}}{}\n",
+            mode_name(c.mode),
+            c.partitions,
+            c.sim_secs,
+            c.seed,
+            c.clients_per_warehouse,
+            r.events,
+            r.completed,
+            r.wall_secs,
+            r.events_per_sec,
+            r.wall_per_sim_sec,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let best = results.iter().map(|r| r.events_per_sec).fold(0.0f64, f64::max);
+    out.push_str(&format!("  \"best_events_per_sec\": {best:.0},\n"));
+    match peak_rss_kb() {
+        Some(kb) => out.push_str(&format!("  \"peak_rss_kb\": {kb}\n")),
+        None => out.push_str("  \"peak_rss_kb\": null\n"),
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls `"best_events_per_sec": N` out of a baseline JSON without a JSON
+/// parser — the file is generated by [`to_json`], so the key appears once.
+fn parse_best(json: &str) -> Option<f64> {
+    let idx = json.find("\"best_events_per_sec\"")?;
+    let rest = &json[idx..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail.find([',', '\n', '}'])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: probe_perf [--mode dynastar|ssmr] [--partitions N] [--sim-secs N] [--seed N]\n\
+         \x20                 [--clients N] [--matrix] [--out FILE] [--check-against FILE]\n\
+         \n\
+         --matrix          sweep seeds 1..=3 x modes in parallel, report all points\n\
+         --out FILE        write machine-readable BENCH_perf.json\n\
+         --check-against FILE  exit 1 if events/s fell >30% below the baseline file"
     );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut cfg = ProbeConfig {
+        mode: Mode::Dynastar,
+        partitions: 4,
+        sim_secs: 10,
+        seed: 1,
+        clients_per_warehouse: 6,
+    };
+    let mut matrix = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--mode" => {
+                cfg.mode = match val() {
+                    "dynastar" => Mode::Dynastar,
+                    "ssmr" => Mode::SSmr,
+                    "dssmr" => Mode::DsSmr,
+                    _ => usage(),
+                }
+            }
+            "--partitions" => cfg.partitions = val().parse().unwrap_or_else(|_| usage()),
+            "--sim-secs" => cfg.sim_secs = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => cfg.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--clients" => cfg.clients_per_warehouse = val().parse().unwrap_or_else(|_| usage()),
+            "--matrix" => matrix = true,
+            "--out" => out_path = Some(val().to_owned()),
+            "--check-against" => check_path = Some(val().to_owned()),
+            _ => usage(),
+        }
+    }
+
+    let results = if matrix {
+        let points: Vec<ProbeConfig> = [Mode::Dynastar, Mode::SSmr]
+            .iter()
+            .flat_map(|&mode| (1u64..=3).map(move |seed| ProbeConfig { mode, seed, ..cfg }))
+            .collect();
+        run_parallel(points, 0, run_probe)
+    } else {
+        vec![run_probe(cfg)]
+    };
+
+    for r in &results {
+        let c = &r.config;
+        println!(
+            "{} sim-s took {:.1} wall-s; events={} ({:.0}/s); completed={}",
+            c.sim_secs, r.wall_secs, r.events, r.events_per_sec, r.completed
+        );
+        if matrix {
+            println!(
+                "  config: mode={} partitions={} seed={}",
+                mode_name(c.mode),
+                c.partitions,
+                c.seed
+            );
+        }
+    }
+    if let Some(kb) = peak_rss_kb() {
+        println!("peak RSS: {} MB", kb / 1024);
+    }
+    println!(
+        "allocs={} ({} MB)",
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed) / (1 << 20)
+    );
+    for (i, b) in SIZE_BUCKETS.iter().enumerate() {
+        let n = b.load(Ordering::Relaxed);
+        if n > 0 {
+            println!("  <= {:>6} B: {n}", 1u64 << i);
+        }
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, to_json(&results)).expect("write BENCH_perf.json");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = check_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let base =
+            parse_best(&baseline).unwrap_or_else(|| panic!("no best_events_per_sec in {path}"));
+        let now = results.iter().map(|r| r.events_per_sec).fold(0.0f64, f64::max);
+        let floor = base * 0.70;
+        println!("perf gate: current {now:.0}/s vs baseline {base:.0}/s (floor {floor:.0}/s)");
+        if now < floor {
+            eprintln!("perf gate FAILED: events/s regressed more than 30% below baseline");
+            std::process::exit(1);
+        }
+        println!("perf gate passed");
+    }
 }

@@ -14,4 +14,4 @@ pub mod report;
 pub mod setup;
 
 pub use report::{print_series, print_table};
-pub use setup::{chirper_cluster, tpcc_cluster, ChirperSetup, TpccSetup};
+pub use setup::{chirper_cluster, run_parallel, tpcc_cluster, ChirperSetup, TpccSetup};

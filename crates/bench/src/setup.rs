@@ -196,6 +196,59 @@ pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<Soc
     (b.build(), Arc::new(Mutex::new(graph)))
 }
 
+/// Runs every job in `inputs` through `run` on a pool of scoped worker
+/// threads, returning results **in input order**.
+///
+/// Each simulation is single-threaded and deterministic from its seed, so a
+/// sweep over seeds or configurations is embarrassingly parallel: the
+/// figure binaries spend minutes running points sequentially that fan out
+/// across cores with identical output. Workers claim jobs from a shared
+/// atomic cursor (no per-thread chunking, so one slow point — e.g. the
+/// 8-partition row next to the 1-partition row — does not idle the rest of
+/// the pool), and results land in a slot table indexed by input position,
+/// keeping output order independent of scheduling.
+///
+/// `threads` caps the pool; `0` means one per available core. The pool
+/// never exceeds the number of jobs. Panics in `run` propagate (the scope
+/// re-raises them) rather than silently dropping a point.
+pub fn run_parallel<C, R, F>(inputs: Vec<C>, threads: usize, run: F) -> Vec<R>
+where
+    C: Send,
+    R: Send,
+    F: Fn(C) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let n = inputs.len();
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let pool = if threads == 0 { cores } else { threads }.min(n).max(1);
+
+    // Jobs move into slots the workers drain; results fill a parallel
+    // slot table so position i of the output is input i's result.
+    let jobs: Vec<Mutex<Option<C>>> = inputs.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for _ in 0..pool {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = jobs[i].lock().expect("job slot").take().expect("job taken once");
+                let out = run(job);
+                *results[i].lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result lock").expect("worker filled every slot"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,6 +259,49 @@ mod tests {
         setup.scale = TpccScale { warehouses: 2, customers_per_district: 5, items: 20 };
         let cluster = tpcc_cluster(&setup);
         assert_eq!(cluster.config.partitions, 2);
+    }
+
+    #[test]
+    fn run_parallel_preserves_input_order() {
+        let inputs: Vec<u64> = (0..37).collect();
+        let out = run_parallel(inputs.clone(), 4, |x| x * x);
+        assert_eq!(out, inputs.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_handles_more_threads_than_jobs() {
+        assert_eq!(run_parallel(vec![7u32], 16, |x| x + 1), vec![8]);
+        assert_eq!(run_parallel(Vec::<u32>::new(), 4, |x| x), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn run_parallel_zero_threads_uses_all_cores() {
+        let out = run_parallel((0..8u32).collect(), 0, |x| x);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_matches_sequential_simulation() {
+        // The property the figure binaries rely on: a simulation run on a
+        // worker thread produces bit-identical results to one run inline.
+        let run_point = |seed: u64| {
+            let mut setup = TpccSetup::new(1, Mode::Dynastar);
+            setup.scale = TpccScale { warehouses: 1, customers_per_district: 5, items: 20 };
+            setup.seed = seed;
+            let mut cluster = tpcc_cluster(&setup);
+            let tracker = tpcc::order_tracker();
+            cluster.add_client(dynastar_workloads::tpcc::TpccWorkload::new(
+                setup.scale,
+                0,
+                Arc::clone(&tracker),
+            ));
+            cluster.run_for(SimDuration::from_millis(500));
+            cluster.sim.events_processed()
+        };
+        let seeds = vec![1u64, 2, 3];
+        let sequential: Vec<u64> = seeds.iter().map(|&s| run_point(s)).collect();
+        let parallel = run_parallel(seeds, 3, run_point);
+        assert_eq!(parallel, sequential);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The client protocol core (paper Algorithm 1 and the §4.3 location
 //! cache) and the workload-driver abstraction.
 
-use std::collections::HashMap;
-
 use dynastar_amcast::MsgId;
-use dynastar_runtime::{Metrics, NodeId, SimDuration, SimTime};
+use dynastar_runtime::{
+    CounterId, FastHashMap, HistogramId, Metrics, NodeId, SeriesId, SimDuration, SimTime,
+};
 use rand::rngs::StdRng;
 
 use crate::command::{Application, Command, CommandKind, LocKey, Mode, PartitionId};
@@ -64,16 +64,60 @@ pub struct ClientCore<A: Application> {
     /// plan older than [`ClientCore::plan_version`] are flushed wholesale
     /// when a newer version is observed — without the version tag, every
     /// stale entry would cost its own NOK round-trip before being evicted.
-    cache: HashMap<LocKey, (PartitionId, u64)>,
+    cache: FastHashMap<LocKey, (PartitionId, u64)>,
     /// Highest oracle plan version observed in prophecies.
     plan_version: u64,
     outstanding: Option<Outstanding<A>>,
+    /// Interned metric handles for the per-command completion path, tagged
+    /// with the registry they were minted under — the threaded harness
+    /// hands cores a fresh scratch `Metrics` per call, so a bare cache
+    /// would index into the wrong instance.
+    mids: Option<(u64, ClientMetricIds)>,
+}
+
+/// Dense metric ids recorded per completed/retried/timed-out command.
+#[derive(Debug, Clone, Copy)]
+struct ClientMetricIds {
+    cmd_retry: CounterId,
+    s_cmd_retry: SeriesId,
+    cmd_completed: CounterId,
+    s_cmd_completed: SeriesId,
+    cmd_latency: HistogramId,
+    cmd_timeout: CounterId,
 }
 
 impl<A: Application> ClientCore<A> {
     /// Creates a client core. `id` doubles as the message-id origin.
     pub fn new(id: NodeId, mode: Mode) -> Self {
-        ClientCore { id, mode, seq: 0, cache: HashMap::new(), plan_version: 0, outstanding: None }
+        ClientCore {
+            id,
+            mode,
+            seq: 0,
+            cache: FastHashMap::default(),
+            plan_version: 0,
+            outstanding: None,
+            mids: None,
+        }
+    }
+
+    /// The interned metric ids, resolving them on first use (and again
+    /// whenever a different registry shows up).
+    fn mids(&mut self, metrics: &mut Metrics) -> ClientMetricIds {
+        if let Some((reg, ids)) = self.mids {
+            if reg == metrics.registry_id() {
+                return ids;
+            }
+        }
+        let ids = ClientMetricIds {
+            cmd_retry: metrics.counter_id(mn::CMD_RETRY),
+            s_cmd_retry: metrics.series_id(mn::CMD_RETRY),
+            cmd_completed: metrics.counter_id(mn::CMD_COMPLETED),
+            s_cmd_completed: metrics.series_id(mn::CMD_COMPLETED),
+            cmd_latency: metrics.histogram_id(mn::CMD_LATENCY),
+            cmd_timeout: metrics.counter_id(mn::CMD_TIMEOUT),
+        };
+        self.mids = Some((metrics.registry_id(), ids));
+        ids
     }
 
     /// Pre-populates the location cache (S-SMR's static map, or warm-start
@@ -197,8 +241,9 @@ impl<A: Application> ClientCore<A> {
                 if !matches {
                     return (Vec::new(), None);
                 }
-                metrics.incr_counter(mn::CMD_RETRY, 1);
-                metrics.record_series(mn::CMD_RETRY, now, 1.0);
+                let ids = self.mids(metrics);
+                metrics.incr(ids.cmd_retry, 1);
+                metrics.record_at(ids.s_cmd_retry, now, 1.0);
                 // Our cached locations for this command were stale.
                 let out = self.outstanding.as_mut().expect("matched outstanding");
                 for k in out.cmd.keys() {
@@ -226,19 +271,22 @@ impl<A: Application> ClientCore<A> {
         }
         let out = self.outstanding.take().expect("matched outstanding");
         let latency = now.saturating_duration_since(out.issued_at);
-        metrics.incr_counter(mn::CMD_COMPLETED, 1);
-        metrics.record_series(mn::CMD_COMPLETED, now, 1.0);
-        metrics.record_histogram(mn::CMD_LATENCY, latency);
+        let ids = self.mids(metrics);
+        metrics.incr(ids.cmd_completed, 1);
+        metrics.record_at(ids.s_cmd_completed, now, 1.0);
+        metrics.observe(ids.cmd_latency, latency);
         (Vec::new(), Some(ClientEvent::Completed { cmd: out.cmd, reply, latency, ok: true }))
     }
 
     /// Re-dispatches the outstanding command through the oracle after a
     /// response timeout (lost messages / leader churn).
     pub fn on_timeout(&mut self, _now: SimTime, metrics: &mut Metrics) -> Vec<Effect<A>> {
-        let Some(out) = self.outstanding.as_mut() else {
+        if self.outstanding.is_none() {
             return Vec::new();
-        };
-        metrics.incr_counter(mn::CMD_TIMEOUT, 1);
+        }
+        let ids = self.mids(metrics);
+        metrics.incr(ids.cmd_timeout, 1);
+        let out = self.outstanding.as_mut().expect("checked above");
         out.attempt += 1;
         for k in out.cmd.keys() {
             self.cache.remove(&k);

@@ -14,7 +14,8 @@ use dynastar_amcast::{
 use dynastar_paxos::{Ballot, BatchConfig, GroupConfig};
 use dynastar_runtime::fifo::{FifoLinks, Frame};
 use dynastar_runtime::{
-    Actor, Ctx, Metrics, NetConfig, NodeId, SimConfig, SimDuration, SimTime, Simulation,
+    Actor, Ctx, FastHashMap, Metrics, NetConfig, NodeId, SimConfig, SimDuration, SimTime,
+    Simulation,
 };
 
 use crate::client::{ClientCore, ClientEvent, Workload};
@@ -55,14 +56,18 @@ mod timer {
 /// crash-recovery analogue of TCP connection teardown + re-establishment.
 #[derive(Debug)]
 pub enum Msg<A: Application> {
-    /// A sequenced protocol frame.
+    /// A sequenced protocol frame. The body travels behind an `Arc` so a
+    /// fan-out to N peers, the per-peer retransmission buffers, and the
+    /// receivers' reorder buffers all share one allocation — the frame
+    /// itself is two words plus a sequence number, so queue moves and
+    /// retransmission clones never copy payload bytes.
     Frame {
         /// Sender's incarnation epoch.
         src_epoch: u64,
         /// The receiver epoch the sender believes is current.
         dst_epoch: u64,
         /// The sequenced payload.
-        frame: Frame<Inner<A>>,
+        frame: Frame<Arc<Inner<A>>>,
     },
     /// Selective ack: every frame with `seq < up_to` was received, and the
     /// listed later frames are missing (retransmit them now).
@@ -226,6 +231,15 @@ impl RouteTable {
     }
 }
 
+/// Whether `DYNASTAR_TRACE_ARQ` diagnostics are enabled. Sampled once per
+/// process: the check sits on the per-frame receive path, and an
+/// `env::var_os` there (a linear scan of the environment plus an
+/// allocation) costs more than the rest of the ARQ bookkeeping combined.
+fn trace_arq() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("DYNASTAR_TRACE_ARQ").is_some())
+}
+
 /// Retransmission timeout for unacknowledged frames.
 const RETX_AFTER: SimDuration = SimDuration::from_millis(300);
 /// Give up on a peer's unacked frames after this long (crashed peer).
@@ -248,14 +262,16 @@ const ACK_FLUSH_EVERY: SimDuration = SimDuration::from_millis(100);
 const SIGNAL_EVERY: SimDuration = SimDuration::from_millis(100);
 
 /// One peer's outstanding frames: seq → (frame, first send, latest send).
-type SendBuf<A> = std::collections::BTreeMap<u64, (Frame<Inner<A>>, SimTime, SimTime)>;
+/// Frames share their body with the in-flight copy via `Arc`, so buffering
+/// for retransmission costs a refcount, not a deep clone.
+type SendBuf<A> = std::collections::BTreeMap<u64, (Frame<Arc<Inner<A>>>, SimTime, SimTime)>;
 
 /// Shared actor plumbing: FIFO links + a simple ARQ (cumulative acks,
 /// timeout retransmission) + message fan-out, epoch-aware so streams
 /// resynchronize after either endpoint restarts (see [`Msg`]).
 struct Wiring<A: Application> {
     routes: Arc<RouteTable>,
-    fifo: FifoLinks<NodeId, Inner<A>>,
+    fifo: FifoLinks<NodeId, Arc<Inner<A>>>,
     /// Reorder-buffer cap handed to [`FifoLinks`]; kept so a restarted
     /// actor can rebuild its wiring with the same bound.
     fifo_cap: usize,
@@ -266,17 +282,17 @@ struct Wiring<A: Application> {
     /// send, latest (re)send). Retransmission backs off from the latest
     /// send; the give-up clock runs from the first, so resending a frame
     /// does not keep it alive forever against an unreachable peer.
-    unacked: std::collections::HashMap<NodeId, SendBuf<A>>,
+    unacked: FastHashMap<NodeId, SendBuf<A>>,
     /// Last cumulative ack value sent to each peer.
-    acked_to_peer: std::collections::HashMap<NodeId, u64>,
+    acked_to_peer: FastHashMap<NodeId, u64>,
     /// Last time lazy acks were flushed.
     last_ack_flush: SimTime,
     /// This node's incarnation epoch (0 at first boot, +1 per restart).
     my_epoch: u64,
     /// Highest incarnation epoch observed per peer (absent = 0).
-    peer_epochs: std::collections::HashMap<NodeId, u64>,
+    peer_epochs: FastHashMap<NodeId, u64>,
     /// Last time an epoch notice or jump was sent to each peer.
-    last_signal: std::collections::HashMap<NodeId, SimTime>,
+    last_signal: FastHashMap<NodeId, SimTime>,
 }
 
 impl<A: Application> Wiring<A> {
@@ -290,12 +306,12 @@ impl<A: Application> Wiring<A> {
             fifo: FifoLinks::with_buffer_cap(fifo_cap),
             fifo_cap,
             reported_fifo_drops: 0,
-            unacked: std::collections::HashMap::new(),
-            acked_to_peer: std::collections::HashMap::new(),
+            unacked: FastHashMap::default(),
+            acked_to_peer: FastHashMap::default(),
             last_ack_flush: SimTime::ZERO,
             my_epoch,
-            peer_epochs: std::collections::HashMap::new(),
-            last_signal: std::collections::HashMap::new(),
+            peer_epochs: FastHashMap::default(),
+            last_signal: FastHashMap::default(),
         }
     }
 
@@ -303,7 +319,10 @@ impl<A: Application> Wiring<A> {
         self.peer_epochs.get(&peer).copied().unwrap_or(0)
     }
 
-    fn send(&mut self, ctx: &mut Ctx<'_, Msg<A>>, to: NodeId, inner: Inner<A>) {
+    /// Sends one framed body to `to`. Fan-out callers wrap the body in an
+    /// `Arc` once and pass clones, so every recipient (and every
+    /// retransmission buffer entry) shares a single allocation.
+    fn send(&mut self, ctx: &mut Ctx<'_, Msg<A>>, to: NodeId, inner: Arc<Inner<A>>) {
         let frame = self.fifo.wrap(to, inner);
         let now = ctx.now();
         self.unacked.entry(to).or_default().insert(frame.seq, (frame.clone(), now, now));
@@ -403,6 +422,14 @@ impl<A: Application> Wiring<A> {
         true
     }
 
+    /// Unwraps released frame bodies for consumption: sole owner → move,
+    /// otherwise (sender still buffering for retransmission, or a fan-out
+    /// sibling in flight) one deep clone — the only payload copy on the
+    /// whole delivery path.
+    fn unwrap_released(ready: Vec<Arc<Inner<A>>>) -> Vec<Inner<A>> {
+        ready.into_iter().map(|a| Arc::try_unwrap(a).unwrap_or_else(|a| (*a).clone())).collect()
+    }
+
     /// Accepts an incoming message; returns the in-order released inner
     /// messages (empty for acks/out-of-order frames).
     fn receive(&mut self, ctx: &mut Ctx<'_, Msg<A>>, from: NodeId, msg: Msg<A>) -> Vec<Inner<A>> {
@@ -411,7 +438,7 @@ impl<A: Application> Wiring<A> {
                 if !self.sync_epochs(ctx, from, src_epoch, dst_epoch) {
                     return Vec::new();
                 }
-                let ready = self.fifo.accept(from, frame);
+                let ready = Self::unwrap_released(self.fifo.accept(from, frame));
                 let drops = self.fifo.dropped_count();
                 if drops > self.reported_fifo_drops {
                     ctx.metrics_mut().incr_counter(
@@ -420,7 +447,7 @@ impl<A: Application> Wiring<A> {
                     );
                     self.reported_fifo_drops = drops;
                 }
-                if std::env::var_os("DYNASTAR_TRACE_ARQ").is_some() {
+                if trace_arq() {
                     let buffered = self.fifo.buffered_count();
                     if buffered > 200 && buffered.is_multiple_of(100) {
                         eprintln!(
@@ -453,7 +480,12 @@ impl<A: Application> Wiring<A> {
                 let mut unsatisfiable_hole = false;
                 match self.unacked.get_mut(&from) {
                     Some(buf) => {
-                        *buf = buf.split_off(&up_to);
+                        // Drop cumulatively-acked frames in place; a
+                        // `split_off` here would rebuild the whole tree on
+                        // every ack.
+                        while buf.first_key_value().map(|(&s, _)| s < up_to).unwrap_or(false) {
+                            buf.pop_first();
+                        }
                         // Selective repeat: resend exactly the reported holes.
                         for seq in missing {
                             if let Some((frame, _first_sent, last_sent)) = buf.get_mut(&seq) {
@@ -500,7 +532,7 @@ impl<A: Application> Wiring<A> {
                 }
                 // The sender abandoned everything below `from_seq`; release
                 // whatever buffered frames become deliverable past the gap.
-                self.fifo.force_advance(&from, from_seq)
+                Self::unwrap_released(self.fifo.force_advance(&from, from_seq))
             }
             Msg::EpochNotice { epoch } => {
                 self.note_peer_epoch(ctx, from, epoch);
@@ -558,7 +590,7 @@ impl<A: Application> Wiring<A> {
     fn retransmit_due(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
         let now = ctx.now();
         let mut dead_peers = Vec::new();
-        let mut all_resends: Vec<(NodeId, Frame<Inner<A>>)> = Vec::new();
+        let mut all_resends: Vec<(NodeId, Frame<Arc<Inner<A>>>)> = Vec::new();
         // Fixed scan order (see flush_acks): resend order must not depend
         // on hash-map iteration order or same-seed runs diverge.
         let mut scan: Vec<NodeId> = self.unacked.keys().copied().collect();
@@ -594,7 +626,7 @@ impl<A: Application> Wiring<A> {
                 }
             }
             if expired {
-                if std::env::var_os("DYNASTAR_TRACE_ARQ").is_some() {
+                if trace_arq() {
                     eprintln!(
                         "[arq] t={} giving up on peer {peer}: dropping {} unacked frames",
                         now,
@@ -627,17 +659,23 @@ impl<A: Application> Wiring<A> {
         match dest {
             Destination::Partition(p) => {
                 let g = self.routes.partition_group(p);
-                for node in self.routes.group_nodes(g).to_vec() {
-                    self.send(ctx, node, Inner::Direct(msg.clone()));
+                let inner = Arc::new(Inner::Direct(msg));
+                // Clone the routes handle (refcount bump), not the node
+                // list: `send` needs `&mut self` while we iterate.
+                let routes = Arc::clone(&self.routes);
+                for &node in routes.group_nodes(g) {
+                    self.send(ctx, node, Arc::clone(&inner));
                 }
             }
             Destination::Oracle => {
-                for node in self.routes.group_nodes(self.routes.oracle_group).to_vec() {
-                    self.send(ctx, node, Inner::Direct(msg.clone()));
+                let inner = Arc::new(Inner::Direct(msg));
+                let routes = Arc::clone(&self.routes);
+                for &node in routes.group_nodes(routes.oracle_group) {
+                    self.send(ctx, node, Arc::clone(&inner));
                 }
             }
             Destination::Client(node) => {
-                self.send(ctx, node, Inner::Direct(msg));
+                self.send(ctx, node, Arc::new(Inner::Direct(msg)));
             }
         }
     }
@@ -663,18 +701,17 @@ impl<A: Application> Wiring<A> {
         groups: Vec<GroupId>,
         payload: Payload<A>,
     ) {
-        let payload = Arc::new(payload);
+        // One allocation for the whole fan-out: every destination replica
+        // receives a clone of the same `Arc`'d submit message.
+        let inner = Arc::new(Inner::Wire(McastWire::Submit {
+            mid,
+            dests: groups.clone(),
+            payload: Arc::new(payload),
+        }));
+        let routes = Arc::clone(&self.routes);
         for &g in &groups {
-            for node in self.routes.group_nodes(g).to_vec() {
-                self.send(
-                    ctx,
-                    node,
-                    Inner::Wire(McastWire::Submit {
-                        mid,
-                        dests: groups.clone(),
-                        payload: Arc::clone(&payload),
-                    }),
-                );
+            for &node in routes.group_nodes(g) {
+                self.send(ctx, node, Arc::clone(&inner));
             }
         }
     }
@@ -865,7 +902,7 @@ impl<A: Application> ServerActor<A> {
     fn request_snapshots(&mut self, ctx: &mut Ctx<'_, Msg<A>>) {
         for peer in self.group_peers() {
             if !self.recovery_snaps.contains_key(&peer) {
-                self.wiring.send(ctx, peer, Inner::Recovery(RecoveryMsg::Request));
+                self.wiring.send(ctx, peer, Arc::new(Inner::Recovery(RecoveryMsg::Request)));
             }
         }
     }
@@ -888,10 +925,10 @@ impl<A: Application> ServerActor<A> {
                 self.wiring.send(
                     ctx,
                     from,
-                    Inner::Recovery(RecoveryMsg::Response(Box::new(RecoveryPayload {
+                    Arc::new(Inner::Recovery(RecoveryMsg::Response(Box::new(RecoveryPayload {
                         snapshot,
                         core,
-                    }))),
+                    })))),
                 );
             }
             RecoveryMsg::Response(payload) => {
@@ -944,7 +981,7 @@ impl<A: Application> ServerActor<A> {
         let mut deliveries: std::collections::VecDeque<_> = out.delivered.into();
         for (to, wire) in out.outgoing {
             let node = self.wiring.routes.node_of(to);
-            self.wiring.send(ctx, node, Inner::Wire(wire));
+            self.wiring.send(ctx, node, Arc::new(Inner::Wire(wire)));
         }
         while let Some(d) = deliveries.pop_front() {
             let now = ctx.now();
@@ -973,7 +1010,7 @@ impl<A: Application> ServerActor<A> {
                     let out = self.member.submit(mid, groups, Arc::new(payload));
                     for (to, wire) in out.outgoing {
                         let node = self.wiring.routes.node_of(to);
-                        self.wiring.send(ctx, node, Inner::Wire(wire));
+                        self.wiring.send(ctx, node, Arc::new(Inner::Wire(wire)));
                     }
                     deliveries.extend(out.delivered);
                 }

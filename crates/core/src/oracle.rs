@@ -150,6 +150,9 @@ pub struct OracleCore<A: Application> {
     plan_version: u64,
     /// When the last plan was applied (gates the next recompute).
     last_plan_at: SimTime,
+    /// Interned (counter, series) ids for [`mn::ORACLE_QUERIES`] — the
+    /// oracle's per-delivery hot path — resolved lazily.
+    query_ids: Option<(u64, dynastar_runtime::CounterId, dynastar_runtime::SeriesId)>,
     _marker: std::marker::PhantomData<A>,
 }
 
@@ -168,6 +171,7 @@ impl<A: Application> Clone for OracleCore<A> {
             pending_plan: self.pending_plan.clone(),
             plan_version: self.plan_version,
             last_plan_at: self.last_plan_at,
+            query_ids: self.query_ids,
             _marker: std::marker::PhantomData,
         }
     }
@@ -191,6 +195,7 @@ impl<A: Application> OracleCore<A> {
             pending_plan: None,
             plan_version: 0,
             last_plan_at: SimTime::ZERO,
+            query_ids: None,
             _marker: std::marker::PhantomData,
         }
     }
@@ -242,8 +247,17 @@ impl<A: Application> OracleCore<A> {
         match payload {
             Payload::Exec { cmd, attempt } => {
                 if self.config.record_metrics {
-                    metrics.incr_counter(mn::ORACLE_QUERIES, 1);
-                    metrics.record_series(mn::ORACLE_QUERIES, now, 1.0);
+                    let (c, s) = match self.query_ids {
+                        Some((reg, c, s)) if reg == metrics.registry_id() => (c, s),
+                        _ => {
+                            let c = metrics.counter_id(mn::ORACLE_QUERIES);
+                            let s = metrics.series_id(mn::ORACLE_QUERIES);
+                            self.query_ids = Some((metrics.registry_id(), c, s));
+                            (c, s)
+                        }
+                    };
+                    metrics.incr(c, 1);
+                    metrics.record_at(s, now, 1.0);
                 }
                 self.handle_exec(cmd, attempt, &mut eff);
             }

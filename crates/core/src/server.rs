@@ -13,11 +13,11 @@
 //! rendezvous) but nothing overtakes it. Atomic multicast's pairwise
 //! consistent delivery order across partitions makes this deadlock-free.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dynastar_amcast::MsgId;
 use dynastar_runtime::dedup::{RotatingMap, RotatingSet};
-use dynastar_runtime::{Metrics, SimTime};
+use dynastar_runtime::{CounterId, Metrics, SeriesId, SimTime};
 
 use crate::command::{Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId};
 use crate::metric_names as mn;
@@ -26,7 +26,10 @@ use crate::payload::{DedupKey, Destination, Direct, Effect, Payload};
 /// Emits protocol-stall diagnostics to stderr when the
 /// `DYNASTAR_TRACE_BLOCKED` environment variable is set.
 fn trace_blocked(args: std::fmt::Arguments<'_>) {
-    if std::env::var_os("DYNASTAR_TRACE_BLOCKED").is_some() {
+    // Sampled once per process: this sits on executed-command paths, and
+    // `env::var_os` is far too slow to re-check per call.
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    if *ON.get_or_init(|| std::env::var_os("DYNASTAR_TRACE_BLOCKED").is_some()) {
         eprintln!("{args}");
     }
 }
@@ -156,7 +159,7 @@ pub struct ServerCore<A: Application> {
     /// S-SMR exchange shares received.
     ssmr_in: BTreeMap<(MsgId, u32), ShipmentsBySource<A>>,
     /// Create/delete rendezvous signals received from the oracle.
-    oracle_signals: HashSet<MsgId>,
+    oracle_signals: dynastar_runtime::FastHashSet<MsgId>,
     /// Current plan version.
     plan_version: u64,
     /// Keys owned whose primary shipment has not arrived: key → old owner.
@@ -186,6 +189,26 @@ pub struct ServerCore<A: Application> {
     name_executed: String,
     name_multi: String,
     name_objects: String,
+    /// Interned metric handles, resolved lazily against the simulation's
+    /// registry on first record and tagged with that registry's id so a
+    /// core handed a different `Metrics` instance re-interns instead of
+    /// indexing into the wrong registry (see [`ServerCore::mids`]).
+    mids: Option<(u64, ServerMetricIds)>,
+}
+
+/// Dense metric ids for everything the core records per executed command —
+/// index-based lookups on the delivery path instead of string-keyed ones.
+#[derive(Debug, Clone, Copy)]
+struct ServerMetricIds {
+    objects_exchanged: CounterId,
+    cmd_retry: CounterId,
+    cmd_multi: CounterId,
+    cmd_single: CounterId,
+    s_cmd_multi: SeriesId,
+    s_cmd_single: SeriesId,
+    s_executed: SeriesId,
+    s_multi: SeriesId,
+    s_objects: SeriesId,
 }
 
 /// Cloning a core snapshots its full protocol state — every replica of a
@@ -221,6 +244,9 @@ impl<A: Application> Clone for ServerCore<A> {
             name_executed: self.name_executed.clone(),
             name_multi: self.name_multi.clone(),
             name_objects: self.name_objects.clone(),
+            // Ids carry their registry tag, so a clone installed on
+            // another replica of the same simulation can keep them.
+            mids: self.mids,
         }
     }
 }
@@ -240,7 +266,7 @@ impl<A: Application> ServerCore<A> {
             returns_in: BTreeMap::new(),
             aborted: RotatingSet::new(1 << 14),
             ssmr_in: BTreeMap::new(),
-            oracle_signals: HashSet::new(),
+            oracle_signals: Default::default(),
             plan_version: 0,
             awaiting_keys: BTreeMap::new(),
             awaiting_vars: BTreeSet::new(),
@@ -256,7 +282,31 @@ impl<A: Application> ServerCore<A> {
             name_executed: mn::partition_executed(partition.0),
             name_multi: mn::partition_multi(partition.0),
             name_objects: mn::partition_objects(partition.0),
+            mids: None,
         }
+    }
+
+    /// The interned metric ids, resolving them on first use (and again
+    /// whenever a different registry shows up).
+    fn mids(&mut self, metrics: &mut Metrics) -> ServerMetricIds {
+        if let Some((reg, ids)) = self.mids {
+            if reg == metrics.registry_id() {
+                return ids;
+            }
+        }
+        let ids = ServerMetricIds {
+            objects_exchanged: metrics.counter_id(mn::OBJECTS_EXCHANGED),
+            cmd_retry: metrics.counter_id(mn::CMD_RETRY),
+            cmd_multi: metrics.counter_id(mn::CMD_MULTI),
+            cmd_single: metrics.counter_id(mn::CMD_SINGLE),
+            s_cmd_multi: metrics.series_id(mn::CMD_MULTI),
+            s_cmd_single: metrics.series_id(mn::CMD_SINGLE),
+            s_executed: metrics.series_id(&self.name_executed),
+            s_multi: metrics.series_id(&self.name_multi),
+            s_objects: metrics.series_id(&self.name_objects),
+        };
+        self.mids = Some((metrics.registry_id(), ids));
+        ids
     }
 
     /// Re-enables or disables metric recording — used after installing a
@@ -493,7 +543,8 @@ impl<A: Application> ServerCore<A> {
             self.awaiting_vars.extend(pending);
         }
         if self.config.record_metrics {
-            metrics.incr_counter(mn::OBJECTS_EXCHANGED, received);
+            let ids = self.mids(metrics);
+            metrics.incr(ids.objects_exchanged, received);
         }
     }
 
@@ -636,7 +687,8 @@ impl<A: Application> ServerCore<A> {
                 }
                 self.aborted.insert((cmd_id, attempt));
                 if self.config.record_metrics {
-                    metrics.incr_counter(mn::CMD_RETRY, 1);
+                    let ids = self.mids(metrics);
+                    metrics.incr(ids.cmd_retry, 1);
                 }
                 return true;
             }
@@ -663,8 +715,9 @@ impl<A: Application> ServerCore<A> {
                 *sent_exchange = true;
                 let mine = self.my_var_values(expected);
                 if self.config.record_metrics {
-                    metrics.incr_counter(
-                        mn::OBJECTS_EXCHANGED,
+                    let ids = self.mids(metrics);
+                    metrics.incr(
+                        ids.objects_exchanged,
                         mine.iter().filter(|(_, v)| v.is_some()).count() as u64,
                     );
                 }
@@ -733,16 +786,11 @@ impl<A: Application> ServerCore<A> {
                 *sent_vars = true;
                 let mine = self.my_var_values(expected);
                 if self.config.record_metrics {
-                    metrics.incr_counter(
-                        mn::OBJECTS_EXCHANGED,
-                        mine.iter().filter(|(_, v)| v.is_some()).count() as u64,
-                    );
-                    metrics.record_series(
-                        &self.name_objects,
-                        now,
-                        mine.iter().filter(|(_, v)| v.is_some()).count() as f64,
-                    );
-                    metrics.record_series(&self.name_multi, now, 1.0);
+                    let ids = self.mids(metrics);
+                    let shipped = mine.iter().filter(|(_, v)| v.is_some()).count();
+                    metrics.incr(ids.objects_exchanged, shipped as u64);
+                    metrics.record_at(ids.s_objects, now, shipped as f64);
+                    metrics.record_at(ids.s_multi, now, 1.0);
                 }
                 for (v, _) in &mine {
                     self.lent.insert(*v, (cmd_id, attempt));
@@ -928,8 +976,9 @@ impl<A: Application> ServerCore<A> {
                 });
             }
             if self.config.record_metrics {
-                metrics.incr_counter(mn::OBJECTS_EXCHANGED, returned_objects);
-                metrics.record_series(&self.name_objects, now, returned_objects as f64);
+                let ids = self.mids(metrics);
+                metrics.incr(ids.objects_exchanged, returned_objects);
+                metrics.record_at(ids.s_objects, now, returned_objects as f64);
             }
         }
         self.finish_execution(cmd, attempt, reply, true, now, metrics, eff);
@@ -972,7 +1021,8 @@ impl<A: Application> ServerCore<A> {
             }
         }
         if self.config.record_metrics {
-            metrics.record_series(&self.name_multi, now, 1.0);
+            let ids = self.mids(metrics);
+            metrics.record_at(ids.s_multi, now, 1.0);
         }
         if replies_here {
             self.finish_execution(cmd, attempt, reply, true, now, metrics, eff);
@@ -981,7 +1031,8 @@ impl<A: Application> ServerCore<A> {
             self.consume_service_time(now);
             self.executed.insert(cmd.id, reply);
             if self.config.record_metrics {
-                metrics.record_series(&self.name_executed, now, 1.0);
+                let ids = self.mids(metrics);
+                metrics.record_at(ids.s_executed, now, 1.0);
             }
         }
     }
@@ -1012,14 +1063,15 @@ impl<A: Application> ServerCore<A> {
         });
         self.executed.insert(cmd.id, reply);
         if self.config.record_metrics {
-            metrics.record_series(&self.name_executed, now, 1.0);
+            let ids = self.mids(metrics);
+            metrics.record_at(ids.s_executed, now, 1.0);
             if multi {
-                metrics.incr_counter(mn::CMD_MULTI, 1);
-                metrics.record_series(mn::CMD_MULTI, now, 1.0);
-                metrics.record_series(&self.name_multi, now, 1.0);
+                metrics.incr(ids.cmd_multi, 1);
+                metrics.record_at(ids.s_cmd_multi, now, 1.0);
+                metrics.record_at(ids.s_multi, now, 1.0);
             } else {
-                metrics.incr_counter(mn::CMD_SINGLE, 1);
-                metrics.record_series(mn::CMD_SINGLE, now, 1.0);
+                metrics.incr(ids.cmd_single, 1);
+                metrics.record_at(ids.s_cmd_single, now, 1.0);
             }
         }
         if self.config.collect_hints && self.mode.optimizes() {
@@ -1087,7 +1139,8 @@ impl<A: Application> ServerCore<A> {
             }
         }
         if self.config.record_metrics {
-            metrics.record_series(&self.name_executed, now, 1.0);
+            let ids = self.mids(metrics);
+            metrics.record_at(ids.s_executed, now, 1.0);
         }
         eff.push(Effect::Send {
             to: Destination::Client(client),
@@ -1175,8 +1228,9 @@ impl<A: Application> ServerCore<A> {
                 let pending: Vec<VarId> =
                     self.lent.keys().copied().filter(|&v| A::locality(v) == key).collect();
                 if self.config.record_metrics {
-                    metrics.incr_counter(mn::OBJECTS_EXCHANGED, vars.len() as u64);
-                    metrics.record_series(&self.name_objects, now, vars.len() as f64);
+                    let ids = self.mids(metrics);
+                    metrics.incr(ids.objects_exchanged, vars.len() as u64);
+                    metrics.record_at(ids.s_objects, now, vars.len() as f64);
                 }
                 if was_awaiting {
                     // Not authoritative yet: send only what we hold.

@@ -487,12 +487,16 @@ impl<V: Clone> PaxosReplica<V> {
             self.next_deliver = self.next_deliver.next();
         }
         // Prune the log far behind the delivery frontier to bound memory.
+        // `pop_first` (typically one entry per call once past retention)
+        // instead of `split_off`, which rebuilds both trees — and their
+        // node allocations — on every decided slot.
         if self.next_deliver.0 > LOG_RETENTION {
             let cutoff = Slot(self.next_deliver.0 - LOG_RETENTION);
-            if self.decided.first_key_value().map(|(&s, _)| s < cutoff).unwrap_or(false) {
-                self.decided = self.decided.split_off(&cutoff);
-                let keep = self.accepted.split_off(&cutoff);
-                self.accepted = keep;
+            while self.decided.first_key_value().map(|(&s, _)| s < cutoff).unwrap_or(false) {
+                self.decided.pop_first();
+            }
+            while self.accepted.first_key_value().map(|(&s, _)| s < cutoff).unwrap_or(false) {
+                self.accepted.pop_first();
             }
         }
     }

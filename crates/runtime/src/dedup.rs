@@ -9,14 +9,15 @@
 //! inserts — far longer than any protocol-level duplicate can lag in
 //! practice.
 
-use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
+
+use crate::hash::{FastHashMap, FastHashSet};
 
 /// A set that remembers at least the last `capacity` inserted elements.
 #[derive(Debug, Clone)]
 pub struct RotatingSet<T> {
-    young: HashSet<T>,
-    old: HashSet<T>,
+    young: FastHashSet<T>,
+    old: FastHashSet<T>,
     capacity: usize,
 }
 
@@ -28,7 +29,7 @@ impl<T: Eq + Hash> RotatingSet<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        RotatingSet { young: HashSet::new(), old: HashSet::new(), capacity }
+        RotatingSet { young: FastHashSet::default(), old: FastHashSet::default(), capacity }
     }
 
     /// Inserts `value`; returns `true` if it was not already present.
@@ -69,8 +70,8 @@ impl<T: Eq + Hash> RotatingSet<T> {
 /// A map that remembers at least the last `capacity` inserted entries.
 #[derive(Debug, Clone)]
 pub struct RotatingMap<K, V> {
-    young: HashMap<K, V>,
-    old: HashMap<K, V>,
+    young: FastHashMap<K, V>,
+    old: FastHashMap<K, V>,
     capacity: usize,
 }
 
@@ -82,7 +83,7 @@ impl<K: Eq + Hash, V> RotatingMap<K, V> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        RotatingMap { young: HashMap::new(), old: HashMap::new(), capacity }
+        RotatingMap { young: FastHashMap::default(), old: FastHashMap::default(), capacity }
     }
 
     /// Inserts or updates an entry.

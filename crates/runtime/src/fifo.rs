@@ -8,8 +8,10 @@
 //! out-of-order arrivals and releases messages in sequence — the same
 //! service TCP provides on a real deployment.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::hash::Hash;
+
+use crate::hash::FastHashMap;
 
 /// A sequenced frame travelling over a FIFO link.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,9 +42,9 @@ pub struct Frame<M> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct FifoLinks<P, M> {
-    next_send: HashMap<P, u64>,
-    next_recv: HashMap<P, u64>,
-    buffered: HashMap<P, BTreeMap<u64, M>>,
+    next_send: FastHashMap<P, u64>,
+    next_recv: FastHashMap<P, u64>,
+    buffered: FastHashMap<P, BTreeMap<u64, M>>,
     /// Max out-of-order frames buffered per peer; overflow frames are
     /// dropped (and counted) instead of buffered.
     buffer_cap: usize,
@@ -69,9 +71,9 @@ impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
     pub fn with_buffer_cap(cap: usize) -> Self {
         assert!(cap > 0, "reorder buffer cap must be positive");
         FifoLinks {
-            next_send: HashMap::new(),
-            next_recv: HashMap::new(),
-            buffered: HashMap::new(),
+            next_send: FastHashMap::default(),
+            next_recv: FastHashMap::default(),
+            buffered: FastHashMap::default(),
             buffer_cap: cap,
             dropped: 0,
         }
@@ -98,18 +100,31 @@ impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
         if frame.seq < *next {
             return Vec::new(); // duplicate
         }
+        if frame.seq == *next {
+            // Fast path: the expected frame releases immediately without
+            // round-tripping through the reorder buffer — buffered keys are
+            // always strictly above `next` (the drain below restores this
+            // after every advance), so an insert-then-remove here would
+            // only churn tree-node allocations.
+            *next += 1;
+            let mut ready = vec![frame.inner];
+            if let Some(buf) = self.buffered.get_mut(&peer) {
+                while let Some(msg) = buf.remove(next) {
+                    ready.push(msg);
+                    *next += 1;
+                }
+            }
+            return ready;
+        }
+        // Out-of-order: buffer (nothing can become deliverable, since the
+        // expected frame has not arrived).
         let buf = self.buffered.entry(peer).or_default();
-        if frame.seq > *next && buf.len() >= self.buffer_cap && !buf.contains_key(&frame.seq) {
+        if buf.len() >= self.buffer_cap && !buf.contains_key(&frame.seq) {
             self.dropped += 1;
             return Vec::new(); // buffer full; ARQ retransmission recovers
         }
         buf.insert(frame.seq, frame.inner);
-        let mut ready = Vec::new();
-        while let Some(msg) = buf.remove(next) {
-            ready.push(msg);
-            *next += 1;
-        }
-        ready
+        Vec::new()
     }
 
     /// Number of frames buffered waiting for earlier sequence numbers.
@@ -173,7 +188,9 @@ impl<P: Eq + Hash + Clone, M> FifoLinks<P, M> {
         *next = from_seq;
         let Some(buf) = self.buffered.get_mut(peer) else { return Vec::new() };
         // Frames below the new expectation can never be delivered.
-        *buf = buf.split_off(&from_seq);
+        while buf.first_key_value().map(|(&s, _)| s < from_seq).unwrap_or(false) {
+            buf.pop_first();
+        }
         let mut ready = Vec::new();
         while let Some(msg) = buf.remove(next) {
             ready.push(msg);

@@ -43,6 +43,7 @@ pub mod actor;
 pub mod dedup;
 pub mod event;
 pub mod fifo;
+pub mod hash;
 pub mod metrics;
 pub mod nemesis;
 pub mod net;
@@ -59,7 +60,8 @@ pub mod prelude {
 }
 
 pub use actor::{Actor, Ctx, NodeId};
-pub use metrics::{Cdf, Histogram, Metrics, TimeSeries};
+pub use hash::{FastHashMap, FastHashSet, FxHasher};
+pub use metrics::{Cdf, CounterId, Histogram, HistogramId, Metrics, SeriesId, TimeSeries};
 pub use net::{LatencyModel, NetConfig};
 pub use sim::{SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};

@@ -228,16 +228,63 @@ impl TimeSeries {
     }
 }
 
+/// Interned handle to a counter; see [`Metrics::counter_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+/// Interned handle to a time series; see [`Metrics::series_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeriesId(u32);
+
+/// Interned handle to a histogram; see [`Metrics::histogram_id`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(u32);
+
 /// Registry of named counters, time series and histograms for one simulation.
 ///
 /// Keys are free-form strings; protocol crates agree on names such as
 /// `"cmd.completed"` or `"oracle.queries"` (documented where recorded).
-#[derive(Debug, Default)]
+///
+/// Hot paths should intern a name once with [`Metrics::counter_id`] /
+/// [`Metrics::series_id`] / [`Metrics::histogram_id`] and then record
+/// through the dense id — a `Vec` index instead of a string-keyed tree
+/// lookup per event. The string API remains as a convenience wrapper and
+/// for one-off reads in report code. Ids stay valid across
+/// [`Metrics::reset`] but are meaningless in any other `Metrics` instance —
+/// callers caching ids across calls that might hand them different
+/// registries (e.g. per-thread scratch instances) should remember
+/// [`Metrics::registry_id`] alongside and re-intern when it changes.
+#[derive(Debug)]
 pub struct Metrics {
-    counters: BTreeMap<String, u64>,
-    series: BTreeMap<String, TimeSeries>,
-    histograms: BTreeMap<String, Histogram>,
+    /// Process-unique instance tag; see [`Metrics::registry_id`].
+    registry: u64,
+    /// name → dense index; the index addresses `counter_vals`.
+    counter_ids: BTreeMap<String, u32>,
+    counter_vals: Vec<u64>,
+    series_ids: BTreeMap<String, u32>,
+    /// `None` until the first record after creation/reset, so
+    /// [`Metrics::series`] only reports series that hold data.
+    series_vals: Vec<Option<TimeSeries>>,
+    histogram_ids: BTreeMap<String, u32>,
+    histogram_vals: Vec<Option<Histogram>>,
     default_bucket: Option<SimDuration>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT_REGISTRY: AtomicU64 = AtomicU64::new(0);
+        Metrics {
+            registry: NEXT_REGISTRY.fetch_add(1, Ordering::Relaxed),
+            counter_ids: BTreeMap::new(),
+            counter_vals: Vec::new(),
+            series_ids: BTreeMap::new(),
+            series_vals: Vec::new(),
+            histogram_ids: BTreeMap::new(),
+            histogram_vals: Vec::new(),
+            default_bucket: None,
+        }
+    }
 }
 
 impl Metrics {
@@ -248,73 +295,140 @@ impl Metrics {
         Self::default()
     }
 
+    /// A process-unique tag identifying this instance's id space. Interned
+    /// [`CounterId`]/[`SeriesId`]/[`HistogramId`]s may only be used against
+    /// the instance whose `registry_id` they were minted under (stable
+    /// across [`Metrics::reset`]); comparing tags lets a caller detect that
+    /// it has been handed a different registry and must re-intern.
+    pub fn registry_id(&self) -> u64 {
+        self.registry
+    }
+
     /// Sets the bucket width used when a series is created implicitly.
     pub fn set_default_bucket(&mut self, bucket: SimDuration) {
         self.default_bucket = Some(bucket);
     }
 
+    /// Interns `name`, returning a dense id for [`Metrics::incr`].
+    /// Registering the same name twice returns the same id.
+    pub fn counter_id(&mut self, name: &str) -> CounterId {
+        if let Some(&i) = self.counter_ids.get(name) {
+            return CounterId(i);
+        }
+        let i = self.counter_vals.len() as u32;
+        self.counter_vals.push(0);
+        self.counter_ids.insert(name.to_owned(), i);
+        CounterId(i)
+    }
+
+    /// Adds `n` to the counter behind `id` (index-based, no string lookup).
+    #[inline]
+    pub fn incr(&mut self, id: CounterId, n: u64) {
+        self.counter_vals[id.0 as usize] += n;
+    }
+
     /// Adds `n` to counter `name`, creating it at zero if absent.
     pub fn incr_counter(&mut self, name: &str, n: u64) {
-        if let Some(c) = self.counters.get_mut(name) {
-            *c += n;
-        } else {
-            self.counters.insert(name.to_owned(), n);
-        }
+        let id = self.counter_id(name);
+        self.incr(id, n);
     }
 
     /// Current value of counter `name` (zero if never incremented).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_ids.get(name).map(|&i| self.counter_vals[i as usize]).unwrap_or(0)
     }
 
-    /// All counters, sorted by name.
+    /// All registered counters, sorted by name.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counter_ids.iter().map(|(k, &i)| (k.as_str(), self.counter_vals[i as usize]))
+    }
+
+    /// Interns `name`, returning a dense id for [`Metrics::record_at`].
+    pub fn series_id(&mut self, name: &str) -> SeriesId {
+        if let Some(&i) = self.series_ids.get(name) {
+            return SeriesId(i);
+        }
+        let i = self.series_vals.len() as u32;
+        self.series_vals.push(None);
+        self.series_ids.insert(name.to_owned(), i);
+        SeriesId(i)
+    }
+
+    /// Adds `value` at time `t` to the series behind `id`.
+    #[inline]
+    pub fn record_at(&mut self, id: SeriesId, t: SimTime, value: f64) {
+        let slot = &mut self.series_vals[id.0 as usize];
+        match slot {
+            Some(s) => s.record(t, value),
+            None => {
+                let mut s =
+                    TimeSeries::new(self.default_bucket.unwrap_or(SimDuration::from_secs(1)));
+                s.record(t, value);
+                *slot = Some(s);
+            }
+        }
     }
 
     /// Adds `value` at time `t` to series `name`, creating the series with
     /// the default bucket width if absent.
     pub fn record_series(&mut self, name: &str, t: SimTime, value: f64) {
-        if let Some(s) = self.series.get_mut(name) {
-            s.record(t, value);
-            return;
-        }
-        let bucket = self.default_bucket.unwrap_or(SimDuration::from_secs(1));
-        self.series.insert(name.to_owned(), {
-            let mut s = TimeSeries::new(bucket);
-            s.record(t, value);
-            s
-        });
+        let id = self.series_id(name);
+        self.record_at(id, t, value);
     }
 
     /// The series named `name`, if any value was ever recorded.
     pub fn series(&self, name: &str) -> Option<&TimeSeries> {
-        self.series.get(name)
+        self.series_ids.get(name).and_then(|&i| self.series_vals[i as usize].as_ref())
+    }
+
+    /// Interns `name`, returning a dense id for [`Metrics::observe`].
+    pub fn histogram_id(&mut self, name: &str) -> HistogramId {
+        if let Some(&i) = self.histogram_ids.get(name) {
+            return HistogramId(i);
+        }
+        let i = self.histogram_vals.len() as u32;
+        self.histogram_vals.push(None);
+        self.histogram_ids.insert(name.to_owned(), i);
+        HistogramId(i)
+    }
+
+    /// Records a duration into the histogram behind `id`.
+    #[inline]
+    pub fn observe(&mut self, id: HistogramId, d: SimDuration) {
+        let slot = &mut self.histogram_vals[id.0 as usize];
+        match slot {
+            Some(h) => h.record(d),
+            None => {
+                let mut h = Histogram::new();
+                h.record(d);
+                *slot = Some(h);
+            }
+        }
     }
 
     /// Records a duration into histogram `name`, creating it if absent.
     pub fn record_histogram(&mut self, name: &str, d: SimDuration) {
-        if let Some(h) = self.histograms.get_mut(name) {
-            h.record(d);
-        } else {
-            self.histograms.insert(name.to_owned(), {
-                let mut h = Histogram::new();
-                h.record(d);
-                h
-            });
-        }
+        let id = self.histogram_id(name);
+        self.observe(id, d);
     }
 
     /// The histogram named `name`, if any value was ever recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.histogram_ids.get(name).and_then(|&i| self.histogram_vals[i as usize].as_ref())
     }
 
-    /// Removes all recorded data but keeps configuration.
+    /// Removes all recorded data but keeps configuration and interned ids
+    /// (ids handed out before a reset stay valid afterwards).
     pub fn reset(&mut self) {
-        self.counters.clear();
-        self.series.clear();
-        self.histograms.clear();
+        for v in &mut self.counter_vals {
+            *v = 0;
+        }
+        for s in &mut self.series_vals {
+            *s = None;
+        }
+        for h in &mut self.histogram_vals {
+            *h = None;
+        }
     }
 }
 
@@ -407,5 +521,40 @@ mod tests {
         m.reset();
         assert_eq!(m.counter("x"), 0);
         assert!(m.series("tput").is_none());
+    }
+
+    #[test]
+    fn interned_ids_alias_string_api_and_survive_reset() {
+        let mut m = Metrics::new();
+        m.set_default_bucket(SimDuration::from_millis(10));
+
+        let c = m.counter_id("x");
+        assert_eq!(c, m.counter_id("x"), "re-registration returns the same id");
+        m.incr(c, 2);
+        m.incr_counter("x", 3);
+        assert_eq!(m.counter("x"), 5);
+
+        let s = m.series_id("tput");
+        m.record_at(s, SimTime::from_millis(5), 1.0);
+        m.record_series("tput", SimTime::from_millis(6), 1.0);
+        assert_eq!(m.series("tput").unwrap().bucket_sums(), &[2.0]);
+
+        let h = m.histogram_id("lat");
+        m.observe(h, SimDuration::from_micros(42));
+        m.record_histogram("lat", SimDuration::from_micros(43));
+        assert_eq!(m.histogram("lat").unwrap().count(), 2);
+
+        m.reset();
+        assert_eq!(m.counter("x"), 0);
+        assert!(m.series("tput").is_none());
+        assert!(m.histogram("lat").is_none());
+
+        // Ids handed out before the reset keep working.
+        m.incr(c, 7);
+        m.record_at(s, SimTime::from_millis(1), 4.0);
+        m.observe(h, SimDuration::from_micros(9));
+        assert_eq!(m.counter("x"), 7);
+        assert_eq!(m.series("tput").unwrap().bucket_sums(), &[4.0]);
+        assert_eq!(m.histogram("lat").unwrap().count(), 1);
     }
 }

@@ -1,6 +1,6 @@
 //! The deterministic simulation scheduler.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -72,7 +72,10 @@ struct NodeState<M> {
     incarnation: u64,
     /// Simulated stable storage: survives crash/restart, lost never.
     stable: Vec<u8>,
-    timer_gens: HashMap<u64, u64>,
+    /// Sorted so any future iteration over live timers is deterministic
+    /// regardless of hasher seeding (same class of latent nondeterminism
+    /// PR 1 fixed in the cluster send paths).
+    timer_gens: BTreeMap<u64, u64>,
 }
 
 /// A deterministic discrete-event simulation of message-passing nodes.
@@ -89,6 +92,11 @@ pub struct Simulation<M> {
     metrics: Metrics,
     net_rng: StdRng,
     events_processed: u64,
+    /// Events processed by kind: [deliveries, timers, control].
+    events_by_kind: [u64; 3],
+    /// Recycled effect buffer for [`Simulation::invoke`]; avoids a heap
+    /// allocation per delivered event on the hot path.
+    scratch_effects: Vec<Effect<M>>,
 }
 
 impl<M: 'static> Simulation<M> {
@@ -106,6 +114,8 @@ impl<M: 'static> Simulation<M> {
             metrics,
             net_rng,
             events_processed: 0,
+            events_by_kind: [0; 3],
+            scratch_effects: Vec::new(),
         }
     }
 
@@ -130,7 +140,7 @@ impl<M: 'static> Simulation<M> {
             connected: true,
             incarnation: 0,
             stable: Vec::new(),
-            timer_gens: HashMap::new(),
+            timer_gens: BTreeMap::new(),
         });
         id
     }
@@ -157,6 +167,12 @@ impl<M: 'static> Simulation<M> {
     /// Total number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Events processed so far, split as `[deliveries, timers, control]` —
+    /// the breakdown perf probes report alongside the total.
+    pub fn events_by_kind(&self) -> [u64; 3] {
+        self.events_by_kind
     }
 
     /// Read access to collected metrics.
@@ -292,7 +308,9 @@ impl<M: 'static> Simulation<M> {
 
     /// Runs one node callback and applies its effects.
     fn invoke(&mut self, idx: usize, f: impl FnOnce(&mut dyn Actor<M>, &mut Ctx<'_, M>)) {
-        let mut effects: Vec<Effect<M>> = Vec::new();
+        // Re-entrancy (e.g. restart inside a callback) just sees an empty
+        // scratch buffer and allocates; the common path recycles capacity.
+        let mut effects: Vec<Effect<M>> = std::mem::take(&mut self.scratch_effects);
         {
             let node = &mut self.nodes[idx];
             let mut ctx = Ctx {
@@ -306,7 +324,7 @@ impl<M: 'static> Simulation<M> {
             f(node.actor.as_mut(), &mut ctx);
         }
         let from = NodeId::from_raw(idx as u32);
-        for effect in effects {
+        for effect in effects.drain(..) {
             match effect {
                 Effect::Send { to, msg } => {
                     debug_assert!(
@@ -335,6 +353,7 @@ impl<M: 'static> Simulation<M> {
                 }
             }
         }
+        self.scratch_effects = effects;
     }
 
     /// Processes a single event. Returns `false` when the queue is empty.
@@ -346,6 +365,7 @@ impl<M: 'static> Simulation<M> {
         self.events_processed += 1;
         match ev.kind {
             EventKind::Deliver { to, from, msg } => {
+                self.events_by_kind[0] += 1;
                 let idx = to.as_raw() as usize;
                 if idx >= self.nodes.len() {
                     return true; // message to unknown node: drop
@@ -357,6 +377,7 @@ impl<M: 'static> Simulation<M> {
                 self.invoke(idx, move |actor, ctx| actor.on_message(ctx, from, msg));
             }
             EventKind::Timer { node, tag, gen } => {
+                self.events_by_kind[1] += 1;
                 let idx = node.as_raw() as usize;
                 let state = &self.nodes[idx];
                 if state.crashed {
@@ -367,7 +388,10 @@ impl<M: 'static> Simulation<M> {
                 }
                 self.invoke(idx, move |actor, ctx| actor.on_timer(ctx, tag));
             }
-            EventKind::Control(c) => self.apply_control(c),
+            EventKind::Control(c) => {
+                self.events_by_kind[2] += 1;
+                self.apply_control(c);
+            }
         }
         true
     }

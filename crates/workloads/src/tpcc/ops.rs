@@ -286,12 +286,12 @@ fn new_order(
     let Some(district) = district_mut(vars, w, d) else { return TpccReply::MissingRow };
     let order_id = district.next_o_id;
     district.next_o_id += 1;
-    district.orders.push_back(Order {
+    district.orders.push_back(Arc::new(Order {
         id: order_id,
         customer: c,
         carrier: None,
         lines: order_lines,
-    });
+    }));
     district.new_orders.push_back(order_id);
     // Prune old delivered orders to bound the row size.
     while district.orders.len() > ORDER_RETENTION {
@@ -368,6 +368,9 @@ fn delivery(
         // delivery; skip rather than touch an undeclared customer row.
         return TpccReply::Delivered { order_id: None };
     }
+    // Copy-on-write at the order level: only the delivered order is
+    // cloned (if still shared), never the rest of the book.
+    let order = Arc::make_mut(order);
     order.carrier = Some(carrier);
     let total: i64 = order.lines.iter().map(|l| l.amount_cents).sum();
     district.new_orders.pop_front();

@@ -17,6 +17,7 @@
 //! avoiding 100k read-only rows per replica.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use dynastar_core::{LocKey, VarId};
 use serde::{Deserialize, Serialize};
@@ -173,7 +174,13 @@ pub struct DistrictRow {
     /// Next order id.
     pub next_o_id: u32,
     /// Recent orders (pruned to [`ORDER_RETENTION`] delivered ones).
-    pub orders: VecDeque<Order>,
+    ///
+    /// Orders sit behind `Arc` so the copy-on-write clone a replica makes
+    /// before mutating a shared district row copies one deque of pointers,
+    /// not every order book and its line vectors — district rows are the
+    /// hottest rows in the workload, and deep-cloning ~[`ORDER_RETENTION`]
+    /// orders per write dominated the simulator's allocation profile.
+    pub orders: VecDeque<Arc<Order>>,
     /// Ids of undelivered orders, oldest first (the NEW-ORDER table).
     pub new_orders: VecDeque<u32>,
     /// History record count (the HISTORY table, insert-only).

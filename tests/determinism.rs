@@ -73,3 +73,161 @@ fn different_seeds_diverge() {
     // Event counts are extremely unlikely to collide across seeds.
     assert_ne!(a.0, b.0, "different seeds should schedule differently");
 }
+
+// ---------------------------------------------------------------------------
+// Golden delivered-command hash.
+//
+// The counters above can collide in principle; the tests below pin the
+// *full* delivered-command sequence — every completion's command id,
+// completion time and reply — into one FNV-1a hash. Any change to event
+// ordering (a scheduler swap, a fan-out rewrite, an errant HashMap
+// iteration) shifts some completion and changes the hash.
+// ---------------------------------------------------------------------------
+
+/// Running FNV-1a digest + completion count, shared with the recorder.
+#[derive(Debug)]
+struct GoldenLog {
+    hash: u64,
+    count: u64,
+}
+
+impl GoldenLog {
+    fn new() -> Self {
+        GoldenLog { hash: 0xcbf2_9ce4_8422_2325, count: 0 }
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Wraps any workload, folding each completion the cluster reports into a
+/// shared [`GoldenLog`] before delegating. The wrapper is driven by the
+/// same `on_completed` calls the real workload sees, so the hash covers
+/// exactly the delivered-command sequence in delivery order.
+struct Recording<A: dynastar::core::Application, W> {
+    inner: W,
+    log: Arc<Mutex<GoldenLog>>,
+    _app: std::marker::PhantomData<fn() -> A>,
+}
+
+impl<A, W> dynastar::core::Workload<A> for Recording<A, W>
+where
+    A: dynastar::core::Application,
+    A::Reply: std::fmt::Debug,
+    W: dynastar::core::Workload<A>,
+{
+    fn next_command(
+        &mut self,
+        now: dynastar::runtime::SimTime,
+        rng: &mut StdRng,
+    ) -> Option<dynastar::core::CommandKind<A>> {
+        self.inner.next_command(now, rng)
+    }
+
+    fn on_completed(
+        &mut self,
+        now: dynastar::runtime::SimTime,
+        cmd: &dynastar::core::Command<A>,
+        reply: Option<&A::Reply>,
+    ) {
+        let mut log = self.log.lock().expect("golden log");
+        log.count += 1;
+        log.absorb(&cmd.id.origin.to_le_bytes());
+        log.absorb(&cmd.id.seq.to_le_bytes());
+        log.absorb(&now.as_micros().to_le_bytes());
+        match reply {
+            // Debug formatting is stable across build profiles, which is
+            // all the cross-profile golden constant needs.
+            Some(r) => log.absorb(format!("{r:?}").as_bytes()),
+            None => log.absorb(b"-"),
+        }
+        self.inner.on_completed(now, cmd, reply);
+    }
+}
+
+/// The `run` scenario with every client's completions recorded; returns
+/// `(hash, completions)`.
+fn run_golden(seed: u64) -> (u64, u64) {
+    use dynastar::core::{ClusterBuilder, ClusterConfig, PartitionId};
+    use dynastar::workloads::chirper::{Chirper, ChirperUser};
+    use dynastar::workloads::placement;
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let graph = SocialGraph::barabasi_albert(150, 3, &mut rng);
+    let config = ClusterConfig {
+        partitions: 2,
+        replicas: 2,
+        mode: Mode::Dynastar,
+        seed,
+        repartition_threshold: 300,
+        min_plan_interval: SimDuration::from_secs(2),
+        warm_client_caches: true,
+        ..ClusterConfig::default()
+    };
+    let keys = (0..graph.users() as u64).map(Chirper::key);
+    let mut seed_rng = StdRng::seed_from_u64(7);
+    let map = placement::random(keys, 2, &mut seed_rng);
+    let mut b = ClusterBuilder::new(config);
+    for (k, p) in map {
+        b.place(k, PartitionId(p.0));
+    }
+    b.with_vars((0..graph.users() as u64).map(|u| {
+        let user = ChirperUser {
+            timeline: Default::default(),
+            follows: graph.follows_of(u).to_vec(),
+            followers: graph.followers_of(u).to_vec(),
+        };
+        (Chirper::var(u), Arc::new(user))
+    }));
+    let mut cluster = b.build();
+    let shared = Arc::new(Mutex::new(graph));
+    let log = Arc::new(Mutex::new(GoldenLog::new()));
+    for _ in 0..4 {
+        cluster.add_client(Recording {
+            inner: ChirperWorkload::new(Arc::clone(&shared), 0.95, ChirperMix::MIX),
+            log: Arc::clone(&log),
+            _app: std::marker::PhantomData,
+        });
+    }
+    cluster.run_for(SimDuration::from_secs(15));
+    let log = log.lock().expect("golden log");
+    (log.hash, log.count)
+}
+
+/// The delivered-command hash for seed 42, recorded from a verified run.
+///
+/// The same constant must hold in debug and release builds (the CI test
+/// job runs both), and held on the pre-overhaul scheduler (global binary
+/// heap, string-keyed metrics, per-recipient deep-copy fan-out) — the
+/// hot-path rewrites changed wall-clock, not one delivered command.
+/// A legitimate protocol change that reorders deliveries should update
+/// this constant in the same commit, with the reason in the message.
+const GOLDEN_SEED: u64 = 42;
+const GOLDEN_HASH: u64 = 0x09dc_963e_ce3f_9514;
+const GOLDEN_COUNT: u64 = 22542;
+
+#[test]
+fn delivered_sequence_matches_golden_hash() {
+    let (hash, count) = run_golden(GOLDEN_SEED);
+    assert_eq!(count, GOLDEN_COUNT, "completion count drifted from the recorded golden execution");
+    assert_eq!(
+        hash, GOLDEN_HASH,
+        "delivered-command sequence drifted from the recorded golden execution \
+         (hash {hash:#018x}); if a deliberate protocol change reordered \
+         deliveries, re-record the constant in this commit"
+    );
+}
+
+#[test]
+fn golden_hash_is_reproducible_and_seed_sensitive() {
+    let a = run_golden(7);
+    let b = run_golden(7);
+    assert_eq!(a, b, "same seed must give the same delivered sequence");
+    assert!(a.1 > 0, "the golden run must actually complete commands");
+    let c = run_golden(8);
+    assert_ne!(a.0, c.0, "different seeds must deliver different sequences");
+}
