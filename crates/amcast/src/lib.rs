@@ -54,6 +54,10 @@
 //! assert!(delivered.contains(&(MemberId::new(GroupId(1), 0), "hello")));
 //! ```
 
+#![forbid(unsafe_code)]
+// Protocol crate: no unwrap on delivery paths. Tests assert freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod member;
 mod types;
 

@@ -317,6 +317,7 @@ impl<V: Clone> McastMember<V> {
             .iter()
             .enumerate()
             .max_by_key(|(_, s)| s.report.frontier)
+            // detlint::allow(P002): recovery constructor with a documented panic contract (see the asserts above); recover_from has already rejected an empty quorum
             .expect("recover_from enforces a non-empty quorum");
         let mut member = McastMember {
             me,
@@ -501,11 +502,11 @@ impl<V: Clone> McastMember<V> {
     fn refresh_final(&mut self, mid: MsgId) {
         let me = self.me.group;
         let Some(p) = self.pending.get_mut(&mid) else { return };
-        if p.final_ts.is_some() || p.local_ts.is_none() {
+        if p.final_ts.is_some() {
             return;
         }
+        let Some(mut final_ts) = p.local_ts else { return };
         let others = p.dests.iter().filter(|&&g| g != me);
-        let mut final_ts = p.local_ts.unwrap();
         for g in others {
             match p.remote.get(g) {
                 Some(&ts) => final_ts = final_ts.max(ts),
@@ -539,9 +540,20 @@ impl<V: Clone> McastMember<V> {
                     return;
                 }
             }
-            let p = self.pending.remove(&mid).expect("candidate pending entry");
+            let Some(p) = self.pending.remove(&mid) else {
+                // The candidate came from iterating `pending` above, so a
+                // miss can only mean a local bookkeeping bug; stop
+                // delivering rather than crash the replica.
+                return;
+            };
+            let Some(payload) = p.payload else {
+                // A final timestamp requires a local timestamp, which is
+                // only assigned alongside the payload; a finalized entry
+                // without one is a local logic bug, not wire input. Skip
+                // it rather than crash — later messages stay deliverable.
+                continue;
+            };
             self.delivered_count += 1;
-            let payload = p.payload.expect("finalized message has a payload");
             // Keep the payload around while other groups still need our
             // timestamp retransmitted.
             if self.ts_out.keys().any(|&(m, _)| m == mid) {

@@ -22,6 +22,11 @@
 //! next to the throughput numbers so a perf change that silently alters
 //! the schedule is caught immediately.
 
+// The one sanctioned unsafe block in the workspace (workspace lints deny
+// unsafe_code): implementing GlobalAlloc to count heap traffic requires
+// an unsafe trait impl by definition.
+#![allow(unsafe_code)]
+
 use dynastar_bench::setup::{run_parallel, tpcc_cluster, Placement, TpccSetup};
 use dynastar_core::metric_names as mn;
 use dynastar_core::Mode;

@@ -10,6 +10,8 @@
 //! shapes — who wins, by what factor, where crossovers fall — are the
 //! reproduction targets; see EXPERIMENTS.md for the side-by-side record.
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 pub mod setup;
 

@@ -209,14 +209,18 @@ pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<Soc
 /// keeping output order independent of scheduling.
 ///
 /// `threads` caps the pool; `0` means one per available core. The pool
-/// never exceeds the number of jobs. Panics in `run` propagate (the scope
-/// re-raises them) rather than silently dropping a point.
+/// never exceeds the number of jobs. A panic inside `run` is contained
+/// to its own job: the rest of the sweep still completes, and
+/// `run_parallel` then reports every failed job — index and panic
+/// message — in a single error on the calling thread, instead of an
+/// opaque worker-thread panic tearing down the pool mid-sweep.
 pub fn run_parallel<C, R, F>(inputs: Vec<C>, threads: usize, run: F) -> Vec<R>
 where
     C: Send,
     R: Send,
     F: Fn(C) -> R + Sync,
 {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let n = inputs.len();
@@ -224,9 +228,10 @@ where
     let pool = if threads == 0 { cores } else { threads }.min(n).max(1);
 
     // Jobs move into slots the workers drain; results fill a parallel
-    // slot table so position i of the output is input i's result.
+    // slot table so position i of the output is input i's result. A
+    // slot holds Err(panic message) when its job blew up.
     let jobs: Vec<Mutex<Option<C>>> = inputs.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<R, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
 
     std::thread::scope(|s| {
@@ -236,17 +241,48 @@ where
                 if i >= n {
                     break;
                 }
-                let job = jobs[i].lock().expect("job slot").take().expect("job taken once");
-                let out = run(job);
-                *results[i].lock().expect("result slot") = Some(out);
+                // A poisoned slot only means some thread panicked while
+                // holding the lock; the payload underneath is still
+                // intact, so recover it rather than cascading the panic.
+                let Some(job) = jobs[i].lock().unwrap_or_else(|p| p.into_inner()).take() else {
+                    // The atomic cursor hands out each index once, so the
+                    // slot can't already be drained — but an empty slot is
+                    // a job to skip, not a reason to kill the pool.
+                    continue;
+                };
+                let out = catch_unwind(AssertUnwindSafe(|| run(job)))
+                    .map_err(|payload| panic_message(&*payload));
+                *results[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(out);
             });
         }
     });
 
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("result lock").expect("worker filled every slot"))
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    let mut failures = Vec::new();
+    for (i, slot) in results.into_iter().enumerate() {
+        match slot.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(msg)) => failures.push(format!("  job {i}: {msg}")),
+            None => failures.push(format!("  job {i}: no result (worker never stored one)")),
+        }
+    }
+    if !failures.is_empty() {
+        panic!("run_parallel: {} of {n} job(s) failed:\n{}", failures.len(), failures.join("\n"));
+    }
+    out
+}
+
+/// Best-effort extraction of a panic payload's message; `panic!` with a
+/// string literal or a formatted message covers essentially every panic
+/// the sweep jobs can raise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +302,33 @@ mod tests {
         let inputs: Vec<u64> = (0..37).collect();
         let out = run_parallel(inputs.clone(), 4, |x| x * x);
         assert_eq!(out, inputs.iter().map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_parallel_reports_failed_jobs_instead_of_worker_panics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Job 3 panics; the other jobs must still complete, and the
+        // error reported on the calling thread must name the failed job
+        // and carry its panic message.
+        let completed = AtomicUsize::new(0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_parallel((0..8u64).collect(), 4, |x| {
+                if x == 3 {
+                    panic!("point {x} diverged");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }))
+        .expect_err("a failed job must surface as an error");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("aggregated failure report is a formatted string");
+        assert!(msg.contains("1 of 8 job(s) failed"), "unexpected report: {msg}");
+        assert!(msg.contains("job 3: point 3 diverged"), "unexpected report: {msg}");
+        assert_eq!(completed.load(Ordering::Relaxed), 7, "healthy jobs must all finish");
     }
 
     #[test]

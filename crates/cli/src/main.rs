@@ -8,6 +8,8 @@
 //! Modes: `dynastar` (default), `ssmr` (S-SMR\* with optimized static
 //! placement), `dssmr`. All runs are deterministic in `--seed`.
 
+#![forbid(unsafe_code)]
+
 mod args;
 
 use std::sync::Arc;

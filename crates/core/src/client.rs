@@ -216,17 +216,18 @@ impl<A: Application> ClientCore<A> {
                 if matches && !ok {
                     // Command cannot execute (unknown variable, duplicate
                     // create): complete unsuccessfully.
-                    let out = self.outstanding.take().expect("matched outstanding");
-                    let latency = now.saturating_duration_since(out.issued_at);
-                    return (
-                        Vec::new(),
-                        Some(ClientEvent::Completed {
-                            cmd: out.cmd,
-                            reply: None,
-                            latency,
-                            ok: false,
-                        }),
-                    );
+                    if let Some(out) = self.outstanding.take() {
+                        let latency = now.saturating_duration_since(out.issued_at);
+                        return (
+                            Vec::new(),
+                            Some(ClientEvent::Completed {
+                                cmd: out.cmd,
+                                reply: None,
+                                latency,
+                                ok: false,
+                            }),
+                        );
+                    }
                 }
                 (Vec::new(), None)
             }
@@ -245,11 +246,12 @@ impl<A: Application> ClientCore<A> {
                 metrics.incr(ids.cmd_retry, 1);
                 metrics.record_at(ids.s_cmd_retry, now, 1.0);
                 // Our cached locations for this command were stale.
-                let out = self.outstanding.as_mut().expect("matched outstanding");
+                let Some(out) = self.outstanding.as_mut() else {
+                    return (Vec::new(), None);
+                };
                 for k in out.cmd.keys() {
                     self.cache.remove(&k);
                 }
-                let out = self.outstanding.as_mut().expect("matched outstanding");
                 out.attempt += 1;
                 let (cmd, attempt) = (out.cmd.clone(), out.attempt);
                 (self.dispatch(cmd, attempt), None)
@@ -269,7 +271,9 @@ impl<A: Application> ClientCore<A> {
         if !matches {
             return (Vec::new(), None); // late duplicate from an old attempt
         }
-        let out = self.outstanding.take().expect("matched outstanding");
+        let Some(out) = self.outstanding.take() else {
+            return (Vec::new(), None);
+        };
         let latency = now.saturating_duration_since(out.issued_at);
         let ids = self.mids(metrics);
         metrics.incr(ids.cmd_completed, 1);
@@ -286,12 +290,13 @@ impl<A: Application> ClientCore<A> {
         }
         let ids = self.mids(metrics);
         metrics.incr(ids.cmd_timeout, 1);
-        let out = self.outstanding.as_mut().expect("checked above");
+        let Some(out) = self.outstanding.as_mut() else {
+            return Vec::new();
+        };
         out.attempt += 1;
         for k in out.cmd.keys() {
             self.cache.remove(&k);
         }
-        let out = self.outstanding.as_ref().expect("outstanding");
         let (cmd, attempt) = (out.cmd.clone(), out.attempt);
         self.dispatch(cmd, attempt)
     }

@@ -237,6 +237,7 @@ impl RouteTable {
 /// allocation) costs more than the rest of the ARQ bookkeeping combined.
 fn trace_arq() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    // detlint::allow(D003): opt-in diagnostic gate only — the flag toggles eprintln tracing and never feeds protocol or simulation state
     *ON.get_or_init(|| std::env::var_os("DYNASTAR_TRACE_ARQ").is_some())
 }
 
@@ -596,7 +597,7 @@ impl<A: Application> Wiring<A> {
         let mut scan: Vec<NodeId> = self.unacked.keys().copied().collect();
         scan.sort_unstable();
         for peer in scan {
-            let buf = self.unacked.get_mut(&peer).expect("scanned key present");
+            let Some(buf) = self.unacked.get_mut(&peer) else { continue };
             let mut resends = Vec::new();
             let mut expired = false;
             for (frame, first_sent, last_sent) in buf.values_mut() {
@@ -758,10 +759,17 @@ fn decode_stable(blob: &[u8]) -> (Ballot, u64) {
     if blob.len() != 24 {
         return (Ballot::INITIAL, 0);
     }
-    let round = u64::from_le_bytes(blob[0..8].try_into().unwrap());
-    let owner = u64::from_le_bytes(blob[8..16].try_into().unwrap()) as usize;
-    let epoch = u64::from_le_bytes(blob[16..24].try_into().unwrap());
-    (Ballot { round, owner }, epoch)
+    let mut words = blob.chunks_exact(8).map(|c| {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        u64::from_le_bytes(w)
+    });
+    match (words.next(), words.next(), words.next()) {
+        (Some(round), Some(owner), Some(epoch)) => (Ballot { round, owner: owner as usize }, epoch),
+        // Unreachable given the length guard above, but a garbled blob
+        // must read as first boot, never panic the replica.
+        _ => (Ballot::INITIAL, 0),
+    }
 }
 
 /// A replica actor: one multicast member plus a partition or oracle core.
@@ -954,7 +962,12 @@ impl<A: Application> ServerActor<A> {
         self.member = member;
         // The core must come from the same donor the multicast layer took
         // its bookkeeping from, or replica state and log position diverge.
-        let donor_core = self.recovery_snaps.values().nth(donor).expect("donor in range").1.clone();
+        // `donor` indexes the same snapshot list we just passed to
+        // recover(); if it is somehow out of range, stay in recovery and
+        // let the retry timer re-request snapshots instead of panicking.
+        let Some(donor_core) = self.recovery_snaps.values().nth(donor).map(|d| d.1.clone()) else {
+            return;
+        };
         self.role = match donor_core {
             CoreSnapshot::Partition(mut c) => {
                 c.set_record_metrics(self.record_metrics);
@@ -1459,6 +1472,7 @@ impl<A: Application> ClusterBuilder<A> {
             let p = *self
                 .placement
                 .get(&key)
+                // detlint::allow(P003): ClusterBuilder::build runs at test/bench setup, before any replica exists; a mis-specified fixture should fail fast
                 .unwrap_or_else(|| panic!("initial var {v} has unplaced key {key}"));
             vars_by_part[p.0 as usize].push((v, val));
         }

@@ -36,6 +36,8 @@
 //! See `examples/quickstart.rs` at the repository root, or
 //! [`cluster::ClusterBuilder`] for the entry point.
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod cluster;
 pub mod command;

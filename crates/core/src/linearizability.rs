@@ -9,9 +9,9 @@
 //! `(linearized-set, state)`, which is exponential in the worst case but
 //! fast for the test-sized histories (≤ 64 operations) it accepts.
 
-use std::collections::HashSet;
 use std::hash::Hash;
 
+use dynastar_runtime::hash::FastHashSet;
 use dynastar_runtime::SimTime;
 
 /// A sequential specification of the service.
@@ -54,7 +54,7 @@ pub fn check<S: Spec>(history: &[OpRecord<S::Op, S::Ret>], initial: S::State) ->
     }
     let n = history.len();
     let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
-    let mut seen: HashSet<(u64, S::State)> = HashSet::new();
+    let mut seen: FastHashSet<(u64, S::State)> = FastHashSet::default();
     dfs::<S>(history, 0, &initial, full, &mut seen)
 }
 
@@ -63,7 +63,7 @@ fn dfs<S: Spec>(
     done: u64,
     state: &S::State,
     full: u64,
-    seen: &mut HashSet<(u64, S::State)>,
+    seen: &mut FastHashSet<(u64, S::State)>,
 ) -> bool {
     if done == full {
         return true;

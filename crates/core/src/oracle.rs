@@ -19,12 +19,12 @@
 //!   concurrently" as in §5.2 while replicas stay deterministic.
 
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 
 use dynastar_amcast::MsgId;
 use dynastar_partitioner::{
     align_labels, partition as ml_partition, GraphBuilder, PartitionConfig, Partitioning,
 };
+use dynastar_runtime::hash::FastHashMap;
 use dynastar_runtime::{Metrics, SimDuration, SimTime};
 
 use crate::command::{Application, CommandKind, LocKey, Mode, PartitionId};
@@ -264,6 +264,7 @@ impl<A: Application> OracleCore<A> {
             Payload::CreateKey { cmd, dest } => {
                 let key = match &cmd.kind {
                     CommandKind::CreateKey { key, .. } => *key,
+                    // detlint::allow(P003): constructor pairs CreateKey payloads with CreateKey commands; a mismatch is a local logic bug, not wire input
                     _ => unreachable!("CreateKey payload without CreateKey command"),
                 };
                 let ok = !self.map.contains_key(&key);
@@ -286,6 +287,7 @@ impl<A: Application> OracleCore<A> {
             Payload::DeleteKey { cmd, dest } => {
                 let key = match &cmd.kind {
                     CommandKind::DeleteKey { key } => *key,
+                    // detlint::allow(P003): constructor pairs DeleteKey payloads with DeleteKey commands; a mismatch is a local logic bug, not wire input
                     _ => unreachable!("DeleteKey payload without DeleteKey command"),
                 };
                 // Only delete if the key still lives where we routed the
@@ -539,7 +541,7 @@ impl<A: Application> OracleCore<A> {
             ks.sort_unstable();
             ks
         };
-        let index: HashMap<LocKey, u32> =
+        let index: FastHashMap<LocKey, u32> =
             keys.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
         let mut b = GraphBuilder::new();
         if !keys.is_empty() {

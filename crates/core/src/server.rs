@@ -29,6 +29,7 @@ fn trace_blocked(args: std::fmt::Arguments<'_>) {
     // Sampled once per process: this sits on executed-command paths, and
     // `env::var_os` is far too slow to re-check per call.
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    // detlint::allow(D003): opt-in diagnostic gate only — the flag toggles eprintln tracing and never feeds protocol or simulation state
     if *ON.get_or_init(|| std::env::var_os("DYNASTAR_TRACE_BLOCKED").is_some()) {
         eprintln!("{args}");
     }
@@ -377,6 +378,7 @@ impl<A: Application> ServerCore<A> {
                 if dest == self.partition {
                     let key = match &cmd.kind {
                         CommandKind::CreateKey { key, .. } => *key,
+                        // detlint::allow(P003): constructor pairs CreateKey payloads with CreateKey commands; a mismatch is a local logic bug, not wire input
                         _ => unreachable!("CreateKey payload without CreateKey command"),
                     };
                     self.queue.push_back(Queued {
@@ -390,6 +392,7 @@ impl<A: Application> ServerCore<A> {
                 if dest == self.partition {
                     let key = match &cmd.kind {
                         CommandKind::DeleteKey { key } => *key,
+                        // detlint::allow(P003): constructor pairs DeleteKey payloads with DeleteKey commands; a mismatch is a local logic bug, not wire input
                         _ => unreachable!("DeleteKey payload without DeleteKey command"),
                     };
                     self.queue.push_back(Queued {
@@ -619,7 +622,8 @@ impl<A: Application> ServerCore<A> {
         let QueuedBody::Access { expected, target, keep, sent_vars, sent_exchange } =
             &mut entry.body
         else {
-            unreachable!()
+            // detlint::allow(P003): pump_queue dispatches to this pump by matching QueuedBody::Access; other variants cannot reach here
+            unreachable!("pump_access on non-access queue entry")
         };
         let target = *target;
         let keep = *keep;
@@ -883,6 +887,7 @@ impl<A: Application> ServerCore<A> {
     ) {
         let op = match &cmd.kind {
             CommandKind::Access { op, .. } => op.clone(),
+            // detlint::allow(P003): only reached from Access handling in pump_access; variant pairing is a local invariant
             _ => unreachable!("execute_here on non-access"),
         };
         let mut vars: BTreeMap<VarId, Option<A::Value>> = BTreeMap::new();
@@ -924,6 +929,7 @@ impl<A: Application> ServerCore<A> {
     ) {
         let op = match &cmd.kind {
             CommandKind::Access { op, .. } => op.clone(),
+            // detlint::allow(P003): only reached from Access handling (exchange path); variant pairing is a local invariant
             _ => unreachable!("execute_target on non-access"),
         };
         for &(v, p) in expected {
@@ -1000,6 +1006,7 @@ impl<A: Application> ServerCore<A> {
     ) {
         let op = match &cmd.kind {
             CommandKind::Access { op, .. } => op.clone(),
+            // detlint::allow(P003): only reached from Access handling (SSMR path); variant pairing is a local invariant
             _ => unreachable!("execute_ssmr on non-access"),
         };
         for &(v, p) in expected {
@@ -1119,7 +1126,10 @@ impl<A: Application> ServerCore<A> {
         eff: &mut Vec<Effect<A>>,
     ) -> bool {
         let (cmd_id, client) = (entry.cmd.id, entry.cmd.client);
-        let QueuedBody::Create { key, signalled } = &mut entry.body else { unreachable!() };
+        let QueuedBody::Create { key, signalled } = &mut entry.body else {
+            // detlint::allow(P003): pump_queue dispatches to this pump by matching QueuedBody::Create; other variants cannot reach here
+            unreachable!("pump_create on non-create queue entry")
+        };
         let key = *key;
         if !*signalled {
             *signalled = true;
@@ -1157,7 +1167,10 @@ impl<A: Application> ServerCore<A> {
         eff: &mut Vec<Effect<A>>,
     ) -> bool {
         let (cmd_id, client) = (entry.cmd.id, entry.cmd.client);
-        let QueuedBody::Delete { key, signalled } = &mut entry.body else { unreachable!() };
+        let QueuedBody::Delete { key, signalled } = &mut entry.body else {
+            // detlint::allow(P003): pump_queue dispatches to this pump by matching QueuedBody::Delete; other variants cannot reach here
+            unreachable!("pump_delete on non-delete queue entry")
+        };
         let key = *key;
         if self.awaiting_keys.contains_key(&key) {
             return false; // migration inbound; wait for the state first
@@ -1200,7 +1213,10 @@ impl<A: Application> ServerCore<A> {
         metrics: &mut Metrics,
         eff: &mut Vec<Effect<A>>,
     ) -> bool {
-        let QueuedBody::Plan { version, moves } = &entry.body else { unreachable!() };
+        let QueuedBody::Plan { version, moves } = &entry.body else {
+            // detlint::allow(P003): pump_queue dispatches to this pump by matching QueuedBody::Plan; other variants cannot reach here
+            unreachable!("pump_plan on non-plan queue entry")
+        };
         let (version, moves) = (*version, moves.clone());
         self.plan_version = version;
         for (key, from, to) in moves {

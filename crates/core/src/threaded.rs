@@ -13,11 +13,14 @@
 //! full cluster — Paxos, atomic multicast, oracle, borrowing — on real
 //! threads.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+// detlint::allow-file(D001): this module IS the wall-clock deployment — real threads and real timers by design; determinism is the simulator's job, not this file's
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use dynastar_runtime::hash::FastHashMap;
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dynastar_amcast::{Delivery, GroupId, McastMember, McastWire, MemberId, MsgId, Topology};
@@ -40,32 +43,52 @@ enum Wire<A: Application> {
 /// Clients register after the replica threads start, so their map is
 /// interior-mutable.
 struct Fabric<A: Application> {
-    replicas: HashMap<MemberId, Sender<Wire<A>>>,
-    clients: Mutex<HashMap<NodeId, Sender<Direct<A>>>>,
+    replicas: FastHashMap<MemberId, Sender<Wire<A>>>,
+    clients: Mutex<FastHashMap<NodeId, Sender<Direct<A>>>>,
     groups: Vec<Vec<MemberId>>,
     oracle_group: GroupId,
+    /// Messages dropped because the addressee was unknown or its channel
+    /// was disconnected (thread exited). A lossy fabric is the contract —
+    /// the protocol retries — but the count must be observable so an
+    /// operator can tell "peer shut down" from "protocol stalled".
+    dropped_sends: AtomicU64,
 }
 
 impl<A: Application> Fabric<A> {
     fn group_members(&self, g: GroupId) -> &[MemberId] {
-        &self.groups[g.0 as usize]
+        self.groups.get(g.0 as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Routes `wire` to `m`, counting (never panicking on) unknown
+    /// members and disconnected channels.
+    fn send_replica(&self, m: MemberId, wire: Wire<A>) {
+        match self.replicas.get(&m) {
+            Some(tx) if tx.send(wire).is_ok() => {}
+            _ => {
+                self.dropped_sends.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 
     fn send_direct(&self, dest: Destination, msg: Direct<A>) {
         match dest {
             Destination::Partition(p) => {
-                for m in self.group_members(GroupId(p.0)) {
-                    let _ = self.replicas[m].send(Wire::Direct(msg.clone()));
+                for &m in self.group_members(GroupId(p.0)) {
+                    self.send_replica(m, Wire::Direct(msg.clone()));
                 }
             }
             Destination::Oracle => {
-                for m in self.group_members(self.oracle_group) {
-                    let _ = self.replicas[m].send(Wire::Direct(msg.clone()));
+                for &m in self.group_members(self.oracle_group) {
+                    self.send_replica(m, Wire::Direct(msg.clone()));
                 }
             }
             Destination::Client(node) => {
-                if let Some(tx) = self.clients.lock().get(&node) {
-                    let _ = tx.send(msg);
+                let tx = self.clients.lock().get(&node).cloned();
+                match tx {
+                    Some(tx) if tx.send(msg).is_ok() => {}
+                    _ => {
+                        self.dropped_sends.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
         }
@@ -73,12 +96,15 @@ impl<A: Application> Fabric<A> {
 
     fn submit(&self, mid: MsgId, groups: Vec<GroupId>, payload: Arc<Payload<A>>) {
         for &g in &groups {
-            for m in self.group_members(g) {
-                let _ = self.replicas[m].send(Wire::Mcast(McastWire::Submit {
-                    mid,
-                    dests: groups.clone(),
-                    payload: Arc::clone(&payload),
-                }));
+            for &m in self.group_members(g) {
+                self.send_replica(
+                    m,
+                    Wire::Mcast(McastWire::Submit {
+                        mid,
+                        dests: groups.clone(),
+                        payload: Arc::clone(&payload),
+                    }),
+                );
             }
         }
     }
@@ -165,7 +191,7 @@ impl<A: Application> ReplicaThread<A> {
 
     fn absorb(&mut self, out: dynastar_amcast::McastOutput<Arc<Payload<A>>>) {
         for (to, wire) in out.outgoing {
-            let _ = self.fabric.replicas[&to].send(Wire::Mcast(wire));
+            self.fabric.send_replica(to, Wire::Mcast(wire));
         }
         let mut deliveries: std::collections::VecDeque<Delivery<Arc<Payload<A>>>> =
             out.delivered.into();
@@ -185,7 +211,7 @@ impl<A: Application> ReplicaThread<A> {
                         let groups = resolve_groups(&self.fabric, &partitions, include_oracle);
                         let out = self.member.submit(mid, groups, Arc::new(payload));
                         for (to, wire) in out.outgoing {
-                            let _ = self.fabric.replicas[&to].send(Wire::Mcast(wire));
+                            self.fabric.send_replica(to, Wire::Mcast(wire));
                         }
                         deliveries.extend(out.delivered);
                     }
@@ -219,6 +245,7 @@ impl<A: Application> ReplicaThread<A> {
                 // re-pumps the queue, so an explicit wake-up is a no-op
                 // (service_time is a simulation-only model anyway).
             }
+            // detlint::allow(P003): both callers (absorb, apply) split Multicast off before calling apply_one; a silent drop here would lose a command
             Effect::Multicast { .. } => unreachable!("handled by caller"),
         }
     }
@@ -302,8 +329,8 @@ impl<A: Application> ThreadedCluster<A> {
         let stop = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
 
-        let mut txs: HashMap<MemberId, Sender<Wire<A>>> = HashMap::new();
-        let mut rxs: HashMap<MemberId, Receiver<Wire<A>>> = HashMap::new();
+        let mut txs: FastHashMap<MemberId, Sender<Wire<A>>> = FastHashMap::default();
+        let mut rxs: FastHashMap<MemberId, Receiver<Wire<A>>> = FastHashMap::default();
         let mut groups: Vec<Vec<MemberId>> = Vec::new();
         for g in 0..=k {
             let mut members = Vec::new();
@@ -318,16 +345,18 @@ impl<A: Application> ThreadedCluster<A> {
         }
         let fabric = Arc::new(Fabric {
             replicas: txs,
-            clients: Mutex::new(HashMap::new()),
+            clients: Mutex::new(FastHashMap::default()),
             groups,
             oracle_group,
+            dropped_sends: AtomicU64::new(0),
         });
 
-        let placement_map: HashMap<LocKey, PartitionId> = placement.iter().copied().collect();
+        let placement_map: FastHashMap<LocKey, PartitionId> = placement.iter().copied().collect();
         let mut vars_by_part: Vec<Vec<(VarId, A::Value)>> = vec![Vec::new(); k];
         for (v, val) in initial_vars {
             let p = placement_map
                 .get(&A::locality(v))
+                // detlint::allow(P003): start() is a constructor with a documented "# Panics" contract; a mis-specified deployment should fail fast, before any thread runs
                 .unwrap_or_else(|| panic!("initial var {v} has unplaced key"));
             vars_by_part[p.0 as usize].push((v, val));
         }
@@ -368,6 +397,7 @@ impl<A: Application> ThreadedCluster<A> {
                 let thread = ReplicaThread {
                     member: McastMember::new(m, topo.clone()),
                     role,
+                    // detlint::allow(P002): constructor-time invariant — the channel loop above created one receiver per member id; no thread is running yet
                     rx: rxs.remove(&m).expect("receiver"),
                     fabric: Arc::clone(&fabric),
                     metrics: Arc::clone(&metrics),
@@ -379,6 +409,7 @@ impl<A: Application> ThreadedCluster<A> {
                     std::thread::Builder::new()
                         .name(format!("dynastar-{m}"))
                         .spawn(move || thread.run())
+                        // detlint::allow(P002): constructor-time: if the OS cannot start replica threads the deployment cannot exist; fail fast per the documented contract
                         .expect("spawn replica thread"),
                 );
             }
@@ -410,6 +441,14 @@ impl<A: Application> ThreadedCluster<A> {
     /// A snapshot of the merged metrics.
     pub fn metrics(&self) -> Arc<Mutex<Metrics>> {
         Arc::clone(&self.metrics)
+    }
+
+    /// Messages the fabric dropped so far (unknown addressee or a
+    /// disconnected channel — e.g. sends racing shutdown). Non-zero while
+    /// threads are being stopped is normal; non-zero in steady state
+    /// means a replica thread died.
+    pub fn dropped_sends(&self) -> u64 {
+        self.fabric.dropped_sends.load(Ordering::Relaxed)
     }
 
     /// Stops all replica threads and joins them.

@@ -1,0 +1,25 @@
+//! Fixture: every way a suppression directive can go wrong. Scanned
+//! with a sim role; the golden pins the expected (line, rule) pairs.
+
+// detlint::allow(D001)
+use std::time::Instant;
+
+// detlint::allow(D404): no such rule exists
+use std::time::SystemTime;
+
+// detlint::allow(S002): S rules govern directives and cannot be allowed
+fn nothing_here() {}
+
+// detlint::allow(D002): justified but nothing on the next line draws entropy
+fn quiet() -> u32 {
+    7
+}
+
+// detlint::allow(D005):
+fn empty_justification() {}
+
+fn lively() -> u64 {
+    // detlint::allow(D004): the justified-and-used happy path
+    std::thread::sleep(Duration::from_millis(1));
+    1
+}

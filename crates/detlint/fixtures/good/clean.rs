@@ -1,0 +1,41 @@
+//! Fixture: idiomatic sim+protocol code that must produce zero
+//! findings and zero directives.
+
+use std::collections::BTreeMap;
+
+fn on_message(input: Option<u32>, anomalies: &mut u64) -> Option<u32> {
+    let Some(v) = input else {
+        *anomalies += 1;
+        return None;
+    };
+    Some(v + 1)
+}
+
+fn decode_word(buf: &[u8]) -> Option<u64> {
+    let mut words = buf.chunks_exact(8).map(|c| {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(c);
+        u64::from_le_bytes(w)
+    });
+    words.next()
+}
+
+fn ordered() -> BTreeMap<u32, u64> {
+    BTreeMap::new()
+}
+
+fn fast() -> FastHashMap<u32, u64> {
+    FastHashMap::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_assert() {
+        assert_eq!(on_message(Some(1), &mut 0).unwrap(), 2);
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,304 @@
+//! Scan configuration: which paths get which rule families.
+//!
+//! Defaults are compiled in and mirrored by `detlint.toml` at the
+//! workspace root; the file (when present) *replaces* the matching
+//! default list, so the checked-in config is the single source of
+//! truth for reviewers. The parser is a deliberately tiny subset of
+//! TOML — `key = "str"` and `key = [ "a", "b" ]` (arrays may span
+//! lines), `#` comments — because the vendored-deps policy rules out
+//! a real TOML crate and the config needs nothing more.
+
+use std::fmt;
+
+/// Path-glob driven scan configuration. All globs are matched against
+/// `/`-separated paths relative to the workspace root.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Files subject to determinism (D) rules: the simulation-facing
+    /// crates whose behaviour must be a pure function of the seed.
+    pub sim: Vec<String>,
+    /// Files subject to protocol-hygiene (P) rules: message-delivery
+    /// and on-wire decode paths.
+    pub protocol: Vec<String>,
+    /// Substrings of function names treated as on-wire decode
+    /// functions (P004 applies inside them).
+    pub decode_markers: Vec<String>,
+    /// Files never scanned at all.
+    pub skip: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        Config {
+            sim: v(&[
+                "crates/runtime/src/**",
+                "crates/core/src/**",
+                "crates/paxos/src/**",
+                "crates/amcast/src/**",
+                "crates/partitioner/src/**",
+                "crates/workloads/src/**",
+            ]),
+            protocol: v(&[
+                "crates/amcast/src/member.rs",
+                "crates/paxos/src/replica.rs",
+                "crates/runtime/src/fifo.rs",
+                "crates/runtime/src/dedup.rs",
+                "crates/runtime/src/net.rs",
+                "crates/core/src/server.rs",
+                "crates/core/src/oracle.rs",
+                "crates/core/src/client.rs",
+                "crates/core/src/cluster.rs",
+                "crates/core/src/payload.rs",
+                "crates/core/src/threaded.rs",
+            ]),
+            decode_markers: v(&["decode", "parse", "from_bytes", "from_wire"]),
+            skip: v(&[
+                "target/**",
+                "vendor/**",
+                ".git/**",
+                "results/**",
+                "crates/detlint/fixtures/**",
+            ]),
+        }
+    }
+}
+
+/// Which rule families apply to one file.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileRole {
+    pub sim: bool,
+    pub protocol: bool,
+}
+
+impl Config {
+    /// Role of the file at workspace-relative `path`.
+    pub fn role(&self, path: &str) -> FileRole {
+        FileRole {
+            sim: self.sim.iter().any(|g| glob_match(g, path)),
+            protocol: self.protocol.iter().any(|g| glob_match(g, path)),
+        }
+    }
+
+    /// True when `path` must not be scanned.
+    pub fn skipped(&self, path: &str) -> bool {
+        self.skip.iter().any(|g| glob_match(g, path))
+    }
+
+    /// True when `fn_name` marks an on-wire decode function.
+    pub fn is_decode_fn(&self, fn_name: &str) -> bool {
+        self.decode_markers.iter().any(|m| fn_name.contains(m))
+    }
+}
+
+/// A config-file problem, reported with its line.
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "detlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+/// Parses `detlint.toml` content, overriding `base` list-by-list.
+pub fn parse_config(text: &str, base: Config) -> Result<Config, ConfigError> {
+    let mut cfg = base;
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((n, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(ConfigError {
+                line: n + 1,
+                message: format!("expected `key = value`, got {line:?}"),
+            });
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_string();
+        // Arrays may span lines: keep consuming until the `]`.
+        if value.starts_with('[') && !value.ends_with(']') {
+            for (_, cont) in lines.by_ref() {
+                value.push(' ');
+                value.push_str(strip_comment(cont).trim());
+                if value.ends_with(']') {
+                    break;
+                }
+            }
+        }
+        let items = parse_value(&value).map_err(|message| ConfigError { line: n + 1, message })?;
+        match key {
+            "sim" => cfg.sim = items,
+            "protocol" => cfg.protocol = items,
+            "decode_markers" => cfg.decode_markers = items,
+            "skip" => cfg.skip = items,
+            other => {
+                return Err(ConfigError {
+                    line: n + 1,
+                    message: format!(
+                        "unknown key {other:?} (expected sim, protocol, decode_markers, skip)"
+                    ),
+                })
+            }
+        }
+    }
+    Ok(cfg)
+}
+
+/// Strips a `#` comment, respecting double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `"str"` or `[ "a", "b" ]` into a list of strings.
+fn parse_value(value: &str) -> Result<Vec<String>, String> {
+    let value = value.trim();
+    if let Some(inner) = value.strip_prefix('[').and_then(|v| v.strip_suffix(']')) {
+        let mut items = Vec::new();
+        for part in split_top_level(inner) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            items.push(parse_string(part)?);
+        }
+        Ok(items)
+    } else {
+        Ok(vec![parse_string(value)?])
+    }
+}
+
+/// Splits on commas outside quotes.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn parse_string(s: &str) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|v| v.to_string())
+        .ok_or_else(|| format!("expected a double-quoted string, got {s:?}"))
+}
+
+/// Glob matching over `/`-separated paths. `**` spans any number of
+/// path segments (including zero); `*` and `?` match within one
+/// segment.
+pub fn glob_match(pattern: &str, path: &str) -> bool {
+    let pat: Vec<&str> = pattern.split('/').collect();
+    let segs: Vec<&str> = path.split('/').collect();
+    match_segments(&pat, &segs)
+}
+
+fn match_segments(pat: &[&str], segs: &[&str]) -> bool {
+    match pat.first() {
+        None => segs.is_empty(),
+        Some(&"**") => {
+            match_segments(&pat[1..], segs) || (!segs.is_empty() && match_segments(pat, &segs[1..]))
+        }
+        Some(p) => {
+            !segs.is_empty() && match_one(p, segs[0]) && match_segments(&pat[1..], &segs[1..])
+        }
+    }
+}
+
+/// `*`/`?` matching within one segment.
+fn match_one(pat: &str, text: &str) -> bool {
+    let p: Vec<char> = pat.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    fn rec(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('*') => rec(&p[1..], t) || (!t.is_empty() && rec(p, &t[1..])),
+            Some('?') => !t.is_empty() && rec(&p[1..], &t[1..]),
+            Some(c) => !t.is_empty() && t[0] == *c && rec(&p[1..], &t[1..]),
+        }
+    }
+    rec(&p, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("crates/core/src/**", "crates/core/src/server.rs"));
+        assert!(glob_match("crates/core/src/**", "crates/core/src/tpcc/ops.rs"));
+        assert!(!glob_match("crates/core/src/**", "crates/core/tests/x.rs"));
+        assert!(glob_match("crates/*/src/*.rs", "crates/paxos/src/lib.rs"));
+        assert!(!glob_match("crates/*/src/*.rs", "crates/paxos/src/a/b.rs"));
+        assert!(glob_match("**/fixtures/**", "crates/detlint/fixtures/bad/a.rs"));
+        assert!(glob_match("target/**", "target/debug/foo"));
+        assert!(glob_match("a/**", "a"));
+    }
+
+    #[test]
+    fn parse_minimal_toml() {
+        let text = r#"
+# comment
+sim = ["crates/a/src/**", "crates/b/src/**"]
+protocol = [
+    "crates/a/src/wire.rs",  # trailing comment
+]
+decode_markers = "decode"
+"#;
+        let cfg = parse_config(text, Config::default()).unwrap();
+        assert_eq!(cfg.sim, vec!["crates/a/src/**", "crates/b/src/**"]);
+        assert_eq!(cfg.protocol, vec!["crates/a/src/wire.rs"]);
+        assert_eq!(cfg.decode_markers, vec!["decode"]);
+        // Untouched key keeps the default.
+        assert!(cfg.skip.iter().any(|g| g == "vendor/**"));
+    }
+
+    #[test]
+    fn bad_config_reports_line() {
+        let err = parse_config("sim = [\"a\"]\nnot a kv line", Config::default()).unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_config("mystery = \"x\"", Config::default()).unwrap_err();
+        assert!(err.message.contains("unknown key"));
+    }
+
+    #[test]
+    fn roles_resolve() {
+        let cfg = Config::default();
+        let r = cfg.role("crates/core/src/server.rs");
+        assert!(r.sim && r.protocol);
+        let r = cfg.role("crates/core/src/command.rs");
+        assert!(r.sim && !r.protocol);
+        let r = cfg.role("crates/bench/src/lib.rs");
+        assert!(!r.sim && !r.protocol);
+        assert!(cfg.skipped("vendor/rand/src/lib.rs"));
+        assert!(cfg.skipped("crates/detlint/fixtures/bad/x.rs"));
+    }
+}

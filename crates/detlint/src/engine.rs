@@ -1,0 +1,538 @@
+//! The rule engine: token-sequence matching plus suppression
+//! bookkeeping for a single file.
+//!
+//! Analysis is four passes over the lexed file:
+//!
+//! 1. **Test spans.** Items under `#[test]` / `#[cfg(test)]` are
+//!    located by brace-matching and excluded wholesale — test-only
+//!    nondeterminism cannot perturb a replica, and test assertions
+//!    legitimately panic.
+//! 2. **Raw findings.** D rules run when the file is simulation-
+//!    facing, P rules when it is on a protocol path (per
+//!    [`Config::role`]).
+//! 3. **Directives.** `// detlint::allow(RULE): why` comments are
+//!    parsed; malformed ones become S001/S003 findings on the spot.
+//! 4. **Suppression.** Line directives cover their own line (when
+//!    trailing) or the next code line; `allow-file` directives cover
+//!    the whole file. Every directive must justify itself *and* be
+//!    used, or it is itself a finding (S001/S002).
+
+use crate::config::{Config, FileRole};
+use crate::lexer::{lex, Lexed, TokKind, Token};
+use crate::rules;
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+    pub hint: &'static str,
+}
+
+/// Result of analyzing one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed findings, in line order (includes S findings).
+    pub findings: Vec<Finding>,
+    /// How many findings valid directives suppressed.
+    pub suppressed: usize,
+    /// How many well-formed directives the file carries.
+    pub directives: usize,
+}
+
+/// An inclusive line range.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    start: u32,
+    end: u32,
+}
+
+impl Span {
+    fn contains(&self, line: u32) -> bool {
+        self.start <= line && line <= self.end
+    }
+}
+
+/// One parsed, well-formed suppression directive.
+#[derive(Debug)]
+struct Directive {
+    line: u32,
+    /// Rules this directive may suppress.
+    ids: Vec<&'static str>,
+    /// Whole-file scope (`detlint::allow-file`).
+    file_scope: bool,
+    /// Line findings must be on for line-scoped directives.
+    target_line: u32,
+    /// Per-id usage, parallel to `ids`.
+    used: Vec<bool>,
+}
+
+/// Analyzes one file's source. `path` is workspace-relative with `/`
+/// separators; it selects the rule families via `config` and prefixes
+/// every finding.
+pub fn analyze(path: &str, src: &str, config: &Config) -> FileReport {
+    let lexed = lex(src);
+    let role = config.role(path);
+    let test_spans = test_spans(&lexed.tokens);
+    let in_test = |line: u32| test_spans.iter().any(|s| s.contains(line));
+
+    let mut raw = Vec::new();
+    if role.sim || role.protocol {
+        scan_rules(path, &lexed, role, config, &in_test, &mut raw);
+    }
+    // Two path prefixes can both flag e.g. `std::env::var` (once as
+    // `std::env`, once as `env::var`): collapse to one per (rule, line).
+    raw.sort_by_key(|f: &Finding| (f.line, f.rule));
+    raw.dedup_by_key(|f| (f.line, f.rule));
+
+    let mut report = FileReport::default();
+    let mut directives = parse_directives(path, &lexed, &in_test, &mut report.findings);
+    report.directives = directives.len();
+
+    // Apply suppressions: prefer a precise line directive, fall back to
+    // file scope.
+    for f in raw {
+        let mut hit = false;
+        for d in directives.iter_mut() {
+            let scope_ok = d.file_scope || d.target_line == f.line || d.line == f.line;
+            if !scope_ok {
+                continue;
+            }
+            if let Some(i) = d.ids.iter().position(|id| *id == f.rule) {
+                d.used[i] = true;
+                hit = true;
+                break;
+            }
+        }
+        if hit {
+            report.suppressed += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+
+    // Unused directives are findings themselves.
+    for d in &directives {
+        for (i, id) in d.ids.iter().enumerate() {
+            if !d.used[i] {
+                push(
+                    &mut report.findings,
+                    path,
+                    d.line,
+                    "S002",
+                    format!("directive allows {id} but suppresses nothing"),
+                );
+            }
+        }
+    }
+
+    report.findings.sort_by_key(|f| (f.line, f.rule));
+    report
+}
+
+fn push(out: &mut Vec<Finding>, path: &str, line: u32, rule: &'static str, message: String) {
+    let info = rules::rule(rule).expect("known rule id");
+    out.push(Finding { file: path.to_string(), line, rule: info.id, message, hint: info.hint });
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: test spans.
+// ---------------------------------------------------------------------------
+
+/// Finds line spans of items annotated `#[test]`-ish (`#[test]`,
+/// `#[cfg(test)]`, `#[cfg(any(test, …))]`). An attribute mentioning
+/// `not` is conservatively treated as non-test (`#[cfg(not(test))]`
+/// guards production code).
+fn test_spans(tokens: &[Token]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !is_punct(tokens, i, "#") || !is_punct(tokens, i + 1, "[") {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = tokens[i].line;
+        // Bracket-match the attribute body.
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j].kind {
+                TokKind::Punct(p) if p == "[" => depth += 1,
+                TokKind::Punct(p) if p == "]" => depth -= 1,
+                TokKind::Ident(id) if id == "test" => has_test = true,
+                TokKind::Ident(id) if id == "not" => has_not = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Skip any further stacked attributes, then brace-match the item.
+        while is_punct(tokens, j, "#") && is_punct(tokens, j + 1, "[") {
+            let mut depth = 1i32;
+            j += 2;
+            while j < tokens.len() && depth > 0 {
+                match &tokens[j].kind {
+                    TokKind::Punct(p) if p == "[" => depth += 1,
+                    TokKind::Punct(p) if p == "]" => depth -= 1,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        let end = skip_item(tokens, j);
+        let end_line = tokens.get(end.saturating_sub(1)).map(|t| t.line).unwrap_or(u32::MAX);
+        spans.push(Span { start: attr_start_line, end: end_line });
+        i = end;
+    }
+    spans
+}
+
+/// Advances past one item starting at `i`: to the matching `}` of its
+/// body, or past a terminating `;` for body-less items. Returns the
+/// index just past the item.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    let mut paren = 0i32;
+    while i < tokens.len() {
+        if let TokKind::Punct(p) = &tokens[i].kind {
+            match p.as_str() {
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                ";" if paren == 0 => return i + 1,
+                "{" if paren == 0 => {
+                    let mut depth = 1i32;
+                    i += 1;
+                    while i < tokens.len() && depth > 0 {
+                        if let TokKind::Punct(p) = &tokens[i].kind {
+                            if p == "{" {
+                                depth += 1;
+                            } else if p == "}" {
+                                depth -= 1;
+                            }
+                        }
+                        i += 1;
+                    }
+                    return i;
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: rule scanning.
+// ---------------------------------------------------------------------------
+
+fn is_punct(tokens: &[Token], i: usize, p: &str) -> bool {
+    matches!(tokens.get(i), Some(Token { kind: TokKind::Punct(q), .. }) if q == p)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i) {
+        Some(Token { kind: TokKind::Ident(s), .. }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn scan_rules(
+    path: &str,
+    lexed: &Lexed,
+    role: FileRole,
+    config: &Config,
+    in_test: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let tokens = &lexed.tokens;
+    let decode_spans = if role.protocol { decode_fn_spans(tokens, config) } else { Vec::new() };
+
+    for i in 0..tokens.len() {
+        let line = tokens[i].line;
+        if in_test(line) {
+            continue;
+        }
+        if role.sim {
+            if let Some(id) = ident_at(tokens, i) {
+                match id {
+                    "Instant" | "SystemTime" => {
+                        push(out, path, line, "D001", format!("`{id}` is wall-clock time"));
+                    }
+                    "thread_rng" | "OsRng" | "from_entropy" | "getrandom" => {
+                        push(out, path, line, "D002", format!("`{id}` draws OS entropy"));
+                    }
+                    "std"
+                        if is_punct(tokens, i + 1, "::")
+                            && ident_at(tokens, i + 2) == Some("env") =>
+                    {
+                        push(out, path, line, "D003", "`std::env` read".to_string());
+                    }
+                    "env"
+                        if is_punct(tokens, i + 1, "::")
+                            && matches!(
+                                ident_at(tokens, i + 2),
+                                Some("var" | "var_os" | "vars" | "vars_os" | "args" | "args_os")
+                            ) =>
+                    {
+                        push(out, path, line, "D003", "`env::*` read".to_string());
+                    }
+                    "thread"
+                        if is_punct(tokens, i + 1, "::")
+                            && ident_at(tokens, i + 2) == Some("sleep") =>
+                    {
+                        push(
+                            out,
+                            path,
+                            line,
+                            "D004",
+                            "`thread::sleep` blocks on wall time".to_string(),
+                        );
+                    }
+                    "HashMap" | "HashSet" if !randomstate_exempt(tokens, i) => {
+                        push(
+                            out,
+                            path,
+                            line,
+                            "D005",
+                            format!("`{id}` with default `RandomState` (iteration order varies per process)"),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if role.protocol {
+            if is_punct(tokens, i, ".") && is_punct(tokens, i + 2, "(") {
+                match ident_at(tokens, i + 1) {
+                    Some("unwrap") => {
+                        push(
+                            out,
+                            path,
+                            line,
+                            "P001",
+                            "`.unwrap()` can panic a replica".to_string(),
+                        );
+                    }
+                    Some("expect") => {
+                        push(
+                            out,
+                            path,
+                            line,
+                            "P002",
+                            "`.expect()` can panic a replica".to_string(),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(id @ ("panic" | "unreachable" | "todo" | "unimplemented")) =
+                ident_at(tokens, i)
+            {
+                if is_punct(tokens, i + 1, "!") {
+                    push(out, path, line, "P003", format!("`{id}!` aborts the replica"));
+                }
+            }
+            // Index expression: `[` directly preceded by a value-ish
+            // token, inside a decode fn. (`vec![…]` and `#[…]` are not
+            // index expressions: their `[` follows `!` / `#`.)
+            let prev_is_value = i > 0
+                && match &tokens[i - 1].kind {
+                    TokKind::Ident(_) => true,
+                    TokKind::Punct(p) => p == ")" || p == "]",
+                    _ => false,
+                };
+            if is_punct(tokens, i, "[")
+                && prev_is_value
+                && decode_spans.iter().any(|s| s.contains(line))
+            {
+                push(
+                    out,
+                    path,
+                    line,
+                    "P004",
+                    "indexing in a decode fn panics on short/garbled input".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// True when a `HashMap`/`HashSet` mention at `i` explicitly names a
+/// hasher: a `<…>` with a third (map) / second (set) generic argument,
+/// or a `with_hasher`-family constructor.
+fn randomstate_exempt(tokens: &[Token], i: usize) -> bool {
+    let is_set = ident_at(tokens, i) == Some("HashSet");
+    // `HashMap::with_hasher(…)` / `with_capacity_and_hasher`.
+    if is_punct(tokens, i + 1, "::") {
+        if let Some(name) = ident_at(tokens, i + 2) {
+            if name.contains("hasher") {
+                return true;
+            }
+        }
+    }
+    // `HashMap<K, V, S>` / turbofish `HashMap::<K, V, S>`: count
+    // top-level commas in the angle list.
+    let angle_open = if is_punct(tokens, i + 1, "<") {
+        i + 2
+    } else if is_punct(tokens, i + 1, "::") && is_punct(tokens, i + 2, "<") {
+        i + 3
+    } else {
+        return false;
+    };
+    let mut depth = 1i32;
+    let mut commas = 0usize;
+    let mut j = angle_open;
+    let mut guard = 0usize;
+    while j < tokens.len() && depth > 0 && guard < 256 {
+        if let TokKind::Punct(p) = &tokens[j].kind {
+            match p.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "(" | "[" => depth += 1, // tuples/arrays nest commas too
+                ")" | "]" => depth -= 1,
+                "," if depth == 1 => commas += 1,
+                ";" => return false, // statement boundary: not a generic list
+                _ => {}
+            }
+        }
+        j += 1;
+        guard += 1;
+    }
+    commas >= if is_set { 1 } else { 2 }
+}
+
+/// Line spans of functions whose name marks them as on-wire decoders.
+fn decode_fn_spans(tokens: &[Token], config: &Config) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if ident_at(tokens, i) == Some("fn") {
+            if let Some(name) = ident_at(tokens, i + 1) {
+                if config.is_decode_fn(name) {
+                    let start = tokens[i].line;
+                    let end = skip_item(tokens, i + 2);
+                    let end_line =
+                        tokens.get(end.saturating_sub(1)).map(|t| t.line).unwrap_or(u32::MAX);
+                    spans.push(Span { start, end: end_line });
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: directives.
+// ---------------------------------------------------------------------------
+
+/// Parses every `detlint::allow` directive in the file's comments.
+/// Malformed directives become S001/S003 findings immediately;
+/// well-formed ones are returned for the suppression pass.
+fn parse_directives(
+    path: &str,
+    lexed: &Lexed,
+    in_test: &dyn Fn(u32) -> bool,
+    findings: &mut Vec<Finding>,
+) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for c in &lexed.comments {
+        // A directive must *lead* its comment (after doc-comment `/`/`!`
+        // markers), so prose that merely mentions the syntax is inert.
+        let body = c.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("detlint::allow") else { continue };
+        // Directives inside test spans govern nothing (the rules skip
+        // test code), so ignore them entirely rather than calling them
+        // unused.
+        if in_test(c.line) {
+            continue;
+        }
+        let (file_scope, rest) = match rest.strip_prefix("-file") {
+            Some(r) => (true, r),
+            None => (false, rest),
+        };
+        let Some(open) = rest.find('(') else {
+            push(findings, path, c.line, "S001", "directive is missing `(RULE, …)`".to_string());
+            continue;
+        };
+        let Some(close) = rest[open..].find(')').map(|k| open + k) else {
+            push(findings, path, c.line, "S001", "directive has an unclosed rule list".to_string());
+            continue;
+        };
+        if rest[..open].trim() != "" {
+            push(
+                findings,
+                path,
+                c.line,
+                "S001",
+                "unexpected text before the rule list".to_string(),
+            );
+            continue;
+        }
+        let mut ids = Vec::new();
+        let mut bad = false;
+        for id in rest[open + 1..close].split(',') {
+            let id = id.trim();
+            match rules::rule(id) {
+                Some(info) if rules::suppressible(info.id) => ids.push(info.id),
+                Some(_) => {
+                    push(
+                        findings,
+                        path,
+                        c.line,
+                        "S003",
+                        format!("S rules cannot be suppressed ({id})"),
+                    );
+                    bad = true;
+                }
+                None => {
+                    push(findings, path, c.line, "S003", format!("unknown rule id {id:?}"));
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            continue;
+        }
+        if ids.is_empty() {
+            push(findings, path, c.line, "S001", "empty rule list".to_string());
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let justification = match after.strip_prefix(':') {
+            Some(j) => j.trim(),
+            None => {
+                push(
+                    findings,
+                    path,
+                    c.line,
+                    "S001",
+                    "missing `: <justification>` after the rule list".to_string(),
+                );
+                continue;
+            }
+        };
+        if justification.is_empty() {
+            push(findings, path, c.line, "S001", "empty justification".to_string());
+            continue;
+        }
+        let target_line = if c.trailing { c.line } else { next_code_line(&lexed.tokens, c.line) };
+        let used = vec![false; ids.len()];
+        out.push(Directive { line: c.line, ids, file_scope, target_line, used });
+    }
+    out
+}
+
+/// The first line after `line` that carries a code token.
+fn next_code_line(tokens: &[Token], line: u32) -> u32 {
+    tokens.iter().map(|t| t.line).find(|&l| l > line).unwrap_or(u32::MAX)
+}

@@ -1,0 +1,427 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! detlint's rules match on token *sequences* (`. unwrap (`,
+//! `std :: env`, `HashMap <`), so the lexer only needs to classify
+//! tokens and attribute them to lines — no spans, no keywords, no
+//! precedence. What it must get right is everything that would make a
+//! naive regex scanner lie: comments (line, nested block), string
+//! literals in all their forms (cooked, raw, byte, C), char literals
+//! vs. lifetimes, and raw identifiers. A mention of `unwrap()` inside
+//! a doc comment or a string must never produce a diagnostic.
+//!
+//! Comments are not discarded: suppression directives
+//! (`// detlint::allow(...)`) live in them, so they are returned
+//! alongside the token stream with a flag saying whether the comment
+//! trails code on its own line.
+
+/// What a token is; only as much classification as the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the engine doesn't care which).
+    Ident(String),
+    /// Punctuation. Single characters, except `::` which is fused so
+    /// path rules can match `std :: env` in three tokens.
+    Punct(String),
+    /// Any string literal (cooked, raw, byte, C). Contents dropped.
+    Str,
+    /// A char literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`).
+    Life,
+}
+
+/// One token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub line: u32,
+    pub kind: TokKind,
+}
+
+/// One comment (line or block) with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: u32,
+    /// Comment body, without the `//` / `/*` markers.
+    pub text: String,
+    /// True when code tokens precede the comment on the same line
+    /// (a trailing comment suppresses findings on its own line;
+    /// a standalone one suppresses the next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src`. Never fails: unterminated constructs simply run to end
+/// of file — a file that far gone won't compile, and rustc owns that
+/// diagnostic.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Line of the most recent token, to mark trailing comments.
+    let mut last_tok_line = 0u32;
+
+    let at = |i: usize| chars.get(i).copied();
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && at(i + 1) == Some('/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..j].iter().collect(),
+                trailing: last_tok_line == line,
+            });
+            i = j;
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && at(i + 1) == Some('*') {
+            let start_line = line;
+            let trailing = last_tok_line == line;
+            let start = i + 2;
+            let mut j = start;
+            let mut depth = 1u32;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if chars[j] == '/' && at(j + 1) == Some('*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && at(j + 1) == Some('/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let end = j.saturating_sub(2).max(start);
+            out.comments.push(Comment {
+                line: start_line,
+                text: chars[start..end].iter().collect(),
+                trailing,
+            });
+            i = j;
+            continue;
+        }
+        // Cooked string literal (also reached for `b"…"` / `c"…"` via
+        // the identifier branch below).
+        if c == '"' {
+            i = skip_cooked_string(&chars, i, &mut line);
+            out.tokens.push(Token { line, kind: TokKind::Str });
+            last_tok_line = line;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            let (j, kind) = lex_quote(&chars, i);
+            out.tokens.push(Token { line, kind });
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        // Identifier — with raw-string / byte-string / raw-ident
+        // lookahead for the `r` / `b` / `c` prefixes.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let word: String = chars[i..j].iter().collect();
+            match word.as_str() {
+                // Raw string candidates: r"…", r#"…"#, br#"…"#, cr"…".
+                "r" | "br" | "rb" | "cr" if matches!(at(j), Some('"') | Some('#')) => {
+                    if let Some(end) = skip_raw_string(&chars, j, &mut line) {
+                        out.tokens.push(Token { line, kind: TokKind::Str });
+                        last_tok_line = line;
+                        i = end;
+                        continue;
+                    }
+                    // `r#ident`: fall through — push `r`, rescan from `#`,
+                    // which the raw-ident arm below handles.
+                    if word == "r" && at(j) == Some('#') {
+                        // raw identifier r#foo
+                        let mut k = j + 1;
+                        if k < chars.len() && is_ident_start(chars[k]) {
+                            while k < chars.len() && is_ident_continue(chars[k]) {
+                                k += 1;
+                            }
+                            let raw: String = chars[j + 1..k].iter().collect();
+                            out.tokens.push(Token { line, kind: TokKind::Ident(raw) });
+                            last_tok_line = line;
+                            i = k;
+                            continue;
+                        }
+                    }
+                    out.tokens.push(Token { line, kind: TokKind::Ident(word) });
+                    last_tok_line = line;
+                    i = j;
+                    continue;
+                }
+                // Cooked byte / C strings: b"…", c"…".
+                "b" | "c" if at(j) == Some('"') => {
+                    i = skip_cooked_string(&chars, j, &mut line);
+                    out.tokens.push(Token { line, kind: TokKind::Str });
+                    last_tok_line = line;
+                    continue;
+                }
+                // Byte char: b'x'.
+                "b" if at(j) == Some('\'') => {
+                    let (end, _) = lex_quote(&chars, j);
+                    out.tokens.push(Token { line, kind: TokKind::Char });
+                    last_tok_line = line;
+                    i = end;
+                    continue;
+                }
+                _ => {
+                    out.tokens.push(Token { line, kind: TokKind::Ident(word) });
+                    last_tok_line = line;
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Number. Loose: consume alphanumerics/underscores, plus a
+        // decimal point only when a digit follows (so `0..8` stays a
+        // number and a range, and `1.x` method calls stay calls).
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            loop {
+                match at(j) {
+                    Some(d) if d.is_alphanumeric() || d == '_' => j += 1,
+                    Some('.')
+                        if at(j + 1).map(|d| d.is_ascii_digit()).unwrap_or(false)
+                            && at(j - 1) != Some('.') =>
+                    {
+                        j += 1
+                    }
+                    _ => break,
+                }
+            }
+            out.tokens.push(Token { line, kind: TokKind::Num });
+            last_tok_line = line;
+            i = j;
+            continue;
+        }
+        // Punctuation; fuse `::`.
+        if c == ':' && at(i + 1) == Some(':') {
+            out.tokens.push(Token { line, kind: TokKind::Punct("::".into()) });
+            last_tok_line = line;
+            i += 2;
+            continue;
+        }
+        out.tokens.push(Token { line, kind: TokKind::Punct(c.to_string()) });
+        last_tok_line = line;
+        i += 1;
+    }
+    out
+}
+
+/// Skips a cooked string starting at the opening quote `chars[open]`;
+/// returns the index just past the closing quote, bumping `line` for
+/// embedded newlines.
+fn skip_cooked_string(chars: &[char], open: usize, line: &mut u32) -> usize {
+    let mut j = open + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Tries to skip a raw string whose `#`s (possibly none) start at
+/// `chars[from]`. Returns `None` if this isn't a raw string after all
+/// (e.g. `r#ident`).
+fn skip_raw_string(chars: &[char], from: usize, line: &mut u32) -> Option<usize> {
+    let mut hashes = 0usize;
+    let mut j = from;
+    while j < chars.len() && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    while j < chars.len() {
+        if chars[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if chars[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(j + 1 + hashes);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    Some(j)
+}
+
+/// Disambiguates `'a'` (char), `'\n'` (char) and `'a` (lifetime),
+/// starting at the quote. Returns (index past the token, kind).
+fn lex_quote(chars: &[char], open: usize) -> (usize, TokKind) {
+    let next = chars.get(open + 1).copied();
+    match next {
+        // Escape: definitely a char literal; scan to the closing quote.
+        Some('\\') => {
+            let mut j = open + 2;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => return (j + 1, TokKind::Char),
+                    _ => j += 1,
+                }
+            }
+            (j, TokKind::Char)
+        }
+        // Identifier-ish start: lifetime unless a quote immediately
+        // follows the single character ('a' vs 'a).
+        Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+            if chars.get(open + 2) == Some(&'\'') {
+                (open + 3, TokKind::Char)
+            } else {
+                let mut j = open + 2;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                (j, TokKind::Life)
+            }
+        }
+        // Any other char followed by a quote: char literal like '('.
+        Some(_) if chars.get(open + 2) == Some(&'\'') => (open + 3, TokKind::Char),
+        // Lone quote (macro-land); emit as punctuation to keep going.
+        _ => (open + 1, TokKind::Punct("'".into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_not_tokens() {
+        let l = lex("let x = 1; // unwrap() here is fine\n/* Instant */ let y = 2;");
+        assert!(idents("let x = 1; // unwrap()").iter().all(|s| s != "unwrap"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].trailing);
+        assert!(!l.comments[1].trailing, "block comment starts its line");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(idents("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        for src in [
+            "let s = \"unwrap() Instant\";",
+            "let s = r#\"std::env \"quoted\"\"#;",
+            "let s = b\"HashMap\";",
+            "let s = cr#\"thread_rng\"#;",
+        ] {
+            let ids = idents(src);
+            assert_eq!(ids, vec!["let", "s"], "leaked from {src:?}: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes = l.tokens.iter().filter(|t| t.kind == TokKind::Life).count();
+        let charlits = l.tokens.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(charlits, 2);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        assert_eq!(idents("let r#fn = 1;"), vec!["let", "fn"]);
+    }
+
+    #[test]
+    fn line_numbers_advance_through_multiline_strings() {
+        let l = lex("let a = \"x\ny\";\nlet b = 1;");
+        let b_line =
+            l.tokens.iter().find(|t| t.kind == TokKind::Ident("b".into())).map(|t| t.line).unwrap();
+        assert_eq!(b_line, 3);
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let l = lex("std::env::var");
+        let puncts: Vec<_> = l
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Punct(p) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec!["::", "::"]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let l = lex("&blob[0..8]");
+        let nums = l.tokens.iter().filter(|t| t.kind == TokKind::Num).count();
+        assert_eq!(nums, 2);
+    }
+}

@@ -1,0 +1,129 @@
+//! # detlint
+//!
+//! A workspace determinism & protocol-hygiene static analyzer for the
+//! DynaStar reproduction — see DESIGN.md §6 for the full rationale and
+//! rule catalog, and `detlint.toml` at the workspace root for the
+//! scan scope.
+//!
+//! The analyzer is a hand-rolled lexer ([`lexer`]) plus a token-rule
+//! engine ([`engine`]) — no syn, no regex, no dependencies — so it
+//! builds in well under a second and runs first in CI. Three rule
+//! families ([`rules`]): **D** determinism hazards in simulation-
+//! facing crates, **P** panic hazards on protocol message paths,
+//! **S** suppression governance for `// detlint::allow(RULE): why`
+//! directives.
+//!
+//! ```
+//! use detlint::{analyze, Config};
+//!
+//! let cfg = Config::default();
+//! let report = analyze(
+//!     "crates/core/src/server.rs",
+//!     "use std::time::Instant; // clock\n",
+//!     &cfg,
+//! );
+//! assert_eq!(report.findings.len(), 1);
+//! assert_eq!(report.findings[0].rule, "D001");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::{parse_config, Config};
+pub use engine::{analyze, FileReport, Finding};
+pub use report::Stats;
+
+/// A whole-workspace scan result.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All unsuppressed findings, ordered by (file, line, rule).
+    pub findings: Vec<Finding>,
+    pub stats: Stats,
+}
+
+impl ScanReport {
+    /// A scan is clean when nothing needs attention — the CI gate.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Recursively collects the workspace-relative paths of every `.rs`
+/// file under `root`, honoring the config's skip globs. Entries are
+/// sorted so the scan itself is deterministic regardless of how the
+/// OS orders directories.
+pub fn collect_files(root: &Path, config: &Config) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> =
+            std::fs::read_dir(&dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        entries.sort();
+        for path in entries {
+            let rel = match path.strip_prefix(root) {
+                Ok(r) => r.to_string_lossy().replace('\\', "/"),
+                Err(_) => continue,
+            };
+            if config.skipped(&rel) || rel.starts_with('.') {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if rel.ends_with(".rs") {
+                out.push(rel);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans the workspace rooted at `root` with `config`.
+pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
+    let mut report = ScanReport::default();
+    for rel in collect_files(root, config)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        let file = analyze(&rel, &src, config);
+        report.stats.files_scanned += 1;
+        report.stats.suppressed += file.suppressed;
+        report.stats.directives += file.directives;
+        report.findings.extend(file.findings);
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Loads `detlint.toml` from `root` when present, otherwise the
+/// built-in defaults.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("detlint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => parse_config(&text, Config::default()).map_err(|e| e.to_string()),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// Walks upward from `start` to the first directory whose
+/// `Cargo.toml` declares `[workspace]` — how the CLI finds the scan
+/// root without being told.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(|p| p.to_path_buf());
+    }
+    None
+}

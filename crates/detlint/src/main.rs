@@ -1,0 +1,105 @@
+//! detlint CLI.
+//!
+//! ```text
+//! cargo run -p detlint                   # human table, exit 1 on findings
+//! cargo run -p detlint -- --format json  # machine-readable, for CI
+//! cargo run -p detlint -- --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics reported, 2 usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::{find_workspace_root, load_config, parse_config, report, rules, scan_workspace};
+
+const USAGE: &str = "\
+detlint — workspace determinism & protocol-hygiene analyzer
+
+USAGE:
+    detlint [--root <dir>] [--config <file>] [--format human|json] [--list-rules]
+
+OPTIONS:
+    --root <dir>      workspace root (default: nearest ancestor with [workspace])
+    --config <file>   detlint config (default: <root>/detlint.toml if present)
+    --format <fmt>    output format: human (default) or json
+    --list-rules      print the rule catalog and exit
+    --help            this text
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("detlint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut format = "human".to_string();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(next_value(&mut args, "--root")?.into()),
+            "--config" => config_path = Some(next_value(&mut args, "--config")?.into()),
+            "--format" => format = next_value(&mut args, "--format")?,
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!("{}  {}\n      fix: {}", r.id, r.title, r.hint);
+                }
+                return Ok(true);
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    if format != "human" && format != "json" {
+        return Err(format!("--format must be human or json, got {format:?}"));
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            find_workspace_root(&cwd).ok_or_else(|| {
+                "no [workspace] Cargo.toml above the current directory; pass --root".to_string()
+            })?
+        }
+    };
+
+    let config = match config_path {
+        Some(p) => {
+            let text = std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            parse_config(&text, detlint::Config::default()).map_err(|e| e.to_string())?
+        }
+        None => load_config(&root)?,
+    };
+
+    let scan = scan_workspace(&root, &config).map_err(|e| e.to_string())?;
+    let rendered = match format.as_str() {
+        "json" => report::render_json(&scan.findings, scan.stats),
+        _ => report::render_human(&scan.findings, scan.stats),
+    };
+    print!("{rendered}");
+    Ok(scan.clean())
+}
+
+fn next_value(args: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}

@@ -1,0 +1,145 @@
+//! Fixture-driven acceptance tests for the analyzer, plus the
+//! live-workspace gate.
+//!
+//! Each `fixtures/bad/*.rs` file pairs with a `.expected` golden of
+//! `line rule` entries; drift in either direction fails with a diff
+//! you can paste back into the golden. `fixtures/allowed/justified.rs`
+//! additionally pins the suppression contract: it scans clean as
+//! written, and deleting ANY single directive makes the scan fail —
+//! the property the CI gate relies on.
+
+use detlint::{analyze, parse_config, Config};
+
+/// Fixture scan roles, mirroring how detlint.toml assigns the live
+/// tree's roles. `clean.rs` and `justified.rs` get BOTH roles so they
+/// prove cleanliness against every rule family at once.
+fn fixture_config() -> Config {
+    let toml = r#"
+sim = [
+    "fixtures/bad/determinism.rs",
+    "fixtures/bad/suppress.rs",
+    "fixtures/good/clean.rs",
+    "fixtures/allowed/justified.rs",
+]
+protocol = [
+    "fixtures/bad/protocol.rs",
+    "fixtures/good/clean.rs",
+    "fixtures/allowed/justified.rs",
+]
+skip = []
+"#;
+    parse_config(toml, Config::default()).expect("fixture config parses")
+}
+
+fn fixture_src(rel: &str) -> String {
+    let path = format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+fn scan(rel: &str) -> detlint::FileReport {
+    analyze(rel, &fixture_src(rel), &fixture_config())
+}
+
+fn check_golden(rel: &str) {
+    let actual: Vec<String> =
+        scan(rel).findings.iter().map(|f| format!("{} {}", f.line, f.rule)).collect();
+    let golden_rel = rel.replace(".rs", ".expected");
+    let expected: Vec<String> = fixture_src(&golden_rel)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        actual,
+        expected,
+        "\n{rel} drifted from {golden_rel}; actual findings were:\n{}\n",
+        actual.join("\n")
+    );
+}
+
+#[test]
+fn determinism_fixture_matches_golden() {
+    check_golden("fixtures/bad/determinism.rs");
+}
+
+#[test]
+fn protocol_fixture_matches_golden() {
+    check_golden("fixtures/bad/protocol.rs");
+}
+
+#[test]
+fn suppress_fixture_matches_golden() {
+    check_golden("fixtures/bad/suppress.rs");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let report = scan("fixtures/good/clean.rs");
+    assert!(report.findings.is_empty(), "unexpected findings: {:?}", report.findings);
+    assert_eq!(report.directives, 0, "clean fixture must not need directives");
+}
+
+#[test]
+fn justified_fixture_is_suppressed_clean() {
+    let report = scan("fixtures/allowed/justified.rs");
+    assert!(report.findings.is_empty(), "unexpected findings: {:?}", report.findings);
+    assert!(report.suppressed >= 4, "expected several suppressed findings");
+    assert_eq!(report.directives, 4);
+}
+
+/// The governance property end to end: every directive in the allowed
+/// fixture is load-bearing. Deleting any ONE of them re-surfaces a
+/// finding (or trips S002 on a now-dangling sibling), so a scan of the
+/// edited file is non-clean — which is exit code 1 at the CLI.
+#[test]
+fn deleting_any_suppression_fails_the_scan() {
+    let rel = "fixtures/allowed/justified.rs";
+    let src = fixture_src(rel);
+    let directive_lines: Vec<usize> = src
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| l.trim_start().starts_with("// detlint::allow"))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(directive_lines.len(), 4, "fixture should carry 4 directives");
+    for &del in &directive_lines {
+        let edited: String = src
+            .lines()
+            .enumerate()
+            .filter(|&(i, _)| i != del)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let report = analyze(rel, &edited, &fixture_config());
+        assert!(
+            !report.findings.is_empty(),
+            "deleting the directive on line {} left the scan clean — \
+             that suppression was not load-bearing",
+            del + 1
+        );
+    }
+}
+
+/// The live tree must scan clean with the checked-in config — the same
+/// gate CI runs via `cargo run -p detlint`. Running it as a test means
+/// `cargo test` alone catches a regression.
+#[test]
+fn live_workspace_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/detlint")
+        .to_path_buf();
+    let config = detlint::load_config(&root).expect("detlint.toml loads");
+    let scan = detlint::scan_workspace(&root, &config).expect("workspace scans");
+    assert!(
+        scan.clean(),
+        "live workspace has {} detlint finding(s); run `cargo run -p detlint` for the report:\n{}",
+        scan.findings.len(),
+        scan.findings
+            .iter()
+            .map(|f| format!("  {}:{} {}", f.file, f.line, f.rule))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,7 +1,7 @@
 //! Undirected weighted graphs in compressed adjacency form.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An undirected graph with vertex and edge weights, stored in CSR
 /// (compressed sparse row) form for cache-friendly traversal.
@@ -78,7 +78,9 @@ impl Graph {
 #[derive(Debug, Clone, Default)]
 pub struct GraphBuilder {
     /// Edge accumulator keyed by canonical `(min, max)` endpoints.
-    edges: HashMap<(u32, u32), u64>,
+    /// Ordered so [`build`](Self::build) fills CSR rows deterministically
+    /// without a separate sort.
+    edges: BTreeMap<(u32, u32), u64>,
     vwgt: Vec<u64>,
 }
 
@@ -136,10 +138,8 @@ impl GraphBuilder {
         let mut adj = vec![(0u32, 0u64); xadj[n]];
         let mut cursor = xadj.clone();
         let mut total_ewgt = 0;
-        // Deterministic order: sort the edge set.
-        let mut edges: Vec<((u32, u32), u64)> = self.edges.iter().map(|(&k, &w)| (k, w)).collect();
-        edges.sort_unstable();
-        for ((u, v), w) in edges {
+        // BTreeMap iterates in key order, so CSR rows fill deterministically.
+        for (&(u, v), &w) in &self.edges {
             adj[cursor[u as usize]] = (v, w);
             cursor[u as usize] += 1;
             adj[cursor[v as usize]] = (u, w);

@@ -33,6 +33,8 @@
 //! assert_ne!(p.assignment()[0], p.assignment()[5]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod baseline;
 mod graph;
 mod multilevel;

@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::graph::{Graph, GraphBuilder};
 use crate::partitioning::Partitioning;
@@ -196,8 +196,9 @@ fn grow_initial(g: &Graph, k: u32, rng: &mut StdRng) -> Vec<u32> {
         }
         let seed = order[cursor];
         let mut weight = 0u64;
-        // Frontier scored by connection weight into the region.
-        let mut frontier: HashMap<u32, u64> = HashMap::new();
+        // Frontier scored by connection weight into the region. BTreeMap:
+        // the max_by_key below must not scan in hash order.
+        let mut frontier: BTreeMap<u32, u64> = BTreeMap::new();
         frontier.insert(seed, 0);
         while weight < target.max(1) {
             // Best-connected frontier vertex (ties by id for determinism).
@@ -243,8 +244,11 @@ fn refine(g: &Graph, k: u32, assignment: &mut [u32], cfg: &PartitionConfig) {
         let mut moves = 0usize;
         for v in 0..n as u32 {
             let own = assignment[v as usize];
-            // Connection weight to each adjacent part.
-            let mut conn: HashMap<u32, u64> = HashMap::new();
+            // Connection weight to each adjacent part. BTreeMap is
+            // load-bearing: the best-target scan below breaks equal-gain
+            // ties first-wins, so iterating in hash order would pick a
+            // different part per process and diverge replica plans.
+            let mut conn: BTreeMap<u32, u64> = BTreeMap::new();
             let mut own_conn = 0u64;
             for &(u, w) in g.neighbors(v) {
                 let pu = assignment[u as usize];

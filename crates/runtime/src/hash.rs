@@ -15,6 +15,7 @@
 //! Not collision-resistant against adversarial keys; use only for maps
 //! keyed by trusted internal values.
 
+// detlint::allow(D005): these imports exist to pin an explicit deterministic hasher in the aliases below
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 

@@ -39,6 +39,8 @@
 //! assert_eq!(sim.metrics().counter("pongs"), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod actor;
 pub mod dedup;
 pub mod event;

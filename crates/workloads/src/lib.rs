@@ -20,6 +20,8 @@
 //!   state), aligned, and partitioner-optimized (S-SMR\*'s offline METIS
 //!   step).
 
+#![forbid(unsafe_code)]
+
 pub mod chirper;
 pub mod placement;
 pub mod socialgraph;

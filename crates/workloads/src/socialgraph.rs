@@ -142,7 +142,7 @@ impl SocialGraph {
     /// Returns an error if a line is malformed or ids fail to parse.
     pub fn from_edge_list<R: BufRead>(reader: R) -> Result<Self, String> {
         let mut g = SocialGraph::default();
-        let mut ids: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut ids: dynastar_runtime::hash::FastHashMap<u64, u64> = Default::default();
         let mut intern = |raw: u64, g: &mut SocialGraph| -> u64 {
             *ids.entry(raw).or_insert_with(|| g.add_user())
         };

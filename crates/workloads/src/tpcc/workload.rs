@@ -1,9 +1,10 @@
 //! The closed-loop TPC-C terminal driver.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 use dynastar_core::{Command, CommandKind, Workload};
+use dynastar_runtime::hash::FastHashMap;
 use dynastar_runtime::SimTime;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -14,11 +15,11 @@ use super::schema::{TpccScale, DISTRICTS_PER_WAREHOUSE};
 /// Shared knowledge of undelivered orders per (warehouse, district),
 /// maintained from NEW-ORDER completions so DELIVERY transactions can
 /// declare the customer they will credit.
-pub type OrderTracker = Arc<Mutex<HashMap<(u32, u32), VecDeque<(u32, u32)>>>>;
+pub type OrderTracker = Arc<Mutex<FastHashMap<(u32, u32), VecDeque<(u32, u32)>>>>;
 
 /// Creates an empty order tracker shared between terminals.
 pub fn order_tracker() -> OrderTracker {
-    Arc::new(Mutex::new(HashMap::new()))
+    Arc::new(Mutex::new(FastHashMap::default()))
 }
 
 /// Standard transaction mix in percent (NEW-ORDER, PAYMENT, ORDER-STATUS,

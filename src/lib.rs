@@ -19,6 +19,8 @@
 //! inventory; the `examples/` directory contains runnable end-to-end
 //! scenarios.
 
+#![forbid(unsafe_code)]
+
 pub use dynastar_amcast as amcast;
 pub use dynastar_core as core;
 pub use dynastar_partitioner as partitioner;
