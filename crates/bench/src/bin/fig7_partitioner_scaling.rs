@@ -1,20 +1,30 @@
 //! Figure 7: partitioner (METIS substitute) CPU time and memory vs graph
-//! size.
+//! size, plus the warm-start repartitioning path.
 //!
 //! The paper shows METIS scaling linearly in time and memory up to 10M
 //! vertices. We sweep power-law graphs from 10k to 1M vertices through the
-//! multilevel partitioner and report wall-clock compute time and the
-//! resident size of the graph + partitioning structures.
+//! multilevel partitioner and report wall-clock compute time, the resident
+//! size of the graph + partitioning structures, and — for the incremental
+//! oracle path — how fast `partition_from` recovers a perturbed assignment.
 //!
 //! This binary measures *real* CPU time (it benchmarks our actual
-//! partitioner, not the simulation).
+//! partitioner, not the simulation). Two extra jobs mirror `probe_perf`:
+//!
+//! * `--out FILE` writes machine-readable `BENCH_partitioner.json`;
+//! * `--check-against FILE` is the CI smoke gate: exit 1 when elements/s
+//!   (graph vertices + edges partitioned per wall-second) falls more than
+//!   30% below the committed baseline;
+//! * `--smoke` restricts the sweep to the seeded 100k-vertex graph so the
+//!   CI gate finishes in seconds.
 
 use std::time::Instant;
 
 use dynastar_bench::report::print_table;
-use dynastar_partitioner::{partition, GraphBuilder, PartitionConfig};
+use dynastar_partitioner::{partition, partition_from, GraphBuilder, PartitionConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+const K: u32 = 8;
 
 /// Builds a preferential-attachment-ish graph with `n` vertices and ~4n
 /// edges (power-law degree tail, like a workload graph).
@@ -35,41 +45,218 @@ fn power_law_graph(n: u32, rng: &mut StdRng) -> dynastar_partitioner::Graph {
 }
 
 /// Rough resident bytes of the CSR graph plus partitioner working set.
-fn graph_bytes(g: &dynastar_partitioner::Graph) -> usize {
+fn graph_bytes(vertices: usize, edges: usize) -> usize {
     // xadj (8B/vertex) + adj (12B/half-edge × 2) + vwgt (8B/vertex),
     // doubled for the coarsening hierarchy's geometric sum.
-    let base = g.vertex_count() * 16 + g.edge_count() * 2 * 12;
+    let base = vertices * 16 + edges * 2 * 12;
     base * 2
 }
 
-fn main() {
-    println!("Figure 7 — multilevel partitioner CPU and memory scaling (k = 8)\n");
-    let mut rows = Vec::new();
-    let mut prev_time = 0.0f64;
-    for &n in &[10_000u32, 30_000, 100_000] {
-        let mut rng = StdRng::seed_from_u64(7);
-        let g = power_law_graph(n, &mut rng);
+/// One sweep point's measurements.
+struct Point {
+    vertices: u32,
+    edges: usize,
+    secs: f64,
+    warm_secs: f64,
+    edge_cut: u64,
+    warm_cut: u64,
+    balance: f64,
+    elements_per_sec: f64,
+}
+
+/// Partitions one seeded power-law graph and times both the full
+/// multilevel run and the warm-start path (a fresh run's assignment with a
+/// deterministic ~5% of vertices scattered — the "workload drifted since
+/// the last plan" shape the oracle warm-starts from).
+fn run_point(n: u32) -> Point {
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = power_law_graph(n, &mut rng);
+    let cfg = PartitionConfig::default();
+    // Deterministic inputs give identical outputs on every iteration, so
+    // only the timing varies: take the minimum of three runs to strip
+    // scheduler noise (this sweep shares a host with other tenants).
+    const ITERS: usize = 3;
+    let mut secs = f64::INFINITY;
+    let mut p = partition(&g, K, &cfg);
+    for _ in 0..ITERS {
         let t0 = Instant::now();
-        let p = partition(&g, 8, &PartitionConfig::default());
-        let secs = t0.elapsed().as_secs_f64();
-        let mb = graph_bytes(&g) as f64 / 1e6;
-        let growth = if prev_time > 0.0 { secs / prev_time } else { 0.0 };
-        prev_time = secs;
+        p = partition(&g, K, &cfg);
+        secs = secs.min(t0.elapsed().as_secs_f64());
+    }
+
+    let mut prev = p.assignment().to_vec();
+    let mut perturb = StdRng::seed_from_u64(11);
+    for slot in prev.iter_mut() {
+        if perturb.gen_range(0..20u32) == 0 {
+            *slot = perturb.gen_range(0..K);
+        }
+    }
+    let mut warm_secs = f64::INFINITY;
+    let mut warm = partition_from(&g, K, &prev, &cfg);
+    for _ in 0..ITERS {
+        let t1 = Instant::now();
+        warm = partition_from(&g, K, &prev, &cfg);
+        warm_secs = warm_secs.min(t1.elapsed().as_secs_f64());
+    }
+
+    Point {
+        vertices: n,
+        edges: g.edge_count(),
+        secs,
+        warm_secs,
+        edge_cut: p.edge_cut(&g),
+        warm_cut: warm.edge_cut(&g),
+        balance: p.balance(&g),
+        elements_per_sec: (g.vertex_count() + g.edge_count()) as f64 / secs.max(1e-9),
+    }
+}
+
+/// Renders results as the flat JSON the CI gate and EXPERIMENTS.md consume
+/// (hand-rolled like `probe_perf`: every value is a number, nothing to
+/// escape). The `before` block records the pre-rewrite timings from the
+/// committed fig7 sweep so the record carries its own before/after story.
+fn to_json(points: &[Point]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"vertices\": {}, \"edges\": {}, \"k\": {K}, \"secs\": {:.3}, \
+             \"warm_secs\": {:.3}, \"edge_cut\": {}, \"warm_cut\": {}, \"balance\": {:.3}, \
+             \"elements_per_sec\": {:.0}}}{}\n",
+            p.vertices,
+            p.edges,
+            p.secs,
+            p.warm_secs,
+            p.edge_cut,
+            p.warm_cut,
+            p.balance,
+            p.elements_per_sec,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let best = points.iter().map(|p| p.elements_per_sec).fold(0.0f64, f64::max);
+    out.push_str(&format!("  \"best_elements_per_sec\": {best:.0},\n"));
+    out.push_str(
+        "  \"before\": {\"note\": \"pre-rewrite full-sweep seconds (BTreeMap frontier/refine, \
+         builder contraction)\", \"secs_10k\": 0.329, \"secs_30k\": 1.012, \"secs_100k\": 4.803, \
+         \"secs_300k\": 123.520, \"secs_1m\": 236.229}\n",
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls the `elements_per_sec` of the baseline run with `vertices` out of
+/// a baseline JSON without a JSON parser — the file is generated by
+/// [`to_json`], so each run is one line and the keys appear in a fixed
+/// order with `vertices` first.
+fn parse_baseline_eps(json: &str, vertices: u32) -> Option<f64> {
+    let idx = json.find(&format!("\"vertices\": {vertices},"))?;
+    let line = json[idx..].lines().next()?;
+    let key = line.find("\"elements_per_sec\"")?;
+    let rest = &line[key..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail.find(['}', ','])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fig7_partitioner_scaling [--smoke] [--out FILE] [--check-against FILE]\n\
+         \n\
+         --smoke              only the seeded 100k-vertex point (CI gate workload)\n\
+         --out FILE           write machine-readable BENCH_partitioner.json\n\
+         --check-against FILE exit 1 if elements/s fell >30% below the baseline file"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--check-against" => check_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
+    let sizes: &[u32] =
+        if smoke { &[100_000] } else { &[10_000, 30_000, 100_000, 300_000, 1_000_000] };
+    println!("Figure 7 — multilevel partitioner CPU and memory scaling (k = {K})\n");
+    let mut rows = Vec::new();
+    let mut points = Vec::new();
+    let mut prev_time = 0.0f64;
+    for &n in sizes {
+        let p = run_point(n);
+        let mb = graph_bytes(p.vertices as usize, p.edges) as f64 / 1e6;
+        let growth = if prev_time > 0.0 { p.secs / prev_time } else { 0.0 };
+        prev_time = p.secs;
         rows.push(vec![
             format!("{n}"),
-            format!("{}", g.edge_count()),
-            format!("{secs:.3}"),
+            format!("{}", p.edges),
+            format!("{:.3}", p.secs),
+            format!("{:.3}", p.warm_secs),
             format!("{mb:.1}"),
-            format!("{:.0}", p.edge_cut(&g)),
-            format!("{:.2}", p.balance(&g)),
+            format!("{}", p.edge_cut),
+            format!("{:.2}", p.balance),
             if growth > 0.0 { format!("{growth:.1}x") } else { "-".into() },
         ]);
-        eprintln!("fig7: |V|={n} done in {secs:.3}s");
+        eprintln!("fig7: |V|={n} full {:.3}s, warm {:.3}s", p.secs, p.warm_secs);
+        points.push(p);
     }
     print_table(
-        &["vertices", "edges", "time(s)", "memory(MB)", "edge-cut", "balance", "time growth"],
+        &[
+            "vertices",
+            "edges",
+            "time(s)",
+            "warm(s)",
+            "memory(MB)",
+            "edge-cut",
+            "balance",
+            "time growth",
+        ],
         &rows,
     );
     println!("\npaper shape: time and memory grow linearly with graph size");
-    println!("(each 3.3x size step should cost ~3-4x time; balance stays <= 1.2).");
+    println!("(each 3.3x size step should cost ~3-4x time; balance stays <= 1.2;");
+    println!("warm(s) is the incremental partition_from path on a ~5%-perturbed plan).");
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, to_json(&points)).expect("write BENCH_partitioner.json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        // Compare each swept size against the *same size* in the baseline —
+        // elements/s falls with graph size (cache pressure), so comparing a
+        // smoke point against the baseline's best would mix sizes and
+        // leave almost no noise headroom.
+        let mut failed = false;
+        for p in &points {
+            let Some(base) = parse_baseline_eps(&baseline, p.vertices) else {
+                println!("partitioner gate: no |V|={} baseline in {path}, skipped", p.vertices);
+                continue;
+            };
+            let floor = base * 0.70;
+            let verdict = if p.elements_per_sec < floor { "FAILED" } else { "ok" };
+            println!(
+                "partitioner gate |V|={}: current {:.0} elems/s vs baseline {base:.0} \
+                 (floor {floor:.0}) {verdict}",
+                p.vertices, p.elements_per_sec
+            );
+            failed |= p.elements_per_sec < floor;
+        }
+        if failed {
+            eprintln!("partitioner gate FAILED: elements/s regressed more than 30% below baseline");
+            std::process::exit(1);
+        }
+        println!("partitioner gate passed");
+    }
 }

@@ -43,6 +43,10 @@ pub struct TpccSetup {
     pub repartition_threshold: u64,
     /// Leader-side batching / pipelining knobs for every consensus group.
     pub batch: BatchConfig,
+    /// Oracle warm-start (incremental) repartitioning.
+    pub warm_plans: bool,
+    /// Warm-plan quality gate (ratio vs the last full run's cut).
+    pub warm_quality_ratio: f64,
 }
 
 impl TpccSetup {
@@ -57,6 +61,8 @@ impl TpccSetup {
             seed: 1,
             repartition_threshold: if mode == Mode::Dynastar { 3_000 } else { u64::MAX },
             batch: BatchConfig::UNBATCHED,
+            warm_plans: true,
+            warm_quality_ratio: 1.1,
         }
     }
 }
@@ -74,6 +80,8 @@ pub fn tpcc_cluster(setup: &TpccSetup) -> Cluster<Tpcc> {
         compute_base: SimDuration::from_millis(100),
         service_time: SimDuration::from_micros(150),
         batch: setup.batch,
+        warm_plans: setup.warm_plans,
+        warm_quality_ratio: setup.warm_quality_ratio,
         ..ClusterConfig::default()
     };
     let keys = tpcc::keys(&setup.scale);
@@ -123,6 +131,10 @@ pub struct ChirperSetup {
     pub repartition_threshold: u64,
     /// Leader-side batching / pipelining knobs for every consensus group.
     pub batch: BatchConfig,
+    /// Oracle warm-start (incremental) repartitioning.
+    pub warm_plans: bool,
+    /// Warm-plan quality gate (ratio vs the last full run's cut).
+    pub warm_quality_ratio: f64,
 }
 
 impl ChirperSetup {
@@ -143,6 +155,8 @@ impl ChirperSetup {
             seed: 1,
             repartition_threshold: if mode == Mode::Dynastar { 4_000 } else { u64::MAX },
             batch: BatchConfig::UNBATCHED,
+            warm_plans: true,
+            warm_quality_ratio: 1.1,
         }
     }
 }
@@ -164,6 +178,8 @@ pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<Soc
         compute_base: SimDuration::from_millis(100),
         service_time: SimDuration::from_micros(150),
         batch: setup.batch,
+        warm_plans: setup.warm_plans,
+        warm_quality_ratio: setup.warm_quality_ratio,
         ..ClusterConfig::default()
     };
     let keys = (0..graph.users() as u64).map(Chirper::key);

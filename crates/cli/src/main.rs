@@ -35,6 +35,11 @@ common flags:
   --batch-delay <ms>             max wait to fill a batch     [0]
   --window <n>                   in-flight consensus instances per
                                  leader (0 = unbounded)       [0]
+  --warm-plans <on|off>          oracle warm-start (incremental)
+                                 repartitioning               [on]
+  --warm-ratio <f>               warm-plan quality gate: accept while the
+                                 warm cut stays within f x the last full
+                                 multilevel cut               [1.1]
 
 chirper flags:
   --users <n>                    social graph size         [2000]
@@ -58,6 +63,20 @@ fn parse_batch(a: &Args) -> Result<BatchConfig, String> {
     })
 }
 
+/// Parses the shared oracle warm-start flags into `(warm_plans, ratio)`.
+fn parse_warm(a: &Args) -> Result<(bool, f64), String> {
+    let warm = match a.str_or("warm-plans", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--warm-plans {other:?}: expected on|off")),
+    };
+    let ratio: f64 = a.num_or("warm-ratio", 1.1)?;
+    if ratio < 1.0 {
+        return Err("--warm-ratio must be >= 1.0".into());
+    }
+    Ok((warm, ratio))
+}
+
 fn parse_mode(s: &str) -> Result<Mode, String> {
     match s {
         "dynastar" => Ok(Mode::Dynastar),
@@ -79,7 +98,11 @@ fn print_summary(metrics: &Metrics, secs: u64) {
     println!("objects exchanged  : {}", metrics.counter(mn::OBJECTS_EXCHANGED));
     println!("client retries     : {}", metrics.counter(mn::CMD_RETRY));
     println!("oracle queries     : {}", metrics.counter(mn::ORACLE_QUERIES));
-    println!("repartitionings    : {}", metrics.counter(mn::PLANS_PUBLISHED));
+    let plans = metrics.counter(mn::PLANS_PUBLISHED);
+    println!("repartitionings    : {plans}");
+    if plans > 0 {
+        println!("  warm-start plans : {}", metrics.counter(mn::PLANS_WARM));
+    }
     let batches = metrics.counter(mn::BATCH_FLUSH_FULL) + metrics.counter(mn::BATCH_FLUSH_DELAY);
     if batches > 0 {
         println!(
@@ -114,6 +137,7 @@ fn run_chirper(a: &Args) -> Result<(), String> {
     setup.users = users;
     setup.seed = seed;
     setup.batch = parse_batch(a)?;
+    (setup.warm_plans, setup.warm_quality_ratio) = parse_warm(a)?;
     let (mut cluster, graph) = chirper_cluster(&setup);
     let mix = ChirperMix { timeline: 100 - posts, post: posts, follow: 0, unfollow: 0 };
     for _ in 0..clients {
@@ -138,6 +162,7 @@ fn run_tpcc(a: &Args) -> Result<(), String> {
     setup.scale.warehouses = a.num_or("warehouses", partitions)?;
     setup.seed = seed;
     setup.batch = parse_batch(a)?;
+    (setup.warm_plans, setup.warm_quality_ratio) = parse_warm(a)?;
     if mode == Mode::Dynastar && a.has("warehouses") {
         setup.placement = Placement::Random; // interesting starting point
     }

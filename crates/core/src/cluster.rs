@@ -1361,6 +1361,15 @@ pub struct ClusterConfig {
     pub max_graph_vertices: usize,
     /// Oracle workload-graph edge cap.
     pub max_graph_edges: usize,
+    /// Oracle warm-start repartitioning (incremental `partition_from`
+    /// seeded from the current plan; see `OracleConfig::warm_start`).
+    pub warm_plans: bool,
+    /// Warm-plan quality gate: accepted while the warm cut stays within
+    /// this ratio of the last full multilevel run's.
+    pub warm_quality_ratio: f64,
+    /// Warm-plan churn gate: full recompute when keys created + deleted
+    /// since the last plan exceed this fraction of the keyspace.
+    pub warm_churn_limit: f64,
 }
 
 impl Default for ClusterConfig {
@@ -1385,6 +1394,9 @@ impl Default for ClusterConfig {
             fifo_buffer_cap: 4_096,
             max_graph_vertices: 1 << 18,
             max_graph_edges: 1 << 20,
+            warm_plans: true,
+            warm_quality_ratio: 1.1,
+            warm_churn_limit: 0.25,
         }
     }
 }
@@ -1524,6 +1536,9 @@ impl<A: Application> ClusterBuilder<A> {
                 record_metrics: r == 0,
                 max_graph_vertices: cfg.max_graph_vertices,
                 max_graph_edges: cfg.max_graph_edges,
+                warm_start: cfg.warm_plans,
+                warm_quality_ratio: cfg.warm_quality_ratio,
+                warm_churn_limit: cfg.warm_churn_limit,
             });
             core.preload_map(self.placement.iter().map(|(&kk, &p)| (kk, p)));
             let me = MemberId::new(oracle_group, r);

@@ -28,6 +28,9 @@ pub const PLAN_MOVES: &str = "oracle.plan_moves";
 /// Counter: workload-graph entries (vertices + edges) evicted to honour
 /// the oracle's graph caps.
 pub const ORACLE_GRAPH_EVICTIONS: &str = "oracle.graph_evictions";
+/// Counter: plans computed via the warm-start incremental partitioner
+/// path (`partition_from`) instead of a full multilevel run.
+pub const PLANS_WARM: &str = "oracle.plans_warm";
 
 /// Histogram: commands per flushed ordering batch (leader side). Counts
 /// are encoded in µs units (the histogram type stores durations).

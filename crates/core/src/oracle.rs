@@ -22,7 +22,8 @@ use std::collections::BTreeMap;
 
 use dynastar_amcast::MsgId;
 use dynastar_partitioner::{
-    align_labels, partition as ml_partition, GraphBuilder, PartitionConfig, Partitioning,
+    align_labels, partition as ml_partition, partition_from, GraphBuilder, PartitionConfig,
+    Partitioning,
 };
 use dynastar_runtime::hash::FastHashMap;
 use dynastar_runtime::{Metrics, SimDuration, SimTime};
@@ -82,6 +83,23 @@ pub struct OracleConfig {
     /// per oracle group should, or counters multiply by the replication
     /// factor).
     pub record_metrics: bool,
+    /// Warm-start repartitioning: seed the partitioner's boundary
+    /// refinement from the current location map (the surviving keys of
+    /// the last published plan) instead of re-running the full multilevel
+    /// pipeline. Falls back to a full run when the warm cut or keyspace
+    /// churn disqualify it — see [`OracleConfig::warm_quality_ratio`] and
+    /// [`OracleConfig::warm_churn_limit`].
+    pub warm_start: bool,
+    /// Accept a warm-started plan only while its normalized edge cut
+    /// (cut / total edge weight) stays within this ratio of the last
+    /// *full* multilevel run's. Past it, the incremental path has drifted
+    /// too far from optimal and a full run recalibrates.
+    pub warm_quality_ratio: f64,
+    /// Fall back to a full run when keys created + deleted since the last
+    /// plan compute exceed this fraction of the tracked keyspace — a
+    /// churned keyspace leaves too little of the previous assignment to
+    /// warm-start from.
+    pub warm_churn_limit: f64,
 }
 
 impl Default for OracleConfig {
@@ -98,6 +116,9 @@ impl Default for OracleConfig {
             max_graph_edges: 1 << 20,
             min_plan_interval: SimDuration::from_secs(30),
             record_metrics: true,
+            warm_start: true,
+            warm_quality_ratio: 1.1,
+            warm_churn_limit: 0.25,
         }
     }
 }
@@ -150,6 +171,12 @@ pub struct OracleCore<A: Application> {
     plan_version: u64,
     /// When the last plan was applied (gates the next recompute).
     last_plan_at: SimTime,
+    /// Normalized edge cut (cut / total edge weight) of the last *full*
+    /// multilevel run — the warm-start quality reference.
+    last_full_cut_frac: Option<f64>,
+    /// Keys created or deleted since the last plan compute (warm-start
+    /// churn gate).
+    churn_since_plan: u64,
     /// Interned (counter, series) ids for [`mn::ORACLE_QUERIES`] — the
     /// oracle's per-delivery hot path — resolved lazily.
     query_ids: Option<(u64, dynastar_runtime::CounterId, dynastar_runtime::SeriesId)>,
@@ -171,6 +198,8 @@ impl<A: Application> Clone for OracleCore<A> {
             pending_plan: self.pending_plan.clone(),
             plan_version: self.plan_version,
             last_plan_at: self.last_plan_at,
+            last_full_cut_frac: self.last_full_cut_frac,
+            churn_since_plan: self.churn_since_plan,
             query_ids: self.query_ids,
             _marker: std::marker::PhantomData,
         }
@@ -195,6 +224,8 @@ impl<A: Application> OracleCore<A> {
             pending_plan: None,
             plan_version: 0,
             last_plan_at: SimTime::ZERO,
+            last_full_cut_frac: None,
+            churn_since_plan: 0,
             query_ids: None,
             _marker: std::marker::PhantomData,
         }
@@ -270,6 +301,7 @@ impl<A: Application> OracleCore<A> {
                 let ok = !self.map.contains_key(&key);
                 if ok {
                     self.map.insert(key, dest);
+                    self.churn_since_plan += 1;
                 }
                 // Rendezvous signal towards the partition (Task 2); `ok`
                 // is encoded in `from_partition: None` + the separate nok
@@ -296,6 +328,7 @@ impl<A: Application> OracleCore<A> {
                 if self.map.get(&key) == Some(&dest) {
                     self.map.remove(&key);
                     self.vertices.remove(&key);
+                    self.churn_since_plan += 1;
                 }
                 eff.push(Effect::Send {
                     to: Destination::Partition(dest),
@@ -317,7 +350,7 @@ impl<A: Application> OracleCore<A> {
                     metrics.incr_counter(mn::ORACLE_GRAPH_EVICTIONS, evicted);
                 }
                 if self.should_recompute(now) {
-                    self.start_recompute(&mut eff);
+                    self.start_recompute(&mut eff, metrics);
                 }
             }
             Payload::Plan { version, moves } => {
@@ -370,10 +403,10 @@ impl<A: Application> OracleCore<A> {
     /// Periodic check (driven by the hosting actor's tick): starts a
     /// recompute if the change threshold was crossed while the
     /// minimum-interval gate was still closed.
-    pub fn on_tick(&mut self, now: SimTime, _metrics: &mut Metrics) -> Vec<Effect<A>> {
+    pub fn on_tick(&mut self, now: SimTime, metrics: &mut Metrics) -> Vec<Effect<A>> {
         let mut eff = Vec::new();
         if self.should_recompute(now) {
-            self.start_recompute(&mut eff);
+            self.start_recompute(&mut eff, metrics);
         }
         eff
     }
@@ -511,9 +544,12 @@ impl<A: Application> OracleCore<A> {
     /// Computes a plan from the current graph snapshot and schedules its
     /// publication after the modelled compute time (§5.2's concurrent
     /// repartitioning).
-    fn start_recompute(&mut self, eff: &mut Vec<Effect<A>>) {
+    fn start_recompute(&mut self, eff: &mut Vec<Effect<A>>, metrics: &mut Metrics) {
         self.computing = true;
-        let (plan_mid, payload, elements) = self.compute_plan();
+        let (plan_mid, payload, elements, warm) = self.compute_plan();
+        if warm && self.config.record_metrics {
+            metrics.incr_counter(mn::PLANS_WARM, 1);
+        }
         let after = self.config.compute_base
             + self.config.compute_per_element.saturating_mul(elements as u64);
         self.pending_plan = Some((plan_mid, payload));
@@ -533,9 +569,21 @@ impl<A: Application> OracleCore<A> {
         }
     }
 
-    /// Builds the dense graph, runs the multilevel partitioner, aligns
-    /// labels with the current map and produces the Plan payload.
-    fn compute_plan(&self) -> (MsgId, Payload<A>, usize) {
+    /// Builds the dense graph, runs the partitioner — the incremental
+    /// warm-start path when eligible, the full multilevel pipeline
+    /// otherwise — aligns labels with the current map and produces the
+    /// Plan payload. Returns `(plan id, payload, modelled elements,
+    /// warm-start used)`.
+    ///
+    /// Warm start seeds `partition_from`'s boundary refinement with the
+    /// current location map (the surviving keys of the last published
+    /// plan, mapped through the key index). It is taken only when (a) at
+    /// least one full run has recorded a reference cut, (b) keyspace
+    /// churn since the last plan stays under
+    /// [`OracleConfig::warm_churn_limit`], and (c) the warm cut lands
+    /// within [`OracleConfig::warm_quality_ratio`] of the reference;
+    /// otherwise the full pipeline runs and re-records the reference.
+    fn compute_plan(&mut self) -> (MsgId, Payload<A>, usize, bool) {
         let keys: Vec<LocKey> = {
             let mut ks: Vec<LocKey> = self.map.keys().copied().collect();
             ks.sort_unstable();
@@ -563,9 +611,35 @@ impl<A: Application> OracleCore<A> {
         let cfg = PartitionConfig::default()
             .seed(self.plan_version + 1)
             .balance_factor(self.config.balance_factor);
-        let fresh = ml_partition(&g, k, &cfg);
         let prev = Partitioning::new(k, keys.iter().map(|kk| self.map[kk].0).collect());
-        let aligned = align_labels(&prev, &fresh);
+        let total_ew = g.total_edge_weight();
+        let cut_frac = |cut: u64| if total_ew == 0 { 0.0 } else { cut as f64 / total_ew as f64 };
+        let churn_ok = (self.churn_since_plan as f64)
+            <= self.config.warm_churn_limit * self.map.len().max(1) as f64;
+        let mut warm_used = false;
+        let mut plan: Option<Partitioning> = None;
+        if self.config.warm_start && self.plan_version > 0 && churn_ok {
+            if let Some(full_frac) = self.last_full_cut_frac {
+                let warm = partition_from(&g, k, prev.assignment(), &cfg);
+                let ok_cut = cut_frac(warm.edge_cut(&g))
+                    <= self.config.warm_quality_ratio * full_frac + 1e-12;
+                if ok_cut {
+                    // `partition_from` refines in place under prev's
+                    // labels, so the result needs no re-alignment.
+                    warm_used = true;
+                    plan = Some(warm);
+                }
+            }
+        }
+        let aligned = match plan {
+            Some(warm) => warm,
+            None => {
+                let fresh = ml_partition(&g, k, &cfg);
+                self.last_full_cut_frac = Some(cut_frac(fresh.edge_cut(&g)));
+                align_labels(&prev, &fresh)
+            }
+        };
+        self.churn_since_plan = 0;
         let moves: Vec<(LocKey, PartitionId, PartitionId)> = keys
             .iter()
             .enumerate()
@@ -578,8 +652,19 @@ impl<A: Application> OracleCore<A> {
         let version = self.plan_version + 1;
         // Deterministic plan id: every oracle replica derives the same.
         let mid = MsgId { origin: u64::MAX - 1, seq: version as u32, tag: tag::PLAN };
-        let elements = g.vertex_count() + g.edge_count();
-        (mid, Payload::Plan { version, moves }, elements)
+        // Modelled compute cost: the warm path's measured wall-clock runs
+        // an order of magnitude below the full pipeline's on the same
+        // graph (results/BENCH_partitioner.json), so its modelled element
+        // count scales down the same way.
+        let elements = {
+            let full = g.vertex_count() + g.edge_count();
+            if warm_used {
+                full / 10
+            } else {
+                full
+            }
+        };
+        (mid, Payload::Plan { version, moves }, elements, warm_used)
     }
 
     /// Fires when the modelled compute time elapses: publish the plan to
@@ -783,6 +868,76 @@ mod tests {
         let (nparts, version) = plan.expect("plan published");
         assert_eq!(nparts, 2);
         assert_eq!(version, 1);
+    }
+
+    #[test]
+    fn second_recompute_takes_the_warm_start_path() {
+        let mut o = oracle(2);
+        let mut m = Metrics::new();
+        let hint = || Payload::Hint {
+            vertices: (0..4).map(|k| (LocKey(k), 50)).collect(),
+            edges: vec![(LocKey(0), LocKey(1), 100), (LocKey(2), LocKey(3), 100)],
+        };
+        // First recompute: no reference cut yet -> full multilevel.
+        let eff = o.on_deliver(hint(), SimTime::from_millis(2), &mut m);
+        assert!(eff.iter().any(|e| matches!(e, Effect::SchedulePlan { .. })));
+        assert_eq!(m.counter(crate::metric_names::PLANS_WARM), 0, "first plan must run full");
+        let eff = o.on_plan_timer(SimTime::from_millis(100), &mut m);
+        let plan = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::Multicast { payload: p @ Payload::Plan { .. }, .. } => Some(p.clone()),
+                _ => None,
+            })
+            .expect("first plan published");
+        let _ = o.on_deliver(plan, SimTime::from_millis(100), &mut m);
+        assert_eq!(o.plan_version(), 1);
+        // Second recompute over a stable keyspace: warm start.
+        let eff = o.on_deliver(hint(), SimTime::from_millis(200), &mut m);
+        assert!(eff.iter().any(|e| matches!(e, Effect::SchedulePlan { .. })));
+        assert_eq!(m.counter(crate::metric_names::PLANS_WARM), 1, "second plan should warm-start");
+    }
+
+    #[test]
+    fn churned_keyspace_disables_warm_start() {
+        let mut o = OracleCore::<App>::new(OracleConfig {
+            partitions: 2,
+            repartition_threshold: 5,
+            min_plan_interval: SimDuration::from_millis(1),
+            warm_churn_limit: 0.25,
+            ..OracleConfig::default()
+        });
+        o.preload_map((0..4).map(|k| (LocKey(k), PartitionId((k % 2) as u32))));
+        let mut m = Metrics::new();
+        let hint = || Payload::Hint {
+            vertices: (0..4).map(|k| (LocKey(k), 50)).collect(),
+            edges: vec![(LocKey(0), LocKey(1), 100), (LocKey(2), LocKey(3), 100)],
+        };
+        let _ = o.on_deliver(hint(), SimTime::from_millis(2), &mut m);
+        let eff = o.on_plan_timer(SimTime::from_millis(100), &mut m);
+        let plan = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::Multicast { payload: p @ Payload::Plan { .. }, .. } => Some(p.clone()),
+                _ => None,
+            })
+            .expect("first plan published");
+        let _ = o.on_deliver(plan, SimTime::from_millis(100), &mut m);
+        // Churn past the 25% limit: create 3 fresh keys (3/7 > 0.25).
+        for k in 10..13u64 {
+            let c = cmd(CommandKind::CreateKey { key: LocKey(k), vars: vec![] });
+            let _ = o.on_deliver(
+                Payload::CreateKey { cmd: c, dest: PartitionId(0) },
+                SimTime::from_millis(150),
+                &mut m,
+            );
+        }
+        let _ = o.on_deliver(hint(), SimTime::from_millis(200), &mut m);
+        assert_eq!(
+            m.counter(crate::metric_names::PLANS_WARM),
+            0,
+            "churned keyspace must fall back to the full pipeline"
+        );
     }
 
     #[test]

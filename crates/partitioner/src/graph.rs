@@ -68,6 +68,24 @@ impl Graph {
     pub fn vertices(&self) -> impl Iterator<Item = u32> {
         0..self.vertex_count() as u32
     }
+
+    /// Assembles a graph directly from pre-built CSR arrays, bypassing
+    /// [`GraphBuilder`]'s edge accumulator. The coarsening hot loop uses
+    /// this: it merges parallel edges itself with a dense scratch map, so
+    /// routing every coarse edge through a `BTreeMap` again would only
+    /// re-do (and slow down) work already done.
+    ///
+    /// Invariants the caller must uphold (checked in debug builds): every
+    /// undirected edge appears exactly twice (once per endpoint row), rows
+    /// contain no self-loops and no duplicate neighbours, and
+    /// `xadj.len() == vwgt.len() + 1` with `xadj[n] == adj.len()`.
+    pub(crate) fn from_csr(xadj: Vec<usize>, adj: Vec<(u32, u64)>, vwgt: Vec<u64>) -> Graph {
+        debug_assert_eq!(xadj.len(), vwgt.len() + 1);
+        debug_assert_eq!(*xadj.last().unwrap_or(&0), adj.len());
+        debug_assert!(adj.len().is_multiple_of(2), "every undirected edge must appear twice");
+        let total_ewgt = adj.iter().map(|&(_, w)| w).sum::<u64>() / 2;
+        Graph { xadj, total_vwgt: vwgt.iter().sum(), vwgt, adj, total_ewgt }
+    }
 }
 
 /// Incremental builder for [`Graph`].

@@ -42,5 +42,5 @@ mod partitioning;
 
 pub use baseline::{hash_partition, random_partition};
 pub use graph::{Graph, GraphBuilder};
-pub use multilevel::{partition, PartitionConfig};
+pub use multilevel::{partition, partition_from, PartitionConfig};
 pub use partitioning::{align_labels, Partitioning};

@@ -206,9 +206,15 @@ fn run_golden(seed: u64) -> (u64, u64) {
 /// hot-path rewrites changed wall-clock, not one delivered command.
 /// A legitimate protocol change that reorders deliveries should update
 /// this constant in the same commit, with the reason in the message.
+///
+/// Re-pinned for the partitioner overhaul: `refine` now implements the
+/// documented lighter-part tiebreak and processes boundary worklists
+/// instead of full sweeps, so plans place some keys differently (same
+/// quality bounds) and the delivered sequence shifts. Verified identical
+/// across two debug runs and a release run of this revision.
 const GOLDEN_SEED: u64 = 42;
-const GOLDEN_HASH: u64 = 0x09dc_963e_ce3f_9514;
-const GOLDEN_COUNT: u64 = 22542;
+const GOLDEN_HASH: u64 = 0x5a62_04f2_220e_2e94;
+const GOLDEN_COUNT: u64 = 22431;
 
 #[test]
 fn delivered_sequence_matches_golden_hash() {
