@@ -1,0 +1,460 @@
+//! Figure 9 (robustness suite): migration interference under adversarial
+//! workloads.
+//!
+//! Every scenario runs twice in the same process with identical seeds:
+//!
+//! * **staged** — chunked, rate-limited migration with per-chunk ack
+//!   timeouts and exponential backoff, plus client retry backpressure;
+//! * **stall** — the classic single-shipment path under the *same*
+//!   bandwidth model, so a plan's whole transfer charges the source
+//!   replica's CPU/NIC at once (the unthrottled baseline).
+//!
+//! The interesting number is the foreground-throughput **dip**: how far the
+//! worst post-warmup second falls below the run's median. Staged migration
+//! should bound the dip; the stall baseline pays it all at once. Scenarios:
+//!
+//! * `flash_crowd` — a celebrity post yanks the hot spot onto one user;
+//! * `diurnal`    — the hot quarter of the keyspace rotates on a period;
+//! * `zipf_ramp`  — the skew parameter sharpens mid-run (0.2 → 0.95);
+//! * `churn`      — flash crowd plus crash-restart waves and degraded
+//!   links timed to overlap the migrations they trigger.
+//!
+//! Flags, following `fig7_partitioner_scaling`:
+//!
+//! * `--smoke`          small sizes / short runs (CI workload);
+//! * `--scenario NAME`  run one scenario instead of all four;
+//! * `--out FILE`       write machine-readable `BENCH_migration.json`;
+//! * `--gate-errors`    exit 1 if any run saw a client-visible command
+//!   error (`cmd.failed` — stale routing must retry, never surface).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dynastar_bench::report::print_table;
+use dynastar_bench::setup::{chirper_cluster, run_parallel, ChirperSetup};
+use dynastar_core::metric_names as mn;
+use dynastar_core::server::ServerConfig;
+use dynastar_core::{
+    Application, ClusterBuilder, ClusterConfig, CommandKind, LocKey, Mode, PartitionId, VarId,
+};
+use dynastar_runtime::nemesis::NemesisPlan;
+use dynastar_runtime::{Metrics, SimDuration, SimTime};
+use dynastar_workloads::chirper::ChirperMix;
+use dynastar_workloads::scenarios::{
+    churn_nemesis, flash_crowd, DiurnalRotation, ScenarioWorkload, ZipfRamp,
+};
+use rand::rngs::StdRng;
+
+const SEED: u64 = 9;
+
+/// How a run pays for plan-triggered state migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    /// Chunked + rate-limited + acked, with client retry backpressure.
+    Staged,
+    /// Single shipment under the same bandwidth model: the whole transfer
+    /// charges the source replica at once.
+    Stall,
+}
+
+impl Policy {
+    fn name(self) -> &'static str {
+        match self {
+            Policy::Staged => "staged",
+            Policy::Stall => "stall",
+        }
+    }
+
+    /// Both policies share the bandwidth model (8 KiB/var over a 1 MiB/s
+    /// migration link — 8 ms per variable), so the comparison isolates
+    /// *how* the transfer cost is paid, not how large it is: a plan moving
+    /// a few hundred keys costs the stall baseline a multi-second outage
+    /// paid upfront, while staged migration paces the same bytes.
+    fn server(self) -> ServerConfig {
+        ServerConfig {
+            staged_migration: self == Policy::Staged,
+            migration_chunk_vars: 4,
+            migration_var_bytes: 8 * 1024,
+            migration_link_bytes_per_sec: 1024 * 1024,
+            migration_chunk_timeout: SimDuration::from_millis(100),
+            migration_max_retries: 6,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn client_backoff(self) -> SimDuration {
+        match self {
+            Policy::Staged => SimDuration::from_millis(2),
+            Policy::Stall => SimDuration::ZERO,
+        }
+    }
+}
+
+const SCENARIOS: &[&str] = &["flash_crowd", "diurnal", "zipf_ramp", "churn"];
+
+/// Scenario dimensions (full vs `--smoke`).
+#[derive(Debug, Clone, Copy)]
+struct Params {
+    partitions: u32,
+    users: usize,
+    domain: u64,
+    clients: usize,
+    secs: u64,
+    /// Seconds excluded from the dip window at the start of each run
+    /// (random initial placement; the first repartition is startup, not
+    /// interference).
+    warmup: usize,
+    chirper_threshold: u64,
+    counters_threshold: u64,
+    plan_interval: SimDuration,
+    waves: u32,
+}
+
+impl Params {
+    fn new(smoke: bool) -> Self {
+        if smoke {
+            Params {
+                partitions: 2,
+                users: 400,
+                domain: 200,
+                clients: 3,
+                secs: 24,
+                warmup: 6,
+                chirper_threshold: 1_500,
+                counters_threshold: 800,
+                plan_interval: SimDuration::from_secs(5),
+                waves: 2,
+            }
+        } else {
+            Params {
+                partitions: 4,
+                users: 2_000,
+                domain: 800,
+                clients: 6,
+                secs: 120,
+                warmup: 15,
+                chirper_threshold: 6_000,
+                counters_threshold: 3_000,
+                plan_interval: SimDuration::from_secs(20),
+                waves: 3,
+            }
+        }
+    }
+}
+
+/// The counters application the keyspace scenarios drive: one variable per
+/// locality key, commands add to every named variable.
+struct Counters;
+impl Application for Counters {
+    type Op = i64;
+    type Value = i64;
+    type Reply = i64;
+    fn locality(var: VarId) -> LocKey {
+        LocKey(var.0)
+    }
+    fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> i64 {
+        let mut last = 0;
+        for v in vars.values_mut() {
+            last = v.unwrap_or(0) + op;
+            *v = Some(last);
+        }
+        last
+    }
+}
+
+/// One (scenario, policy) run's measurements.
+struct RunResult {
+    scenario: &'static str,
+    policy: &'static str,
+    completed: u64,
+    errors: u64,
+    retries: u64,
+    backoffs: u64,
+    plans: u64,
+    keys_staged: u64,
+    chunks_sent: u64,
+    chunk_retries: u64,
+    reverts: u64,
+    median_tput: f64,
+    worst_tput: f64,
+    dip_pct: f64,
+}
+
+/// Summarizes a finished cluster's metrics: the per-second completed
+/// series gives the dip (worst post-warmup second vs the median), and the
+/// counters tell the migration story.
+fn collect(scenario: &'static str, policy: Policy, m: &Metrics, p: &Params) -> RunResult {
+    let series = m.series(mn::CMD_COMPLETED).map(|s| s.rates_per_sec()).unwrap_or_default();
+    // Drop the trailing (possibly partial) second and the warmup.
+    let end = series.len().saturating_sub(1);
+    let window: &[f64] = if end > p.warmup { &series[p.warmup..end] } else { &series[..end] };
+    let mut sorted = window.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let median = sorted.get(sorted.len() / 2).copied().unwrap_or(0.0);
+    let worst = sorted.first().copied().unwrap_or(0.0);
+    let dip_pct = if median > 0.0 { (100.0 * (1.0 - worst / median)).max(0.0) } else { 0.0 };
+    RunResult {
+        scenario,
+        policy: policy.name(),
+        completed: m.counter(mn::CMD_COMPLETED),
+        errors: m.counter(mn::CMD_FAILED),
+        retries: m.counter(mn::CMD_RETRY),
+        backoffs: m.counter(mn::CMD_RETRY_BACKOFF),
+        plans: m.counter(mn::PLANS_PUBLISHED),
+        keys_staged: m.counter(mn::MIGRATION_KEYS_STAGED),
+        chunks_sent: m.counter(mn::MIGRATION_CHUNKS_SENT),
+        chunk_retries: m.counter(mn::MIGRATION_CHUNK_RETRIES),
+        reverts: m.counter(mn::MIGRATION_REVERTS),
+        median_tput: median,
+        worst_tput: worst,
+        dip_pct,
+    }
+}
+
+/// Flash-crowd and churn scenarios: the social network under a celebrity
+/// post, optionally with crash waves + degraded links overlapping the
+/// migrations the crowd triggers.
+fn run_chirper(scenario: &'static str, churn: bool, policy: Policy, p: &Params) -> RunResult {
+    let mut setup = ChirperSetup::new(p.partitions, Mode::Dynastar);
+    setup.users = p.users;
+    setup.seed = SEED;
+    setup.min_plan_interval = p.plan_interval;
+    setup.repartition_threshold = p.chirper_threshold;
+    setup.server = policy.server();
+    setup.client_retry_backoff = policy.client_backoff();
+    let (mut cluster, graph) = chirper_cluster(&setup);
+    // The celebrity is an existing unremarkable user (fewest followers at
+    // t=0), as in fig6.
+    let celebrity = {
+        let g = graph.lock().unwrap();
+        (0..g.users() as u64).min_by_key(|&u| g.followers_of(u).len()).unwrap_or(0)
+    };
+    let at = SimTime::from_secs(p.secs / 3);
+    for _ in 0..p.clients {
+        cluster.add_client(flash_crowd(
+            Arc::clone(&graph),
+            0.95,
+            ChirperMix::MIX,
+            celebrity,
+            40,
+            at,
+        ));
+    }
+    if churn {
+        let cfg = churn_nemesis(
+            SEED ^ 0xC0FFEE,
+            SimTime::from_secs(p.secs / 4),
+            SimTime::from_secs(p.secs * 3 / 4),
+            p.waves,
+        );
+        let plan = NemesisPlan::generate(&cfg, cluster.groups());
+        plan.apply(&mut cluster.sim);
+    }
+    cluster.run_for(SimDuration::from_secs(p.secs));
+    collect(scenario, policy, cluster.metrics(), p)
+}
+
+/// Diurnal-rotation and Zipf-ramp scenarios: a counters keyspace whose
+/// access pattern drifts under the partitioner's feet. Commands pair each
+/// drawn rank with its successor so the co-access graph chases the drift.
+fn run_counters(scenario: &'static str, ramp: bool, policy: Policy, p: &Params) -> RunResult {
+    let config = ClusterConfig {
+        partitions: p.partitions,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed: SEED,
+        repartition_threshold: p.counters_threshold,
+        min_plan_interval: p.plan_interval,
+        warm_client_caches: true,
+        compute_base: SimDuration::from_millis(50),
+        service_time: SimDuration::from_micros(150),
+        server: policy.server(),
+        client_retry_backoff: policy.client_backoff(),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    for v in 0..p.domain {
+        b.place(LocKey(v), PartitionId((v % p.partitions as u64) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    let domain = p.domain;
+    let make = move |rank: u64, _rng: &mut StdRng| CommandKind::<Counters>::Access {
+        op: 1,
+        vars: vec![VarId(rank), VarId((rank + 1) % domain)],
+    };
+    for _ in 0..p.clients {
+        if ramp {
+            let pattern = ZipfRamp::new(
+                domain,
+                0.2,
+                0.95,
+                SimTime::from_secs(p.secs / 6),
+                SimTime::from_secs(p.secs * 2 / 3),
+            );
+            cluster.add_client(ScenarioWorkload::new(pattern, make));
+        } else {
+            let pattern = DiurnalRotation::new(
+                domain,
+                0.95,
+                SimDuration::from_secs((p.secs / 6).max(1)),
+                domain / 4,
+            );
+            cluster.add_client(ScenarioWorkload::new(pattern, make));
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(p.secs));
+    collect(scenario, policy, cluster.metrics(), p)
+}
+
+fn run_one(scenario: &'static str, policy: Policy, p: &Params) -> RunResult {
+    match scenario {
+        "flash_crowd" => run_chirper(scenario, false, policy, p),
+        "diurnal" => run_counters(scenario, false, policy, p),
+        "zipf_ramp" => run_counters(scenario, true, policy, p),
+        "churn" => run_chirper(scenario, true, policy, p),
+        other => unreachable!("unknown scenario {other}"),
+    }
+}
+
+/// Hand-rolled flat JSON (every value is a number or bare word, nothing to
+/// escape), one line per run like `fig7`'s `to_json`.
+fn to_json(results: &[RunResult]) -> String {
+    let mut out = String::from("{\n  \"runs\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"completed\": {}, \
+             \"errors\": {}, \"retries\": {}, \"backoffs\": {}, \"plans\": {}, \
+             \"keys_staged\": {}, \"chunks_sent\": {}, \"chunk_retries\": {}, \
+             \"reverts\": {}, \"median_tput\": {:.1}, \"worst_tput\": {:.1}, \
+             \"dip_pct\": {:.1}}}{}\n",
+            r.scenario,
+            r.policy,
+            r.completed,
+            r.errors,
+            r.retries,
+            r.backoffs,
+            r.plans,
+            r.keys_staged,
+            r.chunks_sent,
+            r.chunk_retries,
+            r.reverts,
+            r.median_tput,
+            r.worst_tput,
+            r.dip_pct,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let errors: u64 = results.iter().map(|r| r.errors).sum();
+    out.push_str(&format!("  \"total_errors\": {errors}\n}}\n"));
+    out
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fig9_migration_interference [--smoke] [--scenario NAME] [--out FILE] \
+         [--gate-errors]\n\
+         \n\
+         --smoke          small sizes / short runs (CI gate workload)\n\
+         --scenario NAME  one of flash_crowd|diurnal|zipf_ramp|churn (default: all)\n\
+         --out FILE       write machine-readable BENCH_migration.json\n\
+         --gate-errors    exit 1 if any run surfaced a client-visible command error"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut only: Option<String> = None;
+    let mut gate_errors = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--scenario" => only = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--gate-errors" => gate_errors = true,
+            _ => usage(),
+        }
+    }
+    let scenarios: Vec<&'static str> = match only.as_deref() {
+        None => SCENARIOS.to_vec(),
+        Some(name) => match SCENARIOS.iter().find(|s| **s == name) {
+            Some(s) => vec![*s],
+            None => usage(),
+        },
+    };
+
+    let p = Params::new(smoke);
+    eprintln!(
+        "fig9: {} scenario(s) x {{staged, stall}}, {}s each{}...",
+        scenarios.len(),
+        p.secs,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let jobs: Vec<(&'static str, Policy)> =
+        scenarios.iter().flat_map(|s| [(*s, Policy::Staged), (*s, Policy::Stall)]).collect();
+    let results = run_parallel(jobs, 0, |(s, pol)| run_one(s, pol, &p));
+
+    println!("\nFigure 9 — migration interference under adversarial scenarios");
+    println!("(dip = how far the worst post-warmup second falls below the median)\n");
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                r.policy.to_string(),
+                format!("{}", r.completed),
+                format!("{:.0}", r.median_tput),
+                format!("{:.0}", r.worst_tput),
+                format!("{:.1}", r.dip_pct),
+                format!("{}", r.errors),
+                format!("{}", r.retries),
+                format!("{}", r.keys_staged),
+                format!("{}", r.chunk_retries),
+                format!("{}", r.reverts),
+                format!("{}", r.plans),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "scenario",
+            "policy",
+            "done",
+            "med/s",
+            "worst/s",
+            "dip%",
+            "errors",
+            "retries",
+            "staged",
+            "chunk-rtx",
+            "reverts",
+            "plans",
+        ],
+        &rows,
+    );
+    for s in &scenarios {
+        let staged = results.iter().find(|r| r.scenario == *s && r.policy == "staged");
+        let stall = results.iter().find(|r| r.scenario == *s && r.policy == "stall");
+        if let (Some(a), Some(b)) = (staged, stall) {
+            println!("{:<12} staged dip {:>5.1}%  vs  stall dip {:>5.1}%", s, a.dip_pct, b.dip_pct);
+        }
+    }
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, to_json(&results)).expect("write BENCH_migration.json");
+        println!("wrote {path}");
+    }
+    if gate_errors {
+        let errors: u64 = results.iter().map(|r| r.errors).sum();
+        if errors > 0 {
+            eprintln!("migration gate FAILED: {errors} client-visible command error(s)");
+            std::process::exit(1);
+        }
+        println!("migration gate passed: zero client-visible errors");
+    }
+}

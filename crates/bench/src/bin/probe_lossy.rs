@@ -1,5 +1,10 @@
 //! Diagnostic probe for the lossy-network scenario (not a paper
 //! experiment): prints counters every 10 simulated seconds.
+//!
+//! `probe_lossy [--out FILE]` additionally writes the final counters —
+//! including the transport's `dropped_sends` and FIFO reorder-drop
+//! tallies — as flat JSON, so lossy-fabric runs are comparable across
+//! revisions.
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
@@ -59,7 +64,22 @@ impl Workload<Counters> for Load {
     }
 }
 
+fn usage() -> ! {
+    eprintln!("usage: probe_lossy [--out FILE]");
+    std::process::exit(2)
+}
+
 fn main() {
+    let mut out_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+
     let net = NetConfig::default()
         .latency(LatencyModel::Uniform {
             min: SimDuration::from_micros(200),
@@ -105,5 +125,32 @@ fn main() {
             m.counter(mn::CMD_SINGLE),
             m.counter(mn::CMD_MULTI),
         );
+    }
+
+    if let Some(path) = out_path {
+        // Hand-rolled flat JSON (every value is a number), like fig9's
+        // `to_json`: the transport counters make lossy-fabric runs
+        // comparable across revisions.
+        let m = cluster.metrics();
+        let fields: &[(&str, u64)] = &[
+            ("completed", u64::from(*completed.lock().unwrap())),
+            ("retries", m.counter(mn::CMD_RETRY)),
+            ("timeouts", m.counter(mn::CMD_TIMEOUT)),
+            ("oracle_queries", m.counter(mn::ORACLE_QUERIES)),
+            ("dropped_sends", m.counter(mn::NET_DROPPED_SENDS)),
+            ("fifo_drops", m.counter(mn::NET_FIFO_DROPS)),
+            ("retransmissions", m.counter(mn::NET_RETRANSMISSIONS)),
+            ("frames_abandoned", m.counter(mn::NET_FRAMES_ABANDONED)),
+        ];
+        let mut json = String::from("{\n");
+        for (i, (name, value)) in fields.iter().enumerate() {
+            json.push_str(&format!(
+                "  \"{name}\": {value}{}\n",
+                if i + 1 < fields.len() { "," } else { "" }
+            ));
+        }
+        json.push_str("}\n");
+        std::fs::write(&path, json).expect("write probe_lossy JSON");
+        println!("wrote {path}");
     }
 }

@@ -119,6 +119,7 @@ fn main() {
         max_downtime: SimDuration::from_secs(3),
         grace: SimDuration::from_secs(3),
         crash_pct: 50,
+        ..NemesisConfig::default()
     };
     let plan = NemesisPlan::generate(&cfg, cluster.groups());
     println!(

@@ -2,6 +2,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use dynastar_core::server::ServerConfig;
 use dynastar_core::{BatchConfig, Cluster, ClusterBuilder, ClusterConfig, Mode, PartitionId};
 use dynastar_runtime::SimDuration;
 use dynastar_workloads::chirper::{Chirper, ChirperUser};
@@ -135,6 +136,12 @@ pub struct ChirperSetup {
     pub warm_plans: bool,
     /// Warm-plan quality gate (ratio vs the last full run's cut).
     pub warm_quality_ratio: f64,
+    /// Partition-server tunables (staged migration, bandwidth model,
+    /// chunk timeouts). Defaults keep the classic immediate-move path.
+    pub server: ServerConfig,
+    /// Client retry backoff base under migration backpressure (zero =
+    /// retry immediately, the historical behaviour).
+    pub client_retry_backoff: SimDuration,
 }
 
 impl ChirperSetup {
@@ -157,6 +164,8 @@ impl ChirperSetup {
             batch: BatchConfig::UNBATCHED,
             warm_plans: true,
             warm_quality_ratio: 1.1,
+            server: ServerConfig::default(),
+            client_retry_backoff: SimDuration::ZERO,
         }
     }
 }
@@ -180,6 +189,8 @@ pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<Soc
         batch: setup.batch,
         warm_plans: setup.warm_plans,
         warm_quality_ratio: setup.warm_quality_ratio,
+        server: setup.server.clone(),
+        client_retry_backoff: setup.client_retry_backoff,
         ..ClusterConfig::default()
     };
     let keys = (0..graph.users() as u64).map(Chirper::key);

@@ -1,8 +1,9 @@
 //! `dynastar` — run DynaStar simulation scenarios from the command line.
 //!
 //! ```text
-//! dynastar chirper --partitions 4 --mode dynastar --users 2000 --clients 8 --secs 60
-//! dynastar tpcc    --partitions 4 --mode ssmr     --clients 8 --secs 60
+//! dynastar chirper  --partitions 4 --mode dynastar --users 2000 --clients 8 --secs 60
+//! dynastar tpcc     --partitions 4 --mode ssmr     --clients 8 --secs 60
+//! dynastar scenario --name flash_crowd --staged on --secs 30
 //! ```
 //!
 //! Modes: `dynastar` (default), `ssmr` (S-SMR\* with optimized static
@@ -12,18 +13,28 @@
 
 mod args;
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use args::Args;
 use dynastar_bench::setup::{chirper_cluster, tpcc_cluster, ChirperSetup, Placement, TpccSetup};
 use dynastar_core::metric_names as mn;
-use dynastar_core::{BatchConfig, Mode};
-use dynastar_runtime::{Metrics, SimDuration};
+use dynastar_core::server::ServerConfig;
+use dynastar_core::{
+    Application, BatchConfig, ClusterBuilder, ClusterConfig, CommandKind, LocKey, Mode,
+    PartitionId, VarId,
+};
+use dynastar_runtime::nemesis::NemesisPlan;
+use dynastar_runtime::{Metrics, SimDuration, SimTime};
 use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
+use dynastar_workloads::scenarios::{
+    churn_nemesis, flash_crowd, DiurnalRotation, ScenarioWorkload, ZipfRamp,
+};
 use dynastar_workloads::tpcc::{self, TpccWorkload};
+use rand::rngs::StdRng;
 
 const USAGE: &str = "\
-usage: dynastar <chirper|tpcc> [flags]
+usage: dynastar <chirper|tpcc|scenario> [flags]
 
 common flags:
   --mode <dynastar|ssmr|dssmr>   replication scheme        [dynastar]
@@ -47,6 +58,13 @@ chirper flags:
 
 tpcc flags:
   --warehouses <n>               warehouses (default = partitions)
+
+scenario flags (adversarial robustness suite; always mode dynastar):
+  --name <s>                     flash_crowd|diurnal|zipf_ramp|churn|all [all]
+  --staged <on|off>              chunked rate-limited state migration    [on]
+  --users <n>                    social graph size (flash_crowd/churn)   [400]
+  --domain <n>                   counters keyspace (diurnal/zipf_ramp)   [200]
+  --waves <n>                    churn crash-restart waves               [2]
 ";
 
 /// Parses the shared batching flags. The cluster tick is 1 ms, so
@@ -181,6 +199,218 @@ fn run_tpcc(a: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The counters application the keyspace scenarios drive (one variable
+/// per locality key; commands add to every named variable).
+struct Counters;
+impl Application for Counters {
+    type Op = i64;
+    type Value = i64;
+    type Reply = i64;
+    fn locality(var: VarId) -> LocKey {
+        LocKey(var.0)
+    }
+    fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> i64 {
+        let mut last = 0;
+        for v in vars.values_mut() {
+            last = v.unwrap_or(0) + op;
+            *v = Some(last);
+        }
+        last
+    }
+}
+
+/// Shared knobs for one adversarial-scenario run.
+struct ScenarioOpts {
+    partitions: u32,
+    clients: usize,
+    secs: u64,
+    seed: u64,
+    users: usize,
+    domain: u64,
+    waves: u32,
+    staged: bool,
+}
+
+impl ScenarioOpts {
+    /// The migration policy under test: both settings share the bandwidth
+    /// model (8 KiB/var over 1 MiB/s); `staged` only changes *how* the
+    /// transfer cost is paid.
+    fn server(&self) -> ServerConfig {
+        ServerConfig {
+            staged_migration: self.staged,
+            migration_chunk_vars: 4,
+            migration_var_bytes: 8 * 1024,
+            migration_link_bytes_per_sec: 1024 * 1024,
+            migration_chunk_timeout: SimDuration::from_millis(100),
+            migration_max_retries: 6,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn client_backoff(&self) -> SimDuration {
+        if self.staged {
+            SimDuration::from_millis(2)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+/// Flash-crowd / churn scenarios: the social network under a celebrity
+/// post, optionally with crash waves + degraded links.
+fn run_scenario_chirper(name: &str, churn: bool, o: &ScenarioOpts) {
+    let mut setup = ChirperSetup::new(o.partitions, Mode::Dynastar);
+    setup.users = o.users;
+    setup.seed = o.seed;
+    setup.min_plan_interval = SimDuration::from_secs((o.secs / 5).max(1));
+    setup.repartition_threshold = 1_500;
+    setup.server = o.server();
+    setup.client_retry_backoff = o.client_backoff();
+    let (mut cluster, graph) = chirper_cluster(&setup);
+    let celebrity = {
+        let g = graph.lock().unwrap();
+        (0..g.users() as u64).min_by_key(|&u| g.followers_of(u).len()).unwrap_or(0)
+    };
+    let at = SimTime::from_secs(o.secs / 3);
+    for _ in 0..o.clients {
+        cluster.add_client(flash_crowd(
+            Arc::clone(&graph),
+            0.95,
+            ChirperMix::MIX,
+            celebrity,
+            40,
+            at,
+        ));
+    }
+    if churn {
+        let cfg = churn_nemesis(
+            o.seed ^ 0xC0FFEE,
+            SimTime::from_secs(o.secs / 4),
+            SimTime::from_secs(o.secs * 3 / 4),
+            o.waves,
+        );
+        let plan = NemesisPlan::generate(&cfg, cluster.groups());
+        eprintln!(
+            "{name}: nemesis schedules {} crash(es), {} degraded link(s)",
+            plan.crash_count(),
+            plan.link_fault_count()
+        );
+        plan.apply(&mut cluster.sim);
+    }
+    cluster.run_for(SimDuration::from_secs(o.secs));
+    print_scenario_summary(name, cluster.metrics(), o);
+}
+
+/// Diurnal-rotation / Zipf-ramp scenarios: a counters keyspace whose
+/// access pattern drifts under the partitioner's feet.
+fn run_scenario_counters(name: &str, ramp: bool, o: &ScenarioOpts) {
+    let config = ClusterConfig {
+        partitions: o.partitions,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed: o.seed,
+        repartition_threshold: 800,
+        min_plan_interval: SimDuration::from_secs((o.secs / 5).max(1)),
+        warm_client_caches: true,
+        compute_base: SimDuration::from_millis(50),
+        service_time: SimDuration::from_micros(150),
+        server: o.server(),
+        client_retry_backoff: o.client_backoff(),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    for v in 0..o.domain {
+        b.place(LocKey(v), PartitionId((v % o.partitions as u64) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    let domain = o.domain;
+    let make = move |rank: u64, _rng: &mut StdRng| CommandKind::<Counters>::Access {
+        op: 1,
+        vars: vec![VarId(rank), VarId((rank + 1) % domain)],
+    };
+    for _ in 0..o.clients {
+        if ramp {
+            let pattern = ZipfRamp::new(
+                domain,
+                0.2,
+                0.95,
+                SimTime::from_secs(o.secs / 6),
+                SimTime::from_secs(o.secs * 2 / 3),
+            );
+            cluster.add_client(ScenarioWorkload::new(pattern, make));
+        } else {
+            let pattern = DiurnalRotation::new(
+                domain,
+                0.95,
+                SimDuration::from_secs((o.secs / 6).max(1)),
+                domain / 4,
+            );
+            cluster.add_client(ScenarioWorkload::new(pattern, make));
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(o.secs));
+    print_scenario_summary(name, cluster.metrics(), o);
+}
+
+fn print_scenario_summary(name: &str, m: &Metrics, o: &ScenarioOpts) {
+    println!("--- {name} ({}) ---", if o.staged { "staged" } else { "stall" });
+    print_summary(m, o.secs);
+    println!("client errors      : {}", m.counter(mn::CMD_FAILED));
+    println!("retry backoffs     : {}", m.counter(mn::CMD_RETRY_BACKOFF));
+    if o.staged {
+        println!(
+            "staged migration   : {} keys, {} chunks ({} retried), {} reverts",
+            m.counter(mn::MIGRATION_KEYS_STAGED),
+            m.counter(mn::MIGRATION_CHUNKS_SENT),
+            m.counter(mn::MIGRATION_CHUNK_RETRIES),
+            m.counter(mn::MIGRATION_REVERTS),
+        );
+    }
+}
+
+fn run_scenario(a: &Args) -> Result<(), String> {
+    let name = a.str_or("name", "all");
+    let o = ScenarioOpts {
+        partitions: a.num_or("partitions", 2)?,
+        clients: a.num_or("clients", 3)?,
+        secs: a.num_or("secs", 24)?,
+        seed: a.num_or("seed", 9)?,
+        users: a.num_or("users", 400)?,
+        domain: a.num_or("domain", 200)?,
+        waves: a.num_or("waves", 2)?,
+        staged: match a.str_or("staged", "on").as_str() {
+            "on" => true,
+            "off" => false,
+            other => return Err(format!("--staged {other:?}: expected on|off")),
+        },
+    };
+    let all = ["flash_crowd", "diurnal", "zipf_ramp", "churn"];
+    let selected: Vec<&str> = match name.as_str() {
+        "all" => all.to_vec(),
+        one if all.contains(&one) => vec![one],
+        other => {
+            return Err(format!(
+                "unknown scenario {other:?} (flash_crowd|diurnal|zipf_ramp|churn|all)"
+            ))
+        }
+    };
+    for s in selected {
+        eprintln!(
+            "scenario {s}: {} partitions, {} clients, {}s, staged={}...",
+            o.partitions, o.clients, o.secs, o.staged
+        );
+        match s {
+            "flash_crowd" => run_scenario_chirper(s, false, &o),
+            "churn" => run_scenario_chirper(s, true, &o),
+            "diurnal" => run_scenario_counters(s, false, &o),
+            "zipf_ramp" => run_scenario_counters(s, true, &o),
+            other => unreachable!("unknown scenario {other}"),
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match Args::parse(args) {
@@ -193,6 +423,7 @@ fn main() {
     let result = match parsed.command.as_deref() {
         Some("chirper") => run_chirper(&parsed),
         Some("tpcc") => run_tpcc(&parsed),
+        Some("scenario") => run_scenario(&parsed),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_string()),
     };

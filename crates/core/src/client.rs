@@ -68,6 +68,15 @@ pub struct ClientCore<A: Application> {
     /// Highest oracle plan version observed in prophecies.
     plan_version: u64,
     outstanding: Option<Outstanding<A>>,
+    /// Base delay before re-dispatching after a `Retry` (stale routing).
+    /// Zero (the default) re-dispatches immediately; non-zero turns the
+    /// retry storm a migration causes into backpressure — each retry of
+    /// the same command backs off exponentially from this base.
+    retry_backoff: SimDuration,
+    /// A retry the core chose to delay: `(attempt, due)`. Dispatched when
+    /// the actor's backoff timer fires ([`ClientCore::on_backoff`]);
+    /// cleared by completion or response timeout.
+    deferred: Option<(u32, SimTime)>,
     /// Interned metric handles for the per-command completion path, tagged
     /// with the registry they were minted under — the threaded harness
     /// hands cores a fresh scratch `Metrics` per call, so a bare cache
@@ -84,6 +93,8 @@ struct ClientMetricIds {
     s_cmd_completed: SeriesId,
     cmd_latency: HistogramId,
     cmd_timeout: CounterId,
+    cmd_retry_backoff: CounterId,
+    cmd_failed: CounterId,
 }
 
 impl<A: Application> ClientCore<A> {
@@ -96,8 +107,16 @@ impl<A: Application> ClientCore<A> {
             cache: FastHashMap::default(),
             plan_version: 0,
             outstanding: None,
+            retry_backoff: SimDuration::ZERO,
+            deferred: None,
             mids: None,
         }
+    }
+
+    /// Sets the base retry backoff (see the field docs). Zero disables
+    /// deferral and reproduces the immediate-retry behaviour.
+    pub fn set_retry_backoff(&mut self, backoff: SimDuration) {
+        self.retry_backoff = backoff;
     }
 
     /// The interned metric ids, resolving them on first use (and again
@@ -115,6 +134,8 @@ impl<A: Application> ClientCore<A> {
             s_cmd_completed: metrics.series_id(mn::CMD_COMPLETED),
             cmd_latency: metrics.histogram_id(mn::CMD_LATENCY),
             cmd_timeout: metrics.counter_id(mn::CMD_TIMEOUT),
+            cmd_retry_backoff: metrics.counter_id(mn::CMD_RETRY_BACKOFF),
+            cmd_failed: metrics.counter_id(mn::CMD_FAILED),
         };
         self.mids = Some((metrics.registry_id(), ids));
         ids
@@ -217,7 +238,10 @@ impl<A: Application> ClientCore<A> {
                     // Command cannot execute (unknown variable, duplicate
                     // create): complete unsuccessfully.
                     if let Some(out) = self.outstanding.take() {
+                        self.deferred = None;
                         let latency = now.saturating_duration_since(out.issued_at);
+                        let ids = self.mids(metrics);
+                        metrics.incr(ids.cmd_failed, 1);
                         return (
                             Vec::new(),
                             Some(ClientEvent::Completed {
@@ -254,6 +278,17 @@ impl<A: Application> ClientCore<A> {
                 }
                 out.attempt += 1;
                 let (cmd, attempt) = (out.cmd.clone(), out.attempt);
+                if self.retry_backoff > SimDuration::ZERO {
+                    // Stale routing usually means a migration is mid-flight:
+                    // back off instead of hammering the moving key. Delay
+                    // doubles per attempt of this command, capped at 64×.
+                    let shift = attempt.min(6);
+                    let delay = self.retry_backoff.saturating_mul(1u64 << shift);
+                    let due = now + delay;
+                    self.deferred = Some((attempt, due));
+                    metrics.incr(ids.cmd_retry_backoff, 1);
+                    return (vec![Effect::Wake { at: due }], None);
+                }
                 (self.dispatch(cmd, attempt), None)
             }
             _ => (Vec::new(), None),
@@ -274,6 +309,7 @@ impl<A: Application> ClientCore<A> {
         let Some(out) = self.outstanding.take() else {
             return (Vec::new(), None);
         };
+        self.deferred = None;
         let latency = now.saturating_duration_since(out.issued_at);
         let ids = self.mids(metrics);
         metrics.incr(ids.cmd_completed, 1);
@@ -282,12 +318,35 @@ impl<A: Application> ClientCore<A> {
         (Vec::new(), Some(ClientEvent::Completed { cmd: out.cmd, reply, latency, ok: true }))
     }
 
+    /// Dispatches a retry the core delayed for backpressure, once the
+    /// actor's backoff timer fires. A stale wake-up (the command already
+    /// completed, timed out, or retried through another path) is a no-op.
+    pub fn on_backoff(&mut self, now: SimTime) -> Vec<Effect<A>> {
+        let Some((attempt, due)) = self.deferred else {
+            return Vec::new();
+        };
+        if now < due {
+            return Vec::new(); // superseded wake-up; a later timer is set
+        }
+        self.deferred = None;
+        let matches = self.outstanding.as_ref().map(|o| o.attempt == attempt).unwrap_or(false);
+        if !matches {
+            return Vec::new();
+        }
+        let Some(out) = self.outstanding.as_ref() else {
+            return Vec::new();
+        };
+        let (cmd, attempt) = (out.cmd.clone(), out.attempt);
+        self.dispatch(cmd, attempt)
+    }
+
     /// Re-dispatches the outstanding command through the oracle after a
     /// response timeout (lost messages / leader churn).
     pub fn on_timeout(&mut self, _now: SimTime, metrics: &mut Metrics) -> Vec<Effect<A>> {
         if self.outstanding.is_none() {
             return Vec::new();
         }
+        self.deferred = None;
         let ids = self.mids(metrics);
         metrics.incr(ids.cmd_timeout, 1);
         let Some(out) = self.outstanding.as_mut() else {

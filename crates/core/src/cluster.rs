@@ -41,6 +41,8 @@ mod timer {
     pub const RETX: u64 = 6;
     /// Recovery snapshot-request retry (restarted/lagging replicas).
     pub const RECOVER: u64 = 7;
+    /// Client retry-backoff wake-up (deferred stale-routing retry).
+    pub const BACKOFF: u64 = 8;
 }
 
 /// Everything that travels between nodes: FIFO-framed wire messages plus
@@ -1239,7 +1241,11 @@ impl<A: Application, W: Workload<A>> ClientActor<A, W> {
                     self.wiring.submit_as_client(ctx, mid, groups, payload);
                 }
                 Effect::Send { to, msg } => self.wiring.send_direct_to(ctx, to, msg),
-                Effect::SchedulePlan { .. } | Effect::Wake { .. } => {}
+                Effect::Wake { at } => {
+                    let delay = at.saturating_duration_since(ctx.now());
+                    ctx.set_timer(delay, timer::BACKOFF);
+                }
+                Effect::SchedulePlan { .. } => {}
             }
         }
     }
@@ -1308,6 +1314,16 @@ impl<A: Application, W: Workload<A>> Actor<Msg<A>> for ClientActor<A, W> {
                 self.wiring.maintain(ctx);
                 ctx.set_timer(SimDuration::from_millis(100), timer::RETX);
             }
+            timer::BACKOFF => {
+                let now = ctx.now();
+                let effects = self.core.on_backoff(now);
+                self.apply_effects(ctx, effects);
+                if self.core.is_busy() {
+                    // The deferred retry is on the wire: arm the response
+                    // timeout afresh so the backoff window doesn't eat it.
+                    ctx.set_timer(self.timeout, timer::TIMEOUT);
+                }
+            }
             _ => {}
         }
     }
@@ -1343,6 +1359,11 @@ pub struct ClusterConfig {
     pub service_time: SimDuration,
     /// Client response timeout before re-dispatch through the oracle.
     pub client_timeout: SimDuration,
+    /// Base delay clients wait before re-dispatching after a stale-routing
+    /// `Retry` (exponential per attempt). Zero retries immediately — the
+    /// historical behaviour; set it to absorb migration-induced retry
+    /// storms as backpressure instead of load.
+    pub client_retry_backoff: SimDuration,
     /// Seed client caches with the initial placement (always done for
     /// S-SMR, whose map is static).
     pub warm_client_caches: bool,
@@ -1388,6 +1409,7 @@ impl Default for ClusterConfig {
             compute_per_element: SimDuration::from_micros(1),
             service_time: SimDuration::ZERO,
             client_timeout: SimDuration::from_secs(10),
+            client_retry_backoff: SimDuration::ZERO,
             warm_client_caches: false,
             metrics_bucket: SimDuration::from_secs(1),
             batch: BatchConfig::UNBATCHED,
@@ -1584,6 +1606,7 @@ impl<A: Application> Cluster<A> {
         // Pre-compute the id the simulation will assign.
         let id = NodeId::from_raw(self.sim.node_count() as u32);
         let mut core = ClientCore::new(id, self.config.mode);
+        core.set_retry_backoff(self.config.client_retry_backoff);
         if self.config.warm_client_caches || self.config.mode == Mode::SSmr {
             core.preload_cache(self.placement.iter().map(|(&k, &p)| (k, p)));
         }

@@ -16,6 +16,14 @@ pub const CMD_SINGLE: &str = "cmd.single_partition";
 pub const CMD_RETRY: &str = "cmd.retry";
 /// Counter: client response timeouts (re-dispatch through the oracle).
 pub const CMD_TIMEOUT: &str = "cmd.timeout";
+/// Counter: commands that completed unsuccessfully at the client (oracle
+/// NOK: unknown variable or duplicate create). Stale routing never lands
+/// here — it is retried — so under migration churn this must stay zero.
+pub const CMD_FAILED: &str = "cmd.failed";
+/// Counter: retries the client deliberately delayed because the cluster
+/// signalled stale routing while a migration was in flight (backpressure;
+/// see `ClusterConfig::client_retry_backoff`).
+pub const CMD_RETRY_BACKOFF: &str = "cmd.retry_backoff";
 /// Counter + series: variables shipped between partitions (borrows,
 /// returns and migrations) — the paper's "objects exchanged".
 pub const OBJECTS_EXCHANGED: &str = "objects.exchanged";
@@ -31,6 +39,21 @@ pub const ORACLE_GRAPH_EVICTIONS: &str = "oracle.graph_evictions";
 /// Counter: plans computed via the warm-start incremental partitioner
 /// path (`partition_from`) instead of a full multilevel run.
 pub const PLANS_WARM: &str = "oracle.plans_warm";
+/// Histogram: modelled wall time between a plan recompute starting and its
+/// publication (oracle side).
+pub const PLAN_COMPUTE_TIME: &str = "oracle.plan_compute_time";
+
+/// Counter: staged-migration chunks shipped by source partitions
+/// (including retransmissions).
+pub const MIGRATION_CHUNKS_SENT: &str = "migration.chunks_sent";
+/// Counter: staged-migration chunk retransmissions after an ack timeout.
+pub const MIGRATION_CHUNK_RETRIES: &str = "migration.chunk_retries";
+/// Counter: staged migrations abandoned after exhausting chunk retries;
+/// the key's move is rolled back to the previous plan.
+pub const MIGRATION_REVERTS: &str = "migration.reverts";
+/// Counter: key moves that took the staged (chunked, rate-limited)
+/// migration path instead of the classic single shipment.
+pub const MIGRATION_KEYS_STAGED: &str = "migration.keys_staged";
 
 /// Histogram: commands per flushed ordering batch (leader side). Counts
 /// are encoded in µs units (the histogram type stores durations).
@@ -66,6 +89,9 @@ pub const NET_FIFO_BUFFERED: &str = "net.fifo_buffered";
 /// Counter: out-of-order frames dropped because a peer's reorder buffer
 /// hit its cap (recovered later by retransmission).
 pub const NET_FIFO_DROPS: &str = "net.fifo_drops";
+/// Counter: sends dropped by the network model (random loss, link-fault
+/// loss, or destination disconnected). Recorded by the simulator.
+pub const NET_DROPPED_SENDS: &str = "net.dropped_sends";
 /// Counter: recovery state snapshots served to restarted/lagging replicas.
 pub const RECOVERY_SNAPSHOTS: &str = "recovery.snapshots";
 /// Counter: approximate elements (log entries + bookkeeping rows) shipped

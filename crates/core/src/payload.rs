@@ -65,6 +65,53 @@ pub enum Payload<A: Application> {
         /// Key movements: `(key, from, to)`.
         moves: Vec<(LocKey, PartitionId, PartitionId)>,
     },
+    /// Oracle replicas → oracle: agree on the log position from which the
+    /// next repartitioning computes. The recompute gates mix replica-local
+    /// delivery time (the minimum-interval check), so replicas can pass
+    /// them at *different* hints; acting on the gates directly would have
+    /// each replica snapshot a different workload graph and publish
+    /// divergent plans under the same deterministic plan id — receivers
+    /// then keep whichever copy arrives first and the cluster's view of
+    /// the plan splits. Instead a replica whose local gates pass proposes
+    /// this marker (same id on every replica, delivered once), and the
+    /// compute snapshots the graph at the marker's delivery position —
+    /// identical everywhere.
+    Recompute {
+        /// The plan version this proposal would produce.
+        version: u64,
+    },
+    /// Destination replicas → {source, destination, oracle}: a *staged*
+    /// migration's chunks are all buffered at the destination; delivery
+    /// in total order is the commit point at which the destination
+    /// installs them and takes over. Every destination replica submits
+    /// the same deterministic message id, so the multicast layer delivers
+    /// it once. See DESIGN.md "Staged migration".
+    MigrationDone {
+        /// The plan version that started the migration.
+        version: u64,
+        /// The migrated key.
+        key: LocKey,
+        /// The old owner.
+        from: PartitionId,
+        /// The new owner.
+        to: PartitionId,
+    },
+    /// Source replicas → {source, destination, oracle}: chunk delivery to
+    /// the destination group exhausted its retries; cancel the staged
+    /// migration and fall back to the previous plan for this key.
+    /// Delivery in total order decides the race against
+    /// [`Payload::MigrationDone`]: whichever lands first wins, the other
+    /// is ignored.
+    MigrationRevert {
+        /// The plan version that started the migration.
+        version: u64,
+        /// The key whose move is cancelled.
+        key: LocKey,
+        /// The old owner (ownership returns here).
+        from: PartitionId,
+        /// The destination that never finished receiving.
+        to: PartitionId,
+    },
 }
 
 /// Direct point-to-point messages (reliable, unordered across sources;
@@ -166,6 +213,37 @@ pub enum Direct<A: Application> {
         /// `false` for supplements delivering previously-pending variables.
         primary: bool,
     },
+    /// Old owner → new owner: one rate-limited chunk of a *staged*
+    /// migration's variables. No dedup key: chunks are resent on timeout
+    /// and receivers handle them idempotently (buffering overwrites with
+    /// identical data) and *always* answer with a
+    /// [`Direct::PlanVarsAck`], even for duplicates, so a lost ack does
+    /// not wedge the sender.
+    PlanVarsChunk {
+        /// The plan version that triggered the migration.
+        version: u64,
+        /// The migrating key.
+        key: LocKey,
+        /// The sending (old owner) partition.
+        from: PartitionId,
+        /// Chunk index, `0..total`.
+        chunk: u32,
+        /// Total number of chunks for this key.
+        total: u32,
+        /// The chunk's variables.
+        vars: Vec<(VarId, Option<A::Value>)>,
+    },
+    /// New owner → old owner: acknowledges receipt of one staged chunk.
+    /// No dedup key: acks are idempotent at the sender (a stale ack for
+    /// an already-acked chunk is ignored).
+    PlanVarsAck {
+        /// The plan version of the migration.
+        version: u64,
+        /// The migrating key.
+        key: LocKey,
+        /// The acknowledged chunk index.
+        chunk: u32,
+    },
     /// S-SMR state exchange: each involved partition sends its variables to
     /// every other involved partition, then all execute.
     SsmrExchange {
@@ -209,6 +287,10 @@ impl<A: Application> Direct<A> {
             | Direct::Reply { .. }
             | Direct::Retry { .. }
             | Direct::Ack { .. } => None,
+            // Deliberately no dedup: retransmitted chunks/acks must reach
+            // the idempotent handlers (a deduped resend would never be
+            // re-acked and the transfer would stall forever).
+            Direct::PlanVarsChunk { .. } | Direct::PlanVarsAck { .. } => None,
             Direct::VarsForCmd { cmd, attempt, from, .. } => {
                 Some(DedupKey::VarsForCmd(*cmd, *attempt, *from))
             }
@@ -299,6 +381,13 @@ impl<A: Application> Clone for Payload<A> {
             Payload::Plan { version, moves } => {
                 Payload::Plan { version: *version, moves: moves.clone() }
             }
+            Payload::Recompute { version } => Payload::Recompute { version: *version },
+            Payload::MigrationDone { version, key, from, to } => {
+                Payload::MigrationDone { version: *version, key: *key, from: *from, to: *to }
+            }
+            Payload::MigrationRevert { version, key, from, to } => {
+                Payload::MigrationRevert { version: *version, key: *key, from: *from, to: *to }
+            }
         }
     }
 }
@@ -337,6 +426,19 @@ impl<A: Application> Clone for Direct<A> {
                 pending: pending.clone(),
                 primary: *primary,
             },
+            Direct::PlanVarsChunk { version, key, from, chunk, total, vars } => {
+                Direct::PlanVarsChunk {
+                    version: *version,
+                    key: *key,
+                    from: *from,
+                    chunk: *chunk,
+                    total: *total,
+                    vars: vars.clone(),
+                }
+            }
+            Direct::PlanVarsAck { version, key, chunk } => {
+                Direct::PlanVarsAck { version: *version, key: *key, chunk: *chunk }
+            }
             Direct::SsmrExchange { cmd, attempt, from, vars } => Direct::SsmrExchange {
                 cmd: *cmd,
                 attempt: *attempt,

@@ -55,6 +55,22 @@ pub struct ServerConfig {
     /// model (commands execute instantaneously). This is what bounds a
     /// partition's throughput and produces saturation behaviour.
     pub service_time: dynastar_runtime::SimDuration,
+    /// Staged migration: plan-triggered key moves ship their variables in
+    /// rate-limited, individually acknowledged chunks instead of one
+    /// unbounded shipment. Off by default (classic single-shipment path).
+    pub staged_migration: bool,
+    /// Variables per staged chunk (≥ 1).
+    pub migration_chunk_vars: u32,
+    /// Modelled serialized size of one variable, bytes (bandwidth model).
+    pub migration_var_bytes: u64,
+    /// Modelled migration link bandwidth in bytes/second. `0` means
+    /// unconstrained: transfers are free and charge no CPU/NIC time.
+    pub migration_link_bytes_per_sec: u64,
+    /// Base per-chunk ack timeout; also the starting backoff.
+    pub migration_chunk_timeout: dynastar_runtime::SimDuration,
+    /// Chunk retransmissions before the source gives up and reverts the
+    /// key's move (falling back to the previous plan).
+    pub migration_max_retries: u32,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +80,12 @@ impl Default for ServerConfig {
             collect_hints: true,
             record_metrics: true,
             service_time: dynastar_runtime::SimDuration::ZERO,
+            staged_migration: false,
+            migration_chunk_vars: 8,
+            migration_var_bytes: 512,
+            migration_link_bytes_per_sec: 0,
+            migration_chunk_timeout: dynastar_runtime::SimDuration::from_millis(200),
+            migration_max_retries: 5,
         }
     }
 }
@@ -99,6 +121,15 @@ enum QueuedBody {
         version: u64,
         moves: Vec<(LocKey, PartitionId, PartitionId)>,
     },
+    /// Source-side rollback of a gave-up staged migration. Queued (not
+    /// applied at delivery) because re-owning the key must serialize with
+    /// command execution: a command delivered before the revert must see
+    /// the same ownership state on every replica regardless of local pump
+    /// timing.
+    MigrationRevert {
+        version: u64,
+        key: LocKey,
+    },
 }
 
 // Manual Clone impls (here and below): deriving would bound `A: Clone`,
@@ -130,6 +161,9 @@ impl Clone for QueuedBody {
             QueuedBody::Plan { version, moves } => {
                 QueuedBody::Plan { version: *version, moves: moves.clone() }
             }
+            QueuedBody::MigrationRevert { version, key } => {
+                QueuedBody::MigrationRevert { version: *version, key: *key }
+            }
         }
     }
 }
@@ -138,6 +172,129 @@ impl Clone for QueuedBody {
 type VarShipment<A> = Vec<(VarId, Option<<A as Application>::Value>)>;
 /// Shipments collected per source partition.
 type ShipmentsBySource<A> = BTreeMap<PartitionId, VarShipment<A>>;
+
+/// Origin space for migration-control multicasts ([`Payload::MigrationDone`]
+/// / [`Payload::MigrationRevert`]): every replica at either end of a
+/// migration derives the same id from `(key, version)`, so the multicast
+/// layer delivers one copy. Disjoint from client origins (node ids),
+/// partition hint origins ([`PARTITION_ORIGIN_BASE`]) and the oracle's
+/// plan origin (`u64::MAX - 1`).
+const MIGRATION_ORIGIN_BASE: u64 = 1 << 62;
+/// Derivation tag of [`Payload::MigrationDone`] ids.
+const TAG_MIGRATION_DONE: u32 = 400;
+/// Derivation tag of [`Payload::MigrationRevert`] ids.
+const TAG_MIGRATION_REVERT: u32 = 401;
+
+/// The shared id of a migration-control multicast for `(key, version)`.
+fn migration_mid(key: LocKey, version: u64, tag: u32) -> MsgId {
+    MsgId { origin: MIGRATION_ORIGIN_BASE | key.0, seq: version as u32, tag }
+}
+
+/// Modelled wire time of shipping `vars` variables over the migration link.
+fn transfer_time(cfg: &ServerConfig, vars: usize) -> dynastar_runtime::SimDuration {
+    if cfg.migration_link_bytes_per_sec == 0 {
+        return dynastar_runtime::SimDuration::ZERO;
+    }
+    let bytes = (vars as u64).saturating_mul(cfg.migration_var_bytes);
+    dynastar_runtime::SimDuration::from_micros(
+        bytes.saturating_mul(1_000_000) / cfg.migration_link_bytes_per_sec,
+    )
+}
+
+/// Source-side state of one staged key migration (`(version, key)` keyed).
+/// All chunk data is retained until the migration settles, so a revert can
+/// reinstall the key and a retransmit can resend any chunk.
+struct OutboxEntry<A: Application> {
+    /// Destination partition.
+    to: PartitionId,
+    /// The key's variables, pre-split into chunks.
+    chunks: Vec<VarShipment<A>>,
+    /// Per-chunk ack state.
+    acked: Vec<bool>,
+    /// Index of the chunk currently awaiting its ack, if any.
+    in_flight: Option<usize>,
+    /// Consecutive timeouts of the in-flight chunk.
+    attempts: u32,
+    /// Current (exponentially growing, capped) retransmit backoff.
+    backoff: dynastar_runtime::SimDuration,
+    /// When the in-flight chunk times out.
+    deadline: SimTime,
+    /// Rate limit: the next chunk may not ship before this.
+    next_ship_at: SimTime,
+    /// Retries exhausted; a revert has been requested.
+    gave_up: bool,
+}
+
+impl<A: Application> Clone for OutboxEntry<A> {
+    fn clone(&self) -> Self {
+        OutboxEntry {
+            to: self.to,
+            chunks: self.chunks.clone(),
+            acked: self.acked.clone(),
+            in_flight: self.in_flight,
+            attempts: self.attempts,
+            backoff: self.backoff,
+            deadline: self.deadline,
+            next_ship_at: self.next_ship_at,
+            gave_up: self.gave_up,
+        }
+    }
+}
+
+impl<A: Application> std::fmt::Debug for OutboxEntry<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OutboxEntry")
+            .field("to", &self.to)
+            .field("chunks", &self.chunks.len())
+            .field("acked", &self.acked.iter().filter(|&&a| a).count())
+            .field("in_flight", &self.in_flight)
+            .field("attempts", &self.attempts)
+            .field("gave_up", &self.gave_up)
+            .finish()
+    }
+}
+
+/// Destination-side buffer of one staged key migration. Chunks accumulate
+/// here (idempotently — retransmits overwrite with identical data) and are
+/// installed only once the matching [`Payload::MigrationDone`] has been
+/// delivered in total order.
+struct StagedKey<A: Application> {
+    /// The old owner.
+    from: PartitionId,
+    /// Total chunk count, learned from the first chunk to arrive (a
+    /// `MigrationDone` can be delivered before any chunk reaches this
+    /// particular replica).
+    total: Option<u32>,
+    /// Received chunks by index.
+    chunks: BTreeMap<u32, VarShipment<A>>,
+    /// The `MigrationDone` for this migration has been delivered.
+    done: bool,
+    /// This replica already submitted the `MigrationDone` multicast.
+    done_requested: bool,
+}
+
+impl<A: Application> Clone for StagedKey<A> {
+    fn clone(&self) -> Self {
+        StagedKey {
+            from: self.from,
+            total: self.total,
+            chunks: self.chunks.clone(),
+            done: self.done,
+            done_requested: self.done_requested,
+        }
+    }
+}
+
+impl<A: Application> std::fmt::Debug for StagedKey<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagedKey")
+            .field("from", &self.from)
+            .field("total", &self.total)
+            .field("chunks", &self.chunks.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
 
 /// The partition server protocol core. See the [module docs](self).
 pub struct ServerCore<A: Application> {
@@ -184,6 +341,14 @@ pub struct ServerCore<A: Application> {
     #[allow(clippy::type_complexity)]
     planvars_buffer:
         Vec<(u64, LocKey, PartitionId, Vec<(VarId, Option<A::Value>)>, Vec<VarId>, bool)>,
+    /// Staged migrations this partition is the source of.
+    outbox: BTreeMap<(u64, LocKey), OutboxEntry<A>>,
+    /// Staged migrations this partition is the destination of.
+    staging: BTreeMap<(u64, LocKey), StagedKey<A>>,
+    /// Migrations decided either way (`MigrationDone` or
+    /// `MigrationRevert` delivered); stray chunks for them are acked and
+    /// dropped, and the loser of a Done/Revert race is ignored.
+    settled: RotatingSet<(u64, LocKey)>,
     /// The replica's modelled CPU is busy until this time.
     busy_until: SimTime,
     /// Pre-rendered per-partition metric names (hot path).
@@ -205,6 +370,10 @@ struct ServerMetricIds {
     cmd_retry: CounterId,
     cmd_multi: CounterId,
     cmd_single: CounterId,
+    migration_chunks_sent: CounterId,
+    migration_chunk_retries: CounterId,
+    migration_reverts: CounterId,
+    migration_keys_staged: CounterId,
     s_cmd_multi: SeriesId,
     s_cmd_single: SeriesId,
     s_executed: SeriesId,
@@ -241,6 +410,9 @@ impl<A: Application> Clone for ServerCore<A> {
             hint_execs: self.hint_execs,
             hint_seq: self.hint_seq,
             planvars_buffer: self.planvars_buffer.clone(),
+            outbox: self.outbox.clone(),
+            staging: self.staging.clone(),
+            settled: self.settled.clone(),
             busy_until: self.busy_until,
             name_executed: self.name_executed.clone(),
             name_multi: self.name_multi.clone(),
@@ -279,6 +451,9 @@ impl<A: Application> ServerCore<A> {
             hint_execs: 0,
             hint_seq: 0,
             planvars_buffer: Vec::new(),
+            outbox: BTreeMap::new(),
+            staging: BTreeMap::new(),
+            settled: RotatingSet::new(1 << 12),
             busy_until: SimTime::ZERO,
             name_executed: mn::partition_executed(partition.0),
             name_multi: mn::partition_multi(partition.0),
@@ -300,6 +475,10 @@ impl<A: Application> ServerCore<A> {
             cmd_retry: metrics.counter_id(mn::CMD_RETRY),
             cmd_multi: metrics.counter_id(mn::CMD_MULTI),
             cmd_single: metrics.counter_id(mn::CMD_SINGLE),
+            migration_chunks_sent: metrics.counter_id(mn::MIGRATION_CHUNKS_SENT),
+            migration_chunk_retries: metrics.counter_id(mn::MIGRATION_CHUNK_RETRIES),
+            migration_reverts: metrics.counter_id(mn::MIGRATION_REVERTS),
+            migration_keys_staged: metrics.counter_id(mn::MIGRATION_KEYS_STAGED),
             s_cmd_multi: metrics.series_id(mn::CMD_MULTI),
             s_cmd_single: metrics.series_id(mn::CMD_SINGLE),
             s_executed: metrics.series_id(&self.name_executed),
@@ -414,11 +593,71 @@ impl<A: Application> ServerCore<A> {
                     body: QueuedBody::Plan { version, moves },
                 });
             }
-            Payload::Exec { .. } | Payload::Hint { .. } => {
+            Payload::MigrationDone { version, key, from, to } => {
+                // Safe to apply at delivery (not queued): at the
+                // destination this only converts a head-of-queue *wait*
+                // into an execution with the staged values, which are
+                // identical on every replica; ownership itself changed at
+                // the (queued) plan. First decision wins: a Revert that
+                // settled this migration earlier makes the Done a no-op
+                // (the entry it would create could never resolve).
+                let first = self.settled.insert((version, key));
+                if from == self.partition {
+                    self.outbox.remove(&(version, key));
+                }
+                if first && to == self.partition {
+                    let e = self.staging.entry((version, key)).or_insert_with(|| StagedKey {
+                        from,
+                        total: None,
+                        chunks: BTreeMap::new(),
+                        done: false,
+                        done_requested: true,
+                    });
+                    e.done = true;
+                    self.try_install_staged(version, key, metrics, &mut eff);
+                }
+            }
+            Payload::MigrationRevert { version, key, from, to } => {
+                // First decision wins: a Done delivered earlier settled
+                // this migration, making the revert a no-op.
+                if self.settled.insert((version, key)) {
+                    if to == self.partition {
+                        // Destination side applies at delivery: during
+                        // staging every command touching the key *waits*,
+                        // so un-owning here deterministically turns those
+                        // waits (and all later-delivered commands) into
+                        // client retries on every replica.
+                        self.staging.remove(&(version, key));
+                        if self.awaiting_keys.get(&key) == Some(&from) && self.owned.contains(&key)
+                        {
+                            self.awaiting_keys.remove(&key);
+                            self.owned.remove(&key);
+                            self.outmigrated.insert(key, from);
+                        }
+                    }
+                    if from == self.partition {
+                        // Source side re-owns through the queue: a command
+                        // delivered before the revert must resolve against
+                        // the pre-revert ownership on every replica, no
+                        // matter how far its local pump has progressed.
+                        self.queue.push_back(Queued {
+                            cmd: Command {
+                                id: MsgId::new(u64::MAX, 0),
+                                client: dynastar_runtime::NodeId::EXTERNAL,
+                                kind: CommandKind::DeleteKey { key: LocKey(u64::MAX) },
+                            },
+                            attempt: 0,
+                            body: QueuedBody::MigrationRevert { version, key },
+                        });
+                    }
+                }
+            }
+            Payload::Exec { .. } | Payload::Hint { .. } | Payload::Recompute { .. } => {
                 // Oracle-only payloads; partitions are never destinations.
             }
         }
         self.pump(now, metrics, &mut eff);
+        self.finalize_wakes(now, metrics, &mut eff);
         eff
     }
 
@@ -426,6 +665,7 @@ impl<A: Application> ServerCore<A> {
     pub fn on_wake(&mut self, now: SimTime, metrics: &mut Metrics) -> Vec<Effect<A>> {
         let mut eff = Vec::new();
         self.pump(now, metrics, &mut eff);
+        self.finalize_wakes(now, metrics, &mut eff);
         eff
     }
 
@@ -478,6 +718,58 @@ impl<A: Application> ServerCore<A> {
             Direct::PlanVars { version, key, from, vars, pending, primary } => {
                 self.on_plan_vars(version, key, from, vars, pending, primary, metrics, &mut eff);
             }
+            Direct::PlanVarsChunk { version, key, from, chunk, total, vars } => {
+                // Ack unconditionally — even duplicates and post-settle
+                // strays — so a lost ack can never wedge the sender.
+                eff.push(Effect::Send {
+                    to: Destination::Partition(from),
+                    msg: Direct::PlanVarsAck { version, key, chunk },
+                });
+                let k = (version, key);
+                // Only ignore chunks for migrations already settled *and*
+                // fully dismantled here; with a staging entry still
+                // present (Done delivered before all chunks arrived) the
+                // chunk must keep buffering.
+                if !self.settled.contains(&k) || self.staging.contains_key(&k) {
+                    let e = self.staging.entry(k).or_insert_with(|| StagedKey {
+                        from,
+                        total: None,
+                        chunks: BTreeMap::new(),
+                        done: false,
+                        done_requested: false,
+                    });
+                    if e.total.is_none() {
+                        e.total = Some(total);
+                    }
+                    e.chunks.insert(chunk, vars);
+                    if e.chunks.len() as u32 >= total && !e.done_requested {
+                        e.done_requested = true;
+                        let to = self.partition;
+                        eff.push(Effect::Multicast {
+                            mid: migration_mid(key, version, TAG_MIGRATION_DONE),
+                            partitions: vec![from, to],
+                            include_oracle: true,
+                            payload: Payload::MigrationDone { version, key, from, to },
+                        });
+                    }
+                    // A late chunk may complete a migration whose Done was
+                    // already delivered.
+                    self.try_install_staged(version, key, metrics, &mut eff);
+                }
+            }
+            Direct::PlanVarsAck { version, key, chunk } => {
+                if let Some(e) = self.outbox.get_mut(&(version, key)) {
+                    let i = chunk as usize;
+                    if i < e.acked.len() && !e.acked[i] {
+                        e.acked[i] = true;
+                        if e.in_flight == Some(i) {
+                            e.in_flight = None;
+                            e.attempts = 0;
+                            e.backoff = self.config.migration_chunk_timeout;
+                        }
+                    }
+                }
+            }
             Direct::SsmrExchange { cmd, attempt, from, vars } => {
                 self.ssmr_in.entry((cmd, attempt)).or_default().insert(from, vars);
             }
@@ -489,7 +781,75 @@ impl<A: Application> ServerCore<A> {
             }
         }
         self.pump(now, metrics, &mut eff);
+        self.finalize_wakes(now, metrics, &mut eff);
         eff
+    }
+
+    /// Installs (or forwards) a staged migration's variables once both the
+    /// `MigrationDone` has been delivered and every chunk has arrived at
+    /// this replica. Any replica may reach this point later than its peers
+    /// (chunks travel outside the total order); the installed values are
+    /// identical regardless.
+    fn try_install_staged(
+        &mut self,
+        version: u64,
+        key: LocKey,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) {
+        let ready = match self.staging.get(&(version, key)) {
+            Some(e) => e.done && e.total.is_some_and(|t| e.chunks.len() as u32 >= t),
+            None => return,
+        };
+        if !ready {
+            return;
+        }
+        if !self.owned.contains(&key) && !self.outmigrated.contains_key(&key) {
+            // The Done multicast outran the (queued) plan that makes this
+            // replica the owner. Keep the staged entry; pump_plan re-runs
+            // the install once that plan has been applied. Dropping the
+            // vars here would leave the key owned-but-empty forever.
+            return;
+        }
+        let e = match self.staging.remove(&(version, key)) {
+            Some(e) => e,
+            None => return,
+        };
+        let vars: Vec<(VarId, Option<A::Value>)> = e.chunks.into_values().flatten().collect();
+        let count = vars.len() as u64;
+        if self.owned.contains(&key) {
+            for (v, val) in vars {
+                match val {
+                    Some(val) => {
+                        self.store.insert(v, val);
+                    }
+                    None => {
+                        self.store.remove(&v);
+                    }
+                }
+                self.awaiting_vars.remove(&v);
+            }
+            self.awaiting_keys.remove(&key);
+            if self.config.record_metrics {
+                let ids = self.mids(metrics);
+                metrics.incr(ids.objects_exchanged, count);
+            }
+        } else if let Some(&next) = self.outmigrated.get(&key) {
+            // The key was moved away again before staging completed:
+            // forward the state as a classic primary shipment along the
+            // migration chain (the next owner awaits exactly this).
+            eff.push(Effect::Send {
+                to: Destination::Partition(next),
+                msg: Direct::PlanVars {
+                    version,
+                    key,
+                    from: e.from,
+                    vars,
+                    pending: Vec::new(),
+                    primary: true,
+                },
+            });
+        }
     }
 
     /// Applies a (primary or supplement) key migration shipment.
@@ -574,6 +934,7 @@ impl<A: Application> ServerCore<A> {
                 QueuedBody::Create { .. } => self.pump_create(&mut entry, now, metrics, eff),
                 QueuedBody::Delete { .. } => self.pump_delete(&mut entry, now, metrics, eff),
                 QueuedBody::Plan { .. } => self.pump_plan(&mut entry, now, metrics, eff),
+                QueuedBody::MigrationRevert { .. } => self.pump_revert(&mut entry, metrics),
             };
             if !done {
                 self.queue.push_front(entry);
@@ -668,6 +1029,10 @@ impl<A: Application> ServerCore<A> {
         // Staleness check for the variables expected of us.
         match self.my_vars_ready(expected) {
             Err(()) => {
+                trace_blocked(format_args!(
+                    "[{}] t={} cmd={} att={} stale routing: expected={:?}",
+                    self.partition, now, cmd_id, attempt, expected,
+                ));
                 // Tell the client to retry via the oracle; tell the target
                 // to abandon the command.
                 eff.push(Effect::Send {
@@ -1248,6 +1613,51 @@ impl<A: Application> ServerCore<A> {
                     metrics.incr(ids.objects_exchanged, vars.len() as u64);
                     metrics.record_at(ids.s_objects, now, vars.len() as f64);
                 }
+                // Staged path: only for keys fully at rest here — owned
+                // outright (not still awaiting an earlier migration) with
+                // no variables lent out. Anything else keeps the classic
+                // immediate shipment, so no supplement or returned loan
+                // can ever land mid-staging.
+                if self.config.staged_migration && !was_awaiting && pending.is_empty() {
+                    let per = self.config.migration_chunk_vars.max(1) as usize;
+                    let mut chunks: Vec<VarShipment<A>> =
+                        vars.chunks(per).map(|c| c.to_vec()).collect();
+                    if chunks.is_empty() {
+                        // Keyless-data moves still stage one empty chunk so
+                        // the destination reaches `total` and commits.
+                        chunks.push(Vec::new());
+                    }
+                    let n = chunks.len();
+                    self.outbox.insert(
+                        (version, key),
+                        OutboxEntry {
+                            to,
+                            chunks,
+                            acked: vec![false; n],
+                            in_flight: None,
+                            attempts: 0,
+                            backoff: self.config.migration_chunk_timeout,
+                            deadline: SimTime::ZERO,
+                            next_ship_at: now,
+                            gave_up: false,
+                        },
+                    );
+                    if self.config.record_metrics {
+                        let ids = self.mids(metrics);
+                        metrics.incr(ids.migration_keys_staged, 1);
+                    }
+                    continue; // chunks ship from the migration pump
+                }
+                // Unthrottled path under a configured bandwidth model: the
+                // whole transfer charges the link at once — this is the
+                // stall baseline staged migration is measured against.
+                if self.config.migration_link_bytes_per_sec > 0 {
+                    let t = transfer_time(&self.config, vars.len());
+                    if self.busy_until < now {
+                        self.busy_until = now;
+                    }
+                    self.busy_until += t;
+                }
                 if was_awaiting {
                     // Not authoritative yet: send only what we hold.
                     if !vars.is_empty() {
@@ -1282,6 +1692,14 @@ impl<A: Application> ServerCore<A> {
                 self.awaiting_keys.insert(key, from);
             }
         }
+        // Staged shipments whose Done outran this plan in the queue can
+        // resolve now that the ownership it decides is in place.
+        let mut staged_done: Vec<(u64, LocKey)> =
+            self.staging.iter().filter(|(_, e)| e.done).map(|(&k, _)| k).collect();
+        staged_done.sort_unstable();
+        for (v, key) in staged_done {
+            self.try_install_staged(v, key, metrics, eff);
+        }
         // Re-process shipments that arrived before this plan.
         let ready: Vec<_> = {
             let (ready, later): (Vec<_>, Vec<_>) =
@@ -1293,6 +1711,169 @@ impl<A: Application> ServerCore<A> {
             self.on_plan_vars(v, key, from, vars, pending, primary, metrics, eff);
         }
         true
+    }
+
+    /// Queue-ordered source-side rollback of a gave-up staged migration:
+    /// reclaims ownership and reinstalls the retained chunk data, unless a
+    /// later plan has meanwhile re-routed the key elsewhere.
+    fn pump_revert(&mut self, entry: &mut Queued<A>, metrics: &mut Metrics) -> bool {
+        let QueuedBody::MigrationRevert { version, key } = &entry.body else {
+            // detlint::allow(P003): pump dispatches to this handler by matching QueuedBody::MigrationRevert; other variants cannot reach here
+            unreachable!("pump_revert on non-revert queue entry")
+        };
+        let (version, key) = (*version, *key);
+        let Some(e) = self.outbox.remove(&(version, key)) else {
+            return true; // already dismantled (e.g. by a racing Done)
+        };
+        if self.outmigrated.get(&key) == Some(&e.to) && !self.owned.contains(&key) {
+            self.outmigrated.remove(&key);
+            self.owned.insert(key);
+            for chunk in e.chunks {
+                for (v, val) in chunk {
+                    match val {
+                        Some(val) => {
+                            self.store.insert(v, val);
+                        }
+                        None => {
+                            self.store.remove(&v);
+                        }
+                    }
+                }
+            }
+        }
+        if self.config.record_metrics {
+            let ids = self.mids(metrics);
+            metrics.incr(ids.migration_reverts, 1);
+        }
+        true
+    }
+
+    /// Drives every staged migration this partition is the source of:
+    /// ships the next chunk when the rate limiter allows, retransmits
+    /// timed-out chunks with exponential backoff, and requests a revert
+    /// once retries are exhausted. Returns the earliest future instant at
+    /// which this pump needs to run again (always `> now`: past-due work
+    /// was just handled).
+    fn pump_migration(
+        &mut self,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) -> Option<SimTime> {
+        if self.outbox.is_empty() {
+            return None;
+        }
+        let ids = if self.config.record_metrics { Some(self.mids(metrics)) } else { None };
+        let me = self.partition;
+        let backoff_cap = self.config.migration_chunk_timeout.saturating_mul(64);
+        let mut next_due: Option<SimTime> = None;
+        let due = |slot: &mut Option<SimTime>, at: SimTime| {
+            *slot = Some(slot.map_or(at, |cur| cur.min(at)));
+        };
+        let mut busy_until = self.busy_until;
+        let mut reverts: Vec<(u64, LocKey, PartitionId)> = Vec::new();
+        for (&(version, key), e) in self.outbox.iter_mut() {
+            if e.gave_up {
+                continue;
+            }
+            if let Some(i) = e.in_flight {
+                if now < e.deadline {
+                    due(&mut next_due, e.deadline);
+                    continue;
+                }
+                // Ack deadline missed: retry with backoff, or give up.
+                e.attempts += 1;
+                if e.attempts > self.config.migration_max_retries {
+                    e.gave_up = true;
+                    reverts.push((version, key, e.to));
+                    continue;
+                }
+                e.backoff = e.backoff.saturating_mul(2).min(backoff_cap);
+                let transfer = transfer_time(&self.config, e.chunks[i].len());
+                e.deadline = now + transfer + e.backoff;
+                if busy_until < now {
+                    busy_until = now;
+                }
+                busy_until += transfer;
+                eff.push(Effect::Send {
+                    to: Destination::Partition(e.to),
+                    msg: Direct::PlanVarsChunk {
+                        version,
+                        key,
+                        from: me,
+                        chunk: i as u32,
+                        total: e.chunks.len() as u32,
+                        vars: e.chunks[i].clone(),
+                    },
+                });
+                if let Some(ids) = ids {
+                    metrics.incr(ids.migration_chunks_sent, 1);
+                    metrics.incr(ids.migration_chunk_retries, 1);
+                }
+                due(&mut next_due, e.deadline);
+                continue;
+            }
+            let Some(i) = e.acked.iter().position(|&a| !a) else {
+                continue; // all chunks acked; awaiting the MigrationDone
+            };
+            if now < e.next_ship_at {
+                due(&mut next_due, e.next_ship_at);
+                continue;
+            }
+            let transfer = transfer_time(&self.config, e.chunks[i].len());
+            e.in_flight = Some(i);
+            e.next_ship_at = now + transfer;
+            e.deadline = now + transfer + e.backoff;
+            if busy_until < now {
+                busy_until = now;
+            }
+            busy_until += transfer;
+            eff.push(Effect::Send {
+                to: Destination::Partition(e.to),
+                msg: Direct::PlanVarsChunk {
+                    version,
+                    key,
+                    from: me,
+                    chunk: i as u32,
+                    total: e.chunks.len() as u32,
+                    vars: e.chunks[i].clone(),
+                },
+            });
+            if let Some(ids) = ids {
+                metrics.incr(ids.migration_chunks_sent, 1);
+            }
+            due(&mut next_due, e.deadline);
+        }
+        self.busy_until = busy_until;
+        for (version, key, to) in reverts {
+            eff.push(Effect::Multicast {
+                mid: migration_mid(key, version, TAG_MIGRATION_REVERT),
+                partitions: vec![me, to],
+                include_oracle: true,
+                payload: Payload::MigrationRevert { version, key, from: me, to },
+            });
+        }
+        next_due
+    }
+
+    /// Runs the migration pump and collapses this batch's `Wake` requests
+    /// into the single earliest one. The hosting actor keeps one timer
+    /// slot for wake-ups, so a later `Wake` would supersede an earlier
+    /// one — the merged minimum must always include the migration pump's
+    /// next deadline or a retransmit could be lost. A batch with neither
+    /// wakes nor migration work leaves any previously armed timer intact.
+    fn finalize_wakes(&mut self, now: SimTime, metrics: &mut Metrics, eff: &mut Vec<Effect<A>>) {
+        let mut min_wake = self.pump_migration(now, metrics, eff);
+        eff.retain(|e| match e {
+            Effect::Wake { at } => {
+                min_wake = Some(min_wake.map_or(*at, |cur| cur.min(*at)));
+                false
+            }
+            _ => true,
+        });
+        if let Some(at) = min_wake {
+            eff.push(Effect::Wake { at });
+        }
     }
 }
 
@@ -1312,7 +1893,7 @@ impl<A: Application> std::fmt::Debug for ServerCore<A> {
 mod tests {
     use super::*;
     use crate::command::CommandKind;
-    use dynastar_runtime::NodeId;
+    use dynastar_runtime::{NodeId, SimDuration};
 
     struct App;
     impl Application for App {
@@ -1673,5 +2254,284 @@ mod tests {
         assert_eq!(a.value_of(VarId(0)), Some(&2));
         assert_eq!(a.value_of(VarId(10)), None);
         assert_eq!(b.value_of(VarId(10)), Some(&3));
+    }
+
+    // ---- staged migration -------------------------------------------------
+
+    fn staged_config(max_retries: u32) -> ServerConfig {
+        ServerConfig {
+            staged_migration: true,
+            migration_chunk_vars: 1,
+            migration_chunk_timeout: SimDuration::from_millis(200),
+            migration_max_retries: max_retries,
+            record_metrics: true,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn staged_server(
+        p: u32,
+        keys: &[u64],
+        vars: &[(u64, i64)],
+        cfg: ServerConfig,
+    ) -> ServerCore<App> {
+        let mut s = ServerCore::new(PartitionId(p), Mode::Dynastar, cfg);
+        s.preload(keys.iter().map(|&k| LocKey(k)), vars.iter().map(|&(v, x)| (VarId(v), x)));
+        s
+    }
+
+    fn chunk_of(eff: &[Effect<App>]) -> Option<Direct<App>> {
+        eff.iter().find_map(|e| match e {
+            Effect::Send { msg: m2 @ Direct::PlanVarsChunk { .. }, .. } => Some(m2.clone()),
+            _ => None,
+        })
+    }
+
+    fn ack_of(eff: &[Effect<App>]) -> Option<Direct<App>> {
+        eff.iter().find_map(|e| match e {
+            Effect::Send { msg: m2 @ Direct::PlanVarsAck { .. }, .. } => Some(m2.clone()),
+            _ => None,
+        })
+    }
+
+    fn done_of(eff: &[Effect<App>]) -> Option<Payload<App>> {
+        eff.iter().find_map(|e| match e {
+            Effect::Multicast { payload: p @ Payload::MigrationDone { .. }, .. } => Some(p.clone()),
+            _ => None,
+        })
+    }
+
+    fn revert_of(eff: &[Effect<App>]) -> Option<Payload<App>> {
+        eff.iter().find_map(|e| match e {
+            Effect::Multicast { payload: p @ Payload::MigrationRevert { .. }, .. } => {
+                Some(p.clone())
+            }
+            _ => None,
+        })
+    }
+
+    const PLAN_V1: u64 = 1;
+
+    fn move_plan() -> Payload<App> {
+        Payload::Plan { version: PLAN_V1, moves: vec![(LocKey(0), PartitionId(0), PartitionId(1))] }
+    }
+
+    #[test]
+    fn staged_migration_chunked_roundtrip_installs_at_done() {
+        let mut src = staged_server(0, &[0], &[(0, 7), (1, 8), (2, 9)], staged_config(5));
+        let mut dst = staged_server(1, &[], &[], staged_config(5));
+        let mut m = Metrics::new();
+
+        let eff = src.on_deliver(move_plan(), now(), &mut m);
+        assert!(!src.owns(LocKey(0)));
+        assert_eq!(src.value_of(VarId(0)), None, "staged vars leave the source store");
+        let mut chunk = chunk_of(&eff).expect("first chunk ships from the migration pump");
+        let _ = dst.on_deliver(move_plan(), now(), &mut m);
+        assert!(dst.owns(LocKey(0)));
+
+        // A command for the moving key queues behind the staged transfer.
+        let eff = dst.on_deliver(access_payload(0, &[(0, 1)], 1, 0), now(), &mut m);
+        assert!(reply_of(&eff).is_none());
+        assert_eq!(dst.queue_len(), 1);
+
+        // One chunk in flight at a time: ack each to release the next.
+        let mut done = None;
+        for round in 0..3 {
+            let eff_d = dst.on_direct(chunk.clone(), now(), &mut m);
+            let ack = ack_of(&eff_d).expect("destination acks every chunk");
+            if let Some(d) = done_of(&eff_d) {
+                done = Some(d);
+            }
+            let eff_s = src.on_direct(ack, now(), &mut m);
+            match chunk_of(&eff_s) {
+                Some(next) => chunk = next,
+                None => assert_eq!(round, 2, "a next chunk ships until all three are acked"),
+            }
+        }
+        let done = done.expect("destination requests commit once chunks are complete");
+
+        // Nothing installs before the totally-ordered Done delivery.
+        assert_eq!(dst.value_of(VarId(0)), None);
+        let eff = dst.on_deliver(done.clone(), now(), &mut m);
+        // The install lands and the queued command executes on top of it in
+        // the same delivery: 7 + 1.
+        assert_eq!(reply_of(&eff), Some(vec![(VarId(0), 8)]));
+        assert_eq!(dst.value_of(VarId(0)), Some(&8));
+        assert_eq!(dst.value_of(VarId(1)), Some(&8));
+        assert_eq!(dst.value_of(VarId(2)), Some(&9));
+        assert_eq!(dst.queue_len(), 0);
+
+        // The source dismantles its outbox: no further pump activity.
+        let _ = src.on_deliver(done, now(), &mut m);
+        let eff = src.on_wake(SimTime::from_secs(10), &mut m);
+        assert!(chunk_of(&eff).is_none() && revert_of(&eff).is_none());
+        assert_eq!(m.counter(mn::MIGRATION_KEYS_STAGED), 1);
+        assert!(m.counter(mn::MIGRATION_CHUNKS_SENT) >= 3);
+    }
+
+    #[test]
+    fn staged_migration_retransmits_unacked_chunk() {
+        let mut src = staged_server(0, &[0], &[(0, 7), (1, 8)], staged_config(5));
+        let mut m = Metrics::new();
+        let eff = src.on_deliver(move_plan(), now(), &mut m);
+        assert!(chunk_of(&eff).is_some());
+
+        // No ack by the deadline (now + 200 ms backoff): retransmit.
+        let eff = src.on_wake(now() + SimDuration::from_millis(300), &mut m);
+        assert!(chunk_of(&eff).is_some(), "timed-out chunk is resent");
+        assert_eq!(m.counter(mn::MIGRATION_CHUNK_RETRIES), 1);
+
+        // The ack lands late: accepted, and the next chunk ships.
+        let eff = src.on_direct(
+            Direct::PlanVarsAck { version: PLAN_V1, key: LocKey(0), chunk: 0 },
+            now() + SimDuration::from_millis(400),
+            &mut m,
+        );
+        let next = chunk_of(&eff).expect("next chunk after late ack");
+        let Direct::PlanVarsChunk { chunk, total, .. } = next else { unreachable!() };
+        assert_eq!((chunk, total), (1, 2));
+    }
+
+    #[test]
+    fn staged_migration_reverts_after_exhausted_retries() {
+        let mut src = staged_server(0, &[0], &[(0, 7)], staged_config(1));
+        let mut dst = staged_server(1, &[], &[], staged_config(1));
+        let mut m = Metrics::new();
+        let eff = src.on_deliver(move_plan(), now(), &mut m);
+        let chunk = chunk_of(&eff).expect("chunk ships");
+        let _ = dst.on_deliver(move_plan(), now(), &mut m);
+        // The chunk reaches the destination, but every ack is "lost".
+        let _ = dst.on_direct(chunk, now(), &mut m);
+
+        // First deadline miss: one retry (max_retries = 1).
+        let t1 = now() + SimDuration::from_millis(300);
+        let eff = src.on_wake(t1, &mut m);
+        assert!(chunk_of(&eff).is_some());
+        assert!(revert_of(&eff).is_none());
+        // Second miss: retries exhausted → give up and request the revert.
+        let t2 = t1 + SimDuration::from_secs(2);
+        let eff = src.on_wake(t2, &mut m);
+        let revert = revert_of(&eff).expect("revert multicast after giving up");
+
+        // Totally-ordered revert delivery restores the source...
+        let _ = src.on_deliver(revert.clone(), t2, &mut m);
+        assert!(src.owns(LocKey(0)), "source reclaims the key");
+        assert_eq!(src.value_of(VarId(0)), Some(&7), "retained chunk data reinstalled");
+        assert_eq!(m.counter(mn::MIGRATION_REVERTS), 1);
+
+        // ...and un-owns the destination, so queued commands turn into
+        // stale-routing retries instead of waiting forever.
+        let _ = dst.on_deliver(revert, t2, &mut m);
+        assert!(!dst.owns(LocKey(0)));
+        let eff = dst.on_deliver(access_payload(0, &[(0, 1)], 1, 0), t2, &mut m);
+        assert!(eff.iter().any(|e| matches!(
+            e,
+            Effect::Send { to: Destination::Client(_), msg: Direct::Retry { .. } }
+        )));
+
+        // A Done for the same migration arriving after the revert settled
+        // must not resurrect it at the destination.
+        let done = Payload::MigrationDone {
+            version: PLAN_V1,
+            key: LocKey(0),
+            from: PartitionId(0),
+            to: PartitionId(1),
+        };
+        let _ = dst.on_deliver(done, t2, &mut m);
+        assert_eq!(dst.value_of(VarId(0)), None);
+    }
+
+    #[test]
+    fn staged_migration_of_empty_key_still_commits() {
+        let mut src = staged_server(0, &[0], &[], staged_config(5));
+        let mut dst = staged_server(1, &[], &[], staged_config(5));
+        let mut m = Metrics::new();
+        let eff = src.on_deliver(move_plan(), now(), &mut m);
+        let chunk = chunk_of(&eff).expect("an empty chunk still ships");
+        let Direct::PlanVarsChunk { total, ref vars, .. } = chunk else { unreachable!() };
+        assert_eq!((total, vars.len()), (1, 0));
+        let _ = dst.on_deliver(move_plan(), now(), &mut m);
+        let eff_d = dst.on_direct(chunk, now(), &mut m);
+        assert!(ack_of(&eff_d).is_some());
+        let done = done_of(&eff_d).expect("empty transfer reaches total and commits");
+        let _ = dst.on_deliver(done, now(), &mut m);
+        // The destination is authoritative: commands execute (creating the
+        // variable on first write).
+        let eff = dst.on_deliver(access_payload(0, &[(0, 1)], 1, 0), now(), &mut m);
+        assert_eq!(reply_of(&eff), Some(vec![(VarId(0), 1)]));
+    }
+
+    #[test]
+    fn duplicate_chunks_are_reacked_but_not_restaged() {
+        let mut dst = staged_server(1, &[], &[], staged_config(5));
+        let mut m = Metrics::new();
+        let _ = dst.on_deliver(move_plan(), now(), &mut m);
+        let chunk = Direct::PlanVarsChunk {
+            version: PLAN_V1,
+            key: LocKey(0),
+            from: PartitionId(0),
+            chunk: 0,
+            total: 2,
+            vars: vec![(VarId(0), Some(7))],
+        };
+        let eff1 = dst.on_direct(chunk.clone(), now(), &mut m);
+        assert!(ack_of(&eff1).is_some());
+        assert!(done_of(&eff1).is_none(), "1 of 2 chunks is not complete");
+        // A retransmitted duplicate is acked again (the first ack may have
+        // been lost) without double-counting toward completion.
+        let eff2 = dst.on_direct(chunk, now(), &mut m);
+        assert!(ack_of(&eff2).is_some());
+        assert!(done_of(&eff2).is_none());
+    }
+
+    #[test]
+    fn done_outrunning_queued_plan_retains_staged_vars() {
+        // Regression: a busy destination CPU leaves the plan sitting in
+        // the command queue while the (later-ordered) Done applies at
+        // delivery. The staged vars must survive until the plan pump
+        // makes this replica the owner — dropping them would leave the
+        // key owned-but-empty, with every command for it waiting forever.
+        let cfg = ServerConfig { service_time: SimDuration::from_millis(10), ..staged_config(5) };
+        let mut dst = staged_server(1, &[1], &[(10, 0)], cfg);
+        let mut m = Metrics::new();
+        let t0 = now();
+        // An unrelated command occupies the modelled CPU...
+        let eff = dst.on_deliver(access_payload(0, &[(10, 1)], 1, 0), t0, &mut m);
+        assert!(reply_of(&eff).is_some());
+        // ...so the move plan delivered next stays queued, unpumped.
+        let _ = dst.on_deliver(move_plan(), t0, &mut m);
+        assert!(!dst.owns(LocKey(0)));
+        // The staged transfer still completes around it: chunks travel
+        // outside the total order, and the Done applies at delivery.
+        let chunk = Direct::PlanVarsChunk {
+            version: PLAN_V1,
+            key: LocKey(0),
+            from: PartitionId(0),
+            chunk: 0,
+            total: 1,
+            vars: vec![(VarId(0), Some(7))],
+        };
+        let _ = dst.on_direct(chunk, t0, &mut m);
+        let done = Payload::MigrationDone {
+            version: PLAN_V1,
+            key: LocKey(0),
+            from: PartitionId(0),
+            to: PartitionId(1),
+        };
+        let _ = dst.on_deliver(done, t0, &mut m);
+        // Nothing installs while the plan is still queued.
+        assert_eq!(dst.value_of(VarId(0)), None);
+        // The CPU frees up: the plan pumps and the retained staging
+        // entry resolves in the same wake.
+        let _ = dst.on_wake(t0 + SimDuration::from_millis(10), &mut m);
+        assert!(dst.owns(LocKey(0)));
+        assert_eq!(dst.value_of(VarId(0)), Some(&7), "staged vars install once the plan lands");
+        // The key is fully authoritative: commands execute immediately.
+        let eff = dst.on_deliver(
+            access_payload(1, &[(0, 1)], 1, 0),
+            t0 + SimDuration::from_millis(20),
+            &mut m,
+        );
+        assert_eq!(reply_of(&eff), Some(vec![(VarId(0), 8)]));
     }
 }

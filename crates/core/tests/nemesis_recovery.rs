@@ -281,6 +281,7 @@ fn nemesis_run_batched(
         max_downtime: SimDuration::from_secs(3),
         grace: SimDuration::from_secs(3),
         crash_pct: 50,
+        ..NemesisConfig::default()
     };
     let plan = NemesisPlan::generate(&cfg, cluster.groups());
     assert!(plan.crash_count() >= 1, "schedule exercises no restarts");
@@ -346,6 +347,78 @@ fn batched_nemesis_run_is_linearizable_and_deterministic() {
         h.iter().map(|r| (r.invoke, r.response, r.op.clone(), r.ret.clone())).collect::<Vec<_>>()
     };
     assert_eq!(key(&h1), key(&h2), "same-seed batched nemesis runs diverged");
+}
+
+/// A synchronized crash wave plus a degraded link, landing while the low
+/// repartition threshold keeps staged migrations in flight: every wave
+/// crash rebuilds from peer snapshots, all commands complete, and the
+/// history stays linearizable — recovery converges even when the faults
+/// overlap chunked state transfer.
+#[test]
+fn crash_wave_mid_migration_converges() {
+    let config = ClusterConfig {
+        partitions: 2,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed: 17,
+        repartition_threshold: 20,
+        min_plan_interval: SimDuration::from_secs(1),
+        server: dynastar_core::server::ServerConfig {
+            hint_batch: 4,
+            staged_migration: true,
+            migration_chunk_vars: 2,
+            migration_var_bytes: 8 * 1024,
+            migration_link_bytes_per_sec: 1024 * 1024,
+            migration_chunk_timeout: SimDuration::from_millis(100),
+            migration_max_retries: 6,
+            ..Default::default()
+        },
+        service_time: SimDuration::from_millis(100),
+        warm_client_caches: true,
+        client_timeout: SimDuration::from_secs(3),
+        client_retry_backoff: SimDuration::from_millis(2),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    for v in 0..VARS {
+        b.place(LocKey(v), PartitionId((v % 2) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    // 60 multi-heavy ops at ~100 ms modelled service each: traffic (and
+    // the migrations it triggers) spans the wave window.
+    let history = add_recorders(&mut cluster, 3, 20, 50);
+    let cfg = NemesisConfig {
+        seed: 5,
+        start: SimTime::from_secs(2),
+        end: SimTime::from_secs(14),
+        // A quiet random schedule: the synchronized wave and the degraded
+        // link are the whole event.
+        mean_interval: SimDuration::from_secs(3600),
+        crash_waves: 1,
+        wave_downtime: SimDuration::from_secs(2),
+        link_faults: 1,
+        link_extra_delay: SimDuration::from_millis(5),
+        link_loss_pm: 100_000,
+        ..NemesisConfig::default()
+    };
+    let plan = NemesisPlan::generate(&cfg, cluster.groups());
+    let wave_crashes = plan.crash_count();
+    assert_eq!(wave_crashes, 3, "one wave must crash a replica in every group");
+    plan.apply(&mut cluster.sim);
+    cluster.run_for(SimDuration::from_secs(120));
+
+    let m = cluster.metrics();
+    assert!(m.counter(metric_names::PLANS_PUBLISHED) >= 1, "no repartitioning happened");
+    assert!(
+        m.counter(metric_names::RECOVERY_COMPLETIONS) >= wave_crashes,
+        "every wave crash must recover via peer snapshots ({} recoveries, {} crashes)",
+        m.counter(metric_names::RECOVERY_COMPLETIONS),
+        wave_crashes
+    );
+    let recorded = history.lock().unwrap().clone();
+    assert_eq!(recorded.len(), 3 * 20, "not all commands completed");
+    assert!(check::<CounterSpec>(&recorded, BTreeMap::new()), "history not linearizable");
 }
 
 /// Fixed seed, no faults: every batch size yields a complete linearizable

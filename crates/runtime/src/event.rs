@@ -45,6 +45,28 @@ pub enum Control {
     Disconnect(NodeId),
     /// Reconnect a previously disconnected node.
     Reconnect(NodeId),
+    /// Degrade the directed link `from → to`: every message on it gains
+    /// `extra_delay_us` of latency and is dropped with probability
+    /// `loss_pm / 1_000_000` (on top of the base network model). The
+    /// override is asymmetric — the reverse direction is untouched unless
+    /// degraded separately.
+    DegradeLink {
+        /// Sending endpoint of the degraded direction.
+        from: NodeId,
+        /// Receiving endpoint of the degraded direction.
+        to: NodeId,
+        /// Additional one-way latency, in microseconds.
+        extra_delay_us: u64,
+        /// Additional loss probability, in parts per million.
+        loss_pm: u32,
+    },
+    /// Remove the [`Control::DegradeLink`] override on `from → to`.
+    RepairLink {
+        /// Sending endpoint of the repaired direction.
+        from: NodeId,
+        /// Receiving endpoint of the repaired direction.
+        to: NodeId,
+    },
 }
 
 #[derive(Debug)]

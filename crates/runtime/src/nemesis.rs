@@ -61,6 +61,32 @@ pub struct NemesisConfig {
     /// Probability (percent) that a fault is a crash/restart rather than
     /// a disconnect/reconnect.
     pub crash_pct: u32,
+    /// Number of synchronized crash-restart *waves*: at each wave instant
+    /// one replica of every crash-eligible (≥ 3 replica) group crashes at
+    /// the same time and restarts [`Self::wave_downtime`] later. One
+    /// replica per group keeps the minority invariant; the simultaneity
+    /// across groups is what stresses recovery (and any migration in
+    /// flight). Waves are spaced evenly across the fault window.
+    pub crash_waves: u32,
+    /// Downtime of every wave victim.
+    pub wave_downtime: SimDuration,
+    /// Index into `groups` of a group to target with extra faults (the
+    /// oracle is the *last* group under the cluster's topology
+    /// convention). `None` leaves every group at the base intensity.
+    pub target_group: Option<usize>,
+    /// Fault-intensity multiplier for [`Self::target_group`]: its mean
+    /// interval between faults is divided by this (≥ 1).
+    pub target_intensity: u32,
+    /// Number of degraded-link windows: each picks a random directed node
+    /// pair and, for one downtime-sized window, adds
+    /// [`Self::link_extra_delay`] of one-way latency and
+    /// [`Self::link_loss_pm`] of loss on top of the base network model.
+    /// Asymmetric by construction — the reverse direction stays clean.
+    pub link_faults: u32,
+    /// Extra one-way latency on a degraded link.
+    pub link_extra_delay: SimDuration,
+    /// Extra loss (parts per million) on a degraded link.
+    pub link_loss_pm: u32,
 }
 
 impl Default for NemesisConfig {
@@ -74,6 +100,13 @@ impl Default for NemesisConfig {
             max_downtime: SimDuration::from_secs(4),
             grace: SimDuration::from_secs(3),
             crash_pct: 50,
+            crash_waves: 0,
+            wave_downtime: SimDuration::from_secs(2),
+            target_group: None,
+            target_intensity: 1,
+            link_faults: 0,
+            link_extra_delay: SimDuration::from_millis(5),
+            link_loss_pm: 100_000,
         }
     }
 }
@@ -100,11 +133,33 @@ pub struct FaultEvent {
     pub repair_at: SimTime,
 }
 
+/// One scheduled link degradation + its repair (see
+/// [`NemesisConfig::link_faults`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkFaultEvent {
+    /// Sending endpoint of the degraded direction.
+    pub from: NodeId,
+    /// Receiving endpoint of the degraded direction.
+    pub to: NodeId,
+    /// Degradation start.
+    pub at: SimTime,
+    /// Repair time.
+    pub repair_at: SimTime,
+    /// Extra one-way latency while degraded.
+    pub extra_delay: SimDuration,
+    /// Extra loss (parts per million) while degraded.
+    pub loss_pm: u32,
+}
+
 /// A deterministic fault schedule over a set of replica groups.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NemesisPlan {
     /// All scheduled faults, ordered by injection time.
     pub events: Vec<FaultEvent>,
+    /// All scheduled link degradations, ordered by start time. Kept apart
+    /// from [`Self::events`]: link faults degrade a *directed edge*, not a
+    /// node, and are exempt from the per-group minority invariant.
+    pub link_events: Vec<LinkFaultEvent>,
 }
 
 impl NemesisPlan {
@@ -116,17 +171,39 @@ impl NemesisPlan {
         assert!(cfg.end > cfg.start, "nemesis window is empty");
         assert!(cfg.max_downtime >= cfg.min_downtime, "downtime range inverted");
         let mut events = Vec::new();
+
+        // Crash waves first: their windows are fixed points the per-group
+        // random schedules must route around to keep the one-fault-at-a-
+        // time invariant within each group.
+        let waves = Self::wave_windows(cfg);
+        let mut wave_rng = StdRng::seed_from_u64(cfg.seed ^ 0xA5A5_5A5A_C3C3_3C3C);
+        for &(at, repair_at) in &waves {
+            for group in groups {
+                if group.len() < 3 {
+                    continue; // minority invariant: no crash without quorum recovery
+                }
+                let node = group[wave_rng.gen_range(0..group.len())];
+                events.push(FaultEvent { node, kind: FaultKind::Crash, at, repair_at });
+            }
+        }
+
         for (gi, group) in groups.iter().enumerate() {
             let mut rng =
                 StdRng::seed_from_u64(cfg.seed ^ (gi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
             let crash_ok = group.len() >= 3;
+            let mean = if cfg.target_group == Some(gi) {
+                SimDuration::from_micros(
+                    cfg.mean_interval.as_micros() / u64::from(cfg.target_intensity.max(1)),
+                )
+            } else {
+                cfg.mean_interval
+            };
             // Sequential faults per group: the next window opens only
             // after the previous repair plus the grace period, so at most
             // one replica of the group is ever faulty or recovering.
             let mut cursor = cfg.start;
             loop {
-                let jitter = cfg.mean_interval.as_micros() / 2
-                    + rng.gen_range(0..cfg.mean_interval.as_micros().max(1));
+                let jitter = mean.as_micros() / 2 + rng.gen_range(0..mean.as_micros().max(1));
                 let at = cursor + SimDuration::from_micros(jitter);
                 let downtime = SimDuration::from_micros(
                     rng.gen_range(cfg.min_downtime.as_micros()..=cfg.max_downtime.as_micros()),
@@ -134,6 +211,15 @@ impl NemesisPlan {
                 let repair_at = at + downtime;
                 if at >= cfg.end || repair_at >= cfg.end {
                     break;
+                }
+                // A window that cannot keep grace-distance from a crash
+                // wave is skipped: the cursor jumps past the wave and the
+                // schedule resumes on the far side.
+                if let Some(&(_, w_repair)) = waves.iter().find(|&&(w_at, w_repair)| {
+                    !(repair_at + cfg.grace <= w_at || at >= w_repair + cfg.grace)
+                }) {
+                    cursor = w_repair + cfg.grace;
+                    continue;
                 }
                 let node = group[rng.gen_range(0..group.len())];
                 let kind = if crash_ok && rng.gen_range(0..100u32) < cfg.crash_pct {
@@ -146,7 +232,71 @@ impl NemesisPlan {
             }
         }
         events.sort_by_key(|e| (e.at, e.node.as_raw()));
-        NemesisPlan { events }
+
+        // Link faults: directed-edge degradations, independent of the node
+        // fault domains (nothing goes down, so no invariant to uphold).
+        let mut link_events = Vec::new();
+        let all: Vec<NodeId> = groups.iter().flatten().copied().collect();
+        if cfg.link_faults > 0 && all.len() >= 2 {
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1EE7_C0DE_F00D_BEEF);
+            let span = (cfg.end - cfg.start).as_micros();
+            for _ in 0..cfg.link_faults {
+                let at = cfg.start + SimDuration::from_micros(rng.gen_range(0..span.max(1)));
+                let downtime = SimDuration::from_micros(
+                    rng.gen_range(cfg.min_downtime.as_micros()..=cfg.max_downtime.as_micros()),
+                );
+                let repair_at = at + downtime;
+                if repair_at >= cfg.end {
+                    continue;
+                }
+                let from = all[rng.gen_range(0..all.len())];
+                let mut to = all[rng.gen_range(0..all.len())];
+                if to == from {
+                    to = all[(rng.gen_range(0..all.len() - 1) + 1 + from.as_raw() as usize)
+                        % all.len()];
+                    if to == from {
+                        continue;
+                    }
+                }
+                link_events.push(LinkFaultEvent {
+                    from,
+                    to,
+                    at,
+                    repair_at,
+                    extra_delay: cfg.link_extra_delay,
+                    loss_pm: cfg.link_loss_pm,
+                });
+            }
+            link_events.sort_by_key(|e| (e.at, e.from.as_raw(), e.to.as_raw()));
+        }
+        NemesisPlan { events, link_events }
+    }
+
+    /// The `(at, repair_at)` windows of the configured crash waves, spaced
+    /// evenly across the fault window. A wave whose window would collide
+    /// with the previous wave's grace period, or spill past `end`, is
+    /// dropped rather than bent.
+    fn wave_windows(cfg: &NemesisConfig) -> Vec<(SimTime, SimTime)> {
+        let mut waves: Vec<(SimTime, SimTime)> = Vec::new();
+        if cfg.crash_waves == 0 {
+            return waves;
+        }
+        let span = (cfg.end - cfg.start).as_micros();
+        let step = span / (u64::from(cfg.crash_waves) + 1);
+        for i in 0..u64::from(cfg.crash_waves) {
+            let at = cfg.start + SimDuration::from_micros(step * (i + 1));
+            let repair_at = at + cfg.wave_downtime;
+            if repair_at >= cfg.end {
+                continue;
+            }
+            if let Some(&(_, prev_repair)) = waves.last() {
+                if at < prev_repair + cfg.grace {
+                    continue;
+                }
+            }
+            waves.push((at, repair_at));
+        }
+        waves
     }
 
     /// Schedules every fault and repair on `sim`.
@@ -163,6 +313,10 @@ impl NemesisPlan {
                 }
             }
         }
+        for l in &self.link_events {
+            sim.schedule_link_degrade(l.at, l.from, l.to, l.extra_delay, l.loss_pm);
+            sim.schedule_link_repair(l.repair_at, l.from, l.to);
+        }
     }
 
     /// Number of crash/restart faults in the plan.
@@ -175,9 +329,19 @@ impl NemesisPlan {
         self.events.len() as u64 - self.crash_count()
     }
 
-    /// Time of the last repair — the cluster should converge after this.
+    /// Number of degraded-link windows in the plan.
+    pub fn link_fault_count(&self) -> u64 {
+        self.link_events.len() as u64
+    }
+
+    /// Time of the last repair (node or link) — the cluster should
+    /// converge after this.
     pub fn last_repair(&self) -> Option<SimTime> {
-        self.events.iter().map(|e| e.repair_at).max()
+        self.events
+            .iter()
+            .map(|e| e.repair_at)
+            .chain(self.link_events.iter().map(|l| l.repair_at))
+            .max()
     }
 }
 
@@ -233,6 +397,92 @@ mod tests {
         for e in &plan.events {
             assert!(e.at >= cfg.start && e.repair_at < cfg.end);
             assert!(e.repair_at > e.at);
+        }
+    }
+
+    #[test]
+    fn crash_waves_hit_every_big_group_at_once_and_keep_the_invariant() {
+        let groups = vec![group(&[0, 1, 2]), group(&[3, 4, 5]), group(&[6, 7])];
+        let cfg = NemesisConfig {
+            seed: 11,
+            end: SimTime::from_secs(120),
+            crash_waves: 3,
+            ..NemesisConfig::default()
+        };
+        let plan = NemesisPlan::generate(&cfg, &groups);
+        assert_eq!(plan, NemesisPlan::generate(&cfg, &groups));
+        // Each wave instant crashes exactly one replica of each ≥3 group.
+        let mut by_time: std::collections::BTreeMap<SimTime, Vec<&FaultEvent>> = Default::default();
+        for e in plan.events.iter().filter(|e| e.kind == FaultKind::Crash) {
+            by_time.entry(e.at).or_default().push(e);
+        }
+        let waves: Vec<_> = by_time.values().filter(|v| v.len() > 1).collect();
+        assert_eq!(waves.len(), 3, "expected 3 simultaneous crash waves");
+        for wave in waves {
+            assert_eq!(wave.len(), 2, "one victim per ≥3-replica group");
+            for (gi, g) in groups.iter().enumerate() {
+                let victims = wave.iter().filter(|e| g.contains(&e.node)).count();
+                let expect = usize::from(g.len() >= 3);
+                assert_eq!(victims, expect, "group {gi}");
+            }
+        }
+        // The random schedule still keeps grace-distance inside each group.
+        for (gi, g) in groups.iter().enumerate() {
+            let mut windows: Vec<(SimTime, SimTime)> = plan
+                .events
+                .iter()
+                .filter(|e| g.contains(&e.node))
+                .map(|e| (e.at, e.repair_at))
+                .collect();
+            windows.sort();
+            for pair in windows.windows(2) {
+                assert!(
+                    pair[1].0 >= pair[0].1 + cfg.grace,
+                    "group {gi}: overlapping fault windows {pair:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn target_group_takes_more_faults() {
+        let groups = vec![group(&[0, 1, 2]), group(&[3, 4, 5])];
+        let cfg = NemesisConfig {
+            seed: 21,
+            end: SimTime::from_secs(600),
+            min_downtime: SimDuration::from_millis(200),
+            max_downtime: SimDuration::from_millis(500),
+            grace: SimDuration::from_secs(1),
+            target_group: Some(1), // the "oracle" under cluster convention
+            target_intensity: 4,
+            ..NemesisConfig::default()
+        };
+        let plan = NemesisPlan::generate(&cfg, &groups);
+        let count = |g: &[NodeId]| plan.events.iter().filter(|e| g.contains(&e.node)).count();
+        let base = count(&groups[0]);
+        let targeted = count(&groups[1]);
+        assert!(
+            targeted > base * 2,
+            "targeted group should see far more faults: {targeted} vs {base}"
+        );
+    }
+
+    #[test]
+    fn link_faults_are_directed_and_in_window() {
+        let groups = vec![group(&[0, 1, 2]), group(&[3, 4, 5])];
+        let cfg = NemesisConfig {
+            seed: 31,
+            end: SimTime::from_secs(200),
+            link_faults: 8,
+            ..NemesisConfig::default()
+        };
+        let plan = NemesisPlan::generate(&cfg, &groups);
+        assert_eq!(plan, NemesisPlan::generate(&cfg, &groups));
+        assert!(plan.link_fault_count() > 0);
+        for l in &plan.link_events {
+            assert_ne!(l.from, l.to, "a link fault needs two distinct endpoints");
+            assert!(l.at >= cfg.start && l.repair_at < cfg.end);
+            assert!(l.repair_at > l.at);
         }
     }
 

@@ -78,6 +78,13 @@ struct NodeState<M> {
     timer_gens: BTreeMap<u64, u64>,
 }
 
+/// An active [`Control::DegradeLink`] override on one directed link.
+#[derive(Debug, Clone, Copy)]
+struct LinkOverride {
+    extra_delay: SimDuration,
+    loss_pm: u32,
+}
+
 /// A deterministic discrete-event simulation of message-passing nodes.
 ///
 /// Identical configuration and identical sequences of calls produce
@@ -97,6 +104,11 @@ pub struct Simulation<M> {
     /// Recycled effect buffer for [`Simulation::invoke`]; avoids a heap
     /// allocation per delivered event on the hot path.
     scratch_effects: Vec<Effect<M>>,
+    /// Per-directed-link degradations (extra delay + loss). Consulted on
+    /// every send only when non-empty; the extra loss draw happens only
+    /// for overridden links, so runs without link faults consume exactly
+    /// the same RNG stream as before the feature existed.
+    link_overrides: BTreeMap<(NodeId, NodeId), LinkOverride>,
 }
 
 impl<M: 'static> Simulation<M> {
@@ -116,6 +128,7 @@ impl<M: 'static> Simulation<M> {
             events_processed: 0,
             events_by_kind: [0; 3],
             scratch_effects: Vec::new(),
+            link_overrides: BTreeMap::new(),
         }
     }
 
@@ -190,10 +203,27 @@ impl<M: 'static> Simulation<M> {
     ///
     /// Useful for driving protocols from tests without a client actor.
     pub fn send_external(&mut self, to: NodeId, msg: M) {
-        if let Some(lat) = self.config.net.sample_delivery(NodeId::EXTERNAL, to, &mut self.net_rng)
-        {
+        if let Some(lat) = self.sample_link(NodeId::EXTERNAL, to) {
             self.queue.push(self.now + lat, EventKind::Deliver { to, from: NodeId::EXTERNAL, msg });
+        } else {
+            self.metrics.incr_counter("net.dropped_sends", 1);
         }
+    }
+
+    /// Samples a one-way delivery latency for `from → to`, applying any
+    /// active [`Control::DegradeLink`] override on top of the base network
+    /// model. `None` means the message is lost.
+    fn sample_link(&mut self, from: NodeId, to: NodeId) -> Option<SimDuration> {
+        let mut lat = self.config.net.sample_delivery(from, to, &mut self.net_rng)?;
+        if !self.link_overrides.is_empty() {
+            if let Some(o) = self.link_overrides.get(&(from, to)).copied() {
+                if o.loss_pm > 0 && self.net_rng.gen_range(0..1_000_000u32) < o.loss_pm {
+                    return None;
+                }
+                lat += o.extra_delay;
+            }
+        }
+        Some(lat)
     }
 
     /// Schedules a crash of `node` at absolute time `at`. The crash is
@@ -217,6 +247,38 @@ impl<M: 'static> Simulation<M> {
     /// model; see [`Control::Restart`]).
     pub fn schedule_restart(&mut self, at: SimTime, node: NodeId) {
         self.queue.push(at, EventKind::Control(Control::Restart(node)));
+    }
+
+    /// Schedules a degradation of the directed link `from → to` at `at`:
+    /// extra one-way latency plus extra loss in parts per million, layered
+    /// on the base network model (see [`Control::DegradeLink`]).
+    pub fn schedule_link_degrade(
+        &mut self,
+        at: SimTime,
+        from: NodeId,
+        to: NodeId,
+        extra_delay: SimDuration,
+        loss_pm: u32,
+    ) {
+        self.queue.push(
+            at,
+            EventKind::Control(Control::DegradeLink {
+                from,
+                to,
+                extra_delay_us: extra_delay.as_micros(),
+                loss_pm,
+            }),
+        );
+    }
+
+    /// Schedules removal of the `from → to` link override at `at`.
+    pub fn schedule_link_repair(&mut self, at: SimTime, from: NodeId, to: NodeId) {
+        self.queue.push(at, EventKind::Control(Control::RepairLink { from, to }));
+    }
+
+    /// Number of directed links currently degraded (test/debug aid).
+    pub fn degraded_link_count(&self) -> usize {
+        self.link_overrides.len()
     }
 
     /// Crashes `node` immediately.
@@ -266,6 +328,20 @@ impl<M: 'static> Simulation<M> {
                 if !node.connected {
                     node.connected = true;
                     self.metrics.incr_counter("sim.reconnects", 1);
+                }
+            }
+            Control::DegradeLink { from, to, extra_delay_us, loss_pm } => {
+                let o = LinkOverride {
+                    extra_delay: SimDuration::from_micros(extra_delay_us),
+                    loss_pm: loss_pm.min(1_000_000),
+                };
+                if self.link_overrides.insert((from, to), o).is_none() {
+                    self.metrics.incr_counter("sim.link_degrades", 1);
+                }
+            }
+            Control::RepairLink { from, to } => {
+                if self.link_overrides.remove(&(from, to)).is_some() {
+                    self.metrics.incr_counter("sim.link_repairs", 1);
                 }
             }
         }
@@ -335,11 +411,13 @@ impl<M: 'static> Simulation<M> {
                     let dest_connected =
                         self.nodes.get(to.as_raw() as usize).map(|n| n.connected).unwrap_or(false);
                     if !sender_connected || !dest_connected {
+                        self.metrics.incr_counter("net.dropped_sends", 1);
                         continue;
                     }
-                    if let Some(lat) = self.config.net.sample_delivery(from, to, &mut self.net_rng)
-                    {
+                    if let Some(lat) = self.sample_link(from, to) {
                         self.queue.push(self.now + lat, EventKind::Deliver { to, from, msg });
+                    } else {
+                        self.metrics.incr_counter("net.dropped_sends", 1);
                     }
                 }
                 Effect::SetTimer { delay, tag } => {
@@ -715,6 +793,93 @@ mod tests {
             (sim.events_processed(), sim.metrics().counter("ticks"))
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn degraded_link_drops_and_delays_until_repair() {
+        struct Beacon {
+            peer: NodeId,
+        }
+        impl Actor<Msg> for Beacon {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+                ctx.send(self.peer, Msg::Ping(0));
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+        }
+        struct Sink;
+        impl Actor<Msg> for Sink {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, _msg: Msg) {
+                ctx.metrics_mut().incr_counter("rx", 1);
+            }
+        }
+        let mut sim =
+            Simulation::new(SimConfig::default().seed(4).net(
+                NetConfig::default().latency(LatencyModel::Fixed(SimDuration::from_micros(100))),
+            ));
+        let sink = sim.add_node("sink", Sink);
+        let beacon = sim.add_node("beacon", Beacon { peer: sink });
+        // Total loss on beacon → sink for 10 ms out of 30 ms.
+        sim.schedule_link_degrade(
+            SimTime::from_millis(10),
+            beacon,
+            sink,
+            SimDuration::from_millis(2),
+            1_000_000,
+        );
+        sim.schedule_link_repair(SimTime::from_millis(20), beacon, sink);
+        sim.run_until(SimTime::from_millis(30));
+        let rx = sim.metrics().counter("rx");
+        assert!((15..=25).contains(&rx), "rx = {rx}");
+        assert!(sim.metrics().counter("net.dropped_sends") >= 5);
+        assert_eq!(sim.metrics().counter("sim.link_degrades"), 1);
+        assert_eq!(sim.metrics().counter("sim.link_repairs"), 1);
+        assert_eq!(sim.degraded_link_count(), 0);
+    }
+
+    #[test]
+    fn link_override_is_asymmetric() {
+        struct Echo2;
+        impl Actor<Msg> for Echo2 {
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+                if let Msg::Ping(n) = msg {
+                    ctx.metrics_mut().incr_counter("echo_rx", 1);
+                    ctx.send(from, Msg::Pong(n));
+                }
+            }
+        }
+        struct Caller {
+            peer: NodeId,
+        }
+        impl Actor<Msg> for Caller {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+                ctx.send(self.peer, Msg::Ping(0));
+                ctx.set_timer(SimDuration::from_millis(1), 0);
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+                if let Msg::Pong(_) = msg {
+                    ctx.metrics_mut().incr_counter("caller_rx", 1);
+                }
+            }
+        }
+        let mut sim =
+            Simulation::new(SimConfig::default().seed(5).net(
+                NetConfig::default().latency(LatencyModel::Fixed(SimDuration::from_micros(100))),
+            ));
+        let echo = sim.add_node("echo", Echo2);
+        sim.add_node("caller", Caller { peer: echo });
+        // Kill only the echo → caller direction: pings still arrive,
+        // pongs never do.
+        let caller = NodeId::from_raw(1);
+        sim.schedule_link_degrade(SimTime::ZERO, echo, caller, SimDuration::ZERO, 1_000_000);
+        sim.run_until(SimTime::from_millis(20));
+        assert!(sim.metrics().counter("echo_rx") >= 15);
+        assert_eq!(sim.metrics().counter("caller_rx"), 0);
     }
 
     #[test]

@@ -19,15 +19,20 @@
 //! * [`placement`] — initial-placement helpers: random (DynaStar's t=0
 //!   state), aligned, and partitioner-optimized (S-SMR\*'s offline METIS
 //!   step).
+//! * [`scenarios`] — adversarial scenario generators for the robustness
+//!   suite: flash crowds, diurnal hot-spot rotation, Zipf-parameter ramps
+//!   and membership-churn nemesis presets.
 
 #![forbid(unsafe_code)]
 
 pub mod chirper;
 pub mod placement;
+pub mod scenarios;
 pub mod socialgraph;
 pub mod tpcc;
 pub mod zipf;
 
 pub use chirper::{Chirper, ChirperOp, ChirperReply, ChirperUser, ChirperWorkload};
+pub use scenarios::{churn_nemesis, flash_crowd, DiurnalRotation, ScenarioWorkload, ZipfRamp};
 pub use socialgraph::SocialGraph;
 pub use zipf::Zipf;

@@ -1,0 +1,342 @@
+//! Adversarial scenario generators.
+//!
+//! The robustness suite stresses DynaStar's repartitioning loop with the
+//! access patterns that hurt a dynamic partitioner most:
+//!
+//! * **Flash crowd** ([`flash_crowd`]) — a "celebrity post" moment: a large
+//!   share of post/follow traffic suddenly concentrates on one user,
+//!   yanking the workload graph's hot spot to a single vertex.
+//! * **Diurnal rotation** ([`DiurnalRotation`]) — the hot region of the
+//!   keyspace rotates on a fixed period, like follow-the-sun traffic; every
+//!   rotation invalidates the previous plan's locality.
+//! * **Zipf ramp** ([`ZipfRamp`]) — the skew parameter itself drifts over
+//!   time, flattening or sharpening the popularity curve under the
+//!   partitioner's feet.
+//! * **Membership churn** ([`churn_nemesis`]) — repeated crash-restart
+//!   waves plus asymmetric degraded links, timed to overlap state
+//!   migration.
+//!
+//! [`DiurnalRotation`] and [`ZipfRamp`] implement [`AccessPattern`]; wrap
+//! one in a [`ScenarioWorkload`] together with a command factory to drive
+//! any [`Application`]. Everything here is deterministic given the
+//! workload RNG the simulator hands out.
+
+use std::sync::{Arc, Mutex};
+
+use dynastar_core::{Application, CommandKind, Workload};
+use dynastar_runtime::nemesis::NemesisConfig;
+use dynastar_runtime::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use crate::chirper::{ChirperMix, ChirperWorkload};
+use crate::socialgraph::SocialGraph;
+use crate::zipf::Zipf;
+
+/// A time-varying popularity distribution over `{0, …, n-1}`.
+pub trait AccessPattern {
+    /// Draws the next accessed rank at simulated time `now`.
+    fn next_rank(&mut self, now: SimTime, rng: &mut StdRng) -> u64;
+
+    /// The domain size.
+    fn domain(&self) -> u64;
+}
+
+/// A static Zipfian pattern (the non-adversarial baseline).
+impl AccessPattern for Zipf {
+    fn next_rank(&mut self, _now: SimTime, rng: &mut StdRng) -> u64 {
+        self.sample(rng)
+    }
+
+    fn domain(&self) -> u64 {
+        Zipf::domain(self)
+    }
+}
+
+/// Diurnal access rotation: Zipf-popular ranks stay Zipf-popular, but the
+/// identity of the hot keys shifts by `stride` every `period` — the whole
+/// popularity curve "rotates" through the keyspace like timezone-driven
+/// daily load. Each rotation instantly obsoletes the locality the previous
+/// plan optimized for.
+#[derive(Debug, Clone)]
+pub struct DiurnalRotation {
+    zipf: Zipf,
+    period: SimDuration,
+    stride: u64,
+}
+
+impl DiurnalRotation {
+    /// Creates a rotation over `{0, …, n-1}` with skew `theta`, shifting
+    /// the hot spot by `stride` keys every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero (the rotation count would be undefined)
+    /// or the underlying Zipf parameters are invalid.
+    pub fn new(n: u64, theta: f64, period: SimDuration, stride: u64) -> Self {
+        assert!(period > SimDuration::ZERO, "rotation period must be positive");
+        DiurnalRotation { zipf: Zipf::new(n, theta), period, stride }
+    }
+
+    /// The rotation offset in effect at `now`.
+    pub fn offset_at(&self, now: SimTime) -> u64 {
+        let rotations = now.as_micros() / self.period.as_micros().max(1);
+        rotations.wrapping_mul(self.stride) % self.zipf.domain()
+    }
+}
+
+impl AccessPattern for DiurnalRotation {
+    fn next_rank(&mut self, now: SimTime, rng: &mut StdRng) -> u64 {
+        (self.zipf.sample(rng) + self.offset_at(now)) % self.zipf.domain()
+    }
+
+    fn domain(&self) -> u64 {
+        self.zipf.domain()
+    }
+}
+
+/// A linear ramp of the Zipf skew parameter from `theta0` at `t0` to
+/// `theta1` at `t1`: the popularity curve sharpens (or flattens) while the
+/// run is in progress. The effective theta is quantized to steps of 0.01
+/// and clamped into `(0.01, 0.99)` so the sampler is rebuilt at most ~100
+/// times per run and its `(0, 1)` precondition always holds.
+#[derive(Debug, Clone)]
+pub struct ZipfRamp {
+    n: u64,
+    theta0: f64,
+    theta1: f64,
+    t0: SimTime,
+    t1: SimTime,
+    /// The sampler for the currently effective quantized theta.
+    cached: (f64, Zipf),
+}
+
+impl ZipfRamp {
+    /// Quantization step for the effective theta.
+    const STEP: f64 = 0.01;
+
+    fn clamp_quantize(theta: f64) -> f64 {
+        let q = (theta / Self::STEP).round() * Self::STEP;
+        q.clamp(Self::STEP, 1.0 - Self::STEP)
+    }
+
+    /// Creates a ramp over `{0, …, n-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `t1 <= t0`.
+    pub fn new(n: u64, theta0: f64, theta1: f64, t0: SimTime, t1: SimTime) -> Self {
+        assert!(t1 > t0, "ramp needs a positive duration");
+        let q = Self::clamp_quantize(theta0);
+        ZipfRamp { n, theta0, theta1, t0, t1, cached: (q, Zipf::new(n, q)) }
+    }
+
+    /// The quantized skew in effect at `now`.
+    pub fn theta_at(&self, now: SimTime) -> f64 {
+        let frac = if now <= self.t0 {
+            0.0
+        } else if now >= self.t1 {
+            1.0
+        } else {
+            now.saturating_duration_since(self.t0).as_micros() as f64
+                / self.t1.saturating_duration_since(self.t0).as_micros() as f64
+        };
+        Self::clamp_quantize(self.theta0 + (self.theta1 - self.theta0) * frac)
+    }
+}
+
+impl AccessPattern for ZipfRamp {
+    fn next_rank(&mut self, now: SimTime, rng: &mut StdRng) -> u64 {
+        let theta = self.theta_at(now);
+        if (theta - self.cached.0).abs() >= Self::STEP / 2.0 {
+            self.cached = (theta, Zipf::new(self.n, theta));
+        }
+        self.cached.1.sample(rng)
+    }
+
+    fn domain(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A closed-loop workload that draws ranks from an [`AccessPattern`] and
+/// turns each into a command via a factory — the glue that lets any
+/// pattern drive any [`Application`].
+pub struct ScenarioWorkload<A: Application, P, F>
+where
+    P: AccessPattern + 'static,
+    F: FnMut(u64, &mut StdRng) -> CommandKind<A> + 'static,
+{
+    pattern: P,
+    make: F,
+    remaining: Option<u64>,
+}
+
+impl<A: Application, P, F> ScenarioWorkload<A, P, F>
+where
+    P: AccessPattern + 'static,
+    F: FnMut(u64, &mut StdRng) -> CommandKind<A> + 'static,
+{
+    /// Creates a workload: `make(rank, rng)` builds the command for each
+    /// drawn rank.
+    pub fn new(pattern: P, make: F) -> Self {
+        ScenarioWorkload { pattern, make, remaining: None }
+    }
+
+    /// Caps the number of commands issued.
+    pub fn with_budget(mut self, commands: u64) -> Self {
+        self.remaining = Some(commands);
+        self
+    }
+}
+
+impl<A: Application, P, F> Workload<A> for ScenarioWorkload<A, P, F>
+where
+    P: AccessPattern + 'static,
+    F: FnMut(u64, &mut StdRng) -> CommandKind<A> + 'static,
+{
+    fn next_command(&mut self, now: SimTime, rng: &mut StdRng) -> Option<CommandKind<A>> {
+        if let Some(rem) = self.remaining.as_mut() {
+            if *rem == 0 {
+                return None;
+            }
+            *rem -= 1;
+        }
+        let rank = self.pattern.next_rank(now, rng);
+        Some((self.make)(rank, rng))
+    }
+}
+
+/// The "celebrity post" flash crowd: a Chirper workload whose post/follow
+/// traffic redirects to `celebrity` with probability `percent`% starting
+/// at `at`. Before `at` the workload is the plain Zipf/`mix` baseline, so
+/// one run contains its own before/after comparison.
+pub fn flash_crowd(
+    graph: Arc<Mutex<SocialGraph>>,
+    theta: f64,
+    mix: ChirperMix,
+    celebrity: u64,
+    percent: u32,
+    at: SimTime,
+) -> ChirperWorkload {
+    ChirperWorkload::new(graph, theta, mix)
+        .with_celebrity(celebrity, percent)
+        .with_celebrity_after(at)
+}
+
+/// Partition-membership churn tuned to overlap state migration: repeated
+/// synchronized crash-restart waves plus asymmetric degraded links, on top
+/// of the base random fault schedule. `waves` crash waves and `waves`
+/// link-degradation windows are spread across `[start, end)`.
+pub fn churn_nemesis(seed: u64, start: SimTime, end: SimTime, waves: u32) -> NemesisConfig {
+    NemesisConfig {
+        seed,
+        start,
+        end,
+        crash_waves: waves,
+        wave_downtime: SimDuration::from_secs(2),
+        link_faults: waves,
+        link_extra_delay: SimDuration::from_millis(5),
+        link_loss_pm: 100_000,
+        ..NemesisConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn diurnal_rotation_moves_the_hot_spot() {
+        let mut rot = DiurnalRotation::new(1_000, 0.95, SimDuration::from_secs(10), 250);
+        let mut rng = StdRng::seed_from_u64(1);
+        let hot_at = |rot: &mut DiurnalRotation, rng: &mut StdRng, t: SimTime| {
+            let mut counts = [0u32; 4];
+            for _ in 0..2_000 {
+                counts[(rot.next_rank(t, rng) / 250) as usize] += 1;
+            }
+            counts.iter().enumerate().max_by_key(|&(_, c)| c).map(|(i, _)| i).unwrap()
+        };
+        // At t=0 the hot quarter is ranks 0..250; one period later the
+        // offset advances by exactly one quarter.
+        assert_eq!(rot.offset_at(SimTime::ZERO), 0);
+        assert_eq!(rot.offset_at(SimTime::from_secs(10)), 250);
+        let q0 = hot_at(&mut rot, &mut rng, SimTime::ZERO);
+        let q1 = hot_at(&mut rot, &mut rng, SimTime::from_secs(10));
+        assert_eq!(q0, 0);
+        assert_eq!(q1, 1, "hot region must rotate with the period");
+    }
+
+    #[test]
+    fn zipf_ramp_interpolates_and_clamps() {
+        let ramp = ZipfRamp::new(100, 0.2, 0.9, SimTime::from_secs(10), SimTime::from_secs(20));
+        assert_eq!(ramp.theta_at(SimTime::ZERO), 0.2, "flat before t0");
+        assert_eq!(ramp.theta_at(SimTime::from_secs(30)), 0.9, "flat after t1");
+        let mid = ramp.theta_at(SimTime::from_secs(15));
+        assert!((mid - 0.55).abs() < 1e-9, "midpoint ≈ 0.55, got {mid}");
+        // Extreme endpoints stay inside Zipf's (0, 1) precondition.
+        let wild = ZipfRamp::new(100, -3.0, 7.0, SimTime::ZERO, SimTime::from_secs(1));
+        assert_eq!(wild.theta_at(SimTime::ZERO), 0.01);
+        assert_eq!(wild.theta_at(SimTime::from_secs(5)), 0.99);
+    }
+
+    #[test]
+    fn zipf_ramp_sharpens_over_time() {
+        let mut ramp = ZipfRamp::new(1_000, 0.1, 0.95, SimTime::ZERO, SimTime::from_secs(10));
+        let mut rng = StdRng::seed_from_u64(2);
+        let top10 = |ramp: &mut ZipfRamp, rng: &mut StdRng, t: SimTime| {
+            (0..5_000).filter(|_| ramp.next_rank(t, rng) < 10).count()
+        };
+        let early = top10(&mut ramp, &mut rng, SimTime::ZERO);
+        let late = top10(&mut ramp, &mut rng, SimTime::from_secs(10));
+        assert!(late > early * 2, "skew must grow along the ramp: {early} → {late}");
+    }
+
+    #[test]
+    fn scenario_workload_budget_and_domain() {
+        struct App;
+        impl Application for App {
+            type Op = ();
+            type Value = u64;
+            type Reply = ();
+            fn locality(var: dynastar_core::VarId) -> dynastar_core::LocKey {
+                dynastar_core::LocKey(var.0)
+            }
+            fn execute(
+                _: &(),
+                _: &mut std::collections::BTreeMap<dynastar_core::VarId, Option<u64>>,
+            ) {
+            }
+        }
+        let pattern = DiurnalRotation::new(50, 0.5, SimDuration::from_secs(1), 10);
+        let mut w = ScenarioWorkload::<App, _, _>::new(pattern, |rank, _| CommandKind::Access {
+            op: (),
+            vars: vec![dynastar_core::VarId(rank)],
+        })
+        .with_budget(3);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..3 {
+            let Some(CommandKind::Access { vars, .. }) = w.next_command(SimTime::ZERO, &mut rng)
+            else {
+                panic!("expected an access command")
+            };
+            assert!(vars[0].0 < 50);
+        }
+        assert!(w.next_command(SimTime::ZERO, &mut rng).is_none());
+    }
+
+    #[test]
+    fn churn_nemesis_preset_schedules_waves_and_link_faults() {
+        let cfg = churn_nemesis(9, SimTime::from_secs(2), SimTime::from_secs(30), 3);
+        assert_eq!(cfg.crash_waves, 3);
+        assert_eq!(cfg.link_faults, 3);
+        // Three 3-replica groups (2 partitions + oracle), like the bench
+        // fixtures.
+        let groups: Vec<Vec<dynastar_runtime::NodeId>> = (0..3)
+            .map(|g| (0..3).map(|r| dynastar_runtime::NodeId::from_raw(g * 3 + r)).collect())
+            .collect();
+        let plan = dynastar_runtime::nemesis::NemesisPlan::generate(&cfg, &groups);
+        assert!(plan.crash_count() >= 3, "waves must schedule crashes");
+        assert_eq!(plan.link_fault_count(), 3);
+    }
+}
