@@ -17,7 +17,11 @@
 //! * `diurnal`    — the hot quarter of the keyspace rotates on a period;
 //! * `zipf_ramp`  — the skew parameter sharpens mid-run (0.2 → 0.95);
 //! * `churn`      — flash crowd plus crash-restart waves and degraded
-//!   links timed to overlap the migrations they trigger.
+//!   links timed to overlap the migrations they trigger;
+//! * `chained_move` — the hot half of the keyspace rotates once per plan
+//!   interval while a mid-run brownout degrades every link between two
+//!   partitions, so transfers give up and revert while later plans have
+//!   already chained the same keys onward (the plan-history replay path).
 //!
 //! Flags, following `fig7_partitioner_scaling`:
 //!
@@ -41,7 +45,7 @@ use dynastar_runtime::nemesis::NemesisPlan;
 use dynastar_runtime::{Metrics, SimDuration, SimTime};
 use dynastar_workloads::chirper::ChirperMix;
 use dynastar_workloads::scenarios::{
-    churn_nemesis, flash_crowd, DiurnalRotation, ScenarioWorkload, ZipfRamp,
+    churn_nemesis, flash_crowd, migration_brownout, DiurnalRotation, ScenarioWorkload, ZipfRamp,
 };
 use rand::rngs::StdRng;
 
@@ -78,6 +82,12 @@ impl Policy {
             migration_link_bytes_per_sec: 1024 * 1024,
             migration_chunk_timeout: SimDuration::from_millis(100),
             migration_max_retries: 6,
+            // The cluster-wide scheduler: at most two transfers in flight
+            // per source→destination link; the oracle's hot-first move
+            // order decides who goes first and deferred keys are released
+            // as slots free. (Ignored by the stall baseline, which never
+            // stages.)
+            migration_max_inflight_per_link: 4,
             ..ServerConfig::default()
         }
     }
@@ -90,7 +100,7 @@ impl Policy {
     }
 }
 
-const SCENARIOS: &[&str] = &["flash_crowd", "diurnal", "zipf_ramp", "churn"];
+const SCENARIOS: &[&str] = &["flash_crowd", "diurnal", "zipf_ramp", "churn", "chained_move"];
 
 /// Scenario dimensions (full vs `--smoke`).
 #[derive(Debug, Clone, Copy)]
@@ -175,6 +185,8 @@ struct RunResult {
     chunks_sent: u64,
     chunk_retries: u64,
     reverts: u64,
+    deferred: u64,
+    released: u64,
     median_tput: f64,
     worst_tput: f64,
     dip_pct: f64,
@@ -205,6 +217,8 @@ fn collect(scenario: &'static str, policy: Policy, m: &Metrics, p: &Params) -> R
         chunks_sent: m.counter(mn::MIGRATION_CHUNKS_SENT),
         chunk_retries: m.counter(mn::MIGRATION_CHUNK_RETRIES),
         reverts: m.counter(mn::MIGRATION_REVERTS),
+        deferred: m.counter(mn::MIGRATION_DEFERRED),
+        released: m.counter(mn::MIGRATION_RELEASED),
         median_tput: median,
         worst_tput: worst,
         dip_pct,
@@ -307,12 +321,97 @@ fn run_counters(scenario: &'static str, ramp: bool, policy: Policy, p: &Params) 
     collect(scenario, policy, cluster.metrics(), p)
 }
 
+/// Chained-migration scenario: the hot half of a counters keyspace rotates
+/// once per plan interval, so consecutive plans keep re-routing the same
+/// keys while the previous transfer may still be in flight (a move A→B
+/// chained onward to B→C). Mid-run, a [`migration_brownout`] degrades
+/// every link between partitions 0 and 1 long enough for chunk retries to
+/// exhaust and give up, so their reverts must compose with the chained
+/// moves via plan-history replay. Correctness shows up in the error gate:
+/// all the routing confusion must surface as retries, never failures.
+///
+/// Unlike the other counters scenarios, commands touch a *single* key and
+/// keys start out in contiguous blocks: single-partition commands never
+/// cross the browned-out inter-group mesh, so the foreground keeps
+/// running, the hint stream keeps feeding the oracle, and plans keep
+/// landing *during* the brownout — which is what pushes transfers into
+/// it. Migration pressure comes from vertex-weight imbalance alone: every
+/// rotation parks the Zipf head on one contiguous block and the
+/// partitioner must spread it again.
+fn run_chained(scenario: &'static str, policy: Policy, p: &Params) -> RunResult {
+    // At least three partitions: the brownout only degrades the 0 ↔ 1
+    // mesh, so partition 2+ keeps absorbing traffic and the oracle keeps
+    // planning, while moves can still chain onward to a healthy partition.
+    let partitions = p.partitions.max(3);
+    // Shorter retry ladder (~1.5 s at 100 ms timeout × 3 retries) so the
+    // 2 s one-way brownout delay below outlasts it and forces give-ups.
+    let mut server = policy.server();
+    server.migration_max_retries = 3;
+    let config = ClusterConfig {
+        partitions,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed: SEED,
+        repartition_threshold: p.counters_threshold,
+        min_plan_interval: p.plan_interval,
+        warm_client_caches: true,
+        compute_base: SimDuration::from_millis(50),
+        service_time: SimDuration::from_micros(150),
+        server,
+        client_retry_backoff: policy.client_backoff(),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    for v in 0..p.domain {
+        b.place(LocKey(v), PartitionId((v * partitions as u64 / p.domain) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    let make = move |rank: u64, _rng: &mut StdRng| CommandKind::<Counters>::Access {
+        op: 1,
+        vars: vec![VarId(rank)],
+    };
+    for _ in 0..p.clients {
+        // Rotating by half the domain every plan interval means each plan
+        // finds the keys it just placed hot somewhere else again — the
+        // chained-move generator.
+        let pattern = DiurnalRotation::new(p.domain, 0.95, p.plan_interval, p.domain / 2);
+        cluster.add_client(ScenarioWorkload::new(pattern, make));
+    }
+    // Brown out the partition-0 ↔ partition-1 mesh for half the run with
+    // pure delay, zero loss. Partial loss is laundered away by the 3×3
+    // chunk/ack fan-out, and total loss stalls the atomic-multicast
+    // timestamp exchange (freezing both groups' delivery pipelines). A
+    // 2 s one-way delay instead puts a chunk's ack ~4 s behind its send:
+    // sources exhaust the shortened retry ladder and revert while the
+    // destination — which still receives every chunk, late but never
+    // lost — completes staging and submits its `MigrationDone`. The two
+    // race in the total order and plan-history replay settles the loser
+    // as stale.
+    let (ga, gb) = {
+        let groups = cluster.groups();
+        (groups[0].clone(), groups[1].clone())
+    };
+    let plan = migration_brownout(
+        &ga,
+        &gb,
+        SimTime::from_secs(p.secs / 4),
+        SimTime::from_secs(p.secs * 3 / 4),
+        SimDuration::from_secs(2),
+        0,
+    );
+    plan.apply(&mut cluster.sim);
+    cluster.run_for(SimDuration::from_secs(p.secs));
+    collect(scenario, policy, cluster.metrics(), p)
+}
+
 fn run_one(scenario: &'static str, policy: Policy, p: &Params) -> RunResult {
     match scenario {
         "flash_crowd" => run_chirper(scenario, false, policy, p),
         "diurnal" => run_counters(scenario, false, policy, p),
         "zipf_ramp" => run_counters(scenario, true, policy, p),
         "churn" => run_chirper(scenario, true, policy, p),
+        "chained_move" => run_chained(scenario, policy, p),
         other => unreachable!("unknown scenario {other}"),
     }
 }
@@ -326,7 +425,8 @@ fn to_json(results: &[RunResult]) -> String {
             "    {{\"scenario\": \"{}\", \"policy\": \"{}\", \"completed\": {}, \
              \"errors\": {}, \"retries\": {}, \"backoffs\": {}, \"plans\": {}, \
              \"keys_staged\": {}, \"chunks_sent\": {}, \"chunk_retries\": {}, \
-             \"reverts\": {}, \"median_tput\": {:.1}, \"worst_tput\": {:.1}, \
+             \"reverts\": {}, \"deferred\": {}, \"released\": {}, \
+             \"median_tput\": {:.1}, \"worst_tput\": {:.1}, \
              \"dip_pct\": {:.1}}}{}\n",
             r.scenario,
             r.policy,
@@ -339,6 +439,8 @@ fn to_json(results: &[RunResult]) -> String {
             r.chunks_sent,
             r.chunk_retries,
             r.reverts,
+            r.deferred,
+            r.released,
             r.median_tput,
             r.worst_tput,
             r.dip_pct,
@@ -357,7 +459,8 @@ fn usage() -> ! {
          [--gate-errors]\n\
          \n\
          --smoke          small sizes / short runs (CI gate workload)\n\
-         --scenario NAME  one of flash_crowd|diurnal|zipf_ramp|churn (default: all)\n\
+         --scenario NAME  one of flash_crowd|diurnal|zipf_ramp|churn|chained_move \
+         (default: all)\n\
          --out FILE       write machine-readable BENCH_migration.json\n\
          --gate-errors    exit 1 if any run surfaced a client-visible command error"
     );
@@ -416,6 +519,7 @@ fn main() {
                 format!("{}", r.keys_staged),
                 format!("{}", r.chunk_retries),
                 format!("{}", r.reverts),
+                format!("{}", r.deferred),
                 format!("{}", r.plans),
             ]
         })
@@ -433,6 +537,7 @@ fn main() {
             "staged",
             "chunk-rtx",
             "reverts",
+            "defer",
             "plans",
         ],
         &rows,

@@ -28,7 +28,7 @@ use dynastar_runtime::nemesis::NemesisPlan;
 use dynastar_runtime::{Metrics, SimDuration, SimTime};
 use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
 use dynastar_workloads::scenarios::{
-    churn_nemesis, flash_crowd, DiurnalRotation, ScenarioWorkload, ZipfRamp,
+    churn_nemesis, flash_crowd, migration_brownout, DiurnalRotation, ScenarioWorkload, ZipfRamp,
 };
 use dynastar_workloads::tpcc::{self, TpccWorkload};
 use rand::rngs::StdRng;
@@ -60,11 +60,15 @@ tpcc flags:
   --warehouses <n>               warehouses (default = partitions)
 
 scenario flags (adversarial robustness suite; always mode dynastar):
-  --name <s>                     flash_crowd|diurnal|zipf_ramp|churn|all [all]
+  --name <s>                     flash_crowd|diurnal|zipf_ramp|churn|
+                                 chained_move|all                        [all]
   --staged <on|off>              chunked rate-limited state migration    [on]
   --users <n>                    social graph size (flash_crowd/churn)   [400]
-  --domain <n>                   counters keyspace (diurnal/zipf_ramp)   [200]
+  --domain <n>                   counters keyspace (diurnal/zipf_ramp/
+                                 chained_move)                           [200]
   --waves <n>                    churn crash-restart waves               [2]
+  --inflight-cap <n>             staged transfers in flight per
+                                 source->destination link (0 = no cap)   [4]
 ";
 
 /// Parses the shared batching flags. The cluster tick is 1 ms, so
@@ -229,6 +233,7 @@ struct ScenarioOpts {
     domain: u64,
     waves: u32,
     staged: bool,
+    inflight_cap: u32,
 }
 
 impl ScenarioOpts {
@@ -243,6 +248,7 @@ impl ScenarioOpts {
             migration_link_bytes_per_sec: 1024 * 1024,
             migration_chunk_timeout: SimDuration::from_millis(100),
             migration_max_retries: 6,
+            migration_max_inflight_per_link: self.inflight_cap,
             ..ServerConfig::default()
         }
     }
@@ -353,6 +359,76 @@ fn run_scenario_counters(name: &str, ramp: bool, o: &ScenarioOpts) {
     print_scenario_summary(name, cluster.metrics(), o);
 }
 
+/// Chained-migration scenario: the hot half of the counters keyspace
+/// rotates once per plan interval (each plan re-routes the keys the
+/// previous one just moved), while a mid-run brownout degrades every link
+/// between partitions 0 and 1 until staged transfers give up and revert —
+/// the reverts then compose with the chained moves via plan-history
+/// replay.
+fn run_scenario_chained(name: &str, o: &ScenarioOpts) {
+    let plan_interval = SimDuration::from_secs((o.secs / 5).max(1));
+    // At least three partitions: commands touching partition 2+ keep
+    // flowing during the 0 ↔ 1 brownout, so the oracle keeps planning and
+    // keeps pushing transfers across the degraded pair.
+    let partitions = o.partitions.max(3);
+    // Shorter retry ladder (~1.5 s at 100 ms timeout × 3 retries) so the
+    // 2 s one-way brownout delay below outlasts it and forces give-ups.
+    let mut server = o.server();
+    server.migration_max_retries = 3;
+    let config = ClusterConfig {
+        partitions,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed: o.seed,
+        repartition_threshold: 800,
+        min_plan_interval: plan_interval,
+        warm_client_caches: true,
+        compute_base: SimDuration::from_millis(50),
+        service_time: SimDuration::from_micros(150),
+        server,
+        client_retry_backoff: o.client_backoff(),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    // Contiguous blocks + single-key commands: the foreground stays
+    // single-partition (immune to the brownout), and migration pressure
+    // comes from vertex-weight imbalance as the Zipf head rotates.
+    for v in 0..o.domain {
+        b.place(LocKey(v), PartitionId((v * partitions as u64 / o.domain) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    let make = move |rank: u64, _rng: &mut StdRng| CommandKind::<Counters>::Access {
+        op: 1,
+        vars: vec![VarId(rank)],
+    };
+    for _ in 0..o.clients {
+        let pattern = DiurnalRotation::new(o.domain, 0.95, plan_interval, o.domain / 2);
+        cluster.add_client(ScenarioWorkload::new(pattern, make));
+    }
+    let (ga, gb) = {
+        let groups = cluster.groups();
+        (groups[0].clone(), groups[1].clone())
+    };
+    // Pure delay, zero loss: partial loss is laundered away by the 3×3
+    // chunk/ack fan-out and total loss stalls the atomic-multicast
+    // timestamp exchange, but a 2 s one-way delay puts chunk acks behind
+    // the give-up point while every chunk still (eventually) arrives —
+    // so `MigrationDone` and `MigrationRevert` race in the total order.
+    let plan = migration_brownout(
+        &ga,
+        &gb,
+        SimTime::from_secs(o.secs / 4),
+        SimTime::from_secs(o.secs * 3 / 4),
+        SimDuration::from_secs(2),
+        0,
+    );
+    eprintln!("{name}: brownout degrades {} directed link(s)", plan.link_fault_count());
+    plan.apply(&mut cluster.sim);
+    cluster.run_for(SimDuration::from_secs(o.secs));
+    print_scenario_summary(name, cluster.metrics(), o);
+}
+
 fn print_scenario_summary(name: &str, m: &Metrics, o: &ScenarioOpts) {
     println!("--- {name} ({}) ---", if o.staged { "staged" } else { "stall" });
     print_summary(m, o.secs);
@@ -365,6 +441,11 @@ fn print_scenario_summary(name: &str, m: &Metrics, o: &ScenarioOpts) {
             m.counter(mn::MIGRATION_CHUNKS_SENT),
             m.counter(mn::MIGRATION_CHUNK_RETRIES),
             m.counter(mn::MIGRATION_REVERTS),
+        );
+        println!(
+            "link scheduler     : {} deferred, {} released",
+            m.counter(mn::MIGRATION_DEFERRED),
+            m.counter(mn::MIGRATION_RELEASED),
         );
     }
 }
@@ -384,27 +465,32 @@ fn run_scenario(a: &Args) -> Result<(), String> {
             "off" => false,
             other => return Err(format!("--staged {other:?}: expected on|off")),
         },
+        inflight_cap: a.num_or("inflight-cap", 4)?,
     };
-    let all = ["flash_crowd", "diurnal", "zipf_ramp", "churn"];
+    let all = ["flash_crowd", "diurnal", "zipf_ramp", "churn", "chained_move"];
     let selected: Vec<&str> = match name.as_str() {
         "all" => all.to_vec(),
         one if all.contains(&one) => vec![one],
         other => {
             return Err(format!(
-                "unknown scenario {other:?} (flash_crowd|diurnal|zipf_ramp|churn|all)"
+                "unknown scenario {other:?} \
+                 (flash_crowd|diurnal|zipf_ramp|churn|chained_move|all)"
             ))
         }
     };
     for s in selected {
+        // `chained_move` needs a partition outside the browned-out pair.
+        let parts = if s == "chained_move" { o.partitions.max(3) } else { o.partitions };
         eprintln!(
             "scenario {s}: {} partitions, {} clients, {}s, staged={}...",
-            o.partitions, o.clients, o.secs, o.staged
+            parts, o.clients, o.secs, o.staged
         );
         match s {
             "flash_crowd" => run_scenario_chirper(s, false, &o),
             "churn" => run_scenario_chirper(s, true, &o),
             "diurnal" => run_scenario_counters(s, false, &o),
             "zipf_ramp" => run_scenario_counters(s, true, &o),
+            "chained_move" => run_scenario_chained(s, &o),
             other => unreachable!("unknown scenario {other}"),
         }
     }

@@ -26,6 +26,16 @@ pub trait Workload<A: Application>: 'static {
     fn on_completed(&mut self, now: SimTime, cmd: &Command<A>, reply: Option<&A::Reply>) {
         let _ = (now, cmd, reply);
     }
+
+    /// Delay before the next command is issued (default: zero — a pure
+    /// closed loop). A paced workload returns a positive duration to
+    /// model think time, stretching a bounded command budget across a
+    /// long run (e.g. so a short recorded history spans a mid-run fault
+    /// window).
+    fn think_time(&mut self, now: SimTime, rng: &mut StdRng) -> SimDuration {
+        let _ = (now, rng);
+        SimDuration::ZERO
+    }
 }
 
 /// Completion notification surfaced to the driving actor.

@@ -43,6 +43,9 @@ mod timer {
     pub const RECOVER: u64 = 7;
     /// Client retry-backoff wake-up (deferred stale-routing retry).
     pub const BACKOFF: u64 = 8;
+    /// Client think-time wake-up (paced workloads; see
+    /// [`crate::Workload::think_time`]).
+    pub const THINK: u64 = 9;
 }
 
 /// Everything that travels between nodes: FIFO-framed wire messages plus
@@ -1071,6 +1074,19 @@ impl<A: Application> Actor<Msg<A>> for ServerActor<A> {
         self.persist_consensus(ctx);
     }
 
+    /// Diagnostic convergence probe: partitions report their owned keys,
+    /// oracle replicas their key→partition map. A recovering replica
+    /// reports `None` — its placeholder core is not authoritative.
+    fn location_view(&self) -> Option<Vec<(u64, u32)>> {
+        if self.recovering {
+            return None;
+        }
+        match &self.role {
+            Role::Partition(core) => Some(core.location_view()),
+            Role::Oracle(core) => Some(core.location_view()),
+        }
+    }
+
     /// Crash-recovery boot: volatile state (multicast member, protocol
     /// core, transport streams) is re-created empty under a bumped
     /// incarnation epoch, the consensus floor is read back from stable
@@ -1290,7 +1306,12 @@ impl<A: Application, W: Workload<A>> Actor<Msg<A>> for ClientActor<A, W> {
                 ctx.cancel_timer(timer::TIMEOUT);
                 let now = ctx.now();
                 self.workload.on_completed(now, &cmd, if ok { reply.as_ref() } else { None });
-                self.issue_next(ctx);
+                let think = self.workload.think_time(now, ctx.rng());
+                if think == SimDuration::ZERO {
+                    self.issue_next(ctx);
+                } else {
+                    ctx.set_timer(think, timer::THINK);
+                }
             } else if self.core.is_busy() {
                 // Retry dispatched: refresh the response timeout.
                 ctx.set_timer(self.timeout, timer::TIMEOUT);
@@ -1300,7 +1321,7 @@ impl<A: Application, W: Workload<A>> Actor<Msg<A>> for ClientActor<A, W> {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg<A>>, tag: u64) {
         match tag {
-            timer::START => self.issue_next(ctx),
+            timer::START | timer::THINK => self.issue_next(ctx),
             timer::TIMEOUT if self.core.is_busy() => {
                 let now = ctx.now();
                 let effects = {
@@ -1582,6 +1603,11 @@ impl<A: Application> ClusterBuilder<A> {
     }
 }
 
+/// One replica's key→partition location map as sorted `(key, partition)`
+/// pairs: a partition replica reports the keys it owns, an oracle replica
+/// the full map. See [`Cluster::location_views`].
+pub type LocationView = Vec<(u64, u32)>;
+
 /// A running simulated deployment: the simulation, its replicas, and the
 /// clients added so far.
 pub struct Cluster<A: Application> {
@@ -1645,6 +1671,20 @@ impl<A: Application> Cluster<A> {
     /// Runs the simulation until absolute time `t`.
     pub fn run_until(&mut self, t: SimTime) {
         self.sim.run_until(t);
+    }
+
+    /// Every replica's view of the key→partition location map, grouped as
+    /// the cluster's groups (partitions `0..k`, then the oracle group):
+    /// one `Option<Vec<(key, partition)>>` per replica, `None` for a
+    /// replica still recovering. Partitions report the keys they own;
+    /// oracle replicas report the full map. Convergence tests assert that
+    /// all replicas of a group agree and that the union of the partition
+    /// views equals the oracle view.
+    pub fn location_views(&self) -> Vec<Vec<Option<LocationView>>> {
+        self.groups()
+            .iter()
+            .map(|group| group.iter().map(|&n| self.sim.location_view(n)).collect())
+            .collect()
     }
 
     /// Collected metrics.

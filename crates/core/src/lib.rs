@@ -43,6 +43,7 @@ pub mod cluster;
 pub mod command;
 pub mod linearizability;
 pub mod metric_names;
+pub mod migration;
 pub mod oracle;
 pub mod payload;
 pub mod routing;
@@ -50,7 +51,7 @@ pub mod server;
 pub mod threaded;
 
 pub use client::{ClientCore, ClientEvent, Workload};
-pub use cluster::{Cluster, ClusterBuilder, ClusterConfig};
+pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, LocationView};
 pub use command::{Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId};
 pub use dynastar_paxos::BatchConfig;
 pub use payload::{Direct, Payload};

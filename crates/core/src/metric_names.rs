@@ -54,6 +54,12 @@ pub const MIGRATION_REVERTS: &str = "migration.reverts";
 /// Counter: key moves that took the staged (chunked, rate-limited)
 /// migration path instead of the classic single shipment.
 pub const MIGRATION_KEYS_STAGED: &str = "migration.keys_staged";
+/// Counter: staged key moves deferred at plan time because the
+/// source→destination link already carried
+/// `migration_max_inflight_per_link` transfers.
+pub const MIGRATION_DEFERRED: &str = "migration.deferred";
+/// Counter: deferred key moves promoted into a freed in-flight slot.
+pub const MIGRATION_RELEASED: &str = "migration.released";
 
 /// Histogram: commands per flushed ordering batch (leader side). Counts
 /// are encoded in µs units (the histogram type stores durations).

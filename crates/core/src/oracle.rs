@@ -25,12 +25,12 @@ use dynastar_partitioner::{
     align_labels, partition as ml_partition, partition_from, GraphBuilder, PartitionConfig,
     Partitioning,
 };
-use dynastar_runtime::dedup::RotatingSet;
 use dynastar_runtime::hash::FastHashMap;
 use dynastar_runtime::{Metrics, SimDuration, SimTime};
 
 use crate::command::{Application, CommandKind, LocKey, Mode, PartitionId};
 use crate::metric_names as mn;
+use crate::migration::{MoveOutcome, PlanHistory, Settle, PLAN_HISTORY_PER_KEY};
 use crate::payload::{Destination, Direct, Effect, Payload};
 use crate::routing::compute_route;
 
@@ -180,9 +180,11 @@ pub struct OracleCore<A: Application> {
     /// for. A local flood guard only — the marker itself is deduplicated
     /// across replicas by its message id.
     proposed_recompute: u64,
-    /// Staged migrations decided either way (`MigrationDone` or
-    /// `MigrationRevert` delivered); the loser of the race is ignored.
-    settled: RotatingSet<(u64, LocKey)>,
+    /// Bounded per-key log of plan decisions. `MigrationDone` /
+    /// `MigrationRevert` are resolved by replaying the key's history, so a
+    /// revert of move v composes with a chained move at v+1, and decisions
+    /// below the compaction floor are ignored (default-deny).
+    history: PlanHistory,
     /// Normalized edge cut (cut / total edge weight) of the last *full*
     /// multilevel run — the warm-start quality reference.
     last_full_cut_frac: Option<f64>,
@@ -212,7 +214,7 @@ impl<A: Application> Clone for OracleCore<A> {
             last_plan_at: self.last_plan_at,
             compute_started_at: self.compute_started_at,
             proposed_recompute: self.proposed_recompute,
-            settled: self.settled.clone(),
+            history: self.history.clone(),
             last_full_cut_frac: self.last_full_cut_frac,
             churn_since_plan: self.churn_since_plan,
             query_ids: self.query_ids,
@@ -241,7 +243,7 @@ impl<A: Application> OracleCore<A> {
             last_plan_at: SimTime::ZERO,
             compute_started_at: SimTime::ZERO,
             proposed_recompute: 0,
-            settled: RotatingSet::new(1 << 12),
+            history: PlanHistory::new(PLAN_HISTORY_PER_KEY),
             last_full_cut_frac: None,
             churn_since_plan: 0,
             query_ids: None,
@@ -263,6 +265,12 @@ impl<A: Application> OracleCore<A> {
     /// Current location of a key (test/debug aid).
     pub fn location_of(&self, key: LocKey) -> Option<PartitionId> {
         self.map.get(&key).copied()
+    }
+
+    /// Diagnostic: the full key→partition map as `(key, partition)` pairs
+    /// in key order, for convergence checks against the servers' views.
+    pub fn location_view(&self) -> Vec<(u64, u32)> {
+        self.map.iter().map(|(k, p)| (k.0, p.0)).collect()
     }
 
     /// Number of keys tracked.
@@ -383,8 +391,9 @@ impl<A: Application> OracleCore<A> {
                 }
             }
             Payload::Plan { version, moves } => {
-                for &(key, _, to) in &moves {
+                for &(key, from, to) in &moves {
                     self.map.insert(key, to);
+                    self.history.record_move(key, version, from, to);
                 }
                 self.plan_version = version;
                 self.computing = false;
@@ -395,18 +404,25 @@ impl<A: Application> OracleCore<A> {
                     metrics.record_series(mn::PLAN_MOVES, now, moves.len() as f64);
                 }
             }
-            Payload::MigrationDone { version, key, .. } => {
-                // The staged move committed; the map already points at the
-                // destination (updated at Plan delivery). Just remember the
-                // decision so a late revert for the same move is ignored.
-                self.settled.insert((version, key));
+            Payload::MigrationDone { version, key, from, to } => {
+                // Replay the key's plan history with this move marked done:
+                // the map lands on the destination of the last non-reverted
+                // move, which a chained plan may have shifted past `to`.
+                if let Settle::Applied { owner } =
+                    self.history.settle(key, version, from, to, MoveOutcome::Done)
+                {
+                    self.map.insert(key, owner);
+                }
             }
             Payload::MigrationRevert { version, key, from, to } => {
-                // First decision wins. Roll the key back only if no later
-                // plan has re-routed it meanwhile (see DESIGN.md for the
-                // revert-vs-chain-move limitation).
-                if self.settled.insert((version, key)) && self.map.get(&key) == Some(&to) {
-                    self.map.insert(key, from);
+                // Replay with this move annulled: a revert of v composes
+                // with a chained move at v+1 (owner stays at v+1's
+                // destination) instead of bouncing the key back to `from`.
+                // Duplicates and below-floor stragglers are Stale no-ops.
+                if let Settle::Applied { owner } =
+                    self.history.settle(key, version, from, to, MoveOutcome::Reverted)
+                {
+                    self.map.insert(key, owner);
                 }
             }
             Payload::Access { cmd, target, expected, .. } => {
@@ -704,7 +720,7 @@ impl<A: Application> OracleCore<A> {
             }
         };
         self.churn_since_plan = 0;
-        let moves: Vec<(LocKey, PartitionId, PartitionId)> = keys
+        let mut moves: Vec<(LocKey, PartitionId, PartitionId)> = keys
             .iter()
             .enumerate()
             .filter_map(|(i, &key)| {
@@ -713,6 +729,18 @@ impl<A: Application> OracleCore<A> {
                 (from != to).then_some((key, PartitionId(from), PartitionId(to)))
             })
             .collect();
+        // Hot keys first: the plan's move order is the cluster-wide
+        // migration schedule (servers ship outbox entries in plan order and
+        // the per-link in-flight cap defers the tail), so sorting by
+        // workload-graph access weight moves the traffic-carrying keys while
+        // link budget is still uncontended. Weight snapshot is pre-decay
+        // (compute_plan runs before decay_hints) and the key tie-break keeps
+        // the order deterministic across replicas.
+        moves.sort_by(|a, b| {
+            let wa = self.vertices.get(&a.0).copied().unwrap_or(0);
+            let wb = self.vertices.get(&b.0).copied().unwrap_or(0);
+            wb.cmp(&wa).then_with(|| a.0.cmp(&b.0))
+        });
         let version = self.plan_version + 1;
         // Deterministic plan id: every oracle replica derives the same.
         let mid = MsgId { origin: u64::MAX - 1, seq: version as u32, tag: tag::PLAN };

@@ -21,6 +21,7 @@ use dynastar_runtime::{CounterId, Metrics, SeriesId, SimTime};
 
 use crate::command::{Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId};
 use crate::metric_names as mn;
+use crate::migration::{MoveOutcome, PlanHistory, Settle, PLAN_HISTORY_PER_KEY};
 use crate::payload::{DedupKey, Destination, Direct, Effect, Payload};
 
 /// Emits protocol-stall diagnostics to stderr when the
@@ -71,6 +72,13 @@ pub struct ServerConfig {
     /// Chunk retransmissions before the source gives up and reverts the
     /// key's move (falling back to the previous plan).
     pub migration_max_retries: u32,
+    /// Cluster-wide migration scheduling: max staged key transfers
+    /// concurrently in flight per source→destination link. Plans list
+    /// moves hottest-first (oracle orders by workload-graph weight), so
+    /// the cap ships the traffic-carrying keys immediately and defers the
+    /// tail, releasing deferred moves as transfers settle. `0` disables
+    /// the cap (every move ships at once, PR 6 behaviour).
+    pub migration_max_inflight_per_link: u32,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +94,7 @@ impl Default for ServerConfig {
             migration_link_bytes_per_sec: 0,
             migration_chunk_timeout: dynastar_runtime::SimDuration::from_millis(200),
             migration_max_retries: 5,
+            migration_max_inflight_per_link: 0,
         }
     }
 }
@@ -223,6 +232,9 @@ struct OutboxEntry<A: Application> {
     next_ship_at: SimTime,
     /// Retries exhausted; a revert has been requested.
     gave_up: bool,
+    /// Waiting for a per-link in-flight slot; the migration pump skips the
+    /// entry until [`ServerCore::release_link_slot`] promotes it.
+    deferred: bool,
 }
 
 impl<A: Application> Clone for OutboxEntry<A> {
@@ -237,6 +249,7 @@ impl<A: Application> Clone for OutboxEntry<A> {
             deadline: self.deadline,
             next_ship_at: self.next_ship_at,
             gave_up: self.gave_up,
+            deferred: self.deferred,
         }
     }
 }
@@ -250,6 +263,7 @@ impl<A: Application> std::fmt::Debug for OutboxEntry<A> {
             .field("in_flight", &self.in_flight)
             .field("attempts", &self.attempts)
             .field("gave_up", &self.gave_up)
+            .field("deferred", &self.deferred)
             .finish()
     }
 }
@@ -345,10 +359,18 @@ pub struct ServerCore<A: Application> {
     outbox: BTreeMap<(u64, LocKey), OutboxEntry<A>>,
     /// Staged migrations this partition is the destination of.
     staging: BTreeMap<(u64, LocKey), StagedKey<A>>,
-    /// Migrations decided either way (`MigrationDone` or
-    /// `MigrationRevert` delivered); stray chunks for them are acked and
-    /// dropped, and the loser of a Done/Revert race is ignored.
-    settled: RotatingSet<(u64, LocKey)>,
+    /// Bounded per-key log of plan decisions: `MigrationDone` /
+    /// `MigrationRevert` settle by replaying the key's history (a revert of
+    /// move v composes with a chained move at v+1), stray chunks for
+    /// decided migrations are acked and dropped, and duplicates or
+    /// below-floor stragglers are ignored (default-deny).
+    history: PlanHistory,
+    /// Per-destination count of staged transfers holding an in-flight slot
+    /// (only maintained when `migration_max_inflight_per_link > 0`).
+    link_active: BTreeMap<PartitionId, u32>,
+    /// Deferred outbox entries per destination, in plan (hottest-first)
+    /// order, promoted as slots free up.
+    link_waiting: BTreeMap<PartitionId, VecDeque<(u64, LocKey)>>,
     /// The replica's modelled CPU is busy until this time.
     busy_until: SimTime,
     /// Pre-rendered per-partition metric names (hot path).
@@ -374,6 +396,8 @@ struct ServerMetricIds {
     migration_chunk_retries: CounterId,
     migration_reverts: CounterId,
     migration_keys_staged: CounterId,
+    migration_deferred: CounterId,
+    migration_released: CounterId,
     s_cmd_multi: SeriesId,
     s_cmd_single: SeriesId,
     s_executed: SeriesId,
@@ -412,7 +436,9 @@ impl<A: Application> Clone for ServerCore<A> {
             planvars_buffer: self.planvars_buffer.clone(),
             outbox: self.outbox.clone(),
             staging: self.staging.clone(),
-            settled: self.settled.clone(),
+            history: self.history.clone(),
+            link_active: self.link_active.clone(),
+            link_waiting: self.link_waiting.clone(),
             busy_until: self.busy_until,
             name_executed: self.name_executed.clone(),
             name_multi: self.name_multi.clone(),
@@ -453,7 +479,9 @@ impl<A: Application> ServerCore<A> {
             planvars_buffer: Vec::new(),
             outbox: BTreeMap::new(),
             staging: BTreeMap::new(),
-            settled: RotatingSet::new(1 << 12),
+            history: PlanHistory::new(PLAN_HISTORY_PER_KEY),
+            link_active: BTreeMap::new(),
+            link_waiting: BTreeMap::new(),
             busy_until: SimTime::ZERO,
             name_executed: mn::partition_executed(partition.0),
             name_multi: mn::partition_multi(partition.0),
@@ -479,6 +507,8 @@ impl<A: Application> ServerCore<A> {
             migration_chunk_retries: metrics.counter_id(mn::MIGRATION_CHUNK_RETRIES),
             migration_reverts: metrics.counter_id(mn::MIGRATION_REVERTS),
             migration_keys_staged: metrics.counter_id(mn::MIGRATION_KEYS_STAGED),
+            migration_deferred: metrics.counter_id(mn::MIGRATION_DEFERRED),
+            migration_released: metrics.counter_id(mn::MIGRATION_RELEASED),
             s_cmd_multi: metrics.series_id(mn::CMD_MULTI),
             s_cmd_single: metrics.series_id(mn::CMD_SINGLE),
             s_executed: metrics.series_id(&self.name_executed),
@@ -504,6 +534,14 @@ impl<A: Application> ServerCore<A> {
     ) {
         self.owned.extend(keys);
         self.store.extend(vars);
+    }
+
+    /// Diagnostic: the keys this partition owns, as `(key, partition)`
+    /// pairs in key order. The union across partitions is the cluster's
+    /// server-side location map; convergence tests compare it (and every
+    /// replica's copy) against the oracle's map.
+    pub fn location_view(&self) -> Vec<(u64, u32)> {
+        self.owned.iter().map(|k| (k.0, self.partition.0)).collect()
     }
 
     /// This partition's id.
@@ -582,6 +620,13 @@ impl<A: Application> ServerCore<A> {
                 }
             }
             Payload::Plan { version, moves } => {
+                // Record every move at *delivery* (the plan itself applies
+                // later, through the queue): a Done/Revert delivered after
+                // this plan but before its pump must already see the chain
+                // when it replays the key's history.
+                for &(key, from, to) in &moves {
+                    self.history.record_move(key, version, from, to);
+                }
                 // Dummy command for queue uniformity.
                 self.queue.push_back(Queued {
                     cmd: Command {
@@ -598,14 +643,19 @@ impl<A: Application> ServerCore<A> {
                 // destination this only converts a head-of-queue *wait*
                 // into an execution with the staged values, which are
                 // identical on every replica; ownership itself changed at
-                // the (queued) plan. First decision wins: a Revert that
-                // settled this migration earlier makes the Done a no-op
-                // (the entry it would create could never resolve).
-                let first = self.settled.insert((version, key));
+                // the (queued) plan. Settling replays the key's plan
+                // history: a duplicate or below-floor straggler is Stale
+                // and a no-op (the staging entry it would create could
+                // never resolve).
+                let settle = self.history.settle(key, version, from, to, MoveOutcome::Done);
                 if from == self.partition {
-                    self.outbox.remove(&(version, key));
+                    if let Some(e) = self.outbox.remove(&(version, key)) {
+                        if !e.deferred && !e.gave_up {
+                            self.release_link_slot(e.to, now, metrics);
+                        }
+                    }
                 }
-                if first && to == self.partition {
+                if matches!(settle, Settle::Applied { .. }) && to == self.partition {
                     let e = self.staging.entry((version, key)).or_insert_with(|| StagedKey {
                         from,
                         total: None,
@@ -618,28 +668,37 @@ impl<A: Application> ServerCore<A> {
                 }
             }
             Payload::MigrationRevert { version, key, from, to } => {
-                // First decision wins: a Done delivered earlier settled
-                // this migration, making the revert a no-op.
-                if self.settled.insert((version, key)) {
+                // Settle-by-replay: the revert annuls move v, and the
+                // replayed `owner` is wherever the surviving history puts
+                // the key — `from` in the simple case, a chained move's
+                // destination otherwise. Duplicates and below-floor
+                // stragglers are Stale no-ops (a late revert can never
+                // flip ownership again, however long it straggles).
+                if let Settle::Applied { owner } =
+                    self.history.settle(key, version, from, to, MoveOutcome::Reverted)
+                {
                     if to == self.partition {
                         // Destination side applies at delivery: during
                         // staging every command touching the key *waits*,
                         // so un-owning here deterministically turns those
                         // waits (and all later-delivered commands) into
-                        // client retries on every replica.
+                        // client retries on every replica. With a chained
+                        // move back into this partition the replayed owner
+                        // is us — keep ownership, the data holder ships to
+                        // us via its own revert pump.
                         self.staging.remove(&(version, key));
-                        if self.awaiting_keys.get(&key) == Some(&from) && self.owned.contains(&key)
-                        {
+                        if owner != self.partition && self.owned.contains(&key) {
                             self.awaiting_keys.remove(&key);
                             self.owned.remove(&key);
-                            self.outmigrated.insert(key, from);
+                            self.outmigrated.insert(key, owner);
                         }
                     }
                     if from == self.partition {
-                        // Source side re-owns through the queue: a command
-                        // delivered before the revert must resolve against
-                        // the pre-revert ownership on every replica, no
-                        // matter how far its local pump has progressed.
+                        // Source side re-owns (or re-ships) through the
+                        // queue: a command delivered before the revert must
+                        // resolve against the pre-revert ownership on every
+                        // replica, no matter how far its local pump has
+                        // progressed.
                         self.queue.push_back(Queued {
                             cmd: Command {
                                 id: MsgId::new(u64::MAX, 0),
@@ -726,11 +785,15 @@ impl<A: Application> ServerCore<A> {
                     msg: Direct::PlanVarsAck { version, key, chunk },
                 });
                 let k = (version, key);
-                // Only ignore chunks for migrations already settled *and*
-                // fully dismantled here; with a staging entry still
-                // present (Done delivered before all chunks arrived) the
-                // chunk must keep buffering.
-                if !self.settled.contains(&k) || self.staging.contains_key(&k) {
+                // Only buffer chunks for migrations not yet decided, or
+                // with a staging entry still present (Done delivered
+                // before all chunks arrived). Once decided *and*
+                // dismantled the chunk is ack-only: `decided` answers true
+                // for below-floor stragglers too (default-deny), so a
+                // stray can never resurrect a staging entry — the
+                // unconditional ack above is what terminates the sender's
+                // retransmit loop.
+                if !self.history.decided(version, key) || self.staging.contains_key(&k) {
                     let e = self.staging.entry(k).or_insert_with(|| StagedKey {
                         from,
                         total: None,
@@ -934,7 +997,9 @@ impl<A: Application> ServerCore<A> {
                 QueuedBody::Create { .. } => self.pump_create(&mut entry, now, metrics, eff),
                 QueuedBody::Delete { .. } => self.pump_delete(&mut entry, now, metrics, eff),
                 QueuedBody::Plan { .. } => self.pump_plan(&mut entry, now, metrics, eff),
-                QueuedBody::MigrationRevert { .. } => self.pump_revert(&mut entry, metrics),
+                QueuedBody::MigrationRevert { .. } => {
+                    self.pump_revert(&mut entry, now, metrics, eff)
+                }
             };
             if !done {
                 self.queue.push_front(entry);
@@ -1585,7 +1650,15 @@ impl<A: Application> ServerCore<A> {
         let (version, moves) = (*version, moves.clone());
         self.plan_version = version;
         for (key, from, to) in moves {
-            if from == self.partition && to != self.partition {
+            // Outbound: nominally `from == self.partition`, but a revert
+            // that already pumped here can have re-owned a key whose next
+            // move the oracle planned from the *reverted* destination
+            // (`from` is stale). The actual holder must ship it — the
+            // nominal source no longer owns the key and skips below, so
+            // exactly one partition ships.
+            let outbound =
+                to != self.partition && (from == self.partition || self.owned.contains(&key));
+            if outbound {
                 // Chained migration: the key may still be in flight toward
                 // us from an earlier plan. We then ship what we have as a
                 // supplement and let the in-flight primary be forwarded
@@ -1628,6 +1701,18 @@ impl<A: Application> ServerCore<A> {
                         chunks.push(Vec::new());
                     }
                     let n = chunks.len();
+                    // Per-link scheduling: moves arrive hottest-first (the
+                    // oracle orders them by access weight), so when the
+                    // link to `to` is at its in-flight cap this colder move
+                    // parks in FIFO order and a freed slot promotes it.
+                    let cap = self.config.migration_max_inflight_per_link;
+                    let deferred =
+                        cap > 0 && self.link_active.get(&to).copied().unwrap_or(0) >= cap;
+                    if deferred {
+                        self.link_waiting.entry(to).or_default().push_back((version, key));
+                    } else if cap > 0 {
+                        *self.link_active.entry(to).or_insert(0) += 1;
+                    }
                     self.outbox.insert(
                         (version, key),
                         OutboxEntry {
@@ -1640,11 +1725,15 @@ impl<A: Application> ServerCore<A> {
                             deadline: SimTime::ZERO,
                             next_ship_at: now,
                             gave_up: false,
+                            deferred,
                         },
                     );
                     if self.config.record_metrics {
                         let ids = self.mids(metrics);
                         metrics.incr(ids.migration_keys_staged, 1);
+                        if deferred {
+                            metrics.incr(ids.migration_deferred, 1);
+                        }
                     }
                     continue; // chunks ship from the migration pump
                 }
@@ -1687,6 +1776,14 @@ impl<A: Application> ServerCore<A> {
                     });
                 }
             } else if to == self.partition && from != self.partition {
+                if self.history.reverted(version, key) {
+                    // The move was annulled before this plan reached the
+                    // queue head. Taking ownership would wedge the key
+                    // (the source will never ship); if a later surviving
+                    // move re-routes it here, that plan entry takes
+                    // ownership when it pumps.
+                    continue;
+                }
                 self.owned.insert(key);
                 self.outmigrated.remove(&key);
                 self.awaiting_keys.insert(key, from);
@@ -1713,10 +1810,20 @@ impl<A: Application> ServerCore<A> {
         true
     }
 
-    /// Queue-ordered source-side rollback of a gave-up staged migration:
-    /// reclaims ownership and reinstalls the retained chunk data, unless a
-    /// later plan has meanwhile re-routed the key elsewhere.
-    fn pump_revert(&mut self, entry: &mut Queued<A>, metrics: &mut Metrics) -> bool {
+    /// Queue-ordered source-side resolution of a gave-up staged migration.
+    /// Replaying the key's plan history decides where it now belongs: with
+    /// no surviving later move the key comes home (re-own + reinstall the
+    /// retained chunk data); with a chained move past the reverted one the
+    /// cluster has already agreed the key lives at the chain's end — this
+    /// partition holds the only authoritative copy, so it ships the
+    /// retained state there as the primary shipment the owner awaits.
+    fn pump_revert(
+        &mut self,
+        entry: &mut Queued<A>,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+    ) -> bool {
         let QueuedBody::MigrationRevert { version, key } = &entry.body else {
             // detlint::allow(P003): pump dispatches to this handler by matching QueuedBody::MigrationRevert; other variants cannot reach here
             unreachable!("pump_revert on non-revert queue entry")
@@ -1725,17 +1832,50 @@ impl<A: Application> ServerCore<A> {
         let Some(e) = self.outbox.remove(&(version, key)) else {
             return true; // already dismantled (e.g. by a racing Done)
         };
-        if self.outmigrated.get(&key) == Some(&e.to) && !self.owned.contains(&key) {
-            self.outmigrated.remove(&key);
-            self.owned.insert(key);
-            for chunk in e.chunks {
-                for (v, val) in chunk {
-                    match val {
-                        Some(val) => {
-                            self.store.insert(v, val);
-                        }
-                        None => {
-                            self.store.remove(&v);
+        if !e.deferred && !e.gave_up {
+            self.release_link_slot(e.to, now, metrics);
+        }
+        let owner = self.history.resolved_owner_versioned(key);
+        match owner {
+            Some((owner, owner_version)) if owner != self.partition => {
+                if self.outmigrated.get(&key) == Some(&e.to) {
+                    self.outmigrated.insert(key, owner);
+                }
+                if !self.owned.contains(&key) {
+                    let vars: Vec<(VarId, Option<A::Value>)> =
+                        e.chunks.into_iter().flatten().collect();
+                    // Carry the version of the move that made `owner` the
+                    // owner, so its plan-version buffering resolves the
+                    // shipment against the right plan.
+                    eff.push(Effect::Send {
+                        to: Destination::Partition(owner),
+                        msg: Direct::PlanVars {
+                            version: owner_version,
+                            key,
+                            from: self.partition,
+                            vars,
+                            pending: Vec::new(),
+                            primary: true,
+                        },
+                    });
+                }
+            }
+            _ => {
+                // Replay says the key belongs here (owner is us, or no
+                // non-reverted move survives): classic rollback.
+                if self.outmigrated.get(&key) == Some(&e.to) && !self.owned.contains(&key) {
+                    self.outmigrated.remove(&key);
+                    self.owned.insert(key);
+                    for chunk in e.chunks {
+                        for (v, val) in chunk {
+                            match val {
+                                Some(val) => {
+                                    self.store.insert(v, val);
+                                }
+                                None => {
+                                    self.store.remove(&v);
+                                }
+                            }
                         }
                     }
                 }
@@ -1748,37 +1888,101 @@ impl<A: Application> ServerCore<A> {
         true
     }
 
+    /// Frees one in-flight slot on the link to `to` and promotes waiting
+    /// deferred transfers (oldest = hottest first) into free slots.
+    /// Returns whether any transfer was promoted. No-op when the per-link
+    /// cap is disabled.
+    fn release_link_slot(&mut self, to: PartitionId, now: SimTime, metrics: &mut Metrics) -> bool {
+        let cap = self.config.migration_max_inflight_per_link;
+        if cap == 0 {
+            return false;
+        }
+        if let Some(n) = self.link_active.get_mut(&to) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                self.link_active.remove(&to);
+            }
+        }
+        let mut promoted = false;
+        while self.link_active.get(&to).copied().unwrap_or(0) < cap {
+            let Some(k) = self.link_waiting.get_mut(&to).and_then(VecDeque::pop_front) else {
+                self.link_waiting.remove(&to);
+                break;
+            };
+            match self.outbox.get_mut(&k) {
+                Some(e) if e.deferred && !e.gave_up => {
+                    e.deferred = false;
+                    e.next_ship_at = now;
+                    *self.link_active.entry(to).or_insert(0) += 1;
+                    promoted = true;
+                    if self.config.record_metrics {
+                        let ids = self.mids(metrics);
+                        metrics.incr(ids.migration_released, 1);
+                    }
+                }
+                // Stale waiter (entry dismantled meanwhile): keep popping.
+                _ => {}
+            }
+        }
+        promoted
+    }
+
     /// Drives every staged migration this partition is the source of:
     /// ships the next chunk when the rate limiter allows, retransmits
     /// timed-out chunks with exponential backoff, and requests a revert
-    /// once retries are exhausted. Returns the earliest future instant at
-    /// which this pump needs to run again (always `> now`: past-due work
-    /// was just handled).
+    /// once retries are exhausted. Give-ups free their link slot, and any
+    /// transfer promoted into it ships in a follow-up pass. Returns the
+    /// earliest future instant at which this pump needs to run again
+    /// (always `> now`: past-due work was just handled).
     fn pump_migration(
         &mut self,
         now: SimTime,
         metrics: &mut Metrics,
         eff: &mut Vec<Effect<A>>,
     ) -> Option<SimTime> {
+        let mut next_due: Option<SimTime> = None;
+        loop {
+            let freed = self.pump_migration_pass(now, metrics, eff, &mut next_due);
+            let mut promoted = false;
+            for to in freed {
+                promoted |= self.release_link_slot(to, now, metrics);
+            }
+            if !promoted {
+                break;
+            }
+            // A promoted transfer has `next_ship_at = now`: re-run the
+            // pass so its first chunk ships in this same batch.
+        }
+        next_due
+    }
+
+    /// One pass over the outbox; returns the destinations whose link slot
+    /// was freed by a give-up in this pass.
+    fn pump_migration_pass(
+        &mut self,
+        now: SimTime,
+        metrics: &mut Metrics,
+        eff: &mut Vec<Effect<A>>,
+        next_due: &mut Option<SimTime>,
+    ) -> Vec<PartitionId> {
         if self.outbox.is_empty() {
-            return None;
+            return Vec::new();
         }
         let ids = if self.config.record_metrics { Some(self.mids(metrics)) } else { None };
         let me = self.partition;
         let backoff_cap = self.config.migration_chunk_timeout.saturating_mul(64);
-        let mut next_due: Option<SimTime> = None;
         let due = |slot: &mut Option<SimTime>, at: SimTime| {
             *slot = Some(slot.map_or(at, |cur| cur.min(at)));
         };
         let mut busy_until = self.busy_until;
         let mut reverts: Vec<(u64, LocKey, PartitionId)> = Vec::new();
         for (&(version, key), e) in self.outbox.iter_mut() {
-            if e.gave_up {
+            if e.gave_up || e.deferred {
                 continue;
             }
             if let Some(i) = e.in_flight {
                 if now < e.deadline {
-                    due(&mut next_due, e.deadline);
+                    due(next_due, e.deadline);
                     continue;
                 }
                 // Ack deadline missed: retry with backoff, or give up.
@@ -1810,14 +2014,14 @@ impl<A: Application> ServerCore<A> {
                     metrics.incr(ids.migration_chunks_sent, 1);
                     metrics.incr(ids.migration_chunk_retries, 1);
                 }
-                due(&mut next_due, e.deadline);
+                due(next_due, e.deadline);
                 continue;
             }
             let Some(i) = e.acked.iter().position(|&a| !a) else {
                 continue; // all chunks acked; awaiting the MigrationDone
             };
             if now < e.next_ship_at {
-                due(&mut next_due, e.next_ship_at);
+                due(next_due, e.next_ship_at);
                 continue;
             }
             let transfer = transfer_time(&self.config, e.chunks[i].len());
@@ -1842,10 +2046,12 @@ impl<A: Application> ServerCore<A> {
             if let Some(ids) = ids {
                 metrics.incr(ids.migration_chunks_sent, 1);
             }
-            due(&mut next_due, e.deadline);
+            due(next_due, e.deadline);
         }
         self.busy_until = busy_until;
+        let mut freed = Vec::with_capacity(reverts.len());
         for (version, key, to) in reverts {
+            freed.push(to);
             eff.push(Effect::Multicast {
                 mid: migration_mid(key, version, TAG_MIGRATION_REVERT),
                 partitions: vec![me, to],
@@ -1853,7 +2059,7 @@ impl<A: Application> ServerCore<A> {
                 payload: Payload::MigrationRevert { version, key, from: me, to },
             });
         }
-        next_due
+        freed
     }
 
     /// Runs the migration pump and collapses this batch's `Wake` requests
@@ -2533,5 +2739,127 @@ mod tests {
             &mut m,
         );
         assert_eq!(reply_of(&eff), Some(vec![(VarId(0), 8)]));
+    }
+
+    /// Runs one full staged migration of key 0 between `src` and `dst` at
+    /// `version` (plan → chunk → ack → totally-ordered Done on both).
+    fn migrate_key0(
+        version: u64,
+        src: &mut ServerCore<App>,
+        dst: &mut ServerCore<App>,
+        m: &mut Metrics,
+    ) {
+        let plan =
+            Payload::Plan { version, moves: vec![(LocKey(0), src.partition(), dst.partition())] };
+        let eff = src.on_deliver(plan.clone(), now(), m);
+        let chunk = chunk_of(&eff).expect("chunk ships");
+        let _ = dst.on_deliver(plan, now(), m);
+        let eff_d = dst.on_direct(chunk, now(), m);
+        let ack = ack_of(&eff_d).expect("destination acks");
+        let done = done_of(&eff_d).expect("single-chunk transfer completes");
+        let _ = src.on_direct(ack, now(), m);
+        let _ = src.on_deliver(done.clone(), now(), m);
+        let _ = dst.on_deliver(done, now(), m);
+    }
+
+    #[test]
+    fn straggling_revert_never_flips_ownership_however_late() {
+        // Regression for the bounded-memory amnesia bug: the old
+        // first-decision-wins set forgot a migration's Done once enough
+        // later decisions rotated it out, so a duplicate MigrationRevert
+        // straggling in long after (a give-up retransmission that lost
+        // its race) was mistaken for a fresh decision and flipped
+        // ownership back. The plan history's monotone floor answers
+        // default-deny for any version at or below it, no matter how
+        // many records have been folded away since.
+        let mut a = staged_server(0, &[0], &[(0, 7)], staged_config(5));
+        let mut b = staged_server(1, &[], &[], staged_config(5));
+        let mut m = Metrics::new();
+
+        // v1 moves key 0 from partition 0 to partition 1 and commits.
+        migrate_key0(1, &mut a, &mut b, &mut m);
+        assert!(!a.owns(LocKey(0)) && b.owns(LocKey(0)));
+
+        // Bounce the key back and forth through far more committed
+        // decisions than the per-key history retains verbatim.
+        for v in 2..=24u64 {
+            if v % 2 == 0 {
+                migrate_key0(v, &mut b, &mut a, &mut m);
+            } else {
+                migrate_key0(v, &mut a, &mut b, &mut m);
+            }
+        }
+        assert!(a.owns(LocKey(0)) && !b.owns(LocKey(0)), "v24 parked the key at partition 0");
+        assert_eq!(a.value_of(VarId(0)), Some(&7), "value survives the round trips");
+
+        // The straggler: a duplicate revert of the long-settled v1.
+        let revert = Payload::MigrationRevert {
+            version: 1,
+            key: LocKey(0),
+            from: PartitionId(0),
+            to: PartitionId(1),
+        };
+        let _ = a.on_deliver(revert.clone(), now(), &mut m);
+        let _ = b.on_deliver(revert, now(), &mut m);
+        assert!(a.owns(LocKey(0)) && !b.owns(LocKey(0)), "stale revert must not flip ownership");
+        assert_eq!(a.value_of(VarId(0)), Some(&7));
+        assert_eq!(m.counter(mn::MIGRATION_REVERTS), 0, "no revert was ever applied");
+    }
+
+    #[test]
+    fn done_outrunning_every_chunk_still_installs_and_acks_strays() {
+        // A MigrationDone (submitted by a faster peer replica of the
+        // destination group) can be delivered before any chunk reaches
+        // this replica over the direct channel. The staging entry must
+        // wait for the late chunk, install on its arrival, and from then
+        // on treat retransmitted duplicates as ack-only strays — the ack
+        // is what terminates the sender's retransmit loop, and a stray
+        // must never resurrect a dismantled staging entry.
+        let mut src = staged_server(0, &[0], &[(0, 7)], staged_config(5));
+        let mut dst = staged_server(1, &[], &[], staged_config(5));
+        let mut m = Metrics::new();
+
+        let eff = src.on_deliver(move_plan(), now(), &mut m);
+        let chunk = chunk_of(&eff).expect("chunk ships");
+        let _ = dst.on_deliver(move_plan(), now(), &mut m);
+
+        // The Done lands first; nothing can install yet.
+        let done = Payload::MigrationDone {
+            version: PLAN_V1,
+            key: LocKey(0),
+            from: PartitionId(0),
+            to: PartitionId(1),
+        };
+        let _ = dst.on_deliver(done.clone(), now(), &mut m);
+        assert_eq!(dst.value_of(VarId(0)), None, "no chunk, nothing to install");
+
+        // The source's Done delivery dismantles its outbox even though no
+        // ack ever arrived: the retransmit ladder must fall silent.
+        let _ = src.on_deliver(done, now(), &mut m);
+        let eff = src.on_wake(now() + SimDuration::from_secs(30), &mut m);
+        assert!(
+            chunk_of(&eff).is_none() && revert_of(&eff).is_none(),
+            "no retransmission or give-up after the Done settled"
+        );
+
+        // The chunk finally arrives: acked, and the staged value installs.
+        let eff = dst.on_direct(chunk.clone(), now(), &mut m);
+        assert!(ack_of(&eff).is_some());
+        assert_eq!(dst.value_of(VarId(0)), Some(&7), "late chunk completes the install");
+
+        // A retransmitted duplicate is now a stray: ack it (the sender
+        // may still be waiting) but change nothing.
+        let eff = dst.on_direct(chunk, now(), &mut m);
+        assert!(ack_of(&eff).is_some(), "strays are re-acked to stop the sender");
+        assert!(done_of(&eff).is_none(), "a stray must not re-request the commit");
+        assert_eq!(dst.value_of(VarId(0)), Some(&7));
+
+        // The stray's ack reaching a dismantled outbox is a no-op.
+        let eff = src.on_direct(
+            Direct::PlanVarsAck { version: PLAN_V1, key: LocKey(0), chunk: 0 },
+            now(),
+            &mut m,
+        );
+        assert!(chunk_of(&eff).is_none());
     }
 }

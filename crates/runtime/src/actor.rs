@@ -179,6 +179,18 @@ pub trait Actor<M>: 'static {
         let _ = stable;
         self.on_start(ctx);
     }
+
+    /// Read-only introspection: this node's view of a key→partition
+    /// location map, as `(key, partition)` pairs, if it maintains one.
+    ///
+    /// Purely diagnostic — the simulation never calls it on its own; test
+    /// harnesses use it (via
+    /// [`Simulation::location_view`](crate::sim::Simulation::location_view))
+    /// to assert that replicas converged to identical maps. Actors without
+    /// a location map keep the default `None`.
+    fn location_view(&self) -> Option<Vec<(u64, u32)>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -172,6 +172,16 @@ impl<M: 'static> Simulation<M> {
         &self.nodes[id.as_raw() as usize].name
     }
 
+    /// The node's view of the key→partition location map, if its actor
+    /// maintains one (see [`Actor::location_view`]). Diagnostic only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a node of this simulation.
+    pub fn location_view(&self, id: NodeId) -> Option<Vec<(u64, u32)>> {
+        self.nodes[id.as_raw() as usize].actor.location_view()
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now

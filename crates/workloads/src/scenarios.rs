@@ -15,6 +15,9 @@
 //! * **Membership churn** ([`churn_nemesis`]) — repeated crash-restart
 //!   waves plus asymmetric degraded links, timed to overlap state
 //!   migration.
+//! * **Migration brownout** ([`migration_brownout`]) — every link between
+//!   two replica groups degrades for one window, starving staged chunk
+//!   transfers of acks until sources give up and revert mid-chain.
 //!
 //! [`DiurnalRotation`] and [`ZipfRamp`] implement [`AccessPattern`]; wrap
 //! one in a [`ScenarioWorkload`] together with a command factory to drive
@@ -24,8 +27,8 @@
 use std::sync::{Arc, Mutex};
 
 use dynastar_core::{Application, CommandKind, Workload};
-use dynastar_runtime::nemesis::NemesisConfig;
-use dynastar_runtime::{SimDuration, SimTime};
+use dynastar_runtime::nemesis::{LinkFaultEvent, NemesisConfig, NemesisPlan};
+use dynastar_runtime::{NodeId, SimDuration, SimTime};
 use rand::rngs::StdRng;
 
 use crate::chirper::{ChirperMix, ChirperWorkload};
@@ -241,6 +244,47 @@ pub fn churn_nemesis(seed: u64, start: SimTime, end: SimTime, waves: u32) -> Nem
     }
 }
 
+/// A *migration brownout*: for one `[start, end)` window, every directed
+/// link between the replicas of group `a` and the replicas of group `b` is
+/// degraded by `extra_delay` of one-way latency and `loss_pm` of loss —
+/// both directions, all replica pairs.
+///
+/// Staged migration fans each chunk out from every source replica to every
+/// destination replica (and acks fan back the same way), so the single
+/// random directed edge a [`NemesisConfig::link_faults`] window degrades
+/// can never starve a transfer of acks. The brownout closes that gap: with
+/// the whole inter-group mesh lossy, chunk retries escalate into give-up
+/// reverts exactly while later plans keep re-routing the same keys. No
+/// node goes down and every edge repairs at `end`, so runs converge after
+/// the window.
+pub fn migration_brownout(
+    a: &[NodeId],
+    b: &[NodeId],
+    start: SimTime,
+    end: SimTime,
+    extra_delay: SimDuration,
+    loss_pm: u32,
+) -> NemesisPlan {
+    assert!(end > start, "brownout window is empty");
+    let mut link_events = Vec::new();
+    for &x in a {
+        for &y in b {
+            for (from, to) in [(x, y), (y, x)] {
+                link_events.push(LinkFaultEvent {
+                    from,
+                    to,
+                    at: start,
+                    repair_at: end,
+                    extra_delay,
+                    loss_pm,
+                });
+            }
+        }
+    }
+    link_events.sort_by_key(|e| (e.at, e.from.as_raw(), e.to.as_raw()));
+    NemesisPlan { events: Vec::new(), link_events }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +367,32 @@ mod tests {
             assert!(vars[0].0 < 50);
         }
         assert!(w.next_command(SimTime::ZERO, &mut rng).is_none());
+    }
+
+    #[test]
+    fn migration_brownout_degrades_the_full_intergroup_mesh() {
+        let a: Vec<NodeId> = (0..3).map(NodeId::from_raw).collect();
+        let b: Vec<NodeId> = (3..6).map(NodeId::from_raw).collect();
+        let plan = migration_brownout(
+            &a,
+            &b,
+            SimTime::from_secs(4),
+            SimTime::from_secs(9),
+            SimDuration::from_millis(2),
+            900_000,
+        );
+        // 3x3 pairs, both directions; no node-level faults.
+        assert_eq!(plan.link_fault_count(), 18);
+        assert_eq!(plan.events.len(), 0);
+        for l in &plan.link_events {
+            let forward = a.contains(&l.from) && b.contains(&l.to);
+            let reverse = b.contains(&l.from) && a.contains(&l.to);
+            assert!(forward || reverse, "edge must cross the two groups");
+            assert_eq!(l.at, SimTime::from_secs(4));
+            assert_eq!(l.repair_at, SimTime::from_secs(9));
+            assert_eq!(l.loss_pm, 900_000);
+        }
+        assert_eq!(plan.last_repair(), Some(SimTime::from_secs(9)));
     }
 
     #[test]

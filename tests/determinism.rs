@@ -347,6 +347,149 @@ fn churn_flash_crowd_scenario_matches_golden_hash() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Chained-migration golden: give-up reverts racing chained moves.
+//
+// The scenario from `crates/core/tests/chained_migration.rs` (and the
+// `chained_move` fig9 scenario): a rotating hot block drives plans that
+// keep re-routing the same keys while a pure-delay brownout of the
+// partition-0 ↔ 1 mesh pushes chunk acks past the give-up point, so
+// `MigrationRevert` and `MigrationDone` race in the total order and the
+// plan-history replay settles the loser. Pinning the delivered-command
+// hash keeps that settling deterministic — and identical across debug and
+// release builds.
+// ---------------------------------------------------------------------------
+
+/// Rotating-hot counters + 0 ↔ 1 brownout; returns
+/// `(hash, completions, client_visible_errors)`.
+fn run_chained_golden(seed: u64) -> (u64, u64, u64) {
+    use dynastar::core::server::ServerConfig;
+    use dynastar::core::{
+        Application, ClusterBuilder, ClusterConfig, CommandKind, LocKey, PartitionId, VarId,
+        Workload,
+    };
+    use dynastar::runtime::SimTime;
+    use rand::Rng;
+    use std::collections::BTreeMap;
+
+    const DOMAIN: u64 = 60;
+    const STRIDE: u64 = 20;
+    const ROT_PERIOD: SimDuration = SimDuration::from_secs(2);
+
+    struct Counters;
+    impl Application for Counters {
+        type Op = i64;
+        type Value = i64;
+        type Reply = i64;
+        fn locality(var: VarId) -> LocKey {
+            LocKey(var.0)
+        }
+        fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> i64 {
+            let mut last = 0;
+            for v in vars.values_mut() {
+                last = v.unwrap_or(0) + op;
+                *v = Some(last);
+            }
+            last
+        }
+    }
+
+    struct RotatingHot;
+    impl Workload<Counters> for RotatingHot {
+        fn next_command(
+            &mut self,
+            now: SimTime,
+            rng: &mut StdRng,
+        ) -> Option<CommandKind<Counters>> {
+            let offset = (now.as_micros() / ROT_PERIOD.as_micros()) * STRIDE % DOMAIN;
+            let rank = (offset + rng.gen_range(0..STRIDE)) % DOMAIN;
+            Some(CommandKind::Access { op: 1, vars: vec![VarId(rank)] })
+        }
+    }
+
+    let config = ClusterConfig {
+        partitions: 3,
+        replicas: 3,
+        mode: Mode::Dynastar,
+        seed,
+        repartition_threshold: 60,
+        min_plan_interval: ROT_PERIOD,
+        warm_client_caches: true,
+        server: ServerConfig {
+            staged_migration: true,
+            migration_chunk_vars: 4,
+            migration_var_bytes: 1024,
+            migration_link_bytes_per_sec: 1024 * 1024,
+            migration_chunk_timeout: SimDuration::from_millis(100),
+            migration_max_retries: 3,
+            migration_max_inflight_per_link: 2,
+            hint_batch: 4,
+            ..ServerConfig::default()
+        },
+        client_retry_backoff: SimDuration::from_millis(2),
+        ..ClusterConfig::default()
+    };
+    let mut b = ClusterBuilder::new(config);
+    for v in 0..DOMAIN {
+        b.place(LocKey(v), PartitionId((v / STRIDE) as u32));
+        b.with_var(VarId(v), 0);
+    }
+    let mut cluster = b.build();
+    let log = Arc::new(Mutex::new(GoldenLog::new()));
+    for _ in 0..3 {
+        cluster.add_client(Recording {
+            inner: RotatingHot,
+            log: Arc::clone(&log),
+            _app: std::marker::PhantomData,
+        });
+    }
+    let (ga, gb) = {
+        let groups = cluster.groups();
+        (groups[0].clone(), groups[1].clone())
+    };
+    for &x in &ga {
+        for &y in &gb {
+            for (from, to) in [(x, y), (y, x)] {
+                cluster.sim.schedule_link_degrade(
+                    SimTime::from_secs(4),
+                    from,
+                    to,
+                    SimDuration::from_secs(2),
+                    0,
+                );
+                cluster.sim.schedule_link_repair(SimTime::from_secs(12), from, to);
+            }
+        }
+    }
+    cluster.run_for(SimDuration::from_secs(20));
+    let errors = cluster.metrics().counter(mn::CMD_FAILED);
+    let log = log.lock().expect("golden log");
+    (log.hash, log.count, errors)
+}
+
+/// Recorded from a verified run of this revision; identical in debug and
+/// release builds. Re-record alongside [`GOLDEN_HASH`] when a deliberate
+/// protocol change reorders deliveries.
+const CHAINED_GOLDEN_SEED: u64 = 7;
+const CHAINED_GOLDEN_HASH: u64 = 0xb765_527d_900a_ab38;
+const CHAINED_GOLDEN_COUNT: u64 = 18515;
+
+#[test]
+fn chained_migration_scenario_matches_golden_hash() {
+    let (hash, count, errors) = run_chained_golden(CHAINED_GOLDEN_SEED);
+    assert_eq!(errors, 0, "chained-migration scenario surfaced client-visible command errors");
+    assert_eq!(
+        count, CHAINED_GOLDEN_COUNT,
+        "completion count drifted from the recorded chained execution"
+    );
+    assert_eq!(
+        hash, CHAINED_GOLDEN_HASH,
+        "chained-migration delivered sequence drifted (hash {hash:#018x}); if a \
+         deliberate protocol change reordered deliveries, re-record the constant \
+         in this commit"
+    );
+}
+
 #[test]
 fn golden_hash_is_reproducible_and_seed_sensitive() {
     let a = run_golden(7);
