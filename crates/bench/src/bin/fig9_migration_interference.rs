@@ -281,7 +281,7 @@ fn run_counters(scenario: &'static str, ramp: bool, policy: Policy, p: &Params) 
         min_plan_interval: p.plan_interval,
         warm_client_caches: true,
         compute_base: SimDuration::from_millis(50),
-        service_time: SimDuration::from_micros(150),
+        exec: dynastar_core::ExecConfig::serial(SimDuration::from_micros(150)),
         server: policy.server(),
         client_retry_backoff: policy.client_backoff(),
         ..ClusterConfig::default()
@@ -356,7 +356,7 @@ fn run_chained(scenario: &'static str, policy: Policy, p: &Params) -> RunResult 
         min_plan_interval: p.plan_interval,
         warm_client_caches: true,
         compute_base: SimDuration::from_millis(50),
-        service_time: SimDuration::from_micros(150),
+        exec: dynastar_core::ExecConfig::serial(SimDuration::from_micros(150)),
         server,
         client_retry_backoff: policy.client_backoff(),
         ..ClusterConfig::default()

@@ -89,7 +89,7 @@ fn main() {
         repartition_threshold: u64::MAX,
         // Modelled per-command CPU keeps traffic in flight while the
         // fault schedule runs, so faults land on a busy cluster.
-        service_time: SimDuration::from_millis(200),
+        exec: dynastar_core::ExecConfig::serial(SimDuration::from_millis(200)),
         warm_client_caches: true,
         client_timeout: SimDuration::from_secs(3),
         ..ClusterConfig::default()

@@ -90,6 +90,7 @@ struct ProbeConfig {
     sim_secs: u64,
     seed: u64,
     clients_per_warehouse: u32,
+    exec_workers: u32,
 }
 
 /// One probe run's measurements.
@@ -115,6 +116,7 @@ fn run_probe(cfg: ProbeConfig) -> ProbeResult {
     let mut setup = TpccSetup::new(cfg.partitions, cfg.mode);
     setup.placement = Placement::Random;
     setup.seed = cfg.seed;
+    setup.exec_workers = cfg.exec_workers;
     // Throughput probe, not a repartitioning experiment: pinning the
     // threshold keeps the schedule identical across modes being compared.
     setup.repartition_threshold = u64::MAX;
@@ -155,13 +157,14 @@ fn to_json(results: &[ProbeResult]) -> String {
         let c = &r.config;
         out.push_str(&format!(
             "    {{\"mode\": \"{}\", \"partitions\": {}, \"sim_secs\": {}, \"seed\": {}, \
-             \"clients_per_warehouse\": {}, \"events\": {}, \"completed\": {}, \
+             \"clients_per_warehouse\": {}, \"exec_workers\": {}, \"events\": {}, \"completed\": {}, \
              \"wall_secs\": {:.3}, \"events_per_sec\": {:.0}, \"wall_per_sim_sec\": {:.4}}}{}\n",
             mode_name(c.mode),
             c.partitions,
             c.sim_secs,
             c.seed,
             c.clients_per_warehouse,
+            c.exec_workers,
             r.events,
             r.completed,
             r.wall_secs,
@@ -195,7 +198,7 @@ fn parse_best(json: &str) -> Option<f64> {
 fn usage() -> ! {
     eprintln!(
         "usage: probe_perf [--mode dynastar|ssmr] [--partitions N] [--sim-secs N] [--seed N]\n\
-         \x20                 [--clients N] [--matrix] [--out FILE] [--check-against FILE]\n\
+         \x20                 [--clients N] [--exec-workers N] [--matrix] [--out FILE] [--check-against FILE]\n\
          \n\
          --matrix          sweep seeds 1..=3 x modes in parallel, report all points\n\
          --out FILE        write machine-readable BENCH_perf.json\n\
@@ -211,6 +214,7 @@ fn main() {
         sim_secs: 10,
         seed: 1,
         clients_per_warehouse: 6,
+        exec_workers: 1,
     };
     let mut matrix = false;
     let mut out_path: Option<String> = None;
@@ -233,6 +237,7 @@ fn main() {
             "--sim-secs" => cfg.sim_secs = val().parse().unwrap_or_else(|_| usage()),
             "--seed" => cfg.seed = val().parse().unwrap_or_else(|_| usage()),
             "--clients" => cfg.clients_per_warehouse = val().parse().unwrap_or_else(|_| usage()),
+            "--exec-workers" => cfg.exec_workers = val().parse().unwrap_or_else(|_| usage()),
             "--matrix" => matrix = true,
             "--out" => out_path = Some(val().to_owned()),
             "--check-against" => check_path = Some(val().to_owned()),

@@ -2,7 +2,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use dynastar_core::server::ServerConfig;
+use dynastar_core::server::{ExecConfig, ServerConfig};
 use dynastar_core::{BatchConfig, Cluster, ClusterBuilder, ClusterConfig, Mode, PartitionId};
 use dynastar_runtime::SimDuration;
 use dynastar_workloads::chirper::{Chirper, ChirperUser};
@@ -48,6 +48,8 @@ pub struct TpccSetup {
     pub warm_plans: bool,
     /// Warm-plan quality gate (ratio vs the last full run's cut).
     pub warm_quality_ratio: f64,
+    /// Modelled parallel execution workers per replica (1 = serial).
+    pub exec_workers: u32,
 }
 
 impl TpccSetup {
@@ -64,6 +66,7 @@ impl TpccSetup {
             batch: BatchConfig::UNBATCHED,
             warm_plans: true,
             warm_quality_ratio: 1.1,
+            exec_workers: 1,
         }
     }
 }
@@ -79,7 +82,7 @@ pub fn tpcc_cluster(setup: &TpccSetup) -> Cluster<Tpcc> {
         min_plan_interval: setup.min_plan_interval,
         warm_client_caches: true,
         compute_base: SimDuration::from_millis(100),
-        service_time: SimDuration::from_micros(150),
+        exec: ExecConfig::pool(setup.exec_workers, SimDuration::from_micros(150)),
         batch: setup.batch,
         warm_plans: setup.warm_plans,
         warm_quality_ratio: setup.warm_quality_ratio,
@@ -142,6 +145,11 @@ pub struct ChirperSetup {
     /// Client retry backoff base under migration backpressure (zero =
     /// retry immediately, the historical behaviour).
     pub client_retry_backoff: SimDuration,
+    /// Modelled parallel execution workers per replica (1 = serial).
+    pub exec_workers: u32,
+    /// Modelled per-command service time (fig10 raises this so execution,
+    /// not ordering, is the bottleneck).
+    pub exec_service: SimDuration,
 }
 
 impl ChirperSetup {
@@ -166,6 +174,8 @@ impl ChirperSetup {
             warm_quality_ratio: 1.1,
             server: ServerConfig::default(),
             client_retry_backoff: SimDuration::ZERO,
+            exec_workers: 1,
+            exec_service: SimDuration::from_micros(150),
         }
     }
 }
@@ -185,7 +195,7 @@ pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<Soc
         min_plan_interval: setup.min_plan_interval,
         warm_client_caches: true,
         compute_base: SimDuration::from_millis(100),
-        service_time: SimDuration::from_micros(150),
+        exec: ExecConfig::pool(setup.exec_workers, setup.exec_service),
         batch: setup.batch,
         warm_plans: setup.warm_plans,
         warm_quality_ratio: setup.warm_quality_ratio,

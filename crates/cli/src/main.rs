@@ -19,7 +19,7 @@ use std::sync::Arc;
 use args::Args;
 use dynastar_bench::setup::{chirper_cluster, tpcc_cluster, ChirperSetup, Placement, TpccSetup};
 use dynastar_core::metric_names as mn;
-use dynastar_core::server::ServerConfig;
+use dynastar_core::server::{ExecConfig, ServerConfig};
 use dynastar_core::{
     Application, BatchConfig, ClusterBuilder, ClusterConfig, CommandKind, LocKey, Mode,
     PartitionId, VarId,
@@ -51,6 +51,9 @@ common flags:
   --warm-ratio <f>               warm-plan quality gate: accept while the
                                  warm cut stays within f x the last full
                                  multilevel cut               [1.1]
+  --exec-workers <n>             modelled parallel execution workers per
+                                 replica (conflict-aware P-SMR scheduler;
+                                 1 = serial)                  [1]
 
 chirper flags:
   --users <n>                    social graph size         [2000]
@@ -160,6 +163,7 @@ fn run_chirper(a: &Args) -> Result<(), String> {
     setup.seed = seed;
     setup.batch = parse_batch(a)?;
     (setup.warm_plans, setup.warm_quality_ratio) = parse_warm(a)?;
+    setup.exec_workers = a.num_or("exec-workers", 1)?;
     let (mut cluster, graph) = chirper_cluster(&setup);
     let mix = ChirperMix { timeline: 100 - posts, post: posts, follow: 0, unfollow: 0 };
     for _ in 0..clients {
@@ -185,6 +189,7 @@ fn run_tpcc(a: &Args) -> Result<(), String> {
     setup.seed = seed;
     setup.batch = parse_batch(a)?;
     (setup.warm_plans, setup.warm_quality_ratio) = parse_warm(a)?;
+    setup.exec_workers = a.num_or("exec-workers", 1)?;
     if mode == Mode::Dynastar && a.has("warehouses") {
         setup.placement = Placement::Random; // interesting starting point
     }
@@ -319,7 +324,7 @@ fn run_scenario_counters(name: &str, ramp: bool, o: &ScenarioOpts) {
         min_plan_interval: SimDuration::from_secs((o.secs / 5).max(1)),
         warm_client_caches: true,
         compute_base: SimDuration::from_millis(50),
-        service_time: SimDuration::from_micros(150),
+        exec: ExecConfig::serial(SimDuration::from_micros(150)),
         server: o.server(),
         client_retry_backoff: o.client_backoff(),
         ..ClusterConfig::default()
@@ -384,7 +389,7 @@ fn run_scenario_chained(name: &str, o: &ScenarioOpts) {
         min_plan_interval: plan_interval,
         warm_client_caches: true,
         compute_base: SimDuration::from_millis(50),
-        service_time: SimDuration::from_micros(150),
+        exec: ExecConfig::serial(SimDuration::from_micros(150)),
         server,
         client_retry_backoff: o.client_backoff(),
         ..ClusterConfig::default()

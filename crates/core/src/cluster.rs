@@ -23,7 +23,7 @@ use crate::command::{Application, LocKey, Mode, PartitionId, VarId};
 use crate::metric_names;
 use crate::oracle::{OracleConfig, OracleCore};
 use crate::payload::{Destination, Direct, Effect, Payload};
-use crate::server::{ServerConfig, ServerCore};
+use crate::server::{ExecConfig, ServerConfig, ServerCore};
 
 /// Timer tags used by the actors.
 mod timer {
@@ -1375,9 +1375,12 @@ pub struct ClusterConfig {
     pub compute_base: SimDuration,
     /// Modelled partitioner latency per graph element.
     pub compute_per_element: SimDuration,
-    /// Modelled CPU time per command execution at partition replicas
-    /// (zero = infinite-speed servers; set to get saturation behaviour).
-    pub service_time: SimDuration,
+    /// Modelled execution engine at partition replicas: worker count,
+    /// per-command CPU time and dependency-window size. The default
+    /// (serial, zero service time) models infinite-speed servers; set a
+    /// service time to get saturation behaviour and raise `workers` for
+    /// conflict-aware parallel execution (see [`ExecConfig`]).
+    pub exec: ExecConfig,
     /// Client response timeout before re-dispatch through the oracle.
     pub client_timeout: SimDuration,
     /// Base delay clients wait before re-dispatching after a stale-routing
@@ -1428,7 +1431,7 @@ impl Default for ClusterConfig {
             min_plan_interval: SimDuration::from_secs(30),
             compute_base: SimDuration::from_millis(50),
             compute_per_element: SimDuration::from_micros(1),
-            service_time: SimDuration::ZERO,
+            exec: ExecConfig::default(),
             client_timeout: SimDuration::from_secs(10),
             client_retry_backoff: SimDuration::ZERO,
             warm_client_caches: false,
@@ -1545,7 +1548,7 @@ impl<A: Application> ClusterBuilder<A> {
                     ServerConfig {
                         collect_hints: cfg.mode.optimizes() && cfg.server.collect_hints,
                         record_metrics: r == 0,
-                        service_time: cfg.service_time,
+                        exec: cfg.exec,
                         ..cfg.server.clone()
                     },
                 );

@@ -95,6 +95,60 @@ pub trait Application: Sized + Send + Sync + 'static {
     /// writing `Some` creates or updates it, writing `None` deletes it.
     /// Must be deterministic.
     fn execute(op: &Self::Op, vars: &mut BTreeMap<VarId, Option<Self::Value>>) -> Self::Reply;
+
+    /// Splits an operation's declared variables into read and write sets
+    /// for the parallel execution scheduler (P-SMR / CBASE-style
+    /// dependency tracking).
+    ///
+    /// The default declares every variable a write, which serializes the
+    /// command against every overlapping predecessor — always safe, never
+    /// wrong, just pessimistic. Override for read-mostly operations so
+    /// non-conflicting commands can occupy parallel workers.
+    ///
+    /// Classification only shapes the *timing model*: state application
+    /// itself stays in delivery order on every replica, so an inaccurate
+    /// classification can cost or gain modelled time but can never change
+    /// replies or state.
+    fn classify(op: &Self::Op, vars: &[VarId]) -> AccessSets {
+        let _ = op;
+        AccessSets { reads: Vec::new(), writes: vars.to_vec() }
+    }
+}
+
+/// The read and write sets of one operation, as declared by
+/// [`Application::classify`].
+///
+/// Two commands conflict iff one's write set intersects the other's
+/// read∪write set; read-read overlap never conflicts.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSets {
+    /// Variables the operation only reads.
+    pub reads: Vec<VarId>,
+    /// Variables the operation may write.
+    pub writes: Vec<VarId>,
+}
+
+impl AccessSets {
+    /// A set that reads everything and writes nothing.
+    pub fn read_only(vars: &[VarId]) -> Self {
+        AccessSets { reads: vars.to_vec(), writes: Vec::new() }
+    }
+
+    /// A set that writes everything (the pessimistic default).
+    pub fn write_all(vars: &[VarId]) -> Self {
+        AccessSets { reads: Vec::new(), writes: vars.to_vec() }
+    }
+
+    /// Whether `self` (the later command) must wait for `earlier`.
+    ///
+    /// Symmetric CBASE rule: conflict iff self.writes ∩ (earlier.reads ∪
+    /// earlier.writes) ≠ ∅ or self.reads ∩ earlier.writes ≠ ∅.
+    pub fn conflicts_with(&self, earlier: &AccessSets) -> bool {
+        let hits = |a: &[VarId], b: &[VarId]| a.iter().any(|v| b.contains(v));
+        hits(&self.writes, &earlier.writes)
+            || hits(&self.writes, &earlier.reads)
+            || hits(&self.reads, &earlier.writes)
+    }
 }
 
 /// What a command does.
@@ -257,6 +311,31 @@ mod tests {
         let d = cmd(CommandKind::DeleteKey { key: LocKey(4) });
         assert_eq!(d.keys(), vec![LocKey(4)]);
         assert!(d.vars().is_empty());
+    }
+
+    #[test]
+    fn default_classify_is_all_writes() {
+        let sets = TestApp::classify(&(), &[VarId(1), VarId(2)]);
+        assert!(sets.reads.is_empty());
+        assert_eq!(sets.writes, vec![VarId(1), VarId(2)]);
+    }
+
+    #[test]
+    fn conflict_rule_is_cbase_symmetric() {
+        let r =
+            |vs: &[u64]| AccessSets::read_only(&vs.iter().map(|&v| VarId(v)).collect::<Vec<_>>());
+        let w =
+            |vs: &[u64]| AccessSets::write_all(&vs.iter().map(|&v| VarId(v)).collect::<Vec<_>>());
+        // read-read never conflicts
+        assert!(!r(&[1, 2]).conflicts_with(&r(&[1, 2])));
+        // write-write on the same var conflicts
+        assert!(w(&[1]).conflicts_with(&w(&[1])));
+        // read-after-write and write-after-read both conflict
+        assert!(r(&[1]).conflicts_with(&w(&[1])));
+        assert!(w(&[1]).conflicts_with(&r(&[1])));
+        // disjoint sets never conflict
+        assert!(!w(&[1]).conflicts_with(&w(&[2])));
+        assert!(!r(&[1]).conflicts_with(&w(&[2])));
     }
 
     #[test]

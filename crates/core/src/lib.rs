@@ -52,7 +52,10 @@ pub mod threaded;
 
 pub use client::{ClientCore, ClientEvent, Workload};
 pub use cluster::{Cluster, ClusterBuilder, ClusterConfig, LocationView};
-pub use command::{Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId};
+pub use command::{
+    AccessSets, Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId,
+};
 pub use dynastar_paxos::BatchConfig;
 pub use payload::{Direct, Payload};
 pub use routing::{compute_route, Route};
+pub use server::{ExecConfig, ServerConfig};

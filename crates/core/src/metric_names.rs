@@ -61,6 +61,16 @@ pub const MIGRATION_DEFERRED: &str = "migration.deferred";
 /// Counter: deferred key moves promoted into a freed in-flight slot.
 pub const MIGRATION_RELEASED: &str = "migration.released";
 
+/// Counter: commands admitted to a worker while at least one other command
+/// was still executing (modelled intra-partition parallelism realized).
+pub const EXEC_PARALLEL: &str = "exec.parallel";
+/// Counter: commands whose admission waited on a read/write conflict with
+/// an in-flight predecessor (counted once per command attempt).
+pub const EXEC_SERIALIZED: &str = "exec.serialized";
+/// Counter: commands whose admission waited because the dependency window
+/// was at capacity (counted once per command attempt).
+pub const EXEC_WINDOW_STALL: &str = "exec.window_stall";
+
 /// Histogram: commands per flushed ordering batch (leader side). Counts
 /// are encoded in µs units (the histogram type stores durations).
 pub const BATCH_SIZE: &str = "batch.size";
@@ -123,4 +133,11 @@ pub fn partition_multi(p: u32) -> String {
 /// Per-partition series: objects sent or received by partition `p`.
 pub fn partition_objects(p: u32) -> String {
     format!("part.{p}.objects_exchanged")
+}
+
+/// Per-worker histogram: modelled busy time charged to execution worker
+/// `w` (one observation per admitted command; the count is the worker's
+/// share of the load).
+pub fn exec_worker_busy(w: u32) -> String {
+    format!("exec.worker.{w}.busy")
 }

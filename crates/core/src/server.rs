@@ -17,9 +17,11 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use dynastar_amcast::MsgId;
 use dynastar_runtime::dedup::{RotatingMap, RotatingSet};
-use dynastar_runtime::{CounterId, Metrics, SeriesId, SimTime};
+use dynastar_runtime::{CounterId, HistogramId, Metrics, SeriesId, SimTime};
 
-use crate::command::{Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId};
+use crate::command::{
+    AccessSets, Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId,
+};
 use crate::metric_names as mn;
 use crate::migration::{MoveOutcome, PlanHistory, Settle, PLAN_HISTORY_PER_KEY};
 use crate::payload::{DedupKey, Destination, Direct, Effect, Payload};
@@ -40,6 +42,51 @@ fn trace_blocked(args: std::fmt::Arguments<'_>) {
 /// clients use their node id as origin, which stays far below this.
 pub const PARTITION_ORIGIN_BASE: u64 = 1_000_000_000;
 
+/// The modelled parallel-execution engine of one replica: a P-SMR /
+/// CBASE-style worker pool over the delivered command stream.
+///
+/// Commands still *apply* strictly in delivery order on every replica —
+/// parallelism is purely a timing model deciding *when* the queue head is
+/// admitted, so replicas stay bit-identical regardless of `workers` and an
+/// inaccurate [`Application::classify`] can only skew modelled time, never
+/// state. With `workers = 1` the schedule is exactly the classic serial
+/// executor's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Modelled parallel execution workers per replica. `1` reproduces
+    /// the serial executor bit-for-bit (all golden hashes unchanged).
+    pub workers: u32,
+    /// Modelled CPU time per command execution. A worker is busy for this
+    /// long after executing; queued commands wait for a free,
+    /// non-conflicting slot. Zero disables the model entirely (commands
+    /// execute instantaneously). This is what bounds a partition's
+    /// throughput and produces saturation behaviour.
+    pub service_time: dynastar_runtime::SimDuration,
+    /// Sliding dependency-window capacity: how many admitted-but-
+    /// unfinished commands are tracked for conflict decisions. When the
+    /// window is full, admission stalls until the earliest in-flight
+    /// command finishes (counted as `exec.window_stall`).
+    pub window: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { workers: 1, service_time: dynastar_runtime::SimDuration::ZERO, window: 64 }
+    }
+}
+
+impl ExecConfig {
+    /// The classic serial executor with the given per-command cost.
+    pub fn serial(service_time: dynastar_runtime::SimDuration) -> Self {
+        ExecConfig { service_time, ..Self::default() }
+    }
+
+    /// A pool of `workers` with the given per-command cost.
+    pub fn pool(workers: u32, service_time: dynastar_runtime::SimDuration) -> Self {
+        ExecConfig { workers: workers.max(1), service_time, ..Self::default() }
+    }
+}
+
 /// Tunables for a partition server.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -51,11 +98,9 @@ pub struct ServerConfig {
     /// a partition executes every command, so exactly one replica (index
     /// 0) records, or counters would multiply by the replication factor.
     pub record_metrics: bool,
-    /// Modelled CPU time per command execution. The replica is busy for
-    /// this long after executing; queued commands wait. Zero disables the
-    /// model (commands execute instantaneously). This is what bounds a
-    /// partition's throughput and produces saturation behaviour.
-    pub service_time: dynastar_runtime::SimDuration,
+    /// The modelled execution engine: worker count, per-command cost and
+    /// dependency-window size (see [`ExecConfig`]).
+    pub exec: ExecConfig,
     /// Staged migration: plan-triggered key moves ship their variables in
     /// rate-limited, individually acknowledged chunks instead of one
     /// unbounded shipment. Off by default (classic single-shipment path).
@@ -87,7 +132,7 @@ impl Default for ServerConfig {
             hint_batch: 64,
             collect_hints: true,
             record_metrics: true,
-            service_time: dynastar_runtime::SimDuration::ZERO,
+            exec: ExecConfig::default(),
             staged_migration: false,
             migration_chunk_vars: 8,
             migration_var_bytes: 512,
@@ -197,6 +242,90 @@ const TAG_MIGRATION_REVERT: u32 = 401;
 /// The shared id of a migration-control multicast for `(key, version)`.
 fn migration_mid(key: LocKey, version: u64, tag: u32) -> MsgId {
     MsgId { origin: MIGRATION_ORIGIN_BASE | key.0, seq: version as u32, tag }
+}
+
+/// Clamps a busy clock forward to `now` and charges `cost` on top — the
+/// single accounting primitive shared by command execution and
+/// migration-transfer time, so the two models can't drift apart.
+fn advance_busy(clock: &mut SimTime, now: SimTime, cost: dynastar_runtime::SimDuration) {
+    if *clock < now {
+        *clock = now;
+    }
+    *clock += cost;
+}
+
+/// The earliest-free worker; ties break to the lowest index so assignment
+/// is a pure function of the clock vector (replica-deterministic).
+fn earliest_free_worker(clocks: &[SimTime]) -> usize {
+    let mut best = 0;
+    for (i, &c) in clocks.iter().enumerate().skip(1) {
+        if c < clocks[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// One admitted-but-unfinished command in the dependency window.
+#[derive(Debug, Clone)]
+struct WindowEntry {
+    /// Its declared read/write sets (from [`Application::classify`]).
+    sets: AccessSets,
+    /// When its assigned worker finishes it.
+    finish: SimTime,
+}
+
+/// Marks the queue head as stalled by the scheduler so the stall is
+/// counted once per `(cmd, attempt)` at admission, not once per pump.
+#[derive(Debug, Clone, Copy)]
+struct PendingStall {
+    id: MsgId,
+    attempt: u32,
+    /// Gate was raised by a read/write conflict with an in-flight command.
+    conflicted: bool,
+    /// Gate was raised because the dependency window was at capacity.
+    window_full: bool,
+}
+
+/// Modelled parallel-execution state: per-worker busy clocks plus the
+/// sliding dependency window of admitted, unfinished commands.
+///
+/// With one worker the window stays empty and `clocks[0]` behaves exactly
+/// like the old single `busy_until` field.
+#[derive(Debug, Clone)]
+struct ExecScheduler {
+    /// One modelled busy-until clock per worker.
+    clocks: Vec<SimTime>,
+    /// Admitted commands whose modelled execution has not finished.
+    window: VecDeque<WindowEntry>,
+    /// Stall attribution for the current queue head, if any.
+    pending: Option<PendingStall>,
+}
+
+impl ExecScheduler {
+    fn new(workers: u32) -> Self {
+        ExecScheduler {
+            clocks: vec![SimTime::ZERO; workers.max(1) as usize],
+            window: VecDeque::new(),
+            pending: None,
+        }
+    }
+
+    /// Drops window entries whose modelled execution has finished.
+    fn prune(&mut self, now: SimTime) {
+        self.window.retain(|e| e.finish > now);
+    }
+
+    /// Records (or merges) stall attribution for the queue head.
+    fn note_stall(&mut self, stall: PendingStall) {
+        match &mut self.pending {
+            Some(p) if p.id == stall.id && p.attempt == stall.attempt => {
+                p.conflicted |= stall.conflicted;
+                p.window_full |= stall.window_full;
+            }
+            slot => *slot = Some(stall),
+        }
+    }
 }
 
 /// Modelled wire time of shipping `vars` variables over the migration link.
@@ -371,12 +500,18 @@ pub struct ServerCore<A: Application> {
     /// Deferred outbox entries per destination, in plan (hottest-first)
     /// order, promoted as slots free up.
     link_waiting: BTreeMap<PartitionId, VecDeque<(u64, LocKey)>>,
-    /// The replica's modelled CPU is busy until this time.
-    busy_until: SimTime,
+    /// The modelled execution engine: per-worker busy clocks and the
+    /// sliding dependency window (see [`ExecConfig`]).
+    exec: ExecScheduler,
     /// Pre-rendered per-partition metric names (hot path).
     name_executed: String,
     name_multi: String,
     name_objects: String,
+    /// Pre-rendered per-worker busy-histogram names.
+    name_worker_busy: Vec<String>,
+    /// Lazily interned per-worker histogram ids, tagged with the
+    /// resolving registry's id (same contract as `mids`).
+    worker_busy_ids: Option<(u64, Vec<HistogramId>)>,
     /// Interned metric handles, resolved lazily against the simulation's
     /// registry on first record and tagged with that registry's id so a
     /// core handed a different `Metrics` instance re-interns instead of
@@ -398,6 +533,9 @@ struct ServerMetricIds {
     migration_keys_staged: CounterId,
     migration_deferred: CounterId,
     migration_released: CounterId,
+    exec_parallel: CounterId,
+    exec_serialized: CounterId,
+    exec_window_stall: CounterId,
     s_cmd_multi: SeriesId,
     s_cmd_single: SeriesId,
     s_executed: SeriesId,
@@ -439,10 +577,12 @@ impl<A: Application> Clone for ServerCore<A> {
             history: self.history.clone(),
             link_active: self.link_active.clone(),
             link_waiting: self.link_waiting.clone(),
-            busy_until: self.busy_until,
+            exec: self.exec.clone(),
             name_executed: self.name_executed.clone(),
             name_multi: self.name_multi.clone(),
             name_objects: self.name_objects.clone(),
+            name_worker_busy: self.name_worker_busy.clone(),
+            worker_busy_ids: self.worker_busy_ids.clone(),
             // Ids carry their registry tag, so a clone installed on
             // another replica of the same simulation can keep them.
             mids: self.mids,
@@ -453,6 +593,7 @@ impl<A: Application> Clone for ServerCore<A> {
 impl<A: Application> ServerCore<A> {
     /// Creates the core of one replica of `partition`.
     pub fn new(partition: PartitionId, mode: Mode, config: ServerConfig) -> Self {
+        let workers = config.exec.workers.max(1);
         ServerCore {
             partition,
             mode,
@@ -482,10 +623,12 @@ impl<A: Application> ServerCore<A> {
             history: PlanHistory::new(PLAN_HISTORY_PER_KEY),
             link_active: BTreeMap::new(),
             link_waiting: BTreeMap::new(),
-            busy_until: SimTime::ZERO,
+            exec: ExecScheduler::new(workers),
             name_executed: mn::partition_executed(partition.0),
             name_multi: mn::partition_multi(partition.0),
             name_objects: mn::partition_objects(partition.0),
+            name_worker_busy: (0..workers).map(mn::exec_worker_busy).collect(),
+            worker_busy_ids: None,
             mids: None,
         }
     }
@@ -509,6 +652,9 @@ impl<A: Application> ServerCore<A> {
             migration_keys_staged: metrics.counter_id(mn::MIGRATION_KEYS_STAGED),
             migration_deferred: metrics.counter_id(mn::MIGRATION_DEFERRED),
             migration_released: metrics.counter_id(mn::MIGRATION_RELEASED),
+            exec_parallel: metrics.counter_id(mn::EXEC_PARALLEL),
+            exec_serialized: metrics.counter_id(mn::EXEC_SERIALIZED),
+            exec_window_stall: metrics.counter_id(mn::EXEC_WINDOW_STALL),
             s_cmd_multi: metrics.series_id(mn::CMD_MULTI),
             s_cmd_single: metrics.series_id(mn::CMD_SINGLE),
             s_executed: metrics.series_id(&self.name_executed),
@@ -517,6 +663,21 @@ impl<A: Application> ServerCore<A> {
         };
         self.mids = Some((metrics.registry_id(), ids));
         ids
+    }
+
+    /// The interned per-worker busy-histogram id for worker `w`, resolved
+    /// lazily against the current registry (same contract as [`Self::mids`]).
+    fn worker_hist(&mut self, metrics: &mut Metrics, w: usize) -> HistogramId {
+        if let Some((reg, ids)) = &self.worker_busy_ids {
+            if *reg == metrics.registry_id() {
+                return ids[w];
+            }
+        }
+        let ids: Vec<HistogramId> =
+            self.name_worker_busy.iter().map(|n| metrics.histogram_id(n)).collect();
+        let id = ids[w];
+        self.worker_busy_ids = Some((metrics.registry_id(), ids));
+        id
     }
 
     /// Re-enables or disables metric recording — used after installing a
@@ -981,14 +1142,29 @@ impl<A: Application> ServerCore<A> {
     /// Processes the queue head for as long as it can make progress. The
     /// head is popped while being worked on and pushed back if it must
     /// wait, keeping borrows of `self` free for the handlers.
+    ///
+    /// Commands still *apply* strictly in delivery order: the scheduler
+    /// only decides when the head is admitted — once a worker is free and
+    /// every conflicting in-flight predecessor has finished. With
+    /// `workers = 1` the gate collapses to the single busy clock, i.e. the
+    /// pre-parallel serial executor.
     fn pump(&mut self, now: SimTime, metrics: &mut Metrics, eff: &mut Vec<Effect<A>>) {
         loop {
-            if now < self.busy_until {
-                // Modelled CPU still busy with the previous execution: ask
-                // the hosting actor to wake us when it frees up.
-                if !self.queue.is_empty() {
-                    eff.push(Effect::Wake { at: self.busy_until });
+            self.exec.prune(now);
+            let gate = match self.queue.front() {
+                None => return,
+                Some(head) => {
+                    let (gate, stall) = self.gate_for(head, now);
+                    if let Some(stall) = stall {
+                        self.exec.note_stall(stall);
+                    }
+                    gate
                 }
+            };
+            if now < gate {
+                // The modelled engine cannot admit the head yet: ask the
+                // hosting actor to wake us when it can.
+                eff.push(Effect::Wake { at: gate });
                 return;
             }
             let Some(mut entry) = self.queue.pop_front() else { return };
@@ -1006,6 +1182,67 @@ impl<A: Application> ServerCore<A> {
                 return;
             }
         }
+    }
+
+    /// When the modelled engine can admit the queue head, and — if that is
+    /// in the future because of a conflict or a full window — stall
+    /// attribution for the metrics.
+    ///
+    /// An `Access` head must find a free worker and wait out every
+    /// in-flight command its read/write sets conflict with (CBASE rule:
+    /// conflict iff one's writes intersect the other's reads∪writes).
+    /// Everything else (creates, deletes, plans, reverts) is a full
+    /// barrier — it waits for all workers to drain.
+    fn gate_for(&self, head: &Queued<A>, now: SimTime) -> (SimTime, Option<PendingStall>) {
+        let cfg = &self.config.exec;
+        let clocks = &self.exec.clocks;
+        if cfg.workers <= 1 {
+            // Serial fast path: one clock (also charged by migration
+            // transfers), no classification, no window — exactly the
+            // pre-parallel `busy_until` gate.
+            return (clocks[0], None);
+        }
+        if !matches!(head.body, QueuedBody::Access { .. }) {
+            // Full barrier. Worker clocks only ever grow past window
+            // finish times, so max(clocks) covers every in-flight command.
+            let drained = clocks.iter().copied().max().unwrap_or(SimTime::ZERO);
+            return (drained, None);
+        }
+        if cfg.service_time.is_zero() {
+            // Execution itself is free (the window stays empty); only
+            // migration-transfer charges occupy the clocks.
+            let free = clocks.iter().copied().min().unwrap_or(SimTime::ZERO);
+            return (free, None);
+        }
+        let sets = match &head.cmd.kind {
+            CommandKind::Access { op, vars } => A::classify(op, vars),
+            _ => AccessSets::write_all(&head.cmd.vars()),
+        };
+        // A worker must be free…
+        let mut gate = clocks.iter().copied().min().unwrap_or(SimTime::ZERO);
+        // …every conflicting predecessor must have finished…
+        let mut conflicted = false;
+        for e in &self.exec.window {
+            if sets.conflicts_with(&e.sets) {
+                conflicted = true;
+                gate = gate.max(e.finish);
+            }
+        }
+        // …and the window must have room to track the admission.
+        let mut window_full = false;
+        if self.exec.window.len() >= cfg.window.max(1) as usize {
+            window_full = true;
+            if let Some(first_out) = self.exec.window.iter().map(|e| e.finish).min() {
+                gate = gate.max(first_out);
+            }
+        }
+        let stall = (now < gate && (conflicted || window_full)).then_some(PendingStall {
+            id: head.cmd.id,
+            attempt: head.attempt,
+            conflicted,
+            window_full,
+        });
+        (gate, stall)
     }
 
     /// Whether every variable this partition must provide is resolvable:
@@ -1317,8 +1554,13 @@ impl<A: Application> ServerCore<A> {
     ) {
         let op = match &cmd.kind {
             CommandKind::Access { op, .. } => op.clone(),
-            // detlint::allow(P003): only reached from Access handling in pump_access; variant pairing is a local invariant
-            _ => unreachable!("execute_here on non-access"),
+            _ => {
+                // Only reached from Access handling in pump_access; on the
+                // delivery path a violated invariant must not take the
+                // replica down (P00x), so drop the command instead.
+                debug_assert!(false, "execute_here on non-access");
+                return;
+            }
         };
         let mut vars: BTreeMap<VarId, Option<A::Value>> = BTreeMap::new();
         for &(v, p) in expected {
@@ -1465,7 +1707,7 @@ impl<A: Application> ServerCore<A> {
             self.finish_execution(cmd, attempt, reply, true, now, metrics, eff);
         } else {
             // Record execution without replying (dedup for retries).
-            self.consume_service_time(now);
+            self.admit_execution(cmd, attempt, now, metrics);
             self.executed.insert(cmd.id, reply);
             if self.config.record_metrics {
                 let ids = self.mids(metrics);
@@ -1474,11 +1716,73 @@ impl<A: Application> ServerCore<A> {
         }
     }
 
-    /// Accounts the modelled CPU cost of one execution.
-    fn consume_service_time(&mut self, now: SimTime) {
-        if !self.config.service_time.is_zero() {
-            self.busy_until = now + self.config.service_time;
+    /// Accounts the modelled CPU cost of one execution: assigns the
+    /// command to the earliest-free (lowest-index on ties) worker, charges
+    /// the service time, and registers its read/write sets in the
+    /// dependency window so successors conflict-check against it.
+    ///
+    /// Only called once the [`Self::gate_for`] gate has passed, so the
+    /// chosen worker's clock is at or before `now`.
+    fn admit_execution(
+        &mut self,
+        cmd: &Command<A>,
+        attempt: u32,
+        now: SimTime,
+        metrics: &mut Metrics,
+    ) {
+        let cfg = self.config.exec;
+        if cfg.service_time.is_zero() {
+            return;
         }
+        if cfg.workers <= 1 {
+            // Serial fast path: exactly the old single-busy_until model.
+            advance_busy(&mut self.exec.clocks[0], now, cfg.service_time);
+            return;
+        }
+        let record = self.config.record_metrics;
+        if !matches!(cmd.kind, CommandKind::Access { .. }) {
+            // Creates/deletes executed here act as full two-sided
+            // barriers: they both wait for all workers (gate) and make
+            // every successor wait for them.
+            let finish = now + cfg.service_time;
+            for c in &mut self.exec.clocks {
+                *c = finish;
+            }
+            self.exec.window.clear();
+            self.exec.pending = None;
+            if record {
+                let h = self.worker_hist(metrics, 0);
+                metrics.observe(h, cfg.service_time);
+            }
+            return;
+        }
+        let sets = match &cmd.kind {
+            CommandKind::Access { op, vars } => A::classify(op, vars),
+            _ => AccessSets::write_all(&cmd.vars()),
+        };
+        let w = earliest_free_worker(&self.exec.clocks);
+        advance_busy(&mut self.exec.clocks[w], now, cfg.service_time);
+        let finish = self.exec.clocks[w];
+        let stall = self.exec.pending.take();
+        if record {
+            let ids = self.mids(metrics);
+            if !self.exec.window.is_empty() {
+                metrics.incr(ids.exec_parallel, 1);
+            }
+            if let Some(s) = stall {
+                if s.id == cmd.id && s.attempt == attempt {
+                    if s.conflicted {
+                        metrics.incr(ids.exec_serialized, 1);
+                    }
+                    if s.window_full {
+                        metrics.incr(ids.exec_window_stall, 1);
+                    }
+                }
+            }
+            let h = self.worker_hist(metrics, w);
+            metrics.observe(h, cfg.service_time);
+        }
+        self.exec.window.push_back(WindowEntry { sets, finish });
     }
 
     /// Reply, reply-cache, metrics and hint bookkeeping after execution.
@@ -1493,7 +1797,7 @@ impl<A: Application> ServerCore<A> {
         metrics: &mut Metrics,
         eff: &mut Vec<Effect<A>>,
     ) {
-        self.consume_service_time(now);
+        self.admit_execution(cmd, attempt, now, metrics);
         eff.push(Effect::Send {
             to: Destination::Client(cmd.client),
             msg: Direct::Reply { cmd: cmd.id, attempt, reply: reply.clone() },
@@ -1742,10 +2046,8 @@ impl<A: Application> ServerCore<A> {
                 // stall baseline staged migration is measured against.
                 if self.config.migration_link_bytes_per_sec > 0 {
                     let t = transfer_time(&self.config, vars.len());
-                    if self.busy_until < now {
-                        self.busy_until = now;
-                    }
-                    self.busy_until += t;
+                    let w = earliest_free_worker(&self.exec.clocks);
+                    advance_busy(&mut self.exec.clocks[w], now, t);
                 }
                 if was_awaiting {
                     // Not authoritative yet: send only what we hold.
@@ -1974,7 +2276,9 @@ impl<A: Application> ServerCore<A> {
         let due = |slot: &mut Option<SimTime>, at: SimTime| {
             *slot = Some(slot.map_or(at, |cur| cur.min(at)));
         };
-        let mut busy_until = self.busy_until;
+        // Serialization/NIC time of chunk shipments charges worker clocks;
+        // the vector is taken out so the outbox can stay mutably borrowed.
+        let mut clocks = std::mem::take(&mut self.exec.clocks);
         let mut reverts: Vec<(u64, LocKey, PartitionId)> = Vec::new();
         for (&(version, key), e) in self.outbox.iter_mut() {
             if e.gave_up || e.deferred {
@@ -1995,10 +2299,8 @@ impl<A: Application> ServerCore<A> {
                 e.backoff = e.backoff.saturating_mul(2).min(backoff_cap);
                 let transfer = transfer_time(&self.config, e.chunks[i].len());
                 e.deadline = now + transfer + e.backoff;
-                if busy_until < now {
-                    busy_until = now;
-                }
-                busy_until += transfer;
+                let w = earliest_free_worker(&clocks);
+                advance_busy(&mut clocks[w], now, transfer);
                 eff.push(Effect::Send {
                     to: Destination::Partition(e.to),
                     msg: Direct::PlanVarsChunk {
@@ -2028,10 +2330,8 @@ impl<A: Application> ServerCore<A> {
             e.in_flight = Some(i);
             e.next_ship_at = now + transfer;
             e.deadline = now + transfer + e.backoff;
-            if busy_until < now {
-                busy_until = now;
-            }
-            busy_until += transfer;
+            let w = earliest_free_worker(&clocks);
+            advance_busy(&mut clocks[w], now, transfer);
             eff.push(Effect::Send {
                 to: Destination::Partition(e.to),
                 msg: Direct::PlanVarsChunk {
@@ -2048,7 +2348,7 @@ impl<A: Application> ServerCore<A> {
             }
             due(next_due, e.deadline);
         }
-        self.busy_until = busy_until;
+        self.exec.clocks = clocks;
         let mut freed = Vec::with_capacity(reverts.len());
         for (version, key, to) in reverts {
             freed.push(to);
@@ -2103,13 +2403,23 @@ mod tests {
 
     struct App;
     impl Application for App {
-        type Op = i64; // add to every declared var
+        type Op = i64; // op >= 0: add to every declared var; op < 0: pure read
         type Value = i64;
         type Reply = Vec<(VarId, i64)>;
         fn locality(var: VarId) -> LocKey {
             LocKey(var.0 / 10)
         }
+        fn classify(op: &i64, vars: &[VarId]) -> AccessSets {
+            if *op < 0 {
+                AccessSets::read_only(vars)
+            } else {
+                AccessSets::write_all(vars)
+            }
+        }
         fn execute(op: &i64, vars: &mut BTreeMap<VarId, Option<i64>>) -> Self::Reply {
+            if *op < 0 {
+                return vars.iter().map(|(&v, val)| (v, val.unwrap_or(0))).collect();
+            }
             vars.iter_mut()
                 .map(|(&v, val)| {
                     let next = val.unwrap_or(0) + op;
@@ -2697,7 +3007,10 @@ mod tests {
         // delivery. The staged vars must survive until the plan pump
         // makes this replica the owner — dropping them would leave the
         // key owned-but-empty, with every command for it waiting forever.
-        let cfg = ServerConfig { service_time: SimDuration::from_millis(10), ..staged_config(5) };
+        let cfg = ServerConfig {
+            exec: ExecConfig::serial(SimDuration::from_millis(10)),
+            ..staged_config(5)
+        };
         let mut dst = staged_server(1, &[1], &[(10, 0)], cfg);
         let mut m = Metrics::new();
         let t0 = now();
@@ -2861,5 +3174,125 @@ mod tests {
             &mut m,
         );
         assert!(chunk_of(&eff).is_none());
+    }
+
+    /// Drives one `ServerCore` through a fixed delivered sequence of mixed
+    /// read/write commands, processing `Wake` effects at their due times.
+    /// Returns `(replies in emission order, final store)` — the two things
+    /// the worker-pool width must never change.
+    type MixedOutcome = (Vec<(u32, Vec<(VarId, i64)>)>, Vec<(u64, i64)>);
+
+    fn run_mixed_stream(workers: u32) -> MixedOutcome {
+        use rand::{Rng, SeedableRng};
+        use std::collections::BTreeSet;
+
+        const VARS: u64 = 40;
+        const CMDS: u32 = 400;
+
+        let mut s = ServerCore::new(
+            PartitionId(0),
+            Mode::Dynastar,
+            ServerConfig {
+                exec: ExecConfig::pool(workers, SimDuration::from_micros(100)),
+                ..ServerConfig::default()
+            },
+        );
+        s.preload((0..4).map(LocKey), (0..VARS).map(|v| (VarId(v), 0i64)));
+        let mut m = Metrics::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xD15C);
+        let mut wakes: BTreeSet<SimTime> = BTreeSet::new();
+        let mut replies: Vec<(u32, Vec<(VarId, i64)>)> = Vec::new();
+
+        fn collect(
+            eff: Vec<Effect<App>>,
+            wakes: &mut BTreeSet<SimTime>,
+            replies: &mut Vec<(u32, Vec<(VarId, i64)>)>,
+        ) {
+            for e in eff {
+                match e {
+                    Effect::Wake { at } => {
+                        wakes.insert(at);
+                    }
+                    Effect::Send { msg: Direct::Reply { cmd, reply, .. }, .. } => {
+                        replies.push((cmd.seq, reply));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        for seq in 0..CMDS {
+            // Deliveries outpace the 100 us service time, so the queue
+            // stays deep enough for wide pools to matter.
+            let now = SimTime::from_micros(u64::from(seq) * 37);
+            while let Some(&at) = wakes.iter().next() {
+                if at > now {
+                    break;
+                }
+                wakes.remove(&at);
+                collect(s.on_wake(at, &mut m), &mut wakes, &mut replies);
+            }
+            // ~30% reads; writes add a small random amount. Var sets of
+            // 1-3 random vars give a mix of conflicting and independent
+            // commands.
+            let op: i64 = if rng.gen_range(0..100) < 30 { -1 } else { rng.gen_range(1..5) };
+            let n = rng.gen_range(1..=3usize);
+            let mut vars: Vec<VarId> = Vec::new();
+            while vars.len() < n {
+                let v = VarId(rng.gen_range(0..VARS));
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            let expected: Vec<(VarId, PartitionId)> =
+                vars.iter().map(|&v| (v, PartitionId(0))).collect();
+            let payload = Payload::Access {
+                cmd: Command {
+                    id: MsgId::new(42, seq),
+                    client: NodeId::from_raw(99),
+                    kind: CommandKind::Access { op, vars },
+                },
+                attempt: 0,
+                expected,
+                target: PartitionId(0),
+                keep: false,
+            };
+            collect(s.on_deliver(payload, now, &mut m), &mut wakes, &mut replies);
+        }
+        while let Some(&at) = wakes.iter().next() {
+            wakes.remove(&at);
+            collect(s.on_wake(at, &mut m), &mut wakes, &mut replies);
+        }
+        let store: Vec<(u64, i64)> =
+            (0..VARS).map(|v| (v, *s.value_of(VarId(v)).expect("var present"))).collect();
+        assert_eq!(replies.len(), CMDS as usize, "every delivered command must reply");
+        if workers > 1 {
+            assert!(
+                m.counter(mn::EXEC_PARALLEL) > 0,
+                "wide pools must actually overlap some commands"
+            );
+        }
+        (replies, store)
+    }
+
+    /// The tentpole invariant: the worker pool is a *timing* model layered
+    /// on a FIFO execution queue, so pool width must change neither one
+    /// reply nor one stored value — only completion times. A seeded random
+    /// stream of mixed reads/writes over overlapping var sets must come
+    /// out bit-identical at every width.
+    #[test]
+    fn parallel_scheduler_preserves_replies_and_state_at_any_width() {
+        let serial = run_mixed_stream(1);
+        for workers in [2, 4, 8] {
+            let wide = run_mixed_stream(workers);
+            assert_eq!(
+                serial.0, wide.0,
+                "replies diverged between serial and {workers}-worker execution"
+            );
+            assert_eq!(
+                serial.1, wide.1,
+                "final state diverged between serial and {workers}-worker execution"
+            );
+        }
     }
 }

@@ -141,7 +141,7 @@ fn build_cluster_batched(
         repartition_threshold: if repartition { 20 } else { u64::MAX },
         min_plan_interval: SimDuration::from_secs(1),
         server: dynastar_core::server::ServerConfig { hint_batch: 4, ..Default::default() },
-        service_time: SimDuration::from_millis(service_ms),
+        exec: dynastar_core::ExecConfig::serial(SimDuration::from_millis(service_ms)),
         warm_client_caches: true,
         client_timeout: SimDuration::from_secs(3),
         ..ClusterConfig::default()
@@ -373,7 +373,7 @@ fn crash_wave_mid_migration_converges() {
             migration_max_retries: 6,
             ..Default::default()
         },
-        service_time: SimDuration::from_millis(100),
+        exec: dynastar_core::ExecConfig::serial(SimDuration::from_millis(100)),
         warm_client_caches: true,
         client_timeout: SimDuration::from_secs(3),
         client_retry_backoff: SimDuration::from_millis(2),

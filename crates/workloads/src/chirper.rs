@@ -9,7 +9,7 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
-use dynastar_core::{Application, Command, CommandKind, LocKey, VarId, Workload};
+use dynastar_core::{AccessSets, Application, Command, CommandKind, LocKey, VarId, Workload};
 use dynastar_runtime::SimTime;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -118,6 +118,28 @@ impl Application for Chirper {
 
     fn locality(var: VarId) -> LocKey {
         LocKey(var.0)
+    }
+
+    fn classify(op: &ChirperOp, vars: &[VarId]) -> AccessSets {
+        match op {
+            // Timelines are read in place: two reads never conflict, so
+            // the dominant command in the paper's mixes parallelizes.
+            ChirperOp::GetTimeline { .. } => AccessSets::read_only(vars),
+            // A post reads the author's follower list and writes the
+            // declared follower timelines. Timing misclassification is
+            // harmless (state application stays FIFO), so we keep the
+            // author read-only even though a self-follower would also be
+            // written through the follower path.
+            ChirperOp::Post { user, .. } => {
+                let author = Chirper::var(*user);
+                AccessSets {
+                    reads: vec![author],
+                    writes: vars.iter().copied().filter(|v| *v != author).collect(),
+                }
+            }
+            // Follow/unfollow mutate both endpoints.
+            ChirperOp::Follow { .. } | ChirperOp::Unfollow { .. } => AccessSets::write_all(vars),
+        }
     }
 
     fn execute(

@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use dynastar_core::{Application, LocKey, VarId};
+use dynastar_core::{AccessSets, Application, LocKey, VarId};
 use serde::{Deserialize, Serialize};
 
 use super::schema::{
@@ -176,6 +176,15 @@ impl Application for Tpcc {
 
     fn locality(var: VarId) -> LocKey {
         schema::locality(var)
+    }
+
+    fn classify(op: &TpccOp, vars: &[VarId]) -> AccessSets {
+        match op {
+            // The two read-only transactions of the standard mix (4% each).
+            TpccOp::OrderStatus { .. } | TpccOp::StockLevel { .. } => AccessSets::read_only(vars),
+            // NEW-ORDER, PAYMENT and DELIVERY mutate every declared row.
+            _ => AccessSets::write_all(vars),
+        }
     }
 
     fn execute(op: &TpccOp, vars: &mut BTreeMap<VarId, Option<Arc<TpccValue>>>) -> TpccReply {

@@ -490,6 +490,88 @@ fn chained_migration_scenario_matches_golden_hash() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// Parallel-execution golden: 8 modelled workers.
+//
+// The conflict-aware worker pool (DESIGN.md, execution model) is a pure
+// timing layer: replicas must stay bit-identical to each other at any
+// width, and the whole run must stay deterministic across build profiles.
+// The `run_golden` scenario re-run with `ExecConfig::pool(8, 150 us)` pins
+// exactly that — the schedule differs from the serial golden (completions
+// happen earlier), but it must be *this* schedule, every time.
+// ---------------------------------------------------------------------------
+
+/// The `run_golden` scenario with an 8-worker execution pool; returns
+/// `(hash, completions)`.
+fn run_parallel_exec_golden(seed: u64) -> (u64, u64) {
+    use dynastar::core::{ClusterBuilder, ClusterConfig, ExecConfig, PartitionId};
+    use dynastar::workloads::chirper::{Chirper, ChirperUser};
+    use dynastar::workloads::placement;
+
+    let mut rng = StdRng::seed_from_u64(99);
+    let graph = SocialGraph::barabasi_albert(150, 3, &mut rng);
+    let config = ClusterConfig {
+        partitions: 2,
+        replicas: 2,
+        mode: Mode::Dynastar,
+        seed,
+        repartition_threshold: 300,
+        min_plan_interval: SimDuration::from_secs(2),
+        warm_client_caches: true,
+        exec: ExecConfig::pool(8, SimDuration::from_micros(150)),
+        ..ClusterConfig::default()
+    };
+    let keys = (0..graph.users() as u64).map(Chirper::key);
+    let mut seed_rng = StdRng::seed_from_u64(7);
+    let map = placement::random(keys, 2, &mut seed_rng);
+    let mut b = ClusterBuilder::new(config);
+    for (k, p) in map {
+        b.place(k, PartitionId(p.0));
+    }
+    b.with_vars((0..graph.users() as u64).map(|u| {
+        let user = ChirperUser {
+            timeline: Default::default(),
+            follows: graph.follows_of(u).to_vec(),
+            followers: graph.followers_of(u).to_vec(),
+        };
+        (Chirper::var(u), Arc::new(user))
+    }));
+    let mut cluster = b.build();
+    let shared = Arc::new(Mutex::new(graph));
+    let log = Arc::new(Mutex::new(GoldenLog::new()));
+    for _ in 0..4 {
+        cluster.add_client(Recording {
+            inner: ChirperWorkload::new(Arc::clone(&shared), 0.95, ChirperMix::MIX),
+            log: Arc::clone(&log),
+            _app: std::marker::PhantomData,
+        });
+    }
+    cluster.run_for(SimDuration::from_secs(15));
+    let log = log.lock().expect("golden log");
+    (log.hash, log.count)
+}
+
+/// Recorded from a verified run of this revision; identical in debug and
+/// release builds. Re-record alongside [`GOLDEN_HASH`] when a deliberate
+/// protocol change reorders deliveries.
+const PARALLEL_GOLDEN_SEED: u64 = 42;
+const PARALLEL_GOLDEN_HASH: u64 = 0xbbcc_6df4_75d0_281b;
+const PARALLEL_GOLDEN_COUNT: u64 = 22489;
+
+#[test]
+fn parallel_execution_matches_golden_hash() {
+    let (hash, count) = run_parallel_exec_golden(PARALLEL_GOLDEN_SEED);
+    assert_eq!(
+        count, PARALLEL_GOLDEN_COUNT,
+        "completion count drifted from the recorded 8-worker execution"
+    );
+    assert_eq!(
+        hash, PARALLEL_GOLDEN_HASH,
+        "8-worker delivered sequence drifted (hash {hash:#018x}); if a deliberate \
+         protocol change reordered deliveries, re-record the constant in this commit"
+    );
+}
+
 #[test]
 fn golden_hash_is_reproducible_and_seed_sensitive() {
     let a = run_golden(7);
