@@ -301,6 +301,7 @@ impl<A: Application> ClientCore<A> {
                 }
                 (self.dispatch(cmd, attempt), None)
             }
+            // detlint::allow(T002): clients consume only the client-addressed subset (Prophecy/Reply/Retry); the remaining Direct variants are server-to-server traffic that a client must ignore, not enumerate
             _ => (Vec::new(), None),
         }
     }

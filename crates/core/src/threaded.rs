@@ -14,6 +14,7 @@
 //! threads.
 
 // detlint::allow-file(D001): this module IS the wall-clock deployment — real threads and real timers by design; determinism is the simulator's job, not this file's
+// detlint::allow-file(W001, W002, W003): this module is the one sanctioned weld between the sans-io cores and the host OS (threads, channels, wall clocks); every weld below is inventoried in results/weld_map.json as the sans-IO work-list, and the CI ratchet keeps the count from growing
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -356,7 +357,6 @@ impl<A: Application> ThreadedCluster<A> {
         for (v, val) in initial_vars {
             let p = placement_map
                 .get(&A::locality(v))
-                // detlint::allow(P003): start() is a constructor with a documented "# Panics" contract; a mis-specified deployment should fail fast, before any thread runs
                 .unwrap_or_else(|| panic!("initial var {v} has unplaced key"));
             vars_by_part[p.0 as usize].push((v, val));
         }
@@ -397,7 +397,6 @@ impl<A: Application> ThreadedCluster<A> {
                 let thread = ReplicaThread {
                     member: McastMember::new(m, topo.clone()),
                     role,
-                    // detlint::allow(P002): constructor-time invariant — the channel loop above created one receiver per member id; no thread is running yet
                     rx: rxs.remove(&m).expect("receiver"),
                     fabric: Arc::clone(&fabric),
                     metrics: Arc::clone(&metrics),
@@ -409,7 +408,6 @@ impl<A: Application> ThreadedCluster<A> {
                     std::thread::Builder::new()
                         .name(format!("dynastar-{m}"))
                         .spawn(move || thread.run())
-                        // detlint::allow(P002): constructor-time: if the OS cannot start replica threads the deployment cannot exist; fail fast per the documented contract
                         .expect("spawn replica thread"),
                 );
             }

@@ -1,0 +1,17 @@
+//! P-reachability fixture: with `protocol_entries` configured, P rules
+//! fire only inside functions reachable from an entry point, and a
+//! suppression outside that cone is flagged stale (S002) with a
+//! reachability note.
+
+pub fn on_message(v: Option<u8>) -> u8 {
+    reachable_helper(v)
+}
+
+fn reachable_helper(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn start_only(v: Option<u8>) -> u8 {
+    // detlint::allow(P001): startup path may assume config is present
+    v.unwrap()
+}

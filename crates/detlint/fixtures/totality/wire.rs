@@ -1,0 +1,46 @@
+//! T-family fixture: one designated wire enum with a healthy variant,
+//! a dead variant, an untested variant, a wildcard handler arm, and a
+//! governed suppression for each failure mode.
+
+pub enum Payload {
+    Ping,
+    Pong,
+    Gap,
+    // detlint::allow(T001): reserved for the v2 wire format; nothing constructs it yet
+    // detlint::allow(T003): reserved for the v2 wire format; untestable until constructed
+    Reserved,
+}
+
+pub fn make_ping() -> Payload {
+    Payload::Ping
+}
+
+pub fn make_gap() -> Payload {
+    Payload::Gap
+}
+
+pub fn on_deliver(p: Payload) -> u32 {
+    match p {
+        Payload::Ping => 1,
+        Payload::Gap => 2,
+        _ => 0,
+    }
+}
+
+pub fn on_direct(p: Payload) -> u32 {
+    match p {
+        Payload::Ping => 1,
+        // detlint::allow(T002): fixture shows the governed catch-all escape hatch
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_roundtrips() {
+        assert_eq!(on_deliver(Payload::Ping), 1);
+    }
+}

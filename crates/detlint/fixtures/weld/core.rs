@@ -1,0 +1,28 @@
+//! W-family fixture: a "protocol" file inside the weld scope. Direct
+//! IO touches (W001), transitive reaches (W002), module imports
+//! (W003), and one governed suppression each.
+
+use std::time::Instant;
+
+pub fn read_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn caller_of_clock() -> u64 {
+    let t = read_clock();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn sanctioned_weld() {
+    // detlint::allow(W001): fixture demonstrates a governed direct weld
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+// detlint::allow(W002): fixture demonstrates a governed transitive weld
+pub fn sanctioned_caller() -> u64 {
+    caller_of_clock()
+}
+
+pub fn pure_helper(x: u64) -> u64 {
+    x.wrapping_mul(31)
+}

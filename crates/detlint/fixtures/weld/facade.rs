@@ -1,0 +1,12 @@
+//! The sanctioned facade: the one place the weld scope may touch the
+//! host environment. W rules never fire here.
+
+use std::time::Instant;
+
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+pub fn sleep_ms(ms: u64) {
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+}

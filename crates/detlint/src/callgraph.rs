@@ -1,0 +1,328 @@
+//! The call/use graph: which functions call which, resolved by name
+//! with owner qualification when the call site provides one.
+//!
+//! Resolution is intentionally approximate — detlint has no type
+//! information. Three call shapes are recognised in a function body:
+//!
+//! * `name(…)` — free call; resolves to every function named `name`.
+//! * `recv.name(…)` — method call; same name-only resolution.
+//! * `Owner::name(…)` — qualified; resolves to functions named `name`
+//!   owned by `Owner` (with `Self` rewritten to the caller's owner),
+//!   falling back to name-only resolution when the owner has none
+//!   (generic calls like `A::classify(…)` dispatch to impls detlint
+//!   cannot see through).
+//!
+//! Two dampers keep name-only resolution from drowning the graph in
+//! false edges: a stoplist of ubiquitous std/collection method names,
+//! and a fan-out cap — a bare name matching more than
+//! [`NAME_FANOUT_CAP`] declarations resolves to nothing (too
+//! ambiguous to be signal). Both make the graph an
+//! *under*-approximation in places; rules built on it are lints with
+//! governed suppressions, not soundness proofs.
+
+use std::collections::VecDeque;
+
+use crate::parser::{ident_at, is_punct};
+use crate::symbols::{SourceFile, SymbolTable};
+
+/// A bare call name matching more declarations than this resolves to
+/// nothing.
+pub const NAME_FANOUT_CAP: usize = 6;
+
+/// Method/function names too common to carry call-graph signal.
+const STOPLIST: &[&str] = &[
+    "abs",
+    "all",
+    "and_then",
+    "any",
+    "as_bytes",
+    "as_mut",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "back",
+    "binary_search",
+    "borrow",
+    "borrow_mut",
+    "chain",
+    "checked_add",
+    "checked_sub",
+    "clamp",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "copied",
+    "count",
+    "dedup",
+    "default",
+    "drain",
+    "drop",
+    "ends_with",
+    "entry",
+    "enumerate",
+    "eq",
+    "err",
+    "expect",
+    "extend",
+    "filter",
+    "filter_map",
+    "find",
+    "first",
+    "flat_map",
+    "flatten",
+    "flush",
+    "fmt",
+    "fold",
+    "from",
+    "front",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "join",
+    "key",
+    "keys",
+    "last",
+    "len",
+    "lock",
+    "map",
+    "map_err",
+    "max",
+    "min",
+    "new",
+    "next",
+    "ok",
+    "or_default",
+    "or_insert",
+    "or_insert_with",
+    "parse",
+    "partial_cmp",
+    "pop",
+    "pop_back",
+    "pop_front",
+    "position",
+    "push",
+    "push_back",
+    "push_front",
+    "read",
+    "recv",
+    "remove",
+    "replace",
+    "reserve",
+    "retain",
+    "rev",
+    "saturating_add",
+    "saturating_sub",
+    "send",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "split",
+    "split_at",
+    "starts_with",
+    "sum",
+    "swap",
+    "take",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "trim",
+    "try_from",
+    "try_into",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_default",
+    "unwrap_or_else",
+    "value",
+    "values",
+    "with_capacity",
+    "wrapping_add",
+    "write",
+    "zip",
+];
+
+/// Adjacency lists over the global fn id space.
+///
+/// `callees`/`callers` carry every resolved edge — right for
+/// reachability questions, where missing an edge hides real findings.
+/// `callers_sure` keeps only *confident* edges (owner-qualified, or a
+/// name with exactly one declaration) — right for blame-propagating
+/// analyses like W002, where an ambiguous name shared by unrelated
+/// types would smear a weld across deployment boundaries.
+pub struct CallGraph {
+    pub callees: Vec<Vec<usize>>,
+    pub callers: Vec<Vec<usize>>,
+    pub callers_sure: Vec<Vec<usize>>,
+}
+
+impl CallGraph {
+    pub fn build(files: &[SourceFile], syms: &SymbolTable) -> CallGraph {
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); syms.fns.len()];
+        let mut callers: Vec<Vec<usize>> = vec![Vec::new(); syms.fns.len()];
+        let mut callers_sure: Vec<Vec<usize>> = vec![Vec::new(); syms.fns.len()];
+        for (id, f) in syms.fns.iter().enumerate() {
+            let tokens = &files[f.file].lexed.tokens;
+            let body = f.item.body.clone();
+            for i in body {
+                let Some(name) = ident_at(tokens, i) else { continue };
+                if !is_punct(tokens, i + 1, "(") {
+                    continue;
+                }
+                // Skip declarations (`fn name(…)`).
+                if i > 0 && ident_at(tokens, i - 1) == Some("fn") {
+                    continue;
+                }
+                let owner = if i >= 2 && is_punct(tokens, i - 1, "::") {
+                    ident_at(tokens, i - 2)
+                } else {
+                    None
+                };
+                let (targets, sure) = resolve(syms, f.item.owner.as_deref(), owner, name);
+                for target in targets {
+                    if target == id {
+                        continue;
+                    }
+                    if !callees[id].contains(&target) {
+                        callees[id].push(target);
+                        callers[target].push(id);
+                    }
+                    if sure && !callers_sure[target].contains(&id) {
+                        callers_sure[target].push(id);
+                    }
+                }
+            }
+        }
+        CallGraph { callees, callers, callers_sure }
+    }
+}
+
+/// Resolves one call site to candidate fn ids, and whether the
+/// resolution is confident.
+fn resolve(
+    syms: &SymbolTable,
+    caller_owner: Option<&str>,
+    owner: Option<&str>,
+    name: &str,
+) -> (Vec<usize>, bool) {
+    if let Some(o) = owner {
+        let o = if o == "Self" { caller_owner.unwrap_or(o) } else { o };
+        if let Some(ids) = syms.by_name.get(name) {
+            let qualified: Vec<usize> = ids
+                .iter()
+                .copied()
+                .filter(|&id| syms.fns[id].item.owner.as_deref() == Some(o))
+                .collect();
+            if !qualified.is_empty() {
+                return (qualified, true);
+            }
+        }
+        // Fall through to name-only: generic/trait dispatch.
+    }
+    if STOPLIST.binary_search(&name).is_ok() {
+        return (Vec::new(), false);
+    }
+    match syms.by_name.get(name) {
+        Some(ids) if ids.len() <= NAME_FANOUT_CAP => {
+            let sure = ids.len() == 1;
+            (ids.clone(), sure)
+        }
+        _ => (Vec::new(), false),
+    }
+}
+
+/// Forward BFS over `callees` from `roots`; returns a reachability
+/// mask (roots included).
+pub fn reachable(graph: &CallGraph, roots: &[usize]) -> Vec<bool> {
+    let mut seen = vec![false; graph.callees.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &r in roots {
+        if !seen[r] {
+            seen[r] = true;
+            queue.push_back(r);
+        }
+    }
+    while let Some(f) = queue.pop_front() {
+        for &c in &graph.callees[f] {
+            if !seen[c] {
+                seen[c] = true;
+                queue.push_back(c);
+            }
+        }
+    }
+    seen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    fn world(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolTable) {
+        let cfg = Config::default();
+        let files: Vec<SourceFile> =
+            srcs.iter().map(|(p, s)| SourceFile::load(p, s, &cfg)).collect();
+        let syms = SymbolTable::build(&files);
+        (files, syms)
+    }
+
+    fn id(syms: &SymbolTable, name: &str) -> usize {
+        syms.by_name[name][0]
+    }
+
+    #[test]
+    fn stoplist_is_sorted_for_binary_search() {
+        assert!(STOPLIST.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn free_method_and_qualified_edges() {
+        let (files, syms) = world(&[(
+            "crates/a/src/lib.rs",
+            "fn helper() {}\n\
+             impl Sched { fn prune(&self) {} fn tickle(&self) { Self::prune(self); } }\n\
+             fn root(s: &Sched) { helper(); s.tickle(); Sched::prune(s); }\n",
+        )]);
+        let g = CallGraph::build(&files, &syms);
+        let root = id(&syms, "root");
+        assert!(g.callees[root].contains(&id(&syms, "helper")));
+        assert!(g.callees[root].contains(&id(&syms, "tickle")));
+        assert!(g.callees[root].contains(&id(&syms, "prune")));
+        // `Self::prune` inside `tickle` resolves via the caller's owner.
+        assert!(g.callees[id(&syms, "tickle")].contains(&id(&syms, "prune")));
+        let seen = reachable(&g, &[root]);
+        assert!(seen.iter().all(|&b| b), "every fn is reachable from root");
+        assert!(seen[id(&syms, "prune")]);
+    }
+
+    #[test]
+    fn stoplist_and_macros_create_no_edges() {
+        let (files, syms) = world(&[(
+            "crates/a/src/lib.rs",
+            "fn get() {}\nfn caller(v: Vec<u32>) { v.get(0); format!(\"x\"); }\n",
+        )]);
+        let g = CallGraph::build(&files, &syms);
+        assert!(g.callees[id(&syms, "caller")].is_empty());
+    }
+
+    #[test]
+    fn qualified_falls_back_to_name_only_for_generics() {
+        let (files, syms) = world(&[(
+            "crates/a/src/lib.rs",
+            "impl Counters { fn classify(&self) {} }\nfn caller<A>() { A::classify(); }\n",
+        )]);
+        let g = CallGraph::build(&files, &syms);
+        assert!(g.callees[id(&syms, "caller")].contains(&id(&syms, "classify")));
+    }
+}

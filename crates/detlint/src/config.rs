@@ -25,6 +25,31 @@ pub struct Config {
     pub decode_markers: Vec<String>,
     /// Files never scanned at all.
     pub skip: Vec<String>,
+    /// Files subject to IO-weld (W) rules: the protocol crates the
+    /// sans-IO refactor will carve out. Empty disables the family.
+    pub weld_scope: Vec<String>,
+    /// Files that *are* the IO facade: never welded, and calls into
+    /// them do not propagate welds.
+    pub weld_facade: Vec<String>,
+    /// Names of the designated wire enums (T rules). Empty disables
+    /// the family.
+    pub wire_enums: Vec<String>,
+    /// Exact names of handler functions whose wire-enum matches must
+    /// be wildcard-free (T002).
+    pub handler_fns: Vec<String>,
+    /// Exact names of protocol entry-point functions. When non-empty,
+    /// P rules fire only in functions reachable from an entry point
+    /// (or a decode function) in a protocol file; empty keeps the
+    /// per-file v1 behaviour of flagging everywhere.
+    pub protocol_entries: Vec<String>,
+    /// Root functions (`name` or `Owner::name`) of the exec-scheduler
+    /// determinism (X) analysis. Empty disables the family.
+    pub scheduler_roots: Vec<String>,
+    /// Files the scheduler roots must be declared in.
+    pub scheduler_scope: Vec<String>,
+    /// Files that are wholly test code (integration-test trees) —
+    /// exempt from D/P/W/X, and counted as coverage for T003.
+    pub test_globs: Vec<String>,
 }
 
 impl Default for Config {
@@ -60,6 +85,37 @@ impl Default for Config {
                 "results/**",
                 "crates/detlint/fixtures/**",
             ]),
+            weld_scope: v(&["crates/core/src/**", "crates/paxos/src/**", "crates/amcast/src/**"]),
+            weld_facade: v(&["crates/runtime/src/**"]),
+            wire_enums: v(&["Payload", "Direct", "Entry", "PaxosMsg"]),
+            handler_fns: v(&["on_deliver", "on_direct", "on_message"]),
+            protocol_entries: v(&[
+                "on_message",
+                "on_deliver",
+                "on_direct",
+                "on_start",
+                "on_restart",
+                "on_timer",
+                "on_tick",
+                "on_wake",
+                "on_timeout",
+                "tick",
+                "receive",
+                "absorb",
+                "apply_effects",
+                "handle_direct",
+                "handle_recovery",
+            ]),
+            scheduler_roots: v(&[
+                "Server::gate_for",
+                "Server::admit_execution",
+                "ExecScheduler::earliest_free_worker",
+                "ExecScheduler::advance_busy",
+                "ExecScheduler::prune",
+                "ExecScheduler::note_stall",
+            ]),
+            scheduler_scope: v(&["crates/core/src/server.rs"]),
+            test_globs: v(&["tests/**", "crates/*/tests/**", "crates/*/benches/**"]),
         }
     }
 }
@@ -88,6 +144,26 @@ impl Config {
     /// True when `fn_name` marks an on-wire decode function.
     pub fn is_decode_fn(&self, fn_name: &str) -> bool {
         self.decode_markers.iter().any(|m| fn_name.contains(m))
+    }
+
+    /// True when `path` is subject to W rules.
+    pub fn in_weld_scope(&self, path: &str) -> bool {
+        self.weld_scope.iter().any(|g| glob_match(g, path))
+    }
+
+    /// True when `path` is part of the IO facade.
+    pub fn is_weld_facade(&self, path: &str) -> bool {
+        self.weld_facade.iter().any(|g| glob_match(g, path))
+    }
+
+    /// True when `path` may declare scheduler roots.
+    pub fn in_scheduler_scope(&self, path: &str) -> bool {
+        self.scheduler_scope.iter().any(|g| glob_match(g, path))
+    }
+
+    /// True when `path` is wholly test code.
+    pub fn is_test_file(&self, path: &str) -> bool {
+        self.test_globs.iter().any(|g| glob_match(g, path))
     }
 }
 
@@ -137,11 +213,21 @@ pub fn parse_config(text: &str, base: Config) -> Result<Config, ConfigError> {
             "protocol" => cfg.protocol = items,
             "decode_markers" => cfg.decode_markers = items,
             "skip" => cfg.skip = items,
+            "weld_scope" => cfg.weld_scope = items,
+            "weld_facade" => cfg.weld_facade = items,
+            "wire_enums" => cfg.wire_enums = items,
+            "handler_fns" => cfg.handler_fns = items,
+            "protocol_entries" => cfg.protocol_entries = items,
+            "scheduler_roots" => cfg.scheduler_roots = items,
+            "scheduler_scope" => cfg.scheduler_scope = items,
+            "test_globs" => cfg.test_globs = items,
             other => {
                 return Err(ConfigError {
                     line: n + 1,
                     message: format!(
-                        "unknown key {other:?} (expected sim, protocol, decode_markers, skip)"
+                        "unknown key {other:?} (expected sim, protocol, decode_markers, skip, \
+                         weld_scope, weld_facade, wire_enums, handler_fns, protocol_entries, \
+                         scheduler_roots, scheduler_scope, test_globs)"
                     ),
                 })
             }

@@ -1,24 +1,32 @@
 //! The rule engine: token-sequence matching plus suppression
 //! bookkeeping for a single file.
 //!
-//! Analysis is four passes over the lexed file:
+//! Per-file analysis is staged so the cross-file pipeline in
+//! [`crate::scan_sources`] can interleave:
 //!
-//! 1. **Test spans.** Items under `#[test]` / `#[cfg(test)]` are
-//!    located by brace-matching and excluded wholesale — test-only
+//! 1. **Test spans** ([`crate::parser::test_spans`]). Items under
+//!    `#[test]` / `#[cfg(test)]` are excluded wholesale — test-only
 //!    nondeterminism cannot perturb a replica, and test assertions
 //!    legitimately panic.
-//! 2. **Raw findings.** D rules run when the file is simulation-
-//!    facing, P rules when it is on a protocol path (per
-//!    [`Config::role`]).
-//! 3. **Directives.** `// detlint::allow(RULE): why` comments are
-//!    parsed; malformed ones become S001/S003 findings on the spot.
-//! 4. **Suppression.** Line directives cover their own line (when
-//!    trailing) or the next code line; `allow-file` directives cover
-//!    the whole file. Every directive must justify itself *and* be
-//!    used, or it is itself a finding (S001/S002).
+//! 2. **Raw findings** ([`raw_findings`]). D rules run when the file
+//!    is simulation-facing, P rules when it is on a protocol path
+//!    (per [`Config::role`]).
+//! 3. **Finalize** ([`finalize`]). Cross-file findings (W/T/X, and
+//!    reachability-filtered P) are merged in by the caller, then
+//!    `// detlint::allow(RULE): why` directives are parsed (malformed
+//!    ones become S001/S003 findings), applied (line directives cover
+//!    their own line when trailing, else the next code line;
+//!    `allow-file` covers the whole file), and audited — every
+//!    directive must justify itself *and* be used, or it is itself a
+//!    finding (S001/S002).
+//!
+//! [`analyze`] composes the stages for a standalone single-file scan
+//! (no symbol table, so P rules fire everywhere and W/T/X not at
+//! all) — the mode fixtures and `--paths` pre-commit runs use.
 
 use crate::config::{Config, FileRole};
 use crate::lexer::{lex, Lexed, TokKind, Token};
+use crate::parser::{self, ident_at, is_punct, Span};
 use crate::rules;
 
 /// One diagnostic.
@@ -40,19 +48,9 @@ pub struct FileReport {
     pub suppressed: usize,
     /// How many well-formed directives the file carries.
     pub directives: usize,
-}
-
-/// An inclusive line range.
-#[derive(Debug, Clone, Copy)]
-struct Span {
-    start: u32,
-    end: u32,
-}
-
-impl Span {
-    fn contains(&self, line: u32) -> bool {
-        self.start <= line && line <= self.end
-    }
+    /// The findings the directives suppressed (the weld map still
+    /// lists justified welds).
+    pub suppressed_findings: Vec<Finding>,
 }
 
 /// One parsed, well-formed suppression directive.
@@ -69,26 +67,78 @@ struct Directive {
     used: Vec<bool>,
 }
 
-/// Analyzes one file's source. `path` is workspace-relative with `/`
-/// separators; it selects the rule families via `config` and prefixes
-/// every finding.
+/// Hooks the cross-file pipeline threads into [`finalize`].
+pub(crate) struct FinalizeOpts<'a> {
+    /// Whether an *unused* directive for this rule id should fire
+    /// S002. Partial scans (`--paths`) cannot judge families they did
+    /// not run, so they pass a narrower predicate.
+    pub s002_check: &'a dyn Fn(&str) -> bool,
+    /// Extra explanation appended to an S002 message, given the
+    /// directive's target line and the unused rule id (the pipeline
+    /// notes e.g. that a P rule cannot fire in an unreachable fn).
+    pub s002_note: &'a dyn Fn(u32, &str) -> Option<String>,
+}
+
+pub(crate) const FULL_OPTS: FinalizeOpts<'static> =
+    FinalizeOpts { s002_check: &|_| true, s002_note: &|_, _| None };
+
+/// Analyzes one file's source standalone. `path` is
+/// workspace-relative with `/` separators; it selects the rule
+/// families via `config` and prefixes every finding.
 pub fn analyze(path: &str, src: &str, config: &Config) -> FileReport {
     let lexed = lex(src);
-    let role = config.role(path);
-    let test_spans = test_spans(&lexed.tokens);
-    let in_test = |line: u32| test_spans.iter().any(|s| s.contains(line));
+    let test_spans = parser::test_spans(&lexed.tokens);
+    let raw = raw_findings(path, &lexed, config.role(path), config, &test_spans);
+    finalize(path, &lexed, &test_spans, raw, &FULL_OPTS)
+}
 
+/// Analyzes one file in fast pre-commit mode (`--paths` /
+/// `--changed-only`): D rules and directive governance only. P rules
+/// are reachability-filtered in full scans, so flagging them per-file
+/// here would contradict CI; W/T/X need the symbol table outright.
+/// S002 accordingly stays quiet about directives those families own.
+pub fn analyze_partial(path: &str, src: &str, config: &Config) -> FileReport {
+    let lexed = lex(src);
+    let test_spans = parser::test_spans(&lexed.tokens);
+    let role = FileRole { sim: config.role(path).sim, protocol: false };
+    let raw = raw_findings(path, &lexed, role, config, &test_spans);
+    let opts =
+        FinalizeOpts { s002_check: &|id: &str| id.starts_with('D'), s002_note: &|_, _| None };
+    finalize(path, &lexed, &test_spans, raw, &opts)
+}
+
+/// Stage 2: the per-file token rules (D/P), unsuppressed.
+pub(crate) fn raw_findings(
+    path: &str,
+    lexed: &Lexed,
+    role: FileRole,
+    config: &Config,
+    test_spans: &[Span],
+) -> Vec<Finding> {
+    let in_test = |line: u32| test_spans.iter().any(|s| s.contains(line));
     let mut raw = Vec::new();
     if role.sim || role.protocol {
-        scan_rules(path, &lexed, role, config, &in_test, &mut raw);
+        scan_rules(path, lexed, role, config, &in_test, &mut raw);
     }
+    raw
+}
+
+/// Stage 3: suppression resolution over the merged finding set.
+pub(crate) fn finalize(
+    path: &str,
+    lexed: &Lexed,
+    test_spans: &[Span],
+    mut raw: Vec<Finding>,
+    opts: &FinalizeOpts<'_>,
+) -> FileReport {
+    let in_test = |line: u32| test_spans.iter().any(|s| s.contains(line));
     // Two path prefixes can both flag e.g. `std::env::var` (once as
     // `std::env`, once as `env::var`): collapse to one per (rule, line).
     raw.sort_by_key(|f: &Finding| (f.line, f.rule));
     raw.dedup_by_key(|f| (f.line, f.rule));
 
     let mut report = FileReport::default();
-    let mut directives = parse_directives(path, &lexed, &in_test, &mut report.findings);
+    let mut directives = parse_directives(path, lexed, &in_test, &mut report.findings);
     report.directives = directives.len();
 
     // Apply suppressions: prefer a precise line directive, fall back to
@@ -108,6 +158,7 @@ pub fn analyze(path: &str, src: &str, config: &Config) -> FileReport {
         }
         if hit {
             report.suppressed += 1;
+            report.suppressed_findings.push(f);
         } else {
             report.findings.push(f);
         }
@@ -116,19 +167,20 @@ pub fn analyze(path: &str, src: &str, config: &Config) -> FileReport {
     // Unused directives are findings themselves.
     for d in &directives {
         for (i, id) in d.ids.iter().enumerate() {
-            if !d.used[i] {
-                push(
-                    &mut report.findings,
-                    path,
-                    d.line,
-                    "S002",
-                    format!("directive allows {id} but suppresses nothing"),
-                );
+            if d.used[i] || !(opts.s002_check)(id) {
+                continue;
             }
+            let target = if d.file_scope { d.line } else { d.target_line };
+            let mut message = format!("directive allows {id} but suppresses nothing");
+            if let Some(note) = (opts.s002_note)(target, id) {
+                message.push_str(&format!(" ({note})"));
+            }
+            push(&mut report.findings, path, d.line, "S002", message);
         }
     }
 
     report.findings.sort_by_key(|f| (f.line, f.rule));
+    report.suppressed_findings.sort_by_key(|f| (f.line, f.rule));
     report
 }
 
@@ -138,110 +190,8 @@ fn push(out: &mut Vec<Finding>, path: &str, line: u32, rule: &'static str, messa
 }
 
 // ---------------------------------------------------------------------------
-// Pass 1: test spans.
+// Rule scanning.
 // ---------------------------------------------------------------------------
-
-/// Finds line spans of items annotated `#[test]`-ish (`#[test]`,
-/// `#[cfg(test)]`, `#[cfg(any(test, …))]`). An attribute mentioning
-/// `not` is conservatively treated as non-test (`#[cfg(not(test))]`
-/// guards production code).
-fn test_spans(tokens: &[Token]) -> Vec<Span> {
-    let mut spans = Vec::new();
-    let mut i = 0usize;
-    while i < tokens.len() {
-        if !is_punct(tokens, i, "#") || !is_punct(tokens, i + 1, "[") {
-            i += 1;
-            continue;
-        }
-        let attr_start_line = tokens[i].line;
-        // Bracket-match the attribute body.
-        let mut j = i + 2;
-        let mut depth = 1i32;
-        let mut has_test = false;
-        let mut has_not = false;
-        while j < tokens.len() && depth > 0 {
-            match &tokens[j].kind {
-                TokKind::Punct(p) if p == "[" => depth += 1,
-                TokKind::Punct(p) if p == "]" => depth -= 1,
-                TokKind::Ident(id) if id == "test" => has_test = true,
-                TokKind::Ident(id) if id == "not" => has_not = true,
-                _ => {}
-            }
-            j += 1;
-        }
-        if !has_test || has_not {
-            i = j;
-            continue;
-        }
-        // Skip any further stacked attributes, then brace-match the item.
-        while is_punct(tokens, j, "#") && is_punct(tokens, j + 1, "[") {
-            let mut depth = 1i32;
-            j += 2;
-            while j < tokens.len() && depth > 0 {
-                match &tokens[j].kind {
-                    TokKind::Punct(p) if p == "[" => depth += 1,
-                    TokKind::Punct(p) if p == "]" => depth -= 1,
-                    _ => {}
-                }
-                j += 1;
-            }
-        }
-        let end = skip_item(tokens, j);
-        let end_line = tokens.get(end.saturating_sub(1)).map(|t| t.line).unwrap_or(u32::MAX);
-        spans.push(Span { start: attr_start_line, end: end_line });
-        i = end;
-    }
-    spans
-}
-
-/// Advances past one item starting at `i`: to the matching `}` of its
-/// body, or past a terminating `;` for body-less items. Returns the
-/// index just past the item.
-fn skip_item(tokens: &[Token], mut i: usize) -> usize {
-    let mut paren = 0i32;
-    while i < tokens.len() {
-        if let TokKind::Punct(p) = &tokens[i].kind {
-            match p.as_str() {
-                "(" | "[" => paren += 1,
-                ")" | "]" => paren -= 1,
-                ";" if paren == 0 => return i + 1,
-                "{" if paren == 0 => {
-                    let mut depth = 1i32;
-                    i += 1;
-                    while i < tokens.len() && depth > 0 {
-                        if let TokKind::Punct(p) = &tokens[i].kind {
-                            if p == "{" {
-                                depth += 1;
-                            } else if p == "}" {
-                                depth -= 1;
-                            }
-                        }
-                        i += 1;
-                    }
-                    return i;
-                }
-                _ => {}
-            }
-        }
-        i += 1;
-    }
-    i
-}
-
-// ---------------------------------------------------------------------------
-// Pass 2: rule scanning.
-// ---------------------------------------------------------------------------
-
-fn is_punct(tokens: &[Token], i: usize, p: &str) -> bool {
-    matches!(tokens.get(i), Some(Token { kind: TokKind::Punct(q), .. }) if q == p)
-}
-
-fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
-    match tokens.get(i) {
-        Some(Token { kind: TokKind::Ident(s), .. }) => Some(s.as_str()),
-        _ => None,
-    }
-}
 
 fn scan_rules(
     path: &str,
@@ -417,7 +367,7 @@ fn decode_fn_spans(tokens: &[Token], config: &Config) -> Vec<Span> {
             if let Some(name) = ident_at(tokens, i + 1) {
                 if config.is_decode_fn(name) {
                     let start = tokens[i].line;
-                    let end = skip_item(tokens, i + 2);
+                    let end = parser::skip_item(tokens, i + 2);
                     let end_line =
                         tokens.get(end.saturating_sub(1)).map(|t| t.line).unwrap_or(u32::MAX);
                     spans.push(Span { start, end: end_line });
@@ -432,7 +382,7 @@ fn decode_fn_spans(tokens: &[Token], config: &Config) -> Vec<Span> {
 }
 
 // ---------------------------------------------------------------------------
-// Pass 3: directives.
+// Directives.
 // ---------------------------------------------------------------------------
 
 /// Parses every `detlint::allow` directive in the file's comments.

@@ -5,13 +5,18 @@
 //! rule catalog, and `detlint.toml` at the workspace root for the
 //! scan scope.
 //!
-//! The analyzer is a hand-rolled lexer ([`lexer`]) plus a token-rule
-//! engine ([`engine`]) — no syn, no regex, no dependencies — so it
-//! builds in well under a second and runs first in CI. Three rule
-//! families ([`rules`]): **D** determinism hazards in simulation-
-//! facing crates, **P** panic hazards on protocol message paths,
-//! **S** suppression governance for `// detlint::allow(RULE): why`
-//! directives.
+//! The analyzer is a hand-rolled lexer ([`lexer`]), an item-level
+//! parser ([`parser`]), a workspace symbol table ([`symbols`]) with a
+//! call graph ([`callgraph`]), and a rule engine ([`engine`]) — no
+//! syn, no regex, no dependencies — so it builds in well under a
+//! second and runs first in CI. Six rule families ([`rules`]):
+//! **D** determinism hazards in simulation-facing crates, **P** panic
+//! hazards on protocol message paths (reachability-filtered to
+//! protocol entry points in full scans), **W** IO-weld boundary
+//! violations feeding `results/weld_map.json` ([`weld`]), **T**
+//! wire-enum totality ([`totality`]), **X** exec-scheduler
+//! determinism ([`sched`]), and **S** suppression governance for
+//! `// detlint::allow(RULE): why` directives.
 //!
 //! ```
 //! use detlint::{analyze, Config};
@@ -28,17 +33,26 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sched;
+pub mod symbols;
+pub mod totality;
+pub mod weld;
 
 use std::path::{Path, PathBuf};
 
 pub use config::{parse_config, Config};
 pub use engine::{analyze, FileReport, Finding};
-pub use report::Stats;
+pub use report::{render_weld_map, weld_map_count, Stats};
+pub use weld::Weld;
+
+use symbols::{SourceFile, SymbolTable};
 
 /// A whole-workspace scan result.
 #[derive(Debug, Default)]
@@ -46,6 +60,8 @@ pub struct ScanReport {
     /// All unsuppressed findings, ordered by (file, line, rule).
     pub findings: Vec<Finding>,
     pub stats: Stats,
+    /// Every W finding, suppressed or not — the weld map.
+    pub welds: Vec<Weld>,
 }
 
 impl ScanReport {
@@ -85,19 +101,130 @@ pub fn collect_files(root: &Path, config: &Config) -> std::io::Result<Vec<String
     Ok(out)
 }
 
-/// Scans the workspace rooted at `root` with `config`.
-pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
-    let mut report = ScanReport::default();
-    for rel in collect_files(root, config)? {
-        let src = std::fs::read_to_string(root.join(&rel))?;
-        let file = analyze(&rel, &src, config);
+/// The cross-file pipeline over an in-memory `(path, source)` set:
+/// parse everything, build the symbol table and call graph, run the
+/// per-file D/P rules (P filtered to protocol-entry reachability when
+/// `protocol_entries` is configured), run the cross-file W/T/X
+/// families, then resolve suppressions per file so a directive can
+/// govern any family's finding.
+pub fn scan_sources(sources: &[(String, String)], config: &Config) -> ScanReport {
+    let files: Vec<SourceFile> =
+        sources.iter().map(|(p, s)| SourceFile::load(p, s, config)).collect();
+    let syms = SymbolTable::build(&files);
+    let graph = callgraph::CallGraph::build(&files, &syms);
+
+    // Protocol-entry reachability for the P family.
+    let p_reach = if config.protocol_entries.is_empty() {
+        None
+    } else {
+        let mut roots = Vec::new();
+        for (id, f) in syms.fns.iter().enumerate() {
+            if !files[f.file].role.protocol || f.item.is_test {
+                continue;
+            }
+            if config.protocol_entries.iter().any(|e| e == &f.item.name)
+                || config.is_decode_fn(&f.item.name)
+            {
+                roots.push(id);
+            }
+        }
+        Some(callgraph::reachable(&graph, &roots))
+    };
+
+    // Per-file raw findings, P-filtered.
+    let mut per_file: Vec<Vec<Finding>> = Vec::with_capacity(files.len());
+    for (fi, file) in files.iter().enumerate() {
+        let mut raw =
+            engine::raw_findings(&file.path, &file.lexed, file.role, config, &file.test_spans);
+        if let Some(reach) = &p_reach {
+            raw.retain(|f| {
+                if !f.rule.starts_with('P') {
+                    return true;
+                }
+                match syms.fn_at(fi, f.line) {
+                    Some(fid) => reach[fid],
+                    None => true, // outside any fn: keep
+                }
+            });
+        }
+        per_file.push(raw);
+    }
+
+    // Cross-file families.
+    let mut cross = Vec::new();
+    let welds = if config.weld_scope.is_empty() {
+        Vec::new()
+    } else {
+        weld::run(&files, &syms, &graph, config, &mut cross)
+    };
+    if !config.wire_enums.is_empty() {
+        totality::run(&files, &syms, config, &mut cross);
+    }
+    if !config.scheduler_roots.is_empty() {
+        sched::run(&files, &syms, &graph, config, &mut cross);
+    }
+    let index_of: std::collections::BTreeMap<&str, usize> =
+        files.iter().enumerate().map(|(i, f)| (f.path.as_str(), i)).collect();
+    for f in cross {
+        if let Some(&fi) = index_of.get(f.file.as_str()) {
+            per_file[fi].push(f);
+        }
+    }
+
+    // Finalize each file: suppression + governance, with reachability
+    // notes on stale P directives.
+    let mut report = ScanReport { welds, ..ScanReport::default() };
+    let mut suppressed_at: Vec<(String, u32, &'static str)> = Vec::new();
+    for (fi, file) in files.iter().enumerate() {
+        let note = |target_line: u32, rule: &str| -> Option<String> {
+            if !rule.starts_with('P') || p_reach.is_none() {
+                return None;
+            }
+            let fid = syms.fn_at(fi, target_line)?;
+            if p_reach.as_ref().is_some_and(|r| !r[fid]) {
+                let name = &syms.fns[fid].item.name;
+                Some(format!(
+                    "fn `{name}` is not reachable from any protocol entry point, so P rules cannot fire here"
+                ))
+            } else {
+                None
+            }
+        };
+        let opts = engine::FinalizeOpts { s002_check: &|_| true, s002_note: &note };
+        let fr = engine::finalize(
+            &file.path,
+            &file.lexed,
+            &file.test_spans,
+            std::mem::take(&mut per_file[fi]),
+            &opts,
+        );
         report.stats.files_scanned += 1;
-        report.stats.suppressed += file.suppressed;
-        report.stats.directives += file.directives;
-        report.findings.extend(file.findings);
+        report.stats.suppressed += fr.suppressed;
+        report.stats.directives += fr.directives;
+        for f in &fr.suppressed_findings {
+            suppressed_at.push((f.file.clone(), f.line, f.rule));
+        }
+        report.findings.extend(fr.findings);
     }
     report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+
+    // Mark suppressed welds for the weld map.
+    for w in &mut report.welds {
+        w.suppressed =
+            suppressed_at.iter().any(|(f, l, r)| f == &w.file && *l == w.line && *r == w.rule);
+    }
+    report.welds.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Scans the workspace rooted at `root` with `config`.
+pub fn scan_workspace(root: &Path, config: &Config) -> std::io::Result<ScanReport> {
+    let mut sources = Vec::new();
+    for rel in collect_files(root, config)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, src));
+    }
+    Ok(scan_sources(&sources, config))
 }
 
 /// Loads `detlint.toml` from `root` when present, otherwise the

@@ -74,6 +74,46 @@ pub const RULES: &[RuleInfo] = &[
         hint: "use `get(..)`/`split_at_checked`/`try_into` with an error path; wire input controls these offsets",
     },
     RuleInfo {
+        id: "W001",
+        title: "direct IO-primitive use in a protocol-crate function (weld to the host environment)",
+        hint: "route clocks/spawning/channels/entropy through the runtime facade; this entry is on the sans-IO work-list in results/weld_map.json",
+    },
+    RuleInfo {
+        id: "W002",
+        title: "protocol-crate function transitively reaches an IO weld through the call graph",
+        hint: "cut the weld in the named callee (see results/weld_map.json), or invert the dependency so IO stays behind the runtime facade",
+    },
+    RuleInfo {
+        id: "W003",
+        title: "IO-module import (`std::{net,fs,process,thread}`, `mpsc`, `crossbeam`, wall-clock types) in a protocol crate",
+        hint: "import the runtime facade instead; IO types in signatures weld the protocol core to one host environment",
+    },
+    RuleInfo {
+        id: "T001",
+        title: "wire-enum variant never constructed or matched in non-test code",
+        hint: "dead protocol surface: remove the variant or wire up its send path",
+    },
+    RuleInfo {
+        id: "T002",
+        title: "catch-all arm in a wire-enum match inside a designated handler",
+        hint: "enumerate the remaining variants (drop-and-count each explicitly) so adding a variant fails the build instead of vanishing",
+    },
+    RuleInfo {
+        id: "T003",
+        title: "wire-enum variant with no test coverage",
+        hint: "mention the variant in a test (decode/roundtrip or handler-path) so its wire path cannot silently rot",
+    },
+    RuleInfo {
+        id: "X001",
+        title: "unordered hash container in an exec-scheduler-reachable function",
+        hint: "scheduler decisions must not depend on hash-iteration order; use Vec/VecDeque/BTreeMap",
+    },
+    RuleInfo {
+        id: "X002",
+        title: "shared-mutability primitive in an exec-scheduler-reachable function",
+        hint: "thread scheduler state through &mut self; shared mutable state breaks replica bit-identity",
+    },
+    RuleInfo {
         id: "S001",
         title: "malformed `detlint::allow` directive or missing justification",
         hint: "write `// detlint::allow(RULE): why this occurrence is sound`",

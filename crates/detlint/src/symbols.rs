@@ -1,0 +1,165 @@
+//! The workspace symbol table: every function and enum across the
+//! scanned file set, indexed for cross-file resolution.
+//!
+//! [`SourceFile`] bundles one file's lexed tokens, parsed items, test
+//! spans and config roles; [`SymbolTable`] flattens all files' items
+//! into global id spaces so the call graph and rule modules can refer
+//! to "function #17" regardless of which file declared it.
+
+use std::collections::BTreeMap;
+
+use crate::config::{Config, FileRole};
+use crate::lexer::{lex, Lexed};
+use crate::parser::{self, EnumItem, FnItem, Span};
+
+/// One loaded source file, parsed and role-tagged.
+pub struct SourceFile {
+    /// Workspace-relative `/`-separated path.
+    pub path: String,
+    pub lexed: Lexed,
+    pub parsed: parser::ParsedFile,
+    pub test_spans: Vec<Span>,
+    pub role: FileRole,
+    /// Whole file is test code (integration-test trees).
+    pub is_test_file: bool,
+}
+
+impl SourceFile {
+    pub fn load(path: &str, src: &str, config: &Config) -> SourceFile {
+        let lexed = lex(src);
+        let test_spans = parser::test_spans(&lexed.tokens);
+        let parsed = parser::parse(&lexed, &test_spans);
+        SourceFile {
+            path: path.to_string(),
+            role: config.role(path),
+            is_test_file: config.is_test_file(path),
+            lexed,
+            parsed,
+            test_spans,
+        }
+    }
+
+    /// True when `line` is inside test code (a `#[test]`/`#[cfg(test)]`
+    /// span, or anywhere in a test-tree file).
+    pub fn in_test(&self, line: u32) -> bool {
+        self.is_test_file || self.test_spans.iter().any(|s| s.contains(line))
+    }
+}
+
+/// One function in the global id space.
+pub struct FnSym {
+    /// Index into the scanned file list.
+    pub file: usize,
+    pub item: FnItem,
+}
+
+/// All symbols across the scanned files.
+pub struct SymbolTable {
+    pub fns: Vec<FnSym>,
+    /// Function name → global fn ids (sorted map for determinism).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// `(file index, enum item)` for every declared enum.
+    pub enums: Vec<(usize, EnumItem)>,
+    /// Per-file fn ids, parallel to the file list.
+    per_file: Vec<Vec<usize>>,
+}
+
+impl SymbolTable {
+    pub fn build(files: &[SourceFile]) -> SymbolTable {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut enums = Vec::new();
+        let mut per_file = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            let mut ids = Vec::new();
+            for f in &file.parsed.fns {
+                let mut item = f.clone();
+                if file.is_test_file {
+                    item.is_test = true;
+                }
+                let id = fns.len();
+                by_name.entry(item.name.clone()).or_default().push(id);
+                fns.push(FnSym { file: fi, item });
+                ids.push(id);
+            }
+            per_file.push(ids);
+            for e in &file.parsed.enums {
+                let mut item = e.clone();
+                if file.is_test_file {
+                    item.is_test = true;
+                }
+                enums.push((fi, item));
+            }
+        }
+        SymbolTable { fns, by_name, enums, per_file }
+    }
+
+    /// Global id of the innermost function containing `line` of file
+    /// `file`.
+    pub fn fn_at(&self, file: usize, line: u32) -> Option<usize> {
+        self.per_file
+            .get(file)?
+            .iter()
+            .copied()
+            .filter(|&id| self.fns[id].item.span.contains(line))
+            .min_by_key(|&id| {
+                let s = self.fns[id].item.span;
+                s.end - s.start
+            })
+    }
+
+    /// Fn ids declared in file `file`.
+    pub fn fns_in_file(&self, file: usize) -> &[usize] {
+        self.per_file.get(file).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Resolves a `spec` of the form `name` or `Owner::name` to fn ids.
+    pub fn resolve_spec(&self, spec: &str) -> Vec<usize> {
+        match spec.split_once("::") {
+            Some((owner, name)) => self
+                .by_name
+                .get(name)
+                .map(|ids| {
+                    ids.iter()
+                        .copied()
+                        .filter(|&id| self.fns[id].item.owner.as_deref() == Some(owner))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            None => self.by_name.get(spec).cloned().unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(srcs: &[(&str, &str)]) -> Vec<SourceFile> {
+        let cfg = Config::default();
+        srcs.iter().map(|(p, s)| SourceFile::load(p, s, &cfg)).collect()
+    }
+
+    #[test]
+    fn flattens_and_resolves() {
+        let fs = files(&[
+            ("crates/a/src/lib.rs", "impl Server { fn pump(&self) {} }\nfn pump() {}\n"),
+            ("crates/b/src/lib.rs", "fn other() {}\npub enum Wire { A, B }\n"),
+        ]);
+        let syms = SymbolTable::build(&fs);
+        assert_eq!(syms.fns.len(), 3);
+        assert_eq!(syms.by_name["pump"].len(), 2);
+        assert_eq!(syms.resolve_spec("Server::pump").len(), 1);
+        assert_eq!(syms.resolve_spec("pump").len(), 2);
+        assert_eq!(syms.enums.len(), 1);
+        assert_eq!(syms.enums[0].1.variants.len(), 2);
+    }
+
+    #[test]
+    fn test_tree_files_mark_everything_test() {
+        let fs = files(&[("crates/a/tests/it.rs", "fn helper() {}\n")]);
+        let syms = SymbolTable::build(&fs);
+        assert!(syms.fns[0].item.is_test);
+        assert!(fs[0].in_test(1));
+    }
+}

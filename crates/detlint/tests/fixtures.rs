@@ -120,16 +120,139 @@ fn deleting_any_suppression_fails_the_scan() {
     }
 }
 
+// ---------------------------------------------------------------
+// Cross-file rule families (W / T / X / P-reachability). Each family
+// scans its own fixture set with a config that enables only that
+// family, and pins a `file line rule` golden.
+// ---------------------------------------------------------------
+
+/// Scans a fixture set with a family-specific config. Keys absent from
+/// the TOML keep their compiled-in defaults, so each family config
+/// explicitly empties the lists that would enable the other families.
+fn scan_set(rels: &[&str], toml: &str) -> detlint::ScanReport {
+    let config = parse_config(toml, Config::default()).expect("family config parses");
+    let sources: Vec<(String, String)> =
+        rels.iter().map(|r| ((*r).to_string(), fixture_src(r))).collect();
+    detlint::scan_sources(&sources, &config)
+}
+
+fn check_set_golden(report: &detlint::ScanReport, golden_rel: &str) {
+    let actual: Vec<String> =
+        report.findings.iter().map(|f| format!("{} {} {}", f.file, f.line, f.rule)).collect();
+    let expected: Vec<String> = fixture_src(golden_rel)
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        actual,
+        expected,
+        "\nfixture set drifted from {golden_rel}; actual findings were:\n{}\n",
+        actual.join("\n")
+    );
+}
+
+const WELD_TOML: &str = r#"
+sim = []
+protocol = []
+wire_enums = []
+scheduler_roots = []
+weld_scope = ["fixtures/weld/**"]
+weld_facade = ["fixtures/weld/facade.rs"]
+"#;
+
+#[test]
+fn weld_fixture_matches_golden() {
+    let report = scan_set(&["fixtures/weld/core.rs", "fixtures/weld/facade.rs"], WELD_TOML);
+    check_set_golden(&report, "fixtures/weld/set.expected");
+    // Suppressed welds still land in the weld map (the ratchet bounds
+    // the *total* IO surface), flagged as governed.
+    let suppressed: Vec<&str> =
+        report.welds.iter().filter(|w| w.suppressed).map(|w| w.rule).collect();
+    assert_eq!(suppressed, ["W001", "W002"], "welds: {:?}", report.welds);
+    assert!(report.welds.len() > suppressed.len(), "unsuppressed welds must also appear");
+    assert!(
+        report.welds.iter().all(|w| !w.file.contains("facade")),
+        "facade files must never produce welds: {:?}",
+        report.welds
+    );
+}
+
+const TOTALITY_TOML: &str = r#"
+sim = []
+protocol = []
+weld_scope = []
+scheduler_roots = []
+wire_enums = ["Payload"]
+handler_fns = ["on_deliver", "on_direct"]
+"#;
+
+#[test]
+fn totality_fixture_matches_golden() {
+    let report = scan_set(&["fixtures/totality/wire.rs"], TOTALITY_TOML);
+    check_set_golden(&report, "fixtures/totality/set.expected");
+}
+
+const SCHED_TOML: &str = r#"
+sim = []
+protocol = []
+weld_scope = []
+wire_enums = []
+scheduler_roots = ["Sched::run"]
+scheduler_scope = ["fixtures/sched/sched.rs"]
+"#;
+
+#[test]
+fn sched_fixture_matches_golden() {
+    let report = scan_set(&["fixtures/sched/sched.rs"], SCHED_TOML);
+    check_set_golden(&report, "fixtures/sched/set.expected");
+    assert!(
+        !report.findings.iter().any(|f| f.line > 33),
+        "helpers unreachable from the scheduler roots must not be flagged: {:?}",
+        report.findings
+    );
+}
+
+const REACH_TOML: &str = r#"
+sim = []
+weld_scope = []
+wire_enums = []
+scheduler_roots = []
+protocol = ["fixtures/reach/proto.rs"]
+protocol_entries = ["on_message"]
+"#;
+
+#[test]
+fn reachability_fixture_matches_golden() {
+    let report = scan_set(&["fixtures/reach/proto.rs"], REACH_TOML);
+    check_set_golden(&report, "fixtures/reach/set.expected");
+    let s002 = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "S002")
+        .expect("the out-of-cone suppression must be flagged stale");
+    assert!(
+        s002.message.contains("not reachable"),
+        "S002 should explain WHY the directive is stale: {}",
+        s002.message
+    );
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/detlint")
+        .to_path_buf()
+}
+
 /// The live tree must scan clean with the checked-in config — the same
 /// gate CI runs via `cargo run -p detlint`. Running it as a test means
 /// `cargo test` alone catches a regression.
 #[test]
 fn live_workspace_is_clean() {
-    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root above crates/detlint")
-        .to_path_buf();
+    let root = workspace_root();
     let config = detlint::load_config(&root).expect("detlint.toml loads");
     let scan = detlint::scan_workspace(&root, &config).expect("workspace scans");
     assert!(
@@ -142,4 +265,26 @@ fn live_workspace_is_clean() {
             .collect::<Vec<_>>()
             .join("\n")
     );
+}
+
+/// The committed `results/weld_map.json` must match what the tree
+/// actually produces — it is the sans-IO work-list and the CI
+/// ratchet's baseline, so drift in either direction is a failure.
+/// Regenerate with `cargo run -p detlint -- --weld-map results/weld_map.json`.
+#[test]
+fn committed_weld_map_is_current() {
+    let root = workspace_root();
+    let config = detlint::load_config(&root).expect("detlint.toml loads");
+    let scan = detlint::scan_workspace(&root, &config).expect("workspace scans");
+    let rendered = detlint::render_weld_map(&scan.welds);
+    let committed = std::fs::read_to_string(root.join("results/weld_map.json"))
+        .expect("results/weld_map.json is committed");
+    assert_eq!(
+        rendered.trim(),
+        committed.trim(),
+        "results/weld_map.json is stale; regenerate with \
+         `cargo run -p detlint -- --weld-map results/weld_map.json`"
+    );
+    let count = detlint::weld_map_count(&committed).expect("weld map carries a count");
+    assert_eq!(count, scan.welds.len(), "committed count must match the weld list");
 }
