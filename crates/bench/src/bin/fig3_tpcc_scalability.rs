@@ -1,6 +1,6 @@
 //! Figure 3: TPC-C performance scalability.
 //!
-//! Peak throughput of DynaStar vs S-SMR\* as partitions grow (1, 2, 4, 8),
+//! Peak throughput of DynaStar vs S-SMR\* as partitions grow (1 to 16),
 //! with the state growing alongside (one warehouse per partition), exactly
 //! as in §6.3. S-SMR\* gets the warehouse-aligned static placement;
 //! DynaStar starts aligned too but keeps its dynamic machinery (hints,
@@ -8,6 +8,13 @@
 //!
 //! The paper's shape: both scale with partitions; DynaStar tracks the
 //! idealized S-SMR\* closely.
+//!
+//! Flags:
+//!
+//! * `--max-parts N` sweeps partitions `[1, 2, 4, 8, 16]` up to `N`
+//!   (default 4, the quick default; 16 is the paper scale);
+//! * `--smoke` shortens warmup/measure so CI finishes fast;
+//! * `--out FILE` writes machine-readable JSON (one line per point).
 
 use std::sync::Arc;
 
@@ -18,11 +25,9 @@ use dynastar_core::Mode;
 use dynastar_runtime::SimDuration;
 use dynastar_workloads::tpcc::{self, TpccWorkload};
 
-const WARMUP_SECS: u64 = 3;
-const MEASURE_SECS: u64 = 6;
 const CLIENTS_PER_WAREHOUSE: u32 = 3;
 
-fn peak_tput(partitions: u32, mode: Mode) -> f64 {
+fn peak_tput(partitions: u32, mode: Mode, warmup: u64, measure: u64) -> f64 {
     let setup = TpccSetup::new(partitions, mode);
     let mut cluster = tpcc_cluster(&setup);
     let tracker = tpcc::order_tracker();
@@ -31,25 +36,55 @@ fn peak_tput(partitions: u32, mode: Mode) -> f64 {
             cluster.add_client(TpccWorkload::new(setup.scale, w, Arc::clone(&tracker)));
         }
     }
-    cluster.run_for(SimDuration::from_secs(WARMUP_SECS));
+    cluster.run_for(SimDuration::from_secs(warmup));
     cluster.metrics_mut().reset();
-    cluster.run_for(SimDuration::from_secs(MEASURE_SECS));
-    cluster.metrics().counter(mn::CMD_COMPLETED) as f64 / MEASURE_SECS as f64
+    cluster.run_for(SimDuration::from_secs(measure));
+    cluster.metrics().counter(mn::CMD_COMPLETED) as f64 / measure as f64
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fig3_tpcc_scalability [--max-parts N] [--smoke] [--out FILE]\n\
+         \n\
+         --max-parts N  sweep partitions 1,2,4,8,16 up to N   [4]\n\
+         --smoke        shortened warmup/measure windows\n\
+         --out FILE     write machine-readable JSON"
+    );
+    std::process::exit(2)
 }
 
 fn main() {
+    let mut smoke = false;
+    let mut max_parts: u32 = 4;
+    let mut out_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--max-parts" => {
+                max_parts = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let (warmup, measure) = if smoke { (1, 2) } else { (3, 6) };
+    let sweep: Vec<u32> = [1u32, 2, 4, 8, 16].into_iter().filter(|&k| k <= max_parts).collect();
+
     println!("Figure 3 — TPC-C scalability (one warehouse per partition, saturating clients)\n");
     // Every (partitions, mode) point is an independent deterministic
     // simulation; fan the whole matrix out across cores and reassemble
     // rows in input order.
     let points: Vec<(u32, Mode)> =
-        [1u32, 2, 4].iter().flat_map(|&k| [(k, Mode::Dynastar), (k, Mode::SSmr)]).collect();
+        sweep.iter().flat_map(|&k| [(k, Mode::Dynastar), (k, Mode::SSmr)]).collect();
     let tputs = dynastar_bench::run_parallel(points, 0, |(k, mode)| {
         eprintln!("fig3: running {k} partition(s), {mode:?}...");
-        peak_tput(k, mode)
+        peak_tput(k, mode, warmup, measure)
     });
     let mut rows = Vec::new();
-    for (i, &k) in [1u32, 2, 4].iter().enumerate() {
+    let mut json = String::from("{\n  \"runs\": [\n");
+    for (i, &k) in sweep.iter().enumerate() {
         let (dynastar, ssmr) = (tputs[2 * i], tputs[2 * i + 1]);
         rows.push(vec![
             format!("{k}"),
@@ -57,7 +92,17 @@ fn main() {
             format!("{ssmr:.0}"),
             format!("{:.2}", dynastar / ssmr.max(1.0)),
         ]);
+        json.push_str(&format!(
+            "    {{\"partitions\": {k}, \"dynastar_tps\": {dynastar:.0}, \
+             \"ssmr_tps\": {ssmr:.0}}}{}\n",
+            if i + 1 < sweep.len() { "," } else { "" }
+        ));
     }
+    json.push_str("  ]\n}\n");
     print_table(&["partitions", "DynaStar txn/s", "S-SMR* txn/s", "ratio"], &rows);
     println!("\npaper shape: throughput grows with partitions for both; DynaStar ≈ S-SMR*.");
+    if let Some(path) = out_path {
+        std::fs::write(&path, json).expect("write fig3 json");
+        println!("wrote {path}");
+    }
 }

@@ -2,11 +2,27 @@
 //!
 //! Peak throughput (saturating clients) and latency at ~75% of peak
 //! (fewer clients), for the timeline-only and the mix (85% timeline / 15%
-//! post) workloads, DynaStar vs S-SMR\*. Partitions ∈ {1, 2, 4, 8}.
+//! post) workloads, DynaStar vs S-SMR\*. Partitions sweep 1 to 16.
 //!
 //! The paper's shape: timeline-only scales near-linearly for both; the
 //! mix scales up to 8 partitions then flattens as edge cuts grow; DynaStar
 //! and S-SMR\* stay comparable.
+//!
+//! Flags:
+//!
+//! * `--users N` / `--attach M` size the Barabási–Albert social graph
+//!   (defaults 2000 / 6, the CI-sized smoke profile);
+//! * `--full` is the committed paper profile: the 456k-user graph (the
+//!   Higgs dataset's size) swept to 16 partitions;
+//! * `--max-parts N` sweeps partitions `[1, 2, 4, 8, 16]` up to `N`
+//!   (default 4);
+//! * `--workload timeline|mix|both` filters the workload list — at
+//!   100k+ users BA hubs have thousands of followers, so every post in
+//!   the mix is a huge multi-key command (all-pairs hint recording is
+//!   quadratic in fan-out); paper-scale sweeps use `timeline`;
+//! * `--smoke` shortens windows and skips the latency runs;
+//! * `--out FILE` writes machine-readable JSON;
+//! * `--batch-sweep` appends the ordering-batch-size sweep.
 
 use std::sync::Arc;
 
@@ -17,9 +33,12 @@ use dynastar_core::{BatchConfig, Mode};
 use dynastar_runtime::{SimDuration, SimTime};
 use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
 
-const WARMUP_SECS: u64 = 3;
-const MEASURE_SECS: u64 = 6;
-const SATURATING_CLIENTS: usize = 12;
+/// Saturating client count grows with the partition count so wide sweeps
+/// stay saturated; at the classic 1–4-partition trim this is the
+/// historical 12.
+fn saturating_clients(partitions: u32) -> usize {
+    (partitions as usize * 3).max(12)
+}
 
 struct Point {
     tput: f64,
@@ -27,8 +46,11 @@ struct Point {
     p95_ms: f64,
 }
 
-fn run(partitions: u32, mode: Mode, mix: ChirperMix, clients: usize) -> Point {
-    run_batched(partitions, mode, mix, clients, BatchConfig::UNBATCHED)
+struct Sizing {
+    users: usize,
+    attach: usize,
+    warmup: u64,
+    measure: u64,
 }
 
 fn run_batched(
@@ -37,18 +59,21 @@ fn run_batched(
     mix: ChirperMix,
     clients: usize,
     batch: BatchConfig,
+    sz: &Sizing,
 ) -> Point {
     let mut setup = ChirperSetup::new(partitions, mode);
+    setup.users = sz.users;
+    setup.follows_per_user = sz.attach;
     setup.batch = batch;
     let (mut cluster, graph) = chirper_cluster(&setup);
     for _ in 0..clients {
         cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, mix));
     }
-    cluster.run_until(SimTime::from_secs(WARMUP_SECS));
+    cluster.run_until(SimTime::from_secs(sz.warmup));
     cluster.metrics_mut().reset();
-    cluster.run_for(SimDuration::from_secs(MEASURE_SECS));
+    cluster.run_for(SimDuration::from_secs(sz.measure));
     let m = cluster.metrics();
-    let tput = m.counter(mn::CMD_COMPLETED) as f64 / MEASURE_SECS as f64;
+    let tput = m.counter(mn::CMD_COMPLETED) as f64 / sz.measure as f64;
     let (avg_ms, p95_ms) = m
         .histogram(mn::CMD_LATENCY)
         .map(|h| (h.mean().as_millis_f64(), h.quantile(0.95).as_millis_f64()))
@@ -56,28 +81,125 @@ fn run_batched(
     Point { tput, avg_ms, p95_ms }
 }
 
+fn run(partitions: u32, mode: Mode, mix: ChirperMix, clients: usize, sz: &Sizing) -> Point {
+    run_batched(partitions, mode, mix, clients, BatchConfig::UNBATCHED, sz)
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fig4_social_throughput [--users N] [--attach M] [--max-parts N]\n\
+         \x20                             [--full] [--smoke] [--out FILE] [--batch-sweep]\n\
+         \n\
+         --users N      social graph size                     [2000]\n\
+         --attach M     Barabási–Albert attachment degree     [6]\n\
+         --max-parts N  sweep partitions 1,2,4,8,16 up to N   [4]\n\
+         --full         paper profile: 456000 users, 16 partitions\n\
+         --workload W   timeline | mix | both                 [both]\n\
+         --smoke        shortened windows, peak throughput only\n\
+         --out FILE     write machine-readable JSON\n\
+         --batch-sweep  append the ordering-batch-size sweep\n\
+         \n\
+         at 100k+ users, BA hubs have thousands of followers, so every\n\
+         post in the mix workload is a huge multi-key command — sweep\n\
+         paper-scale graphs with --workload timeline"
+    );
+    std::process::exit(2)
+}
+
 fn main() {
-    println!("Figure 4 — Chirper throughput and latency vs partitions\n");
-    for (label, mix) in
-        [("timeline-only", ChirperMix::TIMELINE_ONLY), ("mix 85/15", ChirperMix::MIX)]
-    {
+    let mut smoke = false;
+    let mut full = false;
+    let mut batch_sweep = false;
+    let mut users: usize = 2_000;
+    let mut attach: usize = 6;
+    let mut max_parts: u32 = 4;
+    let mut workload = "both".to_string();
+    let mut out_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--full" => full = true,
+            "--batch-sweep" => batch_sweep = true,
+            "--users" => users = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--attach" => {
+                attach = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--max-parts" => {
+                max_parts = it.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--workload" => workload = it.next().cloned().unwrap_or_else(|| usage()),
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if full {
+        users = 456_000;
+        max_parts = max_parts.max(16);
+    }
+    let sz = Sizing {
+        users,
+        attach,
+        warmup: if smoke { 1 } else { 3 },
+        measure: if smoke { 2 } else { 6 },
+    };
+    let sweep: Vec<u32> = [1u32, 2, 4, 8, 16].into_iter().filter(|&k| k <= max_parts).collect();
+
+    println!("Figure 4 — Chirper throughput and latency vs partitions ({users} users)\n");
+    let mut json = String::from("{\n  \"runs\": [\n");
+    let mut first_json = true;
+    let workloads: Vec<(&str, &str, ChirperMix)> = match workload.as_str() {
+        "timeline" => vec![("timeline-only", "timeline", ChirperMix::TIMELINE_ONLY)],
+        "mix" => vec![("mix 85/15", "mix", ChirperMix::MIX)],
+        "both" => vec![
+            ("timeline-only", "timeline", ChirperMix::TIMELINE_ONLY),
+            ("mix 85/15", "mix", ChirperMix::MIX),
+        ],
+        _ => usage(),
+    };
+    for (label, slug, mix) in workloads {
         println!("== workload: {label} ==");
+        // Each (partitions, mode) point is an independent deterministic
+        // simulation; fan out across cores, reassemble in input order.
+        let points: Vec<(u32, Mode)> =
+            sweep.iter().flat_map(|&k| [(k, Mode::Dynastar), (k, Mode::SSmr)]).collect();
+        let peaks = dynastar_bench::run_parallel(points.clone(), 0, |(k, mode)| {
+            eprintln!("fig4 [{label}]: {k} partition(s), {mode:?} peak...");
+            run(k, mode, mix, saturating_clients(k), &sz)
+        });
+        // ~75% of peak load for the latency measurement (skipped in smoke).
+        let lats: Vec<Option<Point>> = if smoke {
+            points.iter().map(|_| None).collect()
+        } else {
+            dynastar_bench::run_parallel(points, 0, |(k, mode)| {
+                eprintln!("fig4 [{label}]: {k} partition(s), {mode:?} latency...");
+                Some(run(k, mode, mix, (saturating_clients(k) * 3 / 4).max(1), &sz))
+            })
+        };
         let mut rows = Vec::new();
-        for &k in &[1u32, 2, 4] {
-            eprintln!("fig4 [{label}]: {k} partition(s)...");
-            let peak_dyn = run(k, Mode::Dynastar, mix, SATURATING_CLIENTS);
-            let peak_ssmr = run(k, Mode::SSmr, mix, SATURATING_CLIENTS);
-            // ~75% of peak load for the latency measurement.
-            let lat_clients = (SATURATING_CLIENTS * 3 / 4).max(1);
-            let lat_dyn = run(k, Mode::Dynastar, mix, lat_clients);
-            let lat_ssmr = run(k, Mode::SSmr, mix, lat_clients);
+        for (i, &k) in sweep.iter().enumerate() {
+            let (peak_dyn, peak_ssmr) = (&peaks[2 * i], &peaks[2 * i + 1]);
+            let fmt_lat = |p: &Option<Point>| match p {
+                Some(p) => format!("{:.1}/{:.1}", p.avg_ms, p.p95_ms),
+                None => "-".into(),
+            };
             rows.push(vec![
                 format!("{k}"),
                 format!("{:.0}", peak_dyn.tput),
                 format!("{:.0}", peak_ssmr.tput),
-                format!("{:.1}/{:.1}", lat_dyn.avg_ms, lat_dyn.p95_ms),
-                format!("{:.1}/{:.1}", lat_ssmr.avg_ms, lat_ssmr.p95_ms),
+                fmt_lat(&lats[2 * i]),
+                fmt_lat(&lats[2 * i + 1]),
             ]);
+            if !first_json {
+                json.push_str(",\n");
+            }
+            first_json = false;
+            json.push_str(&format!(
+                "    {{\"workload\": \"{slug}\", \"partitions\": {k}, \"users\": {users}, \
+                 \"dynastar_cps\": {:.0}, \"ssmr_cps\": {:.0}}}",
+                peak_dyn.tput, peak_ssmr.tput
+            ));
         }
         print_table(
             &[
@@ -91,18 +213,23 @@ fn main() {
         );
         println!();
     }
+    json.push_str("\n  ]\n}\n");
     println!("paper shape: timeline-only scales for both; mix flattens at high partition counts.");
+    if let Some(path) = out_path {
+        std::fs::write(&path, json).expect("write fig4 json");
+        println!("wrote {path}");
+    }
 
     // Optional extra: ordering-batch-size sweep (pass --batch-sweep).
     // Window pinned to one in-flight instance per leader so `max_batch` is
     // the only variable; see `probe_batching` for the asserted version.
-    if std::env::args().any(|a| a == "--batch-sweep") {
+    if batch_sweep {
         println!("\n== batch-size sweep (DynaStar, mix 85/15, 4 partitions, window 1) ==");
         let mut rows = Vec::new();
         for &mb in &[1usize, 4, 8, 16] {
             eprintln!("fig4 [batch sweep]: max_batch = {mb}...");
             let batch = BatchConfig { max_batch: mb, max_batch_delay_ticks: 0, window: 1 };
-            let p = run_batched(4, Mode::Dynastar, ChirperMix::MIX, SATURATING_CLIENTS, batch);
+            let p = run_batched(4, Mode::Dynastar, ChirperMix::MIX, 12, batch, &sz);
             rows.push(vec![
                 format!("{mb}"),
                 format!("{:.0}", p.tput),

@@ -1,51 +1,320 @@
-//! Figure 8: throughput at the oracle over time.
+//! Figure 8: throughput at the oracle — cache dynamics and shard scaling.
 //!
-//! Clients start with fully warm location caches, so the oracle initially
-//! answers zero queries. A repartitioning (~t = 80 s in the paper)
-//! invalidates cached entries; queries spike as clients re-resolve, then
-//! decay back to zero as caches refill.
+//! Two experiments share this binary:
+//!
+//! **Timeline** (the paper's fig8 shape, with measurement windows): clients
+//! start with *cold* location caches, so the opening seconds drive every
+//! command through the oracle (the cold window); caches fill and queries
+//! decay toward zero (the steady window); a repartitioning mid-run
+//! invalidates cached entries and queries spike again. The table reports
+//! oracle queries/s, completed commands/s and the cache-miss rate
+//! (queries per completed command) per second, and the summary pins the
+//! cold-window and steady-window means — the old version of this figure
+//! only showed the decay to ~0 and measured nothing.
+//!
+//! **Shard sweep** (the scaling claim): with client caching disabled every
+//! command queries the oracle first — a permanent flash crowd — and the
+//! ordering pipeline pinned to one in-flight consensus instance per
+//! leader makes each group's leader a genuine serialization point (the
+//! regime the paper's fig8 discussion points at). Sweeping the oracle
+//! across 1, 2 and 4 hash-sliced shard groups shows query throughput
+//! scaling with the shard count while plan quality (edge cut) stays put.
+//!
+//! CI jobs mirror `fig7_partitioner_scaling`:
+//!
+//! * `--out FILE` writes machine-readable `BENCH_oracle.json`;
+//! * `--check-against FILE` is the CI smoke gate: exit 1 when any shard
+//!   count's queries/s falls more than 30% below the committed baseline;
+//! * `--smoke` shortens both experiments so the gate finishes in seconds.
 
 use std::sync::Arc;
 
 use dynastar_bench::report::print_table;
 use dynastar_bench::setup::{chirper_cluster, ChirperSetup, Placement};
 use dynastar_core::metric_names as mn;
-use dynastar_core::Mode;
+use dynastar_core::{BatchConfig, Mode};
 use dynastar_runtime::SimDuration;
 use dynastar_workloads::chirper::{ChirperMix, ChirperWorkload};
 
-const RUN_SECS: u64 = 90;
-const CLIENTS: usize = 6;
+/// Shard counts the sweep visits (the scaling claim compares last vs
+/// first).
+const SHARDS: [u32; 3] = [1, 2, 4];
+/// Sweep partitions: enough that partition-side ordering (8 groups at one
+/// instance per leader) never binds before the oracle side (at most 4).
+const SWEEP_PARTITIONS: u32 = 8;
+const SWEEP_CLIENTS: usize = 64;
 
-fn main() {
-    let mut setup = ChirperSetup::new(4, Mode::Dynastar);
-    // Warm caches + a random start that the first repartitioning will fix:
-    // the repartition is what invalidates the caches.
-    setup.placement = Placement::Random;
-    setup.repartition_threshold = 10_000;
-    // One repartitioning, at ~80 s as in the paper's plot.
-    setup.min_plan_interval = dynastar_runtime::SimDuration::from_secs(40);
+/// One sweep point's measurements.
+struct SweepPoint {
+    shards: u32,
+    queries_per_sec: f64,
+    cmds_per_sec: f64,
+    /// Mean normalized edge cut (cut / total edge weight) of the
+    /// published plans — the shard-count-independent quality measure.
+    cut_frac: f64,
+    plans: u64,
+}
+
+/// Timeline summary (cold-start caches, one mid-run repartitioning).
+struct Timeline {
+    rows: Vec<Vec<String>>,
+    cold_qps: f64,
+    steady_qps: f64,
+    cold_miss: f64,
+    steady_miss: f64,
+    plans: u64,
+}
+
+/// Runs the flash-crowd sweep point at `shards` oracle shards: caching
+/// off, so every command resolves through the oracle, and ordering
+/// pinned to one in-flight instance per leader, so the oracle groups are
+/// the serialization points being scaled.
+fn run_sweep_point(shards: u32, warmup: u64, measure: u64) -> SweepPoint {
+    let mut setup = ChirperSetup::new(SWEEP_PARTITIONS, Mode::Dynastar);
+    setup.oracle_shards = shards;
+    setup.client_location_cache = false;
+    setup.warm_client_caches = false;
+    // Oracle leaders pinned to one in-flight instance (the serialization
+    // point under test); partition ordering keeps the unbounded default
+    // so it never binds first.
+    setup.oracle_batch = Some(BatchConfig { max_batch: 1, max_batch_delay_ticks: 0, window: 1 });
+    setup.min_plan_interval = SimDuration::from_secs(warmup.max(2));
     let (mut cluster, graph) = chirper_cluster(&setup);
-    for _ in 0..CLIENTS {
+    for _ in 0..SWEEP_CLIENTS {
         cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, ChirperMix::MIX));
     }
-    eprintln!("fig8: running {RUN_SECS}s (oracle queries over time)...");
-    cluster.run_for(SimDuration::from_secs(RUN_SECS));
+    cluster.run_for(SimDuration::from_secs(warmup));
+    let q0 = cluster.metrics().counter(mn::ORACLE_QUERIES);
+    let c0 = cluster.metrics().counter(mn::CMD_COMPLETED);
+    cluster.run_for(SimDuration::from_secs(measure));
+    let m = cluster.metrics();
+    let cut = m
+        .series(mn::PLAN_EDGE_CUT)
+        .map(|s| {
+            // Mean normalized cut over the published plans: bucket sums
+            // divided by the plan count folds the series without assuming
+            // spacing.
+            let total: f64 = s.bucket_sums().iter().sum();
+            total / m.counter(mn::PLANS_PUBLISHED).max(1) as f64
+        })
+        .unwrap_or(0.0);
+    SweepPoint {
+        shards,
+        queries_per_sec: (m.counter(mn::ORACLE_QUERIES) - q0) as f64 / measure as f64,
+        cmds_per_sec: (m.counter(mn::CMD_COMPLETED) - c0) as f64 / measure as f64,
+        cut_frac: cut,
+        plans: m.counter(mn::PLANS_PUBLISHED),
+    }
+}
+
+/// Runs the cache-dynamics timeline: cold caches, caching *on*, a single
+/// repartitioning mid-run. `secs` is split into a cold window (first
+/// [`COLD_SECS`]) and a steady window (last third).
+const COLD_SECS: usize = 5;
+
+fn run_timeline(secs: u64) -> Timeline {
+    let mut setup = ChirperSetup::new(4, Mode::Dynastar);
+    // Cold clients + a random start that the mid-run repartitioning will
+    // fix: the plan is what invalidates the refilled caches.
+    setup.placement = Placement::Random;
+    setup.warm_client_caches = false;
+    setup.repartition_threshold = 10_000;
+    setup.min_plan_interval = SimDuration::from_secs(secs * 4 / 9);
+    let (mut cluster, graph) = chirper_cluster(&setup);
+    for _ in 0..6 {
+        cluster.add_client(ChirperWorkload::new(Arc::clone(&graph), 0.95, ChirperMix::MIX));
+    }
+    cluster.run_for(SimDuration::from_secs(secs));
 
     let m = cluster.metrics();
     let queries = m.series(mn::ORACLE_QUERIES).map(|s| s.rates_per_sec()).unwrap_or_default();
+    let cmds = m.series(mn::CMD_COMPLETED).map(|s| s.rates_per_sec()).unwrap_or_default();
     let moves = m.series(mn::PLAN_MOVES).map(|s| s.bucket_sums().to_vec()).unwrap_or_default();
 
-    println!("\nFigure 8 — oracle query throughput (social network, warm caches)");
-    println!("plans published: {}\n", m.counter(mn::PLANS_PUBLISHED));
     let mut rows = Vec::new();
-    for t in 0..RUN_SECS as usize {
+    for t in 0..secs as usize {
         let q = queries.get(t).copied().unwrap_or(0.0);
+        let c = cmds.get(t).copied().unwrap_or(0.0);
+        let miss = if c > 0.0 { q / c } else { 0.0 };
         let mv = moves.get(t).copied().unwrap_or(0.0);
         let marker = if mv > 0.0 { format!("<= plan ({mv:.0} keys moved)") } else { String::new() };
-        rows.push(vec![format!("{t}"), format!("{q:.0}"), marker]);
+        rows.push(vec![
+            format!("{t}"),
+            format!("{q:.0}"),
+            format!("{c:.0}"),
+            format!("{miss:.2}"),
+            marker,
+        ]);
     }
-    print_table(&["t(s)", "oracle queries/s", ""], &rows);
-    println!("\npaper shape: ~zero before the repartitioning, a spike right after");
-    println!("(cache invalidations), rapid decay back toward zero.");
+    let window = |range: std::ops::Range<usize>, series: &[f64]| -> f64 {
+        let vals: Vec<f64> = range.filter_map(|t| series.get(t).copied()).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    let cold = 0..COLD_SECS.min(secs as usize);
+    let steady = (secs as usize).saturating_sub(secs as usize / 3)..secs as usize;
+    let (cold_q, cold_c) = (window(cold.clone(), &queries), window(cold, &cmds));
+    let (steady_q, steady_c) = (window(steady.clone(), &queries), window(steady, &cmds));
+    Timeline {
+        rows,
+        cold_qps: cold_q,
+        steady_qps: steady_q,
+        cold_miss: if cold_c > 0.0 { cold_q / cold_c } else { 0.0 },
+        steady_miss: if steady_c > 0.0 { steady_q / steady_c } else { 0.0 },
+        plans: m.counter(mn::PLANS_PUBLISHED),
+    }
+}
+
+/// Renders results as the flat JSON the CI gate and EXPERIMENTS.md
+/// consume (hand-rolled like `probe_perf`: every value is a number,
+/// nothing to escape).
+fn to_json(points: &[SweepPoint], tl: &Timeline) -> String {
+    let mut out = String::from("{\n  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"queries_per_sec\": {:.0}, \"cmds_per_sec\": {:.0}, \
+             \"cut_frac\": {:.4}, \"plans\": {}}}{}\n",
+            p.shards,
+            p.queries_per_sec,
+            p.cmds_per_sec,
+            p.cut_frac,
+            p.plans,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let base = points.first().map(|p| p.queries_per_sec).unwrap_or(0.0);
+    let last = points.last().map(|p| p.queries_per_sec).unwrap_or(0.0);
+    out.push_str(&format!("  \"speedup_max_shards\": {:.2},\n", last / base.max(1.0)));
+    out.push_str(&format!(
+        "  \"timeline\": {{\"cold_qps\": {:.0}, \"steady_qps\": {:.0}, \
+         \"cold_miss_rate\": {:.2}, \"steady_miss_rate\": {:.2}, \"plans\": {}}}\n",
+        tl.cold_qps, tl.steady_qps, tl.cold_miss, tl.steady_miss, tl.plans
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls the baseline queries/s for `shards` out of a [`to_json`] file
+/// without a JSON parser — each sweep run is one line with `shards`
+/// first, exactly like fig7's baseline format.
+fn parse_baseline_qps(json: &str, shards: u32) -> Option<f64> {
+    let idx = json.find(&format!("\"shards\": {shards},"))?;
+    let line = json[idx..].lines().next()?;
+    let key = line.find("\"queries_per_sec\"")?;
+    let rest = &line[key..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail.find(['}', ','])?;
+    tail[..end].trim().parse().ok()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fig8_oracle_load [--smoke] [--out FILE] [--check-against FILE]\n\
+         \n\
+         --smoke              shortened windows (CI gate workload)\n\
+         --out FILE           write machine-readable BENCH_oracle.json\n\
+         --check-against FILE exit 1 if queries/s fell >30% below the baseline file"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--check-against" => check_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let (warmup, measure, tl_secs) = if smoke { (2, 4, 18) } else { (5, 10, 90) };
+
+    println!("Figure 8 — oracle query throughput (social network)\n");
+
+    // Shard sweep: every point is an independent deterministic simulation.
+    let points = dynastar_bench::run_parallel(SHARDS.to_vec(), 0, |o| {
+        eprintln!("fig8 [sweep]: {o} oracle shard(s), cold caches...");
+        run_sweep_point(o, warmup, measure)
+    });
+    println!("== shard sweep (cold caches, {SWEEP_CLIENTS} clients, {SWEEP_PARTITIONS} partitions, window 1) ==");
+    let base_qps = points[0].queries_per_sec;
+    let mut rows = Vec::new();
+    for p in &points {
+        rows.push(vec![
+            format!("{}", p.shards),
+            format!("{:.0}", p.queries_per_sec),
+            format!("{:.2}x", p.queries_per_sec / base_qps.max(1.0)),
+            format!("{:.0}", p.cmds_per_sec),
+            format!("{:.3}", p.cut_frac),
+            format!("{}", p.plans),
+        ]);
+    }
+    print_table(
+        &["oracle shards", "queries/s", "speedup", "cmds/s", "plan cut frac", "plans"],
+        &rows,
+    );
+    let speedup = points.last().unwrap().queries_per_sec / base_qps.max(1.0);
+    println!(
+        "\n1 -> {} shards scales oracle query throughput {speedup:.2}x \
+         (paper target: >= 3x at 4 shards);",
+        SHARDS[SHARDS.len() - 1]
+    );
+    println!("normalized plan cut stays flat across shard counts (the planner");
+    println!("merges the same digested workload graph whichever shard collected it).\n");
+
+    // Timeline: cache dynamics at one shard.
+    eprintln!("fig8 [timeline]: {tl_secs}s cold-start run...");
+    let tl = run_timeline(tl_secs);
+    println!("== timeline (caches on, cold start, 4 partitions, 1 shard) ==");
+    println!("plans published: {}\n", tl.plans);
+    print_table(&["t(s)", "oracle queries/s", "cmds/s", "miss rate", ""], &tl.rows);
+    println!(
+        "\ncold window (first {COLD_SECS}s):  {:.0} queries/s, miss rate {:.2}",
+        tl.cold_qps, tl.cold_miss
+    );
+    println!(
+        "steady window (last third): {:.0} queries/s, miss rate {:.2}",
+        tl.steady_qps, tl.steady_miss
+    );
+    println!("\npaper shape: a cold spike while caches fill, decay toward zero,");
+    println!("a second spike right after the repartitioning invalidates entries.");
+
+    if let Some(path) = out_path {
+        std::fs::write(&path, to_json(&points, &tl)).expect("write BENCH_oracle.json");
+        println!("wrote {path}");
+    }
+    if let Some(path) = check_path {
+        let baseline =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        let mut failed = false;
+        for p in &points {
+            let Some(base) = parse_baseline_qps(&baseline, p.shards) else {
+                println!("oracle gate: no {}-shard baseline in {path}, skipped", p.shards);
+                continue;
+            };
+            let floor = base * 0.70;
+            let verdict = if p.queries_per_sec < floor { "FAILED" } else { "ok" };
+            println!(
+                "oracle gate O={}: current {:.0} queries/s vs baseline {base:.0} \
+                 (floor {floor:.0}) {verdict}",
+                p.shards, p.queries_per_sec
+            );
+            failed |= p.queries_per_sec < floor;
+        }
+        if failed {
+            eprintln!("oracle gate FAILED: queries/s regressed more than 30% below baseline");
+            std::process::exit(1);
+        }
+        println!("oracle gate passed");
+    }
 }

@@ -150,6 +150,20 @@ pub struct ChirperSetup {
     /// Modelled per-command service time (fig10 raises this so execution,
     /// not ordering, is the bottleneck).
     pub exec_service: SimDuration,
+    /// Oracle shard groups (1 = the classic single replicated oracle).
+    pub oracle_shards: u32,
+    /// Ordering batch / pipelining for the oracle shard groups alone
+    /// (`None` = share `batch`). fig8 pins the oracle window to one
+    /// in-flight instance per leader while partitions stay unbounded.
+    pub oracle_batch: Option<BatchConfig>,
+    /// Client-side location caching. `false` sends every command through
+    /// the oracle first — the permanent-flash-crowd regime fig8's shard
+    /// sweep measures. S-SMR keeps its static cache regardless.
+    pub client_location_cache: bool,
+    /// Preload client location caches at t = 0 (the historical default).
+    /// `false` starts clients cold so the first seconds exercise the
+    /// oracle query path before caches fill.
+    pub warm_client_caches: bool,
 }
 
 impl ChirperSetup {
@@ -176,6 +190,10 @@ impl ChirperSetup {
             client_retry_backoff: SimDuration::ZERO,
             exec_workers: 1,
             exec_service: SimDuration::from_micros(150),
+            oracle_shards: 1,
+            oracle_batch: None,
+            client_location_cache: true,
+            warm_client_caches: true,
         }
     }
 }
@@ -193,7 +211,7 @@ pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<Soc
         seed: setup.seed,
         repartition_threshold: setup.repartition_threshold,
         min_plan_interval: setup.min_plan_interval,
-        warm_client_caches: true,
+        warm_client_caches: setup.warm_client_caches,
         compute_base: SimDuration::from_millis(100),
         exec: ExecConfig::pool(setup.exec_workers, setup.exec_service),
         batch: setup.batch,
@@ -201,6 +219,9 @@ pub fn chirper_cluster(setup: &ChirperSetup) -> (Cluster<Chirper>, Arc<Mutex<Soc
         warm_quality_ratio: setup.warm_quality_ratio,
         server: setup.server.clone(),
         client_retry_backoff: setup.client_retry_backoff,
+        oracle_shards: setup.oracle_shards,
+        oracle_batch: setup.oracle_batch,
+        client_location_cache: setup.client_location_cache,
         ..ClusterConfig::default()
     };
     let keys = (0..graph.users() as u64).map(Chirper::key);

@@ -57,7 +57,13 @@ common flags:
 
 chirper flags:
   --users <n>                    social graph size         [2000]
+  --attach <m>                   Barabási–Albert attachment degree
+                                 (follows per user)        [6]
   --posts <pct>                  post percentage (rest timeline) [15]
+  --oracle-shards <o>            hash-sliced oracle shard groups
+                                 (shard 0 plans; see DESIGN.md §7) [1]
+  --cache <on|off>               client location caching; off sends
+                                 every command through the oracle  [on]
 
 tpcc flags:
   --warehouses <n>               warehouses (default = partitions)
@@ -157,13 +163,24 @@ fn run_chirper(a: &Args) -> Result<(), String> {
     if posts > 100 {
         return Err("--posts must be <= 100".into());
     }
+    let oracle_shards: u32 = a.num_or("oracle-shards", 1)?;
+    if oracle_shards == 0 {
+        return Err("--oracle-shards must be at least 1".into());
+    }
 
     let mut setup = ChirperSetup::new(partitions, mode);
     setup.users = users;
+    setup.follows_per_user = a.num_or("attach", 6)?;
     setup.seed = seed;
     setup.batch = parse_batch(a)?;
     (setup.warm_plans, setup.warm_quality_ratio) = parse_warm(a)?;
     setup.exec_workers = a.num_or("exec-workers", 1)?;
+    setup.oracle_shards = oracle_shards;
+    setup.client_location_cache = match a.str_or("cache", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--cache {other:?}: expected on|off")),
+    };
     let (mut cluster, graph) = chirper_cluster(&setup);
     let mix = ChirperMix { timeline: 100 - posts, post: posts, follow: 0, unfollow: 0 };
     for _ in 0..clients {

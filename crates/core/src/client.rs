@@ -9,8 +9,8 @@ use rand::rngs::StdRng;
 
 use crate::command::{Application, Command, CommandKind, LocKey, Mode, PartitionId};
 use crate::metric_names as mn;
-use crate::payload::{Direct, Effect, Payload};
-use crate::routing::compute_route;
+use crate::payload::{Direct, Effect, OracleDest, Payload};
+use crate::routing::{compute_route, exec_shard};
 
 /// Generates the stream of commands a closed-loop client issues.
 ///
@@ -87,6 +87,13 @@ pub struct ClientCore<A: Application> {
     /// the actor's backoff timer fires ([`ClientCore::on_backoff`]);
     /// cleared by completion or response timeout.
     deferred: Option<(u32, SimTime)>,
+    /// Number of oracle shard groups in the deployment; oracle `Exec`
+    /// queries route by [`exec_shard`].
+    oracle_shards: u32,
+    /// Whether routing facts are cached at all. Disabled, every command
+    /// goes through an oracle query — the permanently-cold-cache client
+    /// the fig8 flash-crowd benchmark models.
+    caching: bool,
     /// Interned metric handles for the per-command completion path, tagged
     /// with the registry they were minted under — the threaded harness
     /// hands cores a fresh scratch `Metrics` per call, so a bare cache
@@ -119,6 +126,8 @@ impl<A: Application> ClientCore<A> {
             outstanding: None,
             retry_backoff: SimDuration::ZERO,
             deferred: None,
+            oracle_shards: 1,
+            caching: true,
             mids: None,
         }
     }
@@ -127,6 +136,22 @@ impl<A: Application> ClientCore<A> {
     /// deferral and reproduces the immediate-retry behaviour.
     pub fn set_retry_backoff(&mut self, backoff: SimDuration) {
         self.retry_backoff = backoff;
+    }
+
+    /// Tells the core how many oracle shard groups the deployment runs,
+    /// so `Exec` queries route to the right shard (see [`exec_shard`]).
+    pub fn set_oracle_shards(&mut self, shards: u32) {
+        assert!(shards > 0, "need at least one oracle shard");
+        self.oracle_shards = shards;
+    }
+
+    /// Enables or disables the location cache. Disabled, every dispatch
+    /// goes through the oracle and prophecy facts are not retained.
+    pub fn set_location_cache(&mut self, on: bool) {
+        self.caching = on;
+        if !on {
+            self.cache.clear();
+        }
     }
 
     /// The interned metric ids, resolving them on first use (and again
@@ -202,7 +227,8 @@ impl<A: Application> ClientCore<A> {
                 return vec![Effect::Multicast {
                     mid: cmd.id.derived(10 + attempt),
                     partitions: route.dests.clone(),
-                    include_oracle: keep,
+                    // DS-SMR keep moves keys in every shard's map replica.
+                    oracle: if keep { OracleDest::All } else { OracleDest::None },
                     payload: Payload::Access {
                         cmd,
                         attempt,
@@ -213,11 +239,14 @@ impl<A: Application> ClientCore<A> {
                 }];
             }
         }
-        // Cold cache, stale cache, or create/delete: involve the oracle.
+        // Cold cache, stale cache, or create/delete: involve the oracle —
+        // the one shard the query's routing function picks, rotating with
+        // the attempt so `Retry` referrals reach the owner shard.
+        let shard = exec_shard(&cmd, attempt, self.oracle_shards);
         vec![Effect::Multicast {
             mid: cmd.id.derived(100 + attempt),
             partitions: Vec::new(),
-            include_oracle: true,
+            oracle: OracleDest::Shard(shard),
             payload: Payload::Exec { cmd, attempt },
         }]
     }
@@ -238,7 +267,7 @@ impl<A: Application> ClientCore<A> {
                     self.plan_version = version;
                     self.cache.retain(|_, &mut (_, v)| v >= version);
                 }
-                if version >= self.plan_version {
+                if self.caching && version >= self.plan_version {
                     for (k, p) in locations {
                         self.cache.insert(k, (p, version));
                     }

@@ -2,8 +2,10 @@
 //! simulation runtime, and a builder for complete deployments.
 //!
 //! Topology convention: partitions `0..k` are multicast groups `0..k`; the
-//! oracle is group `k`. Every group has the same replica count (the paper
-//! gives the oracle the same resources as every partition).
+//! `O` oracle shards are groups `k..k+O` (shard `s` is group `k+s`; the
+//! default `O = 1` reproduces the single-oracle deployment exactly). Every
+//! group has the same replica count (the paper gives the oracle the same
+//! resources as every partition).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -22,7 +24,7 @@ use crate::client::{ClientCore, ClientEvent, Workload};
 use crate::command::{Application, LocKey, Mode, PartitionId, VarId};
 use crate::metric_names;
 use crate::oracle::{OracleConfig, OracleCore};
-use crate::payload::{Destination, Direct, Effect, Payload};
+use crate::payload::{Destination, Direct, Effect, OracleDest, Payload};
 use crate::server::{ExecConfig, ServerConfig, ServerCore};
 
 /// Timer tags used by the actors.
@@ -219,7 +221,10 @@ impl<A: Application> Clone for CoreSnapshot<A> {
 struct RouteTable {
     /// `groups[g][replica]` = node id.
     groups: Vec<Vec<NodeId>>,
-    oracle_group: GroupId,
+    /// First oracle shard's group (shard `s` is `oracle_base + s`).
+    oracle_base: GroupId,
+    /// Number of oracle shard groups.
+    oracle_shards: u32,
 }
 
 impl RouteTable {
@@ -233,6 +238,16 @@ impl RouteTable {
 
     fn partition_group(&self, p: PartitionId) -> GroupId {
         GroupId(p.0)
+    }
+
+    fn oracle_group(&self, shard: u32) -> GroupId {
+        debug_assert!(shard < self.oracle_shards);
+        GroupId(self.oracle_base.0 + shard)
+    }
+
+    /// All oracle shard groups, in shard order.
+    fn oracle_groups(&self) -> impl Iterator<Item = GroupId> + '_ {
+        (0..self.oracle_shards).map(|s| GroupId(self.oracle_base.0 + s))
     }
 }
 
@@ -674,10 +689,15 @@ impl<A: Application> Wiring<A> {
                 }
             }
             Destination::Oracle => {
+                // Every replica of every oracle shard group, in shard
+                // order: the sender cannot know which shard cares, and
+                // receiver-side dedup makes the extra copies harmless.
                 let inner = Arc::new(Inner::Direct(msg));
                 let routes = Arc::clone(&self.routes);
-                for &node in routes.group_nodes(routes.oracle_group) {
-                    self.send(ctx, node, Arc::clone(&inner));
+                for g in routes.oracle_groups() {
+                    for &node in routes.group_nodes(g) {
+                        self.send(ctx, node, Arc::clone(&inner));
+                    }
                 }
             }
             Destination::Client(node) => {
@@ -687,11 +707,13 @@ impl<A: Application> Wiring<A> {
     }
 
     /// Resolves a core's multicast effect into destination group ids.
-    fn mcast_groups(&self, partitions: &[PartitionId], include_oracle: bool) -> Vec<GroupId> {
+    fn mcast_groups(&self, partitions: &[PartitionId], oracle: OracleDest) -> Vec<GroupId> {
         let mut gs: Vec<GroupId> =
             partitions.iter().map(|&p| self.routes.partition_group(p)).collect();
-        if include_oracle {
-            gs.push(self.routes.oracle_group);
+        match oracle {
+            OracleDest::None => {}
+            OracleDest::All => gs.extend(self.routes.oracle_groups()),
+            OracleDest::Shard(s) => gs.push(self.routes.oracle_group(s)),
         }
         gs.sort_unstable();
         gs.dedup();
@@ -1023,8 +1045,8 @@ impl<A: Application> ServerActor<A> {
     ) {
         for eff in effects {
             match eff {
-                Effect::Multicast { mid, partitions, include_oracle, payload } => {
-                    let groups = self.wiring.mcast_groups(&partitions, include_oracle);
+                Effect::Multicast { mid, partitions, oracle, payload } => {
+                    let groups = self.wiring.mcast_groups(&partitions, oracle);
                     let out = self.member.submit(mid, groups, Arc::new(payload));
                     for (to, wire) in out.outgoing {
                         let node = self.wiring.routes.node_of(to);
@@ -1252,8 +1274,8 @@ impl<A: Application, W: Workload<A>> ClientActor<A, W> {
     fn apply_effects(&mut self, ctx: &mut Ctx<'_, Msg<A>>, effects: Vec<Effect<A>>) {
         for eff in effects {
             match eff {
-                Effect::Multicast { mid, partitions, include_oracle, payload } => {
-                    let groups = self.wiring.mcast_groups(&partitions, include_oracle);
+                Effect::Multicast { mid, partitions, oracle, payload } => {
+                    let groups = self.wiring.mcast_groups(&partitions, oracle);
                     self.wiring.submit_as_client(ctx, mid, groups, payload);
                 }
                 Effect::Send { to, msg } => self.wiring.send_direct_to(ctx, to, msg),
@@ -1394,8 +1416,10 @@ pub struct ClusterConfig {
     /// Metrics time-series bucket.
     pub metrics_bucket: SimDuration,
     /// Leader-side command batching / instance pipelining, applied to
-    /// every consensus group (partitions and oracle alike). The default
-    /// ([`BatchConfig::UNBATCHED`]) reproduces the unbatched pipeline.
+    /// every consensus group (partitions and oracle alike, unless
+    /// [`ClusterConfig::oracle_batch`] overrides the oracle's). The
+    /// default ([`BatchConfig::UNBATCHED`]) reproduces the unbatched
+    /// pipeline.
     pub batch: BatchConfig,
     /// Maximum out-of-order frames buffered per peer in the transport's
     /// FIFO reorder buffers. Frames past the cap are dropped (and counted);
@@ -1415,6 +1439,28 @@ pub struct ClusterConfig {
     /// Warm-plan churn gate: full recompute when keys created + deleted
     /// since the last plan exceed this fraction of the keyspace.
     pub warm_churn_limit: f64,
+    /// Number of oracle shard groups (DESIGN.md §7). Shard `s` owns the
+    /// [`crate::routing::shard_of`] slice of the key→partition map and is
+    /// multicast group `partitions + s`; shard 0 is the planner. The
+    /// default `1` reproduces the unsharded oracle byte-for-byte.
+    pub oracle_shards: u32,
+    /// Non-planner shards ship their accumulated hint delta to the planner
+    /// once this many graph changes pile up (see
+    /// [`OracleConfig::digest_threshold`]).
+    pub oracle_digest_threshold: u64,
+    /// Trickle-flush interval for sub-threshold digest deltas (see
+    /// [`OracleConfig::digest_interval`]).
+    pub oracle_digest_interval: SimDuration,
+    /// Client-side location caching. Disabling it forces every command
+    /// through an oracle `Exec` query — the cold-cache flash-crowd load
+    /// the fig8 oracle benchmark measures shard scaling under.
+    pub client_location_cache: bool,
+    /// Ordering batch / pipelining config for the oracle shard groups
+    /// alone (`None` = share [`ClusterConfig::batch`]). fig8's shard
+    /// sweep pins the oracle window to one in-flight instance per leader
+    /// — making each shard's leader a genuine serialization point —
+    /// while the partition groups keep the unbounded default.
+    pub oracle_batch: Option<BatchConfig>,
 }
 
 impl Default for ClusterConfig {
@@ -1443,6 +1489,11 @@ impl Default for ClusterConfig {
             warm_plans: true,
             warm_quality_ratio: 1.1,
             warm_churn_limit: 0.25,
+            oracle_shards: 1,
+            oracle_digest_threshold: 256,
+            oracle_digest_interval: SimDuration::from_millis(500),
+            client_location_cache: true,
+            oracle_batch: None,
         }
     }
 }
@@ -1496,24 +1547,30 @@ impl<A: Application> ClusterBuilder<A> {
     pub fn build(&mut self) -> Cluster<A> {
         let cfg = self.config.clone();
         let k = cfg.partitions as usize;
+        assert!(cfg.oracle_shards > 0, "cluster needs at least one oracle shard");
+        let o = cfg.oracle_shards as usize;
         let sim_cfg = SimConfig::default()
             .seed(cfg.seed)
             .net(cfg.net.clone())
             .metrics_bucket(cfg.metrics_bucket);
         let mut sim: Simulation<Msg<A>> = Simulation::new(sim_cfg);
 
-        let topo = Topology::uniform(k + 1, cfg.replicas);
-        let oracle_group = GroupId(k as u32);
+        let topo = Topology::uniform(k + o, cfg.replicas);
+        let oracle_base = GroupId(k as u32);
         // One shared consensus config (timing + batching) for every group;
         // also stored per actor so restarted replicas reconstruct identically.
+        // Oracle shard groups may pin their own batching (fig8's leader
+        // serialization model) without touching the partitions'.
         let group_cfg = GroupConfig::with_timing(cfg.replicas, 600, 2).with_batching(cfg.batch);
+        let oracle_group_cfg = GroupConfig::with_timing(cfg.replicas, 600, 2)
+            .with_batching(cfg.oracle_batch.unwrap_or(cfg.batch));
 
         // Reserve node ids first so the route table is complete before any
         // actor is constructed.
-        let mut groups: Vec<Vec<NodeId>> = Vec::with_capacity(k + 1);
+        let mut groups: Vec<Vec<NodeId>> = Vec::with_capacity(k + o);
         // Node ids are assigned sequentially by add_node; precompute them.
         let mut next = 0u32;
-        for _ in 0..=k {
+        for _ in 0..k + o {
             let mut g = Vec::with_capacity(cfg.replicas);
             for _ in 0..cfg.replicas {
                 g.push(NodeId::from_raw(next));
@@ -1521,7 +1578,7 @@ impl<A: Application> ClusterBuilder<A> {
             }
             groups.push(g);
         }
-        let routes = Arc::new(RouteTable { groups, oracle_group });
+        let routes = Arc::new(RouteTable { groups, oracle_base, oracle_shards: cfg.oracle_shards });
 
         // Group initial variables by partition.
         let mut vars_by_part: Vec<Vec<(VarId, A::Value)>> = vec![Vec::new(); k];
@@ -1568,38 +1625,53 @@ impl<A: Application> ClusterBuilder<A> {
                 debug_assert_eq!(id, routes.groups[p][r]);
             }
         }
-        // Oracle replicas.
-        for r in 0..cfg.replicas {
-            let mut core = OracleCore::<A>::new(OracleConfig {
-                partitions: cfg.partitions,
-                mode: cfg.mode,
-                repartition_threshold: cfg.repartition_threshold,
-                compute_base: cfg.compute_base,
-                compute_per_element: cfg.compute_per_element,
-                balance_factor: 1.2,
-                decay_hints: true,
-                min_plan_interval: cfg.min_plan_interval,
-                record_metrics: r == 0,
-                max_graph_vertices: cfg.max_graph_vertices,
-                max_graph_edges: cfg.max_graph_edges,
-                warm_start: cfg.warm_plans,
-                warm_quality_ratio: cfg.warm_quality_ratio,
-                warm_churn_limit: cfg.warm_churn_limit,
-            });
-            core.preload_map(self.placement.iter().map(|(&kk, &p)| (kk, p)));
-            let me = MemberId::new(oracle_group, r);
-            let actor = ServerActor::new(
-                McastMember::with_group_config(me, topo.clone(), group_cfg.clone()),
-                Role::Oracle(core),
-                Wiring::new(Arc::clone(&routes), cfg.fifo_buffer_cap),
-                cfg.tick,
-                me,
-                topo.clone(),
-                group_cfg.clone(),
-                r == 0,
-            );
-            let id = sim.add_node(format!("oracle-r{r}"), actor);
-            debug_assert_eq!(id, routes.groups[k][r]);
+        // Oracle shard replicas. Every shard replicates the full map;
+        // slice ownership (nok authority, location_view) comes from the
+        // per-core shard index.
+        for s in 0..cfg.oracle_shards {
+            for r in 0..cfg.replicas {
+                let mut core = OracleCore::<A>::new(OracleConfig {
+                    partitions: cfg.partitions,
+                    mode: cfg.mode,
+                    repartition_threshold: cfg.repartition_threshold,
+                    compute_base: cfg.compute_base,
+                    compute_per_element: cfg.compute_per_element,
+                    balance_factor: 1.2,
+                    decay_hints: true,
+                    min_plan_interval: cfg.min_plan_interval,
+                    record_metrics: r == 0,
+                    max_graph_vertices: cfg.max_graph_vertices,
+                    max_graph_edges: cfg.max_graph_edges,
+                    warm_start: cfg.warm_plans,
+                    warm_quality_ratio: cfg.warm_quality_ratio,
+                    warm_churn_limit: cfg.warm_churn_limit,
+                    shards: cfg.oracle_shards,
+                    shard: s,
+                    digest_threshold: cfg.oracle_digest_threshold,
+                    digest_interval: cfg.oracle_digest_interval,
+                });
+                core.preload_map(self.placement.iter().map(|(&kk, &p)| (kk, p)));
+                let me = MemberId::new(GroupId(k as u32 + s), r);
+                let actor = ServerActor::new(
+                    McastMember::with_group_config(me, topo.clone(), oracle_group_cfg.clone()),
+                    Role::Oracle(core),
+                    Wiring::new(Arc::clone(&routes), cfg.fifo_buffer_cap),
+                    cfg.tick,
+                    me,
+                    topo.clone(),
+                    oracle_group_cfg.clone(),
+                    r == 0,
+                );
+                // The single-shard name stays `oracle-r{r}`: node names feed
+                // nothing deterministic, but diffable traces are nice.
+                let name = if cfg.oracle_shards == 1 {
+                    format!("oracle-r{r}")
+                } else {
+                    format!("oracle-s{s}r{r}")
+                };
+                let id = sim.add_node(name, actor);
+                debug_assert_eq!(id, routes.groups[k + s as usize][r]);
+            }
         }
 
         Cluster { sim, routes, config: cfg, placement: self.placement.clone(), clients: Vec::new() }
@@ -1636,7 +1708,12 @@ impl<A: Application> Cluster<A> {
         let id = NodeId::from_raw(self.sim.node_count() as u32);
         let mut core = ClientCore::new(id, self.config.mode);
         core.set_retry_backoff(self.config.client_retry_backoff);
-        if self.config.warm_client_caches || self.config.mode == Mode::SSmr {
+        core.set_oracle_shards(self.config.oracle_shards);
+        // S-SMR has no oracle fallback: its static map must stay cached
+        // regardless of the cache knob.
+        if !self.config.client_location_cache && self.config.mode != Mode::SSmr {
+            core.set_location_cache(false);
+        } else if self.config.warm_client_caches || self.config.mode == Mode::SSmr {
             core.preload_cache(self.placement.iter().map(|(&k, &p)| (k, p)));
         }
         let jitter_us = 1 + (idx as u64 * 137) % 5_000;
@@ -1660,8 +1737,9 @@ impl<A: Application> Cluster<A> {
     }
 
     /// Node ids of every replica group: partitions `0..k`, then the
-    /// oracle group last. Fault-injection harnesses use these as fault
-    /// domains (at most a minority of each group may be down at once).
+    /// oracle shard groups in shard order. Fault-injection harnesses use
+    /// these as fault domains (at most a minority of each group may be
+    /// down at once).
     pub fn groups(&self) -> &[Vec<NodeId>] {
         &self.routes.groups
     }
@@ -1677,12 +1755,13 @@ impl<A: Application> Cluster<A> {
     }
 
     /// Every replica's view of the key→partition location map, grouped as
-    /// the cluster's groups (partitions `0..k`, then the oracle group):
-    /// one `Option<Vec<(key, partition)>>` per replica, `None` for a
-    /// replica still recovering. Partitions report the keys they own;
-    /// oracle replicas report the full map. Convergence tests assert that
-    /// all replicas of a group agree and that the union of the partition
-    /// views equals the oracle view.
+    /// the cluster's groups (partitions `0..k`, then the oracle shard
+    /// groups): one `Option<Vec<(key, partition)>>` per replica, `None`
+    /// for a replica still recovering. Partitions report the keys they
+    /// own; an oracle replica reports its shard's owned slice (the full
+    /// map with one shard). Convergence tests assert that all replicas of
+    /// a group agree and that the union of the partition views equals the
+    /// union of the shard views.
     pub fn location_views(&self) -> Vec<Vec<Option<LocationView>>> {
         self.groups()
             .iter()

@@ -56,6 +56,6 @@ pub use command::{
     AccessSets, Application, Command, CommandKind, LocKey, Mode, PartitionId, VarId,
 };
 pub use dynastar_paxos::BatchConfig;
-pub use payload::{Direct, Payload};
-pub use routing::{compute_route, Route};
+pub use payload::{Direct, OracleDest, Payload};
+pub use routing::{compute_route, exec_shard, shard_of, Route};
 pub use server::{ExecConfig, ServerConfig};

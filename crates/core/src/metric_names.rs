@@ -33,6 +33,10 @@ pub const ORACLE_QUERIES: &str = "oracle.queries";
 pub const PLANS_PUBLISHED: &str = "oracle.plans";
 /// Series: locality keys moved by plans.
 pub const PLAN_MOVES: &str = "oracle.plan_moves";
+/// Series: normalized edge cut (cut / total edge weight) of each computed
+/// plan — plan-quality tracking; fig8's shard sweep shows the fraction is
+/// independent of the oracle shard count.
+pub const PLAN_EDGE_CUT: &str = "oracle.plan_edge_cut";
 /// Counter: workload-graph entries (vertices + edges) evicted to honour
 /// the oracle's graph caps.
 pub const ORACLE_GRAPH_EVICTIONS: &str = "oracle.graph_evictions";

@@ -18,8 +18,6 @@
 //!   modelled as a configurable delay so the simulated oracle "computes
 //!   concurrently" as in §5.2 while replicas stay deterministic.
 
-use std::collections::BTreeMap;
-
 use dynastar_amcast::MsgId;
 use dynastar_partitioner::{
     align_labels, partition as ml_partition, partition_from, GraphBuilder, PartitionConfig,
@@ -31,8 +29,8 @@ use dynastar_runtime::{Metrics, SimDuration, SimTime};
 use crate::command::{Application, CommandKind, LocKey, Mode, PartitionId};
 use crate::metric_names as mn;
 use crate::migration::{MoveOutcome, PlanHistory, Settle, PLAN_HISTORY_PER_KEY};
-use crate::payload::{Destination, Direct, Effect, Payload};
-use crate::routing::compute_route;
+use crate::payload::{Destination, Direct, Effect, OracleDest, Payload};
+use crate::routing::{compute_route, shard_of};
 
 /// Derivation tags for oracle-originated multicasts (see
 /// [`MsgId::derived`]).
@@ -47,6 +45,18 @@ mod tag {
     pub const PLAN: u32 = 300;
     /// Recompute-proposal marker ([`super::Payload::Recompute`]).
     pub const RECOMPUTE: u32 = 310;
+    /// Per-shard workload-graph digest ([`super::Payload::GraphDigest`]).
+    pub const DIGEST: u32 = 320;
+    /// Digest-flush marker ([`super::Payload::DigestFlush`]).
+    pub const FLUSH: u32 = 330;
+}
+
+/// Origin of shard-`shard`-originated deterministic message ids (digests
+/// and flush markers). The planner's plan/recompute markers use
+/// `u64::MAX - 1`; shard `s` gets `u64::MAX - 2 - s`, a band far above
+/// client and partition origins.
+fn shard_origin(shard: u32) -> u64 {
+    u64::MAX - 2 - shard as u64
 }
 
 /// Tunables for the oracle.
@@ -103,6 +113,20 @@ pub struct OracleConfig {
     /// churned keyspace leaves too little of the previous assignment to
     /// warm-start from.
     pub warm_churn_limit: f64,
+    /// Number of oracle shard groups the cluster runs (DESIGN.md §7).
+    /// `1` reproduces the unsharded oracle exactly.
+    pub shards: u32,
+    /// This core's shard index, `0..shards`. Shard 0 is the planner: it
+    /// owns the workload graph and the recompute/plan machinery; other
+    /// shards forward their hint slices to it as [`Payload::GraphDigest`]s.
+    pub shard: u32,
+    /// A non-planner shard ships its pending graph delta to the planner
+    /// once this many changes accumulate (count gate — evaluated at
+    /// delivery positions, so it is identical on every replica).
+    pub digest_threshold: u64,
+    /// Trickle flush: a shard replica whose sub-threshold delta has sat
+    /// unshipped this long proposes a [`Payload::DigestFlush`] marker.
+    pub digest_interval: SimDuration,
 }
 
 impl Default for OracleConfig {
@@ -122,15 +146,26 @@ impl Default for OracleConfig {
             warm_start: true,
             warm_quality_ratio: 1.1,
             warm_churn_limit: 0.25,
+            shards: 1,
+            shard: 0,
+            digest_threshold: 256,
+            digest_interval: SimDuration::from_millis(500),
         }
     }
 }
 
 /// Shrinks a weighted graph component to `cap` entries: first a decay pass
 /// (halve every weight, dropping entries that reach zero), then, if still
-/// over, eviction of the lowest-weight entries. Returns how many entries
-/// were removed.
-fn shrink_weighted<K: Ord>(map: &mut BTreeMap<K, u64>, cap: usize) -> u64 {
+/// over, eviction of the `excess` lowest-(weight, key) entries — an exact
+/// selection, so the evicted set is a function of map *content* alone
+/// (hash-map iteration order never shows through). `scratch` is reused
+/// across passes instead of allocating a fresh buffer each time. Returns
+/// how many entries were removed.
+fn shrink_weighted<K: Ord + Copy + std::hash::Hash>(
+    map: &mut FastHashMap<K, u64>,
+    cap: usize,
+    scratch: &mut Vec<(u64, K)>,
+) -> u64 {
     if map.len() <= cap {
         return 0;
     }
@@ -141,29 +176,100 @@ fn shrink_weighted<K: Ord>(map: &mut BTreeMap<K, u64>, cap: usize) -> u64 {
     });
     if map.len() > cap {
         let excess = map.len() - cap;
-        let mut weights: Vec<u64> = map.values().copied().collect();
-        let (_, &mut threshold, _) = weights.select_nth_unstable(excess - 1);
-        let mut budget = excess;
-        map.retain(|_, w| {
-            if budget > 0 && *w <= threshold {
-                budget -= 1;
-                false
-            } else {
-                true
-            }
-        });
+        scratch.clear();
+        scratch.extend(map.iter().map(|(&k, &w)| (w, k)));
+        scratch.select_nth_unstable(excess - 1);
+        for &(_, k) in &scratch[..excess] {
+            map.remove(&k);
+        }
     }
     (before - map.len()) as u64
+}
+
+/// Pending workload-graph delta a non-planner oracle shard accumulates
+/// between digests. `LocKey`s are interned to dense `u32` ids at first
+/// touch (deliveries arrive in total order, so interning order is
+/// identical on every replica of the shard), keeping the per-delivery hot
+/// path on flat vectors and a pair-keyed hash map instead of tree
+/// structures. Draining canonicalizes by key order, so the digest bytes
+/// are a function of delta *content* alone.
+#[derive(Clone, Default)]
+struct DigestDelta {
+    intern: FastHashMap<LocKey, u32>,
+    keys: Vec<LocKey>,
+    vertex_w: Vec<u64>,
+    edges: FastHashMap<(u32, u32), u64>,
+    changes: u64,
+}
+
+impl DigestDelta {
+    fn id_of(&mut self, k: LocKey) -> u32 {
+        *self.intern.entry(k).or_insert_with(|| {
+            let id = self.keys.len() as u32;
+            self.keys.push(k);
+            self.vertex_w.push(0);
+            id
+        })
+    }
+
+    fn add_vertex(&mut self, k: LocKey, w: u64) {
+        let id = self.id_of(k);
+        self.vertex_w[id as usize] += w;
+        self.changes += 1;
+    }
+
+    fn add_edge(&mut self, a: LocKey, b: LocKey, w: u64) {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        let ia = self.id_of(a);
+        let ib = self.id_of(b);
+        *self.edges.entry((ia, ib)).or_insert(0) += w;
+        self.changes += 1;
+    }
+
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty() && self.edges.is_empty()
+    }
+
+    /// Drains the delta into canonical (key-sorted) vertex and edge
+    /// increment lists, resetting it to empty.
+    #[allow(clippy::type_complexity)]
+    fn drain(&mut self) -> (Vec<(LocKey, u64)>, Vec<(LocKey, LocKey, u64)>) {
+        let mut vertices: Vec<(LocKey, u64)> = self
+            .keys
+            .iter()
+            .zip(&self.vertex_w)
+            .filter(|&(_, &w)| w > 0)
+            .map(|(&k, &w)| (k, w))
+            .collect();
+        vertices.sort_unstable_by_key(|&(k, _)| k);
+        let mut edges: Vec<(LocKey, LocKey, u64)> = self
+            .edges
+            .iter()
+            .map(|(&(ia, ib), &w)| (self.keys[ia as usize], self.keys[ib as usize], w))
+            .collect();
+        edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        self.intern.clear();
+        self.keys.clear();
+        self.vertex_w.clear();
+        self.edges.clear();
+        self.changes = 0;
+        (vertices, edges)
+    }
 }
 
 /// One oracle replica's protocol core. See the [module docs](self).
 pub struct OracleCore<A: Application> {
     config: OracleConfig,
-    /// The authoritative key → partition map.
-    map: BTreeMap<LocKey, PartitionId>,
-    /// Workload graph: vertex access counts and co-access edge weights.
-    vertices: BTreeMap<LocKey, u64>,
-    edges: BTreeMap<(LocKey, LocKey), u64>,
+    /// The key → partition map. Every shard replicates the *full* map
+    /// (all map-updating multicasts target every shard group, in the same
+    /// pairwise-consistent total order), but only the
+    /// [`shard_of`]-owned slice is authoritative for "this key does not
+    /// exist" answers and for [`OracleCore::location_view`].
+    map: FastHashMap<LocKey, PartitionId>,
+    /// Workload graph: vertex access counts and co-access edge weights
+    /// (planner shard only; other shards accumulate into `delta`).
+    vertices: FastHashMap<LocKey, u64>,
+    edges: FastHashMap<(LocKey, LocKey), u64>,
     /// Changes accumulated since the last plan.
     changes: u64,
     /// A plan is being "computed" (timer pending).
@@ -194,6 +300,23 @@ pub struct OracleCore<A: Application> {
     /// Interned (counter, series) ids for [`mn::ORACLE_QUERIES`] — the
     /// oracle's per-delivery hot path — resolved lazily.
     query_ids: Option<(u64, dynastar_runtime::CounterId, dynastar_runtime::SeriesId)>,
+    /// Pending graph delta not yet shipped to the planner (non-planner
+    /// shards only).
+    delta: DigestDelta,
+    /// Sequence number of the next digest this shard ships.
+    digest_seq: u32,
+    /// Lowest digest seq this replica has *not* proposed a flush marker
+    /// for — a local flood guard; the marker itself dedups by message id.
+    proposed_flush: u32,
+    /// When this shard last shipped a digest (replica-local; only gates
+    /// flush-marker proposals, like the recompute interval gate).
+    last_digest_at: SimTime,
+    /// Reusable eviction scratch for [`shrink_weighted`] over vertices.
+    shrink_vertices: Vec<(u64, LocKey)>,
+    /// Reusable eviction scratch for [`shrink_weighted`] over edges.
+    shrink_edges: Vec<(u64, (LocKey, LocKey))>,
+    /// Reusable sort scratch for [`OracleCore::compute_plan`]'s edge pass.
+    edge_scratch: Vec<((LocKey, LocKey), u64)>,
     _marker: std::marker::PhantomData<A>,
 }
 
@@ -218,6 +341,15 @@ impl<A: Application> Clone for OracleCore<A> {
             last_full_cut_frac: self.last_full_cut_frac,
             churn_since_plan: self.churn_since_plan,
             query_ids: self.query_ids,
+            delta: self.delta.clone(),
+            digest_seq: self.digest_seq,
+            proposed_flush: self.proposed_flush,
+            last_digest_at: self.last_digest_at,
+            // Scratch buffers carry no protocol state; a recovering
+            // replica starts with fresh (empty) ones.
+            shrink_vertices: Vec::new(),
+            shrink_edges: Vec::new(),
+            edge_scratch: Vec::new(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -228,14 +360,17 @@ impl<A: Application> OracleCore<A> {
     ///
     /// # Panics
     ///
-    /// Panics if `config.partitions` is zero.
+    /// Panics if `config.partitions` or `config.shards` is zero, or if
+    /// `config.shard` is out of range.
     pub fn new(config: OracleConfig) -> Self {
         assert!(config.partitions > 0, "oracle needs at least one partition");
+        assert!(config.shards > 0, "oracle needs at least one shard");
+        assert!(config.shard < config.shards, "shard index out of range");
         OracleCore {
             config,
-            map: BTreeMap::new(),
-            vertices: BTreeMap::new(),
-            edges: BTreeMap::new(),
+            map: FastHashMap::default(),
+            vertices: FastHashMap::default(),
+            edges: FastHashMap::default(),
             changes: 0,
             computing: false,
             pending_plan: None,
@@ -247,8 +382,21 @@ impl<A: Application> OracleCore<A> {
             last_full_cut_frac: None,
             churn_since_plan: 0,
             query_ids: None,
+            delta: DigestDelta::default(),
+            digest_seq: 0,
+            proposed_flush: 0,
+            last_digest_at: SimTime::ZERO,
+            shrink_vertices: Vec::new(),
+            shrink_edges: Vec::new(),
+            edge_scratch: Vec::new(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Whether this core is the planner shard (shard 0): the one that
+    /// owns the workload graph and the recompute/plan machinery.
+    fn is_planner(&self) -> bool {
+        self.config.shard == 0
     }
 
     /// Re-enables or disables metric recording — used after installing a
@@ -267,10 +415,20 @@ impl<A: Application> OracleCore<A> {
         self.map.get(&key).copied()
     }
 
-    /// Diagnostic: the full key→partition map as `(key, partition)` pairs
-    /// in key order, for convergence checks against the servers' views.
+    /// Diagnostic: this shard's *owned slice* of the key→partition map as
+    /// `(key, partition)` pairs in key order. Shard views are disjoint and
+    /// union to the authoritative map, so convergence checks against the
+    /// servers' views merge the slices. With one shard this is the full
+    /// map, as before sharding.
     pub fn location_view(&self) -> Vec<(u64, u32)> {
-        self.map.iter().map(|(k, p)| (k.0, p.0)).collect()
+        let mut view: Vec<(u64, u32)> = self
+            .map
+            .iter()
+            .filter(|&(&k, _)| shard_of(k, self.config.shards) == self.config.shard)
+            .map(|(k, p)| (k.0, p.0))
+            .collect();
+        view.sort_unstable();
+        view
     }
 
     /// Number of keys tracked.
@@ -362,27 +520,55 @@ impl<A: Application> OracleCore<A> {
                 });
             }
             Payload::Hint { vertices, edges } => {
-                self.changes += vertices.len() as u64 + edges.len() as u64;
-                for (k, w) in vertices {
-                    *self.vertices.entry(k).or_insert(0) += w;
+                if self.is_planner() {
+                    self.merge_graph(vertices, edges, metrics);
+                    self.maybe_propose_recompute(now, &mut eff);
+                } else {
+                    // Non-planner shard: accumulate into the pending delta
+                    // and ship a digest to the planner once the count gate
+                    // opens. The gate reads only delivered state, so every
+                    // replica of the shard drains the same delta at the
+                    // same position and the digests dedup by message id.
+                    for (k, w) in vertices {
+                        self.delta.add_vertex(k, w);
+                    }
+                    for (a, b, w) in edges {
+                        self.delta.add_edge(a, b, w);
+                    }
+                    if self.delta.changes >= self.config.digest_threshold {
+                        self.emit_digest(now, &mut eff);
+                    }
                 }
-                for (a, b, w) in edges {
-                    let key = if a <= b { (a, b) } else { (b, a) };
-                    *self.edges.entry(key).or_insert(0) += w;
+            }
+            Payload::GraphDigest { vertices, edges, .. } => {
+                // Planner only (digests are multicast to shard 0 alone,
+                // but the handler stays total for wire hygiene): merge the
+                // shard's delta exactly like a hint batch.
+                if self.is_planner() {
+                    self.merge_graph(vertices, edges, metrics);
+                    self.maybe_propose_recompute(now, &mut eff);
                 }
-                let evicted = shrink_weighted(&mut self.vertices, self.config.max_graph_vertices)
-                    + shrink_weighted(&mut self.edges, self.config.max_graph_edges);
-                if evicted > 0 && self.config.record_metrics {
-                    metrics.incr_counter(mn::ORACLE_GRAPH_EVICTIONS, evicted);
+            }
+            Payload::DigestFlush { shard, seq } => {
+                // Drain a lingering delta at the marker's delivery
+                // position. A stale marker (the delta already shipped via
+                // the count gate, bumping `digest_seq` past `seq`) no-ops.
+                if shard == self.config.shard && seq == self.digest_seq && !self.delta.is_empty() {
+                    self.emit_digest(now, &mut eff);
                 }
-                self.maybe_propose_recompute(now, &mut eff);
             }
             Payload::Recompute { version } => {
                 // Compute at the marker's delivery position so every
                 // replica snapshots the same graph. Only log-deterministic
                 // state is re-checked here (no local time): a marker that
                 // raced a newer plan or an emptied keyspace is dropped.
-                if version == self.plan_version + 1 && !self.computing && !self.map.is_empty() {
+                // Markers target the planner shard alone; a misdirected
+                // one elsewhere is dropped by the planner check.
+                if self.is_planner()
+                    && version == self.plan_version + 1
+                    && !self.computing
+                    && !self.map.is_empty()
+                {
                     self.start_recompute(now, &mut eff, metrics);
                 } else if self.proposed_recompute < version {
                     // Keep the local guard monotone so a dropped marker
@@ -399,7 +585,10 @@ impl<A: Application> OracleCore<A> {
                 self.computing = false;
                 self.changes = 0;
                 self.last_plan_at = now;
-                if self.config.record_metrics {
+                // Every shard applies the plan to its map replica, but
+                // only the planner records it — or the counters would
+                // multiply by the shard count.
+                if self.config.record_metrics && self.is_planner() {
                     metrics.incr_counter(mn::PLANS_PUBLISHED, 1);
                     metrics.record_series(mn::PLAN_MOVES, now, moves.len() as f64);
                 }
@@ -459,13 +648,90 @@ impl<A: Application> OracleCore<A> {
         Vec::new()
     }
 
-    /// Periodic check (driven by the hosting actor's tick): proposes a
-    /// recompute if the change threshold was crossed while the
-    /// minimum-interval gate was still closed.
+    /// Periodic check (driven by the hosting actor's tick): the planner
+    /// proposes a recompute if the change threshold was crossed while the
+    /// minimum-interval gate was still closed; other shards propose a
+    /// digest flush for a lingering sub-threshold delta.
     pub fn on_tick(&mut self, now: SimTime, _metrics: &mut Metrics) -> Vec<Effect<A>> {
         let mut eff = Vec::new();
         self.maybe_propose_recompute(now, &mut eff);
+        self.maybe_propose_flush(now, &mut eff);
         eff
+    }
+
+    /// Merges a hint or digest batch into the planner's workload graph,
+    /// enforcing the graph caps.
+    fn merge_graph(
+        &mut self,
+        vertices: Vec<(LocKey, u64)>,
+        edges: Vec<(LocKey, LocKey, u64)>,
+        metrics: &mut Metrics,
+    ) {
+        self.changes += vertices.len() as u64 + edges.len() as u64;
+        for (k, w) in vertices {
+            *self.vertices.entry(k).or_insert(0) += w;
+        }
+        for (a, b, w) in edges {
+            let key = if a <= b { (a, b) } else { (b, a) };
+            *self.edges.entry(key).or_insert(0) += w;
+        }
+        let evicted = shrink_weighted(
+            &mut self.vertices,
+            self.config.max_graph_vertices,
+            &mut self.shrink_vertices,
+        ) + shrink_weighted(
+            &mut self.edges,
+            self.config.max_graph_edges,
+            &mut self.shrink_edges,
+        );
+        if evicted > 0 && self.config.record_metrics {
+            metrics.incr_counter(mn::ORACLE_GRAPH_EVICTIONS, evicted);
+        }
+    }
+
+    /// Drains the pending delta into a [`Payload::GraphDigest`] multicast
+    /// to the planner shard. Every replica of this shard reaches this at
+    /// the same delivery position with the same delta, so the digest's
+    /// deterministic id dedups the copies.
+    fn emit_digest(&mut self, now: SimTime, eff: &mut Vec<Effect<A>>) {
+        let (vertices, edges) = self.delta.drain();
+        if vertices.is_empty() && edges.is_empty() {
+            return;
+        }
+        let shard = self.config.shard;
+        let seq = self.digest_seq;
+        self.digest_seq += 1;
+        self.last_digest_at = now;
+        eff.push(Effect::Multicast {
+            mid: MsgId { origin: shard_origin(shard), seq, tag: tag::DIGEST },
+            partitions: Vec::new(),
+            oracle: OracleDest::Shard(0),
+            payload: Payload::GraphDigest { shard, seq, vertices, edges },
+        });
+    }
+
+    /// Proposes a [`Payload::DigestFlush`] marker when a non-planner
+    /// shard's delta has idled past the digest interval — the trickle
+    /// tail the count gate alone would strand. Mirrors the recompute
+    /// marker: the interval reads replica-local time, so the *drain*
+    /// happens at the marker's delivery position, identical everywhere.
+    fn maybe_propose_flush(&mut self, now: SimTime, eff: &mut Vec<Effect<A>>) {
+        if self.is_planner()
+            || self.delta.is_empty()
+            || now.saturating_duration_since(self.last_digest_at) < self.config.digest_interval
+            || self.proposed_flush > self.digest_seq
+        {
+            return;
+        }
+        let shard = self.config.shard;
+        let seq = self.digest_seq;
+        self.proposed_flush = seq + 1;
+        eff.push(Effect::Multicast {
+            mid: MsgId { origin: shard_origin(shard), seq, tag: tag::FLUSH },
+            partitions: Vec::new(),
+            oracle: OracleDest::Shard(shard),
+            payload: Payload::DigestFlush { shard, seq },
+        });
     }
 
     /// Task 1: route a command, reply with a prophecy, dispatch.
@@ -479,6 +745,18 @@ impl<A: Application> OracleCore<A> {
         match &cmd.kind {
             CommandKind::CreateKey { key, .. } => {
                 let key = *key;
+                // The owner shard of the key's slice is the single
+                // authority for the exists/absent decision. Clients route
+                // create queries there; a misdirected one is referred
+                // back rather than answered from a possibly-lagging
+                // foreign-slice replica.
+                if shard_of(key, self.config.shards) != self.config.shard {
+                    eff.push(Effect::Send {
+                        to: Destination::Client(client),
+                        msg: Direct::Retry { cmd: cmd.id, attempt },
+                    });
+                    return;
+                }
                 if self.map.contains_key(&key) {
                     eff.push(Effect::Send {
                         to: Destination::Client(client),
@@ -509,12 +787,20 @@ impl<A: Application> OracleCore<A> {
                 eff.push(Effect::Multicast {
                     mid: cmd.id.derived(tag::CREATE),
                     partitions: vec![dest],
-                    include_oracle: true,
+                    // Every shard's map replica must observe the insert.
+                    oracle: OracleDest::All,
                     payload: Payload::CreateKey { cmd, dest },
                 });
             }
             CommandKind::DeleteKey { key } => {
                 let key = *key;
+                if shard_of(key, self.config.shards) != self.config.shard {
+                    eff.push(Effect::Send {
+                        to: Destination::Client(client),
+                        msg: Direct::Retry { cmd: cmd.id, attempt },
+                    });
+                    return;
+                }
                 match self.map.get(&key).copied() {
                     None => eff.push(Effect::Send {
                         to: Destination::Client(client),
@@ -538,7 +824,7 @@ impl<A: Application> OracleCore<A> {
                         eff.push(Effect::Multicast {
                             mid: cmd.id.derived(tag::DELETE),
                             partitions: vec![dest],
-                            include_oracle: true,
+                            oracle: OracleDest::All,
                             payload: Payload::DeleteKey { cmd, dest },
                         });
                     }
@@ -547,15 +833,36 @@ impl<A: Application> OracleCore<A> {
             CommandKind::Access { .. } => {
                 let route = compute_route(&cmd, |k| self.map.get(&k).copied());
                 let Some(route) = route else {
-                    eff.push(Effect::Send {
-                        to: Destination::Client(client),
-                        msg: Direct::Prophecy {
-                            cmd: cmd.id,
-                            ok: false,
-                            locations: Vec::new(),
-                            version: self.plan_version,
-                        },
-                    });
+                    // A key is missing. Only the shard *owning* a missing
+                    // key's slice may answer `nok` — a foreign-slice
+                    // replica could merely be behind on that slice's
+                    // create. If none of the missing keys is ours, refer
+                    // the client back: the retry's attempt rotation
+                    // reaches the owner within `shards` attempts.
+                    let authoritative = self.config.shards == 1 || {
+                        let keys = cmd.keys();
+                        let missing_mine = keys.iter().any(|&k| {
+                            !self.map.contains_key(&k)
+                                && shard_of(k, self.config.shards) == self.config.shard
+                        });
+                        missing_mine || keys.iter().all(|k| self.map.contains_key(k))
+                    };
+                    if authoritative {
+                        eff.push(Effect::Send {
+                            to: Destination::Client(client),
+                            msg: Direct::Prophecy {
+                                cmd: cmd.id,
+                                ok: false,
+                                locations: Vec::new(),
+                                version: self.plan_version,
+                            },
+                        });
+                    } else {
+                        eff.push(Effect::Send {
+                            to: Destination::Client(client),
+                            msg: Direct::Retry { cmd: cmd.id, attempt },
+                        });
+                    }
                     return;
                 };
                 let locations: Vec<(LocKey, PartitionId)> = cmd
@@ -576,7 +883,8 @@ impl<A: Application> OracleCore<A> {
                 eff.push(Effect::Multicast {
                     mid: cmd.id.derived(tag::ACCESS_BASE + attempt),
                     partitions: route.dests.clone(),
-                    include_oracle: keep,
+                    // DS-SMR keep moves keys in every shard's map replica.
+                    oracle: if keep { OracleDest::All } else { OracleDest::None },
                     payload: Payload::Access {
                         cmd,
                         attempt,
@@ -606,13 +914,15 @@ impl<A: Application> OracleCore<A> {
         eff.push(Effect::Multicast {
             mid: MsgId { origin: u64::MAX - 1, seq: version as u32, tag: tag::RECOMPUTE },
             partitions: Vec::new(),
-            include_oracle: true,
+            // Only the planner computes; the marker stays on its group.
+            oracle: OracleDest::Shard(0),
             payload: Payload::Recompute { version },
         });
     }
 
     fn should_recompute(&self, now: SimTime) -> bool {
         self.config.mode.optimizes()
+            && self.is_planner()
             && !self.computing
             && self.config.partitions > 1
             && self.changes >= self.config.repartition_threshold
@@ -626,9 +936,12 @@ impl<A: Application> OracleCore<A> {
     fn start_recompute(&mut self, now: SimTime, eff: &mut Vec<Effect<A>>, metrics: &mut Metrics) {
         self.computing = true;
         self.compute_started_at = now;
-        let (plan_mid, payload, elements, warm) = self.compute_plan();
-        if warm && self.config.record_metrics {
-            metrics.incr_counter(mn::PLANS_WARM, 1);
+        let (plan_mid, payload, elements, warm, cut) = self.compute_plan();
+        if self.config.record_metrics {
+            if warm {
+                metrics.incr_counter(mn::PLANS_WARM, 1);
+            }
+            metrics.record_series(mn::PLAN_EDGE_CUT, now, cut);
         }
         let after = self.config.compute_base
             + self.config.compute_per_element.saturating_mul(elements as u64);
@@ -653,7 +966,7 @@ impl<A: Application> OracleCore<A> {
     /// warm-start path when eligible, the full multilevel pipeline
     /// otherwise — aligns labels with the current map and produces the
     /// Plan payload. Returns `(plan id, payload, modelled elements,
-    /// warm-start used)`.
+    /// warm-start used, normalized edge cut)`.
     ///
     /// Warm start seeds `partition_from`'s boundary refinement with the
     /// current location map (the surviving keys of the last published
@@ -663,7 +976,7 @@ impl<A: Application> OracleCore<A> {
     /// [`OracleConfig::warm_churn_limit`], and (c) the warm cut lands
     /// within [`OracleConfig::warm_quality_ratio`] of the reference;
     /// otherwise the full pipeline runs and re-records the reference.
-    fn compute_plan(&mut self) -> (MsgId, Payload<A>, usize, bool) {
+    fn compute_plan(&mut self) -> (MsgId, Payload<A>, usize, bool, f64) {
         let keys: Vec<LocKey> = {
             let mut ks: Vec<LocKey> = self.map.keys().copied().collect();
             ks.sort_unstable();
@@ -679,13 +992,21 @@ impl<A: Application> OracleCore<A> {
             let w = 1 + self.vertices.get(k).copied().unwrap_or(0);
             b.set_vertex_weight(i as u32, w);
         }
-        for (&(a, bk), &w) in &self.edges {
+        // The hash map iterates in arbitrary order; sort into the scratch
+        // buffer so the builder sees edges in key order and every replica
+        // (and build profile) constructs the identical graph.
+        let mut edge_scratch = std::mem::take(&mut self.edge_scratch);
+        edge_scratch.clear();
+        edge_scratch.extend(self.edges.iter().map(|(&e, &w)| (e, w)));
+        edge_scratch.sort_unstable_by_key(|&(e, _)| e);
+        for &((a, bk), w) in &edge_scratch {
             if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&bk)) {
                 if w > 0 {
                     b.add_edge(ia, ib, w);
                 }
             }
         }
+        self.edge_scratch = edge_scratch;
         let g = b.build();
         let k = self.config.partitions;
         let cfg = PartitionConfig::default()
@@ -756,7 +1077,10 @@ impl<A: Application> OracleCore<A> {
                 full
             }
         };
-        (mid, Payload::Plan { version, moves }, elements, warm_used)
+        // Normalized cut: raw cut grows with accumulated hint weight, so
+        // only the fraction is comparable across runs and shard counts.
+        let cut = cut_frac(aligned.edge_cut(&g));
+        (mid, Payload::Plan { version, moves }, elements, warm_used, cut)
     }
 
     /// Fires when the modelled compute time elapses: publish the pending
@@ -780,7 +1104,8 @@ impl<A: Application> OracleCore<A> {
         vec![Effect::Multicast {
             mid,
             partitions: (0..self.config.partitions).map(PartitionId).collect(),
-            include_oracle: true,
+            // Every shard applies the plan to its full-map replica.
+            oracle: OracleDest::All,
             payload,
         }]
     }
@@ -880,15 +1205,15 @@ mod tests {
             .find_map(|e| match e {
                 Effect::Multicast {
                     partitions,
-                    include_oracle,
+                    oracle,
                     payload: Payload::Access { target, .. },
                     ..
-                } => Some((partitions.clone(), *include_oracle, *target)),
+                } => Some((partitions.clone(), *oracle, *target)),
                 _ => None,
             })
             .expect("access dispatched");
         assert_eq!(mcast.0, vec![PartitionId(0)]);
-        assert!(!mcast.1, "oracle not a destination in DynaStar mode");
+        assert_eq!(mcast.1, OracleDest::None, "oracle not a destination in DynaStar mode");
         assert_eq!(mcast.2, PartitionId(0));
         assert_eq!(m.counter(crate::metric_names::ORACLE_QUERIES), 1);
     }
@@ -914,7 +1239,7 @@ mod tests {
             .iter()
             .find_map(|e| match e {
                 Effect::Multicast {
-                    include_oracle: true,
+                    oracle: OracleDest::All,
                     payload: Payload::CreateKey { dest, .. },
                     ..
                 } => Some(*dest),
@@ -988,7 +1313,7 @@ mod tests {
         let plan = eff.iter().find_map(|e| match e {
             Effect::Multicast {
                 partitions,
-                include_oracle: true,
+                oracle: OracleDest::All,
                 payload: Payload::Plan { version, .. },
                 ..
             } => Some((partitions.len(), *version)),
@@ -1362,5 +1687,243 @@ mod tests {
             &mut m,
         );
         assert_eq!(o.location_of(LocKey(0)), Some(PartitionId(1)), "done settled first");
+    }
+
+    // --- shrink_weighted edge cases -------------------------------------
+
+    #[test]
+    fn shrink_cap_zero_empties_map() {
+        let mut map: FastHashMap<u64, u64> = (0..8u64).map(|k| (k, 10 + k)).collect();
+        let mut scratch = Vec::new();
+        let removed = shrink_weighted(&mut map, 0, &mut scratch);
+        assert_eq!(removed, 8);
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn shrink_all_equal_weights_is_content_deterministic() {
+        // All-equal weights: the (weight, key) selection must fall back to
+        // key order, independent of hash-map iteration order.
+        let run = |insert_order: &[u64]| -> Vec<u64> {
+            let mut map: FastHashMap<u64, u64> = FastHashMap::default();
+            for &k in insert_order {
+                map.insert(k, 8); // halves to 4, nothing decays away
+            }
+            let mut scratch = Vec::new();
+            shrink_weighted(&mut map, 3, &mut scratch);
+            let mut left: Vec<u64> = map.keys().copied().collect();
+            left.sort_unstable();
+            left
+        };
+        let a = run(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = run(&[7, 3, 5, 1, 6, 0, 2, 4]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a, b, "survivors must not depend on insertion order");
+        assert_eq!(a, vec![5, 6, 7], "ties evict the lowest keys");
+    }
+
+    #[test]
+    fn shrink_exactly_at_cap_is_noop() {
+        let mut map: FastHashMap<u64, u64> = (0..5u64).map(|k| (k, 1)).collect();
+        let mut scratch = Vec::new();
+        // len == cap: no decay pass, no eviction, weights untouched.
+        assert_eq!(shrink_weighted(&mut map, 5, &mut scratch), 0);
+        assert_eq!(map.len(), 5);
+        assert!(map.values().all(|&w| w == 1), "at-cap map must not decay");
+    }
+
+    #[test]
+    fn shrink_reuses_scratch_buffer() {
+        let mut scratch = Vec::new();
+        let mut map: FastHashMap<u64, u64> = (0..100u64).map(|k| (k, 100 + k)).collect();
+        shrink_weighted(&mut map, 10, &mut scratch);
+        let cap_after_first = scratch.capacity();
+        assert!(cap_after_first >= 90);
+        let mut map2: FastHashMap<u64, u64> = (0..50u64).map(|k| (k, 100 + k)).collect();
+        shrink_weighted(&mut map2, 10, &mut scratch);
+        assert_eq!(scratch.capacity(), cap_after_first, "second pass must reuse the buffer");
+    }
+
+    // --- oracle sharding -------------------------------------------------
+
+    fn sharded(shards: u32, shard: u32) -> OracleCore<App> {
+        let mut o = OracleCore::new(OracleConfig {
+            partitions: 2,
+            repartition_threshold: 5,
+            min_plan_interval: SimDuration::from_millis(1),
+            shards,
+            shard,
+            digest_threshold: 4,
+            digest_interval: SimDuration::from_millis(10),
+            ..OracleConfig::default()
+        });
+        o.preload_map((0..4).map(|k| (LocKey(k), PartitionId((k % 2) as u32))));
+        o
+    }
+
+    #[test]
+    fn location_view_reports_only_owned_slice() {
+        let shards = 4u32;
+        let full: Vec<(u64, u32)> = (0..4).map(|k| (k, (k % 2) as u32)).collect();
+        let mut union: Vec<(u64, u32)> = Vec::new();
+        for s in 0..shards {
+            let o = sharded(shards, s);
+            let view = o.location_view();
+            for &(k, _) in &view {
+                assert_eq!(shard_of(LocKey(k), shards), s, "key {k} outside shard {s}'s slice");
+            }
+            union.extend(view);
+        }
+        union.sort_unstable();
+        assert_eq!(union, full, "shard views must partition the full map");
+    }
+
+    #[test]
+    fn non_planner_ships_digest_at_threshold() {
+        let mut o = sharded(4, 1);
+        let mut m = Metrics::new();
+        // 3 changes: below the threshold of 4 — nothing ships.
+        let eff = o.on_deliver(
+            Payload::Hint {
+                vertices: vec![(LocKey(0), 5), (LocKey(1), 5)],
+                edges: vec![(LocKey(0), LocKey(1), 9)],
+            },
+            SimTime::from_millis(1),
+            &mut m,
+        );
+        assert!(eff.is_empty(), "sub-threshold delta must not ship");
+        assert_eq!(o.graph_vertices(), 0, "non-planner must not grow its own graph");
+        // One more change crosses the gate: a digest ships to the planner.
+        let eff = o.on_deliver(
+            Payload::Hint { vertices: vec![(LocKey(2), 7)], edges: vec![] },
+            SimTime::from_millis(2),
+            &mut m,
+        );
+        let digest = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::Multicast {
+                    mid,
+                    oracle: OracleDest::Shard(0),
+                    payload: Payload::GraphDigest { shard, seq, vertices, edges },
+                    ..
+                } => Some((*mid, *shard, *seq, vertices.clone(), edges.clone())),
+                _ => None,
+            })
+            .expect("digest shipped at threshold");
+        assert_eq!(digest.0, MsgId { origin: shard_origin(1), seq: 0, tag: tag::DIGEST });
+        assert_eq!(digest.1, 1);
+        assert_eq!(digest.2, 0);
+        // Canonical key order, weights accumulated across hints.
+        assert_eq!(digest.3, vec![(LocKey(0), 5), (LocKey(1), 5), (LocKey(2), 7)]);
+        assert_eq!(digest.4, vec![(LocKey(0), LocKey(1), 9)]);
+    }
+
+    #[test]
+    fn planner_merges_digest_like_hints() {
+        let mut o = sharded(1, 0);
+        let mut m = Metrics::new();
+        let eff = o.on_deliver(
+            Payload::GraphDigest {
+                shard: 2,
+                seq: 0,
+                vertices: (0..4).map(|k| (LocKey(k), 5)).collect(),
+                edges: vec![(LocKey(0), LocKey(1), 20), (LocKey(2), LocKey(3), 20)],
+            },
+            SimTime::from_millis(2),
+            &mut m,
+        );
+        assert_eq!(o.graph_vertices(), 4);
+        assert_eq!(o.graph_edges(), 2);
+        // 6 changes >= threshold 5: the digest triggers the recompute
+        // proposal exactly as a hint batch would.
+        assert!(eff
+            .iter()
+            .any(|e| matches!(e, Effect::Multicast { payload: Payload::Recompute { .. }, .. })));
+    }
+
+    #[test]
+    fn flush_marker_drains_lingering_delta() {
+        let mut o = sharded(4, 2);
+        let mut m = Metrics::new();
+        let _ = o.on_deliver(
+            Payload::Hint { vertices: vec![(LocKey(0), 3)], edges: vec![] },
+            SimTime::from_millis(1),
+            &mut m,
+        );
+        // Before the interval elapses a tick proposes nothing.
+        assert!(o.on_tick(SimTime::from_millis(5), &mut m).is_empty());
+        let eff = o.on_tick(SimTime::from_millis(20), &mut m);
+        let (shard, seq) = eff
+            .iter()
+            .find_map(|e| match e {
+                Effect::Multicast {
+                    oracle: OracleDest::Shard(s),
+                    payload: Payload::DigestFlush { shard, seq },
+                    ..
+                } => {
+                    assert_eq!(*s, *shard, "flush marker targets its own shard group");
+                    Some((*shard, *seq))
+                }
+                _ => None,
+            })
+            .expect("idle delta proposes a flush");
+        assert_eq!((shard, seq), (2, 0));
+        // A duplicate tick must not re-propose the same flush.
+        assert!(o.on_tick(SimTime::from_millis(40), &mut m).is_empty());
+        // Delivery of the marker drains the delta into a digest.
+        let eff =
+            o.on_deliver(Payload::DigestFlush { shard, seq }, SimTime::from_millis(41), &mut m);
+        assert!(eff
+            .iter()
+            .any(|e| matches!(e, Effect::Multicast { payload: Payload::GraphDigest { .. }, .. })));
+        // A stale (already-drained) marker no-ops.
+        let eff =
+            o.on_deliver(Payload::DigestFlush { shard, seq }, SimTime::from_millis(42), &mut m);
+        assert!(eff.is_empty(), "stale flush marker must no-op");
+    }
+
+    #[test]
+    fn missing_foreign_key_refers_client_back() {
+        // Find a key absent from the map whose slice belongs to shard 1,
+        // and query shard 0 (which cannot authoritatively reject it).
+        let shards = 4u32;
+        let missing = (100..).find(|&k| shard_of(LocKey(k), shards) == 1).unwrap();
+        let mut m = Metrics::new();
+        let mut non_owner = sharded(shards, 0);
+        let eff = non_owner.on_deliver(
+            Payload::Exec { cmd: access(vec![missing * 10]), attempt: 0 },
+            now(),
+            &mut m,
+        );
+        assert!(
+            eff.iter().any(|e| matches!(e, Effect::Send { msg: Direct::Retry { .. }, .. })),
+            "non-owner shard must refer, not reject"
+        );
+        assert!(!eff
+            .iter()
+            .any(|e| matches!(e, Effect::Send { msg: Direct::Prophecy { .. }, .. })));
+        // The owner shard answers nok authoritatively.
+        let mut owner = sharded(shards, 1);
+        let eff = owner.on_deliver(
+            Payload::Exec { cmd: access(vec![missing * 10]), attempt: 0 },
+            now(),
+            &mut m,
+        );
+        assert!(eff
+            .iter()
+            .any(|e| matches!(e, Effect::Send { msg: Direct::Prophecy { ok: false, .. }, .. })));
+    }
+
+    #[test]
+    fn create_at_non_owner_shard_refers_client_back() {
+        let shards = 4u32;
+        let key = (100..).find(|&k| shard_of(LocKey(k), shards) == 3).unwrap();
+        let mut o = sharded(shards, 0);
+        let mut m = Metrics::new();
+        let c = cmd(CommandKind::CreateKey { key: LocKey(key), vars: vec![] });
+        let eff = o.on_deliver(Payload::Exec { cmd: c, attempt: 0 }, now(), &mut m);
+        assert!(eff.iter().any(|e| matches!(e, Effect::Send { msg: Direct::Retry { .. }, .. })));
+        assert!(!eff.iter().any(|e| matches!(e, Effect::Multicast { .. })));
     }
 }

@@ -112,6 +112,36 @@ pub enum Payload<A: Application> {
         /// The destination that never finished receiving.
         to: PartitionId,
     },
+    /// Non-planner oracle shard → planner shard: a drained slice of the
+    /// shard's pending workload-graph delta. The planner merges digests
+    /// into its graph exactly like [`Payload::Hint`]s; every replica of
+    /// the originating shard drains the same delta at the same delivery
+    /// position and submits the same deterministic message id, so the
+    /// multicast layer delivers each digest once.
+    GraphDigest {
+        /// The originating oracle shard.
+        shard: u32,
+        /// The shard's digest sequence number (dedups the replicas'
+        /// copies via the message id).
+        seq: u32,
+        /// `(key, access count)` vertex increments since the last digest.
+        vertices: Vec<(LocKey, u64)>,
+        /// `(key a, key b, weight)` edge increments since the last digest.
+        edges: Vec<(LocKey, LocKey, u64)>,
+    },
+    /// Oracle shard replicas → own shard group: agree on the log position
+    /// at which a lingering (sub-threshold) delta is drained into a
+    /// digest. Same reasoning as [`Payload::Recompute`]: the trickle
+    /// timer is replica-local, so acting on it directly would have each
+    /// replica drain a different delta; the marker's delivery position
+    /// makes the drain identical everywhere.
+    DigestFlush {
+        /// The shard whose delta should be drained.
+        shard: u32,
+        /// The digest sequence this flush proposes to emit; stale
+        /// markers (the delta already shipped via the count gate) no-op.
+        seq: u32,
+    },
 }
 
 /// Direct point-to-point messages (reliable, unordered across sources;
@@ -314,10 +344,27 @@ impl<A: Application> Direct<A> {
 pub enum Destination {
     /// Every replica of a partition group.
     Partition(PartitionId),
-    /// Every replica of the oracle group.
+    /// Every replica of every oracle shard group.
     Oracle,
     /// A single client process.
     Client(NodeId),
+}
+
+/// Which oracle shard groups a multicast also targets (beyond its
+/// partition groups). The oracle is sharded into `O` independent
+/// replicated groups (DESIGN.md §7); `O = 1` collapses every variant to
+/// the single oracle group, reproducing the unsharded wire traffic
+/// byte-for-byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleDest {
+    /// No oracle shard is a destination.
+    None,
+    /// Every oracle shard group — map-updating traffic (create/delete
+    /// coordination, plans, migration settling) that all slices must
+    /// observe in the same total order.
+    All,
+    /// One oracle shard group by shard index.
+    Shard(u32),
 }
 
 /// An effect requested by a protocol core (oracle/server/client logic),
@@ -326,14 +373,14 @@ pub enum Destination {
 pub enum Effect<A: Application> {
     /// Atomically multicast `payload` to `groups` with message id `mid`.
     /// Group ids follow the cluster convention: partition `i` = group `i`,
-    /// oracle = last group.
+    /// oracle shard `s` = group `k + s` for `k` partitions.
     Multicast {
         /// Unique (or deterministically shared) message id.
         mid: MsgId,
-        /// Destination partition groups; `true` adds the oracle group.
+        /// Destination partition groups.
         partitions: Vec<PartitionId>,
-        /// Whether the oracle group is also a destination.
-        include_oracle: bool,
+        /// Oracle shard groups that are also destinations.
+        oracle: OracleDest,
         /// The payload.
         payload: Payload<A>,
     },
@@ -387,6 +434,15 @@ impl<A: Application> Clone for Payload<A> {
             }
             Payload::MigrationRevert { version, key, from, to } => {
                 Payload::MigrationRevert { version: *version, key: *key, from: *from, to: *to }
+            }
+            Payload::GraphDigest { shard, seq, vertices, edges } => Payload::GraphDigest {
+                shard: *shard,
+                seq: *seq,
+                vertices: vertices.clone(),
+                edges: edges.clone(),
+            },
+            Payload::DigestFlush { shard, seq } => {
+                Payload::DigestFlush { shard: *shard, seq: *seq }
             }
         }
     }
@@ -452,10 +508,10 @@ impl<A: Application> Clone for Direct<A> {
 impl<A: Application> Clone for Effect<A> {
     fn clone(&self) -> Self {
         match self {
-            Effect::Multicast { mid, partitions, include_oracle, payload } => Effect::Multicast {
+            Effect::Multicast { mid, partitions, oracle, payload } => Effect::Multicast {
                 mid: *mid,
                 partitions: partitions.clone(),
-                include_oracle: *include_oracle,
+                oracle: *oracle,
                 payload: payload.clone(),
             },
             Effect::Send { to, msg } => Effect::Send { to: *to, msg: msg.clone() },

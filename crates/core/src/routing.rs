@@ -7,7 +7,52 @@
 
 use std::collections::BTreeMap;
 
-use crate::command::{Application, Command, LocKey, PartitionId, VarId};
+use crate::command::{Application, Command, CommandKind, LocKey, PartitionId, VarId};
+
+/// The oracle shard whose slice of the location map owns `key`.
+///
+/// Every process derives slice ownership from this pure function — shard
+/// cores to report their owned slice, partitions to address hint batches,
+/// clients to route create/delete queries — so a deterministic spread
+/// matters: the multiply-shift mix decorrelates slice ownership from the
+/// dense low-id keys the workloads use (a plain modulus would alias slice
+/// stripes with round-robin placement stripes).
+pub fn shard_of(key: LocKey, shards: u32) -> u32 {
+    if shards <= 1 {
+        return 0;
+    }
+    let h = key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h >> 32) % shards as u64) as u32
+}
+
+/// The oracle shard a client's `Exec` query for `cmd` goes to on the
+/// given dispatch attempt.
+///
+/// Create/delete queries always go to the owner shard of their key — it
+/// is the single authority for the exists/absent decision. Access queries
+/// can be answered by *any* shard (all shards replicate the full map, see
+/// DESIGN.md §7), so they spread by an order-independent mix over the
+/// command's keys; the attempt rotates the choice so retries — including
+/// `Retry` referrals from a shard that cannot authoritatively reject a
+/// missing key outside its slice — reach the owner within `shards`
+/// attempts.
+pub fn exec_shard<A: Application>(cmd: &Command<A>, attempt: u32, shards: u32) -> u32 {
+    if shards <= 1 {
+        return 0;
+    }
+    match &cmd.kind {
+        CommandKind::CreateKey { key, .. } | CommandKind::DeleteKey { key } => {
+            shard_of(*key, shards)
+        }
+        CommandKind::Access { .. } => {
+            let mut mix = 0u64;
+            for k in cmd.keys() {
+                mix ^= k.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            (((mix >> 32).wrapping_add(attempt as u64)) % shards as u64) as u32
+        }
+    }
+}
 
 /// A fully resolved routing decision for an access command.
 #[derive(Debug, Clone, PartialEq, Eq)]

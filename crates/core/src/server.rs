@@ -24,7 +24,8 @@ use crate::command::{
 };
 use crate::metric_names as mn;
 use crate::migration::{MoveOutcome, PlanHistory, Settle, PLAN_HISTORY_PER_KEY};
-use crate::payload::{DedupKey, Destination, Direct, Effect, Payload};
+use crate::payload::{DedupKey, Destination, Direct, Effect, OracleDest, Payload};
+use crate::routing::shard_of;
 
 /// Emits protocol-stall diagnostics to stderr when the
 /// `DYNASTAR_TRACE_BLOCKED` environment variable is set.
@@ -124,6 +125,11 @@ pub struct ServerConfig {
     /// tail, releasing deferred moves as transfers settle. `0` disables
     /// the cap (every move ships at once, PR 6 behaviour).
     pub migration_max_inflight_per_link: u32,
+    /// Number of oracle shard groups in the deployment. Hint batches are
+    /// split by slice ownership ([`crate::routing::shard_of`]) and each
+    /// slice multicast to its owner shard; `1` emits the single classic
+    /// hint multicast.
+    pub oracle_shards: u32,
 }
 
 impl Default for ServerConfig {
@@ -140,6 +146,7 @@ impl Default for ServerConfig {
             migration_chunk_timeout: dynastar_runtime::SimDuration::from_millis(200),
             migration_max_retries: 5,
             migration_max_inflight_per_link: 0,
+            oracle_shards: 1,
         }
     }
 }
@@ -872,7 +879,11 @@ impl<A: Application> ServerCore<A> {
                     }
                 }
             }
-            Payload::Exec { .. } | Payload::Hint { .. } | Payload::Recompute { .. } => {
+            Payload::Exec { .. }
+            | Payload::Hint { .. }
+            | Payload::Recompute { .. }
+            | Payload::GraphDigest { .. }
+            | Payload::DigestFlush { .. } => {
                 // Oracle-only payloads; partitions are never destinations.
             }
         }
@@ -972,7 +983,8 @@ impl<A: Application> ServerCore<A> {
                         eff.push(Effect::Multicast {
                             mid: migration_mid(key, version, TAG_MIGRATION_DONE),
                             partitions: vec![from, to],
-                            include_oracle: true,
+                            // Every shard's map replica settles the move.
+                            oracle: OracleDest::All,
                             payload: Payload::MigrationDone { version, key, from, to },
                         });
                     }
@@ -1823,6 +1835,8 @@ impl<A: Application> ServerCore<A> {
     /// Accumulates workload-graph hints and flushes a batch when due
     /// (Algorithm 2 Task 4, partition side).
     fn record_hint(&mut self, cmd: &Command<A>, eff: &mut Vec<Effect<A>>) {
+        /// One shard's hint slice: (vertex, weight) and (a, b, weight) lists.
+        type HintSlice = (Vec<(LocKey, u64)>, Vec<(LocKey, LocKey, u64)>);
         let keys = cmd.keys();
         for &k in &keys {
             *self.hint_vertices.entry(k).or_insert(0) += 1;
@@ -1835,20 +1849,37 @@ impl<A: Application> ServerCore<A> {
         self.hint_execs += 1;
         if self.hint_execs >= self.config.hint_batch {
             self.hint_execs = 0;
-            let vertices: Vec<(LocKey, u64)> =
-                self.hint_vertices.iter().map(|(&k, &w)| (k, w)).collect();
-            let edges: Vec<(LocKey, LocKey, u64)> =
-                self.hint_edges.iter().map(|(&(a, b), &w)| (a, b, w)).collect();
+            // Split the batch by slice ownership and multicast each
+            // non-empty slice to its owner shard, in shard order: a
+            // vertex goes to its key's owner, an edge to its lower key's
+            // (keys are sorted within a command, so `a` is the lower).
+            // Each slice consumes its own hint sequence number. With one
+            // shard this emits exactly the single classic hint multicast
+            // (BTreeMap iteration keeps the lists key-sorted).
+            let shards = self.config.oracle_shards;
+            let mut slices: Vec<HintSlice> = vec![(Vec::new(), Vec::new()); shards.max(1) as usize];
+            for (&k, &w) in &self.hint_vertices {
+                slices[shard_of(k, shards) as usize].0.push((k, w));
+            }
+            for (&(a, b), &w) in &self.hint_edges {
+                slices[shard_of(a, shards) as usize].1.push((a, b, w));
+            }
             self.hint_vertices.clear();
             self.hint_edges.clear();
-            let mid = MsgId::new(PARTITION_ORIGIN_BASE + self.partition.0 as u64, self.hint_seq);
-            self.hint_seq += 1;
-            eff.push(Effect::Multicast {
-                mid,
-                partitions: Vec::new(),
-                include_oracle: true,
-                payload: Payload::Hint { vertices, edges },
-            });
+            for (s, (vertices, edges)) in slices.into_iter().enumerate() {
+                if vertices.is_empty() && edges.is_empty() {
+                    continue;
+                }
+                let mid =
+                    MsgId::new(PARTITION_ORIGIN_BASE + self.partition.0 as u64, self.hint_seq);
+                self.hint_seq += 1;
+                eff.push(Effect::Multicast {
+                    mid,
+                    partitions: Vec::new(),
+                    oracle: OracleDest::Shard(s as u32),
+                    payload: Payload::Hint { vertices, edges },
+                });
+            }
         }
     }
 
@@ -2355,7 +2386,7 @@ impl<A: Application> ServerCore<A> {
             eff.push(Effect::Multicast {
                 mid: migration_mid(key, version, TAG_MIGRATION_REVERT),
                 partitions: vec![me, to],
-                include_oracle: true,
+                oracle: OracleDest::All,
                 payload: Payload::MigrationRevert { version, key, from: me, to },
             });
         }

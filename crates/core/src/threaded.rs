@@ -31,7 +31,7 @@ use parking_lot::Mutex;
 use crate::client::{ClientCore, ClientEvent};
 use crate::command::{Application, CommandKind, LocKey, Mode, PartitionId, VarId};
 use crate::oracle::{OracleConfig, OracleCore};
-use crate::payload::{Destination, Direct, Effect, Payload};
+use crate::payload::{Destination, Direct, Effect, OracleDest, Payload};
 use crate::server::{ServerConfig, ServerCore};
 
 /// Messages between threads: multicast wires or direct protocol messages.
@@ -208,8 +208,8 @@ impl<A: Application> ReplicaThread<A> {
             };
             for eff in effects {
                 match eff {
-                    Effect::Multicast { mid, partitions, include_oracle, payload } => {
-                        let groups = resolve_groups(&self.fabric, &partitions, include_oracle);
+                    Effect::Multicast { mid, partitions, oracle, payload } => {
+                        let groups = resolve_groups(&self.fabric, &partitions, oracle);
                         let out = self.member.submit(mid, groups, Arc::new(payload));
                         for (to, wire) in out.outgoing {
                             self.fabric.send_replica(to, Wire::Mcast(wire));
@@ -225,8 +225,8 @@ impl<A: Application> ReplicaThread<A> {
     fn apply(&mut self, effects: Vec<Effect<A>>) {
         for eff in effects {
             match eff {
-                Effect::Multicast { mid, partitions, include_oracle, payload } => {
-                    let groups = resolve_groups(&self.fabric, &partitions, include_oracle);
+                Effect::Multicast { mid, partitions, oracle, payload } => {
+                    let groups = resolve_groups(&self.fabric, &partitions, oracle);
                     let out = self.member.submit(mid, groups, Arc::new(payload));
                     self.absorb(out);
                 }
@@ -255,10 +255,12 @@ impl<A: Application> ReplicaThread<A> {
 fn resolve_groups<A: Application>(
     fabric: &Fabric<A>,
     partitions: &[PartitionId],
-    include_oracle: bool,
+    oracle: OracleDest,
 ) -> Vec<GroupId> {
     let mut gs: Vec<GroupId> = partitions.iter().map(|p| GroupId(p.0)).collect();
-    if include_oracle {
+    // The threaded harness deploys a single oracle shard, so `All` and
+    // `Shard(_)` both resolve to the one oracle group.
+    if oracle != OracleDest::None {
         gs.push(fabric.oracle_group);
     }
     gs.sort_unstable();
@@ -506,8 +508,8 @@ impl<A: Application> ThreadedClient<A> {
     fn dispatch(&mut self, effects: Vec<Effect<A>>) {
         for eff in effects {
             match eff {
-                Effect::Multicast { mid, partitions, include_oracle, payload } => {
-                    let groups = resolve_groups(&self.fabric, &partitions, include_oracle);
+                Effect::Multicast { mid, partitions, oracle, payload } => {
+                    let groups = resolve_groups(&self.fabric, &partitions, oracle);
                     self.fabric.submit(mid, groups, Arc::new(payload));
                 }
                 Effect::Send { to, msg } => self.fabric.send_direct(to, msg),

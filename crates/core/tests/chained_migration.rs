@@ -86,6 +86,10 @@ struct RunOutcome {
 }
 
 fn run_chained(seed: u64, secs: u64, trace: bool) -> RunOutcome {
+    run_chained_sharded(seed, secs, trace, 1)
+}
+
+fn run_chained_sharded(seed: u64, secs: u64, trace: bool, shards: u32) -> RunOutcome {
     let config = ClusterConfig {
         partitions: PARTITIONS,
         replicas: 3,
@@ -94,6 +98,7 @@ fn run_chained(seed: u64, secs: u64, trace: bool) -> RunOutcome {
         repartition_threshold: 60,
         min_plan_interval: ROT_PERIOD,
         warm_client_caches: true,
+        oracle_shards: shards,
         server: ServerConfig {
             staged_migration: true,
             migration_chunk_vars: 4,
@@ -209,6 +214,57 @@ fn chained_moves_with_giveup_reverts_converge() {
     let oracle: BTreeMap<u64, u32> =
         out.views[oracle_group][0].as_ref().unwrap().iter().copied().collect();
     assert_eq!(partition_union, oracle, "partition ownership diverges from the oracle map");
+}
+
+/// The convergence invariant at four oracle shards, after plans and
+/// racing migrations: every shard group converges internally, each shard
+/// reports only keys its hash slice owns, the shard views are pairwise
+/// disjoint, and their union is exactly the union of the partition views
+/// — the sliced map is still the one authoritative map.
+#[test]
+fn sharded_views_union_to_authoritative_map() {
+    const SHARDS: u32 = 4;
+    let out = run_chained_sharded(7, 20, false, SHARDS);
+    assert!(out.completed > 0, "workload must make progress");
+    assert_eq!(out.failed, 0, "sharding must never surface client-visible errors");
+    assert!(out.reverts > 0, "blackout must still force give-up reverts");
+
+    let k = PARTITIONS as usize;
+    assert_eq!(out.views.len(), k + SHARDS as usize, "one group per partition and per shard");
+
+    let mut partition_union: BTreeMap<u64, u32> = BTreeMap::new();
+    for (gi, group) in out.views[..k].iter().enumerate() {
+        let views: Vec<&Vec<(u64, u32)>> = group.iter().filter_map(|v| v.as_ref()).collect();
+        assert!(!views.is_empty(), "partition {gi}: no live replica reported a view");
+        for v in &views[1..] {
+            assert_eq!(*v, views[0], "partition {gi}: replicas diverge");
+        }
+        for &(key, p) in views[0] {
+            assert_eq!(p, gi as u32, "partition {gi} claims key {key} it does not own");
+            assert_eq!(partition_union.insert(key, p), None, "key {key} owned by two partitions");
+        }
+    }
+
+    let mut shard_union: BTreeMap<u64, u32> = BTreeMap::new();
+    for (si, group) in out.views[k..].iter().enumerate() {
+        let views: Vec<&Vec<(u64, u32)>> = group.iter().filter_map(|v| v.as_ref()).collect();
+        assert!(!views.is_empty(), "shard {si}: no live replica reported a view");
+        for v in &views[1..] {
+            assert_eq!(*v, views[0], "shard {si}: replicas diverge");
+        }
+        for &(key, p) in views[0] {
+            assert_eq!(
+                dynastar_core::shard_of(LocKey(key), SHARDS),
+                si as u32,
+                "key {key} reported by a shard that does not own its hash slice"
+            );
+            assert_eq!(shard_union.insert(key, p), None, "key {key} reported by two shards");
+        }
+    }
+    assert_eq!(
+        partition_union, shard_union,
+        "union of shard slices diverges from partition ownership"
+    );
 }
 
 #[test]

@@ -152,6 +152,13 @@ where
 /// The `run` scenario with every client's completions recorded; returns
 /// `(hash, completions)`.
 fn run_golden(seed: u64) -> (u64, u64) {
+    run_sharded_golden(seed, 1)
+}
+
+/// [`run_golden`] with the oracle deployed as `shards` hash-sliced
+/// replicated groups (shard 0 the planner); returns `(hash, completions)`.
+/// With one shard this is byte-identical to the pre-sharding deployment.
+fn run_sharded_golden(seed: u64, shards: u32) -> (u64, u64) {
     use dynastar::core::{ClusterBuilder, ClusterConfig, PartitionId};
     use dynastar::workloads::chirper::{Chirper, ChirperUser};
     use dynastar::workloads::placement;
@@ -166,6 +173,7 @@ fn run_golden(seed: u64) -> (u64, u64) {
         repartition_threshold: 300,
         min_plan_interval: SimDuration::from_secs(2),
         warm_client_caches: true,
+        oracle_shards: shards,
         ..ClusterConfig::default()
     };
     let keys = (0..graph.users() as u64).map(Chirper::key);
@@ -233,6 +241,40 @@ fn delivered_sequence_matches_golden_hash() {
         "delivered-command sequence drifted from the recorded golden execution \
          (hash {hash:#018x}); if a deliberate protocol change reordered \
          deliveries, re-record the constant in this commit"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-oracle golden: the same scenario with four oracle shards.
+//
+// Sharding moves query serving onto four independent replicated groups
+// (shard 0 doubling as the planner), splits each server's hint flush into
+// per-shard slices, and routes cold-cache queries by `exec_shard`. All of
+// that legitimately reorders deliveries relative to the single-shard
+// golden, so O=4 gets its own pinned constant; the O=1 constants above
+// staying untouched is the proof that a single shard still resolves to
+// the pre-sharding protocol byte for byte.
+// ---------------------------------------------------------------------------
+
+/// Recorded from a verified run of this revision; identical in debug and
+/// release builds. Re-record alongside [`GOLDEN_HASH`] when a deliberate
+/// protocol change reorders deliveries.
+const SHARDED_GOLDEN_SEED: u64 = 42;
+const SHARDED_GOLDEN_HASH: u64 = 0x50f5_a535_a711_2eac;
+const SHARDED_GOLDEN_COUNT: u64 = 23709;
+
+#[test]
+fn four_shard_oracle_matches_golden_hash() {
+    let (hash, count) = run_sharded_golden(SHARDED_GOLDEN_SEED, 4);
+    assert_eq!(
+        count, SHARDED_GOLDEN_COUNT,
+        "completion count drifted from the recorded four-shard execution"
+    );
+    assert_eq!(
+        hash, SHARDED_GOLDEN_HASH,
+        "four-shard delivered sequence drifted (hash {hash:#018x}); if a \
+         deliberate protocol change reordered deliveries, re-record the \
+         constant in this commit"
     );
 }
 
